@@ -1,0 +1,452 @@
+(* The benchmark harness.
+
+   The paper (BX 2014) is a position paper with no tables or figures; its
+   checkable claims are the section 4 Composers entry and the section 5.4
+   wiki bx.  This harness therefore regenerates, in order:
+
+   E1  the claimed-vs-verified property table for every catalogue entry;
+   E2  the undoability counterexample trace;
+   E3  the variant behaviour matrix;
+   E4  the resourceful-vs-positional string lens ablation;
+   E5  the wiki round-trip check;
+
+   and then measures the performance series P1-P4 with Bechamel:
+
+   P1  Composers restoration cost vs model size;
+   P2  string lens get/put throughput vs document size (dict vs positional);
+   P3  static ambiguity checking / lens construction cost;
+   P4  registry search, citation and wiki render/parse cost vs store size. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Experiment artifacts (E1-E5) *)
+
+let rule title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let e1 () =
+  rule "E1: claimed properties vs machine verification (all entries)";
+  List.iter
+    (fun (title, rows) ->
+      Fmt.pr "@.%s@.%a@." title Bx_check.Verify.pp_report rows;
+      if not (Bx_check.Verify.all_upheld rows) then
+        Fmt.pr "  *** SOME CLAIM REFUTED ***@.")
+    (Bx_check.Examples_check.all_reports ~count:80 ())
+
+let e2 () =
+  rule "E2: the COMPOSERS undoability counterexample (paper, section 4)";
+  let open Bx_catalogue.Composers in
+  let trace = undoability_counterexample () in
+  Fmt.pr "m0 = %a@." m_space.Bx.Model.pp trace.initial_m;
+  Fmt.pr "after delete/restore of Britten in n, two bwd passes give:@.";
+  Fmt.pr "m2 = %a@." m_space.Bx.Model.pp trace.m_after_second_bwd;
+  Fmt.pr "dates lost: %b@." trace.dates_lost
+
+let e3 () =
+  rule "E3: variant behaviour matrix";
+  let open Bx_catalogue.Composers in
+  let open Bx_catalogue.Composers_variants in
+  let m = [ composer ~name:"Britten" ~dates:"1913-1976" ~nationality:"British" ] in
+  let n = [ ("Britten", "English") ] in
+  let show name bx =
+    Fmt.pr "%-22s bwd -> %a@." name m_space.Bx.Model.pp
+      (bx.Bx.Symmetric.bwd m n)
+  in
+  show "base" bx;
+  show "name-as-key" name_as_key;
+  show "fresh-dates(0000)" (fresh_dates "0000-0000");
+  let m2 =
+    [
+      composer ~name:"Bach" ~dates:"1685-1750" ~nationality:"German";
+      composer ~name:"Britten" ~dates:"1913-1976" ~nationality:"English";
+    ]
+  in
+  let n_consistent = [ ("Britten", "English"); ("Bach", "German") ] in
+  let hippo bx =
+    match
+      (Bx.Symmetric.hippocratic_fwd_law n_space bx).Bx.Law.check
+        (m2, n_consistent)
+    with
+    | Bx.Law.Holds -> "hippocratic"
+    | Bx.Law.Violated _ -> "NOT hippocratic (reorders)"
+  in
+  Fmt.pr "%-22s %s@." "base fwd" (hippo bx);
+  Fmt.pr "%-22s %s@." "insert-at-beginning" (hippo insert_at_beginning);
+  Fmt.pr "%-22s %s@." "alphabetical-n" (hippo alphabetical_n)
+
+let e4 () =
+  rule "E4: resourceful vs positional alignment (POPL'08 string lens)";
+  let open Bx_catalogue.Composers_string in
+  let src = "Bach, 1685-1750, German\nCage, 1912-1992, American\n" in
+  let view = "Cage, American\nBach, German\n" in
+  Fmt.pr "dictionary put:@.%s" (lens.Bx_strlens.Slens.put view src);
+  Fmt.pr "positional put:@.%s" (positional_lens.Bx_strlens.Slens.put view src);
+  Fmt.pr "(who wins: the dictionary lens keeps dates with their composers.)@."
+
+let e5 () =
+  rule "E5: wiki round trip (section 5.4)";
+  let reg = Bx_catalogue.Catalogue.seed () in
+  let pages = Bx_repo.Registry.export reg in
+  let reg' = Result.get_ok (Bx_repo.Registry.import pages) in
+  Fmt.pr "exported %d pages; re-import preserves %d/%d entries: %b@."
+    (List.length pages)
+    (Bx_repo.Registry.size reg')
+    (Bx_repo.Registry.size reg)
+    (Bx_repo.Registry.ids reg = Bx_repo.Registry.ids reg')
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic data, deterministic by size *)
+
+(* A letters-only token for index i (the string lens's types demand
+   letters). *)
+let token i =
+  let letters = "abcdefghij" in
+  let rec go i acc =
+    let acc = String.make 1 letters.[i mod 10] ^ acc in
+    if i < 10 then acc else go (i / 10) acc
+  in
+  "c" ^ go i ""
+
+let composers_m_of_size k =
+  List.init k (fun i ->
+      Bx_catalogue.Composers.composer ~name:(token i) ~dates:"1900-1999"
+        ~nationality:(token (i mod 7)))
+
+let composers_n_of_size k =
+  (* Half overlapping with the m above, half foreign: both restoration
+     branches stay busy. *)
+  List.init k (fun i ->
+      if i mod 2 = 0 then (token i, token (i mod 7)) else (token (i + 10000), "x"))
+
+let csv_source_of_size k =
+  String.concat ""
+    (List.init k (fun i ->
+         Printf.sprintf "%s, 1900-1999, %s\n" (token i) (token (i mod 7))))
+
+let csv_view_of_size k =
+  (* Reversed order so dictionary alignment really searches. *)
+  String.concat ""
+    (List.init k (fun i ->
+         let i = k - 1 - i in
+         Printf.sprintf "%s, %s\n" (token i) (token (i mod 7))))
+
+let big_registry k =
+  let reg = Bx_repo.Registry.create () in
+  let base = Bx_catalogue.Composers.template in
+  for i = 0 to k - 1 do
+    let t = { base with Bx_repo.Template.title = Printf.sprintf "ENTRY%04d" i } in
+    match
+      Bx_repo.Registry.submit reg ~as_:(Bx_repo.Curation.account "seeder") t
+    with
+    | Ok _ -> ()
+    | Error e -> failwith (Bx_repo.Registry.error_message e)
+  done;
+  reg
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel tests *)
+
+let composers_tests =
+  let sizes = [ 10; 100; 1000 ] in
+  List.concat_map
+    (fun k ->
+      let m = composers_m_of_size k in
+      let n = composers_n_of_size k in
+      [
+        Test.make
+          ~name:(Printf.sprintf "P1 composers fwd n=%d" k)
+          (Staged.stage (fun () -> Bx_catalogue.Composers.bx.Bx.Symmetric.fwd m n));
+        Test.make
+          ~name:(Printf.sprintf "P1 composers bwd n=%d" k)
+          (Staged.stage (fun () -> Bx_catalogue.Composers.bx.Bx.Symmetric.bwd m n));
+      ])
+    sizes
+
+let strlens_tests =
+  let open Bx_catalogue.Composers_string in
+  List.concat_map
+    (fun k ->
+      let src = csv_source_of_size k in
+      let view = csv_view_of_size k in
+      [
+        Test.make
+          ~name:(Printf.sprintf "P2 slens get lines=%d" k)
+          (Staged.stage (fun () -> lens.Bx_strlens.Slens.get src));
+        Test.make
+          ~name:(Printf.sprintf "P2 slens put dict lines=%d" k)
+          (Staged.stage (fun () -> lens.Bx_strlens.Slens.put view src));
+        Test.make
+          ~name:(Printf.sprintf "P2 slens put positional lines=%d" k)
+          (Staged.stage (fun () ->
+               positional_lens.Bx_strlens.Slens.put view src));
+      ])
+    [ 10; 100 ]
+
+let regex_tests =
+  let letters = Bx_regex.Regex.plus (Bx_regex.Regex.cset (Bx_regex.Cset.range 'a' 'z')) in
+  let digits = Bx_regex.Regex.plus (Bx_regex.Regex.cset (Bx_regex.Cset.range '0' '9')) in
+  [
+    Test.make ~name:"P3 ambig-check letters.digits"
+      (Staged.stage (fun () -> Bx_regex.Ambig.unambig_concat letters digits));
+    Test.make ~name:"P3 ambig-check letters.letters (ambiguous)"
+      (Staged.stage (fun () -> Bx_regex.Ambig.unambig_concat letters letters));
+    Test.make ~name:"P3 dfa-build composers line"
+      (Staged.stage (fun () ->
+           Bx_regex.Dfa.build
+             Bx_catalogue.Composers_string.lens.Bx_strlens.Slens.stype));
+    Test.make ~name:"P3 lens construction (all static checks)"
+      (Staged.stage (fun () ->
+           (* Rebuild the full composers string lens, typing checks and
+              all. *)
+           let open Bx_regex in
+           let letter = Cset.union (Cset.range 'A' 'Z') (Cset.range 'a' 'z') in
+           let word = Regex.plus (Regex.cset letter) in
+           let dates =
+             Regex.(concat_list
+                      [ repeat 4 (cset (Cset.range '0' '9')); chr '-';
+                        repeat 4 (cset (Cset.range '0' '9')) ])
+           in
+           let open Bx_strlens in
+           Slens.star_key ~key:Fun.id
+             (Slens.concat_list
+                [
+                  Slens.copy word;
+                  Slens.copy (Regex.str ", ");
+                  Slens.del (Regex.seq dates (Regex.str ", "))
+                    ~default:"0000-0000, ";
+                  Slens.copy word;
+                  Slens.copy (Regex.chr '\n');
+                ])));
+  ]
+
+let alignment_tests =
+  (* Ablation: the three chunk-alignment strategies for the star. *)
+  let open Bx_catalogue.Composers_string in
+  List.concat_map
+    (fun k ->
+      let src = csv_source_of_size k in
+      let view = csv_view_of_size k in
+      [
+        Test.make
+          ~name:(Printf.sprintf "P5 align positional lines=%d" k)
+          (Staged.stage (fun () ->
+               positional_lens.Bx_strlens.Slens.put view src));
+        Test.make
+          ~name:(Printf.sprintf "P5 align greedy-key lines=%d" k)
+          (Staged.stage (fun () -> lens.Bx_strlens.Slens.put view src));
+        Test.make
+          ~name:(Printf.sprintf "P5 align lcs-diff lines=%d" k)
+          (Staged.stage (fun () -> diff_lens.Bx_strlens.Slens.put view src));
+      ])
+    [ 10; 100 ]
+
+let minimise_tests =
+  let line_type = Bx_catalogue.Composers_string.lens.Bx_strlens.Slens.stype in
+  let d = Bx_regex.Dfa.build line_type in
+  [
+    Test.make ~name:"P6 dfa minimise composers line"
+      (Staged.stage (fun () -> Bx_regex.Dfa.minimise d));
+  ]
+
+let scenario_tests =
+  List.concat_map
+    (fun k ->
+      List.map
+        (fun scenario ->
+          Test.make
+            ~name:
+              (Printf.sprintf "P7 f2p %s"
+                 scenario.Bx_catalogue.F2p_scenarios.scenario_name)
+            (Staged.stage (fun () ->
+                 Bx_catalogue.F2p_scenarios.run scenario)))
+        (Bx_catalogue.F2p_scenarios.all k))
+    [ 8; 32 ]
+
+let registry_tests =
+  List.concat_map
+    (fun k ->
+      let reg = big_registry k in
+      let q = Bx_repo.Registry.query ~text:"undoability" () in
+      [
+        Test.make
+          ~name:(Printf.sprintf "P4 registry search entries=%d" k)
+          (Staged.stage (fun () -> Bx_repo.Registry.search reg q));
+        Test.make
+          ~name:(Printf.sprintf "P4 registry export entries=%d" k)
+          (Staged.stage (fun () -> Bx_repo.Registry.export reg));
+      ])
+    [ 10; 50 ]
+  @
+  let entry = Bx_repo.Sync.normalise Bx_catalogue.Composers.template in
+  let page = Bx_repo.Sync.wiki_text entry in
+  [
+    Test.make ~name:"P4 sync render (get)"
+      (Staged.stage (fun () -> Bx_repo.Sync.wiki_text entry));
+    Test.make ~name:"P4 sync parse (put)"
+      (Staged.stage (fun () -> Bx_repo.Sync.of_wiki_text ~fallback:entry page));
+  ]
+
+let store_tests =
+  let reg = Bx_catalogue.Catalogue.seed () in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "bx-bench-store" in
+  [
+    Test.make ~name:"P8 store save (full catalogue)"
+      (Staged.stage (fun () ->
+           match Bx_repo.Store.save ~dir reg with
+           | Ok n -> n
+           | Error e -> failwith e));
+    Test.make ~name:"P8 store load (full catalogue)"
+      (Staged.stage (fun () ->
+           (* save once outside would be racy with the alternating runs;
+              saving is idempotent, so just load what the save bench
+              leaves behind (it runs in the same process). *)
+           match Bx_repo.Store.load ~dir with
+           | Ok reg -> Bx_repo.Registry.size reg
+           | Error e -> failwith e));
+  ]
+
+let generic_scenario_tests =
+  (* The generic runner driving COMPOSERS: churn on the entry list. *)
+  let m0 =
+    List.init 16 (fun i ->
+        Bx_catalogue.Composers.composer
+          ~name:(token i) ~dates:"1900-1999" ~nationality:(token (i mod 5)))
+  in
+  let steps =
+    List.concat
+      (List.init 8 (fun i ->
+           [
+             Bx.Scenario.Edit_right
+               ( Printf.sprintf "drop-%d" i,
+                 fun n -> List.filteri (fun j _ -> j <> 0) n );
+             Bx.Scenario.Edit_left
+               ( Printf.sprintf "add-%d" i,
+                 fun m ->
+                   Bx_catalogue.Composers.canon_m
+                     (Bx_catalogue.Composers.composer
+                        ~name:(token (100 + i)) ~dates:"1800-1899"
+                        ~nationality:"x"
+                     :: m) );
+           ]))
+  in
+  let scenario =
+    Bx.Scenario.make ~name:"composers-churn" ~initial_left:m0 ~initial_right:[]
+      steps
+  in
+  [
+    Test.make ~name:"P7 composers-churn scenario (generic runner)"
+      (Staged.stage (fun () -> Bx.Scenario.run Bx_catalogue.Composers.bx scenario));
+  ]
+
+let tree_edit_tests =
+  let rec synthetic depth width i =
+    if depth = 0 then Bx_models.Tree.leaf (token i)
+    else
+      Bx_models.Tree.node (token i)
+        (List.init width (fun j -> synthetic (depth - 1) width ((i * width) + j)))
+  in
+  let t1 = synthetic 3 4 1 in
+  (* A perturbed copy: relabel one leaf, drop one subtree. *)
+  let t2 =
+    match
+      Bx_models.Tree_edit.apply
+        Bx_models.Tree_edit.
+          [ Relabel ([ 0; 0; 0 ], "changed"); Delete_child ([ 2 ], 1) ]
+        t1
+    with
+    | Some t -> t
+    | None -> failwith "perturbation failed"
+  in
+  let edit = Bx_models.Tree_edit.diff ~equal:String.equal t1 t2 in
+  [
+    Test.make ~name:"P9 tree diff (85-node trees)"
+      (Staged.stage (fun () ->
+           Bx_models.Tree_edit.diff ~equal:String.equal t1 t2));
+    Test.make ~name:"P9 tree edit apply"
+      (Staged.stage (fun () -> Bx_models.Tree_edit.apply edit t1));
+  ]
+
+let web_tests =
+  let reg = Bx_catalogue.Catalogue.seed () in
+  let entry = Bx_repo.Sync.normalise Bx_catalogue.Composers.template in
+  let json = Bx_repo.Json_codec.to_string entry in
+  [
+    Test.make ~name:"P10 webui GET entry page"
+      (Staged.stage (fun () ->
+           Bx_repo.Webui.handle reg ~meth:"GET" ~path:"/examples:composers"
+             ~body:""));
+    Test.make ~name:"P10 webui GET index"
+      (Staged.stage (fun () ->
+           Bx_repo.Webui.handle reg ~meth:"GET" ~path:"/" ~body:""));
+    Test.make ~name:"P10 json encode"
+      (Staged.stage (fun () -> Bx_repo.Json_codec.to_string entry));
+    Test.make ~name:"P10 json decode"
+      (Staged.stage (fun () -> Bx_repo.Json_codec.of_string json));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Harness *)
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"bx" ~fmt:"%s %s" tests)
+  in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let print_results results =
+  let table = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) table [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  Fmt.pr "@.%-50s %15s@." "benchmark" "time/run";
+  Fmt.pr "%s@." (String.make 66 '-');
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+          let value, unit =
+            if est >= 1e6 then (est /. 1e6, "ms")
+            else if est >= 1e3 then (est /. 1e3, "us")
+            else (est, "ns")
+          in
+          Fmt.pr "%-50s %12.2f %s@." name value unit
+      | _ -> Fmt.pr "%-50s %15s@." name "n/a")
+    rows
+
+let e6 () =
+  rule "E6: BenchmarX-style scenarios stay consistent at every step";
+  List.iter
+    (fun scenario ->
+      let out = Bx_catalogue.F2p_scenarios.run scenario in
+      Fmt.pr "%-26s restorations=%2d consistent-throughout=%b@."
+        scenario.Bx_catalogue.F2p_scenarios.scenario_name
+        out.Bx_catalogue.F2p_scenarios.restorations
+        out.Bx_catalogue.F2p_scenarios.consistent_after_every_step)
+    (Bx_catalogue.F2p_scenarios.all 8)
+
+let () =
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  rule "P1-P4: performance series (Bechamel, OLS estimate per run)";
+  let tests =
+    composers_tests @ strlens_tests @ regex_tests @ registry_tests
+    @ alignment_tests @ minimise_tests @ scenario_tests @ store_tests
+    @ generic_scenario_tests @ tree_edit_tests @ web_tests
+  in
+  print_results (benchmark tests)

@@ -1,0 +1,1 @@
+examples/composers_demo.ml: Bx Bx_catalogue Bx_check Fmt List

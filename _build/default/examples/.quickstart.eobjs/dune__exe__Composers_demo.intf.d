@@ -1,0 +1,1 @@
+examples/composers_demo.mli:

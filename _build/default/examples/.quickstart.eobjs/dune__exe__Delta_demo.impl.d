@@ -1,0 +1,1 @@
+examples/delta_demo.ml: Bx Bx_catalogue Bx_check Bx_models Dump Fmt List String

@@ -1,0 +1,1 @@
+examples/delta_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bx Dump Fmt Fun

@@ -1,0 +1,1 @@
+examples/repository_tour.ml: Bx Bx_catalogue Bx_check Bx_repo Curation Fmt Identifier List Markup Registry Result String Sync Template Version

@@ -1,0 +1,1 @@
+examples/repository_tour.mli:

@@ -1,0 +1,1 @@
+examples/string_lens_demo.ml: Bx Bx_catalogue Bx_regex Bx_strlens Fmt Slens

@@ -1,0 +1,1 @@
+examples/string_lens_demo.mli:

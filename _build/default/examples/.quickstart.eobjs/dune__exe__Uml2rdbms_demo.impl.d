@@ -1,0 +1,1 @@
+examples/uml2rdbms_demo.ml: Bx Bx_catalogue Bx_check Bx_models Fmt Relational Uml

@@ -1,0 +1,1 @@
+examples/uml2rdbms_demo.mli:

@@ -1,0 +1,1 @@
+examples/view_update_demo.ml: Bx Bx_catalogue Bx_check Bx_models Fmt List Relalg Relational

@@ -1,0 +1,101 @@
+(* A tour of the repository infrastructure (experiments E5 and E6): the
+   curation workflow of section 5.1, stable citations of section 5.2, and
+   the wiki round trip of section 5.4. *)
+
+open Bx_repo
+
+let header fmt = Fmt.pr ("@.== " ^^ fmt ^^ " ==@.")
+
+let or_die = function
+  | Ok x -> x
+  | Error e -> failwith (Registry.error_message e)
+
+let () =
+  header "seed the registry with the catalogue";
+  let reg = Bx_catalogue.Catalogue.seed () in
+  Fmt.pr "%d entries, all provisional (version 0.x), as in the paper.@."
+    (Registry.size reg);
+
+  let composers = Result.get_ok (Identifier.of_title "COMPOSERS") in
+
+  header "E6: the three-level curation workflow";
+  let member = Curation.account "A Wiki Member" in
+  let reviewer = Curation.account ~role:Curation.Reviewer "Jeremy Gibbons" in
+  let curator = Curation.account ~role:Curation.Curator "James Cheney" in
+  or_die (Registry.comment reg ~as_:member composers
+            ~text:"Could the Variants section mention dates formats?");
+  Fmt.pr "member commented.@.";
+  (match Registry.endorse reg ~as_:member composers with
+  | Error (Registry.Permission_denied msg) ->
+      Fmt.pr "member tried to endorse: denied (%s).@." msg
+  | _ -> assert false);
+  or_die (Registry.endorse reg ~as_:reviewer composers);
+  Fmt.pr "reviewer endorsed.@.";
+  let v = or_die (Registry.approve reg ~as_:curator composers) in
+  Fmt.pr "curator approved: version is now %s.@." (Version.to_string v);
+  Fmt.pr "old versions remain: %s@."
+    (String.concat ", "
+       (List.map Version.to_string (or_die (Registry.versions reg composers))));
+
+  header "E6: stable citations, pinned by version";
+  Fmt.pr "%s@." (or_die (Registry.cite reg composers));
+  Fmt.pr "%s@."
+    (or_die (Registry.cite reg ~version:Version.initial composers));
+
+  header "search";
+  Fmt.pr "not undoable: %s@."
+    (String.concat ", "
+       (List.map Identifier.to_string
+          (Registry.search reg
+             (Registry.query
+                ~property:(Bx.Properties.Violates Bx.Properties.Undoable)
+                ()))));
+  Fmt.pr "benchmarks:   %s@."
+    (String.concat ", "
+       (List.map Identifier.to_string
+          (Registry.search reg (Registry.query ~cls:Template.Benchmark ()))));
+
+  header "E5: the wiki page is a lens view of the entry";
+  let lens = Sync.lens () in
+  let entry = Sync.normalise (or_die (Registry.latest reg composers)) in
+  let page = lens.Bx.Lens.get entry in
+  Fmt.pr "rendered page: %d blocks, starts with:@.%s@."
+    (List.length page)
+    (String.concat "\n"
+       (List.filteri (fun i _ -> i < 4)
+          (String.split_on_char '\n' (Markup.render page))));
+
+  (* Edit the page as a wiki member would: change the overview text. *)
+  let edited_page =
+    let rec edit = function
+      | Markup.Heading (2, "Overview") :: Markup.Para _ :: rest ->
+          Markup.Heading (2, "Overview")
+          :: Markup.Para
+               [ Markup.Text "Two representations of composers, edited on the wiki." ]
+          :: rest
+      | b :: rest -> b :: edit rest
+      | [] -> []
+    in
+    edit page
+  in
+  let entry' = lens.Bx.Lens.put edited_page entry in
+  Fmt.pr "@.after a wiki edit, the structured entry's overview reads:@.  %S@."
+    entry'.Template.overview;
+  Fmt.pr "everything else untouched: %b@."
+    (entry'.Template.consistency = entry.Template.consistency
+    && entry'.Template.discussion = entry.Template.discussion);
+
+  header "E5: export / import round trip (the local backup of section 5.4)";
+  let pages = Registry.export reg in
+  let reg' = Result.get_ok (Registry.import pages) in
+  Fmt.pr "exported %d pages; re-imported registry has %d entries with %s@."
+    (List.length pages) (Registry.size reg')
+    (String.concat ", "
+       (List.map Version.to_string (or_die (Registry.versions reg' composers))));
+
+  header "the machine half of reviewing: check before endorsing";
+  match Bx_check.Examples_check.report_for ~count:100 "BOOKSTORE" with
+  | Ok rows ->
+      Fmt.pr "BOOKSTORE:@.%a@." Bx_check.Verify.pp_report rows;
+      Fmt.pr "all claims upheld: %b@." (Bx_check.Verify.all_upheld rows)
+  | Error e -> failwith e

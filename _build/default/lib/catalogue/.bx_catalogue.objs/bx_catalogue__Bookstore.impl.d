@@ -1,0 +1,1 @@
+lib/catalogue/bookstore.ml: Array Bx Bx_models Bx_repo Contributor Fmt List Option Reference String Template Tree

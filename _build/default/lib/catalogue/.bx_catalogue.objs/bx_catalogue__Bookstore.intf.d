@@ -1,0 +1,1 @@
+lib/catalogue/bookstore.mli: Bx Bx_models Bx_repo

@@ -1,0 +1,1 @@
+lib/catalogue/bookstore_edit.ml: Bookstore Bx Bx_models Bx_repo Contributor List Option Reference String Template Tree Tree_edit

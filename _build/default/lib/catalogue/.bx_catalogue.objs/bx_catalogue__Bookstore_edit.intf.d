@@ -1,0 +1,1 @@
+lib/catalogue/bookstore_edit.mli: Bx Bx_models Bx_repo

@@ -1,0 +1,1 @@
+lib/catalogue/catalogue.mli: Bx_repo

@@ -1,0 +1,1 @@
+lib/catalogue/celsius.ml: Bx Bx_models Bx_repo Contributor Rational Template

@@ -1,0 +1,1 @@
+lib/catalogue/celsius.mli: Bx Bx_models Bx_repo

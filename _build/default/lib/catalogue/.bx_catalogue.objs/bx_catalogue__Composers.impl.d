@@ -1,0 +1,1 @@
+lib/catalogue/composers.ml: Bx Bx_repo Fmt List Reference Template

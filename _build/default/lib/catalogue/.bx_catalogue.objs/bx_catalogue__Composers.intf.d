@@ -1,0 +1,1 @@
+lib/catalogue/composers.mli: Bx Bx_repo

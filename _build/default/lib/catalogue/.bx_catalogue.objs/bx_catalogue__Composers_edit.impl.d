@@ -1,0 +1,1 @@
+lib/catalogue/composers_edit.ml: Bx Bx_repo Composers Contributor List Option Reference Template

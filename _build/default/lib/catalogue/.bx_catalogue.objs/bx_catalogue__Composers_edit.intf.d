@@ -1,0 +1,1 @@
+lib/catalogue/composers_edit.mli: Bx Bx_repo Composers

@@ -1,0 +1,1 @@
+lib/catalogue/composers_string.ml: Bx Bx_regex Bx_repo Bx_strlens Composers Contributor Cset Fun List Printf Reference Regex Slens String Template

@@ -1,0 +1,1 @@
+lib/catalogue/composers_string.mli: Bx_repo Bx_strlens Composers

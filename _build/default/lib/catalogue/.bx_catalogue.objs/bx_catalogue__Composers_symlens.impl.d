@@ -1,0 +1,1 @@
+lib/catalogue/composers_symlens.ml: Bx Bx_repo Composers Contributor List Option Reference Template

@@ -1,0 +1,1 @@
+lib/catalogue/composers_symlens.mli: Bx Bx_repo Composers

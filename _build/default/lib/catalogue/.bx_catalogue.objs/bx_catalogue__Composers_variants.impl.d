@@ -1,0 +1,1 @@
+lib/catalogue/composers_variants.ml: Bx Composers List Printf

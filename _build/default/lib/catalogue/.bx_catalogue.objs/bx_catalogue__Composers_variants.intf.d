@@ -1,0 +1,1 @@
+lib/catalogue/composers_variants.mli: Bx Composers

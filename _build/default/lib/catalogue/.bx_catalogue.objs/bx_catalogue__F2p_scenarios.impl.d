@@ -1,0 +1,1 @@
+lib/catalogue/f2p_scenarios.ml: Array Bx Bx_models Families2persons Fun List Printf

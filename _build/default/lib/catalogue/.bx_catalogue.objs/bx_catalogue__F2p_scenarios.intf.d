@@ -1,0 +1,1 @@
+lib/catalogue/f2p_scenarios.mli: Bx_models Families2persons

@@ -1,0 +1,1 @@
+lib/catalogue/families2persons.ml: Bx Bx_models Bx_repo Contributor Genealogy Hashtbl List Option Reference Template

@@ -1,0 +1,1 @@
+lib/catalogue/families2persons.mli: Bx Bx_models Bx_repo

@@ -1,0 +1,1 @@
+lib/catalogue/formatter.ml: Bx Bx_regex Bx_repo Bx_strlens Canonizer Contributor Cset List Reference Regex Slens String Template

@@ -1,0 +1,1 @@
+lib/catalogue/formatter.mli: Bx_regex Bx_repo Bx_strlens

@@ -1,0 +1,1 @@
+lib/catalogue/lines.ml: Bx Bx_repo Contributor Fmt List String Template

@@ -1,0 +1,1 @@
+lib/catalogue/lines.mli: Bx Bx_repo

@@ -1,0 +1,1 @@
+lib/catalogue/migration_industrial.ml: Bx Bx_repo Contributor Template

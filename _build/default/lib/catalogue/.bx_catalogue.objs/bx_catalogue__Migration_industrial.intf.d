@@ -1,0 +1,1 @@
+lib/catalogue/migration_industrial.mli: Bx_repo

@@ -1,0 +1,1 @@
+lib/catalogue/people.ml: Bx Bx_repo Contributor Fmt Template

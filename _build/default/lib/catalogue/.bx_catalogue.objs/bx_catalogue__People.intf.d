@@ -1,0 +1,1 @@
+lib/catalogue/people.mli: Bx Bx_repo

@@ -1,0 +1,1 @@
+lib/catalogue/replicas.ml: Bx Bx_repo Contributor Fmt Reference String Template

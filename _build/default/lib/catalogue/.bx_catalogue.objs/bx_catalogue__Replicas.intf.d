@@ -1,0 +1,1 @@
+lib/catalogue/replicas.mli: Bx Bx_repo

@@ -1,0 +1,1 @@
+lib/catalogue/spreadsheet_sketch.ml: Bx_repo Contributor Template

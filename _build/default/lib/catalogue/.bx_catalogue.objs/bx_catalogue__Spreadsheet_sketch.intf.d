@@ -1,0 +1,1 @@
+lib/catalogue/spreadsheet_sketch.mli: Bx_repo

@@ -1,0 +1,1 @@
+lib/catalogue/uml2rdbms.ml: Bx Bx_models Bx_repo Contributor List Reference Relational Template Uml

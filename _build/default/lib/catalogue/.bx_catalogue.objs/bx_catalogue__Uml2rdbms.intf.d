@@ -1,0 +1,1 @@
+lib/catalogue/uml2rdbms.mli: Bx Bx_models Bx_repo

@@ -1,0 +1,1 @@
+lib/catalogue/view_update.ml: Bx Bx_models Bx_repo Contributor Fmt Reference Relalg Relational Template

@@ -1,0 +1,1 @@
+lib/catalogue/view_update.mli: Bx Bx_models Bx_repo

@@ -1,0 +1,1 @@
+lib/catalogue/wiki_sync_example.ml: Bx Bx_repo Contributor Reference Template

@@ -1,0 +1,1 @@
+lib/catalogue/wiki_sync_example.mli: Bx Bx_repo

@@ -1,0 +1,144 @@
+open Bx_models
+
+type book = { title : string; author : string; price : int }
+
+let book_node b =
+  Tree.node "book"
+    [
+      Tree.leaf ("title=" ^ b.title);
+      Tree.leaf ("author=" ^ b.author);
+      Tree.leaf ("price=" ^ string_of_int b.price);
+    ]
+
+let store_of_books books = Tree.node "store" (List.map book_node books)
+
+let field prefix t =
+  List.find_map
+    (fun (c : string Tree.t) ->
+      let l = c.Tree.label in
+      let plen = String.length prefix in
+      if String.length l > plen && String.sub l 0 plen = prefix then
+        Some (String.sub l plen (String.length l - plen))
+      else None)
+    t.Tree.children
+
+let book_of_node t =
+  match (field "title=" t, field "author=" t, field "price=" t) with
+  | Some title, Some author, Some price_s ->
+      Option.map (fun price -> { title; author; price })
+        (int_of_string_opt price_s)
+  | _ -> None
+
+let books_of_store store =
+  List.filter_map
+    (fun (c : string Tree.t) ->
+      if String.equal c.Tree.label "book" then book_of_node c else None)
+    store.Tree.children
+
+let get store = List.map (fun b -> (b.title, b.price)) (books_of_store store)
+
+let put view store =
+  let olds = books_of_store store in
+  let consumed = Array.make (List.length olds) false in
+  let old_arr = Array.of_list olds in
+  let author_for title =
+    let rec scan i =
+      if i >= Array.length old_arr then "unknown"
+      else if (not consumed.(i)) && old_arr.(i).title = title then begin
+        consumed.(i) <- true;
+        old_arr.(i).author
+      end
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  store_of_books
+    (List.map
+       (fun (title, price) -> { title; author = author_for title; price })
+       view)
+
+let create view =
+  store_of_books
+    (List.map (fun (title, price) -> { title; author = "unknown"; price }) view)
+
+let lens = Bx.Lens.make ~name:"BOOKSTORE" ~get ~put ~create
+
+let store_space =
+  Bx.Model.make ~name:"store"
+    ~equal:(Tree.equal String.equal)
+    ~pp:(Tree.pp Fmt.string)
+
+let view_space =
+  Bx.Model.make ~name:"price-list"
+    ~equal:(fun a b -> a = b)
+    ~pp:
+      (Fmt.brackets
+         (Fmt.list ~sep:Fmt.semi
+            (Fmt.pair ~sep:(Fmt.any ": ") Fmt.string Fmt.int)))
+
+let template =
+  let open Bx_repo in
+  Template.make ~title:"BOOKSTORE"
+    ~classes:[ Template.Precise ]
+    ~overview:
+      "A tree lens: an XML-ish bookstore of (title, author, price) \
+       records viewed as a flat (title, price) list. Authors are hidden \
+       data that follow their book by title alignment."
+    ~models:
+      [
+        Template.model_desc ~name:"Store"
+          "A tree: a store node whose book children carry title, author \
+           and price leaves.";
+        Template.model_desc ~name:"PriceList"
+          "An ordered list of (title, price) pairs.";
+      ]
+    ~consistency:
+      "The price list equals the store's books projected to (title, \
+       price), in order."
+    ~restoration:
+      {
+        Template.rest_forward = "get: project each book to (title, price).";
+        Template.rest_backward =
+          "put: rebuild the store from the list; a book keeps the author \
+           of the first unconsumed old book with the same title; new \
+           titles get the author 'unknown'.";
+      }
+    ~properties:
+      Bx.Properties.
+        [
+          Satisfies Correct;
+          Satisfies Hippocratic;
+          Satisfies Well_behaved;
+          Violates Very_well_behaved;
+        ]
+    ~variants:
+      [
+        Template.variant ~name:"key-on-title-and-price"
+          "Align by (title, price) instead of title alone: renaming \
+           semantics change when duplicate titles exist.";
+      ]
+    ~discussion:
+      "The shape Foster et al. use to motivate tree lens combinators; \
+       PutPut fails because dropping a title and re-adding it within two \
+       separate puts loses the author."
+    ~references:
+      [
+        Reference.make
+          ~authors:
+            [
+              "J. Nathan Foster"; "Michael B. Greenwald";
+              "Jonathan T. Moore"; "Benjamin C. Pierce"; "Alan Schmitt";
+            ]
+          ~title:
+            "Combinators for bidirectional tree transformations: A \
+             linguistic approach to the view-update problem"
+          ~venue:"TOPLAS 29(3)" ~year:2007 ~doi:"10.1145/1232420.1232424" ();
+      ]
+    ~authors:
+      [ Contributor.make ~affiliation:"University of Oxford" "Jeremy Gibbons" ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"ocaml-implementation" ~kind:Template.Code
+          "lib/catalogue/bookstore.ml";
+      ]
+    ()

@@ -1,0 +1,29 @@
+(** BOOKSTORE — a tree lens in the tradition of Foster et al.'s
+    "Combinators for bidirectional tree transformations": an XML-ish store
+    of books (title, author, price) viewed as a flat price list (title,
+    price).  Authors are the hidden data; [put] aligns books by title so
+    an author follows its book when the view is reordered. *)
+
+type book = { title : string; author : string; price : int }
+
+val store_of_books : book list -> string Bx_models.Tree.t
+(** Encode as a tree: a ["store"] node whose children are ["book"] nodes
+    with ["title="], ["author="] and ["price="] leaf children. *)
+
+val books_of_store : string Bx_models.Tree.t -> book list
+(** Decode; unlabelled or malformed children are ignored. *)
+
+val book_of_node : string Bx_models.Tree.t -> book option
+(** Decode one ["book"] node; [None] when a field is missing or the
+    price is not an integer. *)
+
+val lens : (string Bx_models.Tree.t, (string * int) list) Bx.Lens.t
+(** get: the (title, price) list in store order.  put: books keep their
+    authors by title alignment; new titles get author ["unknown"].
+    Well-behaved but not very well-behaved (PutPut fails when a title is
+    dropped and re-added). *)
+
+val store_space : string Bx_models.Tree.t Bx.Model.t
+val view_space : (string * int) list Bx.Model.t
+
+val template : Bx_repo.Template.t

@@ -1,0 +1,38 @@
+(** BOOKSTORE-EDIT — the delta-based bookstore: price-list edits against
+    tree edits on the store, as a symmetric edit lens whose complement is
+    the current store tree.
+
+    The payoff over the state-based BOOKSTORE lens: an [Update_at] on the
+    view translates to {e relabels of exactly the changed leaves}, so an
+    edit to one book's price touches one tree node — no realignment, no
+    risk to any other book's author.
+
+    Domain: stores whose root children are all well-formed book nodes
+    (title/author/price leaves in that order), and tree edits that
+    preserve that shape; out-of-shape edits translate to the empty edit
+    and are reported through the edit module's partiality. *)
+
+type store = string Bx_models.Tree.t
+type view_edit = (string * int) Bx.Elens.list_edit
+type store_edit = string Bx_models.Tree_edit.edit
+
+val well_formed : store -> bool
+(** Every root child parses as a book node. *)
+
+val view_of_store : store -> (string * int) list
+(** The price list a store denotes (the consistency relation's right
+    side). *)
+
+val view_module : (view_edit, (string * int) list) Bx.Elens.edit_module
+val store_module : (store_edit, store) Bx.Elens.edit_module
+
+val lens : (store, view_edit, store_edit) Bx.Elens.t
+(** [fwd] translates view edits to tree edits (insert/delete whole book
+    subtrees; updates become leaf relabels); [bwd] translates tree edits
+    back (author relabels are silent — they are the hidden data).  The
+    complement is the current store. *)
+
+val initial : store
+(** An empty store. *)
+
+val template : Bx_repo.Template.t

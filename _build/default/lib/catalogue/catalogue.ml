@@ -1,0 +1,45 @@
+let all () =
+  [
+    Composers.template;
+    Composers_string.template;
+    Composers_edit.template;
+    Composers_symlens.template;
+    Uml2rdbms.template;
+    Families2persons.template;
+    Bookstore.template;
+    Bookstore_edit.template;
+    View_update.template;
+    Replicas.template;
+    People.template;
+    Lines.template;
+    Celsius.template;
+    Formatter.template;
+    Wiki_sync_example.template;
+    Migration_industrial.template;
+    Spreadsheet_sketch.template;
+  ]
+
+let find title =
+  let t = String.uppercase_ascii (String.trim title) in
+  List.find_opt
+    (fun tmpl -> String.uppercase_ascii tmpl.Bx_repo.Template.title = t)
+    (all ())
+
+let seed () =
+  let registry = Bx_repo.Registry.create () in
+  List.iter
+    (fun template ->
+      let submitter =
+        match template.Bx_repo.Template.authors with
+        | author :: _ ->
+            Bx_repo.Curation.account author.Bx_repo.Contributor.person_name
+        | [] -> Bx_repo.Curation.account "anonymous"
+      in
+      match Bx_repo.Registry.submit registry ~as_:submitter template with
+      | Ok _ -> ()
+      | Error e ->
+          failwith
+            (Printf.sprintf "seeding %s: %s" template.Bx_repo.Template.title
+               (Bx_repo.Registry.error_message e)))
+    (all ());
+  registry

@@ -1,0 +1,17 @@
+(** The seed catalogue: every entry shipped with the repository, and the
+    seeding routine that populates a registry with them.
+
+    Mirroring the paper, all seeded entries are provisional (version 0.1,
+    "Reviewers: none yet"); the curation workflow that promotes them is
+    exercised separately by the test suite and the examples. *)
+
+val all : unit -> Bx_repo.Template.t list
+(** Every catalogue template, in presentation order (COMPOSERS first). *)
+
+val find : string -> Bx_repo.Template.t option
+(** Look up a catalogue template by title (case-insensitive). *)
+
+val seed : unit -> Bx_repo.Registry.t
+(** A registry populated with the full catalogue, submitted by each
+    entry's first author.  Raises [Failure] if any entry fails template
+    validation — the test suite relies on this never happening. *)

@@ -1,0 +1,65 @@
+open Bx_models
+
+let nine_fifths = Rational.make 9 5
+let thirty_two = Rational.of_int 32
+
+let to_fahrenheit c = Rational.add (Rational.mul c nine_fifths) thirty_two
+let to_celsius f = Rational.div (Rational.sub f thirty_two) nine_fifths
+
+let iso = Bx.Iso.make ~name:"CELSIUS" ~fwd:to_fahrenheit ~bwd:to_celsius
+let bx = Bx.Symmetric.of_iso iso ~equal_b:Rational.equal
+
+let space name =
+  Bx.Model.make ~name ~equal:Rational.equal ~pp:Rational.pp
+
+let celsius_space = space "celsius"
+let fahrenheit_space = space "fahrenheit"
+
+let template =
+  let open Bx_repo in
+  Template.make ~title:"CELSIUS"
+    ~classes:[ Template.Precise ]
+    ~overview:
+      "Celsius and Fahrenheit temperatures kept consistent by the affine \
+       conversion f = 9c/5 + 32 — the canonical bijective bx, computed \
+       over exact rationals."
+    ~models:
+      [
+        Template.model_desc ~name:"Celsius" "A rational temperature in degrees Celsius.";
+        Template.model_desc ~name:"Fahrenheit" "A rational temperature in degrees Fahrenheit.";
+      ]
+    ~consistency:"f = 9c/5 + 32."
+    ~restoration:
+      {
+        Template.rest_forward = "Apply the conversion.";
+        Template.rest_backward = "Apply the inverse conversion.";
+      }
+    ~properties:
+      Bx.Properties.
+        [
+          Satisfies Bijective;
+          Satisfies Correct;
+          Satisfies Hippocratic;
+          Satisfies Undoable;
+          Satisfies History_ignorant;
+          Satisfies Oblivious;
+        ]
+    ~variants:
+      [
+        Template.variant ~name:"floating-point"
+          "Compute over IEEE floats: round-tripping then fails on values \
+           like 0.1, a reminder that bx laws are sensitive to the carrier \
+           set's arithmetic.";
+      ]
+    ~discussion:
+      "Included as the repository's minimal PRECISE entry and as a \
+       glossary anchor for the bijective, oblivious end of the property \
+       spectrum."
+    ~authors:
+      [ Contributor.make ~affiliation:"University of Oxford" "Jeremy Gibbons" ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"ocaml-implementation" ~kind:Template.Code
+          "lib/catalogue/celsius.ml";
+      ]
+    ()

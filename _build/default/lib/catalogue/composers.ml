@@ -1,0 +1,207 @@
+type composer = { name : string; dates : string; nationality : string }
+type m = composer list
+type n = (string * string) list
+
+let composer ~name ~dates ~nationality = { name; dates; nationality }
+let unknown_dates = "????-????"
+let pair_of c = (c.name, c.nationality)
+let canon_m m = List.sort_uniq compare m
+let equal_m m1 m2 = canon_m m1 = canon_m m2
+
+let pp_composer ppf c =
+  Fmt.pf ppf "%s, %s, %s" c.name c.dates c.nationality
+
+let m_space =
+  Bx.Model.make ~name:"M" ~equal:equal_m
+    ~pp:(Fmt.brackets (Fmt.list ~sep:Fmt.semi pp_composer))
+
+let n_space =
+  Bx.Model.make ~name:"N"
+    ~equal:(fun a b -> a = b)
+    ~pp:
+      (Fmt.brackets
+         (Fmt.list ~sep:Fmt.semi
+            (Fmt.pair ~sep:(Fmt.any ", ") Fmt.string Fmt.string)))
+
+(* Consistency (section 4): (i) every composer in m has an entry in n with
+   the same name and nationality; (ii) every entry in n has such a
+   composer in m. *)
+let consistent m n =
+  let pairs_m = List.map pair_of m in
+  List.for_all (fun c -> List.mem (pair_of c) n) m
+  && List.for_all (fun p -> List.mem p pairs_m) n
+
+(* Forward restoration: delete entries of n with no matching composer;
+   append missing pairs at the end in alphabetical order (by name, then
+   nationality), without duplicates. *)
+let fwd m n =
+  let pairs_m = List.sort_uniq compare (List.map pair_of m) in
+  let kept = List.filter (fun p -> List.mem p pairs_m) n in
+  let missing = List.filter (fun p -> not (List.mem p kept)) pairs_m in
+  kept @ missing
+
+(* Backward restoration: delete composers with no matching entry; add a
+   composer with unknown dates for each pair not derivable from the kept
+   composers. *)
+let bwd m n =
+  let kept = List.filter (fun c -> List.mem (pair_of c) n) m in
+  let derivable = List.map pair_of kept in
+  let missing =
+    List.sort_uniq compare
+      (List.filter (fun p -> not (List.mem p derivable)) n)
+  in
+  canon_m
+    (kept
+    @ List.map
+        (fun (name, nationality) ->
+          { name; dates = unknown_dates; nationality })
+        missing)
+
+let bx = Bx.Symmetric.make ~name:"COMPOSERS" ~consistent ~fwd ~bwd
+
+let template =
+  let open Bx_repo in
+  Template.make ~title:"COMPOSERS"
+    ~classes:[ Template.Precise ]
+    ~overview:
+      "This example stands for many cases where two slightly, but \
+       significantly, different representations of the same real world \
+       data are needed. The definition of consistency is easy, but there \
+       is a choice of ways to restore consistency."
+    ~models:
+      [
+        Template.model_desc ~name:"M"
+          "A model m comprises a set of (unrelated) objects of class \
+           Composer, representing musical composers, each with a name, \
+           dates and nationality.";
+        Template.model_desc ~name:"N"
+          "A model n is an ordered list of pairs, each comprising a name \
+           and a nationality.";
+      ]
+    ~consistency:
+      "Models m and n are consistent if they embody the same set of \
+       (name, nationality) pairs: (i) for every composer in m there is at \
+       least one entry in n with the same name and nationality; and (ii) \
+       for every entry in n there is at least one element of m with the \
+       same name and nationality (there may be many such, each with \
+       distinct dates)."
+    ~restoration:
+      {
+        Template.rest_forward =
+          "Produce a modified version of n by deleting from n any entry \
+           for which there is no element of m with the same name and \
+           nationality, and adding at the end of n an entry comprising \
+           each (name, nationality) pair derivable from an element of m \
+           but not already occurring in n. Such additional entries should \
+           be in alphabetical order by name, and within name, by \
+           nationality; no duplicates should be added.";
+        Template.rest_backward =
+          "Produce a modified version of m by deleting from m any \
+           composer for which there is no entry in n with the same name \
+           and nationality, and adding to m a new composer for each \
+           (name, nationality) pair that occurs in n but is not derivable \
+           from an element already occurring in m. The dates of any newly \
+           added composer should be ????-????.";
+      }
+    ~properties:
+      Bx.Properties.
+        [
+          Satisfies Correct;
+          Satisfies Hippocratic;
+          Violates Undoable;
+          Satisfies Simply_matching;
+        ]
+    ~variants:
+      [
+        Template.variant ~name:"name-as-key"
+          "Do we ever modify the name and/or nationality of an existing \
+           composer, or do we create a new composer in the event of any \
+           mismatch? If name is a key in the models then there is no \
+           choice: see the name-key variant, which updates nationality in \
+           place.";
+        Template.variant ~name:"insertion-position"
+          "Where in the list n is a new composer added? Choices include \
+           at the beginning or at the end; an alphabetically determined \
+           position would force reordering of user-added composers and \
+           lose hippocraticness.";
+        Template.variant ~name:"fresh-dates"
+          "What dates are used for a newly added composer in m? The base \
+           example uses ????-????; any fixed token works.";
+      ]
+    ~discussion:
+      "This has been used as an example of why undoability is too strong. \
+       Consider a composer currently present (just once) in both of a \
+       consistent pair of models. If we delete it from n, and enforce \
+       consistency on m, the representation of the composer in m, \
+       including this composer's dates, is lost. If we now restore it to \
+       n and re-enforce consistency on m, then the absence of any extra \
+       information besides the models means that the dates cannot be \
+       restored, so m cannot return to exactly its original state."
+    ~references:
+      [
+        Reference.make ~authors:[ "Perdita Stevens" ]
+          ~title:"A Landscape of Bidirectional Model Transformations"
+          ~venue:"GTTSE, Springer LNCS 5235" ~year:2008
+          ~doi:"10.1007/978-3-540-88643-3_9" ();
+        Reference.make
+          ~authors:
+            [
+              "Aaron Bohannon"; "J. Nathan Foster"; "Benjamin C. Pierce";
+              "Alexandre Pilkiewicz"; "Alan Schmitt";
+            ]
+          ~title:"Boomerang: Resourceful Lenses for String Data"
+          ~venue:"POPL" ~year:2008 ~doi:"10.1145/1328438.1328487" ();
+      ]
+    ~authors:
+      [
+        Bx_repo.Contributor.make ~affiliation:"University of Edinburgh"
+          "Perdita Stevens";
+        Bx_repo.Contributor.make ~affiliation:"University of Edinburgh"
+          "James McKinna";
+        Bx_repo.Contributor.make ~affiliation:"University of Edinburgh"
+          "James Cheney";
+      ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"ocaml-implementation" ~kind:Template.Code
+          "lib/catalogue/composers.ml";
+      ]
+    ()
+
+type undo_trace = {
+  initial_m : m;
+  initial_n : n;
+  n_after_delete : n;
+  m_after_first_bwd : m;
+  n_after_restore : n;
+  m_after_second_bwd : m;
+  dates_lost : bool;
+}
+
+let undoability_counterexample () =
+  let britten =
+    { name = "Britten"; dates = "1913-1976"; nationality = "English" }
+  in
+  let tippett =
+    { name = "Tippett"; dates = "1905-1998"; nationality = "English" }
+  in
+  let initial_m = canon_m [ britten; tippett ] in
+  let initial_n = fwd initial_m [] in
+  assert (consistent initial_m initial_n);
+  (* Delete Britten from n and enforce consistency on m: the dates go. *)
+  let n_after_delete =
+    List.filter (fun (name, _) -> name <> "Britten") initial_n
+  in
+  let m_after_first_bwd = bwd initial_m n_after_delete in
+  (* Restore the entry to n and enforce consistency on m again. *)
+  let n_after_restore = initial_n in
+  let m_after_second_bwd = bwd m_after_first_bwd n_after_restore in
+  {
+    initial_m;
+    initial_n;
+    n_after_delete;
+    m_after_first_bwd;
+    n_after_restore;
+    m_after_second_bwd;
+    dates_lost = not (equal_m initial_m m_after_second_bwd);
+  }

@@ -1,0 +1,196 @@
+open Composers
+
+type m_edit = Add_composer of composer | Remove_composer of composer
+type n_edit = Insert_entry of int * (string * string) | Delete_entry of int
+type complement = m * n
+
+let pair_of (c : composer) = (c.name, c.nationality)
+
+let apply_m_edit edit m =
+  match edit with
+  | Add_composer c -> if List.mem c m then None else Some (canon_m (c :: m))
+  | Remove_composer c ->
+      if List.mem c m then
+        Some (List.filter (fun c' -> c' <> c) m)
+      else None
+
+let apply_n_edit edit n =
+  match edit with
+  | Insert_entry (i, p) ->
+      if i < 0 || i > List.length n then None
+      else
+        let rec ins i n =
+          if i = 0 then p :: n
+          else match n with [] -> [ p ] | x :: tl -> x :: ins (i - 1) tl
+        in
+        Some (ins i n)
+  | Delete_entry i ->
+      if i < 0 || i >= List.length n then None
+      else Some (List.filteri (fun j _ -> j <> i) n)
+
+let fold_apply apply edits model =
+  List.fold_left
+    (fun acc e -> match acc with None -> None | Some x -> apply e x)
+    (Some model) edits
+
+let m_module : (m_edit list, m) Bx.Elens.edit_module =
+  {
+    Bx.Elens.module_name = "composer-set-edits";
+    apply = fold_apply apply_m_edit;
+    compose = (fun e1 e2 -> e1 @ e2);
+    identity = [];
+  }
+
+let n_module : (n_edit list, n) Bx.Elens.edit_module =
+  {
+    Bx.Elens.module_name = "entry-list-edits";
+    apply = fold_apply apply_n_edit;
+    compose = (fun e1 e2 -> e1 @ e2);
+    identity = [];
+  }
+
+(* Indices of every entry with the given pair, descending so deletions do
+   not shift later targets. *)
+let delete_all_indices n p =
+  List.mapi (fun i q -> (i, q)) n
+  |> List.filter (fun (_, q) -> q = p)
+  |> List.rev_map (fun (i, _) -> Delete_entry i)
+
+(* Translate one M-edit against the current pair; returns the N-edits and
+   the updated pair.  Inapplicable edits translate to nothing and leave
+   the complement unchanged (the lens is total; the edit module's
+   application reports the failure to the caller instead). *)
+let fwd_one edit ((m, n) as c) =
+  match apply_m_edit edit m with
+  | None -> ([], c)
+  | Some m' -> (
+      match edit with
+      | Add_composer comp ->
+          let p = pair_of comp in
+          if List.mem p n then ([], (m', n))
+          else
+            let e = [ Insert_entry (List.length n, p) ] in
+            ( e,
+              (m', Option.value ~default:n (fold_apply apply_n_edit e n)) )
+      | Remove_composer comp ->
+          let p = pair_of comp in
+          let still_covered = List.exists (fun c' -> pair_of c' = p) m' in
+          if still_covered then ([], (m', n))
+          else
+            let e = delete_all_indices n p in
+            ( e,
+              (m', Option.value ~default:n (fold_apply apply_n_edit e n)) ))
+
+let bwd_one edit ((m, n) as c) =
+  match apply_n_edit edit n with
+  | None -> ([], c)
+  | Some n' -> (
+      match edit with
+      | Insert_entry (_, p) ->
+          let derivable = List.exists (fun c' -> pair_of c' = p) m in
+          if derivable then ([], (m, n'))
+          else
+            let comp =
+              { name = fst p; dates = unknown_dates; nationality = snd p }
+            in
+            ([ Add_composer comp ], (canon_m (comp :: m), n'))
+      | Delete_entry i ->
+          let p = List.nth n i in
+          let still_listed = List.mem p n' in
+          if still_listed then ([], (m, n'))
+          else
+            let victims = List.filter (fun c' -> pair_of c' = p) m in
+            ( List.map (fun v -> Remove_composer v) victims,
+              (List.filter (fun c' -> pair_of c' <> p) m, n') ))
+
+let translate one edits c =
+  let out, c' =
+    List.fold_left
+      (fun (acc, c) e ->
+        let es, c' = one e c in
+        (acc @ es, c'))
+      ([], c) edits
+  in
+  (out, c')
+
+let lens : (complement, m_edit list, n_edit list) Bx.Elens.t =
+  Bx.Elens.make ~name:"COMPOSERS-EDIT" ~init:([], [])
+    ~fwd:(translate fwd_one)
+    ~bwd:(translate bwd_one)
+
+let initial = ([], [])
+
+let consistent_complement (m, n) = bx.Bx.Symmetric.consistent m n
+
+let apply_consistently ((m, n) as c) edits =
+  match m_module.Bx.Elens.apply edits m with
+  | None -> Error "edit does not apply to the composer set"
+  | Some m' -> (
+      let n_edits, _c' = lens.Bx.Elens.fwd edits c in
+      match n_module.Bx.Elens.apply n_edits n with
+      | None -> Error "translated edit does not apply to the entry list"
+      | Some n' -> Ok (m', n'))
+
+let template =
+  let open Bx_repo in
+  Template.make ~title:"COMPOSERS-EDIT"
+    ~classes:[ Template.Precise ]
+    ~overview:
+      "The delta-based Composers: the same two models as COMPOSERS, but \
+       restoration consumes edits rather than states, as a symmetric \
+       edit lens whose complement is the current pair of models."
+    ~models:
+      [
+        Template.model_desc ~name:"M"
+          "A set of composer objects (name, dates, nationality), edited \
+           by adding or removing composers.";
+        Template.model_desc ~name:"N"
+          "An ordered list of (name, nationality) pairs, edited by \
+           position-based insertion and deletion.";
+      ]
+    ~consistency:
+      "As in COMPOSERS: the two models embody the same set of (name, \
+       nationality) pairs. The lens maintains the invariant that its \
+       complement is always a consistent pair."
+    ~restoration:
+      {
+        Template.rest_forward =
+          "Translate each M-edit: adding a composer appends its pair to \
+           n unless an equal entry exists; removing the last composer \
+           covering a pair deletes every entry with that pair.";
+        Template.rest_backward =
+          "Translate each N-edit: inserting an underivable pair creates \
+           a composer with ????-???? dates; deleting the last entry for \
+           a pair removes every composer with that pair.";
+      }
+    ~properties:
+      Bx.Properties.[ Satisfies Correct; Satisfies Hippocratic ]
+    ~variants:
+      [
+        Template.variant ~name:"positional-insert-fwd"
+          "Adding a composer could insert its entry at an alphabetical \
+           position rather than the end; since the edit says nothing \
+           about position, the end is the least-surprising choice.";
+      ]
+    ~discussion:
+      "The payoff of edits: removing one of two composers sharing a \
+       (name, nationality) pair is a visible M-edit but translates to \
+       the empty N-edit — the state-based COMPOSERS cannot even express \
+       that the user meant to remove one specific object. Stability and \
+       consistency-propagation are the edit-lens analogues of \
+       hippocraticness and correctness, and both are property-tested."
+    ~references:
+      [
+        Reference.make
+          ~authors:[ "Martin Hofmann"; "Benjamin C. Pierce"; "Daniel Wagner" ]
+          ~title:"Symmetric Lenses" ~venue:"POPL" ~year:2011
+          ~doi:"10.1145/1926385.1926428" ();
+      ]
+    ~authors:
+      [ Contributor.make ~affiliation:"University of Edinburgh" "James McKinna" ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"ocaml-implementation" ~kind:Template.Code
+          "lib/catalogue/composers_edit.ml";
+      ]
+    ()

@@ -1,0 +1,56 @@
+(** COMPOSERS-EDIT — the delta-based variant of the Composers example.
+
+    Section 3 of the paper explicitly allows restoration functions that
+    "require as input extra information, e.g. concerning the edit that
+    has been done".  This entry takes the same two model spaces as
+    COMPOSERS but propagates {e edits} instead of whole states, as a
+    symmetric edit lens whose complement is the current pair of models.
+
+    Because the edit carries intent, behaviours the state-based bx cannot
+    express become possible: removing one composer whose (name,
+    nationality) pair is still covered by another composer touches
+    nothing on the other side, and deleting then re-inserting an entry in
+    [n] within a session only loses dates if no covering composer
+    remains. *)
+
+open Composers
+
+(** Edits to the composer set [M]. *)
+type m_edit =
+  | Add_composer of composer
+  | Remove_composer of composer
+      (** Removal is by value; absent values make the edit inapplicable. *)
+
+(** Edits to the entry list [N] (position-based, like the framework's
+    list edits). *)
+type n_edit =
+  | Insert_entry of int * (string * string)
+  | Delete_entry of int
+
+type complement = m * n
+(** The edit lens's complement: the current (consistent) pair of models. *)
+
+val m_module : (m_edit list, m) Bx.Elens.edit_module
+val n_module : (n_edit list, n) Bx.Elens.edit_module
+
+val lens : (complement, m_edit list, n_edit list) Bx.Elens.t
+(** [fwd] translates M-edits to N-edits (adding a composer appends its
+    pair at the end of [n] unless already present; removing the last
+    composer covering a pair deletes every entry with that pair).
+    [bwd] translates N-edits to M-edits (inserting an underivable pair
+    creates a composer with [????-????]; deleting the last entry for a
+    pair removes every composer with that pair). *)
+
+val initial : complement
+(** The empty pair of models. *)
+
+val apply_consistently :
+  complement -> m_edit list -> (complement, string) result
+(** Apply an M-edit to both sides through the lens, returning the new
+    (still consistent) pair.  [Error] when the edit does not apply. *)
+
+val consistent_complement : complement -> bool
+(** Whether the stored pair satisfies the COMPOSERS consistency
+    relation. *)
+
+val template : Bx_repo.Template.t

@@ -1,0 +1,35 @@
+(** COMPOSERS-BOOMERANG — the {e original, asymmetric} variant of the
+    Composers example, as in Bohannon et al., "Boomerang: Resourceful
+    Lenses for String Data" (POPL 2008): a dictionary string lens whose
+    source is a newline-terminated CSV of ["name, dates, nationality"]
+    records and whose view projects each record to ["name, nationality"].
+
+    Because the iteration is {e resourceful} (chunks are aligned by their
+    whole view line), the dates of a composer follow it when the view is
+    reordered — the behaviour state-based restoration cannot provide, and
+    the reason the paper's Discussion says undoability fails there. *)
+
+val lens : Bx_strlens.Slens.t
+(** The dictionary lens.  Source type:
+    [(name, dddd-dddd, nationality\n)*]; view type: [(name, nationality\n)*]
+    where names and nationalities are words over [A-Za-z ?]. *)
+
+val diff_lens : Bx_strlens.Slens.t
+(** The same lens with LCS (diff) chunk alignment — the third point of
+    the alignment-strategy ablation. *)
+
+val name_keyed_lens : Bx_strlens.Slens.t
+(** The dictionary lens keyed by the composer's NAME only (the POPL'08
+    [key] combinator's point): a nationality edit then reuses the old
+    chunk — and its dates — instead of looking like delete-plus-create. *)
+
+val positional_lens : Bx_strlens.Slens.t
+(** The same lens with {e positional} chunk alignment — the ablation
+    showing what resourcefulness buys: under view reordering, dates stay
+    at their positions instead of following their composers. *)
+
+val source_of_composers : Composers.m -> string
+(** Render a set of composers as a source document (sorted). *)
+
+val template : Bx_repo.Template.t
+(** The repository entry for this variant. *)

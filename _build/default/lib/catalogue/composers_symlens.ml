@@ -1,0 +1,155 @@
+open Composers
+
+type complement = {
+  last_n : n;
+  remembered : ((string * string) * string list) list;
+}
+
+let pair_of (c : composer) = (c.name, c.nationality)
+
+let remembered_dates complement pair =
+  Option.value ~default:[] (List.assoc_opt pair complement.remembered)
+
+(* Fold the composers of m into the memory: the dates for each pair
+   present in m replace the remembered ones; pairs absent from m keep
+   their last-known dates — that persistence is the whole point. *)
+let remember m remembered =
+  let pairs =
+    List.sort_uniq compare (List.map pair_of m)
+  in
+  let fresh =
+    List.map
+      (fun pair ->
+        ( pair,
+          List.filter_map
+            (fun c -> if pair_of c = pair then Some c.dates else None)
+            m ))
+      pairs
+  in
+  fresh
+  @ List.filter (fun (pair, _) -> not (List.mem_assoc pair fresh)) remembered
+
+let putr m complement =
+  let n' = bx.Bx.Symmetric.fwd m complement.last_n in
+  let complement' =
+    { last_n = n'; remembered = remember m complement.remembered }
+  in
+  (n', complement')
+
+let putl n complement =
+  let pairs = List.sort_uniq compare n in
+  let m' =
+    List.concat_map
+      (fun ((name, nationality) as pair) ->
+        match remembered_dates complement pair with
+        | [] -> [ { name; dates = unknown_dates; nationality } ]
+        | dates ->
+            List.map (fun dates -> { name; dates; nationality }) dates)
+      pairs
+    |> canon_m
+  in
+  let complement' =
+    { last_n = n; remembered = remember m' complement.remembered }
+  in
+  (m', complement')
+
+let lens : (m, n, complement) Bx.Symlens.t =
+  Bx.Symlens.make ~name:"COMPOSERS-SYMLENS"
+    ~init:{ last_n = []; remembered = [] }
+    ~putr ~putl
+
+type repair_trace = {
+  initial_m : m;
+  initial_n : n;
+  m_after_delete : m;
+  m_after_restore : m;
+  dates_recovered : bool;
+}
+
+let repair_counterexample () =
+  let britten =
+    composer ~name:"Britten" ~dates:"1913-1976" ~nationality:"English"
+  in
+  let tippett =
+    composer ~name:"Tippett" ~dates:"1905-1998" ~nationality:"English"
+  in
+  let initial_m = canon_m [ britten; tippett ] in
+  let initial_n, c0 = putr initial_m lens.Bx.Symlens.init in
+  (* Delete Britten's entry from n, pull left. *)
+  let n_deleted = List.filter (fun (name, _) -> name <> "Britten") initial_n in
+  let m_after_delete, c1 = putl n_deleted c0 in
+  (* Restore the entry, pull left again: the complement remembers. *)
+  let m_after_restore, _c2 = putl initial_n c1 in
+  {
+    initial_m;
+    initial_n;
+    m_after_delete;
+    m_after_restore;
+    dates_recovered = equal_m initial_m m_after_restore;
+  }
+
+let template =
+  let open Bx_repo in
+  Template.make ~title:"COMPOSERS-SYMLENS"
+    ~classes:[ Template.Precise ]
+    ~overview:
+      "The Composers example as a state-based symmetric lens whose \
+       complement remembers every composer's dates by (name, \
+       nationality). The repair of the base entry's undoability failure: \
+       delete and restore an entry, and the dates come back."
+    ~models:
+      [
+        Template.model_desc ~name:"M"
+          "As in COMPOSERS: a set of composers with name, dates, \
+           nationality.";
+        Template.model_desc ~name:"N"
+          "As in COMPOSERS: an ordered list of (name, nationality) \
+           pairs.";
+      ]
+    ~consistency:
+      "As in COMPOSERS, relative to the complement: pushing the \
+       authoritative side through the lens reproduces the other side."
+    ~restoration:
+      {
+        Template.rest_forward =
+          "putr: restore n exactly as the base example does, and record \
+           every composer's dates in the complement (existing memories \
+           for vanished pairs are kept).";
+        Template.rest_backward =
+          "putl: rebuild m from n's pairs, taking dates from the \
+           complement's memory where available and ????-???? only for \
+           pairs never seen.";
+      }
+    ~properties:
+      Bx.Properties.
+        [ Satisfies Correct; Satisfies Hippocratic; Satisfies Undoable ]
+    ~variants:
+      [
+        Template.variant ~name:"bounded-memory"
+          "Forget remembered dates after k restorations: undoability \
+           then degrades gracefully back to the base example's \
+           behaviour.";
+      ]
+    ~discussion:
+      "The paper's Discussion says the dates cannot be restored because \
+       there is no extra information besides the models; symmetric \
+       lenses carry exactly that extra information as a complement, and \
+       their composition works where state-based symmetric composition \
+       does not. The price: the complement is real state that must live \
+       somewhere (here, wherever the lens value is threaded), and \
+       undoability holds only within one complement's lifetime."
+    ~references:
+      [
+        Reference.make
+          ~authors:[ "Martin Hofmann"; "Benjamin C. Pierce"; "Daniel Wagner" ]
+          ~title:"Symmetric Lenses" ~venue:"POPL" ~year:2011
+          ~doi:"10.1145/1926385.1926428" ();
+      ]
+    ~authors:
+      [ Contributor.make ~affiliation:"University of Edinburgh" "Perdita Stevens" ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"ocaml-implementation" ~kind:Template.Code
+          "lib/catalogue/composers_symlens.ml";
+      ]
+    ()

@@ -1,0 +1,78 @@
+open Composers
+
+let pair_of (c : composer) = (c.name, c.nationality)
+
+let insert_at_beginning =
+  let fwd m n =
+    let pairs_m = List.sort_uniq compare (List.map pair_of m) in
+    let kept = List.filter (fun p -> List.mem p pairs_m) n in
+    let missing = List.filter (fun p -> not (List.mem p kept)) pairs_m in
+    missing @ kept
+  in
+  Bx.Symmetric.make ~name:"COMPOSERS/insert-at-beginning"
+    ~consistent:bx.Bx.Symmetric.consistent ~fwd ~bwd:bx.Bx.Symmetric.bwd
+
+let fresh_dates dates =
+  let bwd m n =
+    let kept = List.filter (fun c -> List.mem (pair_of c) n) m in
+    let derivable = List.map pair_of kept in
+    let missing =
+      List.sort_uniq compare
+        (List.filter (fun p -> not (List.mem p derivable)) n)
+    in
+    canon_m
+      (kept
+      @ List.map
+          (fun (name, nationality) -> { name; dates; nationality })
+          missing)
+  in
+  Bx.Symmetric.make
+    ~name:(Printf.sprintf "COMPOSERS/fresh-dates(%s)" dates)
+    ~consistent:bx.Bx.Symmetric.consistent ~fwd:bx.Bx.Symmetric.fwd ~bwd
+
+(* Name as key: consistency also requires each name to determine its
+   nationality across the two models; backward restoration updates
+   nationalities in place, preserving dates. *)
+let name_as_key =
+  let functional pairs =
+    List.for_all
+      (fun (name, nat) ->
+        List.for_all (fun (n', nat') -> n' <> name || nat' = nat) pairs)
+      pairs
+  in
+  let consistent m n =
+    bx.Bx.Symmetric.consistent m n
+    && functional (List.map pair_of m @ n)
+  in
+  let bwd m n =
+    let names_n = List.map fst n in
+    let kept = List.filter (fun c -> List.mem c.name names_n) m in
+    let updated =
+      List.map
+        (fun c ->
+          match List.assoc_opt c.name n with
+          | Some nationality -> { c with nationality }
+          | None -> c)
+        kept
+    in
+    let covered = List.map (fun c -> c.name) updated in
+    let missing =
+      List.sort_uniq compare
+        (List.filter (fun (name, _) -> not (List.mem name covered)) n)
+    in
+    canon_m
+      (updated
+      @ List.map
+          (fun (name, nationality) ->
+            { name; dates = unknown_dates; nationality })
+          missing)
+  in
+  Bx.Symmetric.make ~name:"COMPOSERS/name-as-key" ~consistent
+    ~fwd:bx.Bx.Symmetric.fwd ~bwd
+
+let alphabetical_n =
+  let fwd m n =
+    List.sort compare (bx.Bx.Symmetric.fwd m n)
+  in
+  Bx.Symmetric.make ~name:"COMPOSERS/alphabetical-n"
+    ~consistent:bx.Bx.Symmetric.consistent ~fwd ~bwd:bx.Bx.Symmetric.bwd

@@ -1,0 +1,31 @@
+(** The variation points of the COMPOSERS example (section 4, "Variants").
+    Each variant resolves one of the choices the template leaves open —
+    and one deliberately resolves it badly, to exhibit the property
+    failure the paper predicts. *)
+
+open Composers
+
+val insert_at_beginning : (m, n) Bx.Symmetric.t
+(** Variant: new entries are added at the {e beginning} of [n] (still in
+    alphabetical order among themselves).  Correct and hippocratic, like
+    the base example. *)
+
+val fresh_dates : string -> (m, n) Bx.Symmetric.t
+(** Variant: newly created composers receive the given dates token instead
+    of [????-????]. *)
+
+val name_as_key : (m, n) Bx.Symmetric.t
+(** Variant: name is a key.  Backward restoration {e updates the
+    nationality} of an existing composer with a matching name (keeping its
+    dates) rather than creating a second composer — resolving the
+    Britten/British vs Britten/English question in favour of modification.
+    Requires key-consistency (at most one entry per name in [n]); on other
+    inputs it behaves like the base example.  Consistency additionally
+    requires names to determine nationalities. *)
+
+val alphabetical_n : (m, n) Bx.Symmetric.t
+(** The {e deliberately wrong} variant: forward restoration keeps [n]
+    fully sorted.  The paper points out this forfeits hippocraticness
+    ("we fail hippocraticness if we choose to reorder when nothing at all
+    need be changed") — the test suite and the variant bench exhibit the
+    violation. *)

@@ -1,0 +1,105 @@
+open Bx_models.Genealogy
+
+type step =
+  | Edit_families of string * (families -> families)
+  | Edit_persons of string * (persons -> persons)
+
+type scenario = {
+  scenario_name : string;
+  description : string;
+  initial_families : families;
+  steps : step list;
+}
+
+type outcome = {
+  final_families : families;
+  final_persons : persons;
+  restorations : int;
+  consistent_after_every_step : bool;
+}
+
+(* Deterministic pools; index arithmetic only (no randomness). *)
+let first_pool = [| "Ada"; "Ben"; "Cay"; "Dan"; "Eva"; "Fox"; "Gil"; "Hal" |]
+
+let nth_first i = first_pool.(i mod Array.length first_pool) ^ string_of_int i
+
+let nth_family i =
+  family
+    ~father:(nth_first (4 * i))
+    ~mother:(nth_first ((4 * i) + 1))
+    ~sons:[ nth_first ((4 * i) + 2) ]
+    ~daughters:[ nth_first ((4 * i) + 3) ]
+    (Printf.sprintf "Fam%04d" i)
+
+let synthetic_families k = List.init k nth_family
+
+let batch_forward k =
+  {
+    scenario_name = Printf.sprintf "batch-forward(%d)" k;
+    description = "create all families, derive persons once";
+    initial_families = synthetic_families k;
+    steps = [ Edit_families ("noop", Fun.id) ];
+  }
+
+let incremental_forward k =
+  {
+    scenario_name = Printf.sprintf "incremental-forward(%d)" k;
+    description = "add families one at a time, restoring after each";
+    initial_families = [];
+    steps =
+      List.init k (fun i ->
+          Edit_families
+            ( Printf.sprintf "add Fam%04d" i,
+              fun fams -> fams @ [ nth_family i ] ));
+  }
+
+let backward_churn k =
+  let fams = synthetic_families (max 1 (k / 4)) in
+  let victim i =
+    (* A deterministic person to delete and re-add. *)
+    let f = List.nth fams (i mod List.length fams) in
+    match f.father with
+    | Some father -> father ^ " " ^ f.last_name
+    | None -> "none"
+  in
+  {
+    scenario_name = Printf.sprintf "backward-churn(%d)" k;
+    description = "delete and re-add persons, restoring families each time";
+    initial_families = fams;
+    steps =
+      List.concat
+        (List.init k (fun i ->
+             let name = victim i in
+             [
+               Edit_persons
+                 ( Printf.sprintf "delete %s" name,
+                   List.filter (fun p -> p.full_name <> name) );
+               Edit_persons
+                 ( Printf.sprintf "re-add %s" name,
+                   fun pers -> pers @ [ person Male name ] );
+             ]));
+  }
+
+(* Interpretation delegates to the generic scenario runner of the
+   framework; this module only supplies the FAMILIES2PERSONS shapes. *)
+let run ?policy scenario =
+  let bx = Families2persons.bx ?policy () in
+  let generic =
+    Bx.Scenario.make ~name:scenario.scenario_name
+      ~description:scenario.description
+      ~initial_left:scenario.initial_families ~initial_right:[]
+      (List.map
+         (function
+           | Edit_families (label, edit) -> Bx.Scenario.Edit_left (label, edit)
+           | Edit_persons (label, edit) -> Bx.Scenario.Edit_right (label, edit))
+         scenario.steps)
+  in
+  let outcome = Bx.Scenario.run bx generic in
+  {
+    final_families = outcome.Bx.Scenario.final_left;
+    final_persons = outcome.Bx.Scenario.final_right;
+    restorations = outcome.Bx.Scenario.restorations;
+    consistent_after_every_step = outcome.Bx.Scenario.consistent_throughout;
+  }
+
+let all k = [ batch_forward k; incremental_forward k; backward_churn k ]

@@ -1,0 +1,55 @@
+(** BenchmarX-style measurement scenarios for FAMILIES2PERSONS.
+
+    The paper's section 2 (and its section 6) discusses the companion
+    BenchmarX paper's position that benchmarks are a distinct class of
+    repository entry.  This module provides the runnable workload for the
+    FAMILIES2PERSONS entry's BENCHMARK classification: deterministic
+    scenario generators in the BenchmarX style (batch vs incremental,
+    forward vs backward), an interpreter that alternates edits with
+    restoration, and invariant checks on every step. *)
+
+open Bx_models.Genealogy
+
+(** One step of a scenario: edit one side, then restore the other. *)
+type step =
+  | Edit_families of string * (families -> families)
+  | Edit_persons of string * (persons -> persons)
+
+type scenario = {
+  scenario_name : string;
+  description : string;
+  initial_families : families;
+  steps : step list;
+}
+
+type outcome = {
+  final_families : families;
+  final_persons : persons;
+  restorations : int;  (** Number of restoration calls performed. *)
+  consistent_after_every_step : bool;
+}
+
+val synthetic_families : int -> families
+(** [synthetic_families k]: [k] families, each with two parents and two
+    children, deterministic names. *)
+
+val batch_forward : int -> scenario
+(** Create [k] families at once, then derive the persons register in one
+    restoration — BenchmarX's batch-forward shape. *)
+
+val incremental_forward : int -> scenario
+(** Add families one at a time, restoring after each — the incremental
+    shape that stresses hippocraticness (earlier persons must not be
+    disturbed). *)
+
+val backward_churn : int -> scenario
+(** Starting consistent, repeatedly delete and re-add persons, restoring
+    the families after each step — the shape that exhibits information
+    loss (roles forgotten). *)
+
+val run : ?policy:Families2persons.policy -> scenario -> outcome
+(** Interpret a scenario, restoring after every edit and checking
+    consistency each time. *)
+
+val all : int -> scenario list
+(** The three scenario shapes at the given size. *)

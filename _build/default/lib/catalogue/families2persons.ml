@@ -1,0 +1,218 @@
+open Bx_models
+open Genealogy
+
+type policy = Prefer_parent | Prefer_child
+
+let families_space =
+  Bx.Model.make ~name:"Families" ~equal:equal_families ~pp:pp_families
+
+let persons_space =
+  Bx.Model.make ~name:"Persons" ~equal:equal_persons ~pp:pp_persons
+
+let gender_of_tag = function `Male -> Male | `Female -> Female
+
+(* The (full name, gender) multiset a family register denotes, in register
+   order. *)
+let targets_of_families fams =
+  List.concat_map
+    (fun f ->
+      List.map
+        (fun (first, tag) -> (first ^ " " ^ f.last_name, gender_of_tag tag))
+        (family_members f))
+    fams
+
+let key_of_person p = (p.full_name, p.gender)
+
+(* A consumable multiset over an arbitrary key. *)
+module Bag = struct
+  type 'k t = ('k, int) Hashtbl.t
+
+  let of_list keys : _ t =
+    let bag = Hashtbl.create 16 in
+    List.iter
+      (fun k -> Hashtbl.replace bag k (1 + Option.value ~default:0 (Hashtbl.find_opt bag k)))
+      keys;
+    bag
+
+  let take bag k =
+    match Hashtbl.find_opt bag k with
+    | Some n when n > 0 ->
+        Hashtbl.replace bag k (n - 1);
+        true
+    | _ -> false
+end
+
+let consistent fams pers =
+  let ts = List.sort compare (targets_of_families fams) in
+  let ps = List.sort compare (List.map key_of_person pers) in
+  ts = ps
+
+(* Forward: persons follow the families.  Existing persons matching a
+   member survive (keeping their birthday and list position); members with
+   no person yet are appended, in register order, with an unknown
+   birthday. *)
+let fwd fams pers =
+  let targets = targets_of_families fams in
+  let remaining = Bag.of_list targets in
+  let kept = List.filter (fun p -> Bag.take remaining (key_of_person p)) pers in
+  let kept_keys = Bag.of_list (List.map key_of_person kept) in
+  let missing = List.filter (fun t -> not (Bag.take kept_keys t)) targets in
+  kept
+  @ List.map
+      (fun (full_name, gender) -> { full_name; gender; birthday = "unknown" })
+      missing
+
+(* Backward: families follow the persons.  Members with no matching person
+   are removed; persons with no member join (or found) the family of their
+   last name according to the policy. *)
+let bwd ~policy fams pers =
+  let remaining = Bag.of_list (List.map key_of_person pers) in
+  let filter_member f tag first =
+    Bag.take remaining (first ^ " " ^ f.last_name, gender_of_tag tag)
+  in
+  let filtered =
+    List.map
+      (fun f ->
+        let father =
+          match f.father with
+          | Some x when filter_member f `Male x -> Some x
+          | _ -> None
+        in
+        let mother =
+          match f.mother with
+          | Some x when filter_member f `Female x -> Some x
+          | _ -> None
+        in
+        let sons = List.filter (filter_member f `Male) f.sons in
+        let daughters = List.filter (filter_member f `Female) f.daughters in
+        { f with father; mother; sons; daughters })
+      fams
+  in
+  (* Identify leftover person objects: those not consumed by the filter. *)
+  let survived =
+    Bag.of_list (List.map key_of_person pers)
+  in
+  (* Re-consume what the filtered families account for. *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (first, tag) ->
+          ignore
+            (Bag.take survived (first ^ " " ^ f.last_name, gender_of_tag tag)))
+        (family_members f))
+    filtered;
+  let leftovers =
+    List.filter (fun p -> Bag.take survived (key_of_person p)) pers
+  in
+  let place fams p =
+    match split_full_name p.full_name with
+    | None -> fams (* unsplittable names cannot be placed *)
+    | Some (first, last) ->
+        let as_child f =
+          match p.gender with
+          | Male -> { f with sons = f.sons @ [ first ] }
+          | Female -> { f with daughters = f.daughters @ [ first ] }
+        in
+        let as_member f =
+          match (policy, p.gender) with
+          | Prefer_parent, Male when f.father = None ->
+              { f with father = Some first }
+          | Prefer_parent, Female when f.mother = None ->
+              { f with mother = Some first }
+          | _ -> as_child f
+        in
+        let rec insert = function
+          | [] ->
+              let fresh = family last in
+              [ as_member fresh ]
+          | f :: rest when f.last_name = last -> as_member f :: rest
+          | f :: rest -> f :: insert rest
+        in
+        insert fams
+  in
+  List.fold_left place filtered leftovers
+
+let bx ?(policy = Prefer_parent) () =
+  Bx.Symmetric.make
+    ~name:
+      (match policy with
+      | Prefer_parent -> "FAMILIES2PERSONS/prefer-parent"
+      | Prefer_child -> "FAMILIES2PERSONS/prefer-child")
+    ~consistent ~fwd ~bwd:(bwd ~policy)
+
+let template =
+  let open Bx_repo in
+  Template.make ~title:"FAMILIES2PERSONS"
+    ~classes:[ Template.Precise; Template.Benchmark ]
+    ~overview:
+      "The model-transformation community's benchmark: a register of \
+       families with role-tagged members against a flat register of \
+       persons with gender and birthday. Information is private on both \
+       sides, so the bx is genuinely symmetric."
+    ~models:
+      [
+        Template.model_desc ~name:"Families"
+          "Families with a last name, optional father and mother, and \
+           lists of sons and daughters (first names).";
+        Template.model_desc ~name:"Persons"
+          "Persons with a full name (first and last), a gender and a \
+           birthday.";
+      ]
+    ~consistency:
+      "The multiset of (full name, gender) pairs derived from family \
+       members — father and sons male, mother and daughters female — \
+       equals the multiset of the persons' (full name, gender) pairs."
+    ~restoration:
+      {
+        Template.rest_forward =
+          "Persons follow the families: persons matching a member survive \
+           with their birthday; members without a person are appended \
+           with an unknown birthday; unmatched persons are deleted.";
+        Template.rest_backward =
+          "Families follow the persons: members without a matching \
+           person are removed; persons without a member join the family \
+           of their last name — as a parent if that slot is free under \
+           the prefer-parent policy, as a child otherwise — or found a \
+           new family.";
+      }
+    ~properties:
+      Bx.Properties.
+        [
+          Satisfies Correct;
+          Satisfies Hippocratic;
+          Violates Undoable;
+          Violates History_ignorant;
+        ]
+    ~variants:
+      [
+        Template.variant ~name:"prefer-child"
+          "New persons always join as children, never as parents.";
+        Template.variant ~name:"drop-empty-families"
+          "Remove families whose last member disappears; the base example \
+           keeps them (removing them would violate hippocraticness on \
+           registers that already contain empty families).";
+      ]
+    ~discussion:
+      "The benchmark's decision points — where does a new person go, and \
+       what happens to emptied families — are what make it a good test \
+       of bx languages; BenchmarX builds its measurement scenarios around \
+       them. Deleting a person and re-adding them forgets their role and \
+       any siblings' grouping: not undoable."
+    ~references:
+      [
+        Reference.make
+          ~authors:
+            [
+              "Anthony Anjorin"; "Alcino Cunha"; "Holger Giese";
+              "Frank Hermann"; "Arend Rensink"; "Andy Schuerr";
+            ]
+          ~title:"BenchmarX" ~venue:"BX Workshop" ~year:2014 ();
+      ]
+    ~authors:
+      [ Contributor.make ~affiliation:"University of Edinburgh" "James McKinna" ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"ocaml-implementation" ~kind:Template.Code
+          "lib/catalogue/families2persons.ml";
+      ]
+    ()

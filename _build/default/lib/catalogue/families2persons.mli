@@ -1,0 +1,31 @@
+(** FAMILIES2PERSONS — the model-transformation community's benchmark bx
+    (the running example of the BenchmarX companion paper the repository
+    proposal discusses): a register of families with role-tagged members
+    against a flat register of persons with gender and birthday.
+
+    Information is private on both sides: birthdays exist only for
+    persons; the parent/child role and family grouping only for families.
+    The example is therefore genuinely symmetric and not undoable. *)
+
+(** What backward restoration does with a person whose family exists but
+    who is not yet a member — the benchmark's famous decision point. *)
+type policy =
+  | Prefer_parent  (** Become father/mother if the slot is free. *)
+  | Prefer_child  (** Always join as son/daughter. *)
+
+val families_space : Bx_models.Genealogy.families Bx.Model.t
+val persons_space : Bx_models.Genealogy.persons Bx.Model.t
+
+val bx :
+  ?policy:policy -> unit
+  -> (Bx_models.Genealogy.families, Bx_models.Genealogy.persons) Bx.Symmetric.t
+(** Consistency: the multiset of (full name, gender) derived from family
+    members equals that of the persons.  Forward keeps the birthdays of
+    persons that survive (aligned by name and gender); backward keeps
+    family structure where possible and places new persons according to
+    [policy] (default {!Prefer_parent}), creating a fresh family when no
+    family carries the person's last name.  Persons whose full name has no
+    space cannot be placed and are dropped by backward restoration —
+    consistency forces every person's name to split. *)
+
+val template : Bx_repo.Template.t

@@ -1,0 +1,95 @@
+open Bx_regex
+open Bx_strlens
+
+let word = Regex.plus (Regex.cset (Cset.union (Cset.range 'a' 'z') (Cset.range '0' '9')))
+let spaces = Regex.star (Regex.chr ' ')
+
+let line ~sloppy =
+  let eq =
+    if sloppy then Regex.concat_list [ spaces; Regex.chr '='; spaces ]
+    else Regex.chr '='
+  in
+  Regex.concat_list [ word; eq; word; Regex.chr '\n' ]
+
+let key_value_doc = Regex.star (line ~sloppy:true)
+let canonical_doc = Regex.star (line ~sloppy:false)
+
+let canonize_line l =
+  match String.index_opt l '=' with
+  | None -> l
+  | Some i ->
+      let key = String.trim (String.sub l 0 i) in
+      let value = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+      key ^ "=" ^ value
+
+let canonizer =
+  Canonizer.make ~ctype:key_value_doc ~atype:canonical_doc
+    ~canonize:(fun s ->
+      String.split_on_char '\n' s
+      |> List.map canonize_line
+      |> String.concat "\n")
+
+let lens = Canonizer.left_quot canonizer (Slens.copy canonical_doc)
+let format = lens.Slens.get
+
+let template =
+  let open Bx_repo in
+  Template.make ~title:"FORMATTER"
+    ~classes:[ Template.Precise ]
+    ~overview:
+      "A freely formatted key=value configuration file kept consistent \
+       with its canonical form: the bx every code formatter implicitly \
+       implements, expressed as a quotient lens."
+    ~models:
+      [
+        Template.model_desc ~name:"Sloppy"
+          "key = value lines with arbitrary spaces around the equals \
+           sign." ~meta_model:"(word ' '* '=' ' '* word '\\n')*";
+        Template.model_desc ~name:"Canonical"
+          "The same lines with no spaces around the equals sign."
+          ~meta_model:"(word '=' word '\\n')*";
+      ]
+    ~consistency:
+      "The canonical document is the sloppy document with the whitespace \
+       around every equals sign removed; two sloppy documents are \
+       equivalent when they canonize identically."
+    ~restoration:
+      {
+        Template.rest_forward = "get: canonize (format) the document.";
+        Template.rest_backward =
+          "put: install the edited canonical document as the new source \
+           (the formatting freedom of the old source is deliberately \
+           not preserved — formatters normalise).";
+      }
+    ~properties:
+      Bx.Properties.
+        [ Satisfies Correct; Satisfies Hippocratic; Satisfies Well_behaved ]
+    ~variants:
+      [
+        Template.variant ~name:"preserve-formatting"
+          "Keep the old source's spacing where the canonical content is \
+           unchanged (a resourceful quotient lens): friendlier to diffs, \
+           considerably harder to specify.";
+      ]
+    ~discussion:
+      "The smallest honest example of quotienting: the lens laws cannot \
+       hold on the nose on the sloppy side (get is not injective), and \
+       the quotient-lens discipline says exactly which equalities to \
+       expect instead — GetPut up to canonization, PutGet on the nose. \
+       The property suite checks the on-the-nose laws over canonical \
+       sources and the canonizer's own laws over sloppy ones."
+    ~references:
+      [
+        Reference.make
+          ~authors:[ "J. Nathan Foster"; "Alexandre Pilkiewicz"; "Benjamin C. Pierce" ]
+          ~title:"Quotient Lenses" ~venue:"ICFP" ~year:2008
+          ~doi:"10.1145/1411204.1411257" ();
+      ]
+    ~authors:
+      [ Contributor.make ~affiliation:"University of Oxford" "Jeremy Gibbons" ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"ocaml-implementation" ~kind:Template.Code
+          "lib/catalogue/formatter.ml";
+      ]
+    ()

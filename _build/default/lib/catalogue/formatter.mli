@@ -1,0 +1,31 @@
+(** FORMATTER — a quotient bx: a freely formatted key=value configuration
+    file against its canonical form.  Real-world instances are pervasive
+    (code formatters, normalising serialisers); the Boomerang lineage
+    handles them with canonizers and quotient lenses (Foster et al.,
+    ICFP 2008), which is exactly how this entry is built: a whitespace
+    canonizer quotienting the source of a copy lens.
+
+    The lens laws hold {e up to canonization}: on already-canonical
+    sources they hold on the nose (which is what the property suite
+    checks); on sloppy sources, GetPut returns the canonical form — the
+    formatter's entire point. *)
+
+val key_value_doc : Bx_regex.Regex.t
+(** The sloppy source language: lines [key \[sp\]= \[sp\]value] with any
+    number of spaces around the [=], newline-terminated.  Keys and values
+    are nonempty words over [a-z0-9]. *)
+
+val canonical_doc : Bx_regex.Regex.t
+(** The canonical language: no spaces around [=]. *)
+
+val canonizer : Bx_strlens.Canonizer.t
+(** Strips the spaces around [=] on every line. *)
+
+val lens : Bx_strlens.Slens.t
+(** [left_quot canonizer (copy canonical_doc)]: get formats, put installs
+    the edited canonical text. *)
+
+val format : string -> string
+(** Shorthand for the get direction. *)
+
+val template : Bx_repo.Template.t

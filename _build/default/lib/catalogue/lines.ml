@@ -1,0 +1,78 @@
+let valid_document s =
+  String.equal s "" || s.[String.length s - 1] = '\n'
+
+let valid_lines ls = List.for_all (fun l -> not (String.contains l '\n')) ls
+
+let split s =
+  if String.equal s "" then []
+  else
+    let pieces = String.split_on_char '\n' s in
+    (* A valid document ends in '\n', so the last piece is empty. *)
+    List.filteri (fun i _ -> i < List.length pieces - 1) pieces
+
+let join ls = String.concat "" (List.map (fun l -> l ^ "\n") ls)
+
+let iso = Bx.Iso.make ~name:"LINES" ~fwd:split ~bwd:join
+let lens = Bx.Lens.of_iso iso
+let bx = Bx.Symmetric.of_iso iso ~equal_b:(fun a b -> a = b)
+
+let document_space =
+  Bx.Model.make ~name:"document" ~equal:String.equal
+    ~pp:(fun ppf s -> Fmt.pf ppf "%S" s)
+
+let lines_space =
+  Bx.Model.make ~name:"lines"
+    ~equal:(fun a b -> a = b)
+    ~pp:(Fmt.brackets (Fmt.list ~sep:Fmt.semi (Fmt.fmt "%S")))
+
+let template =
+  let open Bx_repo in
+  Template.make ~title:"LINES"
+    ~classes:[ Template.Precise ]
+    ~overview:
+      "A newline-terminated text document against its list of lines: the \
+       degenerate but instructive case where consistency is a bijection."
+    ~models:
+      [
+        Template.model_desc ~name:"Document"
+          "A string that is empty or ends with a newline; lines contain \
+           no newline themselves.";
+        Template.model_desc ~name:"Lines"
+          "A list of strings, none containing a newline.";
+      ]
+    ~consistency:"The document is exactly the lines, each terminated by a newline."
+    ~restoration:
+      {
+        Template.rest_forward = "Split the document at newlines.";
+        Template.rest_backward = "Concatenate the lines, terminating each.";
+      }
+    ~properties:
+      Bx.Properties.
+        [
+          Satisfies Bijective;
+          Satisfies Correct;
+          Satisfies Hippocratic;
+          Satisfies Undoable;
+          Satisfies History_ignorant;
+          Satisfies Oblivious;
+        ]
+    ~variants:
+      [
+        Template.variant ~name:"final-newline-optional"
+          "Permit an unterminated final line: the relation becomes \
+           non-bijective (documents 'a' and 'a\\n' map to the same lines) \
+           and a choice of canonical form is needed — a quotient lens in \
+           Boomerang terms.";
+      ]
+    ~discussion:
+      "Useful as the first example of a bx and as a regression test for \
+       frameworks: every property in the glossary holds, so any failure \
+       is the framework's fault."
+    ~authors:
+      [ Contributor.make ~affiliation:"University of Edinburgh" "James Cheney" ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"ocaml-implementation" ~kind:Template.Code
+          "lib/catalogue/lines.ml";
+      ]
+    ()

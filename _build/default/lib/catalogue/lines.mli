@@ -1,0 +1,20 @@
+(** LINES — the smallest string bx in the folklore: a newline-terminated
+    document against its list of lines.  On its domain (documents where
+    every line is terminated and lines contain no newline) it is a
+    bijection, so the bx is oblivious, undoable and history-ignorant — a
+    useful contrast with the lossy examples. *)
+
+val valid_document : string -> bool
+(** Empty, or ending in a newline. *)
+
+val valid_lines : string list -> bool
+(** No element contains a newline. *)
+
+val iso : (string, string list) Bx.Iso.t
+val lens : (string, string list) Bx.Lens.t
+val bx : (string, string list) Bx.Symmetric.t
+
+val document_space : string Bx.Model.t
+val lines_space : string list Bx.Model.t
+
+val template : Bx_repo.Template.t

@@ -1,0 +1,55 @@
+let template =
+  let open Bx_repo in
+  Template.make ~title:"SCHEMA-COEVOLUTION"
+    ~classes:[ Template.Industrial ]
+    ~overview:
+      "Keeping an application's class model and its production database \
+       schema consistent across releases, where both sides are edited \
+       concurrently: modellers refactor classes while DBAs tune the \
+       schema. An industrial-scale instance of UML2RDBMS."
+    ~models:
+      [
+        Template.model_desc ~name:"ApplicationModel"
+          "The release-branch class model, thousands of classes, under \
+           version control.";
+        Template.model_desc ~name:"ProductionSchema"
+          "The deployed relational schema, including DBA-owned indexes, \
+           denormalisations and audit columns that the model never sees.";
+      ]
+    ~consistency:
+      "Every persistent class has a corresponding table whose columns \
+       include the class's attributes; tables may carry extra DBA-owned \
+       columns (the private-columns variant of UML2RDBMS at scale)."
+    ~restoration:
+      {
+        Template.rest_forward =
+          "Generate migration scripts from model changes; DBA-owned \
+           columns are untouched.";
+        Template.rest_backward =
+          "Reverse-engineer schema hotfixes into model change requests; \
+           the mapping of types and keys follows the PRECISE UML2RDBMS \
+           entry.";
+      }
+    ~properties:
+      Bx.Properties.[ Satisfies Correct; Violates Undoable ]
+    ~discussion:
+      "Industrial entries cannot be precise separately from their \
+       artefacts; this one delegates its exact semantics to the \
+       executable UML2RDBMS bx and exercises scale through the scenario \
+       driver. The operational lesson it records: the private-columns \
+       freedom that makes the bx practical is exactly what destroys \
+       undoability, so migrations must be journaled rather than derived."
+    ~authors:
+      [
+        Contributor.make ~affiliation:"University of Edinburgh" "Perdita Stevens";
+      ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"precise-core" ~kind:Template.Code
+          "lib/catalogue/uml2rdbms.ml";
+        Template.artefact ~name:"scenario-driver" ~kind:Template.Code
+          "lib/catalogue/f2p_scenarios.ml";
+        Template.artefact ~name:"benchmarks" ~kind:Template.Sample_data
+          "bench/main.ml (series P1, P7)";
+      ]
+    ()

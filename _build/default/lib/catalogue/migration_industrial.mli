@@ -1,0 +1,12 @@
+(** SCHEMA-COEVOLUTION — an INDUSTRIAL-class entry.
+
+    The paper (section 2) anticipates industrial-scale examples,
+    "accompanied by appropriate artefacts", which "clearly could not be
+    expected to be explained with full precision separately from their
+    artefacts".  This entry records such a case — co-evolving an
+    application's class model and its production database schema across
+    releases — described at the level of precision an industrial entry
+    can offer, with its artefacts pointing into this repository's
+    executable UML2RDBMS bx and the BenchmarX-style scenario driver. *)
+
+val template : Bx_repo.Template.t

@@ -1,0 +1,96 @@
+type store = (string * string) list
+
+let news_prefix = "news/"
+let mail_prefix = "mail/"
+
+let has_prefix prefix (key, _) =
+  String.length key >= String.length prefix
+  && String.sub key 0 (String.length prefix) = prefix
+
+let restriction_lens prefix =
+  Bx.Lens.filter ~keep:(has_prefix prefix) ~default:("", "")
+
+let news_lens =
+  let l = restriction_lens news_prefix in
+  { l with Bx.Lens.name = "news-replica" }
+
+let mail_lens =
+  let l = restriction_lens mail_prefix in
+  { l with Bx.Lens.name = "mail-replica" }
+
+let bx =
+  Bx.Multi.of_two_lenses ~view_equal_b:( = ) ~view_equal_c:( = ) news_lens
+    mail_lens
+
+let pp_store =
+  Fmt.brackets
+    (Fmt.list ~sep:Fmt.semi (Fmt.pair ~sep:(Fmt.any "=") Fmt.string Fmt.string))
+
+let master_space =
+  Bx.Model.make ~name:"master" ~equal:( = ) ~pp:pp_store
+
+let replica_space name = Bx.Model.make ~name ~equal:( = ) ~pp:pp_store
+
+let template =
+  let open Bx_repo in
+  Template.make ~title:"MASTER-REPLICAS"
+    ~classes:[ Template.Precise ]
+    ~overview:
+      "A three-model bx: a master key-value store and two topic replicas \
+       (news/ and mail/), each holding exactly the master's entries \
+       under its prefix. The smallest honest example with more than two \
+       models."
+    ~models:
+      [
+        Template.model_desc ~name:"Master"
+          "An ordered key-value store; keys are namespaced by topic \
+           prefixes.";
+        Template.model_desc ~name:"NewsReplica"
+          "The entries whose keys start with news/.";
+        Template.model_desc ~name:"MailReplica"
+          "The entries whose keys start with mail/.";
+      ]
+    ~consistency:
+      "Each replica equals the restriction of the master to its prefix, \
+       in master order. (A ternary consistency relation, as the template \
+       explicitly allows.)"
+    ~restoration:
+      {
+        Template.rest_forward =
+          "From the master: regenerate both replicas by restriction.";
+        Template.rest_backward =
+          "From a replica: splice its entries back among the master's \
+           foreign-prefix entries (which stay in place), then regenerate \
+           the other replica from the updated master.";
+      }
+    ~properties:
+      Bx.Properties.[ Satisfies Correct; Satisfies Hippocratic ]
+    ~variants:
+      [
+        Template.variant ~name:"overlapping-topics"
+          "Let the prefixes overlap (a key tagged with both topics): the \
+           two replicas then constrain each other and restoring from one \
+           may modify the other even when the master is untouched — the \
+           multi-model composition problem in miniature.";
+      ]
+    ~discussion:
+      "Binary formalisms handle this by pairing two lenses with a shared \
+       source (a span); the interesting question the entry exists to \
+       pose is what the {\\it ternary} laws should be — the pointwise \
+       generalisation checked here (restoration from any side restores \
+       consistency and fixes consistent triples) is the weakest \
+       reasonable candidate."
+    ~references:
+      [
+        Reference.make ~authors:[ "Perdita Stevens" ]
+          ~title:"Bidirectional Transformations in the Large"
+          ~venue:"MODELS" ~year:2017 ~doi:"10.1109/MODELS.2017.8" ();
+      ]
+    ~authors:
+      [ Contributor.make ~affiliation:"University of Edinburgh" "Perdita Stevens" ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"ocaml-implementation" ~kind:Template.Code
+          "lib/catalogue/replicas.ml";
+      ]
+    ()

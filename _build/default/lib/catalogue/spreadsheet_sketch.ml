@@ -1,0 +1,27 @@
+let template =
+  let open Bx_repo in
+  Template.make ~title:"SPREADSHEET"
+    ~classes:[ Template.Sketch ]
+    ~overview:
+      "A sketch: keeping a spreadsheet's formula view and its computed \
+       value grid consistent in both directions, so edits to computed \
+       cells propagate back to inputs."
+    ~models:
+      [
+        Template.model_desc ~name:"Formulas"
+          "A grid of cells holding constants or formulas over other cells.";
+        Template.model_desc ~name:"Values"
+          "The same grid with every cell reduced to its computed value.";
+      ]
+    ~consistency:
+      "Evaluating the formula grid yields the value grid."
+    ~discussion:
+      "Forward restoration is evaluation; backward restoration is the \
+       interesting part — editing a computed cell must choose which \
+       inputs to adjust (a least-change question) or whether to \
+       overwrite the formula with a constant. Details deliberately not \
+       worked out; candidates for the PRECISE version include \
+       constraint-based and lens-per-formula designs."
+    ~authors:
+      [ Contributor.make ~affiliation:"University of Oxford" "Jeremy Gibbons" ]
+    ()

@@ -1,0 +1,7 @@
+(** SPREADSHEET — a SKETCH-class entry: a situation where a bx would
+    clearly apply but whose details are not worked out (section 2 of the
+    paper anticipates exactly this class, "of particular benefit to
+    outsiders wondering whether bx are of interest to them").  There is
+    deliberately no executable artefact. *)
+
+val template : Bx_repo.Template.t

@@ -1,0 +1,26 @@
+(** UML2RDBMS — "the notorious UML class diagram to RDBMS schema example"
+    (the paper's introduction), in the QVT tradition: persistent classes
+    correspond to tables, attributes to typed columns, key attributes to
+    primary-key columns.
+
+    Non-persistent classes are private to the UML side and survive
+    restoration untouched.  Because a table determines its class exactly
+    (and vice versa for persistent classes), this bx is {e undoable} —
+    a useful contrast with COMPOSERS; the variant where the database may
+    hold private columns would lose that, as the template's Variants field
+    records. *)
+
+val attr_of_col : Bx_models.Relational.column -> Bx_models.Uml.attribute
+val col_of_attr : Bx_models.Uml.attribute -> Bx_models.Relational.column
+val table_of_class : Bx_models.Uml.clazz -> Bx_models.Relational.table
+val class_of_table : Bx_models.Relational.table -> Bx_models.Uml.clazz
+
+val uml_space : Bx_models.Uml.model Bx.Model.t
+val schema_space : Bx_models.Relational.schema Bx.Model.t
+
+val bx : (Bx_models.Uml.model, Bx_models.Relational.schema) Bx.Symmetric.t
+(** Consistency: the schema's tables are exactly the images of the model's
+    persistent classes.  Forward derives the schema; backward rebuilds the
+    persistent classes from the tables, keeping non-persistent classes. *)
+
+val template : Bx_repo.Template.t

@@ -1,0 +1,113 @@
+open Bx_models
+
+let employees =
+  Relational.table "employees"
+    [
+      Relational.column ~primary:true "id" Relational.Int_t;
+      Relational.column "name" Relational.Text_t;
+      Relational.column "dept" Relational.Text_t;
+      Relational.column "salary" Relational.Int_t;
+    ]
+
+let engineering_directory =
+  Relalg.Seq
+    (Relalg.Select (Relalg.Eq ("dept", Relational.Text_v "eng")),
+     Relalg.Project [ "id"; "name" ])
+
+let lens = Relalg.lens employees engineering_directory
+
+let rows_space name =
+  Bx.Model.make ~name
+    ~equal:(fun a b -> (a : Relational.row list) = b)
+    ~pp:
+      (Fmt.brackets
+         (Fmt.list ~sep:Fmt.semi
+            (Fmt.brackets (Fmt.list ~sep:Fmt.comma Relational.pp_value))))
+
+let base_space = rows_space "employees"
+let view_space = rows_space "directory"
+
+let sample_rows =
+  Relational.
+    [
+      [ Int_v 1; Text_v "ada"; Text_v "eng"; Int_v 90 ];
+      [ Int_v 2; Text_v "ben"; Text_v "sales"; Int_v 60 ];
+      [ Int_v 3; Text_v "cay"; Text_v "eng"; Int_v 80 ];
+    ]
+
+let template =
+  let open Bx_repo in
+  Template.make ~title:"SELECT-PROJECT-VIEW"
+    ~classes:[ Template.Precise ]
+    ~overview:
+      "The classical view-update problem as a bx: a base table of \
+       employees and a select-project view (the engineering directory), \
+       with updates to the view translated back to the table."
+    ~models:
+      [
+        Template.model_desc ~name:"Base"
+          "Rows of employees(id KEY, name, dept, salary).";
+        Template.model_desc ~name:"View"
+          "Rows of the view: id and name of employees whose dept is eng.";
+      ]
+    ~consistency:
+      "The view equals the query result: select dept = eng, project id \
+       and name, in base-table order."
+    ~restoration:
+      {
+        Template.rest_forward = "Evaluate the query.";
+        Template.rest_backward =
+          "Translate the view update: view rows are aligned to base rows \
+           by the retained key; matched rows keep their hidden dept and \
+           salary; new ids are inserted with the selection-satisfying \
+           dept and default salary; rows outside the selection are \
+           untouched.";
+      }
+    ~properties:
+      Bx.Properties.
+        [
+          Satisfies Correct;
+          Satisfies Hippocratic;
+          Satisfies Well_behaved;
+          Violates Very_well_behaved;
+        ]
+    ~variants:
+      [
+        Template.variant ~name:"project-without-key"
+          "Dropping the key from the projection makes the update \
+           untranslatable; the implementation rejects the query at \
+           construction time rather than guessing.";
+        Template.variant ~name:"delete-outside-selection"
+          "Let a view deletion delete the base row instead of leaving \
+           rows outside the selection untouched: the other classical \
+           translation choice.";
+      ]
+    ~discussion:
+      "Bancilhon and Spyratos explained translatable view updates via \
+       constant complements; Dayal and Bernstein catalogued the correct \
+       translations for select-project views. This entry wires those \
+       conditions into lens construction: selections must be respected \
+       by the view, projections must retain the key — violations are \
+       static errors, and the surviving lens is well-behaved but not \
+       very well-behaved (a dropped and re-added id forgets its \
+       salary)."
+    ~references:
+      [
+        Reference.make
+          ~authors:[ "Francois Bancilhon"; "Nicolas Spyratos" ]
+          ~title:"Update Semantics of Relational Views"
+          ~venue:"ACM TODS 6(4)" ~year:1981 ~doi:"10.1145/319628.319634" ();
+        Reference.make
+          ~authors:[ "Umeshwar Dayal"; "Philip A. Bernstein" ]
+          ~title:"On the Correct Translation of Update Operations on \
+                  Relational Views"
+          ~venue:"ACM TODS 7(3)" ~year:1982 ~doi:"10.1145/319732.319740" ();
+      ]
+    ~authors:
+      [ Contributor.make ~affiliation:"University of Edinburgh" "James Cheney" ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"ocaml-implementation" ~kind:Template.Code
+          "lib/models/relalg.ml";
+      ]
+    ()

@@ -1,0 +1,67 @@
+let lens = Bx_repo.Sync.lens ()
+
+let template =
+  let open Bx_repo in
+  Template.make ~title:"WIKI-SYNC"
+    ~classes:[ Template.Precise ]
+    ~overview:
+      "The repository's own maintenance bx: a structured, \
+       markup-independent entry against its rendered wiki page, kept \
+       consistent by a lens. Proposed in the founding paper itself as a \
+       guard against the wiki's demise."
+    ~models:
+      [
+        Template.model_desc ~name:"Entry"
+          "A structured repository entry following the standard template \
+           (title, version, type, overview, models, consistency, \
+           restoration, properties, variants, discussion, references, \
+           authors, reviewers, comments, artefacts).";
+        Template.model_desc ~name:"Page"
+          "A wiki page: a level-1 title heading followed by one level-2 \
+           section per field, in template order.";
+      ]
+    ~consistency:
+      "The page is the canonical rendering of the entry: every field \
+       appears in its section with the canonical formatting, and empty \
+       optional fields are omitted."
+    ~restoration:
+      {
+        Template.rest_forward = "get: render the entry to its canonical page.";
+        Template.rest_backward =
+          "put: parse the edited page; deleting an optional section \
+           empties that field, deleting a required section falls back to \
+           the entry's old value (the entry is the complement), unknown \
+           extra sections are ignored, and malformed section contents \
+           are rejected.";
+      }
+    ~properties:
+      Bx.Properties.[ Satisfies Correct; Satisfies Hippocratic;
+                      Satisfies Well_behaved ]
+    ~variants:
+      [
+        Template.variant ~name:"strict-put"
+          "Reject pages with unknown sections instead of ignoring them: \
+           tighter, but then wiki members cannot leave free-form notes \
+           outside the template.";
+      ]
+    ~discussion:
+      "Having the repository maintain itself with a bx is more than a \
+       party trick: every template evolution immediately stress-tests \
+       the lens laws, and the exported pages double as the local backup \
+       the paper's section 5.4 calls for."
+    ~references:
+      [
+        Reference.make
+          ~authors:
+            [ "James Cheney"; "James McKinna"; "Perdita Stevens"; "Jeremy Gibbons" ]
+          ~title:"Towards a Repository of Bx Examples"
+          ~venue:"EDBT/ICDT Workshops (BX)" ~year:2014 ();
+      ]
+    ~authors:
+      [ Contributor.make ~affiliation:"University of Edinburgh" "James Cheney" ]
+    ~artefacts:
+      [
+        Template.artefact ~name:"ocaml-implementation" ~kind:Template.Code
+          "lib/core/sync.ml";
+      ]
+    ()

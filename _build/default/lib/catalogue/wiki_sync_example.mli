@@ -1,0 +1,12 @@
+(** WIKI-SYNC — the repository's own section 5.4 bx, registered as an
+    entry in the repository it maintains: the lens between a structured
+    entry ({!Bx_repo.Template.t}) and its wiki page ({!Bx_repo.Markup.doc}).
+    The paper explicitly wonders "whether maintaining it in a
+    wiki-markup-independent form, and maintaining consistency between that
+    and the wiki via a bidirectional transformation, might add value" —
+    this entry is the affirmative answer. *)
+
+val lens : (Bx_repo.Template.t, Bx_repo.Markup.doc) Bx.Lens.t
+(** {!Bx_repo.Sync.lens}, re-exported for the catalogue. *)
+
+val template : Bx_repo.Template.t

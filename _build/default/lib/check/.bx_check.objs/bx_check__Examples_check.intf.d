@@ -1,0 +1,1 @@
+lib/check/examples_check.mli: Verify

@@ -1,0 +1,1 @@
+lib/check/generators.ml: Bx Bx_catalogue Bx_models Bx_repo Fun Gen List Option Printf QCheck2 String

@@ -1,0 +1,1 @@
+lib/check/generators.mli: Bx Bx_catalogue Bx_models Bx_repo Gen QCheck2

@@ -1,0 +1,1 @@
+lib/check/qlaw.ml: Bx List Printf QCheck2 Random

@@ -1,0 +1,1 @@
+lib/check/qlaw.mli: Bx QCheck2

@@ -1,0 +1,1 @@
+lib/check/verify.ml: Bx Fmt Generators List QCheck2 Qlaw

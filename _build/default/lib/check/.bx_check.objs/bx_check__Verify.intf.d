@@ -1,0 +1,1 @@
+lib/check/verify.mli: Bx Format QCheck2

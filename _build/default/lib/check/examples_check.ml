@@ -1,0 +1,332 @@
+open Bx_catalogue
+
+let string_space name =
+  Bx.Model.make ~name ~equal:String.equal ~pp:(fun ppf s -> Fmt.pf ppf "%S" s)
+
+let composers_suite ?seed ?count () =
+  Verify.symmetric_suite ?seed ?count ~m_space:Composers.m_space
+    ~n_space:Composers.n_space ~gen_m:Generators.composers_m
+    ~gen_n:Generators.composers_n Composers.bx
+
+let composers_string_suite ?seed ?count () =
+  Verify.lens_suite ?seed ?count ~s_space:(string_space "csv-source")
+    ~v_space:(string_space "csv-view") ~gen_s:Generators.composers_source
+    ~gen_v:Generators.composers_view
+    (Bx_strlens.Slens.to_lens Composers_string.lens)
+
+let uml2rdbms_suite ?seed ?count () =
+  Verify.symmetric_suite ?seed ?count ~m_space:Uml2rdbms.uml_space
+    ~n_space:Uml2rdbms.schema_space ~gen_m:Generators.uml_model
+    ~gen_n:Generators.rdb_schema Uml2rdbms.bx
+
+let families_suite ?seed ?count () =
+  Verify.symmetric_suite ?seed ?count ~m_space:Families2persons.families_space
+    ~n_space:Families2persons.persons_space ~gen_m:Generators.families
+    ~gen_n:Generators.persons
+    (Families2persons.bx ())
+
+let bookstore_suite ?seed ?count () =
+  Verify.lens_suite ?seed ?count ~s_space:Bookstore.store_space
+    ~v_space:Bookstore.view_space ~gen_s:Generators.bookstore
+    ~gen_v:Generators.price_list Bookstore.lens
+
+let people_suite ?seed ?count () =
+  Verify.lens_suite ?seed ?count ~s_space:People.source_space
+    ~v_space:People.view_space ~gen_s:Generators.people_entries
+    ~gen_v:Generators.directory People.lens
+
+let lines_suite ?seed ?count () =
+  Verify.symmetric_suite ?seed ?count ~m_space:Lines.document_space
+    ~n_space:Lines.lines_space ~gen_m:Generators.document
+    ~gen_n:Generators.line_list Lines.bx
+
+let celsius_suite ?seed ?count () =
+  Verify.symmetric_suite ?seed ?count ~m_space:Celsius.celsius_space
+    ~n_space:Celsius.fahrenheit_space ~gen_m:Generators.rational
+    ~gen_n:Generators.rational Celsius.bx
+
+let wiki_sync_suite ?seed ?count () =
+  let templates =
+    List.map Bx_repo.Sync.normalise (Catalogue.all ())
+  in
+  let template_space =
+    Bx.Model.make ~name:"entry" ~equal:Bx_repo.Template.equal
+      ~pp:Bx_repo.Template.pp
+  in
+  let doc_space =
+    Bx.Model.make ~name:"page" ~equal:Bx_repo.Markup.equal ~pp:Bx_repo.Markup.pp
+  in
+  let gen_s = QCheck2.Gen.oneofl templates in
+  let gen_v =
+    QCheck2.Gen.map Bx_repo.Sync.render_entry (QCheck2.Gen.oneofl templates)
+  in
+  Verify.lens_suite ?seed ?count ~s_space:template_space ~v_space:doc_space
+    ~gen_s ~gen_v Wiki_sync_example.lens
+
+let composers_edit_suite ?seed ?count () =
+  let open Bx_catalogue.Composers_edit in
+  let consistent m n = Bx_catalogue.Composers.bx.Bx.Symmetric.consistent m n in
+  let fwd_inputs =
+    QCheck2.Gen.map
+      (fun ((m, n), ea) -> (m, n, (m, n), ea))
+      (QCheck2.Gen.pair Generators.composers_complement
+         Generators.composers_m_edits)
+  in
+  let bwd_inputs =
+    QCheck2.Gen.map
+      (fun ((m, n), eb) -> (n, m, (m, n), eb))
+      (QCheck2.Gen.pair Generators.composers_complement
+         Generators.composers_n_edits)
+  in
+  let inverted =
+    Bx.Elens.make ~name:"COMPOSERS-EDIT^-1" ~init:lens.Bx.Elens.init
+      ~fwd:lens.Bx.Elens.bwd ~bwd:lens.Bx.Elens.fwd
+  in
+  let correct () =
+    match
+      Qlaw.holds_on_samples ?seed ?count fwd_inputs
+        (Bx.Elens.round_trip_law ~ma:m_module ~mb:n_module ~consistent lens)
+    with
+    | Error _ as e -> e
+    | Ok () ->
+        Qlaw.holds_on_samples ?seed ?count bwd_inputs
+          (Bx.Elens.round_trip_law ~ma:n_module ~mb:m_module
+             ~consistent:(fun n m -> consistent m n)
+             inverted)
+  in
+  let stable () =
+    Qlaw.holds_on_samples ?seed ?count Generators.composers_complement
+      (Bx.Elens.stable_law ~eq_ea:( = ) ~eq_eb:( = ) lens ~ea_id:[] ~eb_id:[])
+  in
+  [ (Bx.Properties.Correct, correct); (Bx.Properties.Hippocratic, stable) ]
+
+let view_update_suite ?seed ?count () =
+  Verify.lens_suite ?seed ?count ~s_space:View_update.base_space
+    ~v_space:View_update.view_space ~gen_s:Generators.employee_rows
+    ~gen_v:Generators.directory_rows View_update.lens
+
+let formatter_suite ?seed ?count () =
+  (* The on-the-nose laws hold on canonical sources (the documented
+     domain); the canonizer's own laws cover the sloppy ones. *)
+  let base =
+    Verify.lens_suite ?seed ?count ~s_space:(string_space "canonical")
+      ~v_space:(string_space "canonical") ~gen_s:Generators.canonical_config
+      ~gen_v:Generators.canonical_config
+      (Bx_strlens.Slens.to_lens Formatter.lens)
+  in
+  let canonizer_ok () =
+    Qlaw.holds_on_samples ?seed ?count Generators.sloppy_config
+      (Bx_strlens.Canonizer.canonized_law Formatter.canonizer)
+  in
+  (* Strengthen the Correct entry with the canonizer laws. *)
+  List.map
+    (fun (p, checker) ->
+      if p = Bx.Properties.Correct then
+        ( p,
+          fun () ->
+            match checker () with Ok () -> canonizer_ok () | e -> e )
+      else (p, checker))
+    base
+
+let replicas_suite ?seed ?count () =
+  let open QCheck2.Gen in
+  let kv =
+    pair
+      (map2 ( ^ )
+         (oneofl [ "news/"; "mail/"; "cfg/" ])
+         (string_size ~gen:(char_range 'a' 'z') (1 -- 3)))
+      (string_size ~gen:(char_range '0' '9') (1 -- 2))
+  in
+  let dedup_keys l =
+    List.fold_left
+      (fun acc (k, v) -> if List.mem_assoc k acc then acc else acc @ [ (k, v) ])
+      [] l
+  in
+  let store = map dedup_keys (list_size (0 -- 6) kv) in
+  (* Replicas live inside their topic space: that is the bx's domain. *)
+  let restricted prefix =
+    map
+      (List.filter (fun (k, _) ->
+           String.length k >= String.length prefix
+           && String.sub k 0 (String.length prefix) = prefix))
+      store
+  in
+  let triples =
+    map
+      (fun ((a, b), c) -> (a, b, c))
+      (pair (pair store (restricted "news/")) (restricted "mail/"))
+  in
+  let consistent_triples =
+    map
+      (fun (a, b, c) ->
+        let b', c' = Bx_catalogue.Replicas.bx.Bx.Multi.restore_from_a a b c in
+        (a, b', c'))
+      triples
+  in
+  let mixed = QCheck2.Gen.oneof [ triples; consistent_triples ] in
+  let master_space = Bx_catalogue.Replicas.master_space in
+  let news_space = Bx_catalogue.Replicas.replica_space "news" in
+  let mail_space = Bx_catalogue.Replicas.replica_space "mail" in
+  [
+    ( Bx.Properties.Correct,
+      fun () ->
+        Qlaw.holds_on_samples ?seed ?count mixed
+          (Bx.Multi.correct3_law Bx_catalogue.Replicas.bx) );
+    ( Bx.Properties.Hippocratic,
+      fun () ->
+        Qlaw.holds_on_samples ?seed ?count mixed
+          (Bx.Multi.hippocratic3_law master_space news_space mail_space
+             Bx_catalogue.Replicas.bx) );
+  ]
+
+let bookstore_edit_suite ?seed ?count () =
+  let open Bx_catalogue.Bookstore_edit in
+  let consistent view store = view_of_store store = view in
+  let consistent_pairs =
+    QCheck2.Gen.map
+      (fun store -> (view_of_store store, store))
+      Generators.bookstore
+  in
+  let fwd_inputs =
+    QCheck2.Gen.map
+      (fun ((view, store), ea) -> (view, store, store, ea))
+      (QCheck2.Gen.pair consistent_pairs Generators.bookstore_view_edits)
+  in
+  let bwd_inputs =
+    QCheck2.Gen.map
+      (fun ((view, store), eb) -> (store, view, store, eb))
+      (QCheck2.Gen.pair consistent_pairs Generators.bookstore_store_edits)
+  in
+  let inverted =
+    Bx.Elens.make ~name:"BOOKSTORE-EDIT^-1" ~init:lens.Bx.Elens.init
+      ~fwd:lens.Bx.Elens.bwd ~bwd:lens.Bx.Elens.fwd
+  in
+  let correct () =
+    match
+      Qlaw.holds_on_samples ?seed ?count fwd_inputs
+        (Bx.Elens.round_trip_law ~ma:view_module ~mb:store_module ~consistent
+           lens)
+    with
+    | Error _ as e -> e
+    | Ok () ->
+        Qlaw.holds_on_samples ?seed ?count bwd_inputs
+          (Bx.Elens.round_trip_law ~ma:store_module ~mb:view_module
+             ~consistent:(fun store view -> consistent view store)
+             inverted)
+  in
+  let stable () =
+    Qlaw.holds_on_samples ?seed ?count Generators.bookstore
+      (Bx.Elens.stable_law ~eq_ea:( = ) ~eq_eb:( = ) lens ~ea_id:[] ~eb_id:[])
+  in
+  [ (Bx.Properties.Correct, correct); (Bx.Properties.Hippocratic, stable) ]
+
+let composers_symlens_suite ?seed ?count () =
+  let open Bx_catalogue.Composers_symlens in
+  let reachable_complement =
+    QCheck2.Gen.map
+      (fun (m, n) ->
+        snd (lens.Bx.Symlens.putr m { last_n = n; remembered = [] }))
+      (QCheck2.Gen.pair Generators.composers_m Generators.composers_n)
+  in
+  let correct () =
+    let rl =
+      Qlaw.holds_on_samples ?seed ?count
+        (QCheck2.Gen.pair Generators.composers_m reachable_complement)
+        (Bx.Symlens.put_rl_law Bx_catalogue.Composers.m_space ~c_equal:( = )
+           lens)
+    in
+    match rl with
+    | Error _ as e -> e
+    | Ok () ->
+        Qlaw.holds_on_samples ?seed ?count
+          (QCheck2.Gen.pair Generators.composers_n reachable_complement)
+          (Bx.Symlens.put_lr_law Bx_catalogue.Composers.n_space ~c_equal:( = )
+             lens)
+  in
+  let hippocratic () =
+    (* Pushing the same side twice changes nothing the second time. *)
+    Qlaw.holds_on_samples ?seed ?count
+      (QCheck2.Gen.pair Generators.composers_m reachable_complement)
+      (Bx.Law.make ~name:"symlens:stable-putr"
+         ~description:"putr is idempotent from its own complement"
+         (fun (m, c) ->
+           let n1, c1 = lens.Bx.Symlens.putr m c in
+           let n2, c2 = lens.Bx.Symlens.putr m c1 in
+           Bx.Law.require (n1 = n2 && c1 = c2)
+             "a second putr changed the state"))
+  in
+  let undoable () =
+    (* The repaired Discussion scenario, over random models: delete each
+       entry in turn, restore, and expect the exact original left model. *)
+    Qlaw.holds_on_samples ?seed ?count Generators.composers_m
+      (Bx.Law.make ~name:"symlens:undoable-delete-restore"
+         ~description:"delete then restore recovers m exactly"
+         (fun m ->
+           let n, c0 = lens.Bx.Symlens.putr m lens.Bx.Symlens.init in
+           let m0, c0 =
+             (* Normalise m through one putl so comparison is canonical. *)
+             lens.Bx.Symlens.putl n c0
+           in
+           let failures =
+             List.concat
+               (List.mapi
+                  (fun k _ ->
+                    let n' = List.filteri (fun i _ -> i <> k) n in
+                    let _, c1 = lens.Bx.Symlens.putl n' c0 in
+                    let m2, _ = lens.Bx.Symlens.putl n c1 in
+                    if Bx_catalogue.Composers.equal_m m0 m2 then [] else [ k ])
+                  n)
+           in
+           Bx.Law.require (failures = [])
+             "delete/restore of entry %d lost information"
+             (match failures with k :: _ -> k | [] -> -1)))
+  in
+  [
+    (Bx.Properties.Correct, correct);
+    (Bx.Properties.Hippocratic, hippocratic);
+    (Bx.Properties.Undoable, undoable);
+  ]
+
+let suite_for ?seed ?count title =
+  match String.uppercase_ascii (String.trim title) with
+  | "COMPOSERS" -> Some (composers_suite ?seed ?count ())
+  | "COMPOSERS-BOOMERANG" -> Some (composers_string_suite ?seed ?count ())
+  | "COMPOSERS-EDIT" -> Some (composers_edit_suite ?seed ?count ())
+  | "COMPOSERS-SYMLENS" -> Some (composers_symlens_suite ?seed ?count ())
+  | "BOOKSTORE-EDIT" -> Some (bookstore_edit_suite ?seed ?count ())
+  | "UML2RDBMS" -> Some (uml2rdbms_suite ?seed ?count ())
+  | "FAMILIES2PERSONS" -> Some (families_suite ?seed ?count ())
+  | "BOOKSTORE" -> Some (bookstore_suite ?seed ?count ())
+  | "PEOPLE" -> Some (people_suite ?seed ?count ())
+  | "LINES" -> Some (lines_suite ?seed ?count ())
+  | "CELSIUS" -> Some (celsius_suite ?seed ?count ())
+  | "FORMATTER" -> Some (formatter_suite ?seed ?count ())
+  | "SELECT-PROJECT-VIEW" -> Some (view_update_suite ?seed ?count ())
+  | "MASTER-REPLICAS" -> Some (replicas_suite ?seed ?count ())
+  | "WIKI-SYNC" -> Some (wiki_sync_suite ?seed ?count ())
+  | _ -> None
+
+let suite_for_public = suite_for
+
+let report_for ?seed ?count title =
+  match Catalogue.find title with
+  | None -> Error (Printf.sprintf "no catalogue entry titled %S" title)
+  | Some template ->
+      let claims = template.Bx_repo.Template.properties in
+      let suite =
+        Option.value ~default:[] (suite_for ?seed ?count title)
+      in
+      Ok (Verify.check_claims suite claims)
+
+let all_reports ?seed ?count () =
+  List.filter_map
+    (fun template ->
+      let title = template.Bx_repo.Template.title in
+      if template.Bx_repo.Template.properties = [] then None
+      else
+        match report_for ?seed ?count title with
+        | Ok rows -> Some (title, rows)
+        | Error _ -> None)
+    (Catalogue.all ())
+
+let suite_for title = suite_for_public title

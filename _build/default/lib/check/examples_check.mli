@@ -1,0 +1,18 @@
+(** Wiring between the catalogue entries and their verification suites:
+    given an entry title, produce the claimed-vs-verified report.  This is
+    what the CLI's [check] command and the benchmark harness run (the
+    executable counterpart of the paper's review step). *)
+
+val suite_for : string -> Verify.suite option
+(** The verification suite for a catalogue entry, by title
+    (case-insensitive).  [None] for entries with no executable bx (the
+    SKETCH class) and for unknown titles. *)
+
+val report_for :
+  ?seed:int -> ?count:int -> string -> (Verify.row list, string) result
+(** Check every claim of the titled entry's template against its suite.
+    [Error] for unknown titles; entries without a suite yield all-
+    unsupported rows. *)
+
+val all_reports : ?seed:int -> ?count:int -> unit -> (string * Verify.row list) list
+(** Reports for every catalogue entry that has property claims. *)

@@ -1,0 +1,402 @@
+open QCheck2
+
+let names = [ "Bach"; "Britten"; "Cage"; "Dvorak"; "Elgar"; "Faure" ]
+let nationalities = [ "German"; "English"; "American"; "Czech"; "French" ]
+let dates_pool = [ "1685-1750"; "1913-1976"; "1912-1992"; "1841-1904" ]
+
+let composer_gen =
+  Gen.map
+    (fun ((name, dates), nationality) ->
+      Bx_catalogue.Composers.composer ~name ~dates ~nationality)
+    Gen.(pair (pair (oneofl names) (oneofl dates_pool)) (oneofl nationalities))
+
+let composers_m =
+  Gen.map Bx_catalogue.Composers.canon_m Gen.(list_size (0 -- 6) composer_gen)
+
+let composers_n =
+  Gen.(list_size (0 -- 6) (pair (oneofl names) (oneofl nationalities)))
+
+(* --- UML / relational ---------------------------------------------- *)
+
+let class_names = [ "Person"; "Order"; "Item"; "Account" ]
+let attr_names = [ "id"; "name"; "total"; "open" ]
+
+let attr_gen =
+  Gen.map
+    (fun ((name, ty), key) -> Bx_models.Uml.attribute ~is_key:key name ty)
+    Gen.(
+      pair
+        (pair (oneofl attr_names)
+           (oneofl Bx_models.Uml.[ String_t; Integer_t; Boolean_t ]))
+        bool)
+
+(* Distinct attribute names within a class; distinct class names within a
+   model — the validators' invariants. *)
+let dedup_by key l =
+  List.fold_left
+    (fun acc x -> if List.exists (fun y -> key y = key x) acc then acc else acc @ [ x ])
+    [] l
+
+let class_gen =
+  Gen.map
+    (fun ((name, persistent), attrs) ->
+      let attrs = dedup_by (fun a -> a.Bx_models.Uml.attr_name) attrs in
+      let attrs =
+        if attrs = [] then [ Bx_models.Uml.attribute "id" Bx_models.Uml.Integer_t ]
+        else attrs
+      in
+      Bx_models.Uml.clazz ~persistent name attrs)
+    Gen.(pair (pair (oneofl class_names) bool) (list_size (1 -- 4) attr_gen))
+
+let uml_model =
+  Gen.map
+    (dedup_by (fun c -> c.Bx_models.Uml.class_name))
+    Gen.(list_size (0 -- 4) class_gen)
+
+let rdb_schema =
+  Gen.map
+    (fun model -> List.map Bx_catalogue.Uml2rdbms.table_of_class model)
+    (Gen.map
+       (List.filter (fun c -> c.Bx_models.Uml.persistent))
+       uml_model)
+
+(* --- Families / persons -------------------------------------------- *)
+
+let first_names = [ "Jim"; "Cindy"; "Brandon"; "Brenda"; "David"; "Jackie" ]
+let last_names = [ "March"; "Sailor"; "Smith" ]
+
+let family_gen =
+  Gen.map
+    (fun (((last, father), mother), (sons, daughters)) ->
+      let taken = Option.to_list father @ Option.to_list mother in
+      let fresh used pool = List.filter (fun x -> not (List.mem x used)) pool in
+      let sons = dedup_by Fun.id sons in
+      let sons = List.filteri (fun i _ -> i < 2) (fresh taken sons) in
+      let daughters = dedup_by Fun.id daughters in
+      let daughters =
+        List.filteri (fun i _ -> i < 2) (fresh (taken @ sons) daughters)
+      in
+      {
+        Bx_models.Genealogy.last_name = last;
+        father;
+        mother;
+        sons;
+        daughters;
+      })
+    Gen.(
+      pair
+        (pair (pair (oneofl last_names) (option (oneofl first_names)))
+           (option (oneofl first_names)))
+        (pair
+           (list_size (0 -- 2) (oneofl first_names))
+           (list_size (0 -- 2) (oneofl first_names))))
+
+let families =
+  Gen.map
+    (dedup_by (fun f -> f.Bx_models.Genealogy.last_name))
+    Gen.(list_size (0 -- 3) family_gen)
+
+let persons =
+  Gen.(
+    list_size (0 -- 6)
+      (map
+         (fun ((first, last), (gender, birthday)) ->
+           {
+             Bx_models.Genealogy.full_name = first ^ " " ^ last;
+             gender;
+             birthday;
+           })
+         (pair
+            (pair (oneofl first_names) (oneofl last_names))
+            (pair
+               (oneofl Bx_models.Genealogy.[ Male; Female ])
+               (oneofl [ "unknown"; "1970-01-01"; "2001-12-31" ])))))
+
+(* --- Bookstore ------------------------------------------------------ *)
+
+let titles = [ "tapl"; "sicp"; "hott"; "ctfp" ]
+let authors = [ "pierce"; "abelson"; "univalent"; "milewski" ]
+
+let bookstore =
+  Gen.map
+    (fun books ->
+      Bx_catalogue.Bookstore.store_of_books
+        (List.map
+           (fun ((title, author), price) ->
+             { Bx_catalogue.Bookstore.title; author; price })
+           books))
+    Gen.(list_size (0 -- 5) (pair (pair (oneofl titles) (oneofl authors)) (0 -- 99)))
+
+let price_list =
+  Gen.(list_size (0 -- 5) (pair (oneofl titles) (0 -- 99)))
+
+(* --- Lines ---------------------------------------------------------- *)
+
+let line_gen = Gen.(string_size ~gen:(char_range 'a' 'z') (0 -- 8))
+
+let line_list = Gen.(list_size (0 -- 6) line_gen)
+
+let document =
+  Gen.map
+    (fun ls -> String.concat "" (List.map (fun l -> l ^ "\n") ls))
+    line_list
+
+(* --- People --------------------------------------------------------- *)
+
+let people_entries =
+  Gen.map (dedup_by (fun e -> e.Bx_catalogue.People.person))
+    Gen.(
+      list_size (0 -- 5)
+        (map
+           (fun ((person, age), email) ->
+             { Bx_catalogue.People.person; age; email })
+           (pair
+              (pair (oneofl first_names) (0 -- 99))
+              (oneofl [ "a@x.org"; "b@y.org"; "c@z.org" ]))))
+
+let directory =
+  Gen.map (dedup_by fst)
+    Gen.(list_size (0 -- 5) (pair (oneofl first_names) (0 -- 99)))
+
+(* --- Rationals ------------------------------------------------------ *)
+
+let rational =
+  Gen.map
+    (fun (n, d) -> Bx_models.Rational.make n d)
+    Gen.(pair (int_range (-100) 100) (int_range 1 30))
+
+(* --- COMPOSERS-BOOMERANG strings ------------------------------------ *)
+
+let composers_source =
+  Gen.map
+    (fun cs ->
+      String.concat ""
+        (List.map
+           (fun ((name, dates), nat) ->
+             Printf.sprintf "%s, %s, %s\n" name dates nat)
+           cs))
+    Gen.(
+      list_size (0 -- 5)
+        (pair (pair (oneofl names) (oneofl dates_pool)) (oneofl nationalities)))
+
+let composers_view =
+  Gen.map
+    (fun cs ->
+      let lines =
+        dedup_by Fun.id
+          (List.map
+             (fun (name, nat) -> Printf.sprintf "%s, %s\n" name nat)
+             cs)
+      in
+      String.concat "" lines)
+    Gen.(list_size (0 -- 5) (pair (oneofl names) (oneofl nationalities)))
+
+(* --- Combinators ---------------------------------------------------- *)
+
+let consistent_pair bx gm gn =
+  Gen.map
+    (fun (m, n) -> (m, bx.Bx.Symmetric.fwd m n))
+    (Gen.pair gm gn)
+
+let mixed_pair bx gm gn =
+  Gen.oneof [ Gen.pair gm gn; consistent_pair bx gm gn ]
+
+(* --- COMPOSERS-EDIT ------------------------------------------------- *)
+
+let composers_m_edit =
+  Gen.oneof
+    [
+      Gen.map (fun c -> Bx_catalogue.Composers_edit.Add_composer c) composer_gen;
+      Gen.map (fun c -> Bx_catalogue.Composers_edit.Remove_composer c) composer_gen;
+    ]
+
+let composers_m_edits = Gen.list_size Gen.(0 -- 3) composers_m_edit
+
+let composers_n_edit =
+  Gen.oneof
+    [
+      Gen.map
+        (fun (i, p) -> Bx_catalogue.Composers_edit.Insert_entry (i, p))
+        Gen.(pair (0 -- 6) (pair (oneofl names) (oneofl nationalities)));
+      Gen.map (fun i -> Bx_catalogue.Composers_edit.Delete_entry i) Gen.(0 -- 6);
+    ]
+
+let composers_n_edits = Gen.list_size Gen.(0 -- 3) composers_n_edit
+
+let composers_complement =
+  Gen.map
+    (fun (m, n0) -> (m, Bx_catalogue.Composers.bx.Bx.Symmetric.fwd m n0))
+    (Gen.pair composers_m composers_n)
+
+(* --- FORMATTER ------------------------------------------------------- *)
+
+let kv_word = Gen.string_size ~gen:(Gen.char_range 'a' 'z') Gen.(1 -- 5)
+
+let canonical_config =
+  Gen.map
+    (fun lines ->
+      String.concat ""
+        (List.map (fun (k, v) -> k ^ "=" ^ v ^ "\n") lines))
+    Gen.(list_size (0 -- 5) (pair kv_word kv_word))
+
+let sloppy_config =
+  Gen.map
+    (fun lines ->
+      String.concat ""
+        (List.map
+           (fun (((k, v), left), right) ->
+             k ^ String.make left ' ' ^ "=" ^ String.make right ' ' ^ v ^ "\n")
+           lines))
+    Gen.(list_size (0 -- 5) (pair (pair (pair kv_word kv_word) (0 -- 3)) (0 -- 3)))
+
+(* --- SELECT-PROJECT-VIEW --------------------------------------------- *)
+
+let employee_rows =
+  Gen.map
+    (fun rows ->
+      dedup_by (fun r -> List.nth r 0) rows)
+    Gen.(
+      list_size (0 -- 6)
+        (map
+           (fun ((id, name), (dept, salary)) ->
+             Bx_models.Relational.
+               [ Int_v id; Text_v name; Text_v dept; Int_v salary ])
+           (pair
+              (pair (0 -- 9) (oneofl [ "ada"; "ben"; "cay"; "dan" ]))
+              (pair (oneofl [ "eng"; "sales"; "hr" ]) (0 -- 99)))))
+
+let directory_rows =
+  Gen.map
+    (fun rows -> dedup_by (fun r -> List.nth r 0) rows)
+    Gen.(
+      list_size (0 -- 5)
+        (map
+           (fun (id, name) ->
+             Bx_models.Relational.[ Int_v id; Text_v name ])
+           (pair (0 -- 9) (oneofl [ "ada"; "ben"; "cay"; "dan" ]))))
+
+(* --- Random templates (for Sync and JSON round-trip properties) ------- *)
+
+let words = [ "alpha"; "beta"; "gamma"; "delta"; "omega" ]
+
+let sentence =
+  Gen.map
+    (fun ws -> String.concat " " ws ^ ".")
+    (Gen.list_size Gen.(1 -- 6) (Gen.oneofl words))
+
+let paragraphs =
+  Gen.map (String.concat "\n\n") (Gen.list_size Gen.(1 -- 3) sentence)
+
+let template =
+  let open Gen in
+  let title =
+    map (fun (a, b) -> String.uppercase_ascii (a ^ "-" ^ b))
+      (pair (oneofl words) (oneofl words))
+  in
+  let classes =
+    oneofl
+      Bx_repo.Template.
+        [ [ Precise ]; [ Sketch ]; [ Industrial ];
+          [ Precise; Benchmark ]; [ Industrial; Benchmark ] ]
+  in
+  let model =
+    map2
+      (fun name description ->
+        Bx_repo.Template.model_desc ~name:(String.capitalize_ascii name)
+          description)
+      (oneofl words) sentence
+  in
+  let claim =
+    map
+      (fun (p, polarity) ->
+        if polarity then Bx.Properties.Satisfies p else Bx.Properties.Violates p)
+      (pair (oneofl Bx.Properties.all) bool)
+  in
+  let variant =
+    map2 (fun name d -> Bx_repo.Template.variant ~name d) (oneofl words) sentence
+  in
+  let contributor =
+    map
+      (fun (name, aff) ->
+        Bx_repo.Contributor.make
+          ?affiliation:(if aff then Some "Somewhere" else None)
+          (String.capitalize_ascii name))
+      (pair (oneofl words) bool)
+  in
+  let reference =
+    map
+      (fun ((authors, title), year) ->
+        Bx_repo.Reference.make
+          ~authors:(List.map String.capitalize_ascii authors)
+          ~title ~venue:"VENUE" ~year ())
+      (pair (pair (list_size (1 -- 2) (oneofl words)) sentence) (1990 -- 2020))
+  in
+  map
+    (fun ((((title, classes), overview), (models, consistency)),
+          (((properties, variants), (discussion, references)),
+           ((authors, fwd), bwd))) ->
+      Bx_repo.Template.make ~title ~classes ~overview ~models ~consistency
+        ~restoration:
+          Bx_repo.Template.{ rest_forward = fwd; rest_backward = bwd }
+        ~properties:
+          (List.sort_uniq compare properties)
+        ~variants ~discussion ~references ~authors ())
+    (pair
+       (pair (pair (pair title classes) paragraphs)
+          (pair (list_size (1 -- 3) model) sentence))
+       (pair
+          (pair
+             (pair (list_size (0 -- 3) claim) (list_size (0 -- 2) variant))
+             (pair paragraphs (list_size (0 -- 2) reference)))
+          (pair (pair (list_size (1 -- 2) contributor) sentence) sentence)))
+
+
+(* --- BOOKSTORE-EDIT -------------------------------------------------- *)
+
+let bookstore_view_edit =
+  Gen.oneof
+    [
+      Gen.map
+        (fun (i, (t, p)) -> Bx.Elens.Insert_at (i, (t, p)))
+        Gen.(pair (0 -- 5) (pair (oneofl titles) (0 -- 99)));
+      Gen.map (fun i -> Bx.Elens.Delete_at i) Gen.(0 -- 5);
+      Gen.map
+        (fun (i, (t, p)) -> Bx.Elens.Update_at (i, (t, p)))
+        Gen.(pair (0 -- 5) (pair (oneofl titles) (0 -- 99)));
+    ]
+
+let bookstore_view_edits = Gen.list_size Gen.(0 -- 3) bookstore_view_edit
+
+let bookstore_store_edit =
+  (* In-domain tree edits: whole-book root operations and leaf relabels
+     with the right field prefixes. *)
+  let book_subtree =
+    Gen.map
+      (fun ((t, a), p) ->
+        Bx_models.Tree.node "book"
+          [
+            Bx_models.Tree.leaf ("title=" ^ t);
+            Bx_models.Tree.leaf ("author=" ^ a);
+            Bx_models.Tree.leaf ("price=" ^ string_of_int p);
+          ])
+      Gen.(pair (pair (oneofl titles) (oneofl authors)) (0 -- 99))
+  in
+  Gen.oneof
+    [
+      Gen.map2
+        (fun i sub -> Bx_models.Tree_edit.Insert_child ([], i, sub))
+        Gen.(0 -- 5) book_subtree;
+      Gen.map (fun i -> Bx_models.Tree_edit.Delete_child ([], i)) Gen.(0 -- 5);
+      Gen.map
+        (fun (i, t) -> Bx_models.Tree_edit.Relabel ([ i; 0 ], "title=" ^ t))
+        Gen.(pair (0 -- 5) (oneofl titles));
+      Gen.map
+        (fun (i, a) -> Bx_models.Tree_edit.Relabel ([ i; 1 ], "author=" ^ a))
+        Gen.(pair (0 -- 5) (oneofl authors));
+      Gen.map
+        (fun (i, p) ->
+          Bx_models.Tree_edit.Relabel ([ i; 2 ], "price=" ^ string_of_int p))
+        Gen.(pair (0 -- 5) (0 -- 99));
+    ]
+
+let bookstore_store_edits = Gen.list_size Gen.(0 -- 3) bookstore_store_edit

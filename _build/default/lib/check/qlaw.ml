@@ -1,0 +1,21 @@
+let to_qcheck ?(count = 200) ~name gen law =
+  QCheck2.Test.make ~count ~name gen (fun x ->
+      match law.Bx.Law.check x with
+      | Bx.Law.Holds -> true
+      | Bx.Law.Violated msg -> QCheck2.Test.fail_report msg)
+
+let sample ?(seed = 42) ?(count = 200) gen =
+  let rand = Random.State.make [| seed |] in
+  List.init count (fun _ -> QCheck2.Gen.generate1 ~rand gen)
+
+let holds_on_samples ?seed ?count gen law =
+  let inputs = sample ?seed ?count gen in
+  match Bx.Law.check_all law inputs with
+  | [] -> Ok ()
+  | (i, _, msg) :: _ ->
+      Error (Printf.sprintf "sample #%d violates %s: %s" i law.Bx.Law.name msg)
+
+let find_counterexample ?seed ?count gen law =
+  match holds_on_samples ?seed ?count gen law with
+  | Ok () -> None
+  | Error msg -> Some msg

@@ -1,0 +1,22 @@
+(** Bridge between {!Bx.Law} and QCheck: run first-class bx laws under
+    random generation, deterministically (fixed seed), and produce either
+    QCheck tests (for the alcotest suites) or plain results (for the
+    verification reports and the CLI). *)
+
+val to_qcheck :
+  ?count:int -> name:string -> 'a QCheck2.Gen.t -> 'a Bx.Law.t -> QCheck2.Test.t
+(** A QCheck test asserting the law holds on every generated input. *)
+
+val sample : ?seed:int -> ?count:int -> 'a QCheck2.Gen.t -> 'a list
+(** Deterministic sample of [count] values (default 200, seed 42). *)
+
+val holds_on_samples :
+  ?seed:int -> ?count:int -> 'a QCheck2.Gen.t -> 'a Bx.Law.t
+  -> (unit, string) result
+(** [Ok ()] when the law holds on every sampled input; otherwise
+    [Error msg] describing the first violation. *)
+
+val find_counterexample :
+  ?seed:int -> ?count:int -> 'a QCheck2.Gen.t -> 'a Bx.Law.t -> string option
+(** The first violation message found on the samples, if any — used to
+    confirm "Not P" claims. *)

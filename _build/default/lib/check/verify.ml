@@ -1,0 +1,112 @@
+type outcome = Verified | Refuted of string | Unsupported
+
+type row = {
+  claim : Bx.Properties.claim;
+  outcome : outcome;
+}
+
+type checker = unit -> (unit, string) result
+type suite = (Bx.Properties.t * checker) list
+
+let checker_of_law ?seed ?count gen law () =
+  Qlaw.holds_on_samples ?seed ?count gen law
+
+let symmetric_suite ?seed ?count ~m_space ~n_space ~gen_m ~gen_n bx =
+  let open QCheck2.Gen in
+  let pairs = Generators.mixed_pair bx gen_m gen_n in
+  (* Triples whose (m, n) component is consistent, for the conditional
+     laws; the interfering third component is arbitrary. *)
+  let fwd_triples =
+    map
+      (fun ((m, n), m') -> (m, m', n))
+      (pair (Generators.consistent_pair bx gen_m gen_n) gen_m)
+  in
+  let bwd_triples =
+    map
+      (fun ((m, n), n') -> (m, n, n'))
+      (pair (Generators.consistent_pair bx gen_m gen_n) gen_n)
+  in
+  let arb_fwd_triples = map (fun ((m, m'), n) -> (m, m', n)) (pair (pair gen_m gen_m) gen_n) in
+  let arb_bwd_triples = map (fun ((m, n), n') -> (m, n, n')) (pair (pair gen_m gen_n) gen_n) in
+  let check gen law = checker_of_law ?seed ?count gen law in
+  let conj2 c1 c2 () = match c1 () with Ok () -> c2 () | e -> e in
+  [
+    (Bx.Properties.Correct, check pairs (Bx.Symmetric.correct_law bx));
+    ( Bx.Properties.Hippocratic,
+      check pairs (Bx.Symmetric.hippocratic_law m_space n_space bx) );
+    ( Bx.Properties.Undoable,
+      conj2
+        (check fwd_triples (Bx.Symmetric.undoable_fwd_law n_space bx))
+        (check bwd_triples (Bx.Symmetric.undoable_bwd_law m_space bx)) );
+    ( Bx.Properties.History_ignorant,
+      conj2
+        (check arb_fwd_triples (Bx.Symmetric.history_ignorant_fwd_law n_space bx))
+        (check arb_bwd_triples (Bx.Symmetric.history_ignorant_bwd_law m_space bx)) );
+    ( Bx.Properties.Oblivious,
+      conj2
+        (check
+           (map (fun ((m, n), n') -> (m, n, n')) (pair (pair gen_m gen_n) gen_n))
+           (Bx.Symmetric.oblivious_fwd_law n_space bx))
+        (check arb_fwd_triples (Bx.Symmetric.oblivious_bwd_law m_space bx)) );
+    ( Bx.Properties.Bijective,
+      check pairs (Bx.Symmetric.bijective_law m_space n_space bx) );
+  ]
+
+let lens_suite ?seed ?count ~s_space ~v_space ~gen_s ~gen_v lens =
+  let open QCheck2.Gen in
+  let check gen law = checker_of_law ?seed ?count gen law in
+  let conj2 c1 c2 () = match c1 () with Ok () -> c2 () | e -> e in
+  let sym = Bx.Symmetric.of_lens ~view_equal:v_space.Bx.Model.equal lens in
+  let wb =
+    conj2
+      (check gen_s (Bx.Lens.get_put_law s_space lens))
+      (check (pair gen_s gen_v) (Bx.Lens.put_get_law v_space lens))
+  in
+  let vwb =
+    conj2 wb
+      (check
+         (map (fun ((s, v), v') -> (s, v, v')) (pair (pair gen_s gen_v) gen_v))
+         (Bx.Lens.put_put_law s_space lens))
+  in
+  (Bx.Properties.Well_behaved, wb)
+  :: (Bx.Properties.Very_well_behaved, vwb)
+  :: symmetric_suite ?seed ?count ~m_space:s_space ~n_space:v_space ~gen_m:gen_s
+       ~gen_n:gen_v sym
+
+let check_claims suite claims =
+  List.map
+    (fun claim ->
+      let property =
+        match claim with
+        | Bx.Properties.Satisfies p | Bx.Properties.Violates p -> p
+      in
+      let outcome =
+        match List.assoc_opt property suite with
+        | None -> Unsupported
+        | Some checker -> (
+            match (claim, checker ()) with
+            | Bx.Properties.Satisfies _, Ok () -> Verified
+            | Bx.Properties.Satisfies _, Error msg -> Refuted msg
+            | Bx.Properties.Violates _, Error msg ->
+                (* The counterexample is the evidence the claim wants. *)
+                ignore msg;
+                Verified
+            | Bx.Properties.Violates _, Ok () ->
+                Refuted "no counterexample found on the sampled inputs")
+      in
+      { claim; outcome })
+    claims
+
+let all_upheld rows =
+  List.for_all (fun r -> match r.outcome with Refuted _ -> false | _ -> true) rows
+
+let pp_outcome ppf = function
+  | Verified -> Fmt.string ppf "verified"
+  | Refuted msg -> Fmt.pf ppf "REFUTED (%s)" msg
+  | Unsupported -> Fmt.string ppf "unsupported (human review)"
+
+let pp_row ppf r =
+  Fmt.pf ppf "%-22s %a" (Bx.Properties.claim_name r.claim) pp_outcome r.outcome
+
+let pp_report ppf rows =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_row) rows

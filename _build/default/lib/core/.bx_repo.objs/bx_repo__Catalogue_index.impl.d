@@ -1,0 +1,1 @@
+lib/core/catalogue_index.ml: Bx Contributor Fun Hashtbl Identifier List Markup Option Printf Reference Registry String Template

@@ -1,0 +1,1 @@
+lib/core/catalogue_index.mli: Bx Identifier Markup Registry Template

@@ -1,0 +1,1 @@
+lib/core/citation.ml: Contributor Identifier List Printf String Template Version

@@ -1,0 +1,1 @@
+lib/core/citation.mli: Identifier Template

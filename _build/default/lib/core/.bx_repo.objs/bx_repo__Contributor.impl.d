@@ -1,0 +1,1 @@
+lib/core/contributor.ml: Fmt String

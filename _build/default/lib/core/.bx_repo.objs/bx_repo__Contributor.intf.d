@@ -1,0 +1,1 @@
+lib/core/contributor.mli: Format

@@ -1,0 +1,1 @@
+lib/core/curation.mli: Format

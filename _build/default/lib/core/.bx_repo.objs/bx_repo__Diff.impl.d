@@ -1,0 +1,1 @@
+lib/core/diff.ml: Bx Contributor Fmt List Reference String Template

@@ -1,0 +1,1 @@
+lib/core/glossary.ml: Bx Fmt List String

@@ -1,0 +1,1 @@
+lib/core/identifier.ml: Buffer Char Fmt Printf String

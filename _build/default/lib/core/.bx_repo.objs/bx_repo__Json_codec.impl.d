@@ -1,0 +1,1 @@
+lib/core/json_codec.ml: Bx Bx_models Contributor Json List Option Printf Reference Template Version

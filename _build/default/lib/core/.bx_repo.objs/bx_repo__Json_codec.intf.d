@@ -1,0 +1,1 @@
+lib/core/json_codec.mli: Bx_models Template

@@ -1,0 +1,1 @@
+lib/core/manuscript.ml: Citation Contributor Hashtbl Identifier List Markup Option Printf Registry String Sync Template Version

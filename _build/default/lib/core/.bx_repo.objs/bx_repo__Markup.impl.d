@@ -1,0 +1,1 @@
+lib/core/markup.ml: Buffer Fmt List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/markup.mli: Format

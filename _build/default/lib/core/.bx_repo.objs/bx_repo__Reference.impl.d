@@ -1,0 +1,1 @@
+lib/core/reference.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Bx Citation Contributor Curation Hashtbl Identifier List Printf String Sync Template Version

@@ -1,0 +1,1 @@
+lib/core/registry.mli: Bx Curation Identifier Template Version

@@ -1,0 +1,1 @@
+lib/core/store.ml: Array Filename Fun Identifier Json_codec List Printf Registry Result String Sys Version

@@ -1,0 +1,1 @@
+lib/core/sync.ml: Bx Contributor List Markup Option Printf Reference String Template Version

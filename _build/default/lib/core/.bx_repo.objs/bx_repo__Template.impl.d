@@ -1,0 +1,1 @@
+lib/core/template.ml: Bx Contributor Fmt Format List Reference String Version

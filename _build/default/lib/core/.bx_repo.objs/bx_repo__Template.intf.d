@@ -1,0 +1,1 @@
+lib/core/template.mli: Bx Contributor Format Reference Version

@@ -1,0 +1,1 @@
+lib/core/webui.ml: Catalogue_index Citation Curation Filename Glossary Identifier Json_codec List Manuscript Markup Printf Registry String Sync Template Version

@@ -1,0 +1,1 @@
+lib/core/webui.mli: Curation Registry

@@ -1,0 +1,99 @@
+let latest_entries registry =
+  List.filter_map
+    (fun id ->
+      match Registry.latest registry id with
+      | Ok t -> Some (id, t)
+      | Error _ -> None)
+    (Registry.ids registry)
+
+(* Group entries by a list-valued key function. *)
+let group_by keys_of entries =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (id, t) ->
+      List.iter
+        (fun key ->
+          (match Hashtbl.find_opt tbl key with
+          | None ->
+              order := key :: !order;
+              Hashtbl.replace tbl key [ id ]
+          | Some ids ->
+              if not (List.exists (Identifier.equal id) ids) then
+                Hashtbl.replace tbl key (ids @ [ id ])))
+        (keys_of t))
+    entries;
+  List.rev_map (fun key -> (key, Hashtbl.find tbl key)) !order
+
+let by_class registry =
+  let groups =
+    group_by (fun t -> t.Template.classes) (latest_entries registry)
+  in
+  let in_order =
+    [ Template.Precise; Template.Industrial; Template.Sketch; Template.Benchmark ]
+  in
+  List.filter_map
+    (fun cls ->
+      Option.map
+        (fun ids -> (cls, List.sort Identifier.compare ids))
+        (List.assoc_opt cls groups))
+    in_order
+
+let by_property registry =
+  group_by (fun t -> t.Template.properties) (latest_entries registry)
+  |> List.map (fun (claim, ids) -> (claim, List.sort Identifier.compare ids))
+  |> List.sort (fun (a, _) (b, _) ->
+         String.compare (Bx.Properties.claim_name a) (Bx.Properties.claim_name b))
+
+let by_author registry =
+  group_by
+    (fun t ->
+      List.map (fun c -> c.Contributor.person_name) t.Template.authors)
+    (latest_entries registry)
+  |> List.map (fun (name, ids) -> (name, List.sort Identifier.compare ids))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let by_reference registry =
+  group_by
+    (fun t ->
+      List.map (fun r -> r.Reference.ref_title) t.Template.references)
+    (latest_entries registry)
+  |> List.map (fun (title, ids) -> (title, List.sort Identifier.compare ids))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let related registry id =
+  match Registry.latest registry id with
+  | Error _ -> []
+  | Ok t ->
+      let shares_key groups keys =
+        List.concat_map
+          (fun key -> Option.value ~default:[] (List.assoc_opt key groups))
+          keys
+      in
+      let by_ref = by_reference registry in
+      let by_auth = by_author registry in
+      let refs = List.map (fun r -> r.Reference.ref_title) t.Template.references in
+      let auths =
+        List.map (fun c -> c.Contributor.person_name) t.Template.authors
+      in
+      shares_key by_ref refs @ shares_key by_auth auths
+      |> List.filter (fun other -> not (Identifier.equal other id))
+      |> List.sort_uniq Identifier.compare
+
+let render registry =
+  let bullet_group to_string (key, ids) =
+    Printf.sprintf "%s: %s" (to_string key)
+      (String.concat ", " (List.map Identifier.to_string ids))
+  in
+  [
+    Markup.Heading (1, "Index");
+    Markup.Heading (2, "By class");
+    Markup.Bullets (List.map (bullet_group Template.class_name) (by_class registry));
+    Markup.Heading (2, "By property");
+    Markup.Bullets
+      (List.map (bullet_group Bx.Properties.claim_name) (by_property registry));
+    Markup.Heading (2, "By author");
+    Markup.Bullets (List.map (bullet_group Fun.id) (by_author registry));
+    Markup.Heading (2, "By cited source");
+    Markup.Bullets (List.map (bullet_group Fun.id) (by_reference registry));
+  ]

@@ -1,0 +1,26 @@
+(** Cross-reference indexing — the "more advanced indexing, and
+    traceability back to the originating sources" the template section
+    anticipates the repository needing as it grows.
+
+    All indexes run over each entry's latest version. *)
+
+val by_class : Registry.t -> (Template.example_class * Identifier.t list) list
+(** Entries per class, classes in declaration order, ids sorted; classes
+    with no entries are omitted. *)
+
+val by_property : Registry.t -> (Bx.Properties.claim * Identifier.t list) list
+(** Entries per property claim, sorted by claim name. *)
+
+val by_author : Registry.t -> (string * Identifier.t list) list
+(** Entries per contributing author (not reviewers), sorted by name. *)
+
+val by_reference : Registry.t -> (string * Identifier.t list) list
+(** Entries per cited source (keyed by the reference's title), sorted —
+    the traceability map back to the originating literature. *)
+
+val related : Registry.t -> Identifier.t -> Identifier.t list
+(** Entries related to the given one: sharing a cited source or a
+    contributing author.  Sorted, without the entry itself. *)
+
+val render : Registry.t -> Markup.doc
+(** The whole index as a wiki page. *)

@@ -1,0 +1,37 @@
+let repository_name = "The Bx Examples Repository"
+let repository_url = "http://bx-community.wikidot.com"
+
+let authors_of t =
+  String.concat ", "
+    (List.map
+       (fun c -> c.Contributor.person_name)
+       t.Template.authors)
+
+let entry ~id t =
+  Printf.sprintf "%s. \"%s\", version %s. %s, %s/%s." (authors_of t)
+    t.Template.title
+    (Version.to_string t.Template.version)
+    repository_name repository_url
+    (Identifier.wiki_path id)
+
+let entry_bibtex ~id t =
+  Printf.sprintf
+    "@misc{%s-%s,\n\
+    \  author       = {%s},\n\
+    \  title        = {%s},\n\
+    \  howpublished = {%s, \\url{%s/%s}},\n\
+    \  note         = {Version %s}\n\
+     }"
+    (String.lowercase_ascii (Identifier.to_string id))
+    (Version.to_string t.Template.version)
+    (String.concat " and "
+       (List.map (fun c -> c.Contributor.person_name) t.Template.authors))
+    t.Template.title repository_name repository_url
+    (Identifier.wiki_path id)
+    (Version.to_string t.Template.version)
+
+let repository () =
+  Printf.sprintf
+    "The Bx Community. %s. %s. Curated following Cheney, Gibbons, McKinna, \
+     Stevens: Towards a Repository of Bx Examples, BX 2014."
+    repository_name repository_url

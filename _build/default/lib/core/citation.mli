@@ -1,0 +1,20 @@
+(** Recommended citation formats for repository entries (section 5.2: "it
+    seems like a good idea to recommend a format for citations to examples
+    (including versions) or to the repository itself"). *)
+
+val repository_name : string
+(** ["The Bx Examples Repository"]. *)
+
+val repository_url : string
+(** The canonical home of the repository. *)
+
+val entry : id:Identifier.t -> Template.t -> string
+(** One-line citation for an entry at a specific version, e.g.
+    ["P. Stevens et al. \"COMPOSERS\", version 0.1. The Bx Examples
+    Repository, <url>/examples:composers."]. *)
+
+val entry_bibtex : id:Identifier.t -> Template.t -> string
+(** BibTeX [@misc] record for the entry, keyed by id and version. *)
+
+val repository : unit -> string
+(** Citation for the repository as a whole. *)

@@ -1,0 +1,18 @@
+(** Contributing authors and reviewers of repository entries.  Listing
+    both is the paper's incentive mechanism for contributions (section
+    5.2, "traceability and credit"). *)
+
+type t = {
+  person_name : string;
+  affiliation : string option;
+}
+
+val make : ?affiliation:string -> string -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** ["Name (Affiliation)"] or just ["Name"]. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Inverse of {!to_string}: an optional parenthesised affiliation at the
+    end is split off. *)

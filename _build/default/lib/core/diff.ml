@@ -1,0 +1,52 @@
+type change = { field : string; before : string; after : string }
+
+let render_list f xs = String.concat "; " (List.map f xs)
+
+let field_renderings (t : Template.t) =
+  [
+    ("title", t.title);
+    ("classes", render_list Template.class_name t.classes);
+    ("overview", t.overview);
+    ( "models",
+      render_list
+        (fun (m : Template.model_desc) ->
+          m.model_name ^ ": " ^ m.model_description)
+        t.models );
+    ("consistency", t.consistency);
+    ("forward restoration", t.restoration.rest_forward);
+    ("backward restoration", t.restoration.rest_backward);
+    ("properties", render_list Bx.Properties.claim_name t.properties);
+    ( "variants",
+      render_list
+        (fun (v : Template.variant) ->
+          v.variant_name ^ ": " ^ v.variant_description)
+        t.variants );
+    ("discussion", t.discussion);
+    ("references", render_list Reference.to_line t.references);
+    ("authors", render_list Contributor.to_string t.authors);
+    ("reviewers", render_list Contributor.to_string t.reviewers);
+    ( "comments",
+      render_list
+        (fun (c : Template.comment) -> c.comment_author ^ ": " ^ c.comment_text)
+        t.comments );
+    ( "artefacts",
+      render_list
+        (fun (a : Template.artefact) -> a.artefact_name ^ " -> " ^ a.location)
+        t.artefacts );
+  ]
+
+let templates t1 t2 =
+  List.filter_map
+    (fun ((field, before), (_, after)) ->
+      if String.equal before after then None else Some { field; before; after })
+    (List.combine (field_renderings t1) (field_renderings t2))
+
+let pp ppf = function
+  | [] -> Fmt.string ppf "(no changes)"
+  | changes ->
+      Fmt.pf ppf "@[<v>%a@]"
+        (Fmt.list ~sep:Fmt.cut (fun ppf c ->
+             Fmt.pf ppf "@[<v 2>%s:@,- %s@,+ %s@]" c.field
+               (if c.before = "" then "(empty)" else c.before)
+               (if c.after = "" then "(empty)" else c.after)))
+        changes

@@ -1,0 +1,17 @@
+(** Field-level differences between two versions of an entry — what a
+    reviewer looks at before re-endorsing a revision, and what the
+    version history renders in the CLI. *)
+
+type change = {
+  field : string;  (** Template field name, e.g. ["overview"]. *)
+  before : string;  (** Short rendering of the old value. *)
+  after : string;  (** Short rendering of the new value. *)
+}
+
+val templates : Template.t -> Template.t -> change list
+(** All fields whose rendered value differs (the version field is
+    excluded: two versions of one entry always differ there). *)
+
+val pp : Format.formatter -> change list -> unit
+(** One block per change, with before/after lines; ["(no changes)"] when
+    empty. *)

@@ -1,0 +1,103 @@
+let extra_terms =
+  [
+    ( "bx",
+      "A bidirectional transformation: a mechanism for maintaining \
+       consistency between two (or more) related sources of information, \
+       comprising a consistency relation and consistency-restoration \
+       behaviour." );
+    ( "state-based",
+      "A bx whose restoration functions depend only on the current states \
+       of the models (as opposed to the edits that produced them)." );
+    ( "delta-based",
+      "A bx whose restoration consumes extra information about the change \
+       that was made (an edit, delta, or alignment), not just the \
+       resulting states.  Edit lenses are the archetype." );
+    ( "symmetric",
+      "A bx in which both models may contain information missing from the \
+       other, so neither restoration direction is a plain function of one \
+       model." );
+    ( "asymmetric",
+      "A bx in which one model (the view) is fully determined by the other \
+       (the source); the lens framework of get/put/create." );
+    ( "lens",
+      "An asymmetric bx given by get : S -> V, put : V -> S -> S and \
+       create : V -> S, subject to round-tripping laws." );
+    ( "consistency relation",
+      "The relation R between model spaces that defines when two models \
+       agree; restoration re-establishes it." );
+    ( "consistency restoration",
+      "The functions that repair one model, given the other as \
+       authoritative, so that the pair satisfies the consistency relation." );
+    ( "composition problem",
+      "Sequential composition of symmetric state-based bx is not canonical: \
+       restoring through a middle model space requires a middle state that \
+       plain state-based bx do not carry.  One reason edit/complement-based \
+       formulations exist." );
+    ( "dictionary lens",
+      "A resourceful string lens (POPL 2008) whose iteration aligns chunks \
+       by key rather than by position, so hidden data follows its key \
+       under reordering." );
+    ( "resourceful",
+      "Of a lens: put re-uses pieces of the old source by aligning chunks \
+       with view chunks (by key, position or diff), so hidden data \
+       follows the data it belongs to.  Introduced with dictionary \
+       lenses in the Boomerang work." );
+    ( "canonizer",
+      "A map from a concrete language onto canonical representatives, \
+       used to quotient a lens's source or view: the lens laws then hold \
+       up to canonization (Foster et al., Quotient Lenses)." );
+    ( "quotient lens",
+      "A lens whose laws hold modulo an equivalence induced by \
+       canonizers on either side; the standard treatment of whitespace \
+       and other formatting freedom." );
+    ( "constant complement",
+      "The classical database condition for translatable view updates \
+       (Bancilhon and Spyratos): the source decomposes as view times \
+       complement, and updates must keep the complement constant.  \
+       Constant-complement lenses are very well-behaved and undoable." );
+    ( "view update",
+      "The database ancestor of the lens framework: translating an \
+       update of a derived view back to the base tables, correctly \
+       (Dayal and Bernstein) and unambiguously." );
+    ( "span",
+      "A multi-model bx built from one shared source and a lens per \
+       view; the standard way to present an n-ary bx using binary \
+       machinery." );
+    ( "benchmark",
+      "A repository entry class (after the BenchmarX proposal): an \
+       example packaged with workloads, scenarios and measurement \
+       points, rather than just a definition." );
+    ( "alignment",
+      "The matching between parts of the two models that restoration \
+       uses to decide what to update, create and delete; positional, \
+       key-based and diff-based alignments are the common choices." );
+    ( "curated repository",
+      "A resource put together by sustained human effort of a \
+       knowledgeable community (Buneman et al.), as opposed to one \
+       extracted automatically; the organisational model of this \
+       repository." );
+  ]
+
+let all () =
+  let property_terms =
+    List.map
+      (fun p -> (Bx.Properties.name p, Bx.Properties.describe p))
+      Bx.Properties.all
+  in
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (property_terms @ extra_terms)
+
+let normalise s =
+  String.lowercase_ascii (String.trim s)
+  |> String.map (function ' ' | '_' -> '-' | c -> c)
+
+let lookup term =
+  let t = normalise term in
+  List.find_map
+    (fun (name, def) -> if String.equal (normalise name) t then Some def else None)
+    (all ())
+
+let terms = all
+
+let pp_entry ppf (term, def) = Fmt.pf ppf "@[<v 2>%s@,@[%a@]@]" term Fmt.text def

@@ -1,0 +1,14 @@
+(** The glossary the template's "Properties" field links to (section 3):
+    definitions of the bx property vocabulary plus the surrounding terms of
+    art used across the repository. *)
+
+val lookup : string -> string option
+(** Look up a term (case- and separator-insensitive).  Property names
+    resolve to the {!Bx.Properties} definitions; further terms
+    ("state-based", "delta-based", "bx", "composition problem", ...) are
+    defined here. *)
+
+val terms : unit -> (string * string) list
+(** All glossary entries as (term, definition), sorted by term. *)
+
+val pp_entry : Format.formatter -> string * string -> unit

@@ -1,0 +1,29 @@
+type t = string (* canonical: uppercase letters, digits, single hyphens *)
+
+let canonicalise s =
+  let buf = Buffer.create (String.length s) in
+  let pending_hyphen = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' ->
+          if !pending_hyphen && Buffer.length buf > 0 then
+            Buffer.add_char buf '-';
+          pending_hyphen := false;
+          Buffer.add_char buf (Char.uppercase_ascii c)
+      | _ -> pending_hyphen := true)
+    s;
+  Buffer.contents buf
+
+let of_title title =
+  let id = canonicalise title in
+  if String.equal id "" then
+    Error (Printf.sprintf "title %S has no alphanumeric content" title)
+  else Ok id
+
+let of_string = of_title
+let to_string id = id
+let equal = String.equal
+let compare = String.compare
+let pp = Fmt.string
+let wiki_path id = "examples:" ^ String.lowercase_ascii id

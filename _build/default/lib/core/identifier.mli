@@ -1,0 +1,27 @@
+(** Stable identifiers for repository entries.
+
+    The paper stresses (section 2, section 5.2) that each example needs a
+    {e stable reference} so papers can cite it durably: a well-chosen name,
+    one main variation per example, and a linear version sequence.  An
+    identifier is the canonical upper-case slug of the entry's title —
+    [COMPOSERS], [UML2RDBMS], ... — and never changes across versions. *)
+
+type t
+
+val of_title : string -> (t, string) result
+(** Canonicalise a title: letters are upper-cased, runs of spaces and
+    punctuation become single hyphens, digits are kept.  Fails on titles
+    with no alphanumeric content. *)
+
+val of_string : string -> (t, string) result
+(** Parse an identifier that is already in canonical form (accepts any
+    case; re-canonicalises). *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val wiki_path : t -> string
+(** The wiki page path for an entry, mirroring the Bx wiki layout:
+    ["examples:composers"]. *)

@@ -1,0 +1,209 @@
+open Bx_models
+
+let ( let* ) r f = match r with Error e -> Error e | Ok x -> f x
+
+let encode_contributor (c : Contributor.t) =
+  Json.Obj
+    (("name", Json.String c.person_name)
+    ::
+    (match c.affiliation with
+    | None -> []
+    | Some a -> [ ("affiliation", Json.String a) ]))
+
+let encode_reference (r : Reference.t) =
+  Json.Obj
+    ([
+       ("authors", Json.List (List.map (fun a -> Json.String a) r.ref_authors));
+       ("title", Json.String r.ref_title);
+       ("venue", Json.String r.ref_venue);
+       ("year", Json.Int r.ref_year);
+     ]
+    @ match r.ref_doi with None -> [] | Some d -> [ ("doi", Json.String d) ])
+
+let encode (t : Template.t) =
+  Json.Obj
+    [
+      ("title", Json.String t.title);
+      ("version", Json.String (Version.to_string t.version));
+      ( "classes",
+        Json.List
+          (List.map (fun c -> Json.String (Template.class_name c)) t.classes) );
+      ("overview", Json.String t.overview);
+      ( "models",
+        Json.List
+          (List.map
+             (fun (m : Template.model_desc) ->
+               Json.Obj
+                 ([
+                    ("name", Json.String m.model_name);
+                    ("description", Json.String m.model_description);
+                  ]
+                 @
+                 match m.meta_model with
+                 | None -> []
+                 | Some meta -> [ ("meta", Json.String meta) ]))
+             t.models) );
+      ("consistency", Json.String t.consistency);
+      ( "restoration",
+        Json.Obj
+          [
+            ("forward", Json.String t.restoration.rest_forward);
+            ("backward", Json.String t.restoration.rest_backward);
+          ] );
+      ( "properties",
+        Json.List
+          (List.map
+             (fun claim -> Json.String (Bx.Properties.claim_name claim))
+             t.properties) );
+      ( "variants",
+        Json.List
+          (List.map
+             (fun (v : Template.variant) ->
+               Json.Obj
+                 [
+                   ("name", Json.String v.variant_name);
+                   ("description", Json.String v.variant_description);
+                 ])
+             t.variants) );
+      ("discussion", Json.String t.discussion);
+      ("references", Json.List (List.map encode_reference t.references));
+      ("authors", Json.List (List.map encode_contributor t.authors));
+      ("reviewers", Json.List (List.map encode_contributor t.reviewers));
+      ( "comments",
+        Json.List
+          (List.map
+             (fun (c : Template.comment) ->
+               Json.Obj
+                 [
+                   ("author", Json.String c.comment_author);
+                   ("text", Json.String c.comment_text);
+                 ])
+             t.comments) );
+      ( "artefacts",
+        Json.List
+          (List.map
+             (fun (a : Template.artefact) ->
+               Json.Obj
+                 [
+                   ("name", Json.String a.artefact_name);
+                   ( "kind",
+                     Json.String (Template.artefact_kind_name a.artefact_kind) );
+                   ("location", Json.String a.location);
+                 ])
+             t.artefacts) );
+    ]
+
+(* --- decoding -------------------------------------------------------- *)
+
+let str_field json name =
+  match Json.member name json with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %s is not a string" name)
+  | None -> Error (Printf.sprintf "missing field %s" name)
+
+let list_field json name decode_item =
+  match Json.member name json with
+  | None -> Ok []
+  | Some (Json.List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest ->
+            let* v = decode_item item in
+            go (v :: acc) rest
+      in
+      go [] items
+  | Some _ -> Error (Printf.sprintf "field %s is not an array" name)
+
+let decode_contributor json =
+  let* name = str_field json "name" in
+  let affiliation =
+    Option.bind (Json.member "affiliation" json) Json.to_str
+  in
+  Ok (Contributor.make ?affiliation name)
+
+let decode_reference json =
+  let* title = str_field json "title" in
+  let* venue = str_field json "venue" in
+  let* authors =
+    list_field json "authors" (fun a ->
+        match Json.to_str a with
+        | Some s -> Ok s
+        | None -> Error "author is not a string")
+  in
+  let* year =
+    match Json.member "year" json with
+    | Some (Json.Int y) -> Ok y
+    | _ -> Error "missing or non-integer reference year"
+  in
+  let doi = Option.bind (Json.member "doi" json) Json.to_str in
+  Ok (Reference.make ~authors ~title ~venue ~year ?doi ())
+
+let decode json =
+  let* title = str_field json "title" in
+  let* version_s = str_field json "version" in
+  let* version = Version.of_string version_s in
+  let* classes =
+    list_field json "classes" (fun c ->
+        match Option.bind (Json.to_str c) Template.class_of_name with
+        | Some cls -> Ok cls
+        | None -> Error "unknown class")
+  in
+  let* overview = str_field json "overview" in
+  let* models =
+    list_field json "models" (fun m ->
+        let* name = str_field m "name" in
+        let* description = str_field m "description" in
+        let meta = Option.bind (Json.member "meta" m) Json.to_str in
+        Ok (Template.model_desc ?meta_model:meta ~name description))
+  in
+  let* consistency = str_field json "consistency" in
+  let* restoration =
+    match Json.member "restoration" json with
+    | None -> Ok Template.{ rest_forward = ""; rest_backward = "" }
+    | Some r ->
+        let* forward = str_field r "forward" in
+        let* backward = str_field r "backward" in
+        Ok Template.{ rest_forward = forward; rest_backward = backward }
+  in
+  let* properties =
+    list_field json "properties" (fun p ->
+        match Option.bind (Json.to_str p) Bx.Properties.claim_of_name with
+        | Some claim -> Ok claim
+        | None -> Error "unknown property claim")
+  in
+  let* variants =
+    list_field json "variants" (fun v ->
+        let* name = str_field v "name" in
+        let* description = str_field v "description" in
+        Ok (Template.variant ~name description))
+  in
+  let* discussion = str_field json "discussion" in
+  let* references = list_field json "references" decode_reference in
+  let* authors = list_field json "authors" decode_contributor in
+  let* reviewers = list_field json "reviewers" decode_contributor in
+  let* comments =
+    list_field json "comments" (fun c ->
+        let* author = str_field c "author" in
+        let* text = str_field c "text" in
+        Ok (Template.comment ~author text))
+  in
+  let* artefacts =
+    list_field json "artefacts" (fun a ->
+        let* name = str_field a "name" in
+        let* kind = str_field a "kind" in
+        let* location = str_field a "location" in
+        Ok
+          (Template.artefact ~name
+             ~kind:(Template.artefact_kind_of_name kind)
+             location))
+  in
+  Ok
+    (Template.make ~title ~version ~classes ~overview ~models ~consistency
+       ~restoration ~properties ~variants ~discussion ~references ~authors
+       ~reviewers ~comments ~artefacts ())
+
+let to_string ?indent t = Json.to_string ?indent (encode t)
+
+let of_string s =
+  let* json = Json.of_string s in
+  decode json

@@ -1,0 +1,17 @@
+(** JSON interchange for repository entries — the "more structured
+    solution (e.g. to facilitate a move to a different platform than a
+    wiki)" that section 5.1 anticipates eventually wanting.
+
+    {!decode} inverts {!encode} exactly (property-tested), so the JSON
+    form is a faithful second serialisation alongside the wiki pages. *)
+
+val encode : Template.t -> Bx_models.Json.t
+(** Every template field, structurally (references as objects, claims as
+    their canonical names, the version as a string). *)
+
+val decode : Bx_models.Json.t -> (Template.t, string) result
+(** Rejects missing required fields, unknown property claims, malformed
+    versions and ill-shaped references. *)
+
+val to_string : ?indent:int -> Template.t -> string
+val of_string : string -> (Template.t, string) result

@@ -1,0 +1,82 @@
+let latest_entries registry =
+  List.filter_map
+    (fun id ->
+      match Registry.latest registry id with
+      | Ok t -> Some (id, t)
+      | Error _ -> None)
+    (Registry.ids registry)
+
+let contributors registry =
+  let tbl = Hashtbl.create 16 in
+  let add person id =
+    let name = person.Contributor.person_name in
+    let ids = Option.value ~default:[] (Hashtbl.find_opt tbl name) in
+    if not (List.mem id ids) then Hashtbl.replace tbl name (ids @ [ id ])
+  in
+  List.iter
+    (fun (id, t) ->
+      let id = Identifier.to_string id in
+      List.iter (fun p -> add p id) t.Template.authors;
+      List.iter (fun p -> add p id) t.Template.reviewers)
+    (latest_entries registry);
+  Hashtbl.fold (fun name ids acc -> (name, ids) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Demote every heading one level so entry titles nest under the
+   manuscript title. *)
+let demote doc =
+  List.map
+    (function
+      | Markup.Heading (level, text) -> Markup.Heading (level + 1, text)
+      | block -> block)
+    doc
+
+let generate registry =
+  let entries = latest_entries registry in
+  let toc =
+    Markup.Bullets
+      (List.map
+         (fun (id, t) ->
+           Printf.sprintf "%s (version %s)"
+             (Identifier.to_string id)
+             (Version.to_string t.Template.version))
+         entries)
+  in
+  let body = List.concat_map (fun (_, t) -> demote (Sync.render_entry t)) entries in
+  let credits =
+    Markup.Bullets
+      (List.map
+         (fun (name, ids) ->
+           Printf.sprintf "%s: %s" name (String.concat ", " ids))
+         (contributors registry))
+  in
+  let doc =
+    [
+      Markup.Heading (1, Citation.repository_name ^ ": Collected Examples");
+      Markup.Para
+        [
+          Markup.Text
+            "An archival collection of the most recent version of every \
+             example in the repository. Cite the repository as: ";
+        ];
+      Markup.Para [ Markup.Text (Citation.repository ()) ];
+      Markup.Heading (2, "Contents");
+      toc;
+    ]
+    @ body
+    @ [ Markup.Heading (2, "Credits"); credits ]
+  in
+  Markup.render doc
+
+let bibliography registry =
+  let entries = latest_entries registry in
+  String.concat "\n\n"
+    (List.map (fun (id, t) -> Citation.entry_bibtex ~id t) entries
+    @ [
+        Printf.sprintf
+          "@misc{bx-examples-repository,\n\
+          \  title        = {%s},\n\
+          \  howpublished = {\\url{%s}}\n\
+           }"
+          Citation.repository_name Citation.repository_url;
+      ])

@@ -1,0 +1,251 @@
+type inline =
+  | Text of string
+  | Bold of string
+  | Italic of string
+  | Code of string
+  | Link of { target : string; label : string }
+
+type block =
+  | Heading of int * string
+  | Para of inline list
+  | Bullets of string list
+  | Code_block of string list
+
+type doc = block list
+
+let render_inline = function
+  | Text s -> s
+  | Bold s -> "**" ^ s ^ "**"
+  | Italic s -> "//" ^ s ^ "//"
+  | Code s -> "{{" ^ s ^ "}}"
+  | Link { target; label } -> "[[[" ^ target ^ "|" ^ label ^ "]]]"
+
+let render_inlines inlines = String.concat "" (List.map render_inline inlines)
+
+let render_block = function
+  | Heading (level, text) -> String.make (max 1 level) '+' ^ " " ^ text
+  | Para inlines -> render_inlines inlines
+  | Bullets items -> String.concat "\n" (List.map (fun i -> "* " ^ i) items)
+  | Code_block lines ->
+      String.concat "\n" (("[[code]]" :: lines) @ [ "[[/code]]" ])
+
+let render doc =
+  match doc with
+  | [] -> ""
+  | _ -> String.concat "\n\n" (List.map render_block doc) ^ "\n"
+
+(* --- inline parsing ----------------------------------------------- *)
+
+(* Scan for the two-character markers; on finding an opener, look for its
+   closer.  Unclosed markers fall through as literal text. *)
+let parse_inlines line =
+  let n = String.length line in
+  let out = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      out := Text (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  let find_close marker from =
+    let m = String.length marker in
+    let rec scan i =
+      if i + m > n then None
+      else if String.sub line i m = marker then Some i
+      else scan (i + 1)
+    in
+    scan from
+  in
+  let rec go i =
+    if i >= n then ()
+    else if i + 3 <= n && String.sub line i 3 = "[[[" then begin
+      match find_close "]]]" (i + 3) with
+      | Some close ->
+          let body = String.sub line (i + 3) (close - i - 3) in
+          let target, label =
+            match String.index_opt body '|' with
+            | Some k ->
+                ( String.sub body 0 k,
+                  String.sub body (k + 1) (String.length body - k - 1) )
+            | None -> (body, body)
+          in
+          flush_text ();
+          out := Link { target; label } :: !out;
+          go (close + 3)
+      | None ->
+          Buffer.add_char buf line.[i];
+          go (i + 1)
+    end
+    else if i + 2 <= n then begin
+      let two = String.sub line i 2 in
+      let marked ctor marker =
+        match find_close marker (i + 2) with
+        | Some close when close > i + 2 ->
+            let body = String.sub line (i + 2) (close - i - 2) in
+            flush_text ();
+            out := ctor body :: !out;
+            go (close + 2)
+        | _ ->
+            Buffer.add_char buf line.[i];
+            go (i + 1)
+      in
+      match two with
+      | "**" -> marked (fun s -> Bold s) "**"
+      | "//" -> marked (fun s -> Italic s) "//"
+      | "{{" -> marked (fun s -> Code s) "}}"
+      | _ ->
+          Buffer.add_char buf line.[i];
+          go (i + 1)
+    end
+    else begin
+      Buffer.add_char buf line.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  flush_text ();
+  List.rev !out
+
+let plain_text inlines =
+  String.concat ""
+    (List.map
+       (function
+         | Text s | Bold s | Italic s | Code s -> s
+         | Link { label; _ } -> label)
+       inlines)
+
+(* --- block parsing ------------------------------------------------- *)
+
+let heading_of_line line =
+  let n = String.length line in
+  let rec plusses i = if i < n && line.[i] = '+' then plusses (i + 1) else i in
+  let level = plusses 0 in
+  if level > 0 && level < n && line.[level] = ' ' then
+    Some (level, String.sub line (level + 1) (n - level - 1))
+  else None
+
+let is_bullet line =
+  String.length line >= 2 && line.[0] = '*' && line.[1] = ' '
+
+let bullet_text line = String.sub line 2 (String.length line - 2)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec blocks acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> blocks acc rest
+    | "[[code]]" :: rest ->
+        let rec collect body = function
+          | "[[/code]]" :: rest -> Ok (List.rev body, rest)
+          | line :: rest -> collect (line :: body) rest
+          | [] -> Error "unterminated [[code]] block"
+        in
+        (match collect [] rest with
+        | Error e -> Error e
+        | Ok (body, rest) -> blocks (Code_block body :: acc) rest)
+    | line :: rest when heading_of_line line <> None ->
+        let level, htext = Option.get (heading_of_line line) in
+        blocks (Heading (level, htext) :: acc) rest
+    | line :: rest when is_bullet line ->
+        let rec collect items = function
+          | l :: rest when is_bullet l -> collect (bullet_text l :: items) rest
+          | rest -> (List.rev items, rest)
+        in
+        let items, rest = collect [ bullet_text line ] rest in
+        blocks (Bullets items :: acc) rest
+    | line :: rest ->
+        (* A paragraph: subsequent ordinary lines join with spaces. *)
+        let stops l =
+          l = "" || l = "[[code]]" || heading_of_line l <> None || is_bullet l
+        in
+        let rec collect para = function
+          | l :: rest when not (stops l) -> collect (l :: para) rest
+          | rest -> (List.rev para, rest)
+        in
+        let para, rest = collect [ line ] rest in
+        blocks (Para (parse_inlines (String.concat " " para)) :: acc) rest
+  in
+  blocks [] lines
+
+let heading_text = function Heading (_, t) -> Some t | _ -> None
+let equal (a : doc) b = a = b
+
+let pp_inline ppf = function
+  | Text s -> Fmt.pf ppf "Text %S" s
+  | Bold s -> Fmt.pf ppf "Bold %S" s
+  | Italic s -> Fmt.pf ppf "Italic %S" s
+  | Code s -> Fmt.pf ppf "Code %S" s
+  | Link { target; label } -> Fmt.pf ppf "Link (%S, %S)" target label
+
+let pp_block ppf = function
+  | Heading (l, t) -> Fmt.pf ppf "Heading %d %S" l t
+  | Para inlines ->
+      Fmt.pf ppf "Para [%a]" (Fmt.list ~sep:Fmt.semi pp_inline) inlines
+  | Bullets items ->
+      Fmt.pf ppf "Bullets [%a]" (Fmt.list ~sep:Fmt.semi (Fmt.fmt "%S")) items
+  | Code_block lines -> Fmt.pf ppf "Code_block (%d lines)" (List.length lines)
+
+let pp ppf doc = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_block) doc
+
+(* --- Markdown export ------------------------------------------------- *)
+
+let markdown_inline = function
+  | Text s -> s
+  | Bold s -> "**" ^ s ^ "**"
+  | Italic s -> "*" ^ s ^ "*"
+  | Code s -> "`" ^ s ^ "`"
+  | Link { target; label } -> "[" ^ label ^ "](" ^ target ^ ")"
+
+let markdown_block = function
+  | Heading (level, text) -> String.make (max 1 level) '#' ^ " " ^ text
+  | Para inlines -> String.concat "" (List.map markdown_inline inlines)
+  | Bullets items -> String.concat "\n" (List.map (fun i -> "- " ^ i) items)
+  | Code_block lines -> String.concat "\n" (("```" :: lines) @ [ "```" ])
+
+let to_markdown doc =
+  match doc with
+  | [] -> ""
+  | _ -> String.concat "\n\n" (List.map markdown_block doc) ^ "\n"
+
+(* --- HTML export ------------------------------------------------------ *)
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let html_inline = function
+  | Text s -> html_escape s
+  | Bold s -> "<strong>" ^ html_escape s ^ "</strong>"
+  | Italic s -> "<em>" ^ html_escape s ^ "</em>"
+  | Code s -> "<code>" ^ html_escape s ^ "</code>"
+  | Link { target; label } ->
+      Printf.sprintf "<a href=\"%s\">%s</a>" (html_escape target)
+        (html_escape label)
+
+let html_block = function
+  | Heading (level, text) ->
+      let level = min 6 (max 1 level) in
+      Printf.sprintf "<h%d>%s</h%d>" level (html_escape text) level
+  | Para inlines ->
+      "<p>" ^ String.concat "" (List.map html_inline inlines) ^ "</p>"
+  | Bullets items ->
+      "<ul>"
+      ^ String.concat ""
+          (List.map (fun i -> "<li>" ^ html_escape i ^ "</li>") items)
+      ^ "</ul>"
+  | Code_block lines ->
+      "<pre><code>"
+      ^ html_escape (String.concat "\n" lines)
+      ^ "</code></pre>"
+
+let to_html doc = String.concat "\n" (List.map html_block doc)

@@ -1,0 +1,86 @@
+type t = {
+  ref_authors : string list;
+  ref_title : string;
+  ref_venue : string;
+  ref_year : int;
+  ref_doi : string option;
+}
+
+let make ~authors ~title ~venue ~year ?doi () =
+  {
+    ref_authors = authors;
+    ref_title = title;
+    ref_venue = venue;
+    ref_year = year;
+    ref_doi = doi;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "%s. \"%s\". %s, %d%a"
+    (String.concat ", " r.ref_authors)
+    r.ref_title r.ref_venue r.ref_year
+    (fun ppf -> function
+      | None -> ()
+      | Some doi -> Fmt.pf ppf ". DOI %s" doi)
+    r.ref_doi
+
+let to_line r =
+  let base =
+    Printf.sprintf "[%d] %s | %s | %s" r.ref_year
+      (String.concat "; " r.ref_authors)
+      r.ref_title r.ref_venue
+  in
+  match r.ref_doi with None -> base | Some doi -> base ^ " | " ^ doi
+
+let of_line line =
+  let line = String.trim line in
+  let fail () = Error (Printf.sprintf "unparseable reference %S" line) in
+  if String.length line < 6 || line.[0] <> '[' then fail ()
+  else
+    match String.index_opt line ']' with
+    | None -> fail ()
+    | Some close -> (
+        match int_of_string_opt (String.sub line 1 (close - 1)) with
+        | None -> fail ()
+        | Some year -> (
+            let rest =
+              String.trim
+                (String.sub line (close + 1) (String.length line - close - 1))
+            in
+            match String.split_on_char '|' rest |> List.map String.trim with
+            | [ authors; title; venue ] ->
+                Ok
+                  {
+                    ref_authors = String.split_on_char ';' authors |> List.map String.trim;
+                    ref_title = title;
+                    ref_venue = venue;
+                    ref_year = year;
+                    ref_doi = None;
+                  }
+            | [ authors; title; venue; doi ] ->
+                Ok
+                  {
+                    ref_authors = String.split_on_char ';' authors |> List.map String.trim;
+                    ref_title = title;
+                    ref_venue = venue;
+                    ref_year = year;
+                    ref_doi = Some doi;
+                  }
+            | _ -> fail ()))
+
+let to_bibtex ~key r =
+  let doi_line =
+    match r.ref_doi with
+    | None -> ""
+    | Some doi -> Printf.sprintf ",\n  doi       = {%s}" doi
+  in
+  Printf.sprintf
+    "@inproceedings{%s,\n\
+    \  author    = {%s},\n\
+    \  title     = {%s},\n\
+    \  booktitle = {%s},\n\
+    \  year      = {%d}%s\n\
+     }"
+    key
+    (String.concat " and " r.ref_authors)
+    r.ref_title r.ref_venue r.ref_year doi_line

@@ -1,0 +1,29 @@
+(** Bibliographic references: the template's "References" field, giving
+    traceability back to the originating sources of an example. *)
+
+type t = {
+  ref_authors : string list;
+  ref_title : string;
+  ref_venue : string;
+  ref_year : int;
+  ref_doi : string option;
+}
+
+val make :
+  authors:string list -> title:string -> venue:string -> year:int
+  -> ?doi:string -> unit -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line citation. *)
+
+val to_line : t -> string
+(** Machine-parseable single-line form:
+    ["[year] author1; author2 | title | venue | doi"] (doi segment omitted
+    when absent).  Used by the wiki rendering so references survive the
+    template/wiki round trip. *)
+
+val of_line : string -> (t, string) result
+(** Inverse of {!to_line}. *)
+
+val to_bibtex : key:string -> t -> string
+(** A BibTeX [@inproceedings]-style record. *)

@@ -1,0 +1,318 @@
+type entry = {
+  id : Identifier.t;
+  mutable history : (Version.t * Template.t) list; (* newest first *)
+  mutable pending : string list; (* endorsing reviewer account names *)
+}
+
+type t = { mutable entries : entry list }
+
+type error =
+  | Not_found of string
+  | Permission_denied of string
+  | Invalid of string list
+  | Conflict of string
+
+let error_message = function
+  | Not_found id -> Printf.sprintf "no entry %s" id
+  | Permission_denied what -> Printf.sprintf "permission denied: %s" what
+  | Invalid msgs -> "invalid template: " ^ String.concat "; " msgs
+  | Conflict what -> Printf.sprintf "conflict: %s" what
+
+let create () = { entries = [] }
+
+let ids t =
+  List.sort Identifier.compare (List.map (fun e -> e.id) t.entries)
+
+let size t = List.length t.entries
+
+let find_entry t id =
+  List.find_opt (fun e -> Identifier.equal e.id id) t.entries
+
+let latest_of entry =
+  match entry.history with
+  | (_, template) :: _ -> template
+  | [] -> assert false (* entries always hold at least one version *)
+
+let author_names (template : Template.t) =
+  List.map (fun c -> c.Contributor.person_name) template.Template.authors
+
+let submit t ~as_:_ template =
+  match Template.validate template with
+  | Error msgs -> Error (Invalid msgs)
+  | Ok () ->
+      if not (Template.is_provisional template) then
+        Error
+          (Invalid [ "a new submission must carry a provisional 0.x version" ])
+      else (
+        match Identifier.of_title template.Template.title with
+        | Error e -> Error (Invalid [ e ])
+        | Ok id ->
+            if find_entry t id <> None then
+              Error
+                (Conflict
+                   (Printf.sprintf "an entry %s already exists"
+                      (Identifier.to_string id)))
+            else begin
+              t.entries <-
+                t.entries
+                @ [
+                    {
+                      id;
+                      history = [ (template.Template.version, template) ];
+                      pending = [];
+                    };
+                  ];
+              Ok id
+            end)
+
+let with_entry t id f =
+  match find_entry t id with
+  | None -> Error (Not_found (Identifier.to_string id))
+  | Some entry -> f entry
+
+let comment t ~as_ id ~text =
+  with_entry t id (fun entry ->
+      if not (Curation.can_comment as_) then
+        Error (Permission_denied "commenting requires an account")
+      else begin
+        match entry.history with
+        | (v, template) :: older ->
+            let template =
+              {
+                template with
+                Template.comments =
+                  template.Template.comments
+                  @ [ Template.comment ~author:as_.Curation.account_name text ];
+              }
+            in
+            entry.history <- (v, template) :: older;
+            Ok ()
+        | [] -> assert false
+      end)
+
+let endorse t ~as_ id =
+  with_entry t id (fun entry ->
+      if not (Curation.can_review as_) then
+        Error (Permission_denied "endorsing requires reviewer status")
+      else
+        let template = latest_of entry in
+        if List.mem as_.Curation.account_name (author_names template) then
+          Error (Permission_denied "authors cannot endorse their own entry")
+        else if List.mem as_.Curation.account_name entry.pending then
+          Error (Conflict "already endorsed by this reviewer")
+        else begin
+          entry.pending <- entry.pending @ [ as_.Curation.account_name ];
+          Ok ()
+        end)
+
+let endorsements t id = with_entry t id (fun entry -> Ok entry.pending)
+
+let approve t ~as_ id =
+  with_entry t id (fun entry ->
+      if not (Curation.can_approve as_) then
+        Error (Permission_denied "approval requires curator status")
+      else if entry.pending = [] then
+        Error (Conflict "no endorsements: an entry needs at least one reviewer")
+      else begin
+        match entry.history with
+        | (v, template) :: _ ->
+            let version = Version.promote v in
+            let template =
+              {
+                template with
+                Template.version;
+                Template.reviewers =
+                  List.map Contributor.make entry.pending;
+              }
+            in
+            (match Template.validate template with
+            | Error msgs -> Error (Invalid msgs)
+            | Ok () ->
+                entry.history <- (version, template) :: entry.history;
+                entry.pending <- [];
+                Ok version)
+        | [] -> assert false
+      end)
+
+let revise t ~as_ id template =
+  with_entry t id (fun entry ->
+      let current = latest_of entry in
+      if not (Curation.can_edit ~author_names:(author_names current) as_) then
+        Error (Permission_denied "editing requires curator status or authorship")
+      else (
+        match Identifier.of_title template.Template.title with
+        | Error e -> Error (Invalid [ e ])
+        | Ok new_id when not (Identifier.equal new_id id) ->
+            Error
+              (Conflict
+                 "revisions may not change the title: identifiers are stable")
+        | Ok _ ->
+            let version =
+              Version.bump_minor current.Template.version
+            in
+            let template = { template with Template.version } in
+            (match Template.validate template with
+            | Error msgs -> Error (Invalid msgs)
+            | Ok () ->
+                entry.history <- (version, template) :: entry.history;
+                entry.pending <- [];
+                Ok version)))
+
+let latest t id = with_entry t id (fun entry -> Ok (latest_of entry))
+
+let find_version t id version =
+  with_entry t id (fun entry ->
+      match
+        List.find_opt (fun (v, _) -> Version.equal v version) entry.history
+      with
+      | Some (_, template) -> Ok template
+      | None ->
+          Error
+            (Not_found
+               (Printf.sprintf "%s version %s" (Identifier.to_string id)
+                  (Version.to_string version))))
+
+let versions t id =
+  with_entry t id (fun entry ->
+      Ok (List.rev_map fst entry.history))
+
+type query = {
+  q_class : Template.example_class option;
+  q_property : Bx.Properties.claim option;
+  q_text : string option;
+}
+
+let query ?cls ?property ?text () =
+  { q_class = cls; q_property = property; q_text = text }
+
+let contains_ci haystack needle =
+  let h = String.lowercase_ascii haystack in
+  let n = String.lowercase_ascii needle in
+  let hl = String.length h and nl = String.length n in
+  if nl = 0 then true
+  else
+    let rec scan i = i + nl <= hl && (String.sub h i nl = n || scan (i + 1)) in
+    scan 0
+
+let full_text (template : Template.t) =
+  String.concat "\n"
+    ([
+       template.Template.title;
+       template.Template.overview;
+       template.Template.consistency;
+       template.Template.restoration.Template.rest_forward;
+       template.Template.restoration.Template.rest_backward;
+       template.Template.discussion;
+     ]
+    @ List.map
+        (fun (m : Template.model_desc) ->
+          m.model_name ^ " " ^ m.model_description)
+        template.Template.models
+    @ List.map
+        (fun (v : Template.variant) ->
+          v.variant_name ^ " " ^ v.variant_description)
+        template.Template.variants
+    @ List.map Contributor.to_string template.Template.authors)
+
+let matches q (template : Template.t) =
+  (match q.q_class with
+  | None -> true
+  | Some c -> List.mem c template.Template.classes)
+  && (match q.q_property with
+     | None -> true
+     | Some p -> List.mem p template.Template.properties)
+  &&
+  match q.q_text with
+  | None -> true
+  | Some text -> contains_ci (full_text template) text
+
+let search t q =
+  List.filter (fun e -> matches q (latest_of e)) t.entries
+  |> List.map (fun e -> e.id)
+  |> List.sort Identifier.compare
+
+let resolve t id version =
+  match version with
+  | None -> latest t id
+  | Some v -> find_version t id v
+
+let cite t ?version id =
+  match resolve t id version with
+  | Error e -> Error e
+  | Ok template -> Ok (Citation.entry ~id template)
+
+let cite_bibtex t ?version id =
+  match resolve t id version with
+  | Error e -> Error e
+  | Ok template -> Ok (Citation.entry_bibtex ~id template)
+
+let export t =
+  List.concat_map
+    (fun entry ->
+      let path = Identifier.wiki_path entry.id in
+      let versioned =
+        List.rev_map
+          (fun (v, template) ->
+            (path ^ "/" ^ Version.to_string v, Sync.wiki_text template))
+          entry.history
+      in
+      versioned @ [ (path, Sync.wiki_text (latest_of entry)) ])
+    t.entries
+
+let import pages =
+  let versioned =
+    List.filter (fun (path, _) -> String.contains path '/') pages
+  in
+  let parse_page (path, text) =
+    match String.index_opt path '/' with
+    | None -> Error (Printf.sprintf "unversioned page %s" path)
+    | Some i -> (
+        let version_s =
+          String.sub path (i + 1) (String.length path - i - 1)
+        in
+        match Version.of_string version_s with
+        | Error e -> Error e
+        | Ok version -> (
+            match Sync.of_wiki_text text with
+            | Error e -> Error (Printf.sprintf "%s: %s" path e)
+            | Ok template -> Ok (version, template)))
+  in
+  let by_id : (string, Identifier.t * (Version.t * Template.t) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  let rec build = function
+    | [] -> Ok ()
+    | page :: rest -> (
+        match parse_page page with
+        | Error e -> Error e
+        | Ok (version, template) -> (
+            match Identifier.of_title template.Template.title with
+            | Error e -> Error e
+            | Ok id ->
+                let key = Identifier.to_string id in
+                (match Hashtbl.find_opt by_id key with
+                | None ->
+                    order := key :: !order;
+                    Hashtbl.replace by_id key (id, [ (version, template) ])
+                | Some (id, history) ->
+                    Hashtbl.replace by_id key
+                      (id, (version, template) :: history));
+                build rest))
+  in
+  match build versioned with
+  | Error e -> Error e
+  | Ok () ->
+      let entries =
+        List.rev_map
+          (fun key ->
+            let id, history = Hashtbl.find by_id key in
+            {
+              id;
+              history =
+                List.sort (fun (v1, _) (v2, _) -> Version.compare v2 v1) history;
+              pending = [];
+            })
+          !order
+      in
+      Ok { entries }

@@ -1,0 +1,106 @@
+(** The repository itself: a curated, versioned store of example entries.
+
+    Behaviour follows sections 5.1–5.2 of the paper:
+    - entries are submitted at version [0.1] and remain {e provisional}
+      ([0.x]) until reviewed and approved;
+    - anyone with an account comments; reviewers endorse; curators approve
+      (three-level curatorial structure) — and an author may not endorse
+      their own entry;
+    - approval promotes the entry to [1.0], recording the endorsing
+      reviewers in the template;
+    - {e old versions are kept available} so published references remain
+      valid;
+    - identifiers are stable; citation strings are generated per version;
+    - the whole store exports to (and re-imports from) wiki pages through
+      the {!Sync} lens. *)
+
+type t
+
+type error =
+  | Not_found of string
+  | Permission_denied of string
+  | Invalid of string list
+  | Conflict of string
+
+val error_message : error -> string
+
+val create : unit -> t
+val ids : t -> Identifier.t list
+(** Sorted. *)
+
+val size : t -> int
+
+(** {1 Contribution workflow} *)
+
+val submit :
+  t -> as_:Curation.account -> Template.t -> (Identifier.t, error) result
+(** Add a new entry.  The template must validate, must be provisional
+    (version [0.x], no reviewers), and its identifier (from the title) must
+    be fresh.  Any account may submit. *)
+
+val comment :
+  t -> as_:Curation.account -> Identifier.t -> text:string -> (unit, error) result
+(** Append a comment (attributed to the account) to the latest version. *)
+
+val endorse :
+  t -> as_:Curation.account -> Identifier.t -> (unit, error) result
+(** A reviewer endorses the latest version as being of usable quality.
+    Requires review permission; authors cannot endorse their own entries;
+    endorsing twice is a conflict. *)
+
+val endorsements : t -> Identifier.t -> (string list, error) result
+(** Names of reviewers who endorsed the latest version so far. *)
+
+val approve :
+  t -> as_:Curation.account -> Identifier.t -> (Version.t, error) result
+(** A curator approves an entry that has at least one endorsement: a new
+    version is created by {!Version.promote}, with the endorsing reviewers
+    recorded in the template's Reviewers field. *)
+
+val revise :
+  t -> as_:Curation.account -> Identifier.t -> Template.t
+  -> (Version.t, error) result
+(** Publish a new version of an existing entry (same identifier; the title
+    must not change, preserving stable references).  Requires edit
+    permission (curator, or a listed author of the latest version).  The
+    version is forced to the next in the linear sequence; pending
+    endorsements are cleared. *)
+
+(** {1 Lookup} *)
+
+val latest : t -> Identifier.t -> (Template.t, error) result
+val find_version : t -> Identifier.t -> Version.t -> (Template.t, error) result
+val versions : t -> Identifier.t -> (Version.t list, error) result
+(** Oldest first. *)
+
+type query = {
+  q_class : Template.example_class option;
+  q_property : Bx.Properties.claim option;
+  q_text : string option;  (** Case-insensitive substring over all fields. *)
+}
+
+val query : ?cls:Template.example_class -> ?property:Bx.Properties.claim
+  -> ?text:string -> unit -> query
+
+val search : t -> query -> Identifier.t list
+(** Identifiers of entries whose latest version matches all given
+    criteria. *)
+
+(** {1 Citations and export} *)
+
+val cite :
+  t -> ?version:Version.t -> Identifier.t -> (string, error) result
+
+val cite_bibtex :
+  t -> ?version:Version.t -> Identifier.t -> (string, error) result
+
+val export : t -> (string * string) list
+(** All versions of all entries as (path, wiki text) pairs — the local,
+    wiki-markup-independent copy of section 5.4.  Paths look like
+    ["examples:composers/0.1"]; the latest version is additionally
+    exported at ["examples:composers"]. *)
+
+val import : (string * string) list -> (t, string) result
+(** Rebuild a registry from an {!export} dump (versioned pages only; the
+    latest-version aliases are ignored).  Round-trips with {!export} up to
+    page ordering. *)

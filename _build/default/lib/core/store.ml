@@ -1,0 +1,106 @@
+let page_filename path =
+  String.map (function ':' | '/' -> '_' | c -> c) path ^ ".wiki"
+
+(* The path is reconstructed from page contents on load, so the flattened
+   file name only needs to separate versioned from unversioned pages: a
+   versioned page's name ends in "_<major>.<minor>.wiki". *)
+let version_of_filename name =
+  match Filename.chop_suffix_opt ~suffix:".wiki" name with
+  | None -> None
+  | Some base -> (
+      match String.rindex_opt base '_' with
+      | None -> None
+      | Some i ->
+          let suffix = String.sub base (i + 1) (String.length base - i - 1) in
+          Result.to_option (Version.of_string suffix))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let index_page registry =
+  let lines =
+    List.concat_map
+      (fun id ->
+        match Registry.versions registry id with
+        | Error _ -> []
+        | Ok versions ->
+            [
+              Printf.sprintf "* %s: versions %s"
+                (Identifier.to_string id)
+                (String.concat ", " (List.map Version.to_string versions));
+            ])
+      (Registry.ids registry)
+  in
+  String.concat "\n"
+    (("+ Index" :: "" :: lines) @ [ "" ])
+
+let save ~dir registry =
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+    else if not (Sys.is_directory dir) then
+      failwith (dir ^ " exists and is not a directory");
+    let pages = Registry.export registry in
+    List.iter
+      (fun (path, text) ->
+        write_file (Filename.concat dir (page_filename path)) text)
+      pages;
+    (* JSON sidecars for the latest version of each entry: the
+       structured interchange form of section 5.1, alongside the wiki
+       markup. *)
+    let sidecars =
+      List.filter_map
+        (fun id ->
+          match Registry.latest registry id with
+          | Error _ -> None
+          | Ok template ->
+              let file =
+                String.map
+                  (function ':' | '/' -> '_' | c -> c)
+                  (Identifier.wiki_path id)
+                ^ ".json"
+              in
+              Some (file, Json_codec.to_string ~indent:2 template ^ "\n"))
+        (Registry.ids registry)
+    in
+    List.iter
+      (fun (file, contents) -> write_file (Filename.concat dir file) contents)
+      sidecars;
+    write_file (Filename.concat dir "INDEX.wiki") (index_page registry);
+    Ok (List.length pages + List.length sidecars + 1)
+  with
+  | Sys_error e | Failure e -> Error e
+
+let load ~dir =
+  try
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      failwith (dir ^ " is not a directory");
+    let files = Sys.readdir dir in
+    Array.sort String.compare files;
+    let pages =
+      Array.to_list files
+      |> List.filter_map (fun name ->
+             match version_of_filename name with
+             | None -> None
+             | Some version ->
+                 Some (version, read_file (Filename.concat dir name)))
+    in
+    (* Reuse Registry.import by rebuilding (path, text) pairs: import only
+       needs the version after the slash. *)
+    let as_pages =
+      List.mapi
+        (fun i (version, text) ->
+          (Printf.sprintf "page%d/%s" i (Version.to_string version), text))
+        pages
+    in
+    Registry.import as_pages
+  with
+  | Sys_error e | Failure e -> Error e

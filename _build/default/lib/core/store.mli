@@ -1,0 +1,24 @@
+(** Filesystem persistence: the durable form of the section 5.4 "local
+    copy" — every version of every entry saved as a wiki page under a
+    directory, and loaded back through the {!Sync} parser.
+
+    Layout: one file per versioned page, named by flattening the wiki
+    path (["examples:composers/0.1"] becomes
+    ["examples_composers_0.1.wiki"]), plus the latest version at the
+    unversioned name and a JSON sidecar
+    (["examples_composers.json"], the section 5.1 structured form).  An
+    [INDEX.wiki] file lists every entry with its versions, making the
+    dump browsable without the library. *)
+
+val save : dir:string -> Registry.t -> (int, string) result
+(** Write the registry's pages under [dir] (created if missing, must be a
+    directory otherwise).  Returns the number of files written.  Existing
+    files in [dir] are overwritten, never deleted. *)
+
+val load : dir:string -> (Registry.t, string) result
+(** Rebuild a registry from a directory written by {!save}.  Only
+    versioned pages participate (latest-aliases and the index are
+    ignored). *)
+
+val page_filename : string -> string
+(** The file name used for a wiki path (exposed for tests). *)

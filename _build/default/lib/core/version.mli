@@ -1,0 +1,36 @@
+(** Entry versions.
+
+    The paper (section 3, "Version"; section 5.2) prescribes a {e linear
+    sequence of numbered versions} per example, with [0.x] marking
+    unreviewed (provisional) entries.  Approval promotes an entry to
+    [1.0]; subsequent revisions bump the minor number. *)
+
+type t
+
+val make : int -> int -> t
+(** [make major minor]; both components must be non-negative. *)
+
+val initial : t
+(** [0.1] — the version assigned to a freshly submitted example. *)
+
+val major : t -> int
+val minor : t -> int
+
+val is_provisional : t -> bool
+(** True exactly for [0.x] versions (unreviewed, per the paper). *)
+
+val bump_minor : t -> t
+(** The next version in the linear sequence: [x.y] to [x.(y+1)]. *)
+
+val promote : t -> t
+(** The version after approval: a provisional [0.x] becomes [1.0]; an
+    already-approved [x.y] becomes [(x+1).0]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** ["0.1"], ["1.0"], ... *)
+
+val of_string : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

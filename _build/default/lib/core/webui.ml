@@ -1,0 +1,159 @@
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+let html_page ~title body =
+  Printf.sprintf
+    "<!doctype html>\n\
+     <html><head><meta charset=\"utf-8\"><title>%s</title>\n\
+     <style>body{font-family:sans-serif;max-width:50em;margin:2em \
+     auto;padding:0 1em;line-height:1.5}code,pre{background:#f4f4f4}\n\
+     h1{border-bottom:2px solid #ccc}h2{color:#444}</style></head>\n\
+     <body>%s</body></html>\n"
+    (Markup.html_escape title) body
+
+let respond ?(content_type = "text/html; charset=utf-8") status body =
+  { status; content_type; body }
+
+let not_found path =
+  respond 404 (html_page ~title:"Not found" ("<h1>No such page</h1><p>" ^ Markup.html_escape path ^ "</p>"))
+
+let index_page registry =
+  let entry_list =
+    Markup.Bullets
+      (List.map
+         (fun id ->
+           let path = Identifier.wiki_path id in
+           Printf.sprintf "%s — /%s" (Identifier.to_string id) path)
+         (Registry.ids registry))
+  in
+  let doc =
+    [
+      Markup.Heading (1, Citation.repository_name);
+      Markup.Para
+        [
+          Markup.Text
+            "A curated repository of bidirectional transformation \
+             examples. Every page is a lens view of a structured entry; \
+             editing a page and posting it back runs the section 5.4 bx.";
+        ];
+      Markup.Heading (2, "Entries");
+      entry_list;
+    ]
+    @ Catalogue_index.render registry
+  in
+  respond 200 (html_page ~title:Citation.repository_name (Markup.to_html doc))
+
+(* "/examples:composers.wiki" -> (id-ish page name, `Wiki) etc. *)
+let split_extension path =
+  let strip suffix =
+    Filename.chop_suffix_opt ~suffix path
+  in
+  match strip ".wiki" with
+  | Some base -> (base, `Wiki)
+  | None -> (
+      match strip ".json" with
+      | Some base -> (base, `Json)
+      | None -> (path, `Html))
+
+let find_entry registry page =
+  (* Pages look like "examples:composers"; identifiers canonicalise the
+     part after the colon. *)
+  let name =
+    match String.index_opt page ':' with
+    | Some i -> String.sub page (i + 1) (String.length page - i - 1)
+    | None -> page
+  in
+  match Identifier.of_string name with
+  | Error _ -> None
+  | Ok id -> (
+      match Registry.latest registry id with
+      | Ok template -> Some (id, template)
+      | Error _ -> None)
+
+let glossary_page () =
+  let doc =
+    Markup.Heading (1, "Glossary")
+    :: List.concat_map
+         (fun (term, definition) ->
+           [ Markup.Heading (2, term); Markup.Para [ Markup.Text definition ] ])
+         (Glossary.terms ())
+  in
+  respond 200 (html_page ~title:"Glossary" (Markup.to_html doc))
+
+let get registry path =
+  if path = "/" || path = "" then index_page registry
+  else if path = "/glossary" then glossary_page ()
+  else if path = "/manuscript" then
+    match Markup.parse (Manuscript.generate registry) with
+    | Ok doc ->
+        respond 200 (html_page ~title:"Collected Examples" (Markup.to_html doc))
+    | Error e -> respond 500 (html_page ~title:"Error" (Markup.html_escape e))
+  else
+    let page, format =
+      split_extension (String.sub path 1 (String.length path - 1))
+    in
+    match find_entry registry page with
+    | None -> not_found path
+    | Some (id, template) -> (
+        match format with
+        | `Wiki ->
+            respond ~content_type:"text/plain; charset=utf-8" 200
+              (Sync.wiki_text template)
+        | `Json ->
+            respond ~content_type:"application/json" 200
+              (Json_codec.to_string ~indent:2 template ^ "\n")
+        | `Html ->
+            let doc = Sync.render_entry template in
+            let footer =
+              Printf.sprintf
+                "<hr><p><a href=\"/\">index</a> · <a \
+                 href=\"/%s.wiki\">wiki source</a> · <a \
+                 href=\"/%s.json\">json</a> · cite: %s</p>"
+                page page
+                (Markup.html_escape (Citation.entry ~id template))
+            in
+            respond 200
+              (html_page ~title:template.Template.title
+                 (Markup.to_html doc ^ footer)))
+
+let post ~editor registry path body =
+  let page, _ = split_extension (String.sub path 1 (String.length path - 1)) in
+  match find_entry registry page with
+  | None -> not_found path
+  | Some (id, current) -> (
+      match Sync.of_wiki_text ~fallback:current body with
+      | Error e ->
+          respond 400
+            (html_page ~title:"Bad page" ("<p>" ^ Markup.html_escape e ^ "</p>"))
+      | Ok edited -> (
+          match Registry.revise registry ~as_:editor id edited with
+          | Ok version ->
+              respond 200
+                (html_page ~title:"Saved"
+                   (Printf.sprintf "<p>Saved as version %s.</p>"
+                      (Version.to_string version)))
+          | Error (Registry.Permission_denied msg) ->
+              respond 403 (html_page ~title:"Forbidden" (Markup.html_escape msg))
+          | Error e ->
+              respond 400
+                (html_page ~title:"Rejected"
+                   (Markup.html_escape (Registry.error_message e)))))
+
+let default_editor = Curation.account ~role:Curation.Curator "wiki"
+
+let handle ?(editor = default_editor) ?(pages = []) registry ~meth ~path ~body
+    =
+  match String.uppercase_ascii meth with
+  | "GET" -> (
+      match List.assoc_opt path pages with
+      | Some render ->
+          let title, fragment = render () in
+          respond 200 (html_page ~title fragment)
+      | None -> get registry path)
+  | "POST" -> post ~editor registry path body
+  | _ ->
+      respond 405
+        (html_page ~title:"Method not allowed" "<p>Use GET or POST.</p>")

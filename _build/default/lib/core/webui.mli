@@ -1,0 +1,38 @@
+(** The wiki, as a pure request handler: the routing and rendering behind
+    the [bxwiki] server, kept free of sockets so the test suite can drive
+    it directly.
+
+    Routes (paths are wiki paths, e.g. ["/examples:composers"]):
+    - [GET /] — the index page (entry list and cross-reference index);
+    - [GET /<page>] — an entry's latest version as HTML;
+    - [GET /<page>.wiki] — the raw wiki text (the {!Sync} get direction);
+    - [GET /<page>.json] — the structured form ({!Json_codec});
+    - [GET /manuscript] — the section 5.2 archival collection;
+    - [GET /glossary] — the property glossary;
+    - [POST /<page>] with wiki text as the body — parse the edited page
+      through the {!Sync} lens and {!Registry.revise} the entry (the
+      section 5.4 bx, live);
+    - anything else — 404.
+
+    POSTs are performed as the configured editor account; permission and
+    validation failures surface as 403/400 with the message in the
+    body. *)
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+val handle :
+  ?editor:Curation.account -> ?pages:(string * (unit -> string * string)) list
+  -> Registry.t -> meth:string -> path:string -> body:string -> response
+(** [editor] defaults to a curator account named ["wiki"] (curators may
+    edit anything, which is what a self-hosted wiki wants).  [pages] adds
+    extra GET routes: each maps a path to a thunk producing (title, HTML
+    fragment) — how the server mounts content from libraries this one
+    cannot depend on (the live verification report, say). *)
+
+val html_page : title:string -> string -> string
+(** Wrap an HTML fragment in the wiki's page chrome (exposed for the
+    server's error pages). *)

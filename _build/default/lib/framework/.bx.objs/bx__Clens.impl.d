@@ -1,0 +1,1 @@
+lib/framework/clens.ml: Fun Iso Law Lens Model Printf Symmetric

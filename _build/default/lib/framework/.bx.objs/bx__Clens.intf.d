@@ -1,0 +1,1 @@
+lib/framework/clens.mli: Iso Law Lens Model Symmetric

@@ -1,0 +1,1 @@
+lib/framework/elens.ml: Iso Law List Printf

@@ -1,0 +1,1 @@
+lib/framework/elens.mli: Iso Law

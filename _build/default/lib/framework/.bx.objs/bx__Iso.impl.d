@@ -1,0 +1,1 @@
+lib/framework/iso.ml: Fun Law List Model Printf

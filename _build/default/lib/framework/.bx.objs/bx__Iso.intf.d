@@ -1,0 +1,1 @@
+lib/framework/iso.mli: Law Model

@@ -1,0 +1,1 @@
+lib/framework/law.ml: Fmt Format List Printf

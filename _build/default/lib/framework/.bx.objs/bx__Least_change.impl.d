@@ -1,0 +1,1 @@
+lib/framework/least_change.ml: Array Fun Law List Symmetric

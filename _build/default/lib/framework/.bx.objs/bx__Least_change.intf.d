@@ -1,0 +1,1 @@
+lib/framework/least_change.mli: Law Symmetric

@@ -1,0 +1,1 @@
+lib/framework/lens.ml: Array Format Fun Hashtbl Iso Law List Model Printf

@@ -1,0 +1,1 @@
+lib/framework/lens.mli: Format Iso Law Model

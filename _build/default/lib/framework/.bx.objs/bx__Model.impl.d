@@ -1,0 +1,1 @@
+lib/framework/model.ml: Fmt Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/framework/model.mli: Format

@@ -1,0 +1,1 @@
+lib/framework/multi.ml: Law Lens Model Printf

@@ -1,0 +1,1 @@
+lib/framework/multi.mli: Law Lens Model

@@ -1,0 +1,1 @@
+lib/framework/properties.ml: Fmt List Option String

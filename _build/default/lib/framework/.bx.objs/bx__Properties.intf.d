@@ -1,0 +1,1 @@
+lib/framework/properties.mli: Format

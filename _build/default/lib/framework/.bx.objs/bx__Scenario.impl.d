@@ -1,0 +1,1 @@
+lib/framework/scenario.ml: Fmt List Symmetric

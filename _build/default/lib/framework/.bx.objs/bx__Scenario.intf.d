@@ -1,0 +1,1 @@
+lib/framework/scenario.mli: Format Symmetric

@@ -1,0 +1,1 @@
+lib/framework/symlens.ml: Iso Law Lens Model Printf Symmetric

@@ -1,0 +1,1 @@
+lib/framework/symlens.mli: Iso Law Lens Model Symmetric

@@ -1,0 +1,1 @@
+lib/framework/symmetric.ml: Iso Law Lens Model Printf

@@ -1,0 +1,1 @@
+lib/framework/symmetric.mli: Iso Law Lens Model

@@ -1,0 +1,60 @@
+type ('s, 'v, 'c) t = {
+  name : string;
+  split : 's -> 'v * 'c;
+  merge : 'v * 'c -> 's;
+}
+
+let make ~name ~split ~merge = { name; split; merge }
+let view l s = fst (l.split s)
+let complement l s = snd (l.split s)
+
+let to_lens ~default l =
+  Lens.make ~name:l.name
+    ~get:(fun s -> fst (l.split s))
+    ~put:(fun v s -> l.merge (v, snd (l.split s)))
+    ~create:(fun v -> l.merge (v, default))
+
+let to_symmetric ~view_equal ~default l =
+  Symmetric.of_lens ~view_equal (to_lens ~default l)
+
+let of_iso (iso : ('s, 'v) Iso.t) =
+  {
+    name = iso.Iso.name;
+    split = (fun s -> (iso.Iso.fwd s, ()));
+    merge = (fun (v, ()) -> iso.Iso.bwd v);
+  }
+
+let pair_first () =
+  { name = "fst"; split = Fun.id; merge = Fun.id }
+
+let compose l1 l2 =
+  {
+    name = Printf.sprintf "%s; %s" l1.name l2.name;
+    split =
+      (fun s ->
+        let v, c1 = l1.split s in
+        let w, c2 = l2.split v in
+        (w, (c1, c2)));
+    merge =
+      (fun (w, (c1, c2)) -> l1.merge (l2.merge (w, c2), c1));
+  }
+
+let split_merge_law space l =
+  Law.make
+    ~name:(l.name ^ ":merge-split-inverse")
+    ~description:"merge (split s) = s" (fun s ->
+      let s' = l.merge (l.split s) in
+      Law.require (space.Model.equal s s') "merge (split %a) = %a"
+        space.Model.pp s space.Model.pp s')
+
+let merge_split_law vspace ~c_equal l =
+  Law.make
+    ~name:(l.name ^ ":split-merge-inverse")
+    ~description:"split (merge (v, c)) = (v, c)" (fun (v, c) ->
+      let v', c' = l.split (l.merge (v, c)) in
+      Law.require (vspace.Model.equal v v' && c_equal c c')
+        "split (merge (v, c)) differs in the %s component"
+        (if vspace.Model.equal v v' then "complement" else "view"))
+
+let induced_put_put_law space ~default l =
+  Lens.put_put_law space (to_lens ~default l)

@@ -1,0 +1,57 @@
+(** Constant-complement lenses (Bancilhon and Spyratos, 1981) — the
+    database-heritage end of the bx spectrum the paper's introduction
+    spans.
+
+    A complement lens decomposes a source into a view and a {e complement}
+    holding exactly the information the view misses: [split : S -> V * C]
+    and [merge : V * C -> S].  When [split] and [merge] are mutually
+    inverse, the induced ordinary lens ([put v s = merge (v, complement of
+    s)]) is very well-behaved, and the induced symmetric bx is undoable —
+    the classical explanation of why COMPOSERS (which has no complement)
+    is not. *)
+
+type ('s, 'v, 'c) t = {
+  name : string;
+  split : 's -> 'v * 'c;
+  merge : 'v * 'c -> 's;
+}
+
+val make :
+  name:string -> split:('s -> 'v * 'c) -> merge:('v * 'c -> 's)
+  -> ('s, 'v, 'c) t
+
+val view : ('s, 'v, 'c) t -> 's -> 'v
+val complement : ('s, 'v, 'c) t -> 's -> 'c
+
+val to_lens : default:'c -> ('s, 'v, 'c) t -> ('s, 'v) Lens.t
+(** The induced ordinary lens; [create] merges with [default]. *)
+
+val to_symmetric :
+  view_equal:('v -> 'v -> bool) -> default:'c -> ('s, 'v, 'c) t
+  -> ('s, 'v) Symmetric.t
+(** The induced symmetric bx ([of_lens] of {!to_lens}). *)
+
+val of_iso : ('s, 'v) Iso.t -> ('s, 'v, unit) t
+(** An isomorphism has a trivial complement. *)
+
+val pair_first : unit -> ('a * 'b, 'a, 'b) t
+(** The canonical example: project the first component, the second is the
+    complement. *)
+
+val compose : ('s, 'v, 'c1) t -> ('v, 'w, 'c2) t -> ('s, 'w, 'c1 * 'c2) t
+(** Complements compose by pairing. *)
+
+(** {1 Laws} *)
+
+val split_merge_law : 's Model.t -> ('s, 'v, 'c) t -> 's Law.t
+(** [merge (split s) = s]. *)
+
+val merge_split_law :
+  'v Model.t -> c_equal:('c -> 'c -> bool) -> ('s, 'v, 'c) t
+  -> ('v * 'c) Law.t
+(** [split (merge (v, c)) = (v, c)].  Together with {!split_merge_law}
+    this makes the decomposition a bijection [S ≅ V × C]. *)
+
+val induced_put_put_law :
+  's Model.t -> default:'c -> ('s, 'v, 'c) t -> ('s * 'v * 'v) Law.t
+(** The theorem, as a checkable law: the induced lens satisfies PutPut. *)

@@ -1,0 +1,117 @@
+type ('e, 'm) edit_module = {
+  module_name : string;
+  apply : 'e -> 'm -> 'm option;
+  compose : 'e -> 'e -> 'e;
+  identity : 'e;
+}
+
+type ('c, 'ea, 'eb) t = {
+  name : string;
+  init : 'c;
+  fwd : 'ea -> 'c -> 'eb * 'c;
+  bwd : 'eb -> 'c -> 'ea * 'c;
+}
+
+let make ~name ~init ~fwd ~bwd = { name; init; fwd; bwd }
+
+type 'a list_op =
+  | Insert_at of int * 'a
+  | Delete_at of int
+  | Update_at of int * 'a
+
+type 'a list_edit = 'a list_op list
+
+let apply_list_op op l =
+  let n = List.length l in
+  match op with
+  | Insert_at (i, x) ->
+      if i < 0 || i > n then None
+      else
+        let rec ins i l =
+          if i = 0 then x :: l
+          else match l with [] -> [ x ] | y :: tl -> y :: ins (i - 1) tl
+        in
+        Some (ins i l)
+  | Delete_at i ->
+      if i < 0 || i >= n then None
+      else Some (List.filteri (fun j _ -> j <> i) l)
+  | Update_at (i, x) ->
+      if i < 0 || i >= n then None
+      else Some (List.mapi (fun j y -> if j = i then x else y) l)
+
+let list_edit_module () =
+  {
+    module_name = "list-edits";
+    apply =
+      (fun edit l ->
+        List.fold_left
+          (fun acc op ->
+            match acc with None -> None | Some l -> apply_list_op op l)
+          (Some l) edit);
+    compose = (fun e1 e2 -> e1 @ e2);
+    identity = [];
+  }
+
+let map_ops f =
+  List.map (function
+    | Insert_at (i, x) -> Insert_at (i, f x)
+    | Delete_at i -> Delete_at i
+    | Update_at (i, x) -> Update_at (i, f x))
+
+let list_map_iso (iso : ('a, 'b) Iso.t) =
+  {
+    name = Printf.sprintf "edit-map %s" iso.Iso.name;
+    init = ();
+    fwd = (fun ea () -> (map_ops iso.Iso.fwd ea, ()));
+    bwd = (fun eb () -> (map_ops iso.Iso.bwd eb, ()));
+  }
+
+let compose l1 l2 =
+  {
+    name = Printf.sprintf "%s; %s" l1.name l2.name;
+    init = (l1.init, l2.init);
+    fwd =
+      (fun ea (c1, c2) ->
+        let eb, c1' = l1.fwd ea c1 in
+        let ec, c2' = l2.fwd eb c2 in
+        (ec, (c1', c2')));
+    bwd =
+      (fun ec (c1, c2) ->
+        let eb, c2' = l2.bwd ec c2 in
+        let ea, c1' = l1.bwd eb c1 in
+        (ea, (c1', c2')));
+  }
+
+let stable_law ~eq_ea ~eq_eb lens ~ea_id ~eb_id =
+  Law.make
+    ~name:(lens.name ^ ":stable")
+    ~description:"identity edits translate to identity edits" (fun c ->
+      let eb, c1 = lens.fwd ea_id c in
+      let ea, c2 = lens.bwd eb_id c in
+      if not (eq_eb eb eb_id) then
+        Law.violated "fwd mapped the identity edit to a non-identity edit"
+      else if not (eq_ea ea ea_id) then
+        Law.violated "bwd mapped the identity edit to a non-identity edit"
+      else
+        Law.require (c1 = c && c2 = c)
+          "translating an identity edit changed the complement")
+
+let round_trip_law ~ma ~mb ~consistent lens =
+  Law.make
+    ~name:(lens.name ^ ":propagates-consistency")
+    ~description:
+      "consistent models stay consistent after propagating an applicable edit"
+    (fun (m, n, c, ea) ->
+      if not (consistent m n) then Law.holds
+      else
+        match ma.apply ea m with
+        | None -> Law.holds
+        | Some m' -> (
+            let eb, _c' = lens.fwd ea c in
+            match mb.apply eb n with
+            | None ->
+                Law.violated
+                  "translated edit does not apply to the opposite model"
+            | Some n' ->
+                Law.require (consistent m' n')
+                  "models diverged after edit propagation"))

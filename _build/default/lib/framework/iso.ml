@@ -1,0 +1,49 @@
+type ('a, 'b) t = {
+  name : string;
+  fwd : 'a -> 'b;
+  bwd : 'b -> 'a;
+}
+
+let make ~name ~fwd ~bwd = { name; fwd; bwd }
+let id = { name = "id"; fwd = Fun.id; bwd = Fun.id }
+
+let inverse iso =
+  { name = iso.name ^ "^-1"; fwd = iso.bwd; bwd = iso.fwd }
+
+let compose f g =
+  {
+    name = Printf.sprintf "%s; %s" f.name g.name;
+    fwd = (fun a -> g.fwd (f.fwd a));
+    bwd = (fun c -> f.bwd (g.bwd c));
+  }
+
+let pair f g =
+  {
+    name = Printf.sprintf "(%s * %s)" f.name g.name;
+    fwd = (fun (a, c) -> (f.fwd a, g.fwd c));
+    bwd = (fun (b, d) -> (f.bwd b, g.bwd d));
+  }
+
+let list_map f =
+  {
+    name = Printf.sprintf "map %s" f.name;
+    fwd = List.map f.fwd;
+    bwd = List.map f.bwd;
+  }
+
+let swap () =
+  { name = "swap"; fwd = (fun (a, b) -> (b, a)); bwd = (fun (b, a) -> (a, b)) }
+
+let fwd_bwd_law space iso =
+  Law.make ~name:(iso.name ^ ":bwd-fwd-inverse")
+    ~description:"bwd (fwd a) = a" (fun a ->
+      let a' = iso.bwd (iso.fwd a) in
+      Law.require (space.Model.equal a a') "bwd (fwd %a) = %a" space.Model.pp a
+        space.Model.pp a')
+
+let bwd_fwd_law space iso =
+  Law.make ~name:(iso.name ^ ":fwd-bwd-inverse")
+    ~description:"fwd (bwd b) = b" (fun b ->
+      let b' = iso.fwd (iso.bwd b) in
+      Law.require (space.Model.equal b b') "fwd (bwd %a) = %a" space.Model.pp b
+        space.Model.pp b')

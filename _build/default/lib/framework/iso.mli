@@ -1,0 +1,40 @@
+(** Isomorphisms: the bijective special case of a bx.
+
+    An isomorphism is a bx in which consistency is a bijection, so
+    restoration in either direction is simply function application.  Many
+    textbook examples (unit conversion, encoding changes) live here; isos
+    also embed into {!Lens} and {!Symmetric}. *)
+
+type ('a, 'b) t = {
+  name : string;
+  fwd : 'a -> 'b;  (** The forward direction. *)
+  bwd : 'b -> 'a;  (** The backward direction, inverse of [fwd]. *)
+}
+
+val make : name:string -> fwd:('a -> 'b) -> bwd:('b -> 'a) -> ('a, 'b) t
+(** [make ~name ~fwd ~bwd] packages an isomorphism.  The inverse laws are
+    not checked here; use {!fwd_bwd_law} and {!bwd_fwd_law}. *)
+
+val id : ('a, 'a) t
+(** The identity isomorphism. *)
+
+val inverse : ('a, 'b) t -> ('b, 'a) t
+(** Swap the two directions. *)
+
+val compose : ('a, 'b) t -> ('b, 'c) t -> ('a, 'c) t
+(** [compose f g] applies [f] then [g] forwards, and [g] then [f] backwards. *)
+
+val pair : ('a, 'b) t -> ('c, 'd) t -> ('a * 'c, 'b * 'd) t
+(** Componentwise product of isomorphisms. *)
+
+val list_map : ('a, 'b) t -> ('a list, 'b list) t
+(** Elementwise image of an isomorphism on lists. *)
+
+val swap : unit -> ('a * 'b, 'b * 'a) t
+(** The pair-swapping isomorphism. *)
+
+val fwd_bwd_law : 'a Model.t -> ('a, 'b) t -> 'a Law.t
+(** Law: [bwd (fwd a) = a]. *)
+
+val bwd_fwd_law : 'b Model.t -> ('a, 'b) t -> 'b Law.t
+(** Law: [fwd (bwd b) = b]. *)

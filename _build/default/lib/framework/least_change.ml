@@ -1,0 +1,65 @@
+let fwd_law ~candidates ~distance (bx : ('m, 'n) Symmetric.t) =
+  Law.make
+    ~name:(bx.Symmetric.name ^ ":least-change-fwd")
+    ~description:
+      "no proposed consistent repair is closer to the overwritten model \
+       than fwd's answer"
+    (fun (m, n) ->
+      let chosen = bx.Symmetric.fwd m n in
+      let chosen_distance = distance n chosen in
+      let better =
+        List.find_opt
+          (fun n' ->
+            bx.Symmetric.consistent m n' && distance n n' < chosen_distance)
+          (candidates m n)
+      in
+      match better with
+      | None -> Law.holds
+      | Some n' ->
+          Law.violated
+            "a consistent repair at distance %d beats fwd's answer at %d"
+            (distance n n') chosen_distance)
+
+let bwd_law ~candidates ~distance (bx : ('m, 'n) Symmetric.t) =
+  Law.make
+    ~name:(bx.Symmetric.name ^ ":least-change-bwd")
+    ~description:
+      "no proposed consistent repair is closer to the overwritten model \
+       than bwd's answer"
+    (fun (m, n) ->
+      let chosen = bx.Symmetric.bwd m n in
+      let chosen_distance = distance m chosen in
+      let better =
+        List.find_opt
+          (fun m' ->
+            bx.Symmetric.consistent m' n && distance m m' < chosen_distance)
+          (candidates m n)
+      in
+      match better with
+      | None -> Law.holds
+      | Some m' ->
+          Law.violated
+            "a consistent repair at distance %d beats bwd's answer at %d"
+            (distance m m') chosen_distance)
+
+let list_edit_distance ~equal a b =
+  let a = Array.of_list a and b = Array.of_list b in
+  let n = Array.length a and m = Array.length b in
+  let row = Array.init (m + 1) Fun.id in
+  for i = 1 to n do
+    let prev_diag = ref row.(0) in
+    row.(0) <- i;
+    for j = 1 to m do
+      let cost = if equal a.(i - 1) b.(j - 1) then 0 else 1 in
+      let next = min (min (row.(j) + 1) (row.(j - 1) + 1)) (!prev_diag + cost) in
+      prev_diag := row.(j);
+      row.(j) <- next
+    done
+  done;
+  row.(m)
+
+let set_distance ~compare a b =
+  let sa = List.sort_uniq compare a and sb = List.sort_uniq compare b in
+  let in_ l x = List.exists (fun y -> compare x y = 0) l in
+  List.length (List.filter (fun x -> not (in_ sb x)) sa)
+  + List.length (List.filter (fun x -> not (in_ sa x)) sb)

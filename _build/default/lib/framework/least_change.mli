@@ -1,0 +1,37 @@
+(** Least-change checking.
+
+    The paper's authors founded the repository as a foundation for the
+    EPSRC project {e A Theory of Least Change for Bidirectional
+    Transformations}: the principle that restoration should pick a
+    consistent model {e as close as possible} to the one being repaired.
+    The principle is relative to a notion of distance and to the set of
+    consistent alternatives considered, so the law here is parameterised
+    by both: a [candidates] function proposing alternative consistent
+    repairs, and a [distance] on the repaired model's space.
+
+    The law is {e relative} minimality: no proposed candidate may beat
+    the bx's own answer.  With an exhaustive candidate set it is absolute
+    minimality; with a heuristic set it is a strong regression test. *)
+
+val fwd_law :
+  candidates:('m -> 'n -> 'n list) -> distance:('n -> 'n -> int)
+  -> ('m, 'n) Symmetric.t -> ('m * 'n) Law.t
+(** For input [(m, n)]: every candidate [n'] with
+    [consistent m n'] must satisfy
+    [distance n n' >= distance n (fwd m n)].  Candidates that are not
+    consistent are ignored (the candidate function may over-propose). *)
+
+val bwd_law :
+  candidates:('m -> 'n -> 'm list) -> distance:('m -> 'm -> int)
+  -> ('m, 'n) Symmetric.t -> ('m * 'n) Law.t
+(** Dual: no consistent candidate [m'] may be closer to [m] than
+    [bwd m n]. *)
+
+(** {1 Stock distances} *)
+
+val list_edit_distance : equal:('a -> 'a -> bool) -> 'a list -> 'a list -> int
+(** Levenshtein distance over list elements (insertions, deletions and
+    substitutions all cost 1). *)
+
+val set_distance : compare:('a -> 'a -> int) -> 'a list -> 'a list -> int
+(** Size of the symmetric difference of the two lists viewed as sets. *)

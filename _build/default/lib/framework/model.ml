@@ -1,0 +1,25 @@
+type 'a t = {
+  name : string;
+  equal : 'a -> 'a -> bool;
+  pp : Format.formatter -> 'a -> unit;
+}
+
+let make ~name ~equal ~pp = { name; equal; pp }
+
+let pair a b =
+  {
+    name = Printf.sprintf "(%s * %s)" a.name b.name;
+    equal = (fun (x1, y1) (x2, y2) -> a.equal x1 x2 && b.equal y1 y2);
+    pp = Fmt.pair ~sep:(Fmt.any ",@ ") a.pp b.pp;
+  }
+
+let list a =
+  {
+    name = Printf.sprintf "%s list" a.name;
+    equal = (fun l1 l2 -> List.length l1 = List.length l2 && List.for_all2 a.equal l1 l2);
+    pp = Fmt.brackets (Fmt.list ~sep:Fmt.semi a.pp);
+  }
+
+let string = { name = "string"; equal = String.equal; pp = Fmt.string }
+let int = { name = "int"; equal = Int.equal; pp = Fmt.int }
+let show space m = Fmt.str "%a" space.pp m

@@ -1,0 +1,34 @@
+(** Model spaces.
+
+    A {e model space} is one of the "classes of models" that a bidirectional
+    transformation relates (Cheney et al., BX 2014, section 3).  The paper
+    uses "model" inclusively: any appropriately precise description of the
+    information sources being transformed.  We represent a model space over
+    an OCaml type ['a] as a descriptor bundling the operations every law
+    checker and pretty-printer needs. *)
+
+type 'a t = {
+  name : string;  (** Human-readable name of the space, e.g. ["M"]. *)
+  equal : 'a -> 'a -> bool;  (** Semantic equality of models. *)
+  pp : Format.formatter -> 'a -> unit;  (** Pretty-printer for diagnostics. *)
+}
+
+val make :
+  name:string -> equal:('a -> 'a -> bool) -> pp:(Format.formatter -> 'a -> unit)
+  -> 'a t
+(** [make ~name ~equal ~pp] builds a model-space descriptor. *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+(** Product of two model spaces; equality is componentwise. *)
+
+val list : 'a t -> 'a list t
+(** Lists over a model space; equality is elementwise and length-sensitive. *)
+
+val string : string t
+(** The space of strings with structural equality. *)
+
+val int : int t
+(** The space of integers. *)
+
+val show : 'a t -> 'a -> string
+(** [show space m] renders [m] with the space's printer. *)

@@ -1,0 +1,65 @@
+type ('a, 'b, 'c) t = {
+  name : string;
+  consistent3 : 'a -> 'b -> 'c -> bool;
+  restore_from_a : 'a -> 'b -> 'c -> 'b * 'c;
+  restore_from_b : 'a -> 'b -> 'c -> 'a * 'c;
+  restore_from_c : 'a -> 'b -> 'c -> 'a * 'b;
+}
+
+let make ~name ~consistent3 ~restore_from_a ~restore_from_b ~restore_from_c =
+  { name; consistent3; restore_from_a; restore_from_b; restore_from_c }
+
+let of_two_lenses ~view_equal_b ~view_equal_c (lb : ('a, 'b) Lens.t)
+    (lc : ('a, 'c) Lens.t) =
+  {
+    name = Printf.sprintf "span(%s, %s)" lb.Lens.name lc.Lens.name;
+    consistent3 =
+      (fun a b c ->
+        view_equal_b (lb.Lens.get a) b && view_equal_c (lc.Lens.get a) c);
+    restore_from_a = (fun a _ _ -> (lb.Lens.get a, lc.Lens.get a));
+    restore_from_b =
+      (fun a b _ ->
+        let a' = lb.Lens.put b a in
+        (a', lc.Lens.get a'));
+    restore_from_c =
+      (fun a _ c ->
+        let a' = lc.Lens.put c a in
+        (a', lb.Lens.get a'));
+  }
+
+let correct3_law bx =
+  Law.make
+    ~name:(bx.name ^ ":correct3")
+    ~description:"restoration from any side re-establishes consistency"
+    (fun (a, b, c) ->
+      let b1, c1 = bx.restore_from_a a b c in
+      if not (bx.consistent3 a b1 c1) then
+        Law.violated "restore_from_a left the triple inconsistent"
+      else
+        let a2, c2 = bx.restore_from_b a b c in
+        if not (bx.consistent3 a2 b c2) then
+          Law.violated "restore_from_b left the triple inconsistent"
+        else
+          let a3, b3 = bx.restore_from_c a b c in
+          Law.require
+            (bx.consistent3 a3 b3 c)
+            "restore_from_c left the triple inconsistent")
+
+let hippocratic3_law aspace bspace cspace bx =
+  Law.make
+    ~name:(bx.name ^ ":hippocratic3")
+    ~description:"a consistent triple is untouched by restoration"
+    (fun (a, b, c) ->
+      if not (bx.consistent3 a b c) then Law.holds
+      else
+        let b1, c1 = bx.restore_from_a a b c in
+        let a2, c2 = bx.restore_from_b a b c in
+        let a3, b3 = bx.restore_from_c a b c in
+        if not (bspace.Model.equal b b1 && cspace.Model.equal c c1) then
+          Law.violated "restore_from_a modified a consistent triple"
+        else if not (aspace.Model.equal a a2 && cspace.Model.equal c c2) then
+          Law.violated "restore_from_b modified a consistent triple"
+        else
+          Law.require
+            (aspace.Model.equal a a3 && bspace.Model.equal b b3)
+            "restore_from_c modified a consistent triple")

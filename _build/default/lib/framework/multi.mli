@@ -1,0 +1,44 @@
+(** Multiary (three-model) symmetric bx.
+
+    The template (section 3) says an example "will typically define two
+    {e or more} classes of models, together with a consistency relation
+    between them" — this module is the three-model instance: a
+    consistency relation over triples and, per model, a restoration
+    function that takes that model as authoritative and repairs the other
+    two.  Correctness and hippocraticness generalise pointwise; the
+    binary laws of {!Symmetric} are recovered by fixing one component. *)
+
+type ('a, 'b, 'c) t = {
+  name : string;
+  consistent3 : 'a -> 'b -> 'c -> bool;
+  restore_from_a : 'a -> 'b -> 'c -> 'b * 'c;
+      (** [a] is authoritative; repair [b] and [c]. *)
+  restore_from_b : 'a -> 'b -> 'c -> 'a * 'c;
+  restore_from_c : 'a -> 'b -> 'c -> 'a * 'b;
+}
+
+val make :
+  name:string -> consistent3:('a -> 'b -> 'c -> bool)
+  -> restore_from_a:('a -> 'b -> 'c -> 'b * 'c)
+  -> restore_from_b:('a -> 'b -> 'c -> 'a * 'c)
+  -> restore_from_c:('a -> 'b -> 'c -> 'a * 'b)
+  -> ('a, 'b, 'c) t
+
+val of_two_lenses :
+  view_equal_b:('b -> 'b -> bool) -> view_equal_c:('c -> 'c -> bool)
+  -> ('a, 'b) Lens.t -> ('a, 'c) Lens.t -> ('a, 'b, 'c) t
+(** The span construction: a shared source with two lens-maintained
+    views.  Consistency: both views agree with the source.  Restoring
+    from the source regenerates both views; restoring from a view puts it
+    into the source and regenerates the other view. *)
+
+(** {1 Laws} *)
+
+val correct3_law : ('a, 'b, 'c) t -> ('a * 'b * 'c) Law.t
+(** After restoring from any of the three models, the triple is
+    consistent. *)
+
+val hippocratic3_law :
+  'a Model.t -> 'b Model.t -> 'c Model.t -> ('a, 'b, 'c) t
+  -> ('a * 'b * 'c) Law.t
+(** A consistent triple is untouched by restoration from any side. *)

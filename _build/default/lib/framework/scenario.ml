@@ -1,0 +1,69 @@
+type ('m, 'n) step =
+  | Edit_left of string * ('m -> 'm)
+  | Edit_right of string * ('n -> 'n)
+
+type ('m, 'n) scenario = {
+  scenario_name : string;
+  scenario_description : string;
+  initial_left : 'm;
+  initial_right : 'n;
+  steps : ('m, 'n) step list;
+}
+
+type ('m, 'n) outcome = {
+  final_left : 'm;
+  final_right : 'n;
+  restorations : int;
+  step_log : (string * bool) list;
+  consistent_throughout : bool;
+}
+
+let make ~name ?(description = "") ~initial_left ~initial_right steps =
+  {
+    scenario_name = name;
+    scenario_description = description;
+    initial_left;
+    initial_right;
+    steps;
+  }
+
+let run (bx : ('m, 'n) Symmetric.t) scenario =
+  let left = ref scenario.initial_left in
+  (* Establish consistency once before the steps (restoration #1). *)
+  let right = ref (bx.Symmetric.fwd scenario.initial_left scenario.initial_right) in
+  let restorations = ref 1 in
+  let log = ref [] in
+  let all_ok = ref (bx.Symmetric.consistent !left !right) in
+  List.iter
+    (fun step ->
+      let label =
+        match step with
+        | Edit_left (label, edit) ->
+            left := edit !left;
+            right := bx.Symmetric.fwd !left !right;
+            label
+        | Edit_right (label, edit) ->
+            right := edit !right;
+            left := bx.Symmetric.bwd !left !right;
+            label
+      in
+      incr restorations;
+      let ok = bx.Symmetric.consistent !left !right in
+      all_ok := !all_ok && ok;
+      log := (label, ok) :: !log)
+    scenario.steps;
+  {
+    final_left = !left;
+    final_right = !right;
+    restorations = !restorations;
+    step_log = List.rev !log;
+    consistent_throughout = !all_ok;
+  }
+
+let pp_outcome ppf outcome =
+  List.iter
+    (fun (label, ok) ->
+      Fmt.pf ppf "%-40s %s@." label (if ok then "consistent" else "INCONSISTENT"))
+    outcome.step_log;
+  Fmt.pf ppf "restorations: %d; consistent throughout: %b@."
+    outcome.restorations outcome.consistent_throughout

@@ -1,0 +1,46 @@
+(** Benchmark scenarios: scripted alternations of edits and restoration
+    over a symmetric bx, in the style of the BenchmarX proposal (whose
+    authors the paper reports discussing "extra optional sections that may
+    be necessary for benchmark examples").
+
+    A scenario starts from an initial left model, derives the right model
+    by forward restoration, then interprets a list of steps; after every
+    edit the opposite model is restored and consistency re-checked.  The
+    outcome records the final pair, a per-step log, and whether
+    consistency held throughout — the invariant every BENCHMARK-class
+    entry's workloads are expected to maintain. *)
+
+type ('m, 'n) step =
+  | Edit_left of string * ('m -> 'm)
+      (** Edit the left model (then restore the right). *)
+  | Edit_right of string * ('n -> 'n)
+      (** Edit the right model (then restore the left). *)
+
+type ('m, 'n) scenario = {
+  scenario_name : string;
+  scenario_description : string;
+  initial_left : 'm;
+  initial_right : 'n;
+      (** A seed for the right model (often empty); the run starts by
+          restoring it from [initial_left]. *)
+  steps : ('m, 'n) step list;
+}
+
+type ('m, 'n) outcome = {
+  final_left : 'm;
+  final_right : 'n;
+  restorations : int;  (** Restoration calls performed (steps + 1). *)
+  step_log : (string * bool) list;
+      (** Step label and whether the pair was consistent afterwards. *)
+  consistent_throughout : bool;
+}
+
+val make :
+  name:string -> ?description:string -> initial_left:'m -> initial_right:'n
+  -> ('m, 'n) step list -> ('m, 'n) scenario
+
+val run : ('m, 'n) Symmetric.t -> ('m, 'n) scenario -> ('m, 'n) outcome
+
+val pp_outcome :
+  Format.formatter -> ('m, 'n) outcome -> unit
+(** One line per step plus the summary; model contents are not printed. *)

@@ -1,0 +1,104 @@
+type ('a, 'b, 'c) t = {
+  name : string;
+  init : 'c;
+  putr : 'a -> 'c -> 'b * 'c;
+  putl : 'b -> 'c -> 'a * 'c;
+}
+
+let make ~name ~init ~putr ~putl = { name; init; putr; putl }
+
+let of_lens ~default (l : ('s, 'v) Lens.t) =
+  {
+    name = l.Lens.name;
+    init = default;
+    putr = (fun s _ -> (l.Lens.get s, s));
+    putl =
+      (fun v last_s ->
+        let s = l.Lens.put v last_s in
+        (s, s));
+  }
+
+let of_iso (iso : ('a, 'b) Iso.t) =
+  {
+    name = iso.Iso.name;
+    init = ();
+    putr = (fun a () -> (iso.Iso.fwd a, ()));
+    putl = (fun b () -> (iso.Iso.bwd b, ()));
+  }
+
+let invert l =
+  { name = l.name ^ "^-1"; init = l.init; putr = l.putl; putl = l.putr }
+
+let compose l1 l2 =
+  {
+    name = Printf.sprintf "%s; %s" l1.name l2.name;
+    init = (l1.init, l2.init);
+    putr =
+      (fun a (c1, c2) ->
+        let b, c1' = l1.putr a c1 in
+        let d, c2' = l2.putr b c2 in
+        (d, (c1', c2')));
+    putl =
+      (fun d (c1, c2) ->
+        let b, c2' = l2.putl d c2 in
+        let a, c1' = l1.putl b c1 in
+        (a, (c1', c2')));
+  }
+
+let tensor l1 l2 =
+  {
+    name = Printf.sprintf "(%s * %s)" l1.name l2.name;
+    init = (l1.init, l2.init);
+    putr =
+      (fun (a, a2) (c1, c2) ->
+        let b, c1' = l1.putr a c1 in
+        let b2, c2' = l2.putr a2 c2 in
+        ((b, b2), (c1', c2')));
+    putl =
+      (fun (b, b2) (c1, c2) ->
+        let a, c1' = l1.putl b c1 in
+        let a2, c2' = l2.putl b2 c2 in
+        ((a, a2), (c1', c2')));
+  }
+
+let to_symmetric l ~complement =
+  Symmetric.make ~name:l.name
+    ~consistent:(fun a b ->
+      (* Consistent when pushing a right against the current complement
+         reproduces b (without committing the new complement). *)
+      let b', _ = l.putr a !complement in
+      b' = b)
+    ~fwd:(fun a _ ->
+      let b, c' = l.putr a !complement in
+      complement := c';
+      b)
+    ~bwd:(fun _ b ->
+      let a, c' = l.putl b !complement in
+      complement := c';
+      a)
+
+let put_rl_law aspace ~c_equal l =
+  Law.make
+    ~name:(l.name ^ ":PutRL")
+    ~description:"putr then putl returns the original left model" (fun (a, c) ->
+      let b, c' = l.putr a c in
+      let a', c'' = l.putl b c' in
+      if not (aspace.Model.equal a a') then
+        Law.violated "putl (putr a) = %a, expected %a" aspace.Model.pp a'
+          aspace.Model.pp a
+      else
+        Law.require (c_equal c' c'')
+          "the complement drifted on an immediate round trip")
+
+let put_lr_law bspace ~c_equal l =
+  Law.make
+    ~name:(l.name ^ ":PutLR")
+    ~description:"putl then putr returns the original right model" (fun (b, c) ->
+      let a, c' = l.putl b c in
+      let b', c'' = l.putr a c' in
+      if not (bspace.Model.equal b b') then
+        Law.violated "putr (putl b) = %a, expected %a" bspace.Model.pp b'
+          bspace.Model.pp b
+      else
+        Law.require (c_equal c' c'')
+          "the complement drifted on an immediate round trip")

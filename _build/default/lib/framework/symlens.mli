@@ -1,0 +1,61 @@
+(** State-based symmetric lenses (Hofmann, Pierce, Wagner, POPL 2011):
+    two model spaces with a {e complement} that carries the information
+    private to each side across restorations.
+
+    Where {!Symmetric} restoration sees only the two states — which is
+    why the paper's Composers Discussion loses the dates — a symmetric
+    lens threads a complement [c], so [putr : a -> c -> b * c] can stash
+    what [b] cannot represent and recover it later.  Composition works
+    (complements pair up), in contrast to the state-based composition
+    problem recorded in the glossary. *)
+
+type ('a, 'b, 'c) t = {
+  name : string;
+  init : 'c;  (** The complement for the missing-history case. *)
+  putr : 'a -> 'c -> 'b * 'c;
+      (** The left model is authoritative: produce the right model and
+          the updated complement. *)
+  putl : 'b -> 'c -> 'a * 'c;
+}
+
+val make :
+  name:string -> init:'c -> putr:('a -> 'c -> 'b * 'c)
+  -> putl:('b -> 'c -> 'a * 'c) -> ('a, 'b, 'c) t
+
+val of_lens : default:'s -> ('s, 'v) Lens.t -> ('s, 'v, 's) t
+(** An asymmetric lens as a symmetric lens whose complement is the last
+    source seen ([default] seeds it). *)
+
+val of_iso : ('a, 'b) Iso.t -> ('a, 'b, unit) t
+(** Isomorphisms need no complement. *)
+
+val invert : ('a, 'b, 'c) t -> ('b, 'a, 'c) t
+(** Swap left and right. *)
+
+val compose : ('a, 'b, 'c1) t -> ('b, 'd, 'c2) t -> ('a, 'd, 'c1 * 'c2) t
+(** Sequential composition through the middle space; complements pair. *)
+
+val tensor : ('a, 'b, 'c1) t -> ('a2, 'b2, 'c2) t
+  -> ('a * 'a2, 'b * 'b2, 'c1 * 'c2) t
+(** Parallel composition on pairs. *)
+
+val to_symmetric :
+  ('a, 'b, 'c) t -> complement:'c ref -> ('a, 'b) Symmetric.t
+(** Run the symmetric lens as a plain {!Symmetric} bx by storing the
+    complement in the given cell: [fwd]/[bwd] read and update it.  This
+    is how complement-carrying restoration plugs into scenario runners
+    and law checkers written for state-based bx (the cell makes the
+    statefulness explicit). *)
+
+(** {1 Laws} *)
+
+val put_rl_law :
+  'a Model.t -> c_equal:('c -> 'c -> bool) -> ('a, 'b, 'c) t
+  -> ('a * 'c) Law.t
+(** (PutRL) If [putr a c = (b, c')] then [putl b c' = (a, c')]: pushing
+    right and immediately pulling back is stable. *)
+
+val put_lr_law :
+  'b Model.t -> c_equal:('c -> 'c -> bool) -> ('a, 'b, 'c) t
+  -> ('b * 'c) Law.t
+(** (PutLR) The mirror image. *)

@@ -1,0 +1,174 @@
+type ('m, 'n) t = {
+  name : string;
+  consistent : 'm -> 'n -> bool;
+  fwd : 'm -> 'n -> 'n;
+  bwd : 'm -> 'n -> 'm;
+}
+
+let make ~name ~consistent ~fwd ~bwd = { name; consistent; fwd; bwd }
+
+let of_lens ~view_equal (l : ('s, 'v) Lens.t) =
+  {
+    name = l.Lens.name;
+    consistent = (fun m n -> view_equal (l.Lens.get m) n);
+    fwd = (fun m _ -> l.Lens.get m);
+    bwd = (fun m n -> l.Lens.put n m);
+  }
+
+let of_iso (iso : ('a, 'b) Iso.t) ~equal_b =
+  {
+    name = iso.Iso.name;
+    consistent = (fun a b -> equal_b (iso.Iso.fwd a) b);
+    fwd = (fun a _ -> iso.Iso.fwd a);
+    bwd = (fun _ b -> iso.Iso.bwd b);
+  }
+
+let invert bx =
+  {
+    name = bx.name ^ "^-1";
+    consistent = (fun n m -> bx.consistent m n);
+    fwd = (fun n m -> bx.bwd m n);
+    bwd = (fun n m -> bx.fwd m n);
+  }
+
+let product bx1 bx2 =
+  {
+    name = Printf.sprintf "(%s * %s)" bx1.name bx2.name;
+    consistent =
+      (fun (m, p) (n, q) -> bx1.consistent m n && bx2.consistent p q);
+    fwd = (fun (m, p) (n, q) -> (bx1.fwd m n, bx2.fwd p q));
+    bwd = (fun (m, p) (n, q) -> (bx1.bwd m n, bx2.bwd p q));
+  }
+
+let identity =
+  {
+    name = "identity";
+    consistent = (fun m n -> m = n);
+    fwd = (fun m _ -> m);
+    bwd = (fun _ n -> n);
+  }
+
+let correct_fwd_law bx =
+  Law.make
+    ~name:(bx.name ^ ":correct-fwd")
+    ~description:"consistent m (fwd m n)" (fun (m, n) ->
+      Law.require (bx.consistent m (bx.fwd m n))
+        "fwd produced a model inconsistent with the authoritative side")
+
+let correct_bwd_law bx =
+  Law.make
+    ~name:(bx.name ^ ":correct-bwd")
+    ~description:"consistent (bwd m n) n" (fun (m, n) ->
+      Law.require (bx.consistent (bx.bwd m n) n)
+        "bwd produced a model inconsistent with the authoritative side")
+
+let correct_law bx =
+  Law.conj
+    ~name:(bx.name ^ ":correct")
+    ~description:"restoration re-establishes consistency in both directions"
+    [ correct_fwd_law bx; correct_bwd_law bx ]
+
+let hippocratic_fwd_law nspace bx =
+  Law.make
+    ~name:(bx.name ^ ":hippocratic-fwd")
+    ~description:"consistent m n implies fwd m n = n" (fun (m, n) ->
+      if not (bx.consistent m n) then Law.holds
+      else
+        let n' = bx.fwd m n in
+        Law.require (nspace.Model.equal n n')
+          "fwd changed an already-consistent model: %a became %a"
+          nspace.Model.pp n nspace.Model.pp n')
+
+let hippocratic_bwd_law mspace bx =
+  Law.make
+    ~name:(bx.name ^ ":hippocratic-bwd")
+    ~description:"consistent m n implies bwd m n = m" (fun (m, n) ->
+      if not (bx.consistent m n) then Law.holds
+      else
+        let m' = bx.bwd m n in
+        Law.require (mspace.Model.equal m m')
+          "bwd changed an already-consistent model: %a became %a"
+          mspace.Model.pp m mspace.Model.pp m')
+
+let hippocratic_law mspace nspace bx =
+  Law.conj
+    ~name:(bx.name ^ ":hippocratic")
+    ~description:"restoration never modifies already-consistent models"
+    [ hippocratic_fwd_law nspace bx; hippocratic_bwd_law mspace bx ]
+
+let undoable_fwd_law nspace bx =
+  Law.make
+    ~name:(bx.name ^ ":undoable-fwd")
+    ~description:"consistent m n implies fwd m (fwd m' n) = n"
+    (fun (m, m', n) ->
+      if not (bx.consistent m n) then Law.holds
+      else
+        let n'' = bx.fwd m (bx.fwd m' n) in
+        Law.require (nspace.Model.equal n n'')
+          "redoing fwd with the original model gave %a, expected %a"
+          nspace.Model.pp n'' nspace.Model.pp n)
+
+let undoable_bwd_law mspace bx =
+  Law.make
+    ~name:(bx.name ^ ":undoable-bwd")
+    ~description:"consistent m n implies bwd (bwd m n') n = m"
+    (fun (m, n, n') ->
+      if not (bx.consistent m n) then Law.holds
+      else
+        let m'' = bx.bwd (bx.bwd m n') n in
+        Law.require (mspace.Model.equal m m'')
+          "redoing bwd with the original model gave %a, expected %a"
+          mspace.Model.pp m'' mspace.Model.pp m)
+
+let history_ignorant_fwd_law nspace bx =
+  Law.make
+    ~name:(bx.name ^ ":history-ignorant-fwd")
+    ~description:"fwd m' (fwd m n) = fwd m' n" (fun (m, m', n) ->
+      let lhs = bx.fwd m' (bx.fwd m n) in
+      let rhs = bx.fwd m' n in
+      Law.require (nspace.Model.equal lhs rhs)
+        "fwd m' (fwd m n) = %a but fwd m' n = %a" nspace.Model.pp lhs
+        nspace.Model.pp rhs)
+
+let history_ignorant_bwd_law mspace bx =
+  Law.make
+    ~name:(bx.name ^ ":history-ignorant-bwd")
+    ~description:"bwd (bwd m n) n' = bwd m n'" (fun (m, n, n') ->
+      let lhs = bx.bwd (bx.bwd m n) n' in
+      let rhs = bx.bwd m n' in
+      Law.require (mspace.Model.equal lhs rhs)
+        "bwd (bwd m n) n' = %a but bwd m n' = %a" mspace.Model.pp lhs
+        mspace.Model.pp rhs)
+
+let oblivious_fwd_law nspace bx =
+  Law.make
+    ~name:(bx.name ^ ":oblivious-fwd")
+    ~description:"fwd m n = fwd m n'" (fun (m, n, n') ->
+      let a = bx.fwd m n and b = bx.fwd m n' in
+      Law.require (nspace.Model.equal a b)
+        "fwd depends on the overwritten model: %a vs %a" nspace.Model.pp a
+        nspace.Model.pp b)
+
+let oblivious_bwd_law mspace bx =
+  Law.make
+    ~name:(bx.name ^ ":oblivious-bwd")
+    ~description:"bwd m n = bwd m' n" (fun (m, m', n) ->
+      let a = bx.bwd m n and b = bx.bwd m' n in
+      Law.require (mspace.Model.equal a b)
+        "bwd depends on the overwritten model: %a vs %a" mspace.Model.pp a
+        mspace.Model.pp b)
+
+let bijective_law mspace nspace bx =
+  Law.make
+    ~name:(bx.name ^ ":bijective")
+    ~description:"bwd m (fwd m n) = m and fwd (bwd m n) n = n"
+    (fun (m, n) ->
+      let m' = bx.bwd m (bx.fwd m n) in
+      if not (mspace.Model.equal m m') then
+        Law.violated "bwd (fwd m n) = %a, expected %a" mspace.Model.pp m'
+          mspace.Model.pp m
+      else
+        let n' = bx.fwd (bx.bwd m n) n in
+        Law.require (nspace.Model.equal n n')
+          "fwd (bwd m n) = %a, expected %a" nspace.Model.pp n' nspace.Model.pp
+          n)

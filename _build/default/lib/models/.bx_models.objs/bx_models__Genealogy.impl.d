@@ -1,0 +1,1 @@
+lib/models/genealogy.ml: Fmt List Option Printf String

@@ -1,0 +1,1 @@
+lib/models/json.ml: Buffer Char List Printf String

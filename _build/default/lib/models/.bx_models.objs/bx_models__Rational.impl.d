@@ -1,0 +1,1 @@
+lib/models/rational.ml: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/models/rational.mli: Format

@@ -1,0 +1,1 @@
+lib/models/relalg.ml: Array Bx Fun List Printf Relational String

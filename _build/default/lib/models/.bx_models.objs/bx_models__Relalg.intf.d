@@ -1,0 +1,1 @@
+lib/models/relalg.mli: Bx Relational

@@ -1,0 +1,1 @@
+lib/models/relational.ml: Fmt List Printf String

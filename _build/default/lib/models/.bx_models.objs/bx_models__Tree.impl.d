@@ -1,0 +1,1 @@
+lib/models/tree.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/models/tree_edit.ml: Array Bx List Option Tree

@@ -1,0 +1,1 @@
+lib/models/tree_edit.mli: Bx Tree

@@ -1,0 +1,1 @@
+lib/models/uml.ml: Fmt List Printf String

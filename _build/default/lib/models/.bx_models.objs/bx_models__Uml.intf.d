@@ -1,0 +1,1 @@
+lib/models/uml.mli: Format

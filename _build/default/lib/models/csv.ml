@@ -1,0 +1,25 @@
+type row = string list
+type t = row list
+
+let field_ok ~sep f =
+  not (String.exists (fun c -> c = sep || c = '\n') f)
+
+let parse ~sep s =
+  if String.equal s "" then Ok []
+  else if s.[String.length s - 1] <> '\n' then
+    Error "csv: final record is not newline-terminated"
+  else
+    let lines = String.split_on_char '\n' s in
+    (* split_on_char leaves a trailing "" after the final newline. *)
+    let lines = List.filteri (fun i _ -> i < List.length lines - 1) lines in
+    Ok (List.map (String.split_on_char sep) lines)
+
+let print ~sep t =
+  let sep_s = String.make 1 sep in
+  String.concat ""
+    (List.map (fun row -> String.concat sep_s row ^ "\n") t)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (Fmt.list ~sep:Fmt.semi Fmt.string))
+    t

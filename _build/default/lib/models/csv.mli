@@ -1,0 +1,21 @@
+(** A deliberately small CSV codec: newline-terminated records whose fields
+    are separated by a single character.  No quoting — fields must not
+    contain the separator or newlines ({!field_ok} checks).  Sufficient for
+    the string-shaped catalogue examples and their benchmarks. *)
+
+type row = string list
+type t = row list
+
+val field_ok : sep:char -> string -> bool
+(** The field contains neither the separator nor a newline. *)
+
+val parse : sep:char -> string -> (t, string) result
+(** Parse a document of zero or more newline-terminated records.  The empty
+    string is the empty document; a final record missing its newline is an
+    error. *)
+
+val print : sep:char -> t -> string
+(** Inverse of {!parse} on valid data: each row joined by [sep], each
+    record terminated by a newline. *)
+
+val pp : Format.formatter -> t -> unit

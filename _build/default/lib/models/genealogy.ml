@@ -1,0 +1,104 @@
+type family = {
+  last_name : string;
+  father : string option;
+  mother : string option;
+  sons : string list;
+  daughters : string list;
+}
+
+type families = family list
+
+let family ?father ?mother ?(sons = []) ?(daughters = []) last_name =
+  { last_name; father; mother; sons; daughters }
+
+let rec unique = function
+  | [] | [ _ ] -> true
+  | x :: (y :: _ as rest) -> x <> y && unique rest
+
+let validate_families fams =
+  let names = List.map (fun f -> f.last_name) fams in
+  if List.exists (fun n -> String.length n = 0) names then
+    Error "families: empty last name"
+  else if not (unique (List.sort String.compare names)) then
+    Error "families: duplicate last name"
+  else
+    let bad =
+      List.find_opt
+        (fun f ->
+          let members =
+            Option.to_list f.father @ Option.to_list f.mother @ f.sons
+            @ f.daughters
+          in
+          not (unique (List.sort String.compare members)))
+        fams
+    in
+    match bad with
+    | Some f ->
+        Error
+          (Printf.sprintf "families: duplicate first name in family %s"
+             f.last_name)
+    | None -> Ok ()
+
+let family_members f =
+  List.map (fun n -> (n, `Male)) (Option.to_list f.father @ f.sons)
+  @ List.map (fun n -> (n, `Female)) (Option.to_list f.mother @ f.daughters)
+
+let canon_family f =
+  {
+    f with
+    sons = List.sort String.compare f.sons;
+    daughters = List.sort String.compare f.daughters;
+  }
+
+let equal_families f1 f2 =
+  let canon fams =
+    List.map canon_family fams
+    |> List.sort (fun a b -> String.compare a.last_name b.last_name)
+  in
+  canon f1 = canon f2
+
+let pp_family ppf f =
+  let pp_opt name ppf = function
+    | None -> ()
+    | Some n -> Fmt.pf ppf "@,%s: %s" name n
+  in
+  Fmt.pf ppf "@[<v 2>family %s:%a%a%a%a@]" f.last_name (pp_opt "father")
+    f.father (pp_opt "mother") f.mother
+    (fun ppf sons ->
+      if sons <> [] then
+        Fmt.pf ppf "@,sons: %a" (Fmt.list ~sep:Fmt.comma Fmt.string) sons)
+    f.sons
+    (fun ppf daughters ->
+      if daughters <> [] then
+        Fmt.pf ppf "@,daughters: %a"
+          (Fmt.list ~sep:Fmt.comma Fmt.string)
+          daughters)
+    f.daughters
+
+let pp_families ppf fams =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_family) fams
+
+type gender = Male | Female
+type person = { full_name : string; gender : gender; birthday : string }
+type persons = person list
+
+let person ?(birthday = "unknown") gender full_name =
+  { full_name; gender; birthday }
+
+let split_full_name full =
+  match String.index_opt full ' ' with
+  | None -> None
+  | Some i ->
+      Some
+        ( String.sub full 0 i,
+          String.sub full (i + 1) (String.length full - i - 1) )
+
+let equal_persons p1 p2 = List.sort compare p1 = List.sort compare p2
+
+let pp_person ppf p =
+  Fmt.pf ppf "%s (%s, born %s)" p.full_name
+    (match p.gender with Male -> "M" | Female -> "F")
+    p.birthday
+
+let pp_persons ppf ps =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_person) ps

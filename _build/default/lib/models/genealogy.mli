@@ -1,0 +1,55 @@
+(** The two model spaces of the classic Families-to-Persons benchmark
+    (Anjorin et al., "BenchmarX", BX 2014 — the companion paper the
+    repository proposal discusses): a register of families with role-tagged
+    members, and a flat register of persons with gender. *)
+
+(** {1 Families} *)
+
+type family = {
+  last_name : string;
+  father : string option;  (** First name. *)
+  mother : string option;
+  sons : string list;
+  daughters : string list;
+}
+
+type families = family list
+
+val family :
+  ?father:string -> ?mother:string -> ?sons:string list
+  -> ?daughters:string list -> string -> family
+
+val validate_families : families -> (unit, string) result
+(** Last names unique and nonempty; no duplicate first name within one
+    family. *)
+
+val family_members : family -> (string * [ `Male | `Female ]) list
+(** All members as (first name, gender): father and sons male, mother and
+    daughters female. *)
+
+val equal_families : families -> families -> bool
+(** Order-insensitive on families and on the member lists within each. *)
+
+val pp_families : Format.formatter -> families -> unit
+
+(** {1 Persons} *)
+
+type gender = Male | Female
+
+type person = {
+  full_name : string;  (** ["First Last"]. *)
+  gender : gender;
+  birthday : string;  (** Private to the persons side, e.g. ["1970-01-01"]. *)
+}
+
+type persons = person list
+
+val person : ?birthday:string -> gender -> string -> person
+
+val split_full_name : string -> (string * string) option
+(** ["First Last"] into [(first, last)]; [None] when there is no space. *)
+
+val equal_persons : persons -> persons -> bool
+(** Order-insensitive. *)
+
+val pp_persons : Format.formatter -> persons -> unit

@@ -1,0 +1,177 @@
+open Relational
+
+type pred =
+  | Eq of string * value
+  | Ne of string * value
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type query = Select of pred | Project of string list | Seq of query * query
+
+exception Bad_query of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_query m)) fmt
+
+let column_index table name =
+  let rec scan i = function
+    | [] -> bad "unknown column %s in table %s" name table.table_name
+    | c :: _ when String.equal c.col_name name -> i
+    | _ :: rest -> scan (i + 1) rest
+  in
+  scan 0 table.columns
+
+let rec eval_pred table pred row =
+  match pred with
+  | Eq (col, v) -> List.nth row (column_index table col) = v
+  | Ne (col, v) -> List.nth row (column_index table col) <> v
+  | And (p, q) -> eval_pred table p row && eval_pred table q row
+  | Or (p, q) -> eval_pred table p row || eval_pred table q row
+  | Not p -> not (eval_pred table p row)
+
+let key_columns table =
+  List.filter (fun c -> c.primary) table.columns
+  |> List.map (fun c -> c.col_name)
+
+let rec view_table table = function
+  | Select pred ->
+      (* Validate the predicate's columns once, against an empty row
+         check at use time; here just check names. *)
+      let rec check = function
+        | Eq (c, _) | Ne (c, _) -> ignore (column_index table c)
+        | And (p, q) | Or (p, q) ->
+            check p;
+            check q
+        | Not p -> check p
+      in
+      check pred;
+      table
+  | Project cols ->
+      let keep =
+        List.map
+          (fun name -> List.nth table.columns (column_index table name))
+          cols
+      in
+      let keys = key_columns table in
+      List.iter
+        (fun k ->
+          if not (List.mem k cols) then
+            bad "projection drops key column %s: update not translatable" k)
+        keys;
+      { table with columns = keep }
+  | Seq (q1, q2) -> view_table (view_table table q1) q2
+
+let default_value = function
+  | Int_t -> Int_v 0
+  | Text_t -> Text_v ""
+  | Bool_t -> Bool_v false
+
+(* Columns whose value is forced by the positive Eq conjuncts of a
+   selection predicate: rows created through the view must satisfy the
+   selection, so these become the completion defaults (Dayal–Bernstein's
+   condition for insert translatability through a selection). *)
+let rec defaults_of_pred = function
+  | Eq (col, v) -> [ (col, v) ]
+  | And (p, q) -> defaults_of_pred p @ defaults_of_pred q
+  | Ne _ | Or _ | Not _ -> []
+
+let select_lens table pred =
+  ignore (view_table table (Select pred));
+  let keep row = eval_pred table pred row in
+  Bx.Lens.make ~name:"select"
+    ~get:(List.filter keep)
+    ~put:(fun view rows ->
+      List.iter
+        (fun v ->
+          if not (keep v) then
+            Bx.Lens.error
+              "select view contains a row violating the selection predicate")
+        view;
+      (* Weave updated matching rows among the preserved non-matching
+         ones, as the generic filter lens does. *)
+      let rec weave vs rows =
+        match (vs, rows) with
+        | vs, [] -> vs
+        | vs, r :: rest when not (keep r) -> r :: weave vs rest
+        | v :: vs', _ :: rest -> v :: weave vs' rest
+        | [], _ :: rest -> weave [] rest
+      in
+      weave view rows)
+    ~create:Fun.id
+
+let project_lens ?(defaults = []) table cols =
+  let vtable = view_table table (Project cols) in
+  ignore vtable;
+  let indices = List.map (column_index table) cols in
+  let project row = List.map (List.nth row) indices in
+  let keys = key_columns table in
+  let key_indices_src = List.map (column_index table) keys in
+  let key_of_source row = List.map (List.nth row) key_indices_src in
+  let key_indices_view =
+    List.map
+      (fun k ->
+        let rec scan i = function
+          | [] -> assert false (* keys ⊆ cols, checked by view_table *)
+          | c :: _ when String.equal c k -> i
+          | _ :: rest -> scan (i + 1) rest
+        in
+        scan 0 cols)
+      keys
+  in
+  let key_of_view vrow = List.map (List.nth vrow) key_indices_view in
+  let rebuild vrow old_row =
+    (* Produce a full row: projected columns from the view, others from
+       the old row (or defaults). *)
+    List.mapi
+      (fun i col ->
+        match List.find_index (fun j -> j = i) indices with
+        | Some _ ->
+            let rec pos k = function
+              | [] -> assert false
+              | j :: _ when j = i -> k
+              | _ :: rest -> pos (k + 1) rest
+            in
+            List.nth vrow (pos 0 indices)
+        | None -> (
+            match old_row with
+            | Some row -> List.nth row i
+            | None -> (
+                match List.assoc_opt col.col_name defaults with
+                | Some v -> v
+                | None -> default_value col.col_type)))
+      table.columns
+  in
+  Bx.Lens.make ~name:"project" ~get:(List.map project)
+    ~put:(fun view rows ->
+      let consumed = Array.make (List.length rows) false in
+      let row_arr = Array.of_list rows in
+      let find_source k =
+        let rec scan i =
+          if i >= Array.length row_arr then None
+          else if (not consumed.(i)) && key_of_source row_arr.(i) = k then begin
+            consumed.(i) <- true;
+            Some row_arr.(i)
+          end
+          else scan (i + 1)
+        in
+        scan 0
+      in
+      List.map (fun vrow -> rebuild vrow (find_source (key_of_view vrow))) view)
+    ~create:(fun view -> List.map (fun vrow -> rebuild vrow None) view)
+
+let rec lens_with defaults table = function
+  | Select pred -> select_lens table pred
+  | Project cols -> project_lens ~defaults table cols
+  | Seq (q1, q2) ->
+      let defaults' =
+        match q1 with
+        | Select pred -> defaults_of_pred pred @ defaults
+        | _ -> defaults
+      in
+      let l1 = lens_with defaults table q1 in
+      let l2 = lens_with defaults' (view_table table q1) q2 in
+      Bx.Lens.compose l1 l2
+
+let lens table query = lens_with [] table query
+
+let eval table query rows = (lens table query).Bx.Lens.get rows

@@ -1,0 +1,30 @@
+type 'a t = { label : 'a; children : 'a t list }
+
+let leaf label = { label; children = [] }
+let node label children = { label; children }
+
+let rec size t = 1 + List.fold_left (fun n c -> n + size c) 0 t.children
+
+let rec depth t =
+  1 + List.fold_left (fun d c -> max d (depth c)) 0 t.children
+
+let rec map f t = { label = f t.label; children = List.map (map f) t.children }
+
+let rec fold f t = f t.label (List.map (fold f) t.children)
+
+let rec equal eq t1 t2 =
+  eq t1.label t2.label
+  && List.length t1.children = List.length t2.children
+  && List.for_all2 (equal eq) t1.children t2.children
+
+let find_child p t = List.find_opt (fun c -> p c.label) t.children
+let children_labelled l t = List.filter (fun c -> c.label = l) t.children
+let with_children t children = { t with children }
+
+let rec pp pp_label ppf t =
+  match t.children with
+  | [] -> pp_label ppf t.label
+  | _ ->
+      Fmt.pf ppf "@[<hov 2>%a(%a)@]" pp_label t.label
+        (Fmt.list ~sep:Fmt.comma (pp pp_label))
+        t.children

@@ -1,0 +1,30 @@
+(** Rose trees with labelled nodes — a stand-in for the XML-ish documents
+    of the tree-lens literature (Foster et al.'s bookstore examples). *)
+
+type 'a t = { label : 'a; children : 'a t list }
+
+val leaf : 'a -> 'a t
+val node : 'a -> 'a t list -> 'a t
+
+val size : 'a t -> int
+(** Number of nodes. *)
+
+val depth : 'a t -> int
+(** 1 for a leaf. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val fold : ('a -> 'b list -> 'b) -> 'a t -> 'b
+(** Bottom-up fold: the label and the folded children. *)
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+
+val find_child : ('a -> bool) -> 'a t -> 'a t option
+(** The first immediate child whose label satisfies the predicate. *)
+
+val children_labelled : 'a -> 'a t -> 'a t list
+(** All immediate children with the given label (by structural equality). *)
+
+val with_children : 'a t -> 'a t list -> 'a t
+(** Replace the children. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,34 @@
+(** Edits on rose trees: paths, primitive operations, application and a
+    diff whose output replays one tree into another — the delta substrate
+    for tree-shaped models (the edit-lens counterpart of {!Tree}).
+
+    A {e path} addresses a node by child indices from the root; the root
+    itself is []. *)
+
+type path = int list
+
+type 'a op =
+  | Relabel of path * 'a  (** Replace the label at the node. *)
+  | Insert_child of path * int * 'a Tree.t
+      (** Insert a whole subtree before child index [i] of the node. *)
+  | Delete_child of path * int  (** Delete child [i] of the node. *)
+
+type 'a edit = 'a op list
+(** Applied left to right. *)
+
+val apply_op : 'a op -> 'a Tree.t -> 'a Tree.t option
+(** [None] when the path or index is out of range. *)
+
+val apply : 'a edit -> 'a Tree.t -> 'a Tree.t option
+
+val edit_module : unit -> ('a edit, 'a Tree.t) Bx.Elens.edit_module
+(** The edit monoid, packaged for {!Bx.Elens}. *)
+
+val diff : equal:('a -> 'a -> bool) -> 'a Tree.t -> 'a Tree.t -> 'a edit
+(** An edit replaying the first tree into the second:
+    [apply (diff ~equal t1 t2) t1 = Some t2].  Children are aligned by an
+    LCS on labels, so subtrees that merely moved relative to insertions
+    and deletions are edited in place rather than rebuilt. *)
+
+val edit_size : 'a edit -> int
+(** Number of primitive operations (a crude edit distance). *)

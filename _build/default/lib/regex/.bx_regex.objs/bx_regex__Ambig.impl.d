@@ -1,0 +1,1 @@
+lib/regex/ambig.ml: Array Cset Dfa Hashtbl Lang List Queue Regex String

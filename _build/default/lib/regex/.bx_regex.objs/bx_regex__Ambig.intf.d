@@ -1,0 +1,1 @@
+lib/regex/ambig.mli: Regex

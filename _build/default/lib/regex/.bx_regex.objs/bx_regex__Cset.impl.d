@@ -1,0 +1,1 @@
+lib/regex/cset.ml: Char Fmt List Stdlib String

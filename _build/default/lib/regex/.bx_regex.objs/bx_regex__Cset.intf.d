@@ -1,0 +1,1 @@
+lib/regex/cset.mli: Format

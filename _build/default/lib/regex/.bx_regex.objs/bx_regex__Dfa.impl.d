@@ -1,0 +1,1 @@
+lib/regex/dfa.ml: Array Char Cset Fun Hashtbl List Option Queue Regex String

@@ -1,0 +1,1 @@
+lib/regex/lang.ml: Char Cset Dfa Hashtbl List Queue Regex String

@@ -1,0 +1,1 @@
+lib/regex/lang.mli: Regex

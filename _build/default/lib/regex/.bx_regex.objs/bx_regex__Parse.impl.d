@@ -1,0 +1,1 @@
+lib/regex/parse.ml: Char Cset List Printf Regex String

@@ -1,0 +1,1 @@
+lib/regex/regex.ml: Cset Fmt List Stdlib String

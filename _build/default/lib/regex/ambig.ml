@@ -1,0 +1,81 @@
+(* A concatenation L1·L2 is ambiguous iff some word splits two ways:
+   w = p·s = (p·q)·s' with q nonempty, p, p·q ∈ L1 and q·s', s' ∈ L2.
+   Equivalently, the "overlap" q lies in both
+     S1 = { q ≠ ε | ∃p. p ∈ L1 ∧ p·q ∈ L1 }   (paths between accepting
+                                                states of a DFA for L1)
+   and
+     T2 = { q | L(δ2(q0, q)) ∩ L2 ≠ ∅ }        (prefixes of L2 whose
+                                                residual still meets L2).
+   We search the product of the subset-construction of S1 (an NFA whose
+   initial states are the accepting states of DFA(L1)) with DFA(L2),
+   breadth-first, and return the shortest overlap as a witness.  The
+   acceptance test runs when an edge is generated, so the path is always
+   nonempty — including paths that lead back to the start state. *)
+
+module StateSet = struct
+  (* A set of derivative states: sorted, duplicate-free list. *)
+  let of_list rs = List.sort_uniq Regex.compare rs
+  let step c set = of_list (List.map (Regex.deriv c) set)
+  let any_nullable = List.exists Regex.nullable
+  let classes set = Cset.refine (List.concat_map Regex.derivative_classes set)
+end
+
+exception Witness of string
+
+let unambig_concat r1 r2 =
+  let d1 = Dfa.build r1 in
+  let accepting_labels =
+    Array.to_list (Dfa.states d1) |> List.filter Regex.nullable
+  in
+  if accepting_labels = [] then Ok () (* L1 empty: nothing to split *)
+  else begin
+    (* Memoised: does the residual language t still meet L2? *)
+    let qualifies_cache = Hashtbl.create 16 in
+    let qualifies t =
+      match Hashtbl.find_opt qualifies_cache t with
+      | Some b -> b
+      | None ->
+          let b = Lang.inter_witness t r2 <> None in
+          Hashtbl.add qualifies_cache t b;
+          b
+    in
+    let start = (StateSet.of_list accepting_labels, r2) in
+    let visited = Hashtbl.create 64 in
+    Hashtbl.add visited start ();
+    let queue = Queue.create () in
+    Queue.add (start, []) queue;
+    let string_of_path path =
+      String.init (List.length path) (List.nth (List.rev path))
+    in
+    try
+      while not (Queue.is_empty queue) do
+        let (set, t), path = Queue.take queue in
+        let classes =
+          Cset.refine (StateSet.classes set @ Regex.derivative_classes t)
+        in
+        List.iter
+          (fun cls ->
+            match Cset.choose cls with
+            | None -> ()
+            | Some c ->
+                let set' = StateSet.step c set in
+                let t' = Regex.deriv c t in
+                let path' = c :: path in
+                if StateSet.any_nullable set' && qualifies t' then
+                  raise (Witness (string_of_path path'));
+                let next = (set', t') in
+                if not (Hashtbl.mem visited next) then begin
+                  Hashtbl.add visited next ();
+                  Queue.add (next, path') queue
+                end)
+          classes
+      done;
+      Ok ()
+    with Witness w -> Error w
+  end
+
+let unambig_star r =
+  if Regex.nullable r then Error ""
+  else unambig_concat r (Regex.star r)
+
+let disjoint_union = Lang.disjoint

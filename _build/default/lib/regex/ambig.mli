@@ -1,0 +1,21 @@
+(** The Boomerang typing obligations (Bohannon et al., POPL 2008): string
+    lens combinators are only well defined when the regular expressions
+    they are typed with can be parsed unambiguously.  This module decides
+    those side conditions exactly, with witnesses for failures. *)
+
+val unambig_concat : Regex.t -> Regex.t -> (unit, string) result
+(** [unambig_concat r1 r2] is [Ok ()] when every string of
+    [L(r1) · L(r2)] has exactly one decomposition into an [r1]-part and an
+    [r2]-part.  On failure, [Error q] exhibits a nonempty {e overlap}
+    [q]: a string with [p, p·q ∈ L(r1)] and [q·s, s ∈ L(r2)] for some
+    [p, s], so [p·q·s] splits two ways. *)
+
+val unambig_star : Regex.t -> (unit, string) result
+(** [unambig_star r] is [Ok ()] when every string in the iteration of [r]
+    decomposes uniquely into a sequence of [r]-chunks.  Requires
+    [ε ∉ L(r)] (witness [""]), plus unambiguity of [r] concatenated with
+    its own iteration. *)
+
+val disjoint_union : Regex.t -> Regex.t -> (unit, string) result
+(** [Ok ()] when the two languages are disjoint, as the [union] lens
+    requires; [Error w] exhibits a shared string. *)

@@ -1,0 +1,84 @@
+(* Sorted, disjoint, non-adjacent inclusive ranges of byte codes. *)
+type t = (int * int) list
+
+let empty = []
+let full = [ (0, 255) ]
+
+(* Normalise: merge overlapping or adjacent ranges; assumes sorted by lo. *)
+let normalise ranges =
+  let rec merge = function
+    | (l1, h1) :: (l2, h2) :: rest when l2 <= h1 + 1 ->
+        merge ((l1, max h1 h2) :: rest)
+    | r :: rest -> r :: merge rest
+    | [] -> []
+  in
+  merge (List.sort compare ranges)
+
+let singleton c = [ (Char.code c, Char.code c) ]
+
+let range lo hi =
+  let lo = Char.code lo and hi = Char.code hi in
+  if lo > hi then [] else [ (lo, hi) ]
+
+let of_string s =
+  normalise (List.init (String.length s) (fun i -> Char.code s.[i])
+             |> List.map (fun c -> (c, c)))
+
+let union a b = normalise (a @ b)
+
+let complement a =
+  let rec gaps lo = function
+    | [] -> if lo <= 255 then [ (lo, 255) ] else []
+    | (l, h) :: rest ->
+        let tail = gaps (h + 1) rest in
+        if lo < l then (lo, l - 1) :: tail else tail
+  in
+  gaps 0 a
+
+let inter a b =
+  let rec go a b =
+    match (a, b) with
+    | [], _ | _, [] -> []
+    | (l1, h1) :: ta, (l2, h2) :: tb ->
+        let lo = max l1 l2 and hi = min h1 h2 in
+        let rest = if h1 < h2 then go ta b else go a tb in
+        if lo <= hi then (lo, hi) :: rest else rest
+  in
+  go a b
+
+let diff a b = inter a (complement b)
+let mem c a = List.exists (fun (l, h) -> l <= Char.code c && Char.code c <= h) a
+let is_empty a = a = []
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let subset a b = is_empty (diff a b)
+let cardinal a = List.fold_left (fun n (l, h) -> n + h - l + 1) 0 a
+let choose = function [] -> None | (l, _) :: _ -> Some (Char.chr l)
+let to_ranges a = List.map (fun (l, h) -> (Char.chr l, Char.chr h)) a
+
+(* Partition the byte space so that every input set is a union of blocks.
+   Start from {full} and split each block against each set. *)
+let refine sets =
+  let split blocks s =
+    List.concat_map
+      (fun b ->
+        let inside = inter b s and outside = diff b s in
+        List.filter (fun x -> not (is_empty x)) [ inside; outside ])
+      blocks
+  in
+  List.fold_left split [ full ] sets
+
+let pp_char ppf c =
+  if c >= 33 && c <= 126 then Fmt.pf ppf "%c" (Char.chr c)
+  else Fmt.pf ppf "\\x%02x" c
+
+let pp ppf a =
+  match a with
+  | [ (l, h) ] when l = h -> pp_char ppf l
+  | _ ->
+      Fmt.pf ppf "[";
+      List.iter
+        (fun (l, h) ->
+          if l = h then pp_char ppf l else Fmt.pf ppf "%a-%a" pp_char l pp_char h)
+        a;
+      Fmt.pf ppf "]"

@@ -1,0 +1,44 @@
+(** Character sets, represented as sorted lists of disjoint inclusive
+    ranges of character codes.  The building block of regular expressions
+    and of the character-class partitions used to build DFAs. *)
+
+type t
+
+val empty : t
+val full : t
+(** All 256 byte values. *)
+
+val singleton : char -> t
+val range : char -> char -> t
+(** [range lo hi] is the inclusive range; empty if [lo > hi]. *)
+
+val of_string : string -> t
+(** The set of characters occurring in the string. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+
+val mem : char -> t -> bool
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val subset : t -> t -> bool
+
+val cardinal : t -> int
+(** Number of characters in the set. *)
+
+val choose : t -> char option
+(** The smallest character in the set, if any. *)
+
+val to_ranges : t -> (char * char) list
+(** The underlying sorted disjoint ranges. *)
+
+val refine : t list -> t list
+(** [refine sets] returns a partition of the full byte space such that each
+    input set is a union of partition blocks.  Used to compute the
+    character-class partition a DFA state dispatches on. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact rendering, e.g. [[a-z0-9]]. *)

@@ -1,0 +1,267 @@
+type t = {
+  state_labels : Regex.t array;
+  trans : (Cset.t * int) list array;
+  accept : bool array;
+}
+
+let initial = 0
+
+let build root =
+  let ids = Hashtbl.create 64 in
+  let labels = ref [] and count = ref 0 in
+  let id_of r =
+    match Hashtbl.find_opt ids r with
+    | Some i -> (i, false)
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add ids r i;
+        labels := r :: !labels;
+        (i, true)
+  in
+  let trans_tbl = Hashtbl.create 64 in
+  let rec explore r =
+    let i, fresh = id_of r in
+    if fresh then begin
+      let classes = Regex.derivative_classes r in
+      let outgoing =
+        List.filter_map
+          (fun cls ->
+            match Cset.choose cls with
+            | None -> None
+            | Some c ->
+                let r' = Regex.deriv c r in
+                let j = explore r' in
+                Some (cls, j))
+          classes
+      in
+      Hashtbl.replace trans_tbl i outgoing
+    end;
+    i
+  in
+  let _root_id = explore root in
+  let n = !count in
+  let state_labels = Array.make n Regex.empty in
+  List.iteri
+    (fun k r -> state_labels.(n - 1 - k) <- r)
+    !labels;
+  let trans = Array.make n [] in
+  let accept = Array.make n false in
+  for i = 0 to n - 1 do
+    trans.(i) <- Hashtbl.find trans_tbl i;
+    accept.(i) <- Regex.nullable state_labels.(i)
+  done;
+  { state_labels; trans; accept }
+
+let size d = Array.length d.state_labels
+let regex_of_state d i = d.state_labels.(i)
+let states d = d.state_labels
+let transitions d i = d.trans.(i)
+
+let step d i c =
+  let rec find = function
+    | [] -> invalid_arg "Dfa.step: transition classes do not cover the byte"
+    | (cls, j) :: rest -> if Cset.mem c cls then j else find rest
+  in
+  find d.trans.(i)
+
+let accepting d i = d.accept.(i)
+
+let run_from d i s =
+  let st = ref i in
+  String.iter (fun c -> st := step d !st c) s;
+  !st
+
+let accepts d s = accepting d (run_from d initial s)
+
+let prefix_marks d s =
+  let n = String.length s in
+  let marks = Array.make (n + 1) false in
+  let st = ref initial in
+  marks.(0) <- accepting d initial;
+  for i = 0 to n - 1 do
+    st := step d !st s.[i];
+    marks.(i + 1) <- accepting d !st
+  done;
+  marks
+
+let is_empty_lang d = not (Array.exists Fun.id d.accept)
+
+let shortest_accepted d =
+  let n = size d in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add (initial, []) queue;
+  visited.(initial) <- true;
+  let rec bfs () =
+    if Queue.is_empty queue then None
+    else
+      let i, path = Queue.take queue in
+      if accepting d i then
+        Some (String.init (List.length path) (List.nth (List.rev path)))
+      else begin
+        List.iter
+          (fun (cls, j) ->
+            if not visited.(j) then begin
+              visited.(j) <- true;
+              match Cset.choose cls with
+              | Some c -> Queue.add (j, c :: path) queue
+              | None -> ()
+            end)
+          d.trans.(i);
+        bfs ()
+      end
+  in
+  bfs ()
+
+(* Moore partition refinement.  Blocks are refined by acceptance and by
+   the block each byte leads to, until stable. *)
+let minimise d =
+  let n = size d in
+  if n = 0 then d
+  else begin
+    let block = Array.init n (fun i -> if d.accept.(i) then 1 else 0) in
+    (* If all states agree on acceptance there is a single block. *)
+    let normalise () =
+      (* Renumber blocks densely in order of first occurrence. *)
+      let mapping = Hashtbl.create 8 in
+      let next = ref 0 in
+      Array.iteri
+        (fun i b ->
+          match Hashtbl.find_opt mapping b with
+          | Some b' -> block.(i) <- b'
+          | None ->
+              Hashtbl.add mapping b !next;
+              block.(i) <- !next;
+              incr next)
+        block;
+      !next
+    in
+    let count = ref (normalise ()) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* Signature of a state: its block plus the blocks of all byte
+         transitions. *)
+      let signatures = Hashtbl.create n in
+      let next_sig = ref 0 in
+      let new_block = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let sig_i =
+          ( block.(i),
+            List.map (fun (cls, j) -> (Cset.to_ranges cls, block.(j))) d.trans.(i)
+          )
+        in
+        (* Transition lists may carve classes differently between states,
+           so expand per byte for a canonical signature. *)
+        let per_byte =
+          Array.init 256 (fun b -> block.(step d i (Char.chr b)))
+        in
+        let key = (fst sig_i, Array.to_list per_byte) in
+        match Hashtbl.find_opt signatures key with
+        | Some b -> new_block.(i) <- b
+        | None ->
+            Hashtbl.add signatures key !next_sig;
+            new_block.(i) <- !next_sig;
+            incr next_sig
+      done;
+      if !next_sig <> !count then begin
+        changed := true;
+        count := !next_sig;
+        Array.blit new_block 0 block 0 n
+      end
+    done;
+    let block_count = normalise () in
+    (* Reindex so the block of the old initial state is 0. *)
+    let initial_block = block.(initial) in
+    let rename b =
+      if b = initial_block then 0
+      else if b < initial_block then b + 1
+      else b
+    in
+    Array.iteri (fun i b -> block.(i) <- rename b) block;
+    (* Representative state of each block. *)
+    let repr = Array.make block_count (-1) in
+    Array.iteri (fun i b -> if repr.(b) < 0 then repr.(b) <- i) block;
+    let state_labels = Array.map (fun r -> d.state_labels.(r)) repr in
+    let accept = Array.map (fun r -> d.accept.(r)) repr in
+    let trans =
+      Array.map
+        (fun r ->
+          (* Group bytes by target block into maximal character sets. *)
+          let targets = Array.init 256 (fun b -> block.(step d r (Char.chr b))) in
+          let by_target = Hashtbl.create 4 in
+          Array.iteri
+            (fun b t ->
+              let set =
+                Option.value ~default:Cset.empty (Hashtbl.find_opt by_target t)
+              in
+              Hashtbl.replace by_target t
+                (Cset.union set (Cset.singleton (Char.chr b))))
+            targets;
+          Hashtbl.fold (fun t set acc -> (set, t) :: acc) by_target []
+          |> List.sort compare)
+        repr
+    in
+    { state_labels; trans; accept }
+  end
+
+(* GNFA state elimination.  Two virtual states are added: a start S with
+   an epsilon edge to state 0, and an accept F with epsilon edges from
+   every accepting state.  Eliminating a state k replaces every path
+   i -> k -> j by the regex R(i,k) R(k,k)* R(k,j), merged into R(i,j). *)
+let to_regex d =
+  let n = size d in
+  if n = 0 then Regex.empty
+  else begin
+    let start = n and final = n + 1 in
+    let edges : (int * int, Regex.t) Hashtbl.t = Hashtbl.create 64 in
+    let get i j = Hashtbl.find_opt edges (i, j) in
+    let add i j r =
+      match get i j with
+      | None -> Hashtbl.replace edges (i, j) r
+      | Some r0 -> Hashtbl.replace edges (i, j) (Regex.alt r0 r)
+    in
+    for i = 0 to n - 1 do
+      List.iter (fun (cls, j) -> add i j (Regex.cset cls)) d.trans.(i);
+      if d.accept.(i) then add i final Regex.epsilon
+    done;
+    add start 0 Regex.epsilon;
+    let states = List.init n Fun.id in
+    List.iter
+      (fun k ->
+        let loop =
+          match get k k with None -> Regex.epsilon | Some r -> Regex.star r
+        in
+        let sources =
+          Hashtbl.fold
+            (fun (i, j) r acc -> if j = k && i <> k then (i, r) :: acc else acc)
+            edges []
+        in
+        let targets =
+          Hashtbl.fold
+            (fun (i, j) r acc -> if i = k && j <> k then (j, r) :: acc else acc)
+            edges []
+        in
+        List.iter
+          (fun (i, rin) ->
+            List.iter
+              (fun (j, rout) ->
+                add i j (Regex.seq rin (Regex.seq loop rout)))
+              targets)
+          sources;
+        (* Remove every edge touching k. *)
+        Hashtbl.iter
+          (fun (i, j) _ ->
+            if i = k || j = k then Hashtbl.remove edges (i, j))
+          (Hashtbl.copy edges))
+      states;
+    match get start final with None -> Regex.empty | Some r -> r
+  end
+
+(* The complemented automaton: same transitions, accepting states
+   flipped.  State labels are kept verbatim and no longer denote the
+   states' residual languages; use the result only where labels are not
+   consulted (matching, minimisation, to_regex). *)
+let complement d =
+  { d with accept = Array.map not d.accept }

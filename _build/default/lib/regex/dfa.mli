@@ -1,0 +1,60 @@
+(** Deterministic finite automata built from regular expressions by
+    Brzozowski-derivative closure.  State 0 is initial; every state is
+    reachable; the transition function is total (character classes partition
+    the byte space in every state). *)
+
+type t
+
+val build : Regex.t -> t
+(** Construct the DFA recognising the regex's language. *)
+
+val size : t -> int
+(** Number of states. *)
+
+val initial : int
+(** The initial state index (always [0]). *)
+
+val regex_of_state : t -> int -> Regex.t
+(** The canonical derivative labelling a state (its residual language). *)
+
+val states : t -> Regex.t array
+(** All state labels, indexed by state. *)
+
+val transitions : t -> int -> (Cset.t * int) list
+(** Outgoing transitions of a state as disjoint character classes. *)
+
+val step : t -> int -> char -> int
+(** One transition. *)
+
+val accepting : t -> int -> bool
+val accepts : t -> string -> bool
+val run_from : t -> int -> string -> int
+(** Run the automaton over a string from a given state. *)
+
+val prefix_marks : t -> string -> bool array
+(** [prefix_marks d s] has length [String.length s + 1]; element [i] tells
+    whether the prefix [s[0..i)] is accepted. *)
+
+val is_empty_lang : t -> bool
+(** Whether the language is empty (no accepting state exists; all states
+    are reachable by construction). *)
+
+val shortest_accepted : t -> string option
+(** A shortest member of the language, by breadth-first search. *)
+
+val minimise : t -> t
+(** The minimal DFA for the same language, by Moore partition refinement.
+    State labels are taken from block representatives (the residual
+    languages are equivalent within a block); state 0 remains initial. *)
+
+val complement : t -> t
+(** Same transitions, accepting states flipped.  State labels are left
+    untouched and no longer describe the residual languages; use the
+    result only where labels are not consulted ({!accepts},
+    {!minimise}, {!to_regex}). *)
+
+val to_regex : t -> Regex.t
+(** A regular expression for the automaton's language, by GNFA state
+    elimination (Kleene).  The result can be large; it is language-equal
+    to every state-0 label but syntactically unrelated.  Minimising
+    first usually helps. *)

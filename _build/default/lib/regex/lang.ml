@@ -1,0 +1,106 @@
+(* Generic BFS over pairs of derivatives.  [accept d1 d2] decides whether a
+   pair state is a witness; the search returns the shortest string reaching
+   such a pair. *)
+let pair_bfs ~accept r1 r2 =
+  let visited = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add ((r1, r2), []) queue;
+  Hashtbl.add visited (r1, r2) ();
+  let rec bfs () =
+    if Queue.is_empty queue then None
+    else
+      let (d1, d2), path = Queue.take queue in
+      if accept d1 d2 then
+        Some (String.init (List.length path) (List.nth (List.rev path)))
+      else begin
+        let classes =
+          Cset.refine
+            (Regex.derivative_classes d1 @ Regex.derivative_classes d2)
+        in
+        List.iter
+          (fun cls ->
+            match Cset.choose cls with
+            | None -> ()
+            | Some c ->
+                let next = (Regex.deriv c d1, Regex.deriv c d2) in
+                (* Dead pairs cannot produce any witness for the
+                   intersection-style searches; they are still explored for
+                   complement-style acceptance, which [accept] encodes, so
+                   only prune exact [Empty, Empty]. *)
+                if not (Hashtbl.mem visited next) then begin
+                  Hashtbl.add visited next ();
+                  Queue.add (next, c :: path) queue
+                end)
+          classes;
+        bfs ()
+      end
+  in
+  bfs ()
+
+let inter_witness r1 r2 =
+  pair_bfs ~accept:(fun d1 d2 -> Regex.nullable d1 && Regex.nullable d2) r1 r2
+
+let disjoint r1 r2 =
+  match inter_witness r1 r2 with None -> Ok () | Some w -> Error w
+
+let subset_counterexample r1 r2 =
+  pair_bfs
+    ~accept:(fun d1 d2 -> Regex.nullable d1 && not (Regex.nullable d2))
+    r1 r2
+
+let subset r1 r2 = subset_counterexample r1 r2 = None
+
+let equiv_counterexample r1 r2 =
+  pair_bfs
+    ~accept:(fun d1 d2 -> Regex.nullable d1 <> Regex.nullable d2)
+    r1 r2
+
+let equivalent r1 r2 = equiv_counterexample r1 r2 = None
+
+let is_empty r = inter_witness r r = None
+
+let shortest r =
+  pair_bfs ~accept:(fun d1 _ -> Regex.nullable d1) r r
+
+(* Closure operations that escape the regex syntax via automata:
+   complement and intersection as regexes (Kleene's theorem made
+   executable).  Results are language-correct but syntactically large;
+   both minimise before eliminating states. *)
+let complement r =
+  Dfa.to_regex (Dfa.minimise (Dfa.complement (Dfa.build r)))
+
+let inter r1 r2 =
+  (* De Morgan over the available complement. *)
+  complement (Regex.alt (complement r1) (complement r2))
+
+let enumerate ~max_length r =
+  let out = ref [] in
+  (* Breadth-first over (derivative, word) pairs; expand per derivative
+     class so only one representative byte per class is explored — and
+     every byte in an accepted class contributes, so expand the class's
+     members individually. *)
+  let queue = Queue.create () in
+  Queue.add (r, "") queue;
+  while not (Queue.is_empty queue) do
+    let d, w = Queue.take queue in
+    if Regex.nullable d then out := w :: !out;
+    if String.length w < max_length then
+      List.iter
+        (fun cls ->
+          List.iter
+            (fun (lo, hi) ->
+              let rec chars c =
+                if c > Char.code hi then ()
+                else begin
+                  let ch = Char.chr c in
+                  let d' = Regex.deriv ch d in
+                  if not (Regex.equal d' Regex.empty) then
+                    Queue.add (d', w ^ String.make 1 ch) queue;
+                  chars (c + 1)
+                end
+              in
+              chars (Char.code lo))
+            (Cset.to_ranges cls))
+        (Regex.derivative_classes d)
+  done;
+  List.rev !out

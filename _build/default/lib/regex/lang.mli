@@ -1,0 +1,45 @@
+(** Decision procedures on regular languages, implemented by breadth-first
+    exploration of pairs of Brzozowski derivatives (the pair space is finite
+    because derivatives are canonicalised).  Each procedure produces a
+    shortest witness when the answer is negative, for use in error
+    messages. *)
+
+val inter_witness : Regex.t -> Regex.t -> string option
+(** A shortest string in the intersection of the two languages, or [None]
+    if the intersection is empty. *)
+
+val disjoint : Regex.t -> Regex.t -> (unit, string) result
+(** [Ok ()] when the languages are disjoint; [Error w] exhibits a shared
+    string [w]. *)
+
+val subset_counterexample : Regex.t -> Regex.t -> string option
+(** A shortest string in [L(r1) \ L(r2)], or [None] when [L(r1) ⊆ L(r2)]. *)
+
+val subset : Regex.t -> Regex.t -> bool
+
+val equivalent : Regex.t -> Regex.t -> bool
+(** Language equality. *)
+
+val equiv_counterexample : Regex.t -> Regex.t -> string option
+(** A shortest string in the symmetric difference, or [None] if the
+    languages are equal. *)
+
+val is_empty : Regex.t -> bool
+(** Language emptiness. *)
+
+val shortest : Regex.t -> string option
+(** A shortest member of the language. *)
+
+val complement : Regex.t -> Regex.t
+(** A regex for the complement language, via DFA complementation and
+    state elimination.  Language-correct; syntactically unrelated to the
+    input and potentially large. *)
+
+val inter : Regex.t -> Regex.t -> Regex.t
+(** A regex for the intersection, by De Morgan over {!complement}. *)
+
+val enumerate : max_length:int -> Regex.t -> string list
+(** All members of the language with length at most [max_length], in
+    shortlex order (breadth-first over derivatives).  Intended for tests
+    and examples; the result can be exponentially large in
+    [max_length]. *)

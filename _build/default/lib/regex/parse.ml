@@ -1,0 +1,171 @@
+let error fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+type state = { input : string; mutable pos : int }
+
+exception Fail of string
+
+let fail st fmt =
+  Printf.ksprintf (fun m -> raise (Fail (Printf.sprintf "at %d: %s" st.pos m))) fmt
+
+let peek st =
+  if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> fail st "expected %c" c
+
+let escaped_char st =
+  advance st (* the backslash *);
+  match peek st with
+  | None -> fail st "dangling escape"
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some c -> advance st; c
+
+(* One item of a character class: a single char or a range. *)
+let class_item st =
+  let start =
+    match peek st with
+    | Some '\\' -> escaped_char st
+    | Some c -> advance st; c
+    | None -> fail st "unterminated character class"
+  in
+  match peek st with
+  | Some '-' -> (
+      advance st;
+      match peek st with
+      | Some ']' ->
+          (* A trailing '-' is a literal. *)
+          Cset.union (Cset.singleton start) (Cset.singleton '-')
+      | Some '\\' ->
+          let stop = escaped_char st in
+          Cset.range start stop
+      | Some stop -> advance st; Cset.range start stop
+      | None -> fail st "unterminated character class")
+  | _ -> Cset.singleton start
+
+let char_class st =
+  expect st '[';
+  let negated =
+    match peek st with
+    | Some '^' -> advance st; true
+    | _ -> false
+  in
+  let rec items acc =
+    match peek st with
+    | Some ']' -> advance st; acc
+    | Some _ -> items (Cset.union acc (class_item st))
+    | None -> fail st "unterminated character class"
+  in
+  let set = items Cset.empty in
+  Regex.cset (if negated then Cset.complement set else set)
+
+let metacharacters = [ '|'; '('; ')'; '['; ']'; '*'; '+'; '?'; '.'; '\\' ]
+
+let rec alternation st =
+  let first = sequence st in
+  match peek st with
+  | Some '|' ->
+      advance st;
+      Regex.alt first (alternation st)
+  | _ -> first
+
+and sequence st =
+  let rec atoms acc =
+    match peek st with
+    | None | Some '|' | Some ')' -> acc
+    | Some _ -> atoms (Regex.seq acc (repetition st))
+  in
+  atoms Regex.epsilon
+
+and repetition st =
+  let base = atom st in
+  let rec postfix r =
+    match peek st with
+    | Some '*' -> advance st; postfix (Regex.star r)
+    | Some '+' -> advance st; postfix (Regex.plus r)
+    | Some '?' -> advance st; postfix (Regex.opt r)
+    | _ -> r
+  in
+  postfix base
+
+and atom st =
+  match peek st with
+  | Some '(' ->
+      advance st;
+      let r = alternation st in
+      expect st ')';
+      r
+  | Some '[' -> char_class st
+  | Some '.' -> advance st; Regex.any
+  | Some '\\' -> Regex.chr (escaped_char st)
+  | Some (('*' | '+' | '?' | ')' | ']') as c) -> fail st "unexpected %c" c
+  | Some c -> advance st; Regex.chr c
+  | None -> fail st "unexpected end of input"
+
+let of_string input =
+  let st = { input; pos = 0 } in
+  try
+    let r = alternation st in
+    if st.pos < String.length input then
+      error "at %d: unexpected %c" st.pos input.[st.pos]
+    else Ok r
+  with Fail m -> Error m
+
+(* --- printing in parseable form ------------------------------------- *)
+
+let escape_literal c =
+  match c with
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | c when List.mem c metacharacters -> Printf.sprintf "\\%c" c
+  | c when Char.code c >= 32 && Char.code c < 127 -> String.make 1 c
+  | c -> Printf.sprintf "\\%c" c
+
+let escape_in_class c =
+  match c with
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | ']' | '^' | '-' | '\\' -> Printf.sprintf "\\%c" c
+  | c when Char.code c >= 32 && Char.code c < 127 -> String.make 1 c
+  | c -> Printf.sprintf "\\%c" c
+
+let class_to_string set =
+  let ranges = Cset.to_ranges set in
+  match ranges with
+  | [ (lo, hi) ] when lo = hi -> escape_literal lo
+  | _ ->
+      let body =
+        String.concat ""
+          (List.map
+             (fun (lo, hi) ->
+               if lo = hi then escape_in_class lo
+               else if Char.code hi = Char.code lo + 1 then
+                 escape_in_class lo ^ escape_in_class hi
+               else escape_in_class lo ^ "-" ^ escape_in_class hi)
+             ranges)
+      in
+      "[" ^ body ^ "]"
+
+(* Precedence: 0 alternation, 1 sequence, 2 postfix atoms. *)
+let rec render prec r =
+  let parenthesise needed body = if prec > needed then "(" ^ body ^ ")" else body in
+  match r with
+  | Regex.Empty ->
+      invalid_arg "Parse.to_parseable: the empty language has no concrete syntax"
+  | Regex.Epsilon -> "()"
+  | Regex.Cset set ->
+      if Cset.equal set Cset.full then "." else class_to_string set
+  | Regex.Seq (a, b) ->
+      parenthesise 1 (render 1 a ^ render 1 b)
+  | Regex.Alt (a, b) ->
+      parenthesise 0 (render 0 a ^ "|" ^ render 0 b)
+  | Regex.Star a -> render 2 a ^ "*"
+
+let to_parseable = render 0

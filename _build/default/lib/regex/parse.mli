@@ -1,0 +1,20 @@
+(** A concrete syntax for regular expressions, so lens types can be given
+    on the command line and in artefact files.
+
+    Grammar (POSIX-ish):
+    - alternation [a|b], concatenation by juxtaposition,
+      postfix [*], [+], [?];
+    - grouping [( )];
+    - character classes [[a-z0-9]] and negated classes [[^...]];
+    - [.] for any byte;
+    - [\\] escapes the next character ([\\n], [\\t], [\\r] denote the
+      control characters, anything else denotes itself);
+    - every other character is a literal. *)
+
+val of_string : string -> (Regex.t, string) result
+(** Parse; errors carry a byte position. *)
+
+val to_parseable : Regex.t -> string
+(** Render a regex in a form {!of_string} accepts (escaping as needed).
+    Raises [Invalid_argument] on [Regex.Empty], which has no concrete
+    syntax. *)

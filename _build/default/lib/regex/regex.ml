@@ -1,0 +1,138 @@
+type t =
+  | Empty
+  | Epsilon
+  | Cset of Cset.t
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+
+let empty = Empty
+let epsilon = Epsilon
+let cset s = if Cset.is_empty s then Empty else Cset s
+let chr c = Cset (Cset.singleton c)
+let any = Cset Cset.full
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+(* Smart constructors maintain a canonical form so that the derivative
+   closure of any expression is finite:
+   - Seq is right-associated, with Empty absorbing and Epsilon a unit;
+   - Alt is right-associated over a sorted, duplicate-free list of
+     alternatives, with Empty a unit; adjacent character sets are merged;
+   - Star collapses nested stars and trivial bodies. *)
+
+let rec seq a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Epsilon, r | r, Epsilon -> r
+  | Seq (x, y), r -> seq x (seq y r)
+  | a, b -> Seq (a, b)
+
+let alt a b =
+  let rec flatten = function
+    | Alt (x, y) -> flatten x @ flatten y
+    | Empty -> []
+    | r -> [ r ]
+  in
+  let parts = List.sort_uniq compare (flatten a @ flatten b) in
+  (* Merge all character-set alternatives into one. *)
+  let csets, others =
+    List.partition (function Cset _ -> true | _ -> false) parts
+  in
+  let merged =
+    match csets with
+    | [] -> []
+    | _ ->
+        let s =
+          List.fold_left
+            (fun acc r ->
+              match r with Cset s -> Cset.union acc s | _ -> acc)
+            Cset.empty csets
+        in
+        if Cset.is_empty s then [] else [ Cset s ]
+  in
+  match merged @ others with
+  | [] -> Empty
+  | [ r ] -> r
+  | r :: rest -> List.fold_left (fun acc x -> Alt (acc, x)) r rest
+
+let star = function
+  | Empty | Epsilon -> Epsilon
+  | Star _ as r -> r
+  | r -> Star r
+
+let plus r = seq r (star r)
+let opt r = alt Epsilon r
+
+let str s =
+  let rec go i = if i >= String.length s then Epsilon else seq (chr s.[i]) (go (i + 1)) in
+  go 0
+
+let concat_list rs = List.fold_right seq rs Epsilon
+let alt_list = function [] -> Empty | r :: rest -> List.fold_left alt r rest
+
+let rec repeat n r = if n <= 0 then Epsilon else seq r (repeat (n - 1) r)
+
+let rec nullable = function
+  | Empty | Cset _ -> false
+  | Epsilon | Star _ -> true
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+
+let rec deriv c = function
+  | Empty | Epsilon -> Empty
+  | Cset s -> if Cset.mem c s then Epsilon else Empty
+  | Seq (a, b) ->
+      let d = seq (deriv c a) b in
+      if nullable a then alt d (deriv c b) else d
+  | Alt (a, b) -> alt (deriv c a) (deriv c b)
+  | Star a as r -> seq (deriv c a) r
+
+let matches r s =
+  let rec go r i =
+    if r = Empty then false
+    else if i >= String.length s then nullable r
+    else go (deriv s.[i] r) (i + 1)
+  in
+  go r 0
+
+let rec reverse = function
+  | (Empty | Epsilon | Cset _) as r -> r
+  | Seq (a, b) -> seq (reverse b) (reverse a)
+  | Alt (a, b) -> alt (reverse a) (reverse b)
+  | Star a -> star (reverse a)
+
+let rec derivative_classes = function
+  | Empty | Epsilon -> [ Cset.full ]
+  | Cset s -> Cset.refine [ s ]
+  | Seq (a, b) ->
+      if nullable a then
+        Cset.refine (derivative_classes a @ derivative_classes b)
+      else derivative_classes a
+  | Alt (a, b) -> Cset.refine (derivative_classes a @ derivative_classes b)
+  | Star a -> derivative_classes a
+
+let rec size = function
+  | Empty | Epsilon | Cset _ -> 1
+  | Seq (a, b) | Alt (a, b) -> 1 + size a + size b
+  | Star a -> 1 + size a
+
+(* Precedence: Alt (lowest) < Seq < Star (highest). *)
+let rec pp_prec prec ppf r =
+  match r with
+  | Empty -> Fmt.string ppf "{empty}"
+  | Epsilon -> Fmt.string ppf "{eps}"
+  | Cset s -> Cset.pp ppf s
+  | Seq (a, b) ->
+      let doc ppf () =
+        Fmt.pf ppf "%a%a" (pp_prec 1) a (pp_prec 1) b
+      in
+      if prec > 1 then Fmt.parens doc ppf () else doc ppf ()
+  | Alt (a, b) ->
+      let doc ppf () = Fmt.pf ppf "%a|%a" (pp_prec 0) a (pp_prec 0) b in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | Star a -> Fmt.pf ppf "%a*" (pp_prec 2) a
+
+let pp = pp_prec 0
+let to_string r = Fmt.str "%a" pp r

@@ -1,0 +1,72 @@
+(** Regular expressions with Brzozowski derivatives.
+
+    Expressions are kept in a canonical form by smart constructors
+    (associativity, neutral and absorbing elements, idempotent and sorted
+    alternation, collapsed stars), which guarantees that the set of
+    derivatives of any expression is finite — the property {!Dfa}
+    construction relies on. *)
+
+type t = private
+  | Empty  (** The empty language. *)
+  | Epsilon  (** The language containing only the empty string. *)
+  | Cset of Cset.t  (** Any single character from the set. *)
+  | Seq of t * t  (** Concatenation (kept right-associated). *)
+  | Alt of t * t  (** Union (kept right-associated, sorted, deduplicated). *)
+  | Star of t  (** Kleene iteration. *)
+
+(** {1 Constructors} *)
+
+val empty : t
+val epsilon : t
+val cset : Cset.t -> t
+val chr : char -> t
+val str : string -> t
+(** The literal string. *)
+
+val any : t
+(** Any single byte. *)
+
+val seq : t -> t -> t
+val alt : t -> t -> t
+val star : t -> t
+val plus : t -> t
+(** One or more repetitions. *)
+
+val opt : t -> t
+(** Zero or one occurrence. *)
+
+val concat_list : t list -> t
+val alt_list : t list -> t
+val repeat : int -> t -> t
+(** Exactly [n] copies in sequence. *)
+
+(** {1 Semantics} *)
+
+val nullable : t -> bool
+(** Does the language contain the empty string? *)
+
+val deriv : char -> t -> t
+(** Brzozowski derivative: the language of suffixes after consuming one
+    character. *)
+
+val matches : t -> string -> bool
+(** Membership test by iterated derivatives. *)
+
+val reverse : t -> t
+(** The regex denoting the reversal of the language. *)
+
+val derivative_classes : t -> Cset.t list
+(** A partition of the byte space such that [deriv] is constant on each
+    block.  May be finer than necessary, never coarser. *)
+
+(** {1 Utilities} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val size : t -> int
+(** Number of syntax nodes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render in a conventional concrete syntax. *)
+
+val to_string : t -> string

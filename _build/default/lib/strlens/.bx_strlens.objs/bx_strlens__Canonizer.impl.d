@@ -1,0 +1,1 @@
+lib/strlens/canonizer.ml: Bx Bx_regex Fun Lang Printf Regex Slens String

@@ -1,0 +1,1 @@
+lib/strlens/canonizer.mli: Bx Bx_regex Slens

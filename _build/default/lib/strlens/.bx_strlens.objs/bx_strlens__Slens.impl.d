@@ -1,0 +1,1 @@
+lib/strlens/slens.ml: Ambig Array Bx Bx_regex Format Fun Hashtbl Lang List Regex Split String

@@ -1,0 +1,1 @@
+lib/strlens/slens.mli: Bx Bx_regex

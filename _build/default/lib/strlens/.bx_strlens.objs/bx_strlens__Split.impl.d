@@ -1,0 +1,1 @@
+lib/strlens/split.ml: Array Bx_regex Dfa Format List Regex String

@@ -1,0 +1,1 @@
+lib/strlens/split.mli: Bx_regex

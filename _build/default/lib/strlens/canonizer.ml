@@ -1,0 +1,88 @@
+open Bx_regex
+
+type t = {
+  ctype : Regex.t;
+  atype : Regex.t;
+  canonize : string -> string;
+}
+
+let make ~ctype ~atype ~canonize =
+  (match Lang.subset_counterexample atype ctype with
+  | None -> ()
+  | Some w ->
+      raise
+        (Slens.Type_error
+           (Printf.sprintf
+              "canonizer: canonical form %S is outside the concrete type" w)));
+  { ctype; atype; canonize }
+
+let identity r = { ctype = r; atype = r; canonize = Fun.id }
+
+let final_newline r =
+  (* The unterminated concrete forms: members of r with the final newline
+     stripped.  We cannot express "strip" as a regex transform in general,
+     so ctype is r | (anything that becomes a member of r when '\n' is
+     appended).  For the common case where r is (line '\n')* this is
+     exactly r | r·line — we approximate with a runtime-checked union:
+     ctype accepts s iff r accepts s or r accepts s ^ "\n". *)
+  let canonize s =
+    if Regex.matches r s then s
+    else if Regex.matches r (s ^ "\n") then s ^ "\n"
+    else
+      raise
+        (Slens.Type_error
+           (Printf.sprintf "final_newline: %S not in the quotiented language" s))
+  in
+  (* A regex over-approximation of ctype for typing purposes: r with an
+     optional trailing newline removed is still recognised by r | r'
+     where r' = reverse (deriv '\n' (reverse r)).  The derivative of the
+     reversal by '\n' is exactly "members of r that end in a newline,
+     with that newline removed", reversed. *)
+  let unterminated = Regex.reverse (Regex.deriv '\n' (Regex.reverse r)) in
+  { ctype = Regex.alt r unterminated; atype = r; canonize }
+
+let left_quot cz (l : Slens.t) =
+  (match Lang.equiv_counterexample cz.atype l.Slens.stype with
+  | None -> ()
+  | Some w ->
+      raise
+        (Slens.Type_error
+           (Printf.sprintf
+              "left_quot: canonical type and lens source type differ \
+               (witness %S)" w)));
+  {
+    Slens.stype = cz.ctype;
+    vtype = l.Slens.vtype;
+    get = (fun s -> l.Slens.get (cz.canonize s));
+    put = (fun v s -> l.Slens.put v (cz.canonize s));
+    create = l.Slens.create;
+  }
+
+let right_quot (l : Slens.t) cz =
+  (match Lang.equiv_counterexample cz.atype l.Slens.vtype with
+  | None -> ()
+  | Some w ->
+      raise
+        (Slens.Type_error
+           (Printf.sprintf
+              "right_quot: canonical type and lens view type differ \
+               (witness %S)" w)));
+  {
+    Slens.stype = l.Slens.stype;
+    vtype = cz.ctype;
+    get = l.Slens.get;
+    put = (fun v s -> l.Slens.put (cz.canonize v) s);
+    create = (fun v -> l.Slens.create (cz.canonize v));
+  }
+
+let canonized_law cz =
+  Bx.Law.make ~name:"canonizer:canonize-into-atype"
+    ~description:"canonize lands in atype and is idempotent" (fun s ->
+      if not (Regex.matches cz.ctype s) then Bx.Law.holds
+      else
+        let c = cz.canonize s in
+        if not (Regex.matches cz.atype c) then
+          Bx.Law.violated "canonize %S = %S is outside atype" s c
+        else
+          Bx.Law.require (String.equal (cz.canonize c) c)
+            "canonize is not idempotent on %S" s)

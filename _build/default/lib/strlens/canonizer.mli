@@ -1,0 +1,46 @@
+(** Canonizers and quotient lenses (Foster, Pilkiewicz, Pierce: "Quotient
+    Lenses", ICFP 2008).
+
+    A canonizer presents a language [ctype] modulo an equivalence: it maps
+    every string of [ctype] to a canonical representative in [atype]
+    (with [atype ⊆ ctype] up to the equivalence), and [choose] picks a
+    member of each class — here, [choose] is the identity embedding of
+    the canonical form.  Quotienting a lens on the source or view side
+    relaxes the lens laws to hold only up to canonization, which is how
+    Boomerang handles whitespace, optional terminators and other
+    formatting freedom. *)
+
+type t = {
+  ctype : Bx_regex.Regex.t;  (** The concrete (quotiented) language. *)
+  atype : Bx_regex.Regex.t;  (** The canonical representatives. *)
+  canonize : string -> string;  (** [ctype] to [atype]; idempotent. *)
+}
+
+val make :
+  ctype:Bx_regex.Regex.t -> atype:Bx_regex.Regex.t
+  -> canonize:(string -> string) -> t
+(** Package a canonizer.  Checks that [atype] is a subset of [ctype] (the
+    canonical forms are themselves acceptable concrete forms) and raises
+    {!Slens.Type_error} otherwise. *)
+
+val identity : Bx_regex.Regex.t -> t
+(** The trivial canonizer on a language. *)
+
+val final_newline : Bx_regex.Regex.t -> t
+(** For a language [r] of newline-terminated texts: accept also the form
+    missing the final newline, and canonize by appending it.  ([ctype] is
+    [r | r-without-final-newline]; [atype] is [r].)  The LINES entry's
+    "final-newline-optional" variant. *)
+
+val left_quot : t -> Slens.t -> Slens.t
+(** [left_quot cz l] quotients the {e source}: the new source type is
+    [cz.ctype]; get canonizes then applies [l]; put produces the canonical
+    concrete form.  Requires [cz.atype] to equal [l]'s source type. *)
+
+val right_quot : Slens.t -> t -> Slens.t
+(** [right_quot l cz] quotients the {e view}: the new view type is
+    [cz.ctype]; put canonizes the edited view before applying [l].
+    Requires [cz.atype] to equal [l]'s view type. *)
+
+val canonized_law : t -> string Bx.Law.t
+(** [canonize] lands in [atype] and is idempotent (checked per input). *)

@@ -1,0 +1,113 @@
+(** Typed string lenses in the style of Boomerang (Bohannon, Foster,
+    Pierce, Pilkiewicz, Schmitt: "Boomerang: Resourceful Lenses for String
+    Data", POPL 2008) — the system in which the original, asymmetric
+    Composers example was written.
+
+    A string lens carries its {e source type} and {e view type} as regular
+    expressions.  Combinators check the POPL'08 side conditions at
+    construction time (unambiguous concatenation, unique iteration,
+    disjoint union) using the exact decision procedures of
+    {!Bx_regex.Ambig}, and raise {!Type_error} with a witness string when
+    a condition fails. *)
+
+exception Type_error of string
+
+type t = {
+  stype : Bx_regex.Regex.t;  (** The source language. *)
+  vtype : Bx_regex.Regex.t;  (** The view language. *)
+  get : string -> string;
+  put : string -> string -> string;  (** [put view source]. *)
+  create : string -> string;
+}
+
+(** {1 Primitives} *)
+
+val copy : Bx_regex.Regex.t -> t
+(** Identity on [L(r)]. *)
+
+val const : stype:Bx_regex.Regex.t -> view:string -> default:string -> t
+(** Map every source in [L(stype)] to the fixed [view] string.  [put]
+    restores the old source (the view carries no information); [create]
+    returns [default], which must belong to [L(stype)]. *)
+
+val del : Bx_regex.Regex.t -> default:string -> t
+(** Delete the source: [const ~view:""]. *)
+
+val ins : string -> t
+(** Insert a fixed string into the view; source type is the empty string. *)
+
+(** {1 Combinators} *)
+
+val concat : t -> t -> t
+(** Sequential juxtaposition.  Requires unambiguous concatenation of the
+    two source types and of the two view types. *)
+
+val concat_list : t list -> t
+(** Fold of {!concat}; the empty list is [copy] of the empty string. *)
+
+val union : t -> t -> t
+(** Conditional choice.  Requires disjoint source types.  On [put], the
+    branch is chosen by the view's type, preferring the branch that also
+    matches the old source (overlapping view types are permitted). *)
+
+val star : t -> t
+(** Kleene iteration with {e positional} alignment on [put]: the i-th view
+    chunk is put into the i-th source chunk; surplus view chunks are
+    created, surplus source chunks discarded.  Requires unique iterability
+    of both source and view types. *)
+
+val star_key : key:(string -> string) -> t -> t
+(** Kleene iteration with {e dictionary (resourceful) alignment} on [put]
+    (POPL'08 dictionary lenses): each view chunk is matched, by [key], to
+    the first unconsumed source chunk whose view has the same key, so the
+    hidden parts of a chunk follow their key under reordering.  Same
+    typing obligations as {!star}. *)
+
+val star_diff : key:(string -> string) -> t -> t
+(** Kleene iteration with {e order-respecting (diff) alignment} on [put]:
+    a longest common subsequence of chunk keys decides which view chunks
+    reuse which source chunks, so insertions and deletions in the middle
+    of a long list keep every other chunk's hidden data — even with
+    duplicate keys, which defeat {!star_key}'s greedy first-match.  Same
+    typing obligations as {!star}. *)
+
+val separated : sep:t -> t -> t
+(** [separated ~sep l] is the derived lens for a possibly-empty
+    [l (sep l)*] list: [l] chunks separated by [sep], or the empty
+    string. *)
+
+val compose : t -> t -> t
+(** Sequential composition.  Requires the first lens's view type and the
+    second's source type to denote the same language. *)
+
+val swap : t -> t -> t
+(** Juxtapose two lenses but present them in the opposite order in the
+    view. *)
+
+val permute : order:int list -> t list -> t
+(** [permute ~order ls] juxtaposes the lenses in list order on the source
+    side and presents their views permuted by [order] ([order] lists, for
+    each view position, the index of the lens whose view appears there —
+    [swap l1 l2] is [permute ~order:[1; 0] [l1; l2]]).  Raises
+    {!Type_error} if [order] is not a permutation of [0 .. length-1], or
+    on ambiguous concatenations on either side. *)
+
+(** {1 Inspection and checking} *)
+
+val in_source : t -> string -> bool
+(** Membership of a string in the lens's source type. *)
+
+val in_view : t -> string -> bool
+(** Membership of a string in the lens's view type. *)
+
+val to_lens : t -> (string, string) Bx.Lens.t
+(** Forget the types and view the string lens as a framework lens, so the
+    generic lens laws of {!Bx.Lens} apply. *)
+
+val get_put_law : t -> string Bx.Law.t
+(** GetPut specialised to string lenses (inputs outside the source type are
+    vacuously accepted). *)
+
+val put_get_law : t -> (string * string) Bx.Law.t
+(** PutGet specialised to string lenses: inputs are [(source, view)];
+    ill-typed inputs are vacuously accepted. *)

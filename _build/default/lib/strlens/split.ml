@@ -1,0 +1,89 @@
+open Bx_regex
+
+exception Split_error of string
+
+let split_error fmt = Format.kasprintf (fun m -> raise (Split_error m)) fmt
+
+let rev_string s =
+  let n = String.length s in
+  String.init n (fun i -> s.[n - 1 - i])
+
+type concat_splitter = string -> string * string
+
+(* suffix_ok.(i) tells whether s[i..] belongs to L(r), computed by running a
+   DFA for the reversal of r over the reversed string. *)
+let suffix_marks rev_dfa s =
+  let n = String.length s in
+  let marks_rev = Dfa.prefix_marks rev_dfa (rev_string s) in
+  Array.init (n + 1) (fun i -> marks_rev.(n - i))
+
+let make_concat_splitter r1 r2 =
+  let d1 = Dfa.build r1 in
+  let d2_rev = Dfa.build (Regex.reverse r2) in
+  fun s ->
+    let n = String.length s in
+    let prefix_ok = Dfa.prefix_marks d1 s in
+    let suffix_ok = suffix_marks d2_rev s in
+    let points = ref [] in
+    for i = n downto 0 do
+      if prefix_ok.(i) && suffix_ok.(i) then points := i :: !points
+    done;
+    match !points with
+    | [ i ] -> (String.sub s 0 i, String.sub s i (n - i))
+    | [] -> split_error "no split of %S against %a . %a" s Regex.pp r1 Regex.pp r2
+    | _ :: _ ->
+        split_error "ambiguous split of %S against %a . %a (%d ways)" s
+          Regex.pp r1 Regex.pp r2 (List.length !points)
+
+type star_splitter = string -> string list
+
+let make_star_splitter r =
+  if Regex.nullable r then
+    invalid_arg "make_star_splitter: body accepts the empty string";
+  let d = Dfa.build r in
+  let dstar_rev = Dfa.build (Regex.reverse (Regex.star r)) in
+  (* The sink state (empty residual), if present, lets the chunk scan stop
+     early. *)
+  let sink =
+    let states = Dfa.states d in
+    let rec find i =
+      if i >= Array.length states then None
+      else if Regex.equal states.(i) Regex.empty then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  fun s ->
+    if s = "" then []
+    else begin
+      let n = String.length s in
+      let suffix_ok = suffix_marks dstar_rev s in
+      if not suffix_ok.(0) then
+        split_error "%S does not belong to (%a)*" s Regex.pp r;
+      let rec chunks i acc =
+        if i >= n then List.rev acc
+        else begin
+          (* Scan forward from i with the chunk DFA; the unique end is the
+             accepting position whose suffix is still in r*. *)
+          let found = ref None in
+          let st = ref Dfa.initial in
+          (try
+             for j = i to n - 1 do
+               st := Dfa.step d !st s.[j];
+               if Some !st = sink then raise Exit;
+               if Dfa.accepting d !st && suffix_ok.(j + 1) then begin
+                 match !found with
+                 | None -> found := Some (j + 1)
+                 | Some _ ->
+                     split_error "ambiguous chunking of %S against (%a)*" s
+                       Regex.pp r
+               end
+             done
+           with Exit -> ());
+          match !found with
+          | None -> split_error "no chunking of %S against (%a)*" s Regex.pp r
+          | Some j -> chunks j (String.sub s i (j - i) :: acc)
+        end
+      in
+      chunks 0 []
+    end

@@ -1,0 +1,30 @@
+(** Unique splitting of strings against unambiguous regular expressions —
+    the parsing engine behind the string-lens combinators.
+
+    Splitters are built once per lens (constructing the DFAs involved) and
+    then applied to many strings.  They assume the ambiguity side conditions
+    of {!Bx_regex.Ambig} have been established; if an input nevertheless
+    splits zero or several ways, {!Split_error} is raised. *)
+
+exception Split_error of string
+
+val rev_string : string -> string
+(** Reverse a string (exposed for tests). *)
+
+type concat_splitter = string -> string * string
+(** Split a string of [L(r1)·L(r2)] into its unique [r1]-prefix and
+    [r2]-suffix. *)
+
+val make_concat_splitter : Bx_regex.Regex.t -> Bx_regex.Regex.t -> concat_splitter
+(** Build a splitter for the (unambiguous) concatenation [r1 · r2].
+    Internally: a forward DFA for [r1] marks accepted prefixes, a DFA for
+    the reverse of [r2] run over the reversed string marks accepted
+    suffixes; the unique split point is where both mark. *)
+
+type star_splitter = string -> string list
+(** Split a string of the iteration of [r] into its unique sequence of
+    [r]-chunks. *)
+
+val make_star_splitter : Bx_regex.Regex.t -> star_splitter
+(** Build a splitter for the (uniquely iterable) [r*].  Requires
+    [ε ∉ L(r)]. *)

@@ -1,0 +1,21 @@
+  $ bxrepo list | head -6
+  $ bxrepo list | wc -l
+  $ bxrepo render COMPOSERS | head -9
+  $ bxrepo check COMPOSERS
+  $ bxrepo cite COMPOSERS
+  $ bxrepo search --property 'not undoable'
+  $ bxrepo search --class BENCHMARK
+  $ bxrepo glossary hippocratic
+  $ bxrepo show NONESUCH
+  $ bxrepo demo-undoability
+  $ bxrepo export ./wiki-copy
+  $ bxrepo import ./wiki-copy | head -3
+  $ bxrepo show LINES --json | head -5
+  $ bxrepo show CELSIUS --json > draft.json
+  $ bxrepo validate draft.json
+  $ sed 's/"overview": ".*"/"overview": ""/' draft.json > broken.json
+  $ bxrepo validate broken.json
+  $ bxrepo check COMPOSERS-SYMLENS
+  $ bxrepo index | head -5
+  $ bxrepo manuscript | head -1
+  $ bxrepo scenario --size 4

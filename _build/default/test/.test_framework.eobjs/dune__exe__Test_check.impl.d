@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Bx Bx_catalogue Bx_check Bx_models Bx_regex Bx_repo Bx_strlens Fmt List QCheck2 Result String

@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Bx Char Fmt Fun Int List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Bx Bx_models Csv Fmt Genealogy Json List QCheck2 QCheck_alcotest Rational Relalg Relational Result String Tree Tree_edit Uml

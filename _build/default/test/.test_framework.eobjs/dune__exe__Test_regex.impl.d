@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Ambig Array Bx_regex Cset Dfa Lang List Parse QCheck2 QCheck_alcotest Regex String

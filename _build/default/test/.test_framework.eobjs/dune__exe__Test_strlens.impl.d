@@ -1,0 +1,1 @@
+test/test_strlens.ml: Alcotest Bx Bx_regex Bx_strlens Canonizer Cset Fun List QCheck2 QCheck_alcotest Regex Slens Split String

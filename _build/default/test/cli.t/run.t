@@ -1,0 +1,151 @@
+The CLI end to end, against the seeded repository.
+
+Listing shows every entry, provisional at 0.1, as in the paper:
+
+  $ bxrepo list | head -6
+  BOOKSTORE              v0.1   PRECISE              A tree lens: an XML-ish bookstore of (title, author, pric...
+  BOOKSTORE-EDIT         v0.1   PRECISE              The delta-based bookstore: price-list edits against tree ...
+  CELSIUS                v0.1   PRECISE              Celsius and Fahrenheit temperatures kept consistent by th...
+  COMPOSERS              v0.1   PRECISE              This example stands for many cases where two slightly, bu...
+  COMPOSERS-BOOMERANG    v0.1   PRECISE              The original, asymmetric form of the Composers example: a...
+  COMPOSERS-EDIT         v0.1   PRECISE              The delta-based Composers: the same two models as COMPOSE...
+
+  $ bxrepo list | wc -l
+  17
+
+The section 4 entry's wiki page, through the Sync lens:
+
+  $ bxrepo render COMPOSERS | head -9
+  + COMPOSERS
+  
+  ++ Version
+  
+  0.1
+  
+  ++ Type
+  
+  PRECISE
+
+
+
+
+
+Machine verification of the paper's claims (E1):
+
+  $ bxrepo check COMPOSERS
+  COMPOSERS: claimed properties vs machine verification
+  correct                verified
+  hippocratic            verified
+  not undoable           verified
+  simply-matching        unsupported (human review)
+
+Citations are stable and version-pinned:
+
+  $ bxrepo cite COMPOSERS
+  Perdita Stevens, James McKinna, James Cheney. "COMPOSERS", version 0.1. The Bx Examples Repository, http://bx-community.wikidot.com/examples:composers.
+
+Search by property claim:
+
+  $ bxrepo search --property 'not undoable'
+  COMPOSERS
+  FAMILIES2PERSONS
+  SCHEMA-COEVOLUTION
+
+  $ bxrepo search --class BENCHMARK
+  FAMILIES2PERSONS
+
+The glossary resolves template vocabulary:
+
+  $ bxrepo glossary hippocratic
+  hippocratic
+    Restoration never modifies models that are already consistent ('first, do
+    no harm').
+
+Unknown entries fail cleanly:
+
+  $ bxrepo show NONESUCH
+  bxrepo: no entry NONESUCH
+  [1]
+
+The undoability counterexample (E2), straight from the paper's Discussion:
+
+  $ bxrepo demo-undoability
+  The COMPOSERS undoability counterexample (paper, section 4):
+  
+    m0 = [Britten, 1913-1976, English; Tippett, 1905-1998, English]
+    n0 = [Britten, English; Tippett, English]
+  
+  delete Britten from n:
+    n1 = [Tippett, English]
+  enforce consistency on m (bwd):
+    m1 = [Tippett, 1905-1998, English]
+  
+  restore Britten to n:
+    n2 = [Britten, English; Tippett, English]
+  enforce consistency on m again (bwd):
+    m2 = [Britten, ????-????, English; Tippett, 1905-1998, English]
+  
+  dates lost: true — m cannot return to its original state.
+
+
+
+
+
+Export writes the section 5.4 local copy; import reads it back:
+
+  $ bxrepo export ./wiki-copy
+  exported 52 files to ./wiki-copy
+  $ bxrepo import ./wiki-copy | head -3
+  loaded 17 entries:
+    BOOKSTORE              versions 0.1
+    BOOKSTORE-EDIT         versions 0.1
+
+Structured JSON for platform moves (section 5.1):
+
+  $ bxrepo show LINES --json | head -5
+  {
+    "title": "LINES",
+    "version": "0.1",
+    "classes": [
+      "PRECISE"
+
+Contributors validate their JSON drafts before submitting:
+
+  $ bxrepo show CELSIUS --json > draft.json
+  $ bxrepo validate draft.json
+  validates.
+  no style advice.
+  $ sed 's/"overview": ".*"/"overview": ""/' draft.json > broken.json
+  $ bxrepo validate broken.json
+  error: overview must be present
+  [1]
+
+The symlens repair verifies Undoable where the base entry denies it:
+
+  $ bxrepo check COMPOSERS-SYMLENS
+  COMPOSERS-SYMLENS: claimed properties vs machine verification
+  correct                verified
+  hippocratic            verified
+  undoable               verified
+
+The cross-reference index and the archival manuscript:
+
+  $ bxrepo index | head -5
+  + Index
+  
+  ++ By class
+  
+  * PRECISE: BOOKSTORE, BOOKSTORE-EDIT, CELSIUS, COMPOSERS, COMPOSERS-BOOMERANG, COMPOSERS-EDIT, COMPOSERS-SYMLENS, FAMILIES2PERSONS, FORMATTER, LINES, MASTER-REPLICAS, PEOPLE, SELECT-PROJECT-VIEW, UML2RDBMS, WIKI-SYNC
+
+  $ bxrepo manuscript | head -1
+  + The Bx Examples Repository: Collected Examples
+
+The BENCHMARK entry's scenarios stay consistent throughout:
+
+  $ bxrepo scenario --size 4
+  batch-forward(4)             create all families, derive persons once
+    families=4 persons=16 restorations=2 consistent-throughout=true
+  incremental-forward(4)       add families one at a time, restoring after each
+    families=4 persons=16 restorations=5 consistent-throughout=true
+  backward-churn(4)            delete and re-add persons, restoring families each time
+    families=1 persons=4 restorations=9 consistent-throughout=true

@@ -1,0 +1,316 @@
+(* Tests for the verification harness (bx_check): the executable
+   counterpart of the paper's review step, and experiment E1 — every
+   property claim of every catalogue entry is machine-checked. *)
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Qlaw *)
+
+let qlaw_tests =
+  [
+    tc "sampling is deterministic for a fixed seed" (fun () ->
+        let gen = QCheck2.Gen.int_range 0 1000 in
+        check Alcotest.(list int) "same" (Bx_check.Qlaw.sample ~count:10 gen)
+          (Bx_check.Qlaw.sample ~count:10 gen));
+    tc "different seeds differ" (fun () ->
+        let gen = QCheck2.Gen.int_range 0 1000 in
+        check Alcotest.bool "differ" true
+          (Bx_check.Qlaw.sample ~seed:1 ~count:10 gen
+          <> Bx_check.Qlaw.sample ~seed:2 ~count:10 gen));
+    tc "holds_on_samples accepts a true law" (fun () ->
+        let law =
+          Bx.Law.make ~name:"nonneg" ~description:"x*x >= 0" (fun x ->
+              Bx.Law.require (x * x >= 0) "negative square")
+        in
+        check Alcotest.bool "ok" true
+          (Bx_check.Qlaw.holds_on_samples QCheck2.Gen.small_int law = Ok ()));
+    tc "holds_on_samples reports the first violation" (fun () ->
+        let law =
+          Bx.Law.make ~name:"small" ~description:"x < 5" (fun x ->
+              Bx.Law.require (x < 5) "too big: %d" x)
+        in
+        match Bx_check.Qlaw.holds_on_samples QCheck2.Gen.(0 -- 100) law with
+        | Error msg ->
+            check Alcotest.bool "mentions law" true
+              (String.length msg > 0)
+        | Ok () -> Alcotest.fail "expected a violation");
+    tc "find_counterexample is None for true laws" (fun () ->
+        let law =
+          Bx.Law.make ~name:"refl" ~description:"x = x" (fun x ->
+              Bx.Law.require (x = x) "impossible")
+        in
+        check Alcotest.bool "none" true
+          (Bx_check.Qlaw.find_counterexample QCheck2.Gen.small_int law = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Verify on a hand-made bx *)
+
+let verify_tests =
+  [
+    tc "a lossy bx: correct verified, undoable refuted as claimed" (fun () ->
+        (* M = int * string, N = int; the string is hidden and destroyed
+           by bwd — the COMPOSERS failure in miniature. *)
+        let bx =
+          Bx.Symmetric.make ~name:"mini-lossy"
+            ~consistent:(fun (a, _) n -> a = n)
+            ~fwd:(fun (a, _) _ -> a)
+            ~bwd:(fun _ n -> (n, ""))
+        in
+        let m_space = Bx.Model.(pair int string) in
+        let n_space = Bx.Model.int in
+        let gen_m = QCheck2.Gen.(pair small_int (oneofl [ ""; "x"; "y" ])) in
+        let gen_n = QCheck2.Gen.small_int in
+        let suite =
+          Bx_check.Verify.symmetric_suite ~m_space ~n_space ~gen_m ~gen_n bx
+        in
+        let rows =
+          Bx_check.Verify.check_claims suite
+            Bx.Properties.
+              [
+                Satisfies Correct;
+                Violates Undoable;
+                Violates Hippocratic (* bwd rewrites the string *);
+                Satisfies Simply_matching (* unsupported *);
+              ]
+        in
+        check Alcotest.bool "all upheld" true (Bx_check.Verify.all_upheld rows);
+        let outcome_of claim =
+          (List.find (fun r -> r.Bx_check.Verify.claim = claim) rows)
+            .Bx_check.Verify.outcome
+        in
+        check Alcotest.bool "correct verified" true
+          (outcome_of (Bx.Properties.Satisfies Bx.Properties.Correct)
+          = Bx_check.Verify.Verified);
+        check Alcotest.bool "simply-matching unsupported" true
+          (outcome_of (Bx.Properties.Satisfies Bx.Properties.Simply_matching)
+          = Bx_check.Verify.Unsupported));
+    tc "a false claim is refuted" (fun () ->
+        let bx =
+          Bx.Symmetric.make ~name:"mini-broken"
+            ~consistent:(fun m n -> m = n)
+            ~fwd:(fun m _ -> m + 1) (* not even correct *)
+            ~bwd:(fun _ n -> n)
+        in
+        let suite =
+          Bx_check.Verify.symmetric_suite ~m_space:Bx.Model.int
+            ~n_space:Bx.Model.int ~gen_m:QCheck2.Gen.small_int
+            ~gen_n:QCheck2.Gen.small_int bx
+        in
+        let rows =
+          Bx_check.Verify.check_claims suite
+            [ Bx.Properties.Satisfies Bx.Properties.Correct ]
+        in
+        check Alcotest.bool "refuted" false (Bx_check.Verify.all_upheld rows));
+    tc "a wrong 'not P' claim is refuted when no counterexample exists" (fun () ->
+        let suite =
+          Bx_check.Verify.symmetric_suite ~m_space:Bx.Model.int
+            ~n_space:Bx.Model.int ~gen_m:QCheck2.Gen.small_int
+            ~gen_n:QCheck2.Gen.small_int Bx.Symmetric.identity
+        in
+        let rows =
+          Bx_check.Verify.check_claims suite
+            [ Bx.Properties.Violates Bx.Properties.Correct ]
+        in
+        check Alcotest.bool "refuted" false (Bx_check.Verify.all_upheld rows));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E1: the catalogue's claimed-vs-verified table *)
+
+let catalogue_reports_tests =
+  let reports = Bx_check.Examples_check.all_reports ~count:120 () in
+  [
+    tc "every entry with claims produces a report" (fun () ->
+        let titles = List.map fst reports in
+        List.iter
+          (fun expected ->
+            check Alcotest.bool expected true (List.mem expected titles))
+          [
+            "COMPOSERS"; "COMPOSERS-BOOMERANG"; "UML2RDBMS";
+            "FAMILIES2PERSONS"; "BOOKSTORE"; "PEOPLE"; "LINES"; "CELSIUS";
+            "WIKI-SYNC";
+          ]);
+    tc "E1: no claim of any catalogue entry is refuted" (fun () ->
+        List.iter
+          (fun (title, rows) ->
+            if not (Bx_check.Verify.all_upheld rows) then
+              Alcotest.failf "%s:@.%a" title Bx_check.Verify.pp_report rows)
+          reports);
+    tc "COMPOSERS: the paper's four claims resolve as expected" (fun () ->
+        let rows =
+          match Bx_check.Examples_check.report_for ~count:150 "COMPOSERS" with
+          | Ok rows -> rows
+          | Error e -> Alcotest.fail e
+        in
+        let outcome_of name =
+          List.find_map
+            (fun r ->
+              if Bx.Properties.claim_name r.Bx_check.Verify.claim = name then
+                Some r.Bx_check.Verify.outcome
+              else None)
+            rows
+        in
+        check Alcotest.bool "correct verified" true
+          (outcome_of "correct" = Some Bx_check.Verify.Verified);
+        check Alcotest.bool "hippocratic verified" true
+          (outcome_of "hippocratic" = Some Bx_check.Verify.Verified);
+        check Alcotest.bool "not undoable verified by counterexample" true
+          (outcome_of "not undoable" = Some Bx_check.Verify.Verified);
+        check Alcotest.bool "simply-matching left to humans" true
+          (outcome_of "simply-matching" = Some Bx_check.Verify.Unsupported));
+    tc "unknown titles are an error; sketches have no suite" (fun () ->
+        check Alcotest.bool "unknown" true
+          (Result.is_error (Bx_check.Examples_check.report_for "NONESUCH"));
+        check Alcotest.bool "sketch has no suite" true
+          (Bx_check.Examples_check.suite_for "SPREADSHEET" = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Generator sanity: the domains the suites rely on *)
+
+let generator_tests =
+  let sample gen = Bx_check.Qlaw.sample ~count:150 gen in
+  [
+    tc "composers_complement is always a consistent pair" (fun () ->
+        List.iter
+          (fun (m, n) ->
+            check Alcotest.bool "consistent" true
+              (Bx_catalogue.Composers.bx.Bx.Symmetric.consistent m n))
+          (sample Bx_check.Generators.composers_complement));
+    tc "employee_rows have unique ids and conform to the schema" (fun () ->
+        List.iter
+          (fun rows ->
+            let ids = List.map (fun r -> List.nth r 0) rows in
+            check Alcotest.bool "unique ids" true
+              (List.length (List.sort_uniq compare ids) = List.length ids);
+            check Alcotest.bool "conforms" true
+              (Bx_models.Relational.conforms
+                 [ Bx_catalogue.View_update.employees ]
+                 [ ("employees", rows) ]
+              = Ok ()))
+          (sample Bx_check.Generators.employee_rows));
+    tc "generated persons always have splittable names" (fun () ->
+        List.iter
+          (fun persons ->
+            List.iter
+              (fun p ->
+                check Alcotest.bool "splits" true
+                  (Bx_models.Genealogy.split_full_name
+                     p.Bx_models.Genealogy.full_name
+                  <> None))
+              persons)
+          (sample Bx_check.Generators.persons));
+    tc "generated uml models validate" (fun () ->
+        List.iter
+          (fun m ->
+            check Alcotest.bool "valid" true (Bx_models.Uml.validate m = Ok ()))
+          (sample Bx_check.Generators.uml_model));
+    tc "generated composers sources are well-typed for the lens" (fun () ->
+        List.iter
+          (fun s ->
+            check Alcotest.bool "in source type" true
+              (Bx_strlens.Slens.in_source Bx_catalogue.Composers_string.lens s))
+          (sample Bx_check.Generators.composers_source));
+    tc "generated sloppy configs canonize into the canonical type" (fun () ->
+        List.iter
+          (fun s ->
+            check Alcotest.bool "in ctype" true
+              (Bx_regex.Regex.matches
+                 Bx_catalogue.Formatter.canonizer.Bx_strlens.Canonizer.ctype s))
+          (sample Bx_check.Generators.sloppy_config));
+    tc "random templates validate after normalisation" (fun () ->
+        List.iter
+          (fun t ->
+            (* The generator aims for structural validity; a PRECISE class
+               without two models would be the only sin, and it always
+               emits at least one model plus restoration text. *)
+            match Bx_repo.Template.validate t with
+            | Ok () -> ()
+            | Error msgs ->
+                (* Only the PRECISE two-model rule may fire. *)
+                List.iter
+                  (fun m ->
+                    check Alcotest.bool m true
+                      (m = "a PRECISE example must describe at least two models"))
+                  msgs)
+          (sample Bx_check.Generators.template));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Suite mechanics *)
+
+let suite_mechanics_tests =
+  [
+    tc "lens_suite covers the well-behavedness spectrum" (fun () ->
+        let suite =
+          Bx_check.Verify.lens_suite ~count:50
+            ~s_space:Bx.Model.(pair int string)
+            ~v_space:Bx.Model.int
+            ~gen_s:QCheck2.Gen.(pair small_int (small_string ~gen:printable))
+            ~gen_v:QCheck2.Gen.small_int
+            (Bx.Lens.first ~default:"d")
+        in
+        let has p = List.mem_assoc p suite in
+        List.iter
+          (fun p -> check Alcotest.bool (Bx.Properties.name p) true (has p))
+          Bx.Properties.
+            [ Well_behaved; Very_well_behaved; Correct; Hippocratic;
+              Undoable; History_ignorant; Oblivious; Bijective ];
+        (* first is very well-behaved: everything checkable passes. *)
+        let rows =
+          Bx_check.Verify.check_claims suite
+            Bx.Properties.
+              [ Satisfies Well_behaved; Satisfies Very_well_behaved;
+                Satisfies Correct; Satisfies Hippocratic ]
+        in
+        check Alcotest.bool "all verified" true (Bx_check.Verify.all_upheld rows));
+    tc "report rows render" (fun () ->
+        let rows =
+          Bx_check.Verify.
+            [
+              { claim = Bx.Properties.Satisfies Bx.Properties.Correct;
+                outcome = Verified };
+              { claim = Bx.Properties.Violates Bx.Properties.Undoable;
+                outcome = Refuted "nope" };
+              { claim = Bx.Properties.Satisfies Bx.Properties.Least_change;
+                outcome = Unsupported };
+            ]
+        in
+        let text = Fmt.str "%a" Bx_check.Verify.pp_report rows in
+        List.iter
+          (fun needle ->
+            check Alcotest.bool needle true
+              (let h = text and n = needle in
+               let hl = String.length h and nl = String.length n in
+               let rec scan i = i + nl <= hl && (String.sub h i nl = n || scan (i + 1)) in
+               nl = 0 || scan 0))
+          [ "correct"; "verified"; "REFUTED"; "unsupported" ]);
+    tc "every catalogue entry with an executable bx has a suite" (fun () ->
+        List.iter
+          (fun title ->
+            check Alcotest.bool title true
+              (Bx_check.Examples_check.suite_for title <> None))
+          [ "COMPOSERS"; "COMPOSERS-BOOMERANG"; "COMPOSERS-EDIT";
+            "COMPOSERS-SYMLENS"; "UML2RDBMS"; "FAMILIES2PERSONS"; "BOOKSTORE";
+            "BOOKSTORE-EDIT"; "SELECT-PROJECT-VIEW"; "MASTER-REPLICAS";
+            "PEOPLE"; "LINES"; "CELSIUS"; "FORMATTER"; "WIKI-SYNC" ]);
+    tc "documentation-only entries have no suite" (fun () ->
+        List.iter
+          (fun title ->
+            check Alcotest.bool title true
+              (Bx_check.Examples_check.suite_for title = None))
+          [ "SPREADSHEET"; "SCHEMA-COEVOLUTION" ]);
+  ]
+
+let () =
+  Alcotest.run "bx-check"
+    [
+      ("qlaw", qlaw_tests);
+      ("verify", verify_tests);
+      ("catalogue-reports", catalogue_reports_tests);
+      ("generators", generator_tests);
+      ("suite-mechanics", suite_mechanics_tests);
+    ]

@@ -1,0 +1,259 @@
+(* End-to-end integration tests: the whole system exercised together —
+   seeding, curation through to approval, verification, manuscript,
+   index, filesystem round trip, and cross-library flows. *)
+
+open Bx_repo
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let or_die = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "unexpected error: %s" (Registry.error_message e)
+
+let contains ~needle hay =
+  let h = String.lowercase_ascii hay and n = String.lowercase_ascii needle in
+  let hl = String.length h and nl = String.length n in
+  let rec scan i = i + nl <= hl && (String.sub h i nl = n || scan (i + 1)) in
+  nl = 0 || scan 0
+
+(* The full life of an entry: submitted provisional, commented on,
+   machine-checked, endorsed, approved, revised, cited, exported. *)
+let lifecycle_test () =
+  let reg = Bx_catalogue.Catalogue.seed () in
+  let composers = Result.get_ok (Identifier.of_title "COMPOSERS") in
+  let reviewer = Curation.account ~role:Curation.Reviewer "A Reviewer" in
+  let curator = Curation.account ~role:Curation.Curator "The Curator" in
+
+  (* 1. The paper's state: provisional, unreviewed. *)
+  let t0 = or_die (Registry.latest reg composers) in
+  check Alcotest.bool "starts provisional" true (Template.is_provisional t0);
+
+  (* 2. Machine check before endorsing (the strengthened review step). *)
+  let rows =
+    Result.get_ok (Bx_check.Examples_check.report_for ~count:60 "COMPOSERS")
+  in
+  check Alcotest.bool "claims upheld" true (Bx_check.Verify.all_upheld rows);
+
+  (* 3. Social process. *)
+  or_die (Registry.comment reg ~as_:(Curation.account "m") composers
+            ~text:"Checked and read; ready.");
+  or_die (Registry.endorse reg ~as_:reviewer composers);
+  let v1 = or_die (Registry.approve reg ~as_:curator composers) in
+  check Alcotest.string "promoted" "1.0" (Version.to_string v1);
+
+  (* 4. A revision by one of the authors, preserving reviewers. *)
+  let t1 = or_die (Registry.latest reg composers) in
+  let revised =
+    { t1 with Template.discussion = t1.Template.discussion ^ " Revised." }
+  in
+  let v2 =
+    or_die
+      (Registry.revise reg
+         ~as_:(Curation.account "Perdita Stevens")
+         composers revised)
+  in
+  check Alcotest.string "1.1" "1.1" (Version.to_string v2);
+
+  (* 5. Old citations still resolve; the new one pins 1.1. *)
+  let c_old = or_die (Registry.cite reg ~version:Version.initial composers) in
+  let c_new = or_die (Registry.cite reg composers) in
+  check Alcotest.bool "old pinned" true (contains ~needle:"version 0.1" c_old);
+  check Alcotest.bool "new pinned" true (contains ~needle:"version 1.1" c_new);
+
+  (* 6. The whole registry survives the filesystem. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bx-lifecycle-%d" (Unix.getpid ()))
+  in
+  let rec cleanup path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun n -> cleanup (Filename.concat path n)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  cleanup dir;
+  Fun.protect
+    ~finally:(fun () -> cleanup dir)
+    (fun () ->
+      (match Store.save ~dir reg with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      let reg' = Result.get_ok (Store.load ~dir) in
+      check Alcotest.int "entries survive" (Registry.size reg)
+        (Registry.size reg');
+      let vs = or_die (Registry.versions reg' composers) in
+      check Alcotest.(list string) "full history survives"
+        [ "0.1"; "1.0"; "1.1" ]
+        (List.map Version.to_string vs))
+
+let manuscript_integration_test () =
+  let reg = Bx_catalogue.Catalogue.seed () in
+  let text = Manuscript.generate reg in
+  (* Every catalogue title appears in the manuscript. *)
+  List.iter
+    (fun t ->
+      check Alcotest.bool t.Template.title true
+        (contains ~needle:t.Template.title text))
+    (Bx_catalogue.Catalogue.all ());
+  (* And the manuscript parses back as wiki markup. *)
+  check Alcotest.bool "parses" true (Result.is_ok (Markup.parse text))
+
+let index_integration_test () =
+  let reg = Bx_catalogue.Catalogue.seed () in
+  (* Every entry appears somewhere in the class index. *)
+  let indexed =
+    List.concat_map snd (Catalogue_index.by_class reg)
+    |> List.map Identifier.to_string
+    |> List.sort_uniq String.compare
+  in
+  check Alcotest.int "all entries indexed"
+    (Registry.size reg)
+    (List.length indexed);
+  (* The three COMPOSERS variants are mutually related (shared authors or
+     sources). *)
+  let composers = Result.get_ok (Identifier.of_title "COMPOSERS") in
+  let related =
+    List.map Identifier.to_string (Catalogue_index.related reg composers)
+  in
+  check Alcotest.bool "boomerang related" true
+    (List.mem "COMPOSERS-BOOMERANG" related)
+
+let wiki_edit_through_sync_test () =
+  (* Edit a seeded entry's page, put it back, revise the registry with
+     the result, and confirm the wiki render of the new version shows the
+     edit. *)
+  let reg = Bx_catalogue.Catalogue.seed () in
+  let id = Result.get_ok (Identifier.of_title "LINES") in
+  let t = Sync.normalise (or_die (Registry.latest reg id)) in
+  let lens = Sync.lens () in
+  let page = lens.Bx.Lens.get t in
+  let edited =
+    List.map
+      (function
+        | Markup.Heading (2, "Overview") -> Markup.Heading (2, "Overview")
+        | b -> b)
+      page
+  in
+  let rec replace = function
+    | Markup.Heading (2, "Overview") :: Markup.Para _ :: rest ->
+        Markup.Heading (2, "Overview")
+        :: Markup.Para [ Markup.Text "Edited on the wiki." ]
+        :: rest
+    | b :: rest -> b :: replace rest
+    | [] -> []
+  in
+  let t' = lens.Bx.Lens.put (replace edited) t in
+  let v =
+    or_die
+      (Registry.revise reg ~as_:(Curation.account "James Cheney") id t')
+  in
+  check Alcotest.string "revision recorded" "0.2" (Version.to_string v);
+  let rendered = Sync.wiki_text (or_die (Registry.latest reg id)) in
+  check Alcotest.bool "edit visible" true
+    (contains ~needle:"Edited on the wiki." rendered)
+
+let full_verification_test () =
+  (* The E1 sweep once more, through the public API, smaller sample
+     count to stay fast. *)
+  List.iter
+    (fun (title, rows) ->
+      if not (Bx_check.Verify.all_upheld rows) then
+        Alcotest.failf "%s:@.%a" title Bx_check.Verify.pp_report rows)
+    (Bx_check.Examples_check.all_reports ~count:60 ())
+
+let exported_pages_all_parse_test () =
+  let reg = Bx_catalogue.Catalogue.seed () in
+  List.iter
+    (fun (path, text) ->
+      match Sync.of_wiki_text text with
+      | Ok t ->
+          (* Re-render and re-parse: the fixpoint property. *)
+          let again = Sync.wiki_text (Sync.normalise t) in
+          check Alcotest.string ("fixpoint " ^ path)
+            (Sync.wiki_text (Sync.normalise t))
+            again
+      | Error e -> Alcotest.failf "%s: %s" path e)
+    (Registry.export reg)
+
+let approve_everything_test () =
+  (* Drive the whole catalogue through review to 1.0, then check the
+     archival artefacts reflect it. *)
+  let reg = Bx_catalogue.Catalogue.seed () in
+  let reviewer = Curation.account ~role:Curation.Reviewer "External Reviewer" in
+  let curator = Curation.account ~role:Curation.Curator "The Curator" in
+  List.iter
+    (fun id ->
+      or_die (Registry.endorse reg ~as_:reviewer id);
+      let v = or_die (Registry.approve reg ~as_:curator id) in
+      check Alcotest.string (Identifier.to_string id) "1.0"
+        (Version.to_string v))
+    (Registry.ids reg);
+  (* Every entry now lists its reviewer and is no longer provisional. *)
+  List.iter
+    (fun id ->
+      let t = or_die (Registry.latest reg id) in
+      check Alcotest.bool "approved" true (not (Template.is_provisional t));
+      check Alcotest.bool "reviewer recorded" true
+        (List.exists
+           (fun c -> c.Contributor.person_name = "External Reviewer")
+           t.Template.reviewers))
+    (Registry.ids reg);
+  (* The manuscript credits the reviewer across all entries. *)
+  let credits = Manuscript.contributors reg in
+  (match List.assoc_opt "External Reviewer" credits with
+  | Some ids ->
+      check Alcotest.int "credited everywhere" (Registry.size reg)
+        (List.length ids)
+  | None -> Alcotest.fail "reviewer missing from credits");
+  (* Export doubles in size (two versions per entry) and re-imports. *)
+  let pages = Registry.export reg in
+  check Alcotest.int "three pages per entry" (3 * Registry.size reg)
+    (List.length pages);
+  match Registry.import pages with
+  | Ok reg' ->
+      List.iter
+        (fun id ->
+          let vs = or_die (Registry.versions reg' id) in
+          check Alcotest.(list string) "history" [ "0.1"; "1.0" ]
+            (List.map Version.to_string vs))
+        (Registry.ids reg')
+  | Error e -> Alcotest.fail e
+
+let search_index_agree_test () =
+  (* The registry search and the catalogue index answer the same
+     questions; make them agree on every property claim in use. *)
+  let reg = Bx_catalogue.Catalogue.seed () in
+  List.iter
+    (fun (claim, indexed_ids) ->
+      let searched = Registry.search reg (Registry.query ~property:claim ()) in
+      check
+        Alcotest.(list string)
+        (Bx.Properties.claim_name claim)
+        (List.map Identifier.to_string indexed_ids)
+        (List.map Identifier.to_string searched))
+    (Catalogue_index.by_property reg)
+
+let () =
+  Alcotest.run "bx-integration"
+    [
+      ( "end-to-end",
+        [
+          tc "entry lifecycle: submit, check, endorse, approve, revise, \
+              cite, persist" lifecycle_test;
+          tc "manuscript collects the whole catalogue" manuscript_integration_test;
+          tc "index covers every entry and relates the variants"
+            index_integration_test;
+          tc "a wiki edit round-trips into a new registry version"
+            wiki_edit_through_sync_test;
+          tc "every catalogue claim verifies (E1 sweep)" full_verification_test;
+          tc "every exported page parses and re-renders to a fixpoint"
+            exported_pages_all_parse_test;
+          tc "the whole catalogue survives review to 1.0 with artefacts intact"
+            approve_everything_test;
+          tc "registry search and the index agree on every claim"
+            search_index_agree_test;
+        ] );
+    ]

@@ -1,0 +1,617 @@
+(* Unit and property tests for the model substrates. *)
+
+open Bx_models
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Rationals *)
+
+let rational_tests =
+  [
+    tc "normalisation" (fun () ->
+        let r = Rational.make 4 8 in
+        check Alcotest.int "num" 1 (Rational.num r);
+        check Alcotest.int "den" 2 (Rational.den r));
+    tc "negative denominators move the sign up" (fun () ->
+        let r = Rational.make 1 (-2) in
+        check Alcotest.int "num" (-1) (Rational.num r);
+        check Alcotest.int "den" 2 (Rational.den r));
+    tc "arithmetic" (fun () ->
+        let open Rational in
+        check Alcotest.bool "1/2 + 1/3 = 5/6" true
+          (equal (add (make 1 2) (make 1 3)) (make 5 6));
+        check Alcotest.bool "1/2 * 2/3 = 1/3" true
+          (equal (mul (make 1 2) (make 2 3)) (make 1 3));
+        check Alcotest.bool "(1/2) / (1/4) = 2" true
+          (equal (div (make 1 2) (make 1 4)) (of_int 2));
+        check Alcotest.bool "1 - 1/2 = 1/2" true
+          (equal (sub one (make 1 2)) (make 1 2)));
+    tc "division by zero raises" (fun () ->
+        check Alcotest.bool "make" true
+          (try ignore (Rational.make 1 0); false
+           with Division_by_zero -> true);
+        check Alcotest.bool "div" true
+          (try ignore (Rational.div Rational.one Rational.zero); false
+           with Division_by_zero -> true));
+    tc "compare is consistent with to_float" (fun () ->
+        let a = Rational.make 1 3 and b = Rational.make 1 2 in
+        check Alcotest.bool "lt" true (Rational.compare a b < 0));
+    tc "pp renders integers without denominator" (fun () ->
+        check Alcotest.string "3" "3" (Rational.to_string (Rational.of_int 3));
+        check Alcotest.string "1/2" "1/2"
+          (Rational.to_string (Rational.make 2 4)));
+  ]
+
+let rational_prop_tests =
+  let gen = QCheck2.Gen.(pair (int_range (-50) 50) (int_range 1 50)) in
+  let mk name prop =
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name QCheck2.Gen.(pair gen gen) prop)
+  in
+  [
+    mk "addition commutes" (fun ((a, b), (c, d)) ->
+        let x = Rational.make a b and y = Rational.make c d in
+        Rational.(equal (add x y) (add y x)));
+    mk "sub then add round-trips" (fun ((a, b), (c, d)) ->
+        let x = Rational.make a b and y = Rational.make c d in
+        Rational.(equal (add (sub x y) y) x));
+    mk "results stay normalised" (fun ((a, b), (c, d)) ->
+        let x = Rational.make a b and y = Rational.make c d in
+        let r = Rational.mul x y in
+        let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+        Rational.den r > 0 && gcd (abs (Rational.num r)) (Rational.den r) <= 1);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Relational *)
+
+let sample_schema =
+  Relational.
+    [
+      table "person"
+        [ column ~primary:true "id" Int_t; column "name" Text_t ];
+      table "city" [ column ~primary:true "name" Text_t ];
+    ]
+
+let relational_tests =
+  [
+    tc "find/add/remove tables" (fun () ->
+        check Alcotest.bool "find" true
+          (Relational.find_table sample_schema "person" <> None);
+        let s = Relational.remove_table sample_schema "person" in
+        check Alcotest.bool "removed" true
+          (Relational.find_table s "person" = None);
+        let s =
+          Relational.add_table s (Relational.table "person" [ Relational.column "x" Relational.Int_t ])
+        in
+        check Alcotest.bool "re-added" true
+          (Relational.find_table s "person" <> None));
+    tc "add_table replaces in place" (fun () ->
+        let t' = Relational.table "person" [ Relational.column "only" Relational.Text_t ] in
+        let s = Relational.add_table sample_schema t' in
+        check Alcotest.int "same table count" 2 (List.length s);
+        match Relational.find_table s "person" with
+        | Some t -> check Alcotest.int "one column" 1 (List.length t.columns)
+        | None -> Alcotest.fail "person missing");
+    tc "table_names sorted" (fun () ->
+        check Alcotest.(list string) "names" [ "city"; "person" ]
+          (Relational.table_names sample_schema));
+    tc "validate_schema accepts the sample" (fun () ->
+        check Alcotest.bool "ok" true
+          (Relational.validate_schema sample_schema = Ok ()));
+    tc "validate_schema rejects duplicates and empties" (fun () ->
+        let dup = sample_schema @ [ Relational.table "person" [ Relational.column "x" Relational.Int_t ] ] in
+        check Alcotest.bool "dup tables" true
+          (Relational.validate_schema dup <> Ok ());
+        let empty_cols = [ Relational.table "t" [] ] in
+        check Alcotest.bool "no columns" true
+          (Relational.validate_schema empty_cols <> Ok ());
+        let dup_cols =
+          [ Relational.table "t"
+              [ Relational.column "x" Relational.Int_t;
+                Relational.column "x" Relational.Text_t ] ]
+        in
+        check Alcotest.bool "dup columns" true
+          (Relational.validate_schema dup_cols <> Ok ()));
+    tc "equal_schema ignores table order" (fun () ->
+        check Alcotest.bool "reversed equal" true
+          (Relational.equal_schema sample_schema (List.rev sample_schema)));
+    tc "conforms accepts well-typed rows with unique keys" (fun () ->
+        let inst =
+          Relational.
+            [
+              ("person", [ [ Int_v 1; Text_v "a" ]; [ Int_v 2; Text_v "b" ] ]);
+              ("city", [ [ Text_v "rome" ] ]);
+            ]
+        in
+        check Alcotest.bool "ok" true
+          (Relational.conforms sample_schema inst = Ok ()));
+    tc "conforms rejects bad arity, type, key and table" (fun () ->
+        let bad_arity = Relational.[ ("person", [ [ Int_v 1 ] ]) ] in
+        check Alcotest.bool "arity" true
+          (Relational.conforms sample_schema bad_arity <> Ok ());
+        let bad_type = Relational.[ ("person", [ [ Text_v "x"; Text_v "a" ] ]) ] in
+        check Alcotest.bool "type" true
+          (Relational.conforms sample_schema bad_type <> Ok ());
+        let dup_key =
+          Relational.
+            [ ("person", [ [ Int_v 1; Text_v "a" ]; [ Int_v 1; Text_v "b" ] ]) ]
+        in
+        check Alcotest.bool "key" true
+          (Relational.conforms sample_schema dup_key <> Ok ());
+        let unknown = [ ("ghost", [ ([] : Relational.row) ]) ] in
+        check Alcotest.bool "table" true
+          (Relational.conforms sample_schema unknown <> Ok ()));
+    tc "equal_instance ignores row and table order" (fun () ->
+        let i1 =
+          Relational.
+            [ ("t", [ [ Int_v 1 ]; [ Int_v 2 ] ]); ("u", [ [ Int_v 3 ] ]) ]
+        in
+        let i2 =
+          Relational.
+            [ ("u", [ [ Int_v 3 ] ]); ("t", [ [ Int_v 2 ]; [ Int_v 1 ] ]) ]
+        in
+        check Alcotest.bool "equal" true (Relational.equal_instance i1 i2));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* UML *)
+
+let sample_model =
+  Uml.
+    [
+      clazz "Person"
+        [ attribute ~is_key:true "id" Integer_t; attribute "name" String_t ];
+      clazz ~persistent:false "Scratch" [ attribute "note" String_t ];
+    ]
+
+let uml_tests =
+  [
+    tc "find/add/remove classes" (fun () ->
+        check Alcotest.bool "find" true
+          (Uml.find_class sample_model "Person" <> None);
+        let m = Uml.remove_class sample_model "Person" in
+        check Alcotest.bool "removed" true (Uml.find_class m "Person" = None));
+    tc "persistent_classes filters" (fun () ->
+        check Alcotest.(list string) "only Person" [ "Person" ]
+          (List.map (fun c -> c.Uml.class_name)
+             (Uml.persistent_classes sample_model)));
+    tc "validate accepts the sample" (fun () ->
+        check Alcotest.bool "ok" true (Uml.validate sample_model = Ok ()));
+    tc "validate rejects duplicate classes and attributes" (fun () ->
+        let dup = sample_model @ [ Uml.clazz "Person" [ Uml.attribute "x" Uml.String_t ] ] in
+        check Alcotest.bool "dup" true (Uml.validate dup <> Ok ());
+        let dup_attr =
+          [ Uml.clazz "C" [ Uml.attribute "x" Uml.String_t; Uml.attribute "x" Uml.Integer_t ] ]
+        in
+        check Alcotest.bool "dup attr" true (Uml.validate dup_attr <> Ok ()));
+    tc "equal ignores class order" (fun () ->
+        check Alcotest.bool "reversed" true
+          (Uml.equal sample_model (List.rev sample_model)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trees *)
+
+let sample_tree =
+  Tree.node "store"
+    [
+      Tree.node "book" [ Tree.leaf "title1"; Tree.leaf "price1" ];
+      Tree.node "book" [ Tree.leaf "title2" ];
+      Tree.leaf "misc";
+    ]
+
+let tree_tests =
+  [
+    tc "size and depth" (fun () ->
+        check Alcotest.int "size" 7 (Tree.size sample_tree);
+        check Alcotest.int "depth" 3 (Tree.depth sample_tree);
+        check Alcotest.int "leaf depth" 1 (Tree.depth (Tree.leaf "x")));
+    tc "map preserves the shape" (fun () ->
+        let t = Tree.map String.uppercase_ascii sample_tree in
+        check Alcotest.string "root" "STORE" t.Tree.label;
+        check Alcotest.int "size" (Tree.size sample_tree) (Tree.size t));
+    tc "fold counts nodes" (fun () ->
+        let count = Tree.fold (fun _ kids -> 1 + List.fold_left ( + ) 0 kids) sample_tree in
+        check Alcotest.int "count" 7 count);
+    tc "equal is structural" (fun () ->
+        check Alcotest.bool "same" true
+          (Tree.equal String.equal sample_tree sample_tree);
+        check Alcotest.bool "different" false
+          (Tree.equal String.equal sample_tree (Tree.leaf "store")));
+    tc "children_labelled selects by label" (fun () ->
+        check Alcotest.int "two books" 2
+          (List.length (Tree.children_labelled "book" sample_tree)));
+    tc "find_child and with_children" (fun () ->
+        check Alcotest.bool "found misc" true
+          (Tree.find_child (String.equal "misc") sample_tree <> None);
+        let pruned = Tree.with_children sample_tree [] in
+        check Alcotest.int "pruned" 1 (Tree.size pruned));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* CSV *)
+
+let csv_tests =
+  [
+    tc "print/parse round-trip" (fun () ->
+        let doc = [ [ "a"; "b" ]; [ "c"; "d" ] ] in
+        let s = Csv.print ~sep:',' doc in
+        check Alcotest.string "printed" "a,b\nc,d\n" s;
+        match Csv.parse ~sep:',' s with
+        | Ok doc' -> check Alcotest.bool "round-trip" true (doc = doc')
+        | Error e -> Alcotest.fail e);
+    tc "empty document" (fun () ->
+        check Alcotest.bool "parse empty" true (Csv.parse ~sep:',' "" = Ok []);
+        check Alcotest.string "print empty" "" (Csv.print ~sep:',' []));
+    tc "missing final newline is an error" (fun () ->
+        check Alcotest.bool "error" true
+          (match Csv.parse ~sep:',' "a,b" with Error _ -> true | Ok _ -> false));
+    tc "field_ok rejects separators and newlines" (fun () ->
+        check Alcotest.bool "comma" false (Csv.field_ok ~sep:',' "a,b");
+        check Alcotest.bool "newline" false (Csv.field_ok ~sep:',' "a\nb");
+        check Alcotest.bool "plain" true (Csv.field_ok ~sep:',' "ab"));
+    tc "empty fields survive" (fun () ->
+        match Csv.parse ~sep:',' ",\n" with
+        | Ok doc -> check Alcotest.bool "two empty fields" true (doc = [ [ ""; "" ] ])
+        | Error e -> Alcotest.fail e);
+  ]
+
+let csv_prop_tests =
+  let field_gen = QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (0 -- 6)) in
+  let doc_gen = QCheck2.Gen.(list_size (0 -- 8) (list_size (1 -- 5) field_gen)) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"parse inverts print on clean fields"
+         doc_gen
+         (fun doc -> Csv.parse ~sep:',' (Csv.print ~sep:',' doc) = Ok doc));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Genealogy *)
+
+let sample_families =
+  Genealogy.
+    [
+      family ~father:"Jim" ~mother:"Cindy" ~sons:[ "Brandon" ]
+        ~daughters:[ "Brenda" ] "March";
+      family ~mother:"Jackie" ~sons:[ "David" ] "Sailor";
+    ]
+
+let genealogy_tests =
+  [
+    tc "family_members tags genders by role" (fun () ->
+        let members = Genealogy.family_members (List.hd sample_families) in
+        check Alcotest.int "four members" 4 (List.length members);
+        check Alcotest.bool "father male" true
+          (List.assoc "Jim" members = `Male);
+        check Alcotest.bool "mother female" true
+          (List.assoc "Cindy" members = `Female);
+        check Alcotest.bool "daughter female" true
+          (List.assoc "Brenda" members = `Female));
+    tc "validate accepts the sample" (fun () ->
+        check Alcotest.bool "ok" true
+          (Genealogy.validate_families sample_families = Ok ()));
+    tc "validate rejects duplicate last names and members" (fun () ->
+        let dup = sample_families @ [ Genealogy.family "March" ] in
+        check Alcotest.bool "dup family" true
+          (Genealogy.validate_families dup <> Ok ());
+        let dup_member =
+          [ Genealogy.family ~father:"Jim" ~sons:[ "Jim" ] "X" ]
+        in
+        check Alcotest.bool "dup member" true
+          (Genealogy.validate_families dup_member <> Ok ()));
+    tc "equal_families ignores order" (fun () ->
+        let f = List.hd sample_families in
+        let shuffled =
+          { f with Genealogy.sons = List.rev f.Genealogy.sons }
+          :: List.tl sample_families
+        in
+        check Alcotest.bool "equal" true
+          (Genealogy.equal_families sample_families (List.rev shuffled)));
+    tc "split_full_name" (fun () ->
+        check Alcotest.(option (pair string string)) "two parts"
+          (Some ("Jim", "March"))
+          (Genealogy.split_full_name "Jim March");
+        check Alcotest.(option (pair string string)) "no space" None
+          (Genealogy.split_full_name "Mononym");
+        check Alcotest.(option (pair string string)) "splits at first space"
+          (Some ("Ana", "de la Cruz"))
+          (Genealogy.split_full_name "Ana de la Cruz"));
+    tc "equal_persons ignores order" (fun () ->
+        let ps =
+          Genealogy.[ person Male "Jim March"; person Female "Cindy March" ]
+        in
+        check Alcotest.bool "equal" true
+          (Genealogy.equal_persons ps (List.rev ps)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Relational algebra and view update *)
+
+let employees =
+  Relational.table "employees"
+    [
+      Relational.column ~primary:true "id" Relational.Int_t;
+      Relational.column "name" Relational.Text_t;
+      Relational.column "dept" Relational.Text_t;
+      Relational.column "salary" Relational.Int_t;
+    ]
+
+let rows =
+  Relational.
+    [
+      [ Int_v 1; Text_v "ada"; Text_v "eng"; Int_v 90 ];
+      [ Int_v 2; Text_v "ben"; Text_v "sales"; Int_v 60 ];
+      [ Int_v 3; Text_v "cay"; Text_v "eng"; Int_v 80 ];
+    ]
+
+let eng = Relalg.Eq ("dept", Relational.Text_v "eng")
+
+let relalg_tests =
+  [
+    tc "predicates evaluate by column name" (fun () ->
+        check Alcotest.bool "eq" true
+          (Relalg.eval_pred employees eng (List.hd rows));
+        check Alcotest.bool "ne" true
+          (Relalg.eval_pred employees
+             (Relalg.Ne ("name", Relational.Text_v "x"))
+             (List.hd rows));
+        check Alcotest.bool "and/or/not" true
+          (Relalg.eval_pred employees
+             (Relalg.And (eng, Relalg.Not (Relalg.Eq ("id", Relational.Int_v 9))))
+             (List.hd rows)));
+    tc "unknown columns are rejected" (fun () ->
+        check Alcotest.bool "raises" true
+          (try ignore (Relalg.eval_pred employees
+                         (Relalg.Eq ("ghost", Relational.Int_v 0))
+                         (List.hd rows)); false
+           with Relalg.Bad_query _ -> true));
+    tc "selection filters, view table unchanged" (fun () ->
+        check Alcotest.int "two eng rows" 2
+          (List.length (Relalg.eval employees (Relalg.Select eng) rows));
+        check Alcotest.bool "same schema" true
+          (Relalg.view_table employees (Relalg.Select eng) = employees));
+    tc "projection keeps named columns in order" (fun () ->
+        let v = Relalg.view_table employees (Relalg.Project [ "id"; "name" ]) in
+        check Alcotest.(list string) "columns" [ "id"; "name" ]
+          (List.map (fun c -> c.Relational.col_name) v.Relational.columns);
+        check Alcotest.bool "first row projected" true
+          (List.hd (Relalg.eval employees (Relalg.Project [ "id"; "name" ]) rows)
+          = Relational.[ Int_v 1; Text_v "ada" ]));
+    tc "projection must retain the key" (fun () ->
+        check Alcotest.bool "raises" true
+          (try ignore (Relalg.view_table employees (Relalg.Project [ "name" ]));
+             false
+           with Relalg.Bad_query _ -> true));
+    tc "selection put preserves rows outside the selection" (fun () ->
+        let l = Relalg.lens employees (Relalg.Select eng) in
+        let view' =
+          Relational.[ [ Int_v 1; Text_v "ada"; Text_v "eng"; Int_v 95 ] ]
+        in
+        let rows' = l.Bx.Lens.put view' rows in
+        (* ben (sales) survives; cay (eng) dropped; ada updated. *)
+        check Alcotest.int "two rows" 2 (List.length rows');
+        check Alcotest.bool "ben kept" true
+          (List.exists
+             (fun r -> List.nth r 1 = Relational.Text_v "ben")
+             rows'));
+    tc "selection put rejects rows violating the predicate" (fun () ->
+        let l = Relalg.lens employees (Relalg.Select eng) in
+        check Alcotest.bool "raises" true
+          (try ignore (l.Bx.Lens.put
+                         Relational.[ [ Int_v 9; Text_v "zed"; Text_v "hr"; Int_v 1 ] ]
+                         rows); false
+           with Bx.Lens.Error _ -> true));
+    tc "projection put restores hidden columns by key" (fun () ->
+        let l = Relalg.lens employees (Relalg.Project [ "id"; "name" ]) in
+        let view' =
+          Relational.
+            [ [ Int_v 3; Text_v "cay" ]; [ Int_v 1; Text_v "adele" ] ]
+        in
+        let rows' = l.Bx.Lens.put view' rows in
+        check Alcotest.bool "salaries follow ids" true
+          (rows'
+          = Relational.
+              [
+                [ Int_v 3; Text_v "cay"; Text_v "eng"; Int_v 80 ];
+                [ Int_v 1; Text_v "adele"; Text_v "eng"; Int_v 90 ];
+              ]));
+    tc "select-project insertion completes the selection columns" (fun () ->
+        let q = Relalg.Seq (Relalg.Select eng, Relalg.Project [ "id"; "name" ]) in
+        let l = Relalg.lens employees q in
+        let view' =
+          Relational.[ [ Int_v 1; Text_v "ada" ]; [ Int_v 9; Text_v "zed" ] ]
+        in
+        let rows' = l.Bx.Lens.put view' rows in
+        let zed = List.find (fun r -> List.nth r 0 = Relational.Int_v 9) rows' in
+        check Alcotest.bool "dept forced to eng" true
+          (List.nth zed 2 = Relational.Text_v "eng");
+        check Alcotest.bool "salary defaulted" true
+          (List.nth zed 3 = Relational.Int_v 0));
+    tc "select-project lens laws on the sample" (fun () ->
+        let q = Relalg.Seq (Relalg.Select eng, Relalg.Project [ "id"; "name" ]) in
+        let l = Relalg.lens employees q in
+        let space =
+          Bx.Model.make ~name:"rows" ~equal:( = )
+            ~pp:(fun ppf _ -> Fmt.string ppf "_")
+        in
+        (match (Bx.Lens.get_put_law space l).Bx.Law.check rows with
+        | Bx.Law.Holds -> ()
+        | Bx.Law.Violated m -> Alcotest.fail m);
+        let v = Relational.[ [ Int_v 3; Text_v "c" ]; [ Int_v 7; Text_v "g" ] ] in
+        match (Bx.Lens.put_get_law space l).Bx.Law.check (rows, v) with
+        | Bx.Law.Holds -> ()
+        | Bx.Law.Violated m -> Alcotest.fail m);
+    tc "instances produced by put still conform to the schema" (fun () ->
+        let q = Relalg.Seq (Relalg.Select eng, Relalg.Project [ "id"; "name" ]) in
+        let l = Relalg.lens employees q in
+        let rows' =
+          l.Bx.Lens.put Relational.[ [ Int_v 9; Text_v "zed" ] ] rows
+        in
+        check Alcotest.bool "conforms" true
+          (Relational.conforms [ employees ] [ ("employees", rows') ] = Ok ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tree edits *)
+
+let t l cs = Tree.node l cs
+let leaf l = Tree.leaf l
+
+let tree_edit_tests =
+  [
+    tc "relabel at a path" (fun () ->
+        let tree = t "root" [ leaf "a"; t "b" [ leaf "c" ] ] in
+        match Tree_edit.apply_op (Tree_edit.Relabel ([ 1; 0 ], "C")) tree with
+        | Some tree' ->
+            check Alcotest.bool "relabelled" true
+              (Tree.equal String.equal tree'
+                 (t "root" [ leaf "a"; t "b" [ leaf "C" ] ]))
+        | None -> Alcotest.fail "apply failed");
+    tc "insert and delete children" (fun () ->
+        let tree = t "root" [ leaf "a"; leaf "c" ] in
+        let edit =
+          Tree_edit.[ Insert_child ([], 1, leaf "b"); Delete_child ([], 0) ]
+        in
+        match Tree_edit.apply edit tree with
+        | Some tree' ->
+            check Alcotest.bool "sequence applied" true
+              (Tree.equal String.equal tree' (t "root" [ leaf "b"; leaf "c" ]))
+        | None -> Alcotest.fail "apply failed");
+    tc "out-of-range operations fail cleanly" (fun () ->
+        let tree = t "root" [ leaf "a" ] in
+        check Alcotest.bool "bad path" true
+          (Tree_edit.apply_op (Tree_edit.Relabel ([ 5 ], "x")) tree = None);
+        check Alcotest.bool "bad index" true
+          (Tree_edit.apply_op (Tree_edit.Delete_child ([], 3)) tree = None);
+        check Alcotest.bool "bad insert" true
+          (Tree_edit.apply_op (Tree_edit.Insert_child ([], 9, leaf "x")) tree
+          = None));
+    tc "diff replays one tree into another" (fun () ->
+        let t1 = t "store" [ t "book" [ leaf "t1" ]; t "book" [ leaf "t2" ] ] in
+        let t2 =
+          t "store"
+            [ t "book" [ leaf "t1"; leaf "extra" ]; t "shelf" []; t "book" [ leaf "t2" ] ]
+        in
+        let edit = Tree_edit.diff ~equal:String.equal t1 t2 in
+        match Tree_edit.apply edit t1 with
+        | Some t1' -> check Alcotest.bool "replayed" true (Tree.equal String.equal t1' t2)
+        | None -> Alcotest.fail "diff edit did not apply");
+    tc "diff of equal trees is empty" (fun () ->
+        let tree = t "a" [ leaf "b"; t "c" [ leaf "d" ] ] in
+        check Alcotest.int "empty" 0
+          (Tree_edit.edit_size (Tree_edit.diff ~equal:String.equal tree tree)));
+    tc "diff is small for a small change" (fun () ->
+        let t1 = t "r" [ leaf "a"; leaf "b"; leaf "c"; leaf "d" ] in
+        let t2 = t "r" [ leaf "a"; leaf "x"; leaf "b"; leaf "c"; leaf "d" ] in
+        let edit = Tree_edit.diff ~equal:String.equal t1 t2 in
+        check Alcotest.int "one insertion" 1 (Tree_edit.edit_size edit));
+    tc "the edit module threads the monoid" (fun () ->
+        let m = Tree_edit.edit_module () in
+        let tree = t "r" [ leaf "a" ] in
+        check Alcotest.bool "identity" true
+          (m.Bx.Elens.apply m.Bx.Elens.identity tree = Some tree);
+        let e =
+          m.Bx.Elens.compose
+            [ Tree_edit.Insert_child ([], 1, leaf "b") ]
+            [ Tree_edit.Relabel ([ 1 ], "B") ]
+        in
+        match m.Bx.Elens.apply e tree with
+        | Some tree' ->
+            check Alcotest.bool "composite" true
+              (Tree.equal String.equal tree' (t "r" [ leaf "a"; leaf "B" ]))
+        | None -> Alcotest.fail "apply failed");
+  ]
+
+(* Property: diff then apply is the identity, on random label trees. *)
+let tree_edit_prop_tests =
+  let rec tree_gen depth =
+    let open QCheck2.Gen in
+    if depth = 0 then map Tree.leaf (oneofl [ "a"; "b"; "c" ])
+    else
+      map2 Tree.node (oneofl [ "a"; "b"; "c" ])
+        (list_size (0 -- 3) (tree_gen (depth - 1)))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"apply (diff t1 t2) t1 = t2"
+         (QCheck2.Gen.pair (tree_gen 3) (tree_gen 3))
+         (fun (t1, t2) ->
+           match Tree_edit.apply (Tree_edit.diff ~equal:String.equal t1 t2) t1 with
+           | Some t1' -> Tree.equal String.equal t1' t2
+           | None -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let json_tests =
+  [
+    tc "print/parse round-trips structured values" (fun () ->
+        let v =
+          Json.Obj
+            [
+              ("s", Json.String "hi\nthere \"quoted\"");
+              ("n", Json.Int (-42));
+              ("b", Json.Bool true);
+              ("nothing", Json.Null);
+              ("l", Json.List [ Json.Int 1; Json.String "x"; Json.Obj [] ]);
+            ]
+        in
+        (match Json.of_string (Json.to_string v) with
+        | Ok v' -> check Alcotest.bool "compact" true (Json.equal v v')
+        | Error e -> Alcotest.fail e);
+        match Json.of_string (Json.to_string ~indent:2 v) with
+        | Ok v' -> check Alcotest.bool "pretty" true (Json.equal v v')
+        | Error e -> Alcotest.fail e);
+    tc "parses whitespace and nesting" (fun () ->
+        match Json.of_string "  { \"a\" : [ 1 , 2 ] , \"b\" : { } }  " with
+        | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]);
+                         ("b", Json.Obj []) ]) -> ()
+        | Ok v -> Alcotest.failf "unexpected %s" (Json.to_string v)
+        | Error e -> Alcotest.fail e);
+    tc "escapes round-trip control characters" (fun () ->
+        let s = "tab\tnl\ncr\rctl\x01" in
+        match Json.of_string (Json.to_string (Json.String s)) with
+        | Ok (Json.String s') -> check Alcotest.string "same" s s'
+        | _ -> Alcotest.fail "round trip failed");
+    tc "rejects malformed input with positions" (fun () ->
+        List.iter
+          (fun input ->
+            check Alcotest.bool input true
+              (Result.is_error (Json.of_string input)))
+          [ ""; "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "tru"; "1 2";
+            "{\"a\":1,}" ]);
+    tc "accessors" (fun () ->
+        let v = Json.Obj [ ("x", Json.Int 3) ] in
+        check Alcotest.bool "member" true (Json.member "x" v = Some (Json.Int 3));
+        check Alcotest.bool "missing" true (Json.member "y" v = None);
+        check Alcotest.bool "to_int" true (Json.to_int (Json.Int 3) = Some 3);
+        check Alcotest.bool "to_str none" true (Json.to_str (Json.Int 3) = None));
+    tc "\\u escapes decode below 0x100 and reject above" (fun () ->
+        (match Json.of_string "\"\\u0041\"" with
+        | Ok (Json.String "A") -> ()
+        | _ -> Alcotest.fail "u0041");
+        check Alcotest.bool "u0100 rejected" true
+          (Result.is_error (Json.of_string "\"\\u0100\"")));
+  ]
+
+let () =
+  Alcotest.run "bx-models"
+    [
+      ("rational", rational_tests);
+      ("rational-properties", rational_prop_tests);
+      ("relational", relational_tests);
+      ("uml", uml_tests);
+      ("tree", tree_tests);
+      ("csv", csv_tests);
+      ("csv-properties", csv_prop_tests);
+      ("genealogy", genealogy_tests);
+      ("relalg", relalg_tests);
+      ("tree-edit", tree_edit_tests);
+      ("tree-edit-properties", tree_edit_prop_tests);
+      ("json", json_tests);
+    ]

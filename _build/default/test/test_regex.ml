@@ -1,0 +1,660 @@
+(* Unit and property tests for the regex/automata substrate. *)
+
+open Bx_regex
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Character sets *)
+
+let cset_tests =
+  [
+    tc "membership over ranges" (fun () ->
+        let s = Cset.union (Cset.range 'a' 'f') (Cset.singleton 'z') in
+        check Alcotest.bool "a" true (Cset.mem 'a' s);
+        check Alcotest.bool "f" true (Cset.mem 'f' s);
+        check Alcotest.bool "g" false (Cset.mem 'g' s);
+        check Alcotest.bool "z" true (Cset.mem 'z' s));
+    tc "union merges adjacent ranges" (fun () ->
+        let s = Cset.union (Cset.range 'a' 'c') (Cset.range 'd' 'f') in
+        check Alcotest.int "one range" 1 (List.length (Cset.to_ranges s)));
+    tc "inter of overlapping ranges" (fun () ->
+        let s = Cset.inter (Cset.range 'a' 'm') (Cset.range 'g' 'z') in
+        check Alcotest.bool "g..m" true
+          (Cset.equal s (Cset.range 'g' 'm')));
+    tc "complement round-trips" (fun () ->
+        let s = Cset.range 'b' 'y' in
+        check Alcotest.bool "double complement" true
+          (Cset.equal s (Cset.complement (Cset.complement s)));
+        check Alcotest.bool "disjoint from complement" true
+          (Cset.is_empty (Cset.inter s (Cset.complement s)));
+        check Alcotest.bool "covers full" true
+          (Cset.equal Cset.full (Cset.union s (Cset.complement s))));
+    tc "diff removes exactly the second set" (fun () ->
+        let s = Cset.diff (Cset.range 'a' 'e') (Cset.singleton 'c') in
+        check Alcotest.bool "c gone" false (Cset.mem 'c' s);
+        check Alcotest.bool "b stays" true (Cset.mem 'b' s);
+        check Alcotest.int "cardinal" 4 (Cset.cardinal s));
+    tc "of_string collects distinct characters" (fun () ->
+        let s = Cset.of_string "banana" in
+        check Alcotest.int "3 distinct" 3 (Cset.cardinal s));
+    tc "choose returns the least element" (fun () ->
+        check Alcotest.(option char) "least" (Some 'b')
+          (Cset.choose (Cset.of_string "dcb"));
+        check Alcotest.(option char) "empty" None (Cset.choose Cset.empty));
+    tc "subset" (fun () ->
+        check Alcotest.bool "sub" true
+          (Cset.subset (Cset.range 'b' 'c') (Cset.range 'a' 'd'));
+        check Alcotest.bool "not sub" false
+          (Cset.subset (Cset.range 'a' 'd') (Cset.range 'b' 'c')));
+    tc "refine partitions and respects inputs" (fun () ->
+        let a = Cset.range 'a' 'm' and b = Cset.range 'g' 'z' in
+        let blocks = Cset.refine [ a; b ] in
+        (* Blocks are pairwise disjoint and cover the full space. *)
+        let total = List.fold_left (fun n s -> n + Cset.cardinal s) 0 blocks in
+        check Alcotest.int "covers 256" 256 total;
+        List.iter
+          (fun blk ->
+            List.iter
+              (fun s ->
+                let i = Cset.inter blk s in
+                check Alcotest.bool "block inside or outside each input" true
+                  (Cset.is_empty i || Cset.equal i blk))
+              [ a; b ])
+          blocks);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Regexes *)
+
+let letters = Regex.cset (Cset.range 'a' 'z')
+let digits = Regex.cset (Cset.range '0' '9')
+
+let regex_tests =
+  [
+    tc "str matches exactly the literal" (fun () ->
+        let r = Regex.str "abc" in
+        check Alcotest.bool "abc" true (Regex.matches r "abc");
+        check Alcotest.bool "ab" false (Regex.matches r "ab");
+        check Alcotest.bool "abcd" false (Regex.matches r "abcd"));
+    tc "empty string and epsilon" (fun () ->
+        check Alcotest.bool "eps matches empty" true
+          (Regex.matches Regex.epsilon "");
+        check Alcotest.bool "empty matches nothing" false
+          (Regex.matches Regex.empty "");
+        check Alcotest.bool "str \"\" = eps" true
+          (Regex.equal (Regex.str "") Regex.epsilon));
+    tc "alt and star" (fun () ->
+        let r = Regex.(star (alt (str "ab") (str "c"))) in
+        List.iter
+          (fun (s, expected) ->
+            check Alcotest.bool s expected (Regex.matches r s))
+          [ ("", true); ("ab", true); ("cab", true); ("abcabc", true);
+            ("a", false); ("ba", false) ]);
+    tc "plus requires at least one" (fun () ->
+        let r = Regex.plus (Regex.chr 'x') in
+        check Alcotest.bool "empty" false (Regex.matches r "");
+        check Alcotest.bool "x" true (Regex.matches r "x");
+        check Alcotest.bool "xxx" true (Regex.matches r "xxx"));
+    tc "opt matches zero or one" (fun () ->
+        let r = Regex.opt (Regex.chr 'x') in
+        check Alcotest.bool "empty" true (Regex.matches r "");
+        check Alcotest.bool "x" true (Regex.matches r "x");
+        check Alcotest.bool "xx" false (Regex.matches r "xx"));
+    tc "repeat is exact" (fun () ->
+        let r = Regex.repeat 3 (Regex.chr 'a') in
+        check Alcotest.bool "aaa" true (Regex.matches r "aaa");
+        check Alcotest.bool "aa" false (Regex.matches r "aa"));
+    tc "smart constructors canonicalise" (fun () ->
+        let open Regex in
+        check Alcotest.bool "alt idempotent" true
+          (equal (alt letters letters) letters);
+        check Alcotest.bool "alt commutes" true
+          (equal (alt letters digits) (alt digits letters));
+        check Alcotest.bool "seq unit" true
+          (equal (seq epsilon letters) letters);
+        check Alcotest.bool "seq absorbs empty" true
+          (equal (seq empty letters) empty);
+        check Alcotest.bool "star of star" true
+          (equal (star (star letters)) (star letters));
+        check Alcotest.bool "star of empty" true
+          (equal (star empty) epsilon));
+    tc "nullable" (fun () ->
+        let open Regex in
+        check Alcotest.bool "star" true (nullable (star letters));
+        check Alcotest.bool "cset" false (nullable letters);
+        check Alcotest.bool "seq of nullables" true
+          (nullable (seq (opt letters) (star digits))));
+    tc "deriv walks the string" (fun () ->
+        let r = Regex.str "ab" in
+        let r' = Regex.deriv 'a' r in
+        check Alcotest.bool "residual is b" true
+          (Regex.equal r' (Regex.str "b"));
+        check Alcotest.bool "wrong char kills" true
+          (Regex.equal (Regex.deriv 'x' r) Regex.empty));
+    tc "reverse reverses the language" (fun () ->
+        let r = Regex.(seq (str "ab") (star (str "c"))) in
+        let rr = Regex.reverse r in
+        check Alcotest.bool "ccba" true (Regex.matches rr "ccba");
+        check Alcotest.bool "abcc not in reverse" false
+          (Regex.matches rr "abcc"));
+    tc "derivative_classes partition the byte space" (fun () ->
+        let r = Regex.(alt (seq letters digits) (str "x")) in
+        let classes = Regex.derivative_classes r in
+        let total =
+          List.fold_left (fun n s -> n + Cset.cardinal s) 0 classes
+        in
+        check Alcotest.int "covers 256" 256 total);
+    tc "pp renders something readable" (fun () ->
+        let r = Regex.(alt (str "ab") (star digits)) in
+        check Alcotest.bool "nonempty" true
+          (String.length (Regex.to_string r) > 0));
+  ]
+
+(* Property: derivative-based matching agrees with a reference matcher on a
+   fixed structure (membership of randomly generated strings in (ab|c)* ). *)
+let regex_prop_tests =
+  let reference s =
+    (* (ab|c)* : greedy scan. *)
+    let n = String.length s in
+    let rec go i =
+      if i = n then true
+      else if s.[i] = 'c' then go (i + 1)
+      else if i + 1 < n && s.[i] = 'a' && s.[i + 1] = 'b' then go (i + 2)
+      else false
+    in
+    go 0
+  in
+  let r = Regex.(star (alt (str "ab") (str "c"))) in
+  let gen = QCheck2.Gen.(string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (0 -- 12)) in
+  let test =
+    QCheck2.Test.make ~count:500 ~name:"matches agrees with reference on (ab|c)*"
+      gen
+      (fun s -> Regex.matches r s = reference s)
+  in
+  [ QCheck_alcotest.to_alcotest test ]
+
+(* ------------------------------------------------------------------ *)
+(* DFA *)
+
+let dfa_tests =
+  [
+    tc "accepts agrees with Regex.matches" (fun () ->
+        let r = Regex.(star (alt (str "ab") (str "c"))) in
+        let d = Dfa.build r in
+        List.iter
+          (fun s ->
+            check Alcotest.bool s (Regex.matches r s) (Dfa.accepts d s))
+          [ ""; "ab"; "c"; "abc"; "ba"; "abab"; "cab"; "a" ]);
+    tc "prefix_marks marks accepted prefixes" (fun () ->
+        let d = Dfa.build (Regex.star (Regex.str "ab")) in
+        let marks = Dfa.prefix_marks d "abab" in
+        check Alcotest.(list bool) "marks"
+          [ true; false; true; false; true ]
+          (Array.to_list marks));
+    tc "empty language has no accepting state" (fun () ->
+        let d = Dfa.build Regex.(seq (chr 'a') empty) in
+        check Alcotest.bool "empty" true (Dfa.is_empty_lang d);
+        check Alcotest.(option string) "no shortest" None
+          (Dfa.shortest_accepted d));
+    tc "shortest_accepted finds a minimal witness" (fun () ->
+        let r = Regex.(seq (str "aa") (star (str "b"))) in
+        let d = Dfa.build r in
+        check Alcotest.(option string) "aa" (Some "aa")
+          (Dfa.shortest_accepted d));
+    tc "dfa is small for simple regexes" (fun () ->
+        let d = Dfa.build (Regex.str "abc") in
+        (* a,ab,abc residuals + sink + root = 5 *)
+        check Alcotest.bool "at most 5 states" true (Dfa.size d <= 5));
+    tc "run_from composes" (fun () ->
+        let d = Dfa.build (Regex.str "abc") in
+        let mid = Dfa.run_from d Dfa.initial "ab" in
+        let fin = Dfa.run_from d mid "c" in
+        check Alcotest.bool "accepting" true (Dfa.accepting d fin));
+    tc "transitions cover the byte space in every state" (fun () ->
+        let d = Dfa.build (Regex.(alt (str "foo") (star digits))) in
+        for i = 0 to Dfa.size d - 1 do
+          let total =
+            List.fold_left
+              (fun n (cls, _) -> n + Cset.cardinal cls)
+              0 (Dfa.transitions d i)
+          in
+          check Alcotest.int "covers 256" 256 total
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Language decision procedures *)
+
+let lang_tests =
+  [
+    tc "disjoint languages" (fun () ->
+        check Alcotest.bool "letters vs digits" true
+          (Lang.disjoint (Regex.plus letters) (Regex.plus digits) = Ok ()));
+    tc "overlapping languages yield a witness" (fun () ->
+        match Lang.disjoint (Regex.str "ab") Regex.(seq (chr 'a') (star (chr 'b'))) with
+        | Error w -> check Alcotest.string "witness" "ab" w
+        | Ok () -> Alcotest.fail "expected overlap");
+    tc "subset and counterexample" (fun () ->
+        let sub = Regex.str "ab" in
+        let sup = Regex.(star (alt (chr 'a') (chr 'b'))) in
+        check Alcotest.bool "ab in (a|b)*" true (Lang.subset sub sup);
+        check Alcotest.bool "not conversely" false (Lang.subset sup sub);
+        match Lang.subset_counterexample sup sub with
+        | Some w -> check Alcotest.bool "counterexample outside" true
+                      (not (Regex.matches sub w))
+        | None -> Alcotest.fail "expected counterexample");
+    tc "equivalence of syntactically different regexes" (fun () ->
+        let r1 = Regex.(star (chr 'a')) in
+        let r2 = Regex.(alt epsilon (plus (chr 'a'))) in
+        check Alcotest.bool "a* = eps|a+" true (Lang.equivalent r1 r2));
+    tc "inequivalence yields a shortest witness" (fun () ->
+        let r1 = Regex.(star (chr 'a')) in
+        let r2 = Regex.(plus (chr 'a')) in
+        check Alcotest.(option string) "eps distinguishes" (Some "")
+          (Lang.equiv_counterexample r1 r2));
+    tc "emptiness" (fun () ->
+        check Alcotest.bool "empty" true (Lang.is_empty Regex.empty);
+        check Alcotest.bool "eps not empty" false (Lang.is_empty Regex.epsilon);
+        check Alcotest.bool "a(empty) empty" true
+          (Lang.is_empty Regex.(seq (chr 'a') empty)));
+    tc "shortest member" (fun () ->
+        check Alcotest.(option string) "aa" (Some "aa")
+          (Lang.shortest Regex.(seq (str "aa") (star (chr 'b')))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ambiguity analyses *)
+
+let ambig_tests =
+  [
+    tc "a* . b* is unambiguous" (fun () ->
+        check Alcotest.bool "ok" true
+          (Ambig.unambig_concat
+             Regex.(star (chr 'a'))
+             Regex.(star (chr 'b'))
+          = Ok ()));
+    tc "a* . a* is ambiguous with witness a" (fun () ->
+        match
+          Ambig.unambig_concat Regex.(star (chr 'a')) Regex.(star (chr 'a'))
+        with
+        | Error w -> check Alcotest.string "overlap" "a" w
+        | Ok () -> Alcotest.fail "expected ambiguity");
+    tc "(a|ab) . (b|eps)-style overlap is detected" (fun () ->
+        (* w = "ab" splits as a·b and ab·eps *)
+        let r1 = Regex.(alt (str "a") (str "ab")) in
+        let r2 = Regex.(opt (chr 'b')) in
+        check Alcotest.bool "ambiguous" true
+          (Ambig.unambig_concat r1 r2 <> Ok ()));
+    tc "literal . literal is unambiguous" (fun () ->
+        check Alcotest.bool "ok" true
+          (Ambig.unambig_concat (Regex.str "foo") (Regex.str "oof") = Ok ()));
+    tc "empty first language is trivially unambiguous" (fun () ->
+        check Alcotest.bool "ok" true
+          (Ambig.unambig_concat Regex.empty Regex.(star (chr 'a')) = Ok ()));
+    tc "star of a single char is unambiguous" (fun () ->
+        check Alcotest.bool "ok" true
+          (Ambig.unambig_star (Regex.chr 'a') = Ok ()));
+    tc "star of a nullable body is ambiguous" (fun () ->
+        check Alcotest.bool "eps witness" true
+          (Ambig.unambig_star (Regex.opt (Regex.chr 'a')) = Error ""));
+    tc "star of (a|aa) is ambiguous" (fun () ->
+        check Alcotest.bool "ambiguous" true
+          (Ambig.unambig_star Regex.(alt (str "a") (str "aa")) <> Ok ()));
+    tc "star of lines (text newline) is unambiguous" (fun () ->
+        let line = Regex.(seq (star letters) (chr '\n')) in
+        check Alcotest.bool "ok" true (Ambig.unambig_star line = Ok ()));
+    tc "disjoint_union distinguishes by first char" (fun () ->
+        check Alcotest.bool "ok" true
+          (Ambig.disjoint_union (Regex.str "a") (Regex.str "b") = Ok ());
+        check Alcotest.bool "shared" true
+          (Ambig.disjoint_union (Regex.str "a") Regex.(star (chr 'a'))
+          <> Ok ()));
+    tc "csv field star: field ; separated is unambiguous" (fun () ->
+        (* (letter+ ,)* letter+ — the shape the Composers CSV lens uses. *)
+        let field = Regex.plus letters in
+        let item = Regex.(seq field (chr ',')) in
+        check Alcotest.bool "ok" true (Ambig.unambig_star item = Ok ());
+        check Alcotest.bool "concat with tail ok" true
+          (Ambig.unambig_concat (Regex.star item) field = Ok ()));
+  ]
+
+(* Oracle property: unambig_concat agrees with a brute-force split counter
+   over short strings drawn from small languages. *)
+let ambig_prop_tests =
+  let abc = [ 'a'; 'b'; 'c' ] in
+  (* A small pool of structurally diverse regexes over {a,b,c}. *)
+  let pool =
+    Regex.
+      [
+        str "a";
+        str "ab";
+        alt (str "a") (str "ab");
+        star (chr 'a');
+        plus (chr 'b');
+        alt (str "a") (str "b");
+        seq (chr 'a') (star (chr 'b'));
+        opt (chr 'c');
+        star (alt (str "ab") (str "c"));
+      ]
+  in
+  let strings_up_to n =
+    (* All strings over abc of length <= n. *)
+    let rec go n =
+      if n = 0 then [ "" ]
+      else
+        let shorter = go (n - 1) in
+        shorter
+        @ List.concat_map
+            (fun s ->
+              if String.length s = n - 1 then
+                List.map (fun c -> s ^ String.make 1 c) abc
+              else [])
+            shorter
+    in
+    go n
+  in
+  let all_strings = strings_up_to 6 in
+  let brute_ambiguous r1 r2 =
+    List.exists
+      (fun w ->
+        let n = String.length w in
+        let splits = ref 0 in
+        for i = 0 to n do
+          if
+            Regex.matches r1 (String.sub w 0 i)
+            && Regex.matches r2 (String.sub w i (n - i))
+          then incr splits
+        done;
+        !splits > 1)
+      all_strings
+  in
+  let gen = QCheck2.Gen.(pair (oneofl pool) (oneofl pool)) in
+  let test =
+    QCheck2.Test.make ~count:81
+      ~name:"unambig_concat agrees with brute-force split counting"
+      gen
+      (fun (r1, r2) ->
+        let decided = Ambig.unambig_concat r1 r2 = Ok () in
+        let brute = not (brute_ambiguous r1 r2) in
+        (* The decision procedure is exact; brute force only sees short
+           strings, so: decided-unambiguous must imply brute-unambiguous. *)
+        if decided then brute else true)
+  in
+  let witness_test =
+    QCheck2.Test.make ~count:81
+      ~name:"ambiguity witnesses really are overlaps"
+      gen
+      (fun (r1, r2) ->
+        match Ambig.unambig_concat r1 r2 with
+        | Ok () -> true
+        | Error q ->
+            (* q nonempty, and there exist p, s with p,pq in L1, qs,s in L2.
+               Search within our bounded string set. *)
+            String.length q > 0
+            && List.exists
+                 (fun p ->
+                   Regex.matches r1 p && Regex.matches r1 (p ^ q))
+                 all_strings
+            && List.exists
+                 (fun s ->
+                   Regex.matches r2 s && Regex.matches r2 (q ^ s))
+                 all_strings)
+  in
+  List.map QCheck_alcotest.to_alcotest [ test; witness_test ]
+
+
+
+(* ------------------------------------------------------------------ *)
+(* Concrete-syntax parser *)
+
+let parse_ok s =
+  match Parse.of_string s with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let parse_tests =
+  [
+    tc "literals, sequencing and alternation" (fun () ->
+        let r = parse_ok "ab|c" in
+        check Alcotest.bool "ab" true (Regex.matches r "ab");
+        check Alcotest.bool "c" true (Regex.matches r "c");
+        check Alcotest.bool "a" false (Regex.matches r "a"));
+    tc "postfix operators bind tighter than sequencing" (fun () ->
+        let r = parse_ok "ab*" in
+        check Alcotest.bool "a" true (Regex.matches r "a");
+        check Alcotest.bool "abbb" true (Regex.matches r "abbb");
+        check Alcotest.bool "abab" false (Regex.matches r "abab"));
+    tc "grouping" (fun () ->
+        let r = parse_ok "(ab)+" in
+        check Alcotest.bool "abab" true (Regex.matches r "abab");
+        check Alcotest.bool "aba" false (Regex.matches r "aba"));
+    tc "optional" (fun () ->
+        let r = parse_ok "colou?r" in
+        check Alcotest.bool "color" true (Regex.matches r "color");
+        check Alcotest.bool "colour" true (Regex.matches r "colour"));
+    tc "character classes and ranges" (fun () ->
+        let r = parse_ok "[a-c0-9]+" in
+        check Alcotest.bool "ab01" true (Regex.matches r "ab01");
+        check Alcotest.bool "d" false (Regex.matches r "d"));
+    tc "negated classes" (fun () ->
+        let r = parse_ok "[^a-z]" in
+        check Alcotest.bool "A" true (Regex.matches r "A");
+        check Alcotest.bool "a" false (Regex.matches r "a"));
+    tc "dot matches any single byte" (fun () ->
+        let r = parse_ok "a.c" in
+        check Alcotest.bool "abc" true (Regex.matches r "abc");
+        check Alcotest.bool "a?c" true (Regex.matches r "a?c");
+        check Alcotest.bool "ac" false (Regex.matches r "ac"));
+    tc "escapes" (fun () ->
+        let r = parse_ok "a\\.b\\n" in
+        check Alcotest.bool "literal dot + newline" true
+          (Regex.matches r "a.b\n");
+        check Alcotest.bool "x rejected" false (Regex.matches r "axb\n"));
+    tc "empty pattern is epsilon" (fun () ->
+        check Alcotest.bool "eps" true (Regex.equal (parse_ok "") Regex.epsilon);
+        check Alcotest.bool "group" true (Regex.equal (parse_ok "()") Regex.epsilon));
+    tc "parse errors carry a position" (fun () ->
+        List.iter
+          (fun s ->
+            match Parse.of_string s with
+            | Error msg ->
+                check Alcotest.bool "mentions position" true
+                  (String.length msg > 0)
+            | Ok _ -> Alcotest.failf "%S should not parse" s)
+          [ "("; "a)"; "[abc"; "*a"; "a\\" ]);
+    tc "trailing hyphen in a class is literal" (fun () ->
+        let r = parse_ok "[a-]" in
+        check Alcotest.bool "a" true (Regex.matches r "a");
+        check Alcotest.bool "-" true (Regex.matches r "-"));
+    tc "to_parseable round-trips the language" (fun () ->
+        List.iter
+          (fun src ->
+            let r = parse_ok src in
+            let r2 = parse_ok (Parse.to_parseable r) in
+            match Lang.equiv_counterexample r r2 with
+            | None -> ()
+            | Some w -> Alcotest.failf "%S: differs on %S" src w)
+          [ "ab|c"; "(ab)*c+"; "[a-z]+, [0-9]*"; "a?b?c?"; "x|y|z";
+            "[^a]b."; "a\\*b" ]);
+    tc "to_parseable rejects the empty language" (fun () ->
+        check Alcotest.bool "raises" true
+          (try ignore (Parse.to_parseable Regex.empty); false
+           with Invalid_argument _ -> true));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Minimisation *)
+
+let minimise_tests =
+  [
+    tc "minimised DFA accepts the same language" (fun () ->
+        List.iter
+          (fun src ->
+            let r = parse_ok src in
+            let d = Dfa.build r in
+            let m = Dfa.minimise d in
+            (* Compare on an exhaustive set of short strings. *)
+            let alphabet = [ 'a'; 'b'; 'c' ] in
+            let rec strings n =
+              if n = 0 then [ "" ]
+              else
+                let shorter = strings (n - 1) in
+                shorter
+                @ List.concat_map
+                    (fun s ->
+                      if String.length s = n - 1 then
+                        List.map (fun c -> s ^ String.make 1 c) alphabet
+                      else [])
+                    shorter
+            in
+            List.iter
+              (fun s ->
+                check Alcotest.bool (src ^ "/" ^ s) (Dfa.accepts d s)
+                  (Dfa.accepts m s))
+              (strings 5))
+          [ "a*b"; "(ab)*"; "a|ab|abc"; "[ab]*c"; "a+b+" ]);
+    tc "minimisation shrinks a redundant automaton" (fun () ->
+        (* a|aa|aaa|aaaa has equivalent residuals the derivative
+           construction keeps apart. *)
+        let r = parse_ok "aaaa|aaa|aa|a" in
+        let d = Dfa.build r in
+        let m = Dfa.minimise d in
+        check Alcotest.bool "no bigger" true (Dfa.size m <= Dfa.size d);
+        (* The minimal DFA for this language has 6 states (0..4 a's seen,
+           plus sink). *)
+        check Alcotest.int "minimal size" 6 (Dfa.size m));
+    tc "minimisation is idempotent" (fun () ->
+        let d = Dfa.minimise (Dfa.build (parse_ok "(ab|c)*")) in
+        check Alcotest.int "same size" (Dfa.size d)
+          (Dfa.size (Dfa.minimise d)));
+    tc "initial state stays initial" (fun () ->
+        let m = Dfa.minimise (Dfa.build (parse_ok "abc")) in
+        check Alcotest.bool "accepts abc" true (Dfa.accepts m "abc");
+        check Alcotest.bool "rejects ab" false (Dfa.accepts m "ab"));
+    tc "transitions of the minimised DFA still cover all bytes" (fun () ->
+        let m = Dfa.minimise (Dfa.build (parse_ok "[a-m]+[n-z]*")) in
+        for i = 0 to Dfa.size m - 1 do
+          let total =
+            List.fold_left (fun n (cls, _) -> n + Cset.cardinal cls) 0
+              (Dfa.transitions m i)
+          in
+          check Alcotest.int "covers 256" 256 total
+        done);
+  ]
+
+let minimise_prop_tests =
+  let pool =
+    [ "a*b"; "(ab|c)*"; "a|ab|abc"; "[ab]+"; "a?b?c"; "(a|b)(a|b)"; "c[ab]*" ]
+  in
+  let gen = QCheck2.Gen.(pair (oneofl pool) (string_size ~gen:(oneofl ['a';'b';'c']) (0 -- 8))) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500
+         ~name:"minimise preserves acceptance on random strings" gen
+         (fun (src, s) ->
+           let r = parse_ok src in
+           let d = Dfa.build r in
+           Dfa.accepts d s = Dfa.accepts (Dfa.minimise d) s));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Kleene's theorem made executable: to_regex / complement / inter *)
+
+let kleene_tests =
+  [
+    tc "to_regex round-trips the language" (fun () ->
+        List.iter
+          (fun src ->
+            let r = parse_ok src in
+            let r' = Dfa.to_regex (Dfa.build r) in
+            match Lang.equiv_counterexample r r' with
+            | None -> ()
+            | Some w -> Alcotest.failf "%S: differs on %S" src w)
+          [ "a"; "ab|c"; "(ab)*"; "a+b?"; "[ab]*c"; "a|aa|aaa" ]);
+    tc "to_regex of the empty automaton is empty" (fun () ->
+        let d = Dfa.build Regex.(seq (chr 'a') empty) in
+        check Alcotest.bool "empty" true
+          (Lang.is_empty (Dfa.to_regex d)));
+    tc "complement flips membership" (fun () ->
+        let r = parse_ok "(ab)*" in
+        let c = Lang.complement r in
+        List.iter
+          (fun s ->
+            check Alcotest.bool s
+              (not (Regex.matches r s))
+              (Regex.matches c s))
+          [ ""; "ab"; "a"; "abab"; "ba"; "abc" ]);
+    tc "complement is an involution up to language equality" (fun () ->
+        let r = parse_ok "a[bc]*" in
+        check Alcotest.bool "equal" true
+          (Lang.equivalent r (Lang.complement (Lang.complement r))));
+    tc "inter agrees with the witness-based emptiness test" (fun () ->
+        let r1 = parse_ok "[ab]*a" and r2 = parse_ok "a[ab]*" in
+        let i = Lang.inter r1 r2 in
+        (* strings starting and ending with a *)
+        List.iter
+          (fun (s, expected) -> check Alcotest.bool s expected (Regex.matches i s))
+          [ ("a", true); ("aba", true); ("ab", false); ("ba", false) ]);
+    tc "inter with a disjoint language is empty" (fun () ->
+        let i = Lang.inter (parse_ok "a+") (parse_ok "b+") in
+        check Alcotest.bool "empty" true (Lang.is_empty i));
+  ]
+
+let kleene_prop_tests =
+  let pool = [ "a*b"; "(ab|c)*"; "a|ab"; "[ab]+"; "a?b?" ] in
+  let gen =
+    QCheck2.Gen.(
+      pair (oneofl pool)
+        (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (0 -- 7)))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300
+         ~name:"complement disagrees with the original everywhere" gen
+         (fun (src, s) ->
+           let r = parse_ok src in
+           Regex.matches (Lang.complement r) s = not (Regex.matches r s)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration *)
+
+let enumerate_tests =
+  [
+    tc "enumerates in shortlex order" (fun () ->
+        check Alcotest.(list string) "(a|b)* up to 2"
+          [ ""; "a"; "b"; "aa"; "ab"; "ba"; "bb" ]
+          (Lang.enumerate ~max_length:2 (parse_ok "[ab]*")));
+    tc "finite languages enumerate completely" (fun () ->
+        check Alcotest.(list string) "a|bc"
+          [ "a"; "bc" ]
+          (Lang.enumerate ~max_length:5 (parse_ok "a|bc")));
+    tc "empty language enumerates nothing" (fun () ->
+        check Alcotest.(list string) "empty" []
+          (Lang.enumerate ~max_length:3 Regex.empty));
+    tc "enumeration agrees with matching" (fun () ->
+        let r = parse_ok "(ab|c)*" in
+        List.iter
+          (fun s -> check Alcotest.bool s true (Regex.matches r s))
+          (Lang.enumerate ~max_length:4 r));
+  ]
+
+let () =
+  Alcotest.run "bx-regex"
+    [
+      ("cset", cset_tests);
+      ("regex", regex_tests);
+      ("regex-properties", regex_prop_tests);
+      ("dfa", dfa_tests);
+      ("lang", lang_tests);
+      ("ambig", ambig_tests);
+      ("ambig-properties", ambig_prop_tests);
+      ("parse", parse_tests);
+      ("minimise", minimise_tests);
+      ("minimise-properties", minimise_prop_tests);
+      ("kleene", kleene_tests);
+      ("kleene-properties", kleene_prop_tests);
+      ("enumerate", enumerate_tests);
+    ]

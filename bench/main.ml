@@ -10,12 +10,15 @@
    E4  the resourceful-vs-positional string lens ablation;
    E5  the wiki round-trip check;
 
-   and then measures the performance series P1-P4 with Bechamel:
+   and then measures the performance series with Bechamel:
 
    P1  Composers restoration cost vs model size;
    P2  string lens get/put throughput vs document size (dict vs positional);
    P3  static ambiguity checking / lens construction cost;
-   P4  registry search, citation and wiki render/parse cost vs store size. *)
+   P4  registry search, citation and wiki render/parse cost vs store size;
+   P5  (wall-clock, before the Bechamel table) server throughput — the
+       seed sequential accept loop vs the pooled Bx_server.Service —
+       and journal replay cost vs edit-log size. *)
 
 open Bechamel
 open Toolkit
@@ -387,6 +390,215 @@ let web_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* P5: the server series.  Wall-clock, socket-bound measurements — the
+   seed's sequential accept loop against the pooled Bx_server.Service
+   under 8 concurrent clients, then journal replay cost against the
+   edit-log size.  Reported directly rather than through Bechamel:
+   the interesting number is aggregate throughput, not per-call OLS. *)
+
+(* The archival manuscript (section 5.2) is by far the costliest render
+   in the system (~2 ms: every entry, full template, cross-references) —
+   exactly where the pooled service's generation-keyed response cache
+   pays off, since the page only changes when an edit is accepted. *)
+let bench_path = "/manuscript"
+
+(* Minimal HTTP client plumbing over in_channels. *)
+let drain_response ic =
+  let _status_line = input_line ic in
+  let content_length = ref 0 in
+  (try
+     let rec headers () =
+       let line = String.trim (input_line ic) in
+       if line <> "" then begin
+         (match String.index_opt line ':' with
+         | Some i
+           when String.lowercase_ascii (String.sub line 0 i)
+                = "content-length" ->
+             content_length :=
+               int_of_string
+                 (String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1)))
+         | _ -> ());
+         headers ()
+       end
+     in
+     headers ()
+   with End_of_file -> ());
+  ignore (really_input_string ic !content_length)
+
+let connect port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  sock
+
+(* A faithful replica of the seed bxwiki loop: one thread, one
+   connection per request, a fresh render every time, Connection:
+   close. *)
+let start_sequential_loop registry =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen sock 64;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        let continue = ref true in
+        while !continue do
+          match Unix.accept sock with
+          | exception Unix.Unix_error (_, _, _) -> continue := false
+          | client, _ ->
+              (try
+                 match
+                   Bx_server.Httpd.read_request
+                     (Bx_server.Httpd.reader_of_fd client)
+                 with
+                 | Ok req ->
+                     Bx_server.Httpd.write_response client ~keep_alive:false
+                       (Bx_repo.Webui.handle registry ~meth:req.Bx_server.Httpd.meth
+                          ~path:req.Bx_server.Httpd.path
+                          ~body:req.Bx_server.Httpd.body)
+                 | Error _ -> ()
+               with Unix.Unix_error (_, _, _) -> ());
+              (try Unix.close client with Unix.Unix_error (_, _, _) -> ())
+        done)
+      ()
+  in
+  (port, sock, thread)
+
+let run_clients n f =
+  let started = Unix.gettimeofday () in
+  let clients = List.init n (fun i -> Thread.create f i) in
+  List.iter Thread.join clients;
+  Unix.gettimeofday () -. started
+
+let p5_server_throughput () =
+  rule "P5: server throughput — seed sequential loop vs pooled service";
+  let clients = 8 and requests = 40 in
+  (* Baseline: the seed loop. *)
+  let seq_rate =
+    let registry = Bx_catalogue.Catalogue.seed () in
+    let port, sock, thread = start_sequential_loop registry in
+    let per_client _ =
+      for _ = 1 to requests do
+        let c = connect port in
+        let oc = Unix.out_channel_of_descr c in
+        Printf.fprintf oc "GET %s HTTP/1.1\r\nConnection: close\r\n\r\n"
+          bench_path;
+        flush oc;
+        drain_response (Unix.in_channel_of_descr c);
+        try Unix.close c with Unix.Unix_error (_, _, _) -> ()
+      done
+    in
+    let elapsed = run_clients clients per_client in
+    (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+    Thread.join thread;
+    float_of_int (clients * requests) /. elapsed
+  in
+  (* The pooled service: worker domains, keep-alive, response cache. *)
+  let pool_rate =
+    let service =
+      match
+        Bx_server.Service.create ~seed:Bx_catalogue.Catalogue.seed ()
+      with
+      | Ok t -> t
+      | Error e -> failwith e
+    in
+    let server =
+      Thread.create
+        (fun () ->
+          match
+            Bx_server.Service.serve service ~port:0 ~workers:4 ~quiet:true ()
+          with
+          | Ok () -> ()
+          | Error e -> Fmt.epr "pooled service: %s@." e)
+        ()
+    in
+    let rec wait_port n =
+      match Bx_server.Service.port service with
+      | Some p -> p
+      | None ->
+          if n > 500 then failwith "pooled service never bound"
+          else begin
+            Thread.delay 0.01;
+            wait_port (n + 1)
+          end
+    in
+    let port = wait_port 0 in
+    let per_client _ =
+      let c = connect port in
+      let oc = Unix.out_channel_of_descr c in
+      let ic = Unix.in_channel_of_descr c in
+      for _ = 1 to requests do
+        Printf.fprintf oc "GET %s HTTP/1.1\r\n\r\n" bench_path;
+        flush oc;
+        drain_response ic
+      done;
+      try Unix.close c with Unix.Unix_error (_, _, _) -> ()
+    in
+    let elapsed = run_clients clients per_client in
+    Bx_server.Service.shutdown service;
+    Thread.join server;
+    float_of_int (clients * requests) /. elapsed
+  in
+  Fmt.pr "sequential loop   %8.0f req/s  (%d clients x %d GET %s)@." seq_rate
+    clients requests bench_path;
+  Fmt.pr "pooled service    %8.0f req/s  (4 workers, keep-alive, cache)@."
+    pool_rate;
+  Fmt.pr "speedup           %8.1fx (acceptance target: >= 4x)%s@."
+    (pool_rate /. seq_rate)
+    (if pool_rate < 4.0 *. seq_rate then "  *** BELOW TARGET ***" else "")
+
+let p5_journal_replay () =
+  rule "P5: journal replay cost vs edit-log size";
+  List.iter
+    (fun edits ->
+      let dir = Filename.temp_file "bx-bench-journal" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      let config =
+        {
+          Bx_server.Service.default_config with
+          journal_dir = Some dir;
+          compact_every = 0;
+        }
+      in
+      let create () =
+        match
+          Bx_server.Service.create ~config ~seed:Bx_catalogue.Catalogue.seed ()
+        with
+        | Ok t -> t
+        | Error e -> failwith e
+      in
+      let t = create () in
+      let page =
+        (Bx_server.Service.handle t ~meth:"GET" ~path:"/examples:celsius.wiki"
+           ~body:"")
+          .Bx_repo.Webui.body
+      in
+      for _ = 1 to edits do
+        ignore
+          (Bx_server.Service.handle t ~meth:"POST" ~path:"/examples:celsius"
+             ~body:page)
+      done;
+      Bx_server.Service.close t;
+      let started = Unix.gettimeofday () in
+      let t' = create () in
+      let elapsed = Unix.gettimeofday () -. started in
+      let applied, failed = Bx_server.Service.replay_stats t' in
+      Bx_server.Service.close t';
+      Fmt.pr
+        "replay %4d edits  %7.1f ms  (%5.0f edits/s, %d applied, %d failed)@."
+        edits (elapsed *. 1000.)
+        (float_of_int applied /. elapsed)
+        applied failed)
+    [ 8; 64; 256 ]
+
+(* ------------------------------------------------------------------ *)
 (* Harness *)
 
 let benchmark tests =
@@ -443,6 +655,8 @@ let () =
   e4 ();
   e5 ();
   e6 ();
+  p5_server_throughput ();
+  p5_journal_replay ();
   rule "P1-P4: performance series (Bechamel, OLS estimate per run)";
   let tests =
     composers_tests @ strlens_tests @ regex_tests @ registry_tests

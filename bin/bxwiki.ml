@@ -1,67 +1,19 @@
 (* bxwiki — the repository served as an actual wiki.
 
-   A deliberately small HTTP/1.1 server over the pure request handler in
-   Bx_repo.Webui: GET renders entries through the Sync lens, POST runs
-   the section 5.4 bx on an edited page and records a new version.  State
-   lives in the process; export/import (bxrepo) is the durable form. *)
+   A thin CLI over Bx_server.Service: the service owns the sockets,
+   worker pool, journal, cache and metrics; this file parses flags,
+   mounts the /checks page, and wires SIGTERM to a graceful shutdown
+   (drain, snapshot, exit). *)
 
-let read_request in_channel =
-  (* Request line, headers (we only need Content-Length), then the body. *)
-  let request_line = input_line in_channel in
-  let meth, path =
-    match String.split_on_char ' ' (String.trim request_line) with
-    | m :: p :: _ -> (m, p)
-    | _ -> ("GET", "/")
-  in
-  let content_length = ref 0 in
-  (try
-     let rec headers () =
-       let line = String.trim (input_line in_channel) in
-       if line <> "" then begin
-         (match String.index_opt line ':' with
-         | Some i
-           when String.lowercase_ascii (String.sub line 0 i) = "content-length"
-           -> (
-             let v =
-               String.trim (String.sub line (i + 1) (String.length line - i - 1))
-             in
-             match int_of_string_opt v with
-             | Some n -> content_length := n
-             | None -> ())
-         | _ -> ());
-         headers ()
-       end
-     in
-     headers ()
-   with End_of_file -> ());
-  let body =
-    if !content_length > 0 then really_input_string in_channel !content_length
-    else ""
-  in
-  (meth, path, body)
-
-let status_text = function
-  | 200 -> "OK"
-  | 400 -> "Bad Request"
-  | 403 -> "Forbidden"
-  | 404 -> "Not Found"
-  | 405 -> "Method Not Allowed"
-  | _ -> "Internal Server Error"
-
-let write_response out_channel (r : Bx_repo.Webui.response) =
-  Printf.fprintf out_channel
-    "HTTP/1.1 %d %s\r\n\
-     Content-Type: %s\r\n\
-     Content-Length: %d\r\n\
-     Connection: close\r\n\
-     \r\n\
-     %s"
-    r.Bx_repo.Webui.status
-    (status_text r.Bx_repo.Webui.status)
-    r.Bx_repo.Webui.content_type
-    (String.length r.Bx_repo.Webui.body)
-    r.Bx_repo.Webui.body;
-  flush out_channel
+let usage () =
+  prerr_endline
+    "usage: bxwiki [PORT] [--port PORT] [--journal DIR] [--workers N]\n\
+    \              [--port-file FILE] [--quiet]\n\n\
+     --port 0 binds an ephemeral port (written to --port-file).\n\
+     With --journal DIR every accepted edit is fsync'd to DIR/journal.log\n\
+     before the response is sent, and restarts replay it on top of\n\
+     DIR/snapshot; without it, state is in-process only.";
+  exit 2
 
 (* The live claimed-vs-verified report, computed once on first request
    (it runs every entry's law checks, which takes a few seconds). *)
@@ -80,38 +32,54 @@ let checks_page =
      in
      ("Claimed vs verified", "<h1>Claimed vs verified</h1>" ^ fragment))
 
-let serve port =
-  let registry = Bx_catalogue.Catalogue.seed () in
-  let pages = [ ("/checks", fun () -> Lazy.force checks_page) ] in
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen sock 16;
-  Printf.printf "bxwiki: serving %d entries on http://127.0.0.1:%d/\n%!"
-    (Bx_repo.Registry.size registry)
-    port;
-  while true do
-    let client, _ = Unix.accept sock in
-    let in_channel = Unix.in_channel_of_descr client in
-    let out_channel = Unix.out_channel_of_descr client in
-    (try
-       let meth, path, body = read_request in_channel in
-       let response = Bx_repo.Webui.handle ~pages registry ~meth ~path ~body in
-       write_response out_channel response
-     with
-    | End_of_file -> ()
-    | Sys_error _ -> ());
-    (try Unix.close client with Unix.Unix_error (_, _, _) -> ())
-  done
-
 let () =
-  let port =
-    if Array.length Sys.argv > 1 then
-      match int_of_string_opt Sys.argv.(1) with
-      | Some p -> p
-      | None ->
-          prerr_endline "usage: bxwiki [PORT]";
-          exit 2
-    else 8008
+  let port = ref 8008 in
+  let workers = ref 4 in
+  let journal_dir = ref None in
+  let port_file = ref None in
+  let quiet = ref false in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> n
+    | _ ->
+        Printf.eprintf "bxwiki: %s wants a non-negative integer, got %s\n" name v;
+        exit 2
   in
-  serve port
+  let rec parse = function
+    | [] -> ()
+    | "--port" :: v :: rest -> port := int_arg "--port" v; parse rest
+    | "--workers" :: v :: rest ->
+        workers := max 1 (int_arg "--workers" v);
+        parse rest
+    | "--journal" :: v :: rest -> journal_dir := Some v; parse rest
+    | "--port-file" :: v :: rest -> port_file := Some v; parse rest
+    | "--quiet" :: rest -> quiet := true; parse rest
+    | [ v ] when int_of_string_opt v <> None -> port := int_arg "PORT" v
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let config =
+    { Bx_server.Service.default_config with journal_dir = !journal_dir }
+  in
+  let pages = [ ("/checks", fun () -> Lazy.force checks_page) ] in
+  match
+    Bx_server.Service.create ~config ~pages ~seed:Bx_catalogue.Catalogue.seed ()
+  with
+  | Error e ->
+      Printf.eprintf "bxwiki: %s\n" e;
+      exit 1
+  | Ok service -> (
+      (let applied, failed = Bx_server.Service.replay_stats service in
+       if (not !quiet) && applied + failed > 0 then
+         Printf.printf "bxwiki: replayed %d journaled edit(s)%s\n%!" applied
+           (if failed > 0 then Printf.sprintf " (%d failed)" failed else ""));
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ -> Bx_server.Service.shutdown service));
+      match
+        Bx_server.Service.serve service ~port:!port ~workers:!workers
+          ?port_file:!port_file ~quiet:!quiet ()
+      with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "bxwiki: %s\n" e;
+          exit 1)

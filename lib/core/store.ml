@@ -14,11 +14,24 @@ let version_of_filename name =
           let suffix = String.sub base (i + 1) (String.length base - i - 1) in
           Result.to_option (Version.of_string suffix))
 
+(* Durable and atomic: the contents go to a temp file, are flushed and
+   fsync'd, and only then renamed over the target — a crash mid-save
+   leaves the old file intact, never a truncated one.  Any failure names
+   the path it happened on. *)
 let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc contents;
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp path
+  with
+  | Sys_error e -> failwith (path ^ ": " ^ e)
+  | Unix.Unix_error (e, _, _) -> failwith (path ^ ": " ^ Unix.error_message e)
 
 let read_file path =
   let ic = open_in path in

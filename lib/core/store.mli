@@ -13,7 +13,10 @@
 val save : dir:string -> Registry.t -> (int, string) result
 (** Write the registry's pages under [dir] (created if missing, must be a
     directory otherwise).  Returns the number of files written.  Existing
-    files in [dir] are overwritten, never deleted. *)
+    files in [dir] are overwritten, never deleted.  Each file is written
+    atomically (temp file, fsync, rename), so a crash mid-save never
+    leaves a truncated page; on failure the error names the first path
+    that could not be written. *)
 
 val load : dir:string -> (Registry.t, string) result
 (** Rebuild a registry from a directory written by {!save}.  Only

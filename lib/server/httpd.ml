@@ -1,0 +1,194 @@
+type request = {
+  meth : string;
+  path : string;
+  body : string;
+  keep_alive : bool;
+}
+
+type error = { status : int; reason : string }
+
+(* Limits.  Header sizes follow common server defaults; the body cap is
+   generous for wiki pages while keeping a hostile client from making the
+   service buffer gigabytes. *)
+let max_line_bytes = 8192
+let max_header_count = 128
+let default_max_body = 1024 * 1024
+
+type reader = {
+  refill : bytes -> int -> int -> int;
+  buf : Bytes.t;
+  mutable pos : int;
+  mutable len : int;
+}
+
+let reader_of_fd fd =
+  { refill = Unix.read fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+let reader_of_string s =
+  let consumed = ref 0 in
+  let refill buf off want =
+    let n = min want (String.length s - !consumed) in
+    Bytes.blit_string s !consumed buf off n;
+    consumed := !consumed + n;
+    n
+  in
+  { refill; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+(* Returns false at end of stream. *)
+let ensure r =
+  if r.pos < r.len then true
+  else begin
+    r.pos <- 0;
+    r.len <- r.refill r.buf 0 (Bytes.length r.buf);
+    r.len > 0
+  end
+
+exception Line_too_long
+
+(* One CRLF- (or bare-LF-) terminated line, without the terminator.
+   None at end of stream. *)
+let read_line r =
+  let b = Buffer.create 128 in
+  let rec go () =
+    if not (ensure r) then if Buffer.length b = 0 then None else Some (Buffer.contents b)
+    else
+      let c = Bytes.get r.buf r.pos in
+      r.pos <- r.pos + 1;
+      if c = '\n' then Some (Buffer.contents b)
+      else begin
+        if c <> '\r' then Buffer.add_char b c;
+        if Buffer.length b > max_line_bytes then raise Line_too_long;
+        go ()
+      end
+  in
+  go ()
+
+let read_exact r n =
+  let out = Bytes.create n in
+  let rec go off =
+    if off = n then Some (Bytes.unsafe_to_string out)
+    else if not (ensure r) then None
+    else begin
+      let take = min (n - off) (r.len - r.pos) in
+      Bytes.blit r.buf r.pos out off take;
+      r.pos <- r.pos + take;
+      go (off + take)
+    end
+  in
+  go 0
+
+let bad status reason = Error (`Bad { status; reason })
+
+let parse_request_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ meth; target; version ]
+    when String.length version >= 7 && String.sub version 0 7 = "HTTP/1." ->
+      let path =
+        match String.index_opt target '?' with
+        | Some i -> String.sub target 0 i
+        | None -> target
+      in
+      Ok (meth, path, version)
+  | _ -> Error { status = 400; reason = "malformed_request_line" }
+
+let read_request ?(max_body = default_max_body) r =
+  match read_line r with
+  | None -> Error `Eof
+  | Some "" -> bad 400 "empty_request_line"
+  | Some line -> (
+      match parse_request_line line with
+      | Error e -> Error (`Bad e)
+      | Ok (meth, path, version) -> (
+          let content_length = ref None in
+          let connection = ref None in
+          let rec headers n =
+            if n > max_header_count then bad 431 "too_many_headers"
+            else
+              match read_line r with
+              | None -> bad 400 "eof_in_headers"
+              | Some "" -> Ok ()
+              | Some line -> (
+                  match String.index_opt line ':' with
+                  | None -> bad 400 "malformed_header"
+                  | Some i ->
+                      let name =
+                        String.lowercase_ascii (String.trim (String.sub line 0 i))
+                      in
+                      let value =
+                        String.trim
+                          (String.sub line (i + 1) (String.length line - i - 1))
+                      in
+                      if name = "content-length" then content_length := Some value
+                      else if name = "connection" then
+                        connection := Some (String.lowercase_ascii value);
+                      headers (n + 1))
+          in
+          match headers 0 with
+          | Error e -> Error e
+          | Ok () -> (
+              let keep_alive =
+                match (!connection, version) with
+                | Some "close", _ -> false
+                | Some v, _ when v = "keep-alive" -> true
+                | None, "HTTP/1.0" -> false
+                | _ -> true
+              in
+              let finish body = Ok { meth; path; body; keep_alive } in
+              match !content_length with
+              | None -> finish ""
+              | Some v -> (
+                  match int_of_string_opt v with
+                  | None -> bad 400 "unparseable_content_length"
+                  | Some n when n < 0 -> bad 400 "negative_content_length"
+                  | Some n when n > max_body -> bad 413 "body_too_large"
+                  | Some 0 -> finish ""
+                  | Some n -> (
+                      match read_exact r n with
+                      | None -> bad 400 "truncated_body"
+                      | Some body -> finish body)))))
+  | exception Line_too_long -> bad 431 "line_too_long"
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 403 -> "Forbidden"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 431 -> "Request Header Fields Too Large"
+  | 503 -> "Service Unavailable"
+  | _ -> "Internal Server Error"
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let write_response fd ~keep_alive (r : Bx_repo.Webui.response) =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: %s\r\n\
+       \r\n"
+      r.Bx_repo.Webui.status
+      (status_text r.Bx_repo.Webui.status)
+      r.Bx_repo.Webui.content_type
+      (String.length r.Bx_repo.Webui.body)
+      (if keep_alive then "keep-alive" else "close")
+  in
+  write_all fd (head ^ r.Bx_repo.Webui.body)
+
+let error_response { status; reason } =
+  {
+    Bx_repo.Webui.status;
+    content_type = "text/html; charset=utf-8";
+    body =
+      Bx_repo.Webui.html_page ~title:(status_text status)
+        (Printf.sprintf "<h1>%d %s</h1><p>%s</p>" status (status_text status)
+           reason);
+  }

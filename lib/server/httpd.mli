@@ -1,0 +1,57 @@
+(** The hardened HTTP/1.1 wire layer: request parsing and response
+    writing, kept free of routing (that is {!Service}) and of policy
+    about what a request means (that is {!Bx_repo.Webui}).
+
+    Hardening over the seed server's parser:
+    - the request line and each header line are length-capped;
+    - header count is capped;
+    - [Content-Length] must be a valid non-negative integer (a negative
+      or unparseable value is a 400, not an arbitrary
+      [really_input_string]) and is capped by [max_body] (413 beyond);
+    - persistent connections: HTTP/1.1 keep-alive by default,
+      [Connection: close] and HTTP/1.0 semantics honoured;
+    - reads run against a socket with a receive timeout ({!Service}
+      sets [SO_RCVTIMEO]); a timeout surfaces as
+      [Unix.EAGAIN]/[EWOULDBLOCK] from {!read_request}, which the
+      caller maps to 408.
+
+    The reader abstraction exists so the parser is testable from plain
+    strings — the Content-Length regression tests drive it without a
+    socket. *)
+
+type request = {
+  meth : string;
+  path : string;  (** query string stripped *)
+  body : string;
+  keep_alive : bool;
+}
+
+type error = {
+  status : int;  (** 400, 413 or 431 *)
+  reason : string;
+}
+
+type reader
+
+val reader_of_fd : Unix.file_descr -> reader
+val reader_of_string : string -> reader
+
+val default_max_body : int
+(** 1 MiB — generous for wiki pages. *)
+
+val read_request :
+  ?max_body:int -> reader -> (request, [ `Eof | `Bad of error ]) result
+(** Parse one request.  [`Eof] means the peer closed (or never wrote)
+    before a request line — the normal end of a keep-alive connection.
+    Propagates [Unix.Unix_error] from the underlying reads (timeouts,
+    resets); the caller owns the socket and the 408/close decision. *)
+
+val write_response :
+  Unix.file_descr -> keep_alive:bool -> Bx_repo.Webui.response -> unit
+(** Serialise with [Content-Length] and [Connection] headers.  Raises
+    [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone. *)
+
+val error_response : error -> Bx_repo.Webui.response
+(** A minimal HTML error body for a wire-level failure. *)
+
+val status_text : int -> string

@@ -1,0 +1,209 @@
+type t = {
+  dir : string;
+  mutable fd : Unix.file_descr;
+  mutable next_seq : int;
+  mutable records : int;
+}
+
+type record = { seq : int; path : string; body : string }
+
+type replayed = { entries : record list; valid_bytes : int; torn : bool }
+
+let log_file dir = Filename.concat dir "journal.log"
+let snapshot_dir dir = Filename.concat dir "snapshot"
+let manifest_file dir = Filename.concat (snapshot_dir dir) "MANIFEST"
+
+let digest path body = Digest.to_hex (Digest.string (path ^ "\x00" ^ body))
+
+let encode ~seq ~path ~body =
+  Printf.sprintf "bxj1 %d %d %d %s\n%s\n%s\n" seq (String.length path)
+    (String.length body) (digest path body) path body
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+let read_whole_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse one record starting at [off]; None on any malformation, which
+   by the append discipline can only be a torn tail. *)
+let parse_record data off =
+  let len = String.length data in
+  match String.index_from_opt data off '\n' with
+  | None -> None
+  | Some nl -> (
+      let header = String.sub data off (nl - off) in
+      match String.split_on_char ' ' header with
+      | [ "bxj1"; seq_s; plen_s; blen_s; md5 ] -> (
+          match
+            (int_of_string_opt seq_s, int_of_string_opt plen_s,
+             int_of_string_opt blen_s)
+          with
+          | Some seq, Some plen, Some blen
+            when seq >= 0 && plen >= 0 && blen >= 0 ->
+              let path_at = nl + 1 in
+              let body_at = path_at + plen + 1 in
+              let end_at = body_at + blen + 1 in
+              if
+                end_at <= len
+                && data.[path_at + plen] = '\n'
+                && data.[body_at + blen] = '\n'
+              then
+                let path = String.sub data path_at plen in
+                let body = String.sub data body_at blen in
+                if String.equal (digest path body) md5 then
+                  Some ({ seq; path; body }, end_at)
+                else None
+              else None
+          | _ -> None)
+      | _ -> None)
+
+let read ~dir =
+  let file = log_file dir in
+  if not (Sys.file_exists file) then
+    Ok { entries = []; valid_bytes = 0; torn = false }
+  else
+    try
+      let data = read_whole_file file in
+      let len = String.length data in
+      let rec go acc off =
+        if off >= len then { entries = List.rev acc; valid_bytes = off; torn = false }
+        else
+          match parse_record data off with
+          | Some (r, next) -> go (r :: acc) next
+          | None -> { entries = List.rev acc; valid_bytes = off; torn = true }
+      in
+      Ok (go [] 0)
+    with Sys_error e -> Error e
+
+let snapshot_seq ~dir =
+  let file = manifest_file dir in
+  if not (Sys.file_exists file) then 0
+  else
+    try
+      match String.split_on_char ' ' (String.trim (read_whole_file file)) with
+      | [ "seq"; n ] -> Option.value ~default:0 (int_of_string_opt n)
+      | _ -> 0
+    with Sys_error _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot directory management *)
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun name -> remove_tree (Filename.concat path name))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let recover_snapshot ~dir =
+  let snap = snapshot_dir dir in
+  let old_ = snap ^ ".old" in
+  let tmp = snap ^ ".tmp" in
+  (* A snapshot is usable only once its MANIFEST exists (written last),
+     so a crash mid-save leaves an unusable tmp we simply delete.  A
+     crash mid-swap may have demoted the good snapshot to .old. *)
+  if (not (Sys.file_exists (Filename.concat snap "MANIFEST")))
+     && Sys.file_exists (Filename.concat old_ "MANIFEST")
+  then begin
+    remove_tree snap;
+    Sys.rename old_ snap
+  end;
+  remove_tree tmp;
+  remove_tree old_
+
+(* ------------------------------------------------------------------ *)
+(* Appending *)
+
+let mkdir_if_missing dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    failwith (dir ^ " exists and is not a directory")
+
+let open_ ~dir ~next_seq =
+  try
+    mkdir_if_missing dir;
+    recover_snapshot ~dir;
+    match read ~dir with
+    | Error e -> Error e
+    | Ok { entries; valid_bytes; torn } ->
+        let fd =
+          Unix.openfile (log_file dir) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+        in
+        if torn then Unix.ftruncate fd valid_bytes;
+        ignore (Unix.lseek fd valid_bytes Unix.SEEK_SET);
+        Ok { dir; fd; next_seq; records = List.length entries }
+  with
+  | Sys_error e | Failure e -> Error e
+  | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let append t ~path ~body =
+  try
+    let seq = t.next_seq in
+    write_all t.fd (encode ~seq ~path ~body);
+    Unix.fsync t.fd;
+    t.next_seq <- seq + 1;
+    t.records <- t.records + 1;
+    Ok seq
+  with Unix.Unix_error (e, _, arg) ->
+    Error (Printf.sprintf "journal append: %s: %s" arg (Unix.error_message e))
+
+let record_count t = t.records
+
+(* ------------------------------------------------------------------ *)
+(* Compaction *)
+
+let write_manifest dir seq =
+  (* Same temp-and-rename discipline as Store.save: the manifest's
+     presence marks the snapshot complete. *)
+  let file = Filename.concat dir "MANIFEST" in
+  let tmp = file ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "seq %d\n" seq;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp file
+
+let checkpoint t ~save =
+  let snap = snapshot_dir t.dir in
+  let tmp = snap ^ ".tmp" in
+  let old_ = snap ^ ".old" in
+  try
+    remove_tree tmp;
+    match save ~dir:tmp with
+    | Error e -> Error e
+    | Ok files ->
+        write_manifest tmp (t.next_seq - 1);
+        remove_tree old_;
+        if Sys.file_exists snap then Sys.rename snap old_;
+        Sys.rename tmp snap;
+        remove_tree old_;
+        (* The snapshot now covers every journaled edit: empty the log.
+           A crash before the truncate is harmless — replay skips
+           records at or below the manifest's sequence number. *)
+        Unix.ftruncate t.fd 0;
+        ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+        Unix.fsync t.fd;
+        t.records <- 0;
+        Ok files
+  with
+  | Sys_error e | Failure e -> Error e
+  | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

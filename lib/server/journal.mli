@@ -1,0 +1,74 @@
+(** The write-ahead journal: the durability half of the service.
+
+    Layout under the journal directory [dir]:
+    - [dir/journal.log] — the append-only edit log.  One record per
+      accepted POST, written with a single [write] and [fsync]'d before
+      the HTTP response is sent;
+    - [dir/snapshot/] — a {!Bx_repo.Store} dump of the registry, plus a
+      [MANIFEST] recording the sequence number of the last edit the
+      snapshot includes;
+    - [dir/snapshot.tmp], [dir/snapshot.old] — transient directories
+      used to swap a new snapshot in atomically; leftovers from a crash
+      are cleaned up (or recovered from) at open.
+
+    Each record carries a monotonically increasing sequence number, so
+    replay after a crash applies exactly the records the snapshot does
+    not already contain — a crash {e between} writing a snapshot and
+    truncating the log cannot double-apply an edit.
+
+    Record format (all lengths in bytes, digest over path and body):
+    {v bxj1 <seq> <path-len> <body-len> <md5-hex>\n<path>\n<body>\n v}
+
+    A torn tail — the partial record a [kill -9] mid-append leaves
+    behind — fails the length or digest check; {!read} stops there and
+    {!open_} truncates the file back to the last intact record. *)
+
+type t
+
+type record = { seq : int; path : string; body : string }
+
+type replayed = {
+  entries : record list;  (** intact records, oldest first *)
+  valid_bytes : int;  (** file prefix the records occupy *)
+  torn : bool;  (** a corrupt/partial tail was skipped *)
+}
+
+val log_file : string -> string
+val snapshot_dir : string -> string
+
+val read : dir:string -> (replayed, string) result
+(** Parse the log, tolerating a torn tail.  A missing log file reads as
+    empty. *)
+
+val snapshot_seq : dir:string -> int
+(** The sequence number recorded in the snapshot's [MANIFEST]; 0 when
+    there is no snapshot (replay then starts from the beginning). *)
+
+val recover_snapshot : dir:string -> unit
+(** Repair the snapshot directories after a crash: promote a complete
+    [snapshot.old] when [snapshot] is missing, and delete transient
+    directories.  Called by {!open_}; exposed for tests. *)
+
+val open_ : dir:string -> next_seq:int -> (t, string) result
+(** Open (creating [dir] and the log as needed) for appending.  The torn
+    tail, if any, is truncated away.  [next_seq] is the sequence number
+    the next {!append} will use — the caller derives it from
+    {!snapshot_seq} and the replayed records. *)
+
+val append : t -> path:string -> body:string -> (int, string) result
+(** Append one record and [fsync]; returns the record's sequence
+    number.  On [Error] nothing may be assumed durable. *)
+
+val record_count : t -> int
+(** Records currently in the log file (replayed + appended since open). *)
+
+val checkpoint :
+  t -> save:(dir:string -> (int, string) result) -> (int, string) result
+(** Compaction: write a fresh snapshot and empty the log.  [save] dumps
+    the registry into the directory it is given (the caller holds
+    whatever lock makes that consistent); the manifest seals it with the
+    current sequence number, the directories are swapped, and the log is
+    truncated.  Returns the number of files the snapshot wrote.  A crash
+    at any point leaves a state {!open_} recovers from. *)
+
+val close : t -> unit

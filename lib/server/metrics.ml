@@ -1,0 +1,136 @@
+(* Fixed bucket upper bounds for the latency histogram, in seconds.  The
+   wiki's handlers run from microseconds (cache hit) to a few hundred
+   milliseconds (the /checks verification sweep), so the grid is
+   log-spaced across that range. *)
+let buckets =
+  [| 0.0001; 0.00025; 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05;
+     0.1; 0.25; 0.5; 1.0; 2.5 |]
+
+type histogram = {
+  counts : int array; (* one per bucket, cumulative on render only *)
+  mutable sum : float;
+  mutable total : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  requests : (string * string * int, int ref) Hashtbl.t;
+  errors : (string * string, int ref) Hashtbl.t; (* (route, reason) *)
+  latency : (string, histogram) Hashtbl.t; (* per route *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    requests = Hashtbl.create 16;
+    errors = Hashtbl.create 16;
+    latency = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let bump table key =
+  match Hashtbl.find_opt table key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace table key (ref 1)
+
+let observe_request t ~route ~meth ~status ~seconds =
+  locked t (fun () ->
+      bump t.requests (route, meth, status);
+      if status >= 400 then bump t.errors (route, "status_" ^ string_of_int status);
+      let h =
+        match Hashtbl.find_opt t.latency route with
+        | Some h -> h
+        | None ->
+            let h =
+              { counts = Array.make (Array.length buckets) 0; sum = 0.; total = 0 }
+            in
+            Hashtbl.replace t.latency route h;
+            h
+      in
+      (* Count into the first bucket whose bound admits the observation;
+         render accumulates, matching Prometheus's cumulative scheme. *)
+      let rec place i =
+        if i >= Array.length buckets then ()
+        else if seconds <= buckets.(i) then h.counts.(i) <- h.counts.(i) + 1
+        else place (i + 1)
+      in
+      place 0;
+      h.sum <- h.sum +. seconds;
+      h.total <- h.total + 1)
+
+let protocol_error t ~route ~reason =
+  locked t (fun () -> bump t.errors (route, reason))
+
+let cache_hit t = locked t (fun () -> t.hits <- t.hits + 1)
+let cache_miss t = locked t (fun () -> t.misses <- t.misses + 1)
+
+let requests_total t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ r acc -> acc + !r) t.requests 0)
+
+let errors_total t =
+  locked t (fun () -> Hashtbl.fold (fun _ r acc -> acc + !r) t.errors 0)
+
+let cache_counts t = locked t (fun () -> (t.hits, t.misses))
+
+(* Prometheus floats: "0.001" not "1e-03"; integral bounds without the
+   trailing dot. *)
+let float_label f =
+  if Float.is_integer f then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.5f" f in
+    (* trim trailing zeros *)
+    let n = ref (String.length s) in
+    while !n > 1 && s.[!n - 1] = '0' do decr n done;
+    String.sub s 0 !n
+
+let render t =
+  locked t (fun () ->
+      let b = Buffer.create 4096 in
+      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+      line "# HELP bxwiki_requests_total Requests handled, by route class, method and status.";
+      line "# TYPE bxwiki_requests_total counter";
+      Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.requests []
+      |> List.sort compare
+      |> List.iter (fun ((route, meth, status), n) ->
+             line "bxwiki_requests_total{route=%S,method=%S,status=\"%d\"} %d"
+               route meth status n);
+      line "# HELP bxwiki_http_errors_total Error responses and protocol failures.";
+      line "# TYPE bxwiki_http_errors_total counter";
+      Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.errors []
+      |> List.sort compare
+      |> List.iter (fun ((route, reason), n) ->
+             line "bxwiki_http_errors_total{route=%S,reason=%S} %d" route reason n);
+      line "# HELP bxwiki_request_duration_seconds Request handling time.";
+      line "# TYPE bxwiki_request_duration_seconds histogram";
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.latency []
+      |> List.sort compare
+      |> List.iter (fun (route, h) ->
+             let acc = ref 0 in
+             Array.iteri
+               (fun i bound ->
+                 acc := !acc + h.counts.(i);
+                 line
+                   "bxwiki_request_duration_seconds_bucket{route=%S,le=\"%s\"} %d"
+                   route (float_label bound) !acc)
+               buckets;
+             line
+               "bxwiki_request_duration_seconds_bucket{route=%S,le=\"+Inf\"} %d"
+               route h.total;
+             line "bxwiki_request_duration_seconds_sum{route=%S} %g" route h.sum;
+             line "bxwiki_request_duration_seconds_count{route=%S} %d" route
+               h.total);
+      line "# HELP bxwiki_cache_hits_total Rendered-page cache hits.";
+      line "# TYPE bxwiki_cache_hits_total counter";
+      line "bxwiki_cache_hits_total %d" t.hits;
+      line "# HELP bxwiki_cache_misses_total Rendered-page cache misses.";
+      line "# TYPE bxwiki_cache_misses_total counter";
+      line "bxwiki_cache_misses_total %d" t.misses;
+      Buffer.contents b)

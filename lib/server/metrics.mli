@@ -1,0 +1,47 @@
+(** Operational metrics for the repository service, exposed in the
+    Prometheus text format at [GET /metrics].
+
+    Three families, all thread-safe behind one mutex:
+    - [bxwiki_requests_total{route,method,status}] — a counter per
+      (route class, method, status) triple;
+    - [bxwiki_http_errors_total{route,reason}] — responses with status
+      >= 400 plus protocol-level failures (bad request line, body cap,
+      read timeout) that never reach the handler;
+    - [bxwiki_request_duration_seconds{route}] — a cumulative histogram
+      of wall-clock handling time per route class;
+    - [bxwiki_cache_hits_total] / [bxwiki_cache_misses_total] — the
+      rendered-page cache ({!Respcache}) counters.
+
+    Routes are {e classes}, not raw paths ([entry], [entry.wiki],
+    [entry.json], [index], [glossary], ...), so label cardinality stays
+    bounded no matter what clients request. *)
+
+type t
+
+val create : unit -> t
+
+val observe_request :
+  t -> route:string -> meth:string -> status:int -> seconds:float -> unit
+(** Record one completed request: bumps the request counter, the error
+    counter when [status >= 400], and the route's latency histogram. *)
+
+val protocol_error : t -> route:string -> reason:string -> unit
+(** Record a request that failed before reaching the handler (malformed
+    request line, oversized body, socket timeout...). *)
+
+val cache_hit : t -> unit
+val cache_miss : t -> unit
+
+val render : t -> string
+(** The Prometheus text exposition (version 0.0.4): [# HELP]/[# TYPE]
+    preambles, then one line per labelled series, sorted so output is
+    deterministic. *)
+
+(** {1 Introspection} (for tests and invariant checks) *)
+
+val requests_total : t -> int
+(** Sum over all (route, method, status) series. *)
+
+val errors_total : t -> int
+val cache_counts : t -> int * int
+(** (hits, misses). *)

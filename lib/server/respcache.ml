@@ -1,0 +1,45 @@
+type entry = { generation : int; response : Bx_repo.Webui.response }
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  capacity : int;
+  metrics : Metrics.t;
+}
+
+let create ?(capacity = 256) metrics =
+  { mutex = Mutex.create (); table = Hashtbl.create 64; capacity; metrics }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t ~path ~generation =
+  let found =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table path with
+        | Some e when e.generation = generation -> Some e.response
+        | _ -> None)
+  in
+  (match found with
+  | Some _ -> Metrics.cache_hit t.metrics
+  | None -> Metrics.cache_miss t.metrics);
+  found
+
+let store t ~path ~generation response =
+  locked t (fun () ->
+      if
+        Hashtbl.length t.table >= t.capacity
+        && not (Hashtbl.mem t.table path)
+      then begin
+        let stale =
+          Hashtbl.fold
+            (fun p e acc -> if e.generation <> generation then p :: acc else acc)
+            t.table []
+        in
+        if stale = [] then Hashtbl.reset t.table
+        else List.iter (Hashtbl.remove t.table) stale
+      end;
+      Hashtbl.replace t.table path { generation; response })
+
+let size t = locked t (fun () -> Hashtbl.length t.table)

@@ -1,0 +1,25 @@
+(** A cache of rendered GET responses, keyed on (path, registry
+    generation).
+
+    The {!Service} bumps its generation counter on every successful
+    write, so a cached page is valid exactly while its generation
+    matches — there is no invalidation traffic, stale entries simply
+    stop being found and are swept on the next insertion past capacity.
+    Hits and misses are counted in the service's {!Metrics}. *)
+
+type t
+
+val create : ?capacity:int -> Metrics.t -> t
+(** [capacity] bounds the number of cached responses (default 256). *)
+
+val find : t -> path:string -> generation:int -> Bx_repo.Webui.response option
+(** A hit requires both the path and the generation to match. *)
+
+val store :
+  t -> path:string -> generation:int -> Bx_repo.Webui.response -> unit
+(** Insert (or refresh) the rendering of [path] at [generation].  When
+    the cache is full, entries from older generations are evicted first;
+    if every entry is current, the whole table is dropped (rare: it
+    means [capacity] distinct pages were rendered without a write). *)
+
+val size : t -> int

@@ -1,0 +1,438 @@
+type config = {
+  journal_dir : string option;
+  cache_capacity : int;
+  compact_every : int;
+  max_body : int;
+  read_timeout : float;
+}
+
+let default_config =
+  {
+    journal_dir = None;
+    cache_capacity = 256;
+    compact_every = 64;
+    max_body = Httpd.default_max_body;
+    read_timeout = 10.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* A writer-preferring reader/writer lock.  Writers are rare (edits) and
+   must not starve behind a stream of page views. *)
+
+module Rwlock = struct
+  type t = {
+    m : Mutex.t;
+    ok_read : Condition.t;
+    ok_write : Condition.t;
+    mutable readers : int;
+    mutable writing : bool;
+    mutable waiting_writers : int;
+  }
+
+  let create () =
+    {
+      m = Mutex.create ();
+      ok_read = Condition.create ();
+      ok_write = Condition.create ();
+      readers = 0;
+      writing = false;
+      waiting_writers = 0;
+    }
+
+  let read t f =
+    Mutex.lock t.m;
+    while t.writing || t.waiting_writers > 0 do
+      Condition.wait t.ok_read t.m
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.m;
+    Fun.protect f ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.readers <- t.readers - 1;
+        if t.readers = 0 then Condition.signal t.ok_write;
+        Mutex.unlock t.m)
+
+  let write t f =
+    Mutex.lock t.m;
+    t.waiting_writers <- t.waiting_writers + 1;
+    while t.writing || t.readers > 0 do
+      Condition.wait t.ok_write t.m
+    done;
+    t.waiting_writers <- t.waiting_writers - 1;
+    t.writing <- true;
+    Mutex.unlock t.m;
+    Fun.protect f ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.writing <- false;
+        Condition.broadcast t.ok_read;
+        Condition.signal t.ok_write;
+        Mutex.unlock t.m)
+end
+
+type t = {
+  config : config;
+  registry : Bx_repo.Registry.t;
+  lock : Rwlock.t;
+  pages : (string * (unit -> string * string)) list;
+  pages_mutex : Mutex.t;
+      (* extra-page thunks may force lazies; serialise them so worker
+         domains cannot race inside [Lazy.force] *)
+  journal : Journal.t option;
+  metrics : Metrics.t;
+  cache : Respcache.t;
+  mutable gen : int; (* guarded by [lock]'s write side *)
+  replay_applied : int;
+  replay_failed : int;
+  stop : bool Atomic.t;
+  mutable bound_port : int option;
+  (* connection queue between the accept loop and the workers *)
+  qm : Mutex.t;
+  qc : Condition.t;
+  queue : Unix.file_descr Queue.t;
+  mutable accepting : bool;
+}
+
+let metrics t = t.metrics
+let generation t = t.gen
+let replay_stats t = (t.replay_applied, t.replay_failed)
+let port t = t.bound_port
+let with_registry t f = Rwlock.read t.lock (fun () -> f t.registry)
+let metrics_text t = Metrics.render t.metrics
+
+(* ------------------------------------------------------------------ *)
+(* Boot: snapshot, then log replay *)
+
+let replay_edits registry records =
+  List.fold_left
+    (fun (ok, failed) (r : Journal.record) ->
+      let response =
+        Bx_repo.Webui.handle registry ~meth:"POST" ~path:r.path ~body:r.body
+      in
+      if response.Bx_repo.Webui.status = 200 then (ok + 1, failed)
+      else begin
+        Printf.eprintf
+          "bxwiki: journal record %d (%s) no longer applies (status %d)\n%!"
+          r.seq r.path response.Bx_repo.Webui.status;
+        (ok, failed + 1)
+      end)
+    (0, 0) records
+
+let create ?(config = default_config) ?(pages = []) ~seed () =
+  let metrics = Metrics.create () in
+  let fresh ~registry ~journal ~applied ~failed =
+    {
+      config;
+      registry;
+      lock = Rwlock.create ();
+      pages;
+      pages_mutex = Mutex.create ();
+      journal;
+      metrics;
+      cache = Respcache.create ~capacity:config.cache_capacity metrics;
+      gen = 0;
+      replay_applied = applied;
+      replay_failed = failed;
+      stop = Atomic.make false;
+      bound_port = None;
+      qm = Mutex.create ();
+      qc = Condition.create ();
+      queue = Queue.create ();
+      accepting = false;
+    }
+  in
+  match config.journal_dir with
+  | None ->
+      Ok (fresh ~registry:(seed ()) ~journal:None ~applied:0 ~failed:0)
+  | Some dir -> (
+      Journal.recover_snapshot ~dir;
+      let snap = Journal.snapshot_dir dir in
+      let loaded =
+        if Sys.file_exists (Filename.concat snap "MANIFEST") then
+          Bx_repo.Store.load ~dir:snap
+        else Ok (seed ())
+      in
+      match loaded with
+      | Error e -> Error ("snapshot load: " ^ e)
+      | Ok registry -> (
+          let snap_seq = Journal.snapshot_seq ~dir in
+          match Journal.read ~dir with
+          | Error e -> Error ("journal read: " ^ e)
+          | Ok { entries; _ } ->
+              let to_apply =
+                List.filter (fun (r : Journal.record) -> r.seq > snap_seq) entries
+              in
+              let applied, failed = replay_edits registry to_apply in
+              let max_seq =
+                List.fold_left
+                  (fun acc (r : Journal.record) -> max acc r.seq)
+                  snap_seq entries
+              in
+              (match Journal.open_ ~dir ~next_seq:(max_seq + 1) with
+              | Error e -> Error ("journal open: " ^ e)
+              | Ok j ->
+                  Ok (fresh ~registry ~journal:(Some j) ~applied ~failed))))
+
+(* ------------------------------------------------------------------ *)
+(* Request handling *)
+
+let route_of t path =
+  let ends_with suffix = Filename.check_suffix path suffix in
+  if path = "/" || path = "" then "index"
+  else if path = "/metrics" then "metrics"
+  else if path = "/glossary" then "glossary"
+  else if path = "/manuscript" then "manuscript"
+  else if List.mem_assoc path t.pages then path
+  else if ends_with ".wiki" then "entry.wiki"
+  else if ends_with ".json" then "entry.json"
+  else "entry"
+
+let respond_html status title body =
+  {
+    Bx_repo.Webui.status;
+    content_type = "text/html; charset=utf-8";
+    body = Bx_repo.Webui.html_page ~title body;
+  }
+
+let handle_get t path =
+  let render () =
+    if List.mem_assoc path t.pages then begin
+      (* Serialise extra-page thunks (they may force lazies, which is
+         not safe to race from parallel domains); the result is cached,
+         so this mutex is cold after the first render. *)
+      Mutex.lock t.pages_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.pages_mutex)
+        (fun () ->
+          Rwlock.read t.lock (fun () ->
+              ( t.gen,
+                Bx_repo.Webui.handle ~pages:t.pages t.registry ~meth:"GET" ~path
+                  ~body:"" )))
+    end
+    else
+      Rwlock.read t.lock (fun () ->
+          ( t.gen,
+            Bx_repo.Webui.handle t.registry ~meth:"GET" ~path ~body:"" ))
+  in
+  (* The generation is sampled under the same read lock that renders, so
+     a cached page can never be older than the generation it is filed
+     under. *)
+  match Respcache.find t.cache ~path ~generation:t.gen with
+  | Some response -> response
+  | None ->
+      let generation, response = render () in
+      if response.Bx_repo.Webui.status = 200 then
+        Respcache.store t.cache ~path ~generation response;
+      response
+
+let checkpoint_locked t =
+  (* Caller holds the write lock (or is single-threaded at shutdown). *)
+  match t.journal with
+  | None -> Ok 0
+  | Some j ->
+      Journal.checkpoint j ~save:(fun ~dir ->
+          Bx_repo.Store.save ~dir t.registry)
+
+let handle_post t path body =
+  Rwlock.write t.lock (fun () ->
+      let response =
+        Bx_repo.Webui.handle t.registry ~meth:"POST" ~path ~body
+      in
+      if response.Bx_repo.Webui.status <> 200 then response
+      else begin
+        t.gen <- t.gen + 1;
+        match t.journal with
+        | None -> response
+        | Some j -> (
+            match Journal.append j ~path ~body with
+            | Error e ->
+                (* The in-memory edit stands, but durability was
+                   promised and could not be delivered: tell the client
+                   the truth and let the operator look at the disk. *)
+                Metrics.protocol_error t.metrics ~route:"journal"
+                  ~reason:"append_failed";
+                respond_html 500 "Journal write failed"
+                  ("<p>Edit applied in memory but not journaled: "
+                  ^ Bx_repo.Markup.html_escape e ^ "</p>")
+            | Ok _ ->
+                if
+                  t.config.compact_every > 0
+                  && Journal.record_count j >= t.config.compact_every
+                then begin
+                  match checkpoint_locked t with
+                  | Ok _ -> ()
+                  | Error e ->
+                      Printf.eprintf "bxwiki: compaction failed: %s\n%!" e
+                end;
+                response)
+      end)
+
+let handle t ~meth ~path ~body =
+  let started = Unix.gettimeofday () in
+  let meth = String.uppercase_ascii meth in
+  let response =
+    match meth with
+    | "GET" when path = "/metrics" ->
+        {
+          Bx_repo.Webui.status = 200;
+          content_type = "text/plain; version=0.0.4; charset=utf-8";
+          body = Metrics.render t.metrics;
+        }
+    | "GET" -> handle_get t path
+    | "POST" -> handle_post t path body
+    | _ ->
+        respond_html 405 "Method not allowed" "<p>Use GET or POST.</p>"
+  in
+  Metrics.observe_request t.metrics ~route:(route_of t path) ~meth
+    ~status:response.Bx_repo.Webui.status
+    ~seconds:(Unix.gettimeofday () -. started);
+  response
+
+let checkpoint t = Rwlock.write t.lock (fun () -> checkpoint_locked t)
+
+let close t = Option.iter Journal.close t.journal
+
+(* ------------------------------------------------------------------ *)
+(* The socket server: accept loop + worker pool *)
+
+let shutdown t =
+  Atomic.set t.stop true;
+  (* Wake idle workers so they can notice. *)
+  Mutex.lock t.qm;
+  Condition.broadcast t.qc;
+  Mutex.unlock t.qm
+
+let enqueue t fd =
+  Mutex.lock t.qm;
+  Queue.push fd t.queue;
+  Condition.signal t.qc;
+  Mutex.unlock t.qm
+
+(* None once the accept loop has stopped and the queue is drained. *)
+let dequeue t =
+  Mutex.lock t.qm;
+  let rec wait () =
+    match Queue.take_opt t.queue with
+    | Some fd -> Some fd
+    | None ->
+        if not t.accepting then None
+        else begin
+          Condition.wait t.qc t.qm;
+          wait ()
+        end
+  in
+  let r = wait () in
+  Mutex.unlock t.qm;
+  r
+
+let handle_connection t fd =
+  let reader = Httpd.reader_of_fd fd in
+  let bad route reason status =
+    Metrics.protocol_error t.metrics ~route ~reason;
+    try Httpd.write_response fd ~keep_alive:false (Httpd.error_response status)
+    with Unix.Unix_error _ -> ()
+  in
+  let rec loop () =
+    match Httpd.read_request ~max_body:t.config.max_body reader with
+    | Error `Eof -> ()
+    | Error (`Bad e) -> bad "wire" e.Httpd.reason e
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        bad "wire" "read_timeout" { Httpd.status = 408; reason = "read timeout" }
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | Ok req -> (
+        let response = handle t ~meth:req.meth ~path:req.path ~body:req.body in
+        (* Drop keep-alive while draining so shutdown terminates. *)
+        let keep_alive = req.keep_alive && not (Atomic.get t.stop) in
+        match Httpd.write_response fd ~keep_alive response with
+        | () -> if keep_alive then loop ()
+        | exception Unix.Unix_error (_, _, _) -> ())
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+let worker_loop t =
+  let rec go () =
+    match dequeue t with
+    | None -> ()
+    | Some fd ->
+        (try handle_connection t fd
+         with exn ->
+           (* A worker must survive anything one connection throws. *)
+           Metrics.protocol_error t.metrics ~route:"wire" ~reason:"worker_exn";
+           Printf.eprintf "bxwiki: worker: %s\n%!" (Printexc.to_string exn);
+           (try Unix.close fd with Unix.Unix_error (_, _, _) -> ()));
+        go ()
+  in
+  go ()
+
+let write_port_file file port =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Printf.fprintf oc "%d\n" port)
+
+let serve t ?(port = 8008) ?(workers = 4) ?port_file ?(quiet = false) () =
+  try
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen sock 128;
+    let bound =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    t.bound_port <- Some bound;
+    Option.iter (fun f -> write_port_file f bound) port_file;
+    if not quiet then
+      Printf.printf
+        "bxwiki: serving %d entries on http://127.0.0.1:%d/ (%d workers%s)\n%!"
+        (with_registry t Bx_repo.Registry.size)
+        bound workers
+        (match t.config.journal_dir with
+        | Some dir -> ", journal " ^ dir
+        | None -> ", no journal");
+    t.accepting <- true;
+    let pool = List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t)) in
+    let rec accept_loop () =
+      if Atomic.get t.stop then ()
+      else
+        match Unix.select [ sock ] [] [] 0.2 with
+        | [], _, _ -> accept_loop ()
+        | _ -> (
+            match Unix.accept sock with
+            | client, _ ->
+                Unix.setsockopt_float client Unix.SO_RCVTIMEO
+                  t.config.read_timeout;
+                enqueue t client;
+                accept_loop ()
+            | exception
+                Unix.Unix_error
+                  ( (Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                    | Unix.ECONNABORTED),
+                    _,
+                    _ ) ->
+                accept_loop ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    in
+    accept_loop ();
+    (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+    (* Drain: no more connections will arrive; workers finish the queue
+       and their in-flight requests, then exit. *)
+    Mutex.lock t.qm;
+    t.accepting <- false;
+    Condition.broadcast t.qc;
+    Mutex.unlock t.qm;
+    List.iter Domain.join pool;
+    t.bound_port <- None;
+    let result =
+      match checkpoint t with
+      | Ok _ -> Ok ()
+      | Error e -> Error ("final snapshot: " ^ e)
+    in
+    close t;
+    if not quiet then
+      Printf.printf "bxwiki: drained, snapshot written, bye\n%!";
+    result
+  with Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))

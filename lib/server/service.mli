@@ -1,0 +1,100 @@
+(** The repository as a service: {!Bx_repo.Registry} behind a
+    reader/writer lock, handled by a pool of worker domains, made
+    durable by the {!Journal} and observable through {!Metrics}.
+
+    The seed [bxwiki] was a sequential connection-per-request loop with
+    in-process-only state; this module supplies what the paper's
+    section 5 "living repository" needs from its infrastructure:
+
+    - {b Concurrency}: an accept loop feeds a queue drained by worker
+      domains; GETs run under a shared read lock (and mostly out of the
+      {!Respcache}), POSTs serialise under the write lock.  One slow
+      client no longer stalls every other.
+    - {b Durability}: with a journal directory configured, every
+      accepted edit is fsync'd to the {!Journal} before the 200 is
+      sent; startup replays the log on top of the last snapshot, and
+      the log is compacted into a fresh snapshot every
+      [compact_every] edits.  [kill -9] loses nothing acknowledged.
+    - {b Hardened HTTP}: {!Httpd} parsing limits, per-socket read
+      timeouts, keep-alive, and graceful shutdown — {!shutdown} (wired
+      to SIGTERM by [bin/bxwiki]) stops the accept loop, drains
+      in-flight work, writes a final snapshot and returns.
+    - {b Observability}: [GET /metrics] serves the {!Metrics} in
+      Prometheus text format. *)
+
+type config = {
+  journal_dir : string option;
+      (** durable state lives here; [None] = in-memory only (the seed
+          behaviour) *)
+  cache_capacity : int;  (** rendered-page cache entries *)
+  compact_every : int;
+      (** snapshot + truncate once the log holds this many edits;
+          [0] disables automatic compaction *)
+  max_body : int;  (** request body cap in bytes *)
+  read_timeout : float;  (** per-socket receive timeout, seconds *)
+}
+
+val default_config : config
+(** No journal, 256 cached pages, compact every 64 edits, 1 MiB bodies,
+    10 s read timeout. *)
+
+type t
+
+val create :
+  ?config:config
+  -> ?pages:(string * (unit -> string * string)) list
+  -> seed:(unit -> Bx_repo.Registry.t)
+  -> unit
+  -> (t, string) result
+(** [seed] produces the registry used when there is no snapshot to load
+    (first boot, or no journal configured).  [pages] adds extra GET
+    routes exactly as in {!Bx_repo.Webui.handle}.  With a journal
+    directory the snapshot is loaded (or [seed] run), the log replayed,
+    and the log opened for appending. *)
+
+val handle :
+  t -> meth:string -> path:string -> body:string -> Bx_repo.Webui.response
+(** One request through locks, cache, journal and metrics — the
+    transport-free core, used by every worker and directly by tests and
+    benchmarks.  [GET /metrics] is answered here. *)
+
+val serve :
+  t
+  -> ?port:int
+  -> ?workers:int
+  -> ?port_file:string
+  -> ?quiet:bool
+  -> unit
+  -> (unit, string) result
+(** Bind the loopback interface ([port] 0 picks an ephemeral port,
+    written to [port_file] when given), spawn [workers] domains, and
+    block until {!shutdown}.  On the way out: drain, final
+    {!checkpoint}, close the journal. *)
+
+val shutdown : t -> unit
+(** Ask a running {!serve} to stop; safe from a signal handler or
+    another thread.  Idempotent. *)
+
+val checkpoint : t -> (int, string) result
+(** Write a snapshot now and truncate the journal (no-op count 0 when
+    no journal is configured).  Takes the write lock. *)
+
+val close : t -> unit
+(** Release the journal file descriptor without checkpointing — for
+    tests that want the next {!create} to exercise log replay. *)
+
+(** {1 Introspection} *)
+
+val metrics : t -> Metrics.t
+val metrics_text : t -> string
+val generation : t -> int
+(** Bumped on every accepted write; the {!Respcache} key. *)
+
+val replay_stats : t -> int * int
+(** (records applied, records that failed to apply) during {!create}. *)
+
+val port : t -> int option
+(** The bound port while {!serve} runs. *)
+
+val with_registry : t -> (Bx_repo.Registry.t -> 'a) -> 'a
+(** Run [f] under the read lock — for invariant checks in tests. *)

@@ -149,3 +149,64 @@ The BENCHMARK entry's scenarios stay consistent throughout:
     families=4 persons=16 restorations=5 consistent-throughout=true
   backward-churn(4)            delete and re-add persons, restoring families each time
     families=1 persons=4 restorations=9 consistent-throughout=true
+
+
+
+
+The wiki as a durable service (bx_server): start on an ephemeral port
+with a journal, browse, edit.
+
+  $ bxwiki --port 0 --port-file port --journal jdir --quiet 2> server.err &
+  $ BXPID=$!
+  $ for i in $(seq 1 150); do [ -s port ] && break; sleep 0.1; done
+  $ PORT=$(cat port)
+
+  $ curl -sf "http://127.0.0.1:$PORT/examples:celsius.wiki" -o page.wiki
+  $ head -1 page.wiki
+  + CELSIUS
+
+  $ sed 's/temperature/TEMPERATURE/' page.wiki > edited.wiki
+  $ curl -sf -X POST --data-binary @edited.wiki \
+  >   "http://127.0.0.1:$PORT/examples:celsius" | grep -o 'Saved as version 0.2'
+  Saved as version 0.2
+
+The edit was journaled (fsync'd before the 200), and the service is
+observable at /metrics:
+
+  $ curl -sf "http://127.0.0.1:$PORT/metrics" > metrics.txt
+  $ grep -c 'bxwiki_requests_total{route="entry",method="POST",status="200"} 1' metrics.txt
+  1
+  $ grep -c 'bxwiki_request_duration_seconds_bucket{route="entry.wiki",le="+Inf"} 1' metrics.txt
+  1
+
+kill -9 the server mid-session: the journal replays the edit on restart,
+so nothing acknowledged is lost.
+
+  $ kill -9 $BXPID 2> /dev/null
+  $ wait $BXPID 2> /dev/null || true
+  $ test -s jdir/journal.log && echo journal-has-records
+  journal-has-records
+
+  $ bxwiki --port 0 --port-file port2 --journal jdir > boot.log 2> server2.err &
+  $ BXPID=$!
+  $ for i in $(seq 1 150); do [ -s port2 ] && break; sleep 0.1; done
+  $ PORT2=$(cat port2)
+  $ grep -c 'replayed 1 journaled edit' boot.log
+  1
+  $ curl -sf "http://127.0.0.1:$PORT2/examples:celsius.wiki" > revived.wiki
+  $ grep -q TEMPERATURE revived.wiki && echo edit-survived
+  edit-survived
+  $ sed -n '5p' revived.wiki
+  0.2
+
+Graceful shutdown on SIGTERM drains, writes a snapshot, and truncates
+the journal:
+
+  $ kill -TERM $BXPID
+  $ wait $BXPID
+  $ tail -1 boot.log
+  bxwiki: drained, snapshot written, bye
+  $ test -f jdir/snapshot/MANIFEST && echo snapshot-sealed
+  snapshot-sealed
+  $ wc -c < jdir/journal.log | tr -d ' '
+  0

@@ -14,6 +14,12 @@ val lens : Bx_strlens.Slens.t
     [(name, dddd-dddd, nationality\n)*]; view type: [(name, nationality\n)*]
     where names and nationalities are words over [A-Za-z ?]. *)
 
+val build_lens : unit -> Bx_strlens.Slens.t
+(** Construct {!lens} from scratch, rerunning every static check
+    (ambiguity analyses, splitter compilation).  Used by the tests to
+    assert that the {!Bx_regex.Dfa.compile} cache makes reconstruction
+    free of DFA builds, and by the benchmarks to time construction. *)
+
 val diff_lens : Bx_strlens.Slens.t
 (** The same lens with LCS (diff) chunk alignment — the third point of
     the alignment-strategy ablation. *)

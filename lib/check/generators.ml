@@ -191,6 +191,43 @@ let composers_view =
       String.concat "" lines)
     Gen.(list_size (0 -- 5) (pair (oneofl names) (oneofl nationalities)))
 
+(* --- Random regexes -------------------------------------------------- *)
+
+let regex_alphabet = [ 'a'; 'b'; 'c' ]
+
+let regex =
+  let open Gen in
+  let open Bx_regex in
+  let leaf =
+    oneof
+      [
+        map Regex.chr (oneofl regex_alphabet);
+        map Regex.str (oneofl [ "ab"; "ba"; "c"; "abc" ]);
+        return Regex.epsilon;
+        map
+          (fun (a, b) -> Regex.cset (Cset.range (min a b) (max a b)))
+          (pair (oneofl regex_alphabet) (oneofl regex_alphabet));
+      ]
+  in
+  let rec build n =
+    if n <= 0 then leaf
+    else
+      let sub = build (n - 1) in
+      frequency
+        [
+          (2, leaf);
+          (3, map2 Regex.seq sub sub);
+          (3, map2 Regex.alt sub sub);
+          (1, map Regex.star sub);
+          (1, map Regex.opt sub);
+          (1, map Regex.plus sub);
+        ]
+  in
+  build 4
+
+let regex_input =
+  Gen.(string_size ~gen:(oneofl regex_alphabet) (0 -- 12))
+
 (* --- Combinators ---------------------------------------------------- *)
 
 let consistent_pair bx gm gn =

@@ -34,6 +34,14 @@ val composers_view : string Gen.t
 (** Well-typed views of the COMPOSERS-BOOMERANG string lens, with
     pairwise-distinct lines (the dictionary lens's documented domain). *)
 
+val regex : Bx_regex.Regex.t QCheck2.Gen.t
+(** Random structurally diverse regexes over the alphabet [{a,b,c}]
+    (depth at most 4), for cross-checking the compiled DFA engine
+    against the derivative interpreter. *)
+
+val regex_input : string QCheck2.Gen.t
+(** Random strings over the same alphabet (length at most 12). *)
+
 val consistent_pair :
   ('m, 'n) Bx.Symmetric.t -> 'm Gen.t -> 'n Gen.t -> ('m * 'n) Gen.t
 (** Pairs made consistent by forward restoration — the inputs on which

@@ -10,7 +10,12 @@
    initial states are the accepting states of DFA(L1)) with DFA(L2),
    breadth-first, and return the shortest overlap as a witness.  The
    acceptance test runs when an edge is generated, so the path is always
-   nonempty — including paths that lead back to the start state. *)
+   nonempty — including paths that lead back to the start state.
+
+   Derivatives and classes are memoised per interned regex (see
+   {!Regex}), and visited sets are keyed by intern ids, so re-checking
+   the same regexes (as nested lens combinators do) costs one table
+   lookup per explored edge. *)
 
 module StateSet = struct
   (* A set of derivative states: sorted, duplicate-free list. *)
@@ -18,12 +23,21 @@ module StateSet = struct
   let step c set = of_list (List.map (Regex.deriv c) set)
   let any_nullable = List.exists Regex.nullable
   let classes set = Cset.refine (List.concat_map Regex.derivative_classes set)
+
+  (* Intern-id key: cheap to hash, equal iff the sets are equal. *)
+  let key set = List.map Regex.id set
 end
 
 exception Witness of string
 
+let string_of_rev_path path =
+  let len = List.length path in
+  let b = Bytes.create len in
+  List.iteri (fun k c -> Bytes.set b (len - 1 - k) c) path;
+  Bytes.unsafe_to_string b
+
 let unambig_concat r1 r2 =
-  let d1 = Dfa.build r1 in
+  let d1 = Dfa.compile r1 in
   let accepting_labels =
     Array.to_list (Dfa.states d1) |> List.filter Regex.nullable
   in
@@ -32,21 +46,20 @@ let unambig_concat r1 r2 =
     (* Memoised: does the residual language t still meet L2? *)
     let qualifies_cache = Hashtbl.create 16 in
     let qualifies t =
-      match Hashtbl.find_opt qualifies_cache t with
+      match Hashtbl.find_opt qualifies_cache (Regex.id t) with
       | Some b -> b
       | None ->
           let b = Lang.inter_witness t r2 <> None in
-          Hashtbl.add qualifies_cache t b;
+          Hashtbl.add qualifies_cache (Regex.id t) b;
           b
     in
     let start = (StateSet.of_list accepting_labels, r2) in
+    let visit_key (set, t) = (StateSet.key set, Regex.id t) in
     let visited = Hashtbl.create 64 in
-    Hashtbl.add visited start ();
+    Hashtbl.add visited (visit_key start) ();
     let queue = Queue.create () in
+    (* Paths are kept newest-character-first, see string_of_rev_path. *)
     Queue.add (start, []) queue;
-    let string_of_path path =
-      String.init (List.length path) (List.nth (List.rev path))
-    in
     try
       while not (Queue.is_empty queue) do
         let (set, t), path = Queue.take queue in
@@ -62,10 +75,10 @@ let unambig_concat r1 r2 =
                 let t' = Regex.deriv c t in
                 let path' = c :: path in
                 if StateSet.any_nullable set' && qualifies t' then
-                  raise (Witness (string_of_path path'));
+                  raise (Witness (string_of_rev_path path'));
                 let next = (set', t') in
-                if not (Hashtbl.mem visited next) then begin
-                  Hashtbl.add visited next ();
+                if not (Hashtbl.mem visited (visit_key next)) then begin
+                  Hashtbl.add visited (visit_key next) ();
                   Queue.add (next, path') queue
                 end)
           classes

@@ -56,6 +56,11 @@ let cardinal a = List.fold_left (fun n (l, h) -> n + h - l + 1) 0 a
 let choose = function [] -> None | (l, _) :: _ -> Some (Char.chr l)
 let to_ranges a = List.map (fun (l, h) -> (Char.chr l, Char.chr h)) a
 
+let of_ranges rs =
+  normalise (List.map (fun (l, h) -> (Char.code l, Char.code h)) rs)
+
+let iter_codes f a = List.iter (fun (l, h) -> for c = l to h do f c done) a
+
 (* Partition the byte space so that every input set is a union of blocks.
    Start from {full} and split each block against each set. *)
 let refine sets =

@@ -35,6 +35,14 @@ val choose : t -> char option
 val to_ranges : t -> (char * char) list
 (** The underlying sorted disjoint ranges. *)
 
+val of_ranges : (char * char) list -> t
+(** Build a set from inclusive ranges (overlaps and adjacency are
+    normalised away); the inverse of {!to_ranges}. *)
+
+val iter_codes : (int -> unit) -> t -> unit
+(** Apply a function to every byte code of the set, in increasing order.
+    Used to fill dense DFA transition tables. *)
+
 val refine : t list -> t list
 (** [refine sets] returns a partition of the full byte space such that each
     input set is a union of partition blocks.  Used to compute the

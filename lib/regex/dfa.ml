@@ -1,21 +1,52 @@
+(* DFAs over interned regexes, compiled to dense byte->state tables.
+
+   [table] is a flat array of 256 * n ints: the successor of state [i] on
+   byte [c] lives at [(i lsl 8) lor c], so [step], [run_from],
+   [prefix_marks] and [accepts] are single array reads per byte.  The
+   class-based view ([class_trans]) is kept alongside for the algorithms
+   that want character classes rather than bytes (BFS, minimisation
+   regrouping, GNFA state elimination).
+
+   [sink] caches the index of the state with the empty residual language
+   (-1 when every state accepts some continuation): matching and the
+   splitter scans bail out as soon as they reach it. *)
+
 type t = {
   state_labels : Regex.t array;
-  trans : (Cset.t * int) list array;
+  class_trans : (Cset.t * int) list array;
+  table : int array;
   accept : bool array;
+  sink : int;
 }
 
 let initial = 0
+
+(* Fill the dense table row of state [i] from its class transitions. *)
+let fill_row table i outgoing =
+  List.iter
+    (fun (cls, j) ->
+      Cset.iter_codes (fun c -> table.((i lsl 8) lor c) <- j) cls)
+    outgoing
+
+let find_sink state_labels =
+  let n = Array.length state_labels in
+  let rec find i =
+    if i >= n then -1
+    else if Regex.equal state_labels.(i) Regex.empty then i
+    else find (i + 1)
+  in
+  find 0
 
 let build root =
   let ids = Hashtbl.create 64 in
   let labels = ref [] and count = ref 0 in
   let id_of r =
-    match Hashtbl.find_opt ids r with
+    match Hashtbl.find_opt ids (Regex.id r) with
     | Some i -> (i, false)
     | None ->
         let i = !count in
         incr count;
-        Hashtbl.add ids r i;
+        Hashtbl.add ids (Regex.id r) i;
         labels := r :: !labels;
         (i, true)
   in
@@ -42,63 +73,145 @@ let build root =
   let _root_id = explore root in
   let n = !count in
   let state_labels = Array.make n Regex.empty in
-  List.iteri
-    (fun k r -> state_labels.(n - 1 - k) <- r)
-    !labels;
-  let trans = Array.make n [] in
+  List.iteri (fun k r -> state_labels.(n - 1 - k) <- r) !labels;
+  let class_trans = Array.make n [] in
   let accept = Array.make n false in
+  let table = Array.make (n * 256) 0 in
   for i = 0 to n - 1 do
-    trans.(i) <- Hashtbl.find trans_tbl i;
-    accept.(i) <- Regex.nullable state_labels.(i)
+    class_trans.(i) <- Hashtbl.find trans_tbl i;
+    accept.(i) <- Regex.nullable state_labels.(i);
+    fill_row table i class_trans.(i)
   done;
-  { state_labels; trans; accept }
+  { state_labels; class_trans; table; accept; sink = find_sink state_labels }
+
+(* ------------------------------------------------------------------ *)
+(* The compilation cache: one DFA per interned regex, keyed by id.  Lens
+   combinators re-derive the same sub-regexes at every nesting level
+   (concat_list, separated, the union/compose type checks), so compiling
+   through the cache makes construction cost proportional to the number
+   of distinct regexes instead of the number of uses. *)
+
+let cache : (int, t) Hashtbl.t = Hashtbl.create 256
+let cache_lock = Mutex.create ()
+let cache_hits = ref 0
+let cache_misses = ref 0
+
+let with_cache_lock f =
+  Mutex.lock cache_lock;
+  match f () with
+  | v ->
+      Mutex.unlock cache_lock;
+      v
+  | exception e ->
+      Mutex.unlock cache_lock;
+      raise e
+
+let compile r =
+  let key = Regex.id r in
+  match
+    with_cache_lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some d ->
+            incr cache_hits;
+            Some d
+        | None ->
+            incr cache_misses;
+            None)
+  with
+  | Some d -> d
+  | None ->
+      let d = build r in
+      with_cache_lock (fun () ->
+          match Hashtbl.find_opt cache key with
+          | Some d' -> d' (* a concurrent build won the race *)
+          | None ->
+              Hashtbl.add cache key d;
+              d)
+
+let cache_stats () = (!cache_hits, !cache_misses)
+
+let cache_clear () =
+  with_cache_lock (fun () ->
+      Hashtbl.reset cache;
+      cache_hits := 0;
+      cache_misses := 0)
+
+(* ------------------------------------------------------------------ *)
+(* Running *)
 
 let size d = Array.length d.state_labels
 let regex_of_state d i = d.state_labels.(i)
 let states d = d.state_labels
-let transitions d i = d.trans.(i)
-
-let step d i c =
-  let rec find = function
-    | [] -> invalid_arg "Dfa.step: transition classes do not cover the byte"
-    | (cls, j) :: rest -> if Cset.mem c cls then j else find rest
-  in
-  find d.trans.(i)
-
+let transitions d i = d.class_trans.(i)
+let sink d = d.sink
+let step d i c = d.table.((i lsl 8) lor Char.code c)
 let accepting d i = d.accept.(i)
 
+(* The inner loops use unsafe accesses: [st] ranges over [0, n) by
+   construction (the table is total) and the index fits the table by the
+   row layout. *)
+
 let run_from d i s =
+  let table = d.table in
   let st = ref i in
-  String.iter (fun c -> st := step d !st c) s;
+  for k = 0 to String.length s - 1 do
+    st :=
+      Array.unsafe_get table
+        ((!st lsl 8) lor Char.code (String.unsafe_get s k))
+  done;
   !st
 
-let accepts d s = accepting d (run_from d initial s)
+let accepts d s =
+  let table = d.table in
+  let sink = d.sink in
+  let n = String.length s in
+  let st = ref initial in
+  let i = ref 0 in
+  while !i < n && !st <> sink do
+    st :=
+      Array.unsafe_get table
+        ((!st lsl 8) lor Char.code (String.unsafe_get s !i));
+    incr i
+  done;
+  !st <> sink && d.accept.(!st)
 
 let prefix_marks d s =
+  let table = d.table in
+  let accept = d.accept in
   let n = String.length s in
   let marks = Array.make (n + 1) false in
   let st = ref initial in
-  marks.(0) <- accepting d initial;
+  marks.(0) <- Array.unsafe_get accept initial;
   for i = 0 to n - 1 do
-    st := step d !st s.[i];
-    marks.(i + 1) <- accepting d !st
+    st :=
+      Array.unsafe_get table
+        ((!st lsl 8) lor Char.code (String.unsafe_get s i));
+    marks.(i + 1) <- Array.unsafe_get accept !st
   done;
   marks
 
 let is_empty_lang d = not (Array.exists Fun.id d.accept)
 
+(* Rebuild a string from a reversed path of characters in one pass. *)
+let string_of_rev_path path =
+  let len = List.length path in
+  let b = Bytes.create len in
+  List.iteri (fun k c -> Bytes.set b (len - 1 - k) c) path;
+  Bytes.unsafe_to_string b
+
 let shortest_accepted d =
   let n = size d in
   let visited = Array.make n false in
   let queue = Queue.create () in
+  (* Paths are kept newest-character-first; a single reversed write per
+     witness replaces the former quadratic List.nth reconstruction. *)
   Queue.add (initial, []) queue;
   visited.(initial) <- true;
   let rec bfs () =
     if Queue.is_empty queue then None
     else
       let i, path = Queue.take queue in
-      if accepting d i then
-        Some (String.init (List.length path) (List.nth (List.rev path)))
+      if accepting d i then Some (string_of_rev_path path)
       else begin
         List.iter
           (fun (cls, j) ->
@@ -108,18 +221,23 @@ let shortest_accepted d =
               | Some c -> Queue.add (j, c :: path) queue
               | None -> ()
             end)
-          d.trans.(i);
+          d.class_trans.(i);
         bfs ()
       end
   in
   bfs ()
 
-(* Moore partition refinement.  Blocks are refined by acceptance and by
-   the block each byte leads to, until stable. *)
+(* ------------------------------------------------------------------ *)
+(* Minimisation: Moore partition refinement over the dense tables.
+   Blocks are refined by acceptance and by the block each byte leads to,
+   until stable.  Signatures are read straight off the byte table — no
+   per-byte list scans. *)
+
 let minimise d =
   let n = size d in
   if n = 0 then d
   else begin
+    let table = d.table in
     let block = Array.init n (fun i -> if d.accept.(i) then 1 else 0) in
     (* If all states agree on acceptance there is a single block. *)
     let normalise () =
@@ -141,23 +259,16 @@ let minimise d =
     let changed = ref true in
     while !changed do
       changed := false;
-      (* Signature of a state: its block plus the blocks of all byte
-         transitions. *)
+      (* Signature of a state: its block plus the blocks of all 256 byte
+         successors, read directly from the dense table. *)
       let signatures = Hashtbl.create n in
       let next_sig = ref 0 in
       let new_block = Array.make n 0 in
       for i = 0 to n - 1 do
-        let sig_i =
-          ( block.(i),
-            List.map (fun (cls, j) -> (Cset.to_ranges cls, block.(j))) d.trans.(i)
-          )
-        in
-        (* Transition lists may carve classes differently between states,
-           so expand per byte for a canonical signature. *)
-        let per_byte =
-          Array.init 256 (fun b -> block.(step d i (Char.chr b)))
-        in
-        let key = (fst sig_i, Array.to_list per_byte) in
+        let key = Array.make 257 block.(i) in
+        for c = 0 to 255 do
+          key.(c + 1) <- block.(table.((i lsl 8) lor c))
+        done;
         match Hashtbl.find_opt signatures key with
         | Some b -> new_block.(i) <- b
         | None ->
@@ -175,9 +286,7 @@ let minimise d =
     (* Reindex so the block of the old initial state is 0. *)
     let initial_block = block.(initial) in
     let rename b =
-      if b = initial_block then 0
-      else if b < initial_block then b + 1
-      else b
+      if b = initial_block then 0 else if b < initial_block then b + 1 else b
     in
     Array.iteri (fun i b -> block.(i) <- rename b) block;
     (* Representative state of each block. *)
@@ -185,25 +294,32 @@ let minimise d =
     Array.iteri (fun i b -> if repr.(b) < 0 then repr.(b) <- i) block;
     let state_labels = Array.map (fun r -> d.state_labels.(r)) repr in
     let accept = Array.map (fun r -> d.accept.(r)) repr in
-    let trans =
-      Array.map
-        (fun r ->
-          (* Group bytes by target block into maximal character sets. *)
-          let targets = Array.init 256 (fun b -> block.(step d r (Char.chr b))) in
+    let table' = Array.make (block_count * 256) 0 in
+    let class_trans =
+      Array.mapi
+        (fun b r ->
+          (* Targets per byte, then group bytes by target block into
+             maximal character sets. *)
           let by_target = Hashtbl.create 4 in
-          Array.iteri
-            (fun b t ->
-              let set =
-                Option.value ~default:Cset.empty (Hashtbl.find_opt by_target t)
-              in
-              Hashtbl.replace by_target t
-                (Cset.union set (Cset.singleton (Char.chr b))))
-            targets;
-          Hashtbl.fold (fun t set acc -> (set, t) :: acc) by_target []
+          for c = 0 to 255 do
+            let t = block.(table.((r lsl 8) lor c)) in
+            table'.((b lsl 8) lor c) <- t;
+            let ranges =
+              Option.value ~default:[] (Hashtbl.find_opt by_target t)
+            in
+            Hashtbl.replace by_target t ((Char.chr c, Char.chr c) :: ranges)
+          done;
+          Hashtbl.fold
+            (fun t ranges acc -> (Cset.of_ranges ranges, t) :: acc)
+            by_target []
           |> List.sort compare)
         repr
     in
-    { state_labels; trans; accept }
+    (* The block of the old sink is exactly the set of empty-residual
+       states (they are Myhill-Nerode equivalent), so it remains the
+       sink. *)
+    let sink = if d.sink < 0 then -1 else block.(d.sink) in
+    { state_labels; class_trans; table = table'; accept; sink }
   end
 
 (* GNFA state elimination.  Two virtual states are added: a start S with
@@ -223,7 +339,7 @@ let to_regex d =
       | Some r0 -> Hashtbl.replace edges (i, j) (Regex.alt r0 r)
     in
     for i = 0 to n - 1 do
-      List.iter (fun (cls, j) -> add i j (Regex.cset cls)) d.trans.(i);
+      List.iter (fun (cls, j) -> add i j (Regex.cset cls)) d.class_trans.(i);
       if d.accept.(i) then add i final Regex.epsilon
     done;
     add start 0 Regex.epsilon;
@@ -246,14 +362,12 @@ let to_regex d =
         List.iter
           (fun (i, rin) ->
             List.iter
-              (fun (j, rout) ->
-                add i j (Regex.seq rin (Regex.seq loop rout)))
+              (fun (j, rout) -> add i j (Regex.seq rin (Regex.seq loop rout)))
               targets)
           sources;
         (* Remove every edge touching k. *)
         Hashtbl.iter
-          (fun (i, j) _ ->
-            if i = k || j = k then Hashtbl.remove edges (i, j))
+          (fun (i, j) _ -> if i = k || j = k then Hashtbl.remove edges (i, j))
           (Hashtbl.copy edges))
       states;
     match get start final with None -> Regex.empty | Some r -> r
@@ -261,7 +375,11 @@ let to_regex d =
 
 (* The complemented automaton: same transitions, accepting states
    flipped.  State labels are kept verbatim and no longer denote the
-   states' residual languages; use the result only where labels are not
-   consulted (matching, minimisation, to_regex). *)
-let complement d =
-  { d with accept = Array.map not d.accept }
+   states' residual languages; the former sink now accepts everything,
+   so the sink shortcut is disabled.  Use the result only where labels
+   are not consulted (matching, minimisation, to_regex). *)
+let complement d = { d with accept = Array.map not d.accept; sink = -1 }
+
+(* Route Regex.matches through the compiled engine: one cached DFA per
+   interned regex, then a dense-table scan. *)
+let () = Regex.set_matcher (fun r s -> accepts (compile r) s)

@@ -1,12 +1,29 @@
 (** Deterministic finite automata built from regular expressions by
-    Brzozowski-derivative closure.  State 0 is initial; every state is
-    reachable; the transition function is total (character classes partition
-    the byte space in every state). *)
+    Brzozowski-derivative closure, compiled to dense byte->state tables.
+    State 0 is initial; every state is reachable; the transition function
+    is total.  [step], [run_from], [accepts] and [prefix_marks] are O(1)
+    per byte (one flat-array read); the character-class view of the
+    transitions is kept alongside for the structural algorithms
+    ({!transitions}, {!minimise}, {!to_regex}). *)
 
 type t
 
 val build : Regex.t -> t
-(** Construct the DFA recognising the regex's language. *)
+(** Construct the DFA recognising the regex's language (uncached). *)
+
+val compile : Regex.t -> t
+(** {!build} through the global compilation cache: at most one DFA is
+    ever constructed per interned regex (keyed by {!Regex.id}), shared by
+    every lens and decision procedure.  Thread-safe. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of {!compile} since start-up (or {!cache_clear}).
+    Misses count actual DFA constructions — the test suites assert that
+    building a lens twice adds no misses. *)
+
+val cache_clear : unit -> unit
+(** Empty the compilation cache and reset the counters.  Existing [t]
+    values remain valid; used by benchmarks to measure cold builds. *)
 
 val size : t -> int
 (** Number of states. *)
@@ -23,11 +40,19 @@ val states : t -> Regex.t array
 val transitions : t -> int -> (Cset.t * int) list
 (** Outgoing transitions of a state as disjoint character classes. *)
 
+val sink : t -> int
+(** The index of the sink state (the state whose residual language is
+    empty), or [-1] when every state accepts some continuation.  Scans
+    can stop as soon as they reach it. *)
+
 val step : t -> int -> char -> int
-(** One transition. *)
+(** One transition: a single dense-table read. *)
 
 val accepting : t -> int -> bool
+
 val accepts : t -> string -> bool
+(** Full-string membership; bails out early at the sink state. *)
+
 val run_from : t -> int -> string -> int
 (** Run the automaton over a string from a given state. *)
 
@@ -43,9 +68,10 @@ val shortest_accepted : t -> string option
 (** A shortest member of the language, by breadth-first search. *)
 
 val minimise : t -> t
-(** The minimal DFA for the same language, by Moore partition refinement.
-    State labels are taken from block representatives (the residual
-    languages are equivalent within a block); state 0 remains initial. *)
+(** The minimal DFA for the same language, by Moore partition refinement
+    over the dense tables.  State labels are taken from block
+    representatives (the residual languages are equivalent within a
+    block); state 0 remains initial. *)
 
 val complement : t -> t
 (** Same transitions, accepting states flipped.  State labels are left

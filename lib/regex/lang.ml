@@ -1,35 +1,50 @@
-(* Generic BFS over pairs of derivatives.  [accept d1 d2] decides whether a
-   pair state is a witness; the search returns the shortest string reaching
-   such a pair. *)
+(* Language decision procedures, run on compiled DFAs.
+
+   The generic search explores the product of the two (cached) automata
+   breadth-first; [accept a1 a2] decides, from the two acceptance bits,
+   whether a product state is a witness, and the search returns the
+   shortest string reaching one.  Product states are integer pairs, so
+   visited-tracking is a byte per pair and stepping is two dense-table
+   reads. *)
+
+let string_of_rev_path path =
+  let len = List.length path in
+  let b = Bytes.create len in
+  List.iteri (fun k c -> Bytes.set b (len - 1 - k) c) path;
+  Bytes.unsafe_to_string b
+
 let pair_bfs ~accept r1 r2 =
-  let visited = Hashtbl.create 64 in
+  let d1 = Dfa.compile r1 and d2 = Dfa.compile r2 in
+  let n2 = Dfa.size d2 in
+  let visited = Bytes.make (Dfa.size d1 * n2) '\000' in
   let queue = Queue.create () in
-  Queue.add ((r1, r2), []) queue;
-  Hashtbl.add visited (r1, r2) ();
+  (* Paths are kept newest-character-first, see string_of_rev_path. *)
+  Queue.add ((Dfa.initial, Dfa.initial), []) queue;
+  Bytes.set visited ((Dfa.initial * n2) + Dfa.initial) '\001';
   let rec bfs () =
     if Queue.is_empty queue then None
     else
-      let (d1, d2), path = Queue.take queue in
-      if accept d1 d2 then
-        Some (String.init (List.length path) (List.nth (List.rev path)))
+      let (i, j), path = Queue.take queue in
+      if accept (Dfa.accepting d1 i) (Dfa.accepting d2 j) then
+        Some (string_of_rev_path path)
       else begin
+        (* Classes refined across both states, so each (successor pair)
+           is reached by one representative byte. *)
         let classes =
           Cset.refine
-            (Regex.derivative_classes d1 @ Regex.derivative_classes d2)
+            (List.map fst (Dfa.transitions d1 i)
+            @ List.map fst (Dfa.transitions d2 j))
         in
         List.iter
           (fun cls ->
             match Cset.choose cls with
             | None -> ()
             | Some c ->
-                let next = (Regex.deriv c d1, Regex.deriv c d2) in
-                (* Dead pairs cannot produce any witness for the
-                   intersection-style searches; they are still explored for
-                   complement-style acceptance, which [accept] encodes, so
-                   only prune exact [Empty, Empty]. *)
-                if not (Hashtbl.mem visited next) then begin
-                  Hashtbl.add visited next ();
-                  Queue.add (next, c :: path) queue
+                let i' = Dfa.step d1 i c and j' = Dfa.step d2 j c in
+                let key = (i' * n2) + j' in
+                if Bytes.get visited key = '\000' then begin
+                  Bytes.set visited key '\001';
+                  Queue.add ((i', j'), c :: path) queue
                 end)
           classes;
         bfs ()
@@ -37,37 +52,31 @@ let pair_bfs ~accept r1 r2 =
   in
   bfs ()
 
-let inter_witness r1 r2 =
-  pair_bfs ~accept:(fun d1 d2 -> Regex.nullable d1 && Regex.nullable d2) r1 r2
+let inter_witness r1 r2 = pair_bfs ~accept:(fun a1 a2 -> a1 && a2) r1 r2
 
 let disjoint r1 r2 =
   match inter_witness r1 r2 with None -> Ok () | Some w -> Error w
 
 let subset_counterexample r1 r2 =
-  pair_bfs
-    ~accept:(fun d1 d2 -> Regex.nullable d1 && not (Regex.nullable d2))
-    r1 r2
+  pair_bfs ~accept:(fun a1 a2 -> a1 && not a2) r1 r2
 
 let subset r1 r2 = subset_counterexample r1 r2 = None
 
 let equiv_counterexample r1 r2 =
-  pair_bfs
-    ~accept:(fun d1 d2 -> Regex.nullable d1 <> Regex.nullable d2)
-    r1 r2
+  pair_bfs ~accept:(fun a1 a2 -> a1 <> a2) r1 r2
 
 let equivalent r1 r2 = equiv_counterexample r1 r2 = None
 
-let is_empty r = inter_witness r r = None
+let is_empty r = Dfa.is_empty_lang (Dfa.compile r)
 
-let shortest r =
-  pair_bfs ~accept:(fun d1 _ -> Regex.nullable d1) r r
+let shortest r = Dfa.shortest_accepted (Dfa.compile r)
 
 (* Closure operations that escape the regex syntax via automata:
    complement and intersection as regexes (Kleene's theorem made
    executable).  Results are language-correct but syntactically large;
    both minimise before eliminating states. *)
 let complement r =
-  Dfa.to_regex (Dfa.minimise (Dfa.complement (Dfa.build r)))
+  Dfa.to_regex (Dfa.minimise (Dfa.complement (Dfa.compile r)))
 
 let inter r1 r2 =
   (* De Morgan over the available complement. *)

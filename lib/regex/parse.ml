@@ -156,7 +156,7 @@ let class_to_string set =
 (* Precedence: 0 alternation, 1 sequence, 2 postfix atoms. *)
 let rec render prec r =
   let parenthesise needed body = if prec > needed then "(" ^ body ^ ")" else body in
-  match r with
+  match Regex.node r with
   | Regex.Empty ->
       invalid_arg "Parse.to_parseable: the empty language has no concrete syntax"
   | Regex.Epsilon -> "()"

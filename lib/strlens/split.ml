@@ -18,8 +18,8 @@ let suffix_marks rev_dfa s =
   Array.init (n + 1) (fun i -> marks_rev.(n - i))
 
 let make_concat_splitter r1 r2 =
-  let d1 = Dfa.build r1 in
-  let d2_rev = Dfa.build (Regex.reverse r2) in
+  let d1 = Dfa.compile r1 in
+  let d2_rev = Dfa.compile (Regex.reverse r2) in
   fun s ->
     let n = String.length s in
     let prefix_ok = Dfa.prefix_marks d1 s in
@@ -40,19 +40,11 @@ type star_splitter = string -> string list
 let make_star_splitter r =
   if Regex.nullable r then
     invalid_arg "make_star_splitter: body accepts the empty string";
-  let d = Dfa.build r in
-  let dstar_rev = Dfa.build (Regex.reverse (Regex.star r)) in
+  let d = Dfa.compile r in
+  let dstar_rev = Dfa.compile (Regex.reverse (Regex.star r)) in
   (* The sink state (empty residual), if present, lets the chunk scan stop
-     early. *)
-  let sink =
-    let states = Dfa.states d in
-    let rec find i =
-      if i >= Array.length states then None
-      else if Regex.equal states.(i) Regex.empty then Some i
-      else find (i + 1)
-    in
-    find 0
-  in
+     early; -1 when absent, which no live state ever equals. *)
+  let sink = Dfa.sink d in
   fun s ->
     if s = "" then []
     else begin
@@ -70,7 +62,7 @@ let make_star_splitter r =
           (try
              for j = i to n - 1 do
                st := Dfa.step d !st s.[j];
-               if Some !st = sink then raise Exit;
+               if !st = sink then raise Exit;
                if Dfa.accepting d !st && suffix_ok.(j + 1) then begin
                  match !found with
                  | None -> found := Some (j + 1)

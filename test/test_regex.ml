@@ -5,6 +5,11 @@ open Bx_regex
 let check = Alcotest.check
 let tc name f = Alcotest.test_case name `Quick f
 
+let parse_ok s =
+  match Parse.of_string s with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
 (* ------------------------------------------------------------------ *)
 (* Character sets *)
 
@@ -225,6 +230,81 @@ let dfa_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* The compiled engine: hash-consing, dense tables, compilation cache *)
+
+let engine_tests =
+  [
+    tc "hash-consing makes structural equality physical" (fun () ->
+        let r1 = Regex.(seq (star (chr 'a')) (str "bc")) in
+        let r2 = Regex.(seq (star (chr 'a')) (str "bc")) in
+        check Alcotest.bool "same id" true (Regex.id r1 = Regex.id r2);
+        check Alcotest.bool "physically equal" true (r1 == r2);
+        check Alcotest.bool "distinct regexes get distinct ids" true
+          (Regex.id r1 <> Regex.id (Regex.str "bc")));
+    tc "compile caches by interned regex" (fun () ->
+        let r = Regex.(seq (star (chr 'q')) (str "zq")) in
+        ignore (Dfa.compile r);
+        let h0, m0 = Dfa.cache_stats () in
+        (* The same regex, built afresh: interned to the same id, so the
+           compiled automaton is reused, not rebuilt. *)
+        ignore (Dfa.compile Regex.(seq (star (chr 'q')) (str "zq")));
+        let h1, m1 = Dfa.cache_stats () in
+        check Alcotest.int "no new DFA build" m0 m1;
+        check Alcotest.int "one more cache hit" (h0 + 1) h1);
+    tc "matches runs compiled and agrees with the derivative engine"
+      (fun () ->
+        let r = Regex.(star (alt (str "ab") (str "c"))) in
+        List.iter
+          (fun s ->
+            check Alcotest.bool s (Regex.matches_deriv r s)
+              (Regex.matches r s))
+          [ ""; "ab"; "c"; "abc"; "ba"; "abab"; "cab"; "a" ]);
+    tc "sink is the empty-residual state" (fun () ->
+        let d = Dfa.compile (Regex.str "ab") in
+        check Alcotest.bool "has a sink" true (Dfa.sink d >= 0);
+        check Alcotest.int "stuck input lands on the sink" (Dfa.sink d)
+          (Dfa.run_from d Dfa.initial "zz");
+        check Alcotest.bool "sink never accepts" false
+          (Dfa.accepting d (Dfa.sink d));
+        let total = Dfa.compile (Regex.star Regex.any) in
+        check Alcotest.int "total language has no sink" (-1) (Dfa.sink total));
+    tc "dense table agrees with the class view in every state" (fun () ->
+        let d = Dfa.compile (parse_ok "[a-m]+x|(yz)*") in
+        for i = 0 to Dfa.size d - 1 do
+          List.iter
+            (fun (cls, j) ->
+              List.iter
+                (fun (lo, hi) ->
+                  check Alcotest.int "lo" j (Dfa.step d i lo);
+                  check Alcotest.int "hi" j (Dfa.step d i hi))
+                (Cset.to_ranges cls))
+            (Dfa.transitions d i)
+        done);
+  ]
+
+let engine_prop_tests =
+  let gen =
+    QCheck2.Gen.pair Bx_check.Generators.regex Bx_check.Generators.regex_input
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make ~count:1000
+        ~name:"compiled DFA matching = derivative matching" gen
+        (fun (r, s) -> Dfa.accepts (Dfa.compile r) s = Regex.matches_deriv r s);
+      QCheck2.Test.make ~count:400
+        ~name:"minimise preserves the language (random regexes)" gen
+        (fun (r, s) ->
+          Dfa.accepts (Dfa.minimise (Dfa.compile r)) s
+          = Regex.matches_deriv r s);
+      QCheck2.Test.make ~count:400
+        ~name:"minimised automaton is never larger"
+        Bx_check.Generators.regex
+        (fun r ->
+          let d = Dfa.compile r in
+          Dfa.size (Dfa.minimise d) <= Dfa.size d);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Language decision procedures *)
 
 let lang_tests =
@@ -408,11 +488,6 @@ let ambig_prop_tests =
 
 (* ------------------------------------------------------------------ *)
 (* Concrete-syntax parser *)
-
-let parse_ok s =
-  match Parse.of_string s with
-  | Ok r -> r
-  | Error e -> Alcotest.failf "parse %S: %s" s e
 
 let parse_tests =
   [
@@ -648,6 +723,8 @@ let () =
       ("regex", regex_tests);
       ("regex-properties", regex_prop_tests);
       ("dfa", dfa_tests);
+      ("engine", engine_tests);
+      ("engine-properties", engine_prop_tests);
       ("lang", lang_tests);
       ("ambig", ambig_tests);
       ("ambig-properties", ambig_prop_tests);

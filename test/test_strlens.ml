@@ -339,6 +339,18 @@ let composers_tests =
         check Alcotest.string "deleted" "Jean, 1925-2016, French\n"
           (l.put "Jean, French\n"
              "Jean, 1925-2016, French\nAlexandre, 1813-1888, French\n"));
+    tc "construction compiles each distinct regex's DFA exactly once"
+      (fun () ->
+        (* Warm: every regex of the catalogue Composers lens is compiled. *)
+        ignore (Bx_catalogue.Composers_string.build_lens ());
+        let h0, m0 = Dfa.cache_stats () in
+        (* Rebuilding the whole lens (all type checks, ambiguity analyses
+           and splitters rerun) must not build a single DFA. *)
+        ignore (Bx_catalogue.Composers_string.build_lens ());
+        let h1, m1 = Dfa.cache_stats () in
+        check Alcotest.int "re-construction builds no DFA" m0 m1;
+        check Alcotest.bool "re-construction is served by the cache" true
+          (h1 > h0));
   ]
 
 (* ------------------------------------------------------------------ *)

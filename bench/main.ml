@@ -123,17 +123,10 @@ let composers_n_of_size k =
   List.init k (fun i ->
       if i mod 2 = 0 then (token i, token (i mod 7)) else (token (i + 10000), "x"))
 
-let csv_source_of_size k =
-  String.concat ""
-    (List.init k (fun i ->
-         Printf.sprintf "%s, 1900-1999, %s\n" (token i) (token (i mod 7))))
-
-let csv_view_of_size k =
-  (* Reversed order so dictionary alignment really searches. *)
-  String.concat ""
-    (List.init k (fun i ->
-         let i = k - 1 - i in
-         Printf.sprintf "%s, %s\n" (token i) (token (i mod 7))))
+(* The CSV documents come from the catalogue so benchmarks and tests
+   measure the same corpus. *)
+let csv_source_of_size = Bx_catalogue.Composers_string.synthetic_source
+let csv_view_of_size = Bx_catalogue.Composers_string.synthetic_view
 
 let big_registry k =
   let reg = Bx_repo.Registry.create () in
@@ -700,6 +693,107 @@ let p6_engine () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* P7: the zero-copy slice engine against the copying reference engine,
+   end to end on the Composers lens.  Wall-clock per-run times for get
+   and put at several document sizes, plus the batched API's scaling
+   across domains.  Recorded in the --json-strlens dump
+   (BENCH_strlens.json in the repo). *)
+
+type p7_row = {
+  p7_lines : int;
+  p7_bytes : int;
+  sliced_get_ns : float;
+  ref_get_ns : float;
+  get_speedup : float;
+  sliced_get_mb_s : float;
+  sliced_put_ns : float;
+  ref_put_ns : float;
+  put_speedup : float;
+}
+
+type p7_batch = {
+  batch_docs : int;
+  batch_doc_lines : int;
+  batch_workers : int;
+  batch_seq_ns : float;
+  batch_par_ns : float;
+  batch_scaling : float;
+}
+
+type p7_summary = { rows7 : p7_row list; batch7 : p7_batch }
+
+let p7_strlens () =
+  rule "P7: zero-copy slice engine vs copying engine (Composers end-to-end)";
+  let open Bx_catalogue.Composers_string in
+  let module S = Bx_strlens.Slens in
+  let module R = Bx_strlens.Slens_ref in
+  let rows7 =
+    List.map
+      (fun k ->
+        let src = csv_source_of_size k in
+        let view = csv_view_of_size k in
+        let bytes = String.length src in
+        (* The engines must agree before their times mean anything. *)
+        assert (String.equal (lens.S.get src) (ref_lens.R.get src));
+        assert (String.equal (lens.S.put view src) (ref_lens.R.put view src));
+        let sliced_get = time_per_run (fun () -> lens.S.get src) in
+        let ref_get = time_per_run (fun () -> ref_lens.R.get src) in
+        let sliced_put = time_per_run (fun () -> lens.S.put view src) in
+        let ref_put = time_per_run (fun () -> ref_lens.R.put view src) in
+        let get_speedup = ref_get /. sliced_get in
+        let put_speedup = ref_put /. sliced_put in
+        Fmt.pr
+          "lines=%5d  get %8.1f us sliced %8.1f us copying (%4.1fx, %6.1f \
+           MB/s)@."
+          k (sliced_get *. 1e6) (ref_get *. 1e6) get_speedup
+          (float_of_int bytes /. sliced_get /. 1e6);
+        Fmt.pr
+          "             put %8.1f us sliced %8.1f us copying (%4.1fx)%s@."
+          (sliced_put *. 1e6) (ref_put *. 1e6) put_speedup
+          (if k >= 1000 && (get_speedup < 3.0 || put_speedup < 3.0) then
+             "  *** BELOW 3x TARGET ***"
+           else "");
+        {
+          p7_lines = k;
+          p7_bytes = bytes;
+          sliced_get_ns = sliced_get *. 1e9;
+          ref_get_ns = ref_get *. 1e9;
+          get_speedup;
+          sliced_get_mb_s = float_of_int bytes /. sliced_get /. 1e6;
+          sliced_put_ns = sliced_put *. 1e9;
+          ref_put_ns = ref_put *. 1e9;
+          put_speedup;
+        })
+      [ 100; 1000 ]
+  in
+  (* Size the fan-out to the machine: spawning domains a single-core
+     container cannot run in parallel only adds stop-the-world cost. *)
+  let batch_docs = 256 and batch_doc_lines = 200 in
+  let batch_workers = max 1 (min 4 (Domain.recommended_domain_count ())) in
+  let docs = List.init batch_docs (fun _ -> csv_source_of_size batch_doc_lines) in
+  let seq = time_per_run (fun () -> S.get_all ~workers:1 lens docs) in
+  let par = time_per_run (fun () -> S.get_all ~workers:batch_workers lens docs) in
+  let batch_scaling = seq /. par in
+  Fmt.pr
+    "batch get_all %d docs x %d lines: %8.1f us sequential %8.1f us on %d \
+     domain(s) (%.1fx; %d core(s) available)@."
+    batch_docs batch_doc_lines (seq *. 1e6) (par *. 1e6) batch_workers
+    batch_scaling
+    (Domain.recommended_domain_count ());
+  {
+    rows7;
+    batch7 =
+      {
+        batch_docs;
+        batch_doc_lines;
+        batch_workers;
+        batch_seq_ns = seq *. 1e9;
+        batch_par_ns = par *. 1e9;
+        batch_scaling;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Harness *)
 
 let benchmark tests =
@@ -798,6 +892,41 @@ let write_json path ~p6 ~series =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))
 
+let write_strlens_json path ~p7 =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"suite\": \"bx strlens engine\",\n";
+  add "  \"baseline\": \"copying engine (Slens_ref)\",\n";
+  add "  \"speedup_target\": 3.0,\n";
+  add "  \"rows\": [\n";
+  let last = List.length p7.rows7 - 1 in
+  List.iteri
+    (fun i r ->
+      add
+        "    { \"lines\": %d, \"bytes\": %d, \"sliced_get_ns\": %.1f, \
+         \"copying_get_ns\": %.1f, \"get_speedup\": %.2f, \
+         \"sliced_get_mb_per_s\": %.2f, \"sliced_put_ns\": %.1f, \
+         \"copying_put_ns\": %.1f, \"put_speedup\": %.2f }%s\n"
+        r.p7_lines r.p7_bytes r.sliced_get_ns r.ref_get_ns r.get_speedup
+        r.sliced_get_mb_s r.sliced_put_ns r.ref_put_ns r.put_speedup
+        (if i = last then "" else ","))
+    p7.rows7;
+  add "  ],\n";
+  let b = p7.batch7 in
+  add "  \"batch_get_all\": {\n";
+  add "    \"documents\": %d,\n" b.batch_docs;
+  add "    \"lines_per_document\": %d,\n" b.batch_doc_lines;
+  add "    \"workers\": %d,\n" b.batch_workers;
+  add "    \"cores_available\": %d,\n" (Domain.recommended_domain_count ());
+  add "    \"sequential_ns\": %.1f,\n" b.batch_seq_ns;
+  add "    \"parallel_ns\": %.1f,\n" b.batch_par_ns;
+  add "    \"scaling\": %.2f\n" b.batch_scaling;
+  add "  }\n";
+  add "}\n";
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf))
+
 let e6 () =
   rule "E6: BenchmarX-style scenarios stay consistent at every step";
   List.iter
@@ -811,16 +940,24 @@ let e6 () =
 
 let () =
   let json_path = ref None in
+  let strlens_json_path = ref None in
   let e_only = ref false in
+  let p7_only = ref false in
   let skip_server = ref false in
   let spec =
     [
       ( "--json",
         Arg.String (fun p -> json_path := Some p),
         "<path>  dump the P6 summary and every Bechamel estimate as JSON" );
+      ( "--json-strlens",
+        Arg.String (fun p -> strlens_json_path := Some p),
+        "<path>  dump the P7 slice-engine comparison as JSON" );
       ( "--e-only",
         Arg.Set e_only,
         " run only the E-series artifact checks (CI smoke test)" );
+      ( "--p7-only",
+        Arg.Set p7_only,
+        " run only the P7 slice-engine comparison (CI bench smoke)" );
       ( "--skip-server",
         Arg.Set skip_server,
         " skip the wall-clock P5 server benchmarks" );
@@ -828,30 +965,47 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
-    "bench/main.exe [--e-only] [--skip-server] [--json <path>]";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  if not !e_only then begin
-    if not !skip_server then begin
-      p5_server_throughput ();
-      p5_journal_replay ()
-    end;
-    let p6 = p6_engine () in
-    rule "P1-P4, P6: performance series (Bechamel, OLS estimate per run)";
-    let tests =
-      composers_tests @ strlens_tests @ regex_tests @ registry_tests
-      @ alignment_tests @ engine_tests @ scenario_tests @ store_tests
-      @ generic_scenario_tests @ tree_edit_tests @ web_tests
-    in
-    let rows = result_rows (benchmark tests) in
-    print_rows rows;
-    match !json_path with
+    "bench/main.exe [--e-only] [--p7-only] [--skip-server] [--json <path>] \
+     [--json-strlens <path>]";
+  if !p7_only then begin
+    let p7 = p7_strlens () in
+    match !strlens_json_path with
     | Some path ->
-        write_json path ~p6 ~series:rows;
+        write_strlens_json path ~p7;
         Fmt.pr "@.wrote %s@." path
     | None -> ()
+  end
+  else begin
+    e1 ();
+    e2 ();
+    e3 ();
+    e4 ();
+    e5 ();
+    e6 ();
+    if not !e_only then begin
+      if not !skip_server then begin
+        p5_server_throughput ();
+        p5_journal_replay ()
+      end;
+      let p6 = p6_engine () in
+      let p7 = p7_strlens () in
+      rule "P1-P4, P6: performance series (Bechamel, OLS estimate per run)";
+      let tests =
+        composers_tests @ strlens_tests @ regex_tests @ registry_tests
+        @ alignment_tests @ engine_tests @ scenario_tests @ store_tests
+        @ generic_scenario_tests @ tree_edit_tests @ web_tests
+      in
+      let rows = result_rows (benchmark tests) in
+      print_rows rows;
+      (match !json_path with
+      | Some path ->
+          write_json path ~p6 ~series:rows;
+          Fmt.pr "@.wrote %s@." path
+      | None -> ());
+      match !strlens_json_path with
+      | Some path ->
+          write_strlens_json path ~p7;
+          Fmt.pr "@.wrote %s@." path
+      | None -> ()
+    end
   end

@@ -62,8 +62,19 @@ let () =
     { Bx_server.Service.default_config with journal_dir = !journal_dir }
   in
   let pages = [ ("/checks", fun () -> Lazy.force checks_page) ] in
+  (* String lenses served at POST /slens/<name>/<op>; the composers
+     family exercises every alignment strategy. *)
+  let lenses =
+    [
+      ("composers", Bx_catalogue.Composers_string.lens);
+      ("composers-by-name", Bx_catalogue.Composers_string.name_keyed_lens);
+      ("composers-diff", Bx_catalogue.Composers_string.diff_lens);
+      ("composers-positional", Bx_catalogue.Composers_string.positional_lens);
+    ]
+  in
   match
-    Bx_server.Service.create ~config ~pages ~seed:Bx_catalogue.Catalogue.seed ()
+    Bx_server.Service.create ~config ~pages ~lenses
+      ~seed:Bx_catalogue.Catalogue.seed ()
   with
   | Error e ->
       Printf.eprintf "bxwiki: %s\n" e;

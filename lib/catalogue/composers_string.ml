@@ -45,6 +45,43 @@ let name_keyed_lens = Slens.star_key ~key:name_of_view_line line
 let diff_lens = Slens.star_diff ~key:Fun.id line
 let positional_lens = Slens.star line
 
+(* The same lens on the copying reference engine — the baseline the
+   benchmarks compare against and the oracle of the equivalence tests. *)
+let ref_lens =
+  Slens_ref.star_key ~key:Fun.id
+    (Slens_ref.concat_list
+       [
+         Slens_ref.copy word;
+         Slens_ref.copy comma;
+         Slens_ref.del (Regex.seq dates comma) ~default:"????-????, ";
+         Slens_ref.copy word;
+         Slens_ref.copy (Regex.chr '\n');
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic synthetic documents, shared by benchmarks and tests.
+   [token i] is a letters-only word (the lens's types demand letters). *)
+
+let token i =
+  let letters = "abcdefghij" in
+  let rec go i acc =
+    let acc = String.make 1 letters.[i mod 10] ^ acc in
+    if i < 10 then acc else go (i / 10) acc
+  in
+  "c" ^ go i ""
+
+let synthetic_source k =
+  String.concat ""
+    (List.init k (fun i ->
+         Printf.sprintf "%s, 1900-1999, %s\n" (token i) (token (i mod 7))))
+
+let synthetic_view k =
+  (* Reversed order so dictionary alignment really searches. *)
+  String.concat ""
+    (List.init k (fun i ->
+         let i = k - 1 - i in
+         Printf.sprintf "%s, %s\n" (token i) (token (i mod 7))))
+
 let source_of_composers m =
   Composers.canon_m m
   |> List.map (fun (c : Composers.composer) ->

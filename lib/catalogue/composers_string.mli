@@ -34,6 +34,23 @@ val positional_lens : Bx_strlens.Slens.t
     showing what resourcefulness buys: under view reordering, dates stay
     at their positions instead of following their composers. *)
 
+val ref_lens : Bx_strlens.Slens_ref.t
+(** {!lens} rebuilt on the copying reference engine
+    ({!Bx_strlens.Slens_ref}): the baseline for the P7 benchmark series
+    and the oracle of the engine-equivalence tests. *)
+
+val token : int -> string
+(** A deterministic letters-only word for index [i] — the vocabulary of
+    the synthetic documents. *)
+
+val synthetic_source : int -> string
+(** A [k]-record source document ["<token>, 1900-1999, <token>\n"...],
+    deterministic in [k].  Shared by benchmarks and tests. *)
+
+val synthetic_view : int -> string
+(** The matching [k]-record view document, in {e reversed} record order
+    so that dictionary alignment has real work to do. *)
+
 val source_of_composers : Composers.m -> string
 (** Render a set of composers as a source document (sorted). *)
 

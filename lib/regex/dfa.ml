@@ -151,23 +151,25 @@ let accepting d i = d.accept.(i)
    construction (the table is total) and the index fits the table by the
    row layout. *)
 
-let run_from d i s =
+let run_from_sub d i s ~pos ~len =
   let table = d.table in
   let st = ref i in
-  for k = 0 to String.length s - 1 do
+  for k = pos to pos + len - 1 do
     st :=
       Array.unsafe_get table
         ((!st lsl 8) lor Char.code (String.unsafe_get s k))
   done;
   !st
 
-let accepts d s =
+let run_from d i s = run_from_sub d i s ~pos:0 ~len:(String.length s)
+
+let accepts_sub d s ~pos ~len =
   let table = d.table in
   let sink = d.sink in
-  let n = String.length s in
   let st = ref initial in
-  let i = ref 0 in
-  while !i < n && !st <> sink do
+  let i = ref pos in
+  let stop = pos + len in
+  while !i < stop && !st <> sink do
     st :=
       Array.unsafe_get table
         ((!st lsl 8) lor Char.code (String.unsafe_get s !i));
@@ -175,20 +177,97 @@ let accepts d s =
   done;
   !st <> sink && d.accept.(!st)
 
-let prefix_marks d s =
+let accepts d s = accepts_sub d s ~pos:0 ~len:(String.length s)
+
+(* Slice mark passes write into caller-provided scratch ([Bytes], one
+   byte per position, 1 = marked) so a lens execution can reuse the same
+   two buffers for every split it performs. *)
+
+let prefix_marks_sub d s ~pos ~len ~into =
   let table = d.table in
   let accept = d.accept in
-  let n = String.length s in
-  let marks = Array.make (n + 1) false in
+  let sink = d.sink in
   let st = ref initial in
-  marks.(0) <- Array.unsafe_get accept initial;
-  for i = 0 to n - 1 do
+  Bytes.unsafe_set into 0 (if Array.unsafe_get accept initial then '\001' else '\000');
+  let i = ref 0 in
+  while !i < len && !st <> sink do
     st :=
       Array.unsafe_get table
-        ((!st lsl 8) lor Char.code (String.unsafe_get s i));
-    marks.(i + 1) <- Array.unsafe_get accept !st
+        ((!st lsl 8) lor Char.code (String.unsafe_get s (pos + !i)));
+    Bytes.unsafe_set into (!i + 1)
+      (if Array.unsafe_get accept !st then '\001' else '\000');
+    incr i
   done;
-  marks
+  (* Once the sink is reached no later prefix can be accepted; blank the
+     tail so reused scratch never shows stale marks. *)
+  if !i < len then Bytes.fill into (!i + 1) (len - !i) '\000';
+  !i
+
+(* [suffix_marks_sub d s ~pos ~len ~into] expects [d] to recognise the
+   REVERSAL of the language of interest and runs it right to left over
+   the original bytes — no reversed copy of the string is ever built.
+   After the call, [into.(i) = 1] iff [s[pos+i .. pos+len)] belongs to
+   the (unreversed) language. *)
+let suffix_marks_sub d s ~pos ~len ~into =
+  let table = d.table in
+  let accept = d.accept in
+  let sink = d.sink in
+  let st = ref initial in
+  Bytes.unsafe_set into len
+    (if Array.unsafe_get accept initial then '\001' else '\000');
+  let i = ref (len - 1) in
+  while !i >= 0 && !st <> sink do
+    st :=
+      Array.unsafe_get table
+        ((!st lsl 8) lor Char.code (String.unsafe_get s (pos + !i)));
+    Bytes.unsafe_set into !i
+      (if Array.unsafe_get accept !st then '\001' else '\000');
+    decr i
+  done;
+  if !i >= 0 then Bytes.fill into 0 (!i + 1) '\000';
+  !i + 1
+
+(* The k-way variant: one right-to-left pass over the slice advancing
+   every (reversed) automaton at once; bit [j] of [into.(i)] reports
+   automaton [j]'s acceptance of [s[pos+i .. pos+len)].  This is what
+   lets a k-ary concatenation splitter share a single suffix pass
+   instead of running one full pass per part. *)
+let suffix_marks_multi ds s ~pos ~len ~into =
+  let k = Array.length ds in
+  if k > Sys.int_size - 2 then
+    invalid_arg "Dfa.suffix_marks_multi: too many automata for one word";
+  let states = Array.make k initial in
+  let mask = ref 0 in
+  for j = 0 to k - 1 do
+    if ds.(j).accept.(initial) then mask := !mask lor (1 lsl j)
+  done;
+  into.(len) <- !mask;
+  for i = len - 1 downto 0 do
+    let c = Char.code (String.unsafe_get s (pos + i)) in
+    let m = ref 0 in
+    for j = 0 to k - 1 do
+      let d = Array.unsafe_get ds j in
+      let st =
+        Array.unsafe_get d.table
+          ((Array.unsafe_get states j lsl 8) lor c)
+      in
+      Array.unsafe_set states j st;
+      if Array.unsafe_get d.accept st then m := !m lor (1 lsl j)
+    done;
+    Array.unsafe_set into i !m
+  done
+
+let prefix_marks d s =
+  let n = String.length s in
+  let scratch = Bytes.create (n + 1) in
+  let (_ : int) = prefix_marks_sub d s ~pos:0 ~len:n ~into:scratch in
+  Array.init (n + 1) (fun i -> Bytes.get scratch i = '\001')
+
+(* Raw views of the dense tables, for the splitter inner loops: a chunk
+   scan steps the automaton once per byte and a cross-module call per
+   byte would dominate it. *)
+let raw_table d = d.table
+let raw_accept d = d.accept
 
 let is_empty_lang d = not (Array.exists Fun.id d.accept)
 

@@ -53,12 +53,51 @@ val accepting : t -> int -> bool
 val accepts : t -> string -> bool
 (** Full-string membership; bails out early at the sink state. *)
 
+val accepts_sub : t -> string -> pos:int -> len:int -> bool
+(** Membership of the slice [s[pos .. pos+len)] — no substring is built. *)
+
 val run_from : t -> int -> string -> int
 (** Run the automaton over a string from a given state. *)
+
+val run_from_sub : t -> int -> string -> pos:int -> len:int -> int
+(** Run the automaton over the slice [s[pos .. pos+len)] from a state. *)
 
 val prefix_marks : t -> string -> bool array
 (** [prefix_marks d s] has length [String.length s + 1]; element [i] tells
     whether the prefix [s[0..i)] is accepted. *)
+
+val prefix_marks_sub : t -> string -> pos:int -> len:int -> into:Bytes.t -> int
+(** Slice variant of {!prefix_marks} writing into caller scratch: after
+    the call, [into.(i) = '\001'] iff [s[pos .. pos+i)] is accepted, for
+    [0 <= i <= len].  [into] must have at least [len + 1] bytes; lens
+    executions reuse one buffer across every split of a run.  The pass
+    bails out at the sink state (blanking the rest of the scratch) and
+    returns the highest index that can still carry a mark. *)
+
+val suffix_marks_sub : t -> string -> pos:int -> len:int -> into:Bytes.t -> int
+(** [d] must recognise the {e reversal} of the language of interest
+    (compile [Regex.reverse r]); the pass then runs right to left over
+    the original bytes — the reversed string is never materialised.
+    After the call, [into.(i) = '\001'] iff [s[pos+i .. pos+len)] belongs
+    to the unreversed language.  [into] needs [len + 1] bytes.  Bails
+    out at the sink (blanking the scratch below) and returns the lowest
+    index that can still carry a mark. *)
+
+val suffix_marks_multi : t array -> string -> pos:int -> len:int -> into:int array -> unit
+(** One right-to-left pass advancing every (reversed) automaton at once:
+    bit [j] of [into.(i)] reports whether [s[pos+i .. pos+len)] belongs
+    to automaton [j]'s (unreversed) language.  [into] needs [len + 1]
+    slots; at most [Sys.int_size - 2] automata.  The shared pass behind
+    the k-ary concatenation splitter. *)
+
+val raw_table : t -> int array
+(** The dense transition table itself: the successor of state [i] on byte
+    [c] is at index [(i lsl 8) lor c].  Exposed for the splitter inner
+    loops, which step the automaton once per byte and cannot afford a
+    cross-module call each time.  Do not mutate. *)
+
+val raw_accept : t -> bool array
+(** The acceptance vector, indexed by state.  Do not mutate. *)
 
 val is_empty_lang : t -> bool
 (** Whether the language is empty (no accepting state exists; all states

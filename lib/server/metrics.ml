@@ -12,11 +12,14 @@ type histogram = {
   mutable total : int;
 }
 
+type lens_op = { mutable ops : int; mutable docs : int; mutable op_bytes : int }
+
 type t = {
   mutex : Mutex.t;
   requests : (string * string * int, int ref) Hashtbl.t;
   errors : (string * string, int ref) Hashtbl.t; (* (route, reason) *)
   latency : (string, histogram) Hashtbl.t; (* per route *)
+  lens_ops : (string * string, lens_op) Hashtbl.t; (* (lens, op) *)
   mutable hits : int;
   mutable misses : int;
 }
@@ -27,6 +30,7 @@ let create () =
     requests = Hashtbl.create 16;
     errors = Hashtbl.create 16;
     latency = Hashtbl.create 16;
+    lens_ops = Hashtbl.create 16;
     hits = 0;
     misses = 0;
   }
@@ -67,6 +71,24 @@ let observe_request t ~route ~meth ~status ~seconds =
 
 let protocol_error t ~route ~reason =
   locked t (fun () -> bump t.errors (route, reason))
+
+let observe_lens t ~lens ~op ~docs ~bytes =
+  locked t (fun () ->
+      let c =
+        match Hashtbl.find_opt t.lens_ops (lens, op) with
+        | Some c -> c
+        | None ->
+            let c = { ops = 0; docs = 0; op_bytes = 0 } in
+            Hashtbl.replace t.lens_ops (lens, op) c;
+            c
+      in
+      c.ops <- c.ops + 1;
+      c.docs <- c.docs + docs;
+      c.op_bytes <- c.op_bytes + bytes)
+
+let lens_ops_total t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ c acc -> acc + c.ops) t.lens_ops 0)
 
 let cache_hit t = locked t (fun () -> t.hits <- t.hits + 1)
 let cache_miss t = locked t (fun () -> t.misses <- t.misses + 1)
@@ -127,6 +149,30 @@ let render t =
              line "bxwiki_request_duration_seconds_sum{route=%S} %g" route h.sum;
              line "bxwiki_request_duration_seconds_count{route=%S} %d" route
                h.total);
+      line "# HELP bxwiki_lens_requests_total Lens operations served, by lens and operation.";
+      line "# TYPE bxwiki_lens_requests_total counter";
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.lens_ops []
+      |> List.sort compare
+      |> List.iter (fun ((lens, op), c) ->
+             line "bxwiki_lens_requests_total{lens=%S,op=%S} %d" lens op c.ops;
+             line "bxwiki_lens_documents_total{lens=%S,op=%S} %d" lens op c.docs;
+             line "bxwiki_lens_request_bytes_total{lens=%S,op=%S} %d" lens op
+               c.op_bytes);
+      (* The engine-level counters come straight from the string-lens
+         runtime: process-global atomics, not per-service state. *)
+      let es = Bx_strlens.Slens.stats () in
+      line "# HELP bxwiki_slens_bytes_processed_total Input bytes through the string-lens engine.";
+      line "# TYPE bxwiki_slens_bytes_processed_total counter";
+      line "bxwiki_slens_bytes_processed_total %d" es.Bx_strlens.Slens.bytes;
+      line "# HELP bxwiki_slens_splits_total Split decisions made by the slice engine.";
+      line "# TYPE bxwiki_slens_splits_total counter";
+      line "bxwiki_slens_splits_total %d" es.Bx_strlens.Slens.splits;
+      line "# HELP bxwiki_slens_ctx_reuse_total Lens runs that reused their domain's execution context.";
+      line "# TYPE bxwiki_slens_ctx_reuse_total counter";
+      line "bxwiki_slens_ctx_reuse_total %d" es.Bx_strlens.Slens.ctx_reuse;
+      line "# HELP bxwiki_slens_ctx_fresh_total Lens runs that allocated a fresh execution context.";
+      line "# TYPE bxwiki_slens_ctx_fresh_total counter";
+      line "bxwiki_slens_ctx_fresh_total %d" es.Bx_strlens.Slens.ctx_fresh;
       line "# HELP bxwiki_cache_hits_total Rendered-page cache hits.";
       line "# TYPE bxwiki_cache_hits_total counter";
       line "bxwiki_cache_hits_total %d" t.hits;

@@ -29,6 +29,13 @@ val protocol_error : t -> route:string -> reason:string -> unit
 (** Record a request that failed before reaching the handler (malformed
     request line, oversized body, socket timeout...). *)
 
+val observe_lens : t -> lens:string -> op:string -> docs:int -> bytes:int -> unit
+(** Record one lens operation served over HTTP: [op] is [get], [put],
+    [create] or their batch variants; [docs] the number of documents in
+    the request, [bytes] the input payload size.  The engine-level
+    counters ([bxwiki_slens_*]) are read from {!Bx_strlens.Slens.stats}
+    at render time and need no recording here. *)
+
 val cache_hit : t -> unit
 val cache_miss : t -> unit
 
@@ -43,5 +50,9 @@ val requests_total : t -> int
 (** Sum over all (route, method, status) series. *)
 
 val errors_total : t -> int
+
+val lens_ops_total : t -> int
+(** Sum over all (lens, op) series. *)
+
 val cache_counts : t -> int * int
 (** (hits, misses). *)

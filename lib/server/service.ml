@@ -4,6 +4,7 @@ type config = {
   compact_every : int;
   max_body : int;
   read_timeout : float;
+  lens_workers : int;
 }
 
 let default_config =
@@ -13,6 +14,7 @@ let default_config =
     compact_every = 64;
     max_body = Httpd.default_max_body;
     read_timeout = 10.0;
+    lens_workers = 4;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -74,6 +76,7 @@ type t = {
   registry : Bx_repo.Registry.t;
   lock : Rwlock.t;
   pages : (string * (unit -> string * string)) list;
+  lenses : (string * Bx_strlens.Slens.t) list;
   pages_mutex : Mutex.t;
       (* extra-page thunks may force lazies; serialise them so worker
          domains cannot race inside [Lazy.force] *)
@@ -117,7 +120,7 @@ let replay_edits registry records =
       end)
     (0, 0) records
 
-let create ?(config = default_config) ?(pages = []) ~seed () =
+let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
   let metrics = Metrics.create () in
   let fresh ~registry ~journal ~applied ~failed =
     {
@@ -125,6 +128,7 @@ let create ?(config = default_config) ?(pages = []) ~seed () =
       registry;
       lock = Rwlock.create ();
       pages;
+      lenses;
       pages_mutex = Mutex.create ();
       journal;
       metrics;
@@ -175,10 +179,14 @@ let create ?(config = default_config) ?(pages = []) ~seed () =
 (* ------------------------------------------------------------------ *)
 (* Request handling *)
 
+let is_slens_path path =
+  String.length path > 7 && String.sub path 0 7 = "/slens/"
+
 let route_of t path =
   let ends_with suffix = Filename.check_suffix path suffix in
   if path = "/" || path = "" then "index"
   else if path = "/metrics" then "metrics"
+  else if is_slens_path path then "slens"
   else if path = "/glossary" then "glossary"
   else if path = "/manuscript" then "manuscript"
   else if List.mem_assoc path t.pages then path
@@ -232,6 +240,89 @@ let checkpoint_locked t =
       Journal.checkpoint j ~save:(fun ~dir ->
           Bx_repo.Store.save ~dir t.registry)
 
+(* ------------------------------------------------------------------ *)
+(* Lens execution routes.  POST /slens/<name>/<op>; single-document ops
+   take the raw document as the body, [put] separates view from source
+   with an ASCII record separator (0x1e).  Batch ops take RS-separated
+   records (for [put_batch], view and source within a record are
+   separated by the unit separator 0x1f) and fan across
+   [config.lens_workers] domains.  Lens runs never touch the registry,
+   so they bypass the reader/writer lock entirely. *)
+
+let rs = '\x1e'
+let us = '\x1f'
+let rs_str = String.make 1 rs
+
+let respond_text status body =
+  { Bx_repo.Webui.status; content_type = "text/plain; charset=utf-8"; body }
+
+let split_once sep str =
+  match String.index_opt str sep with
+  | None -> None
+  | Some i ->
+      Some (String.sub str 0 i, String.sub str (i + 1) (String.length str - i - 1))
+
+let handle_slens t path body =
+  match String.split_on_char '/' path with
+  | [ ""; "slens"; name; op ] -> (
+      match List.assoc_opt name t.lenses with
+      | None -> respond_text 404 (Printf.sprintf "unknown lens %S\n" name)
+      | Some lens -> (
+          let workers = t.config.lens_workers in
+          let observe op docs =
+            Metrics.observe_lens t.metrics ~lens:name ~op ~docs
+              ~bytes:(String.length body)
+          in
+          try
+            match op with
+            | "get" ->
+                observe "get" 1;
+                respond_text 200 (lens.Bx_strlens.Slens.get body)
+            | "create" ->
+                observe "create" 1;
+                respond_text 200 (lens.Bx_strlens.Slens.create body)
+            | "put" -> (
+                match split_once rs body with
+                | None ->
+                    respond_text 400
+                      "put body must be <view> RS (0x1e) <source>\n"
+                | Some (v, s) ->
+                    observe "put" 1;
+                    respond_text 200 (lens.Bx_strlens.Slens.put v s))
+            | "get_batch" ->
+                let docs =
+                  if body = "" then [] else String.split_on_char rs body
+                in
+                observe "get_batch" (List.length docs);
+                respond_text 200
+                  (String.concat rs_str
+                     (Bx_strlens.Slens.get_all ~workers lens docs))
+            | "put_batch" -> (
+                let records =
+                  if body = "" then [] else String.split_on_char rs body
+                in
+                match
+                  List.fold_right
+                    (fun r acc ->
+                      match (acc, split_once us r) with
+                      | None, _ | _, None -> None
+                      | Some acc, Some pair -> Some (pair :: acc))
+                    records (Some [])
+                with
+                | None ->
+                    respond_text 400
+                      "put_batch records must be <view> US (0x1f) <source>\n"
+                | Some pairs ->
+                    observe "put_batch" (List.length pairs);
+                    respond_text 200
+                      (String.concat rs_str
+                         (Bx_strlens.Slens.put_all ~workers lens pairs)))
+            | _ -> respond_text 404 (Printf.sprintf "unknown lens op %S\n" op)
+          with
+          | Bx_strlens.Slens.Type_error m | Bx_strlens.Split.Split_error m ->
+            respond_text 422 (m ^ "\n")))
+  | _ -> respond_text 404 "lens paths are /slens/<name>/<op>\n"
+
 let handle_post t path body =
   Rwlock.write t.lock (fun () ->
       let response =
@@ -278,6 +369,7 @@ let handle t ~meth ~path ~body =
           body = Metrics.render t.metrics;
         }
     | "GET" -> handle_get t path
+    | "POST" when is_slens_path path -> handle_slens t path body
     | "POST" -> handle_post t path body
     | _ ->
         respond_html 405 "Method not allowed" "<p>Use GET or POST.</p>"

@@ -32,31 +32,46 @@ type config = {
           [0] disables automatic compaction *)
   max_body : int;  (** request body cap in bytes *)
   read_timeout : float;  (** per-socket receive timeout, seconds *)
+  lens_workers : int;
+      (** domains fanned over by the batch lens endpoints
+          ([/slens/<name>/get_batch] and [put_batch]) *)
 }
 
 val default_config : config
 (** No journal, 256 cached pages, compact every 64 edits, 1 MiB bodies,
-    10 s read timeout. *)
+    10 s read timeout, 4 lens workers. *)
 
 type t
 
 val create :
   ?config:config
   -> ?pages:(string * (unit -> string * string)) list
+  -> ?lenses:(string * Bx_strlens.Slens.t) list
   -> seed:(unit -> Bx_repo.Registry.t)
   -> unit
   -> (t, string) result
 (** [seed] produces the registry used when there is no snapshot to load
     (first boot, or no journal configured).  [pages] adds extra GET
-    routes exactly as in {!Bx_repo.Webui.handle}.  With a journal
-    directory the snapshot is loaded (or [seed] run), the log replayed,
-    and the log opened for appending. *)
+    routes exactly as in {!Bx_repo.Webui.handle}.  [lenses] registers
+    named string lenses served at [POST /slens/<name>/<op>] — see
+    {!handle}.  With a journal directory the snapshot is loaded (or
+    [seed] run), the log replayed, and the log opened for appending. *)
 
 val handle :
   t -> meth:string -> path:string -> body:string -> Bx_repo.Webui.response
 (** One request through locks, cache, journal and metrics — the
     transport-free core, used by every worker and directly by tests and
-    benchmarks.  [GET /metrics] is answered here. *)
+    benchmarks.  [GET /metrics] is answered here.
+
+    Registered lenses are served at [POST /slens/<name>/<op>], bypassing
+    the registry lock (lens runs touch no shared state):
+    - [get] / [create]: the body is the document, the response its image;
+    - [put]: body is [view RS source] (RS = byte 0x1e);
+    - [get_batch]: body is RS-separated sources, answered in order;
+    - [put_batch]: RS-separated records of [view US source] (US = 0x1f).
+    Batch operations fan across [config.lens_workers] domains via
+    {!Bx_strlens.Slens.get_all}/[put_all].  Ill-typed documents get a
+    422 with the engine's message; unknown lenses a 404. *)
 
 val serve :
   t

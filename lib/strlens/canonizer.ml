@@ -50,13 +50,10 @@ let left_quot cz (l : Slens.t) =
            (Printf.sprintf
               "left_quot: canonical type and lens source type differ \
                (witness %S)" w)));
-  {
-    Slens.stype = cz.ctype;
-    vtype = l.Slens.vtype;
-    get = (fun s -> l.Slens.get (cz.canonize s));
-    put = (fun v s -> l.Slens.put v (cz.canonize s));
-    create = l.Slens.create;
-  }
+  Slens.of_funs ~stype:cz.ctype ~vtype:l.Slens.vtype
+    ~get:(fun s -> l.Slens.get (cz.canonize s))
+    ~put:(fun v s -> l.Slens.put v (cz.canonize s))
+    ~create:l.Slens.create
 
 let right_quot (l : Slens.t) cz =
   (match Lang.equiv_counterexample cz.atype l.Slens.vtype with
@@ -67,13 +64,9 @@ let right_quot (l : Slens.t) cz =
            (Printf.sprintf
               "right_quot: canonical type and lens view type differ \
                (witness %S)" w)));
-  {
-    Slens.stype = l.Slens.stype;
-    vtype = cz.ctype;
-    get = l.Slens.get;
-    put = (fun v s -> l.Slens.put (cz.canonize v) s);
-    create = (fun v -> l.Slens.create (cz.canonize v));
-  }
+  Slens.of_funs ~stype:l.Slens.stype ~vtype:cz.ctype ~get:l.Slens.get
+    ~put:(fun v s -> l.Slens.put (cz.canonize v) s)
+    ~create:(fun v -> l.Slens.create (cz.canonize v))
 
 let canonized_law cz =
   Bx.Law.make ~name:"canonizer:canonize-into-atype"

@@ -4,13 +4,170 @@ exception Type_error of string
 
 let type_error fmt = Format.kasprintf (fun m -> raise (Type_error m)) fmt
 
+(* ------------------------------------------------------------------ *)
+(* Engine instrumentation, process-global and domain-safe.  [bytes]
+   counts input bytes entering top-level runs, [splits] the split
+   decisions made by the slice engine, [ctx_reuse]/[ctx_fresh] how
+   often a top-level run found its domain's execution context free
+   versus having to allocate one. *)
+
+let stat_bytes = Atomic.make 0
+let stat_splits = Atomic.make 0
+let stat_ctx_reuse = Atomic.make 0
+let stat_ctx_fresh = Atomic.make 0
+
+type stats = { bytes : int; splits : int; ctx_reuse : int; ctx_fresh : int }
+
+let stats () =
+  {
+    bytes = Atomic.get stat_bytes;
+    splits = Atomic.get stat_splits;
+    ctx_reuse = Atomic.get stat_ctx_reuse;
+    ctx_fresh = Atomic.get stat_ctx_fresh;
+  }
+
+let reset_stats () =
+  Atomic.set stat_bytes 0;
+  Atomic.set stat_splits 0;
+  Atomic.set stat_ctx_reuse 0;
+  Atomic.set stat_ctx_fresh 0
+
+(* ------------------------------------------------------------------ *)
+(* The execution context: one shared output buffer, one splitter
+   workspace, one spare buffer for the few places that must materialise
+   an intermediate string (chunk keys, compose).  Each domain keeps one
+   context and reuses it across runs; a re-entrant run (a user key
+   function invoking a lens, a lens inside a lens) simply allocates a
+   second context for its duration. *)
+
+type ctx = {
+  mutable out : Buffer.t;
+  ws : Split.ws;
+  mutable spare : Buffer.t option;
+}
+
+let make_ctx () =
+  { out = Buffer.create 1024; ws = Split.make_ws (); spare = None }
+
+let ctx_slot : ctx option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* Run [emit] in a (reused) context and return the bytes it produced.
+   [input_bytes] is the instrumentation charge for this run. *)
+let exec input_bytes emit =
+  let slot = Domain.DLS.get ctx_slot in
+  let ctx =
+    match !slot with
+    | Some ctx ->
+        slot := None;
+        Atomic.incr stat_ctx_reuse;
+        ctx
+    | None ->
+        Atomic.incr stat_ctx_fresh;
+        make_ctx ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Buffer.clear ctx.out;
+      let (_ : int) = Atomic.fetch_and_add stat_splits (Split.splits_performed ctx.ws) in
+      Split.reset_splits ctx.ws;
+      slot := Some ctx)
+    (fun () ->
+      emit ctx;
+      let (_ : int) = Atomic.fetch_and_add stat_bytes input_bytes in
+      Buffer.contents ctx.out)
+
+(* Redirect the context's output into a side buffer for the duration of
+   [emit] and return what it wrote — for the few combinators that need
+   an intermediate string (chunk keys, compose). *)
+let capture ctx emit =
+  let saved = ctx.out in
+  let side =
+    match ctx.spare with
+    | Some b ->
+        ctx.spare <- None;
+        Buffer.clear b;
+        b
+    | None -> Buffer.create 128
+  in
+  ctx.out <- side;
+  Fun.protect
+    ~finally:(fun () ->
+      ctx.out <- saved;
+      ctx.spare <- Some side)
+    (fun () ->
+      emit ();
+      Buffer.contents side)
+
+(* ------------------------------------------------------------------ *)
+(* Lenses.  The three emitters work over (string, pos, len) slices and
+   write to the context's output buffer; the public string-to-string
+   functions are the emitters sealed behind a context acquisition. *)
+
+type impl = {
+  e_get : ctx -> string -> int -> int -> unit;
+  e_put : ctx -> string -> int -> int -> string -> int -> int -> unit;
+  e_create : ctx -> string -> int -> int -> unit;
+}
+
 type t = {
   stype : Regex.t;
   vtype : Regex.t;
   get : string -> string;
   put : string -> string -> string;
   create : string -> string;
+  impl : impl;
 }
+
+let seal ~stype ~vtype impl =
+  (* The emitters assume well-typed slices (splitting re-establishes the
+     invariant structurally), so membership is verified once, here, at
+     the public string boundary.  The DFAs are compiled on first use and
+     shared through the global compile cache. *)
+  let ds = lazy (Dfa.compile stype) and dv = lazy (Dfa.compile vtype) in
+  let require what d r x =
+    if not (Dfa.accepts_sub (Lazy.force d) x ~pos:0 ~len:(String.length x))
+    then type_error "%s: %S does not belong to %a" what x Regex.pp r
+  in
+  {
+    stype;
+    vtype;
+    impl;
+    get =
+      (fun s ->
+        require "get" ds stype s;
+        let n = String.length s in
+        exec n (fun ctx -> impl.e_get ctx s 0 n));
+    put =
+      (fun v s ->
+        require "put" dv vtype v;
+        require "put" ds stype s;
+        let nv = String.length v and ns = String.length s in
+        exec (nv + ns) (fun ctx -> impl.e_put ctx v 0 nv s 0 ns));
+    create =
+      (fun v ->
+        require "create" dv vtype v;
+        let n = String.length v in
+        exec n (fun ctx -> impl.e_create ctx v 0 n));
+  }
+
+let of_funs ~stype ~vtype ~get ~put ~create =
+  (* Wrap opaque string functions (canonizers, user code) as a lens;
+     inside a larger lens their slices are materialised at this
+     boundary. *)
+  let impl =
+    {
+      e_get =
+        (fun ctx s pos len -> Buffer.add_string ctx.out (get (String.sub s pos len)));
+      e_put =
+        (fun ctx v vp vl s sp sl ->
+          Buffer.add_string ctx.out (put (String.sub v vp vl) (String.sub s sp sl)));
+      e_create =
+        (fun ctx v vp vl ->
+          Buffer.add_string ctx.out (create (String.sub v vp vl)));
+    }
+  in
+  { stype; vtype; get; put; create; impl }
 
 let require_unambig_concat what r1 r2 =
   match Ambig.unambig_concat r1 r2 with
@@ -25,140 +182,238 @@ let require_unambig_star what r =
   | Error w ->
       type_error "%s: ambiguous iteration of %a (witness %S)" what Regex.pp r w
 
-let copy r =
+(* ------------------------------------------------------------------ *)
+(* Primitives *)
+
+let copy_impl =
   {
-    stype = r;
-    vtype = r;
-    get = Fun.id;
-    put = (fun v _ -> v);
-    create = Fun.id;
+    e_get = (fun ctx s pos len -> Buffer.add_substring ctx.out s pos len);
+    e_put = (fun ctx v vp vl _ _ _ -> Buffer.add_substring ctx.out v vp vl);
+    e_create = (fun ctx v vp vl -> Buffer.add_substring ctx.out v vp vl);
   }
+
+let copy r = seal ~stype:r ~vtype:r copy_impl
+
+let slice_equal lit s pos len =
+  len = String.length lit
+  &&
+  let rec eq i =
+    i >= len || (String.unsafe_get s (pos + i) = String.unsafe_get lit i && eq (i + 1))
+  in
+  eq 0
 
 let const ~stype ~view ~default =
   if not (Regex.matches stype default) then
     type_error "const: default %S is not in the source type %a" default
       Regex.pp stype;
-  {
-    stype;
-    vtype = Regex.str view;
-    get = (fun _ -> view);
-    put =
-      (fun v s ->
-        if String.equal v view then s
-        else type_error "const: put view %S differs from constant %S" v view);
-    create =
-      (fun v ->
-        if String.equal v view then default
-        else type_error "const: create view %S differs from constant %S" v view);
-  }
+  seal ~stype ~vtype:(Regex.str view)
+    {
+      e_get = (fun ctx _ _ _ -> Buffer.add_string ctx.out view);
+      e_put =
+        (fun ctx v vp vl s sp sl ->
+          if slice_equal view v vp vl then Buffer.add_substring ctx.out s sp sl
+          else
+            type_error "const: put view %S differs from constant %S"
+              (String.sub v vp vl) view);
+      e_create =
+        (fun ctx v vp vl ->
+          if slice_equal view v vp vl then Buffer.add_string ctx.out default
+          else
+            type_error "const: create view %S differs from constant %S"
+              (String.sub v vp vl) view);
+    }
 
 let del r ~default = const ~stype:r ~view:"" ~default
 let ins s = const ~stype:Regex.epsilon ~view:s ~default:""
 
+(* ------------------------------------------------------------------ *)
+(* Concatenation.  All concatenations — binary [concat], [concat_list],
+   [permute] — run on the k-ary single-pass splitter: one shared
+   suffix pass for all the rest-languages, k short forward scans, no
+   intermediate substrings. *)
+
+let multi_impl lenses =
+  let ls = Array.of_list lenses in
+  let k = Array.length ls in
+  let split_s = Split.make_multi_bounds (List.map (fun l -> l.stype) lenses) in
+  let split_v = Split.make_multi_bounds (List.map (fun l -> l.vtype) lenses) in
+  {
+    e_get =
+      (fun ctx s pos len ->
+        let bs = split_s ctx.ws s pos len in
+        for i = 0 to k - 1 do
+          ls.(i).impl.e_get ctx s bs.(i) (bs.(i + 1) - bs.(i))
+        done);
+    e_put =
+      (fun ctx v vp vl s sp sl ->
+        let vb = split_v ctx.ws v vp vl in
+        let sb = split_s ctx.ws s sp sl in
+        for i = 0 to k - 1 do
+          ls.(i).impl.e_put ctx v vb.(i)
+            (vb.(i + 1) - vb.(i))
+            s sb.(i)
+            (sb.(i + 1) - sb.(i))
+        done);
+    e_create =
+      (fun ctx v vp vl ->
+        let vb = split_v ctx.ws v vp vl in
+        for i = 0 to k - 1 do
+          ls.(i).impl.e_create ctx v vb.(i) (vb.(i + 1) - vb.(i))
+        done);
+  }
+
 let concat l1 l2 =
   require_unambig_concat "concat (source)" l1.stype l2.stype;
   require_unambig_concat "concat (view)" l1.vtype l2.vtype;
-  let split_s = Split.make_concat_splitter l1.stype l2.stype in
-  let split_v = Split.make_concat_splitter l1.vtype l2.vtype in
-  {
-    stype = Regex.seq l1.stype l2.stype;
-    vtype = Regex.seq l1.vtype l2.vtype;
-    get =
-      (fun s ->
-        let s1, s2 = split_s s in
-        l1.get s1 ^ l2.get s2);
-    put =
-      (fun v s ->
-        let v1, v2 = split_v v in
-        let s1, s2 = split_s s in
-        l1.put v1 s1 ^ l2.put v2 s2);
-    create =
-      (fun v ->
-        let v1, v2 = split_v v in
-        l1.create v1 ^ l2.create v2);
-  }
+  seal
+    ~stype:(Regex.seq l1.stype l2.stype)
+    ~vtype:(Regex.seq l1.vtype l2.vtype)
+    (multi_impl [ l1; l2 ])
+
+(* Pairwise unambiguity along a concatenation chain guarantees the
+   k-way split is unique. *)
+let rec check_chain what = function
+  | [] | [ _ ] -> ()
+  | r :: rest ->
+      require_unambig_concat what r (Regex.concat_list rest);
+      check_chain what rest
 
 let concat_list = function
   | [] -> copy Regex.epsilon
-  | l :: rest -> List.fold_left concat l rest
+  | [ l ] -> l
+  | ls ->
+      let stypes = List.map (fun l -> l.stype) ls in
+      let vtypes = List.map (fun l -> l.vtype) ls in
+      check_chain "concat (source)" stypes;
+      check_chain "concat (view)" vtypes;
+      seal
+        ~stype:(Regex.concat_list stypes)
+        ~vtype:(Regex.concat_list vtypes)
+        (multi_impl ls)
+
+(* ------------------------------------------------------------------ *)
+(* Union.  Membership tests run on compiled DFAs over the slice and
+   stop at the first decisive answer: the common put case (view and old
+   source both on the same branch) costs two scans, never four. *)
 
 let union l1 l2 =
   (match Ambig.disjoint_union l1.stype l2.stype with
   | Ok () -> ()
-  | Error w ->
-      type_error "union: source types overlap (witness %S)" w);
-  {
-    stype = Regex.alt l1.stype l2.stype;
-    vtype = Regex.alt l1.vtype l2.vtype;
-    get =
-      (fun s -> if Regex.matches l1.stype s then l1.get s else l2.get s);
-    put =
-      (fun v s ->
-        let v1 = Regex.matches l1.vtype v and v2 = Regex.matches l2.vtype v in
-        let s1 = Regex.matches l1.stype s in
-        match (v1, v2, s1) with
-        | true, _, true -> l1.put v s
-        | _, true, false -> l2.put v s
-        | true, false, false -> l1.create v
-        | false, true, true -> l2.create v
-        | false, false, _ ->
-            type_error "union: put view %S matches neither view type" v);
-    create =
-      (fun v ->
-        if Regex.matches l1.vtype v then l1.create v
-        else if Regex.matches l2.vtype v then l2.create v
-        else type_error "union: create view %S matches neither view type" v);
-  }
+  | Error w -> type_error "union: source types overlap (witness %S)" w);
+  let ds1 = Dfa.compile l1.stype in
+  let dv1 = Dfa.compile l1.vtype in
+  let dv2 = Dfa.compile l2.vtype in
+  seal
+    ~stype:(Regex.alt l1.stype l2.stype)
+    ~vtype:(Regex.alt l1.vtype l2.vtype)
+    {
+      e_get =
+        (fun ctx s pos len ->
+          if Dfa.accepts_sub ds1 s ~pos ~len then l1.impl.e_get ctx s pos len
+          else l2.impl.e_get ctx s pos len);
+      e_put =
+        (fun ctx v vp vl s sp sl ->
+          if Dfa.accepts_sub dv1 v ~pos:vp ~len:vl then
+            if Dfa.accepts_sub ds1 s ~pos:sp ~len:sl then
+              l1.impl.e_put ctx v vp vl s sp sl
+            else if Dfa.accepts_sub dv2 v ~pos:vp ~len:vl then
+              l2.impl.e_put ctx v vp vl s sp sl
+            else l1.impl.e_create ctx v vp vl
+          else if Dfa.accepts_sub dv2 v ~pos:vp ~len:vl then
+            if Dfa.accepts_sub ds1 s ~pos:sp ~len:sl then
+              l2.impl.e_create ctx v vp vl
+            else l2.impl.e_put ctx v vp vl s sp sl
+          else
+            type_error "union: put view %S matches neither view type"
+              (String.sub v vp vl));
+      e_create =
+        (fun ctx v vp vl ->
+          if Dfa.accepts_sub dv1 v ~pos:vp ~len:vl then l1.impl.e_create ctx v vp vl
+          else if Dfa.accepts_sub dv2 v ~pos:vp ~len:vl then
+            l2.impl.e_create ctx v vp vl
+          else
+            type_error "union: create view %S matches neither view type"
+              (String.sub v vp vl));
+    }
 
-(* Shared skeleton of [star] and [star_key]: the two differ only in how
-   view chunks are aligned with old source chunks during [put]. *)
+(* ------------------------------------------------------------------ *)
+(* Iteration.  Chunk boundaries for both sides are computed up front
+   (one suffix pass + one table scan each); alignment then pairs view
+   chunks with source chunks and emits straight into the output. *)
+
+(* The view of source chunk [i], materialised — alignment keys are user
+   strings, so this boundary copy is inherent to the [key] API. *)
+let chunk_view ctx l s bounds i =
+  capture ctx (fun () ->
+      l.impl.e_get ctx s bounds.(i) (bounds.(i + 1) - bounds.(i)))
+
 let star_with ~name ~align l =
   require_unambig_star (name ^ " (source)") l.stype;
   require_unambig_star (name ^ " (view)") l.vtype;
-  let split_s = Split.make_star_splitter l.stype in
-  let split_v = Split.make_star_splitter l.vtype in
-  {
-    stype = Regex.star l.stype;
-    vtype = Regex.star l.vtype;
-    get = (fun s -> String.concat "" (List.map l.get (split_s s)));
-    put =
-      (fun v s ->
-        let vchunks = split_v v and schunks = split_s s in
-        String.concat "" (align vchunks schunks));
-    create = (fun v -> String.concat "" (List.map l.create (split_v v)));
-  }
+  let bounds_s = Split.make_star_bounds l.stype in
+  let bounds_v = Split.make_star_bounds l.vtype in
+  seal
+    ~stype:(Regex.star l.stype)
+    ~vtype:(Regex.star l.vtype)
+    {
+      e_get =
+        (fun ctx s pos len ->
+          let bs = bounds_s ctx.ws s pos len in
+          for i = 0 to Array.length bs - 2 do
+            l.impl.e_get ctx s bs.(i) (bs.(i + 1) - bs.(i))
+          done);
+      e_put =
+        (fun ctx v vp vl s sp sl ->
+          let vb = bounds_v ctx.ws v vp vl in
+          let sb = bounds_s ctx.ws s sp sl in
+          align ctx v vb s sb);
+      e_create =
+        (fun ctx v vp vl ->
+          let vb = bounds_v ctx.ws v vp vl in
+          for i = 0 to Array.length vb - 2 do
+            l.impl.e_create ctx v vb.(i) (vb.(i + 1) - vb.(i))
+          done);
+    }
 
 let star l =
-  let rec positional vs ss =
-    match (vs, ss) with
-    | [], _ -> []
-    | v :: vs', s :: ss' -> l.put v s :: positional vs' ss'
-    | v :: vs', [] -> l.create v :: positional vs' []
+  let positional ctx v vb s sb =
+    let ns = Array.length sb - 1 in
+    for j = 0 to Array.length vb - 2 do
+      if j < ns then
+        l.impl.e_put ctx v vb.(j) (vb.(j + 1) - vb.(j)) s sb.(j) (sb.(j + 1) - sb.(j))
+      else l.impl.e_create ctx v vb.(j) (vb.(j + 1) - vb.(j))
+    done
   in
   star_with ~name:"star" ~align:positional l
 
 let star_key ~key l =
-  let align vchunks schunks =
-    let schunk_arr = Array.of_list schunks in
-    let consumed = Array.make (Array.length schunk_arr) false in
-    let keys = Array.map (fun s -> key (l.get s)) schunk_arr in
-    let find_by_key k =
-      let rec scan i =
-        if i >= Array.length schunk_arr then None
-        else if (not consumed.(i)) && String.equal keys.(i) k then begin
-          consumed.(i) <- true;
-          Some schunk_arr.(i)
-        end
-        else scan (i + 1)
+  let align ctx v vb s sb =
+    let ns = Array.length sb - 1 in
+    (* Index source chunks by key once: a queue per key preserves the
+       first-unconsumed-match discipline without rescanning the chunk
+       array for every view chunk. *)
+    let by_key : (string, int Queue.t) Hashtbl.t = Hashtbl.create (2 * ns + 1) in
+    for i = 0 to ns - 1 do
+      let k = key (chunk_view ctx l s sb i) in
+      let q =
+        match Hashtbl.find_opt by_key k with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.add by_key k q;
+            q
       in
-      scan 0
-    in
-    List.map
-      (fun v ->
-        match find_by_key (key v) with
-        | Some s -> l.put v s
-        | None -> l.create v)
-      vchunks
+      Queue.push i q
+    done;
+    for j = 0 to Array.length vb - 2 do
+      let vlen = vb.(j + 1) - vb.(j) in
+      let k = key (String.sub v vb.(j) vlen) in
+      match Hashtbl.find_opt by_key k with
+      | Some q when not (Queue.is_empty q) ->
+          let i = Queue.pop q in
+          l.impl.e_put ctx v vb.(j) vlen s sb.(i) (sb.(i + 1) - sb.(i))
+      | _ -> l.impl.e_create ctx v vb.(j) vlen
+    done
   in
   star_with ~name:"star_key" ~align l
 
@@ -183,22 +438,26 @@ let lcs_pairs a b =
   walk 0 0 []
 
 let star_diff ~key l =
-  let align vchunks schunks =
-    let s_arr = Array.of_list schunks in
-    let v_arr = Array.of_list vchunks in
-    let skeys = Array.map (fun s -> key (l.get s)) s_arr in
-    let vkeys = Array.map key v_arr in
+  let align ctx v vb s sb =
+    let ns = Array.length sb - 1 and nv = Array.length vb - 1 in
+    let skeys = Array.init ns (fun i -> key (chunk_view ctx l s sb i)) in
+    let vkeys =
+      Array.init nv (fun j -> key (String.sub v vb.(j) (vb.(j + 1) - vb.(j))))
+    in
     let matched = lcs_pairs skeys vkeys in
     let source_for = Hashtbl.create 16 in
     List.iter (fun (i, j) -> Hashtbl.replace source_for j i) matched;
-    List.mapi
-      (fun j v ->
-        match Hashtbl.find_opt source_for j with
-        | Some i -> l.put v s_arr.(i)
-        | None -> l.create v)
-      vchunks
+    for j = 0 to nv - 1 do
+      let vlen = vb.(j + 1) - vb.(j) in
+      match Hashtbl.find_opt source_for j with
+      | Some i -> l.impl.e_put ctx v vb.(j) vlen s sb.(i) (sb.(i + 1) - sb.(i))
+      | None -> l.impl.e_create ctx v vb.(j) vlen
+    done
   in
   star_with ~name:"star_diff" ~align l
+
+(* ------------------------------------------------------------------ *)
+(* Composition and permutation *)
 
 let compose l1 l2 =
   (match Lang.equiv_counterexample l1.vtype l2.stype with
@@ -207,110 +466,120 @@ let compose l1 l2 =
       type_error
         "compose: view type %a and source type %a differ (witness %S)"
         Regex.pp l1.vtype Regex.pp l2.stype w);
-  {
-    stype = l1.stype;
-    vtype = l2.vtype;
-    get = (fun s -> l2.get (l1.get s));
-    put = (fun v s -> l1.put (l2.put v (l1.get s)) s);
-    create = (fun v -> l1.create (l2.create v));
-  }
-
-let swap l1 l2 =
-  require_unambig_concat "swap (source)" l1.stype l2.stype;
-  require_unambig_concat "swap (view)" l2.vtype l1.vtype;
-  let split_s = Split.make_concat_splitter l1.stype l2.stype in
-  let split_v = Split.make_concat_splitter l2.vtype l1.vtype in
-  {
-    stype = Regex.seq l1.stype l2.stype;
-    vtype = Regex.seq l2.vtype l1.vtype;
-    get =
-      (fun s ->
-        let s1, s2 = split_s s in
-        l2.get s2 ^ l1.get s1);
-    put =
-      (fun v s ->
-        let v2, v1 = split_v v in
-        let s1, s2 = split_s s in
-        l1.put v1 s1 ^ l2.put v2 s2);
-    create =
-      (fun v ->
-        let v2, v1 = split_v v in
-        l1.create v1 ^ l2.create v2);
-  }
-
-(* Split a string into k parts against k regexes, left to right, using a
-   concat splitter for part i against the concatenation of the rest. *)
-let make_multi_splitter parts =
-  let rec splitters = function
-    | [] | [ _ ] -> []
-    | r :: rest ->
-        let rest_re = Regex.concat_list rest in
-        Split.make_concat_splitter r rest_re :: splitters rest
-  in
-  let ss = splitters parts in
-  fun s ->
-    let rec go ss s =
-      match ss with
-      | [] -> [ s ]
-      | split :: ss' ->
-          let a, b = split s in
-          a :: go ss' b
-    in
-    go ss s
+  seal ~stype:l1.stype ~vtype:l2.vtype
+    {
+      e_get =
+        (fun ctx s pos len ->
+          let mid = capture ctx (fun () -> l1.impl.e_get ctx s pos len) in
+          l2.impl.e_get ctx mid 0 (String.length mid));
+      e_put =
+        (fun ctx v vp vl s sp sl ->
+          let mid = capture ctx (fun () -> l1.impl.e_get ctx s sp sl) in
+          let mid' =
+            capture ctx (fun () ->
+                l2.impl.e_put ctx v vp vl mid 0 (String.length mid))
+          in
+          l1.impl.e_put ctx mid' 0 (String.length mid') s sp sl);
+      e_create =
+        (fun ctx v vp vl ->
+          let mid = capture ctx (fun () -> l2.impl.e_create ctx v vp vl) in
+          l1.impl.e_create ctx mid 0 (String.length mid));
+    }
 
 let permute ~order ls =
   let k = List.length ls in
   if List.sort compare order <> List.init k Fun.id then
     type_error "permute: order is not a permutation of 0..%d" (k - 1);
-  let stypes = List.map (fun l -> l.stype) ls in
-  let vtypes_permuted =
-    List.map (fun i -> (List.nth ls i).vtype) order
-  in
-  (* Pairwise unambiguity along both concatenations. *)
-  let rec check_chain what = function
-    | [] | [ _ ] -> ()
-    | r :: rest ->
-        require_unambig_concat what r (Regex.concat_list rest);
-        check_chain what rest
-  in
-  check_chain "permute (source)" stypes;
-  check_chain "permute (view)" vtypes_permuted;
-  let split_s = make_multi_splitter stypes in
-  let split_v = make_multi_splitter vtypes_permuted in
   let lens_arr = Array.of_list ls in
   let order_arr = Array.of_list order in
-  {
-    stype = Regex.concat_list stypes;
-    vtype = Regex.concat_list vtypes_permuted;
-    get =
-      (fun s ->
-        let pieces = Array.of_list (split_s s) in
-        String.concat ""
-          (List.map
-             (fun i -> lens_arr.(i).get pieces.(i))
-             order));
-    put =
-      (fun v s ->
-        let spieces = Array.of_list (split_s s) in
-        let vpieces = Array.of_list (split_v v) in
-        (* vpieces.(p) is the view of lens order.(p). *)
-        let out = Array.make k "" in
-        Array.iteri
-          (fun p i -> out.(i) <- lens_arr.(i).put vpieces.(p) spieces.(i))
-          order_arr;
-        String.concat "" (Array.to_list out));
-    create =
-      (fun v ->
-        let vpieces = Array.of_list (split_v v) in
-        let out = Array.make k "" in
-        Array.iteri
-          (fun p i -> out.(i) <- lens_arr.(i).create vpieces.(p))
-          order_arr;
-        String.concat "" (Array.to_list out));
-  }
+  (* One array pass collects the permuted view types (the old code
+     re-walked the list with List.nth per position). *)
+  let vtypes_permuted =
+    Array.to_list (Array.map (fun i -> lens_arr.(i).vtype) order_arr)
+  in
+  let stypes = List.map (fun l -> l.stype) ls in
+  check_chain "permute (source)" stypes;
+  check_chain "permute (view)" vtypes_permuted;
+  let split_s = Split.make_multi_bounds stypes in
+  let split_v = Split.make_multi_bounds vtypes_permuted in
+  (* vpos_of.(i) is the view position of lens i. *)
+  let vpos_of = Array.make k 0 in
+  Array.iteri (fun p i -> vpos_of.(i) <- p) order_arr;
+  seal
+    ~stype:(Regex.concat_list stypes)
+    ~vtype:(Regex.concat_list vtypes_permuted)
+    {
+      e_get =
+        (fun ctx s pos len ->
+          let sb = split_s ctx.ws s pos len in
+          for p = 0 to k - 1 do
+            let i = order_arr.(p) in
+            lens_arr.(i).impl.e_get ctx s sb.(i) (sb.(i + 1) - sb.(i))
+          done);
+      e_put =
+        (fun ctx v vp vl s sp sl ->
+          let vb = split_v ctx.ws v vp vl in
+          let sb = split_s ctx.ws s sp sl in
+          for i = 0 to k - 1 do
+            let p = vpos_of.(i) in
+            lens_arr.(i).impl.e_put ctx v vb.(p)
+              (vb.(p + 1) - vb.(p))
+              s sb.(i)
+              (sb.(i + 1) - sb.(i))
+          done);
+      e_create =
+        (fun ctx v vp vl ->
+          let vb = split_v ctx.ws v vp vl in
+          for i = 0 to k - 1 do
+            let p = vpos_of.(i) in
+            lens_arr.(i).impl.e_create ctx v vb.(p) (vb.(p + 1) - vb.(p))
+          done);
+    }
+
+let swap l1 l2 = permute ~order:[ 1; 0 ] [ l1; l2 ]
 
 let separated ~sep l =
   union (copy Regex.epsilon) (concat l (star (concat sep l)))
+
+(* ------------------------------------------------------------------ *)
+(* Batched execution: fan a list of independent documents across
+   domains.  Work is claimed from a shared atomic counter, so uneven
+   document sizes balance themselves; each domain reuses its own
+   execution context for its whole share. *)
+
+let parallel_map ~workers f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let w = max 1 (min workers n) in
+  if w = 1 then List.map f xs
+  else begin
+    let out = Array.make n "" in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- f arr.(i);
+          go ()
+        end
+      in
+      go ()
+    in
+    let helpers = List.init (w - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list out
+  end
+
+let get_all ?(workers = 1) l sources = parallel_map ~workers l.get sources
+
+let put_all ?(workers = 1) l pairs =
+  parallel_map ~workers (fun (v, s) -> l.put v s) pairs
+
+let create_all ?(workers = 1) l views = parallel_map ~workers l.create views
+
+(* ------------------------------------------------------------------ *)
+(* Inspection and checking *)
 
 let in_source l s = Regex.matches l.stype s
 let in_view l v = Regex.matches l.vtype v

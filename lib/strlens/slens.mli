@@ -8,9 +8,25 @@
     construction time (unambiguous concatenation, unique iteration,
     disjoint union) using the exact decision procedures of
     {!Bx_regex.Ambig}, and raise {!Type_error} with a witness string when
-    a condition fails. *)
+    a condition fails.
+
+    {2 Execution model}
+
+    Internally every lens is a triple of {e emitters} running over
+    [(string, pos, len)] slices and appending to a shared output buffer:
+    combinators pass offsets down and bytes flow directly from the input
+    string to the single output buffer, with no intermediate substrings.
+    Split positions come from the zero-copy {!Split} engine — shared
+    prefix/suffix mark passes per run, a single-pass k-way splitter for
+    concatenation chains.  The public [get]/[put]/[create] functions seal
+    the emitters behind a per-domain execution context that is reused
+    across calls ({!stats} reports reuse rates, bytes processed and
+    splits performed). *)
 
 exception Type_error of string
+
+type impl
+(** The slice-emitter implementation of a lens (opaque). *)
 
 type t = {
   stype : Bx_regex.Regex.t;  (** The source language. *)
@@ -18,6 +34,7 @@ type t = {
   get : string -> string;
   put : string -> string -> string;  (** [put view source]. *)
   create : string -> string;
+  impl : impl;  (** The zero-copy engine behind the string functions. *)
 }
 
 (** {1 Primitives} *)
@@ -36,6 +53,18 @@ val del : Bx_regex.Regex.t -> default:string -> t
 val ins : string -> t
 (** Insert a fixed string into the view; source type is the empty string. *)
 
+val of_funs :
+  stype:Bx_regex.Regex.t ->
+  vtype:Bx_regex.Regex.t ->
+  get:(string -> string) ->
+  put:(string -> string -> string) ->
+  create:(string -> string) ->
+  t
+(** Wrap opaque string functions as a lens (no side conditions are
+    checked — the caller vouches for well-behavedness).  Used by
+    {!Canonizer} quotients; when such a lens runs inside a larger lens,
+    its argument slices are materialised at this boundary. *)
+
 (** {1 Combinators} *)
 
 val concat : t -> t -> t
@@ -43,12 +72,16 @@ val concat : t -> t -> t
     two source types and of the two view types. *)
 
 val concat_list : t list -> t
-(** Fold of {!concat}; the empty list is [copy] of the empty string. *)
+(** k-ary juxtaposition; the empty list is [copy] of the empty string.
+    Runs on the single-pass k-way splitter — one shared suffix pass for
+    all the rest-languages instead of a chain of pairwise splits. *)
 
 val union : t -> t -> t
 (** Conditional choice.  Requires disjoint source types.  On [put], the
     branch is chosen by the view's type, preferring the branch that also
-    matches the old source (overlapping view types are permitted). *)
+    matches the old source (overlapping view types are permitted).
+    Membership tests short-circuit: the common case decides after two
+    DFA scans. *)
 
 val star : t -> t
 (** Kleene iteration with {e positional} alignment on [put]: the i-th view
@@ -60,8 +93,9 @@ val star_key : key:(string -> string) -> t -> t
 (** Kleene iteration with {e dictionary (resourceful) alignment} on [put]
     (POPL'08 dictionary lenses): each view chunk is matched, by [key], to
     the first unconsumed source chunk whose view has the same key, so the
-    hidden parts of a chunk follow their key under reordering.  Same
-    typing obligations as {!star}. *)
+    hidden parts of a chunk follow their key under reordering.  Source
+    chunks are indexed by key in a hash table of queues, so alignment is
+    linear in the number of chunks.  Same typing obligations as {!star}. *)
 
 val star_diff : key:(string -> string) -> t -> t
 (** Kleene iteration with {e order-respecting (diff) alignment} on [put]:
@@ -91,6 +125,35 @@ val permute : order:int list -> t list -> t
     [swap l1 l2] is [permute ~order:[1; 0] [l1; l2]]).  Raises
     {!Type_error} if [order] is not a permutation of [0 .. length-1], or
     on ambiguous concatenations on either side. *)
+
+(** {1 Batched execution} *)
+
+val get_all : ?workers:int -> t -> string list -> string list
+(** [get_all ~workers l sources] maps [l.get] over independent documents,
+    fanning the work across [workers] domains (default [1] = sequential).
+    Documents are claimed from a shared counter, so uneven sizes balance;
+    order is preserved.  Each domain reuses its own execution context. *)
+
+val put_all : ?workers:int -> t -> (string * string) list -> string list
+(** [put_all ~workers l pairs] maps [l.put view source] over [(view,
+    source)] pairs, in parallel like {!get_all}. *)
+
+val create_all : ?workers:int -> t -> string list -> string list
+(** [create_all ~workers l views] maps [l.create] in parallel. *)
+
+(** {1 Engine statistics} *)
+
+type stats = {
+  bytes : int;  (** Input bytes entering top-level lens runs. *)
+  splits : int;  (** Split decisions made by the slice engine. *)
+  ctx_reuse : int;  (** Runs that reused their domain's context. *)
+  ctx_fresh : int;  (** Runs that had to allocate a context. *)
+}
+
+val stats : unit -> stats
+(** Process-global engine counters (domain-safe). *)
+
+val reset_stats : unit -> unit
 
 (** {1 Inspection and checking} *)
 

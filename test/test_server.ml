@@ -397,6 +397,97 @@ let store_tests =
               (contains ~needle:victim e));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The lens service: POST /slens/<name>/<op> *)
+
+let lens_tests =
+  let module CS = Bx_catalogue.Composers_string in
+  let rs = "\x1e" and us = "\x1f" in
+  let lens_service () =
+    match
+      Service.create
+        ~lenses:[ ("composers", CS.lens) ]
+        ~seed ()
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  [
+    tc "get and put run the lens over the body" (fun () ->
+        let t = lens_service () in
+        let src = CS.synthetic_source 3 in
+        let r = post t "/slens/composers/get" src in
+        check Alcotest.int "get status" 200 r.Bx_repo.Webui.status;
+        check Alcotest.string "get body" (CS.lens.Bx_strlens.Slens.get src)
+          r.Bx_repo.Webui.body;
+        let view = CS.synthetic_view 3 in
+        let r = post t "/slens/composers/put" (view ^ rs ^ src) in
+        check Alcotest.int "put status" 200 r.Bx_repo.Webui.status;
+        check Alcotest.string "put body"
+          (CS.lens.Bx_strlens.Slens.put view src)
+          r.Bx_repo.Webui.body);
+    tc "batch ops fan over RS-separated documents" (fun () ->
+        let t = lens_service () in
+        let docs = List.init 4 (fun i -> CS.synthetic_source (i + 1)) in
+        let r =
+          post t "/slens/composers/get_batch" (String.concat rs docs)
+        in
+        check Alcotest.int "get_batch status" 200 r.Bx_repo.Webui.status;
+        check Alcotest.string "get_batch body"
+          (String.concat rs (List.map CS.lens.Bx_strlens.Slens.get docs))
+          r.Bx_repo.Webui.body;
+        let pairs =
+          List.init 3 (fun i ->
+              (CS.synthetic_view (i + 1), CS.synthetic_source (i + 1)))
+        in
+        let body =
+          String.concat rs (List.map (fun (v, s) -> v ^ us ^ s) pairs)
+        in
+        let r = post t "/slens/composers/put_batch" body in
+        check Alcotest.int "put_batch status" 200 r.Bx_repo.Webui.status;
+        check Alcotest.string "put_batch body"
+          (String.concat rs
+             (List.map
+                (fun (v, s) -> CS.lens.Bx_strlens.Slens.put v s)
+                pairs))
+          r.Bx_repo.Webui.body);
+    tc "unknown lenses, ops and malformed bodies are client errors"
+      (fun () ->
+        let t = lens_service () in
+        let r = post t "/slens/nonesuch/get" "" in
+        check Alcotest.int "unknown lens" 404 r.Bx_repo.Webui.status;
+        let r = post t "/slens/composers/frobnicate" "" in
+        check Alcotest.int "unknown op" 404 r.Bx_repo.Webui.status;
+        let r = post t "/slens/composers/put" "no separator here" in
+        check Alcotest.int "malformed put" 400 r.Bx_repo.Webui.status);
+    tc "ill-typed documents are 422, not 500" (fun () ->
+        let t = lens_service () in
+        let r = post t "/slens/composers/get" "not a composers file at all" in
+        check Alcotest.int "422" 422 r.Bx_repo.Webui.status;
+        check Alcotest.bool "message mentions the type" true
+          (String.length r.Bx_repo.Webui.body > 0));
+    tc "lens traffic and engine counters reach /metrics" (fun () ->
+        let t = lens_service () in
+        let src = CS.synthetic_source 2 in
+        ignore (post t "/slens/composers/get" src);
+        ignore (post t "/slens/composers/get" src);
+        let m = get t "/metrics" in
+        let body = m.Bx_repo.Webui.body in
+        List.iter
+          (fun needle ->
+            check Alcotest.bool needle true (contains ~needle body))
+          [
+            "# TYPE bxwiki_lens_requests_total counter";
+            "bxwiki_lens_requests_total{lens=\"composers\",op=\"get\"} 2";
+            "bxwiki_lens_documents_total{lens=\"composers\",op=\"get\"} 2";
+            "bxwiki_slens_bytes_processed_total";
+            "bxwiki_slens_splits_total";
+            "bxwiki_slens_ctx_reuse_total";
+            "bxwiki_slens_ctx_fresh_total";
+            "bxwiki_requests_total{route=\"slens\",method=\"POST\",status=\"200\"} 2";
+          ]);
+  ]
+
 let () =
   Alcotest.run "bx_server"
     [
@@ -405,4 +496,5 @@ let () =
       ("storm", storm_tests);
       ("metrics", metrics_tests);
       ("store", store_tests);
+      ("lens-service", lens_tests);
     ]

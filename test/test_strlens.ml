@@ -565,6 +565,88 @@ let permute_tests =
         | Bx.Law.Violated m -> Alcotest.fail m);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The execution engine: allocation discipline, batching, counters *)
+
+let engine_tests =
+  let module CS = Bx_catalogue.Composers_string in
+  [
+    tc "end-to-end get allocates output, not intermediates" (fun () ->
+        (* The copying engine allocates hundreds of minor words per line
+           (every split materialises both halves); the slice engine only
+           allocates the output buffer, the result string and the bounds
+           arrays.  A budget of 35 words/line (measured: ~17) fails if
+           anyone reintroduces per-split substrings. *)
+        let k = 500 in
+        let src = CS.synthetic_source k in
+        ignore (CS.lens.Slens.get src);
+        let before = Gc.minor_words () in
+        ignore (Sys.opaque_identity (CS.lens.Slens.get src));
+        let per_line = (Gc.minor_words () -. before) /. float_of_int k in
+        if per_line > 35. then
+          Alcotest.failf "get allocates %.1f minor words/line (budget 35)"
+            per_line);
+    tc "end-to-end put stays within its allocation budget" (fun () ->
+        (* Keyed put additionally builds the chunk-key table and captures
+           chunk views; measured ~100 words/line, budget 200. *)
+        let k = 500 in
+        let src = CS.synthetic_source k in
+        let view = CS.synthetic_view k in
+        ignore (CS.lens.Slens.put view src);
+        let before = Gc.minor_words () in
+        ignore (Sys.opaque_identity (CS.lens.Slens.put view src));
+        let per_line = (Gc.minor_words () -. before) /. float_of_int k in
+        if per_line > 200. then
+          Alcotest.failf "put allocates %.1f minor words/line (budget 200)"
+            per_line);
+    tc "get_all matches get document-wise" (fun () ->
+        let docs = List.init 5 (fun i -> CS.synthetic_source (10 + i)) in
+        check
+          Alcotest.(list string)
+          "batch = map" (List.map CS.lens.Slens.get docs)
+          (Slens.get_all CS.lens docs));
+    tc "get_all with several workers agrees with one" (fun () ->
+        let docs = List.init 12 (fun i -> CS.synthetic_source (5 + i)) in
+        check
+          Alcotest.(list string)
+          "workers irrelevant to results"
+          (Slens.get_all ~workers:1 CS.lens docs)
+          (Slens.get_all ~workers:4 CS.lens docs));
+    tc "put_all matches put pair-wise" (fun () ->
+        let pairs =
+          List.init 6 (fun i ->
+              (CS.synthetic_view (4 + i), CS.synthetic_source (4 + i)))
+        in
+        check
+          Alcotest.(list string)
+          "batch = map"
+          (List.map (fun (v, s) -> CS.lens.Slens.put v s) pairs)
+          (Slens.put_all ~workers:3 CS.lens pairs));
+    tc "create_all matches create" (fun () ->
+        let views = List.init 4 (fun i -> CS.synthetic_view (3 + i)) in
+        check
+          Alcotest.(list string)
+          "batch = map"
+          (List.map CS.lens.Slens.create views)
+          (Slens.create_all ~workers:2 CS.lens views));
+    tc "stats count bytes and splits" (fun () ->
+        Slens.reset_stats ();
+        let src = CS.synthetic_source 20 in
+        ignore (CS.lens.Slens.get src);
+        let st = Slens.stats () in
+        check Alcotest.bool "bytes counted" true
+          (st.Slens.bytes >= String.length src);
+        (* 20 records, each split into 5 parts: at least 20 chunk
+           decisions and 20 * 4 field boundaries. *)
+        check Alcotest.bool "splits counted" true (st.Slens.splits >= 100);
+        ignore (CS.lens.Slens.get src);
+        let st2 = Slens.stats () in
+        check Alcotest.bool "counters are cumulative" true
+          (st2.Slens.bytes > st.Slens.bytes);
+        check Alcotest.bool "contexts are reused" true
+          (st2.Slens.ctx_reuse > 0));
+  ]
+
 let () =
   Alcotest.run "bx-strlens"
     [
@@ -577,4 +659,5 @@ let () =
       ("star-diff", star_diff_tests);
       ("star-diff-properties", star_diff_prop_tests);
       ("permute", permute_tests);
+      ("engine", engine_tests);
     ]

@@ -602,6 +602,202 @@ let p5_journal_replay () =
     [ 8; 64; 256 ]
 
 (* ------------------------------------------------------------------ *)
+(* P8: the load-shedding curve.  Bursts of concurrent connections are
+   offered to a service with a deliberately small queue and a
+   failpoint-injected 5 ms per-request service time; each burst is split
+   into 200s (served) and 503s (shed).  The acceptance shape: below
+   queue capacity nothing is shed, while at 2x capacity and beyond the
+   excess is answered with a fast 503 + Retry-After (and /readyz flips)
+   instead of piling onto latency.  --json-shed dumps the curve
+   (committed as BENCH_shed.json). *)
+
+type shed_row = {
+  sr_multiple : float;  (* offered / queue_capacity *)
+  sr_offered : int;
+  sr_served : int;
+  sr_shed : int;
+  sr_failed : int;
+  sr_elapsed : float;
+  sr_flipped : bool;  (* /readyz went unready during the burst *)
+}
+
+let p8_load_shedding () =
+  rule "P8: load shedding — offered burst vs served/shed split";
+  let queue_capacity = 16 and workers = 2 and delay_ms = 5.0 in
+  Bx_fault.Fault.set "httpd.read" (Bx_fault.Fault.Delay (delay_ms /. 1000.));
+  let config = { Bx_server.Service.default_config with queue_capacity } in
+  let service =
+    match
+      Bx_server.Service.create ~config ~seed:Bx_catalogue.Catalogue.seed ()
+    with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        match
+          Bx_server.Service.serve service ~port:0 ~workers ~quiet:true ()
+        with
+        | Ok () -> ()
+        | Error e -> Fmt.epr "shed service: %s@." e)
+      ()
+  in
+  let rec wait_port n =
+    match Bx_server.Service.port service with
+    | Some p -> p
+    | None ->
+        if n > 500 then failwith "shed service never bound"
+        else begin
+          Thread.delay 0.01;
+          wait_port (n + 1)
+        end
+  in
+  let port = wait_port 0 in
+  let burst offered =
+    let served = Atomic.make 0
+    and shed = Atomic.make 0
+    and failed = Atomic.make 0
+    and flipped = Atomic.make false
+    and stop = Atomic.make false in
+    let monitor =
+      Thread.create
+        (fun () ->
+          while not (Atomic.get stop) do
+            if not (Bx_server.Service.ready service) then
+              Atomic.set flipped true;
+            Thread.delay 0.001
+          done)
+        ()
+    in
+    let per_client _ =
+      (* Count each connection exactly once: a reset while draining an
+         already-classified response is not a failure. *)
+      let classified = ref false in
+      try
+        let c = connect port in
+        let oc = Unix.out_channel_of_descr c in
+        let ic = Unix.in_channel_of_descr c in
+        Printf.fprintf oc "GET %s HTTP/1.1\r\nConnection: close\r\n\r\n"
+          bench_path;
+        flush oc;
+        let status_line = input_line ic in
+        let has needle =
+          let hl = String.length status_line
+          and nl = String.length needle in
+          let rec scan i =
+            i + nl <= hl
+            && (String.sub status_line i nl = needle || scan (i + 1))
+          in
+          scan 0
+        in
+        classified := true;
+        if has " 200" then Atomic.incr served
+        else if has " 503" then Atomic.incr shed
+        else Atomic.incr failed;
+        (try
+           while true do
+             ignore (input_line ic)
+           done
+         with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+        try Unix.close c with Unix.Unix_error (_, _, _) -> ()
+      with _ -> if not !classified then Atomic.incr failed
+    in
+    let elapsed = run_clients offered per_client in
+    Atomic.set stop true;
+    Thread.join monitor;
+    (* Let the queue drain so bursts are independent measurements. *)
+    let rec settle n =
+      if n < 1000 && not (Bx_server.Service.ready service) then begin
+        Thread.delay 0.005;
+        settle (n + 1)
+      end
+    in
+    settle 0;
+    {
+      sr_multiple = float_of_int offered /. float_of_int queue_capacity;
+      sr_offered = offered;
+      sr_served = Atomic.get served;
+      sr_shed = Atomic.get shed;
+      sr_failed = Atomic.get failed;
+      sr_elapsed = elapsed;
+      sr_flipped = Atomic.get flipped;
+    }
+  in
+  let rows =
+    List.map
+      (fun m -> burst (int_of_float (m *. float_of_int queue_capacity)))
+      [ 0.5; 1.0; 2.0; 4.0 ]
+  in
+  Bx_fault.Fault.clear ();
+  Bx_server.Service.shutdown service;
+  Thread.join server;
+  Fmt.pr
+    "queue capacity %d, %d workers, %.0f ms injected service time@.@."
+    queue_capacity workers delay_ms;
+  Fmt.pr "  load  offered   served     shed   failed  elapsed  readyz@.";
+  List.iter
+    (fun r ->
+      Fmt.pr "  %3.1fx  %7d  %7d  %7d  %7d  %6.2fs  %s@." r.sr_multiple
+        r.sr_offered r.sr_served r.sr_shed r.sr_failed r.sr_elapsed
+        (if r.sr_flipped then "flipped" else "ready"))
+    rows;
+  let over =
+    List.filter (fun r -> r.sr_multiple >= 2.0 && r.sr_shed = 0) rows
+  in
+  Fmt.pr "overload sheds    %s@."
+    (if over = [] then "yes (every burst >= 2x capacity shed)"
+     else "*** NO SHEDDING AT >= 2x CAPACITY ***");
+  ((queue_capacity, workers, delay_ms), rows)
+
+let write_shed_json path ~meta:(queue_capacity, workers, delay_ms) rows =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"benchmark\": \"P8 load shedding\",\n";
+  out "  \"queue_capacity\": %d,\n" queue_capacity;
+  out "  \"workers\": %d,\n" workers;
+  out "  \"service_delay_ms\": %g,\n" delay_ms;
+  out "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"load_multiple\": %g, \"offered\": %d, \"served\": %d, \
+         \"shed\": %d, \"failed\": %d, \"elapsed_s\": %.4f, \
+         \"readyz_flipped\": %b}%s\n"
+        r.sr_multiple r.sr_offered r.sr_served r.sr_shed r.sr_failed
+        r.sr_elapsed r.sr_flipped
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc
+
+(* The zero-cost-when-disabled contract, enforced: with no rules
+   configured a Fault.point is one atomic load, and 50 M of them must
+   average under 50 ns each (real cost is well under 5; the budget only
+   needs to catch an accidental table lookup or allocation on the fast
+   path). *)
+let fault_guard () =
+  rule "fault guard: disabled failpoints must stay free";
+  if Bx_fault.Fault.enabled () then begin
+    Fmt.epr "fault guard FAILED: failpoints are armed in a bench run@.";
+    exit 1
+  end;
+  let n = 50_000_000 in
+  let started = Unix.gettimeofday () in
+  for _ = 1 to n do
+    Bx_fault.Fault.point "bench.fault_guard"
+  done;
+  let elapsed = Unix.gettimeofday () -. started in
+  let ns = elapsed /. float_of_int n *. 1e9 in
+  Fmt.pr "%d disabled Fault.point calls  %5.2f ns/call  (budget: 50 ns)@." n
+    ns;
+  if ns > 50.0 then begin
+    Fmt.epr "fault guard FAILED: disabled failpoint costs %.2f ns/call@." ns;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* P6: the compiled regex engine.  Wall-clock throughput of the dense
    transition table against the derivative interpreter on the Composers
    source type, and the cost of constructing the full Composers string
@@ -941,8 +1137,11 @@ let e6 () =
 let () =
   let json_path = ref None in
   let strlens_json_path = ref None in
+  let shed_json_path = ref None in
   let e_only = ref false in
   let p7_only = ref false in
+  let p8_only = ref false in
+  let guard_only = ref false in
   let skip_server = ref false in
   let spec =
     [
@@ -952,22 +1151,42 @@ let () =
       ( "--json-strlens",
         Arg.String (fun p -> strlens_json_path := Some p),
         "<path>  dump the P7 slice-engine comparison as JSON" );
+      ( "--json-shed",
+        Arg.String (fun p -> shed_json_path := Some p),
+        "<path>  dump the P8 load-shedding curve as JSON" );
       ( "--e-only",
         Arg.Set e_only,
         " run only the E-series artifact checks (CI smoke test)" );
       ( "--p7-only",
         Arg.Set p7_only,
         " run only the P7 slice-engine comparison (CI bench smoke)" );
+      ( "--p8-only",
+        Arg.Set p8_only,
+        " run only the P8 load-shedding curve" );
+      ( "--fault-guard",
+        Arg.Set guard_only,
+        " run only the zero-cost check on disabled failpoints (exits 1 on \
+         regression)" );
       ( "--skip-server",
         Arg.Set skip_server,
-        " skip the wall-clock P5 server benchmarks" );
+        " skip the wall-clock P5/P8 server benchmarks" );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
-    "bench/main.exe [--e-only] [--p7-only] [--skip-server] [--json <path>] \
-     [--json-strlens <path>]";
-  if !p7_only then begin
+    "bench/main.exe [--e-only] [--p7-only] [--p8-only] [--fault-guard] \
+     [--skip-server] [--json <path>] [--json-strlens <path>] \
+     [--json-shed <path>]";
+  if !guard_only then fault_guard ()
+  else if !p8_only then begin
+    let meta, rows = p8_load_shedding () in
+    match !shed_json_path with
+    | Some path ->
+        write_shed_json path ~meta rows;
+        Fmt.pr "@.wrote %s@." path
+    | None -> ()
+  end
+  else if !p7_only then begin
     let p7 = p7_strlens () in
     match !strlens_json_path with
     | Some path ->
@@ -985,7 +1204,13 @@ let () =
     if not !e_only then begin
       if not !skip_server then begin
         p5_server_throughput ();
-        p5_journal_replay ()
+        p5_journal_replay ();
+        let meta, rows = p8_load_shedding () in
+        match !shed_json_path with
+        | Some path ->
+            write_shed_json path ~meta rows;
+            Fmt.pr "@.wrote %s@." path
+        | None -> ()
       end;
       let p6 = p6_engine () in
       let p7 = p7_strlens () in

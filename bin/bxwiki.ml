@@ -8,12 +8,192 @@
 let usage () =
   prerr_endline
     "usage: bxwiki [PORT] [--port PORT] [--journal DIR] [--workers N]\n\
-    \              [--port-file FILE] [--quiet]\n\n\
+    \              [--port-file FILE] [--failpoints SPEC] [--quiet]\n\
+    \       bxwiki client [--port PORT] [--port-file FILE] [--retries N]\n\
+    \              [--max-sleep S] [--data BODY] [--body-file FILE] METH PATH\n\n\
      --port 0 binds an ephemeral port (written to --port-file).\n\
      With --journal DIR every accepted edit is fsync'd to DIR/journal.log\n\
      before the response is sent, and restarts replay it on top of\n\
-     DIR/snapshot; without it, state is in-process only.";
+     DIR/snapshot; without it, state is in-process only.\n\
+     --failpoints arms the fault-injection subsystem (site=ACTION;...)\n\
+     and mounts the PUT /debug/failpoints admin route, as does setting\n\
+     BXWIKI_FAILPOINTS in the environment.\n\n\
+     'bxwiki client' issues one request and retries on 503 and on\n\
+     connect/read timeouts with capped exponential backoff and\n\
+     decorrelated jitter, honouring Retry-After; the response body goes\n\
+     to stdout, and the exit status is 0 only for a 2xx.";
   exit 2
+
+(* ------------------------------------------------------------------ *)
+(* The retrying client.  The cram tests (and any script poking a
+   possibly-overloaded or failpoint-riddled server) use this instead of
+   curl: a 503 or a timeout is not an error, it is a reason to back off
+   and try again. *)
+
+let client_main args =
+  let port = ref None in
+  let port_file = ref None in
+  let retries = ref 8 in
+  let max_sleep = ref 2.0 in
+  let data = ref None in
+  let meth = ref None in
+  let path = ref None in
+  let fail msg =
+    Printf.eprintf "bxwiki client: %s\n" msg;
+    exit 2
+  in
+  let read_file f =
+    let ic = open_in_bin f in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--port" :: v :: rest -> port := int_of_string_opt v; parse rest
+    | "--port-file" :: v :: rest -> port_file := Some v; parse rest
+    | "--retries" :: v :: rest ->
+        retries := (match int_of_string_opt v with
+          | Some n when n >= 1 -> n
+          | _ -> fail "--retries wants a positive integer");
+        parse rest
+    | "--max-sleep" :: v :: rest ->
+        max_sleep := (match float_of_string_opt v with
+          | Some s when s >= 0. -> s
+          | _ -> fail "--max-sleep wants seconds");
+        parse rest
+    | "--data" :: v :: rest -> data := Some v; parse rest
+    | "--body-file" :: v :: rest -> data := Some (read_file v); parse rest
+    | v :: rest when !meth = None -> meth := Some v; parse rest
+    | v :: rest when !path = None -> path := Some v; parse rest
+    | v :: _ -> fail ("unexpected argument " ^ v)
+  in
+  parse args;
+  let meth = match !meth with Some m -> String.uppercase_ascii m | None -> usage () in
+  let path = match !path with Some p -> p | None -> usage () in
+  let port =
+    match (!port, !port_file) with
+    | Some p, _ -> p
+    | None, Some f -> (
+        match int_of_string_opt (String.trim (read_file f)) with
+        | Some p -> p
+        | None -> fail ("unreadable port file " ^ f))
+    | None, None -> 8008
+  in
+  let body = Option.value ~default:"" !data in
+  (* One attempt: Ok (status, retry_after, body) or a retryable error. *)
+  let attempt () =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.setsockopt_float sock Unix.SO_RCVTIMEO 10.0;
+        Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let request =
+          Printf.sprintf "%s %s HTTP/1.1\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+            meth path (String.length body) body
+        in
+        let rec send off =
+          if off < String.length request then
+            send (off + Unix.write_substring sock request off
+                          (String.length request - off))
+        in
+        send 0;
+        let ic = Unix.in_channel_of_descr sock in
+        let status_line = input_line ic in
+        let status =
+          match String.split_on_char ' ' status_line with
+          | _ :: code :: _ -> int_of_string_opt code
+          | _ -> None
+        in
+        match status with
+        | None -> Error "malformed status line"
+        | Some status ->
+            let content_length = ref None in
+            let retry_after = ref None in
+            (try
+               let rec headers () =
+                 let line = String.trim (input_line ic) in
+                 if line <> "" then begin
+                   (match String.index_opt line ':' with
+                   | Some i ->
+                       let name =
+                         String.lowercase_ascii (String.sub line 0 i)
+                       in
+                       let value =
+                         String.trim
+                           (String.sub line (i + 1) (String.length line - i - 1))
+                       in
+                       if name = "content-length" then
+                         content_length := int_of_string_opt value
+                       else if name = "retry-after" then
+                         retry_after := float_of_string_opt value
+                   | None -> ());
+                   headers ()
+                 end
+               in
+               headers ()
+             with End_of_file -> ());
+            let resp_body =
+              match !content_length with
+              | Some n -> really_input_string ic n
+              | None ->
+                  let b = Buffer.create 1024 in
+                  (try
+                     while true do
+                       Buffer.add_channel b ic 1
+                     done
+                   with End_of_file -> ());
+                  Buffer.contents b
+            in
+            Ok (status, !retry_after, resp_body))
+  in
+  (* Capped exponential backoff with decorrelated jitter: each sleep is
+     drawn from [base, 3 * previous sleep], capped — retries spread out
+     instead of synchronising into waves. *)
+  Random.self_init ();
+  let base = 0.05 in
+  let next_sleep prev retry_after =
+    let jitter = base +. Random.float (Float.max base ((prev *. 3.) -. base)) in
+    let hinted =
+      match retry_after with Some s -> Float.max s jitter | None -> jitter
+    in
+    Float.min !max_sleep hinted
+  in
+  let rec go attempt_no sleep =
+    let outcome =
+      match attempt () with
+      | Ok (503, retry_after, _) -> Error ("HTTP 503", retry_after)
+      | Ok (status, _, resp_body) -> Ok (status, resp_body)
+      | Error e -> Error (e, None)
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET
+                                   | Unix.ETIMEDOUT | Unix.EPIPE
+                                   | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error ("connection failed or timed out", None)
+      | exception End_of_file -> Error ("server closed mid-response", None)
+      | exception Sys_error e -> Error (e, None)
+    in
+    match outcome with
+    | Ok (status, resp_body) ->
+        print_string resp_body;
+        if status >= 200 && status < 300 then exit 0
+        else begin
+          Printf.eprintf "bxwiki client: HTTP %d\n" status;
+          exit 1
+        end
+    | Error (reason, retry_after) ->
+        if attempt_no >= !retries then begin
+          Printf.eprintf "bxwiki client: giving up after %d attempts (%s)\n"
+            attempt_no reason;
+          exit 1
+        end
+        else begin
+          let sleep = next_sleep sleep retry_after in
+          Unix.sleepf sleep;
+          go (attempt_no + 1) sleep
+        end
+  in
+  go 1 base
 
 (* The live claimed-vs-verified report, computed once on first request
    (it runs every entry's law checks, which takes a few seconds). *)
@@ -33,10 +213,14 @@ let checks_page =
      ("Claimed vs verified", "<h1>Claimed vs verified</h1>" ^ fragment))
 
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "client" :: rest -> client_main rest
+  | _ -> ());
   let port = ref 8008 in
   let workers = ref 4 in
   let journal_dir = ref None in
   let port_file = ref None in
+  let failpoints = ref None in
   let quiet = ref false in
   let int_arg name v =
     match int_of_string_opt v with
@@ -53,13 +237,28 @@ let () =
         parse rest
     | "--journal" :: v :: rest -> journal_dir := Some v; parse rest
     | "--port-file" :: v :: rest -> port_file := Some v; parse rest
+    | "--failpoints" :: v :: rest -> failpoints := Some v; parse rest
     | "--quiet" :: rest -> quiet := true; parse rest
     | [ v ] when int_of_string_opt v <> None -> port := int_arg "PORT" v
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (match !failpoints with
+  | None -> ()
+  | Some spec -> (
+      match Bx_fault.Fault.configure spec with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "bxwiki: --failpoints: %s\n" e;
+          exit 2));
   let config =
-    { Bx_server.Service.default_config with journal_dir = !journal_dir }
+    {
+      Bx_server.Service.default_config with
+      journal_dir = !journal_dir;
+      failpoints_admin =
+        !failpoints <> None
+        || Bx_server.Service.default_config.failpoints_admin;
+    }
   in
   let pages = [ ("/checks", fun () -> Lazy.force checks_page) ] in
   (* String lenses served at POST /slens/<name>/<op>; the composers

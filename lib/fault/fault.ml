@@ -1,0 +1,207 @@
+exception Injected of string
+
+type action =
+  | Off
+  | Error of string
+  | Delay of float
+  | Crash
+  | One_in of int * action
+  | Times of int * action
+
+type site = { mutable rule : action; mutable hits : int; mutable fired : int }
+
+(* The armed flag is the whole fast path: one atomic load when no rule
+   is configured.  The table and counters live behind a mutex — fault
+   injection is a debugging mode, its slow path may serialise. *)
+let armed = Atomic.make false
+let mutex = Mutex.create ()
+let table : (string, site) Hashtbl.t = Hashtbl.create 8
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let enabled () = Atomic.get armed
+
+(* ------------------------------------------------------------------ *)
+(* Action syntax: off | error | error(msg) | delay(ms) | crash
+   | one_in(n,ACTION) | times(n,ACTION) *)
+
+let rec render_action = function
+  | Off -> "off"
+  | Error "injected" -> "error"
+  | Error msg -> Printf.sprintf "error(%s)" msg
+  | Delay s -> Printf.sprintf "delay(%g)" (s *. 1000.)
+  | Crash -> "crash"
+  | One_in (n, a) -> Printf.sprintf "one_in(%d,%s)" n (render_action a)
+  | Times (n, a) -> Printf.sprintf "times(%d,%s)" n (render_action a)
+
+let call_of s =
+  (* "name(arg)" -> Some (name, arg); arg may itself contain parens. *)
+  match String.index_opt s '(' with
+  | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+      Some
+        ( String.sub s 0 i,
+          String.sub s (i + 1) (String.length s - i - 2) )
+  | _ -> None
+
+let rec parse_action s =
+  let s = String.trim s in
+  match s with
+  | "off" -> Ok Off
+  | "error" -> Ok (Error "injected")
+  | "crash" -> Ok Crash
+  | _ -> (
+      match call_of s with
+      | Some ("error", msg) -> Ok (Error msg)
+      | Some ("delay", ms) -> (
+          match float_of_string_opt ms with
+          | Some ms when ms >= 0. -> Ok (Delay (ms /. 1000.))
+          | _ -> Error (Printf.sprintf "delay wants a duration in ms: %S" s))
+      | Some (("one_in" | "times") as kind, arg) -> (
+          match String.index_opt arg ',' with
+          | None -> Error (Printf.sprintf "%s wants (n,ACTION): %S" kind s)
+          | Some i -> (
+              let n = int_of_string_opt (String.trim (String.sub arg 0 i)) in
+              let inner =
+                String.sub arg (i + 1) (String.length arg - i - 1)
+              in
+              match (n, parse_action inner) with
+              | Some n, Ok a when n >= 1 ->
+                  Ok (if kind = "one_in" then One_in (n, a) else Times (n, a))
+              | Some _, Ok _ ->
+                  Error (Printf.sprintf "%s wants n >= 1: %S" kind s)
+              | None, _ -> Error (Printf.sprintf "%s wants an integer: %S" kind s)
+              | _, (Error _ as e) -> e))
+      | _ -> Error (Printf.sprintf "unknown failpoint action %S" s))
+
+(* ------------------------------------------------------------------ *)
+(* Configuration *)
+
+let refresh_armed_locked () =
+  Atomic.set armed (Hashtbl.length table > 0)
+
+let set name action =
+  locked (fun () ->
+      (match (action, Hashtbl.find_opt table name) with
+      | Off, _ -> Hashtbl.remove table name
+      | _, Some site -> site.rule <- action
+      | _, None ->
+          Hashtbl.replace table name { rule = action; hits = 0; fired = 0 });
+      refresh_armed_locked ())
+
+let parse_spec spec : ((string * action) list, string) result =
+  String.split_on_char ';' spec
+  |> List.filter_map (fun rule ->
+         let rule = String.trim rule in
+         if rule = "" then None
+         else
+           Some
+             (match String.index_opt rule '=' with
+             | None ->
+                 Stdlib.Error
+                   (Printf.sprintf "rule %S is not site=ACTION" rule)
+             | Some i -> (
+                 let name = String.trim (String.sub rule 0 i) in
+                 let act =
+                   String.sub rule (i + 1) (String.length rule - i - 1)
+                 in
+                 if name = "" then
+                   Stdlib.Error
+                     (Printf.sprintf "rule %S has no site name" rule)
+                 else
+                   match parse_action act with
+                   | Ok a -> Stdlib.Ok (name, a)
+                   | Error e -> Stdlib.Error e)))
+  |> List.fold_left
+       (fun acc r ->
+         match (acc, r) with
+         | (Stdlib.Error _ as e), _ -> e
+         | _, (Stdlib.Error _ as e) -> e
+         | Stdlib.Ok rules, Stdlib.Ok r -> Stdlib.Ok (r :: rules))
+       (Stdlib.Ok [])
+  |> Result.map List.rev
+
+let configure spec =
+  match parse_spec spec with
+  | Error _ as e -> e
+  | Ok rules ->
+      locked (fun () ->
+          Hashtbl.reset table;
+          List.iter
+            (fun (name, action) ->
+              if action <> Off then
+                Hashtbl.replace table name
+                  { rule = action; hits = 0; fired = 0 })
+            rules;
+          refresh_armed_locked ());
+      Ok ()
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      refresh_armed_locked ())
+
+let describe () =
+  locked (fun () ->
+      Hashtbl.fold (fun name site acc -> (name, site.rule) :: acc) table []
+      |> List.sort compare
+      |> List.map (fun (name, rule) -> name ^ "=" ^ render_action rule)
+      |> String.concat "\n")
+
+let stats () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name site acc -> (name, site.hits, site.fired) :: acc)
+        table []
+      |> List.sort compare)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+(* Decide under the lock, act outside it: a [delay] must not hold the
+   table mutex, and a [crash] must not care. *)
+let rec decide hit = function
+  | Off -> Off
+  | One_in (n, a) -> if hit mod n = 0 then decide hit a else Off
+  | Times (n, a) -> if hit <= n then decide hit a else Off
+  | (Error _ | Delay _ | Crash) as a -> a
+
+let eval name =
+  let verdict =
+    locked (fun () ->
+        match Hashtbl.find_opt table name with
+        | None -> Off
+        | Some site ->
+            site.hits <- site.hits + 1;
+            let v = decide site.hits site.rule in
+            if v <> Off then site.fired <- site.fired + 1;
+            v)
+  in
+  match verdict with
+  | Off -> ()
+  | Error msg -> raise (Injected (name ^ ": " ^ msg))
+  | Delay s -> Unix.sleepf s
+  | Crash ->
+      (* No at_exit, no flushing: the process vanishes as under kill -9.
+         137 = 128 + SIGKILL, the exit code a real kill -9 produces. *)
+      Unix._exit 137
+  | One_in _ | Times _ -> assert false
+
+let point name = if Atomic.get armed then eval name
+
+(* ------------------------------------------------------------------ *)
+(* Environment arming.  BXWIKI_FAILPOINTS present (even empty) marks the
+   process as running in fault-injection mode: the admin route may be
+   mounted, and any rules in the value are installed.  A malformed value
+   is reported and skipped rather than crashing library init. *)
+
+let env_configured, () =
+  match Sys.getenv_opt "BXWIKI_FAILPOINTS" with
+  | None -> (false, ())
+  | Some spec ->
+      ( true,
+        match configure spec with
+        | Ok () -> ()
+        | Error e ->
+            Printf.eprintf "bxwiki: BXWIKI_FAILPOINTS ignored: %s\n%!" e )

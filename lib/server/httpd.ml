@@ -22,7 +22,11 @@ type reader = {
 }
 
 let reader_of_fd fd =
-  { refill = Unix.read fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+  let refill buf off want =
+    Bx_fault.Fault.point "httpd.read";
+    Unix.read fd buf off want
+  in
+  { refill; buf = Bytes.create 8192; pos = 0; len = 0 }
 
 let reader_of_string s =
   let consumed = ref 0 in
@@ -161,11 +165,17 @@ let status_text = function
   | _ -> "Internal Server Error"
 
 let write_all fd s =
+  Bx_fault.Fault.point "httpd.write";
   let len = String.length s in
   let rec go off =
     if off < len then go (off + Unix.write_substring fd s off (len - off))
   in
   go 0
+
+(* Every 503 carries Retry-After: overload is the one condition where
+   the server knows the client should come back, and the retrying client
+   keys its backoff off it. *)
+let retry_after_seconds = 1
 
 let write_response fd ~keep_alive (r : Bx_repo.Webui.response) =
   let head =
@@ -173,15 +183,25 @@ let write_response fd ~keep_alive (r : Bx_repo.Webui.response) =
       "HTTP/1.1 %d %s\r\n\
        Content-Type: %s\r\n\
        Content-Length: %d\r\n\
-       Connection: %s\r\n\
+       %sConnection: %s\r\n\
        \r\n"
       r.Bx_repo.Webui.status
       (status_text r.Bx_repo.Webui.status)
       r.Bx_repo.Webui.content_type
       (String.length r.Bx_repo.Webui.body)
+      (if r.Bx_repo.Webui.status = 503 then
+         Printf.sprintf "Retry-After: %d\r\n" retry_after_seconds
+       else "")
       (if keep_alive then "keep-alive" else "close")
   in
   write_all fd (head ^ r.Bx_repo.Webui.body)
+
+let shed_response ~reason =
+  {
+    Bx_repo.Webui.status = 503;
+    content_type = "text/plain; charset=utf-8";
+    body = Printf.sprintf "overloaded: %s, retry later\n" reason;
+  }
 
 let error_response { status; reason } =
   {

@@ -48,8 +48,21 @@ val read_request :
 
 val write_response :
   Unix.file_descr -> keep_alive:bool -> Bx_repo.Webui.response -> unit
-(** Serialise with [Content-Length] and [Connection] headers.  Raises
-    [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone. *)
+(** Serialise with [Content-Length] and [Connection] headers.  A 503
+    additionally carries [Retry-After] — overload is the one condition
+    where the server knows the client should come back.  Raises
+    [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone, or on a write
+    timeout when the socket has [SO_SNDTIMEO] set (a slow client cannot
+    pin a worker forever).
+
+    Failpoints: [httpd.read] fires before each socket refill,
+    [httpd.write] before each response write; injected errors surface as
+    {!Bx_fault.Fault.Injected}, which the service treats as a dropped
+    connection. *)
+
+val shed_response : reason:string -> Bx_repo.Webui.response
+(** The 503 body written when overload protection rejects a connection
+    ([reason] is [queue_full] or [deadline]). *)
 
 val error_response : error -> Bx_repo.Webui.response
 (** A minimal HTML error body for a wire-level failure. *)

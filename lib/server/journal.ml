@@ -7,17 +7,83 @@ type t = {
 
 type record = { seq : int; path : string; body : string }
 
-type replayed = { entries : record list; valid_bytes : int; torn : bool }
+type replayed = {
+  entries : record list;
+  valid_bytes : int;
+  torn : bool;
+  crc_errors : int;
+  version : int;
+}
 
 let log_file dir = Filename.concat dir "journal.log"
 let snapshot_dir dir = Filename.concat dir "snapshot"
 let manifest_file dir = Filename.concat (snapshot_dir dir) "MANIFEST"
 
-let digest path body = Digest.to_hex (Digest.string (path ^ "\x00" ^ body))
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3, the zlib polynomial), table-driven. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_sub s off len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    c := Array.unsafe_get table ((!c lxor Char.code s.[i]) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s = crc32_sub s 0 (String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Format v2: a segment header, then length-prefixed CRC-framed records.
+
+     magic   "bxjournal 2\n"                         (12 bytes)
+     record  u32be payload-length | u32be crc32(payload) | payload
+     payload "<seq> <path-len>\n" ^ path ^ body
+
+   Format v1 (the seed format, still readable) is the line-oriented
+     "bxj1 <seq> <plen> <blen> <md5>\n<path>\n<body>\n"
+   whose only integrity check is the MD5 over the content — no framing
+   checksum, so a mid-file bit flip in a length field could once send
+   the parser into garbage.  v2's CRC covers the whole payload and the
+   length prefix makes every record boundary explicit. *)
+
+let magic = "bxjournal 2\n"
+let magic_len = String.length magic
+
+let be32 buf off n =
+  Bytes.set buf off (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set buf (off + 1) (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set buf (off + 2) (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set buf (off + 3) (Char.chr (n land 0xff))
+
+let read_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
 
 let encode ~seq ~path ~body =
-  Printf.sprintf "bxj1 %d %d %d %s\n%s\n%s\n" seq (String.length path)
-    (String.length body) (digest path body) path body
+  let header = Printf.sprintf "%d %d\n" seq (String.length path) in
+  let payload_len = String.length header + String.length path + String.length body in
+  let out = Bytes.create (8 + payload_len) in
+  Bytes.blit_string header 0 out 8 (String.length header);
+  Bytes.blit_string path 0 out (8 + String.length header) (String.length path);
+  Bytes.blit_string body 0 out
+    (8 + String.length header + String.length path)
+    (String.length body);
+  let payload = Bytes.sub_string out 8 payload_len in
+  be32 out 0 payload_len;
+  be32 out 4 (crc32 payload);
+  Bytes.unsafe_to_string out
 
 (* ------------------------------------------------------------------ *)
 (* Reading *)
@@ -28,12 +94,17 @@ let read_whole_file file =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Parse one record starting at [off]; None on any malformation, which
-   by the append discipline can only be a torn tail. *)
-let parse_record data off =
+(* v1 records; None on any malformation. *)
+let digest_v1 path body = Digest.to_hex (Digest.string (path ^ "\x00" ^ body))
+
+(* Some (record, next_off) for an intact record; None when the bytes at
+   [off] cannot be a complete record.  [`Torn] when the malformation is
+   consistent with a truncated tail, [`Corrupt] when a complete-looking
+   record fails its checksum (a bit flip, not a crash). *)
+let parse_record_v1 data off =
   let len = String.length data in
   match String.index_from_opt data off '\n' with
-  | None -> None
+  | None -> Stdlib.Error `Torn
   | Some nl -> (
       let header = String.sub data off (nl - off) in
       match String.split_on_char ' ' header with
@@ -54,29 +125,84 @@ let parse_record data off =
               then
                 let path = String.sub data path_at plen in
                 let body = String.sub data body_at blen in
-                if String.equal (digest path body) md5 then
-                  Some ({ seq; path; body }, end_at)
-                else None
-              else None
-          | _ -> None)
-      | _ -> None)
+                if String.equal (digest_v1 path body) md5 then
+                  Stdlib.Ok ({ seq; path; body }, end_at)
+                else Stdlib.Error `Corrupt
+              else Stdlib.Error `Torn
+          | _ -> Stdlib.Error `Torn)
+      | _ -> Stdlib.Error `Torn)
+
+let parse_record_v2 data off =
+  let len = String.length data in
+  if off + 8 > len then Stdlib.Error `Torn
+  else
+    let payload_len = read_be32 data off in
+    let crc = read_be32 data (off + 4) in
+    let payload_at = off + 8 in
+    let end_at = payload_at + payload_len in
+    if payload_len < 4 (* "0 0\n" at minimum *) || end_at > len || end_at < off
+    then Stdlib.Error `Torn
+    else if crc32_sub data payload_at payload_len <> crc then
+      Stdlib.Error `Corrupt
+    else
+      match String.index_from_opt data payload_at '\n' with
+      | Some nl when nl < end_at -> (
+          let header = String.sub data payload_at (nl - payload_at) in
+          match String.split_on_char ' ' header with
+          | [ seq_s; plen_s ] -> (
+              match (int_of_string_opt seq_s, int_of_string_opt plen_s) with
+              | Some seq, Some plen
+                when seq >= 0 && plen >= 0 && nl + 1 + plen <= end_at ->
+                  let path = String.sub data (nl + 1) plen in
+                  let body =
+                    String.sub data (nl + 1 + plen) (end_at - nl - 1 - plen)
+                  in
+                  Stdlib.Ok ({ seq; path; body }, end_at)
+              | _ -> Stdlib.Error `Corrupt
+            )
+          | _ -> Stdlib.Error `Corrupt)
+      | _ -> Stdlib.Error `Corrupt
+
+let is_v2 data =
+  String.length data >= magic_len && String.sub data 0 magic_len = magic
+
+(* A stop means everything from the malformation on is untrusted: the
+   replay keeps the intact prefix, [open_] truncates the rest away.  A
+   checksum failure is counted separately from a torn tail so operators
+   can tell a crash (expected, benign) from corruption (a disk problem
+   worth investigating). *)
+let scan parse data start =
+  let len = String.length data in
+  let rec go acc off crc_errors =
+    if off >= len then
+      { entries = List.rev acc; valid_bytes = off; torn = false; crc_errors;
+        version = 0 }
+    else
+      match parse data off with
+      | Stdlib.Ok (r, next) -> go (r :: acc) next crc_errors
+      | Stdlib.Error fault ->
+          {
+            entries = List.rev acc;
+            valid_bytes = off;
+            torn = true;
+            crc_errors = (crc_errors + match fault with `Corrupt -> 1 | `Torn -> 0);
+            version = 0;
+          }
+  in
+  go [] start 0
 
 let read ~dir =
   let file = log_file dir in
   if not (Sys.file_exists file) then
-    Ok { entries = []; valid_bytes = 0; torn = false }
+    Ok { entries = []; valid_bytes = 0; torn = false; crc_errors = 0; version = 2 }
   else
     try
       let data = read_whole_file file in
-      let len = String.length data in
-      let rec go acc off =
-        if off >= len then { entries = List.rev acc; valid_bytes = off; torn = false }
-        else
-          match parse_record data off with
-          | Some (r, next) -> go (r :: acc) next
-          | None -> { entries = List.rev acc; valid_bytes = off; torn = true }
-      in
-      Ok (go [] 0)
+      if String.length data = 0 then
+        Ok { entries = []; valid_bytes = 0; torn = false; crc_errors = 0; version = 2 }
+      else if is_v2 data then
+        Ok { (scan parse_record_v2 data magic_len) with version = 2 }
+      else Ok { (scan parse_record_v1 data 0) with version = 1 }
     with Sys_error e -> Error e
 
 let snapshot_seq ~dir =
@@ -126,23 +252,6 @@ let mkdir_if_missing dir =
   else if not (Sys.is_directory dir) then
     failwith (dir ^ " exists and is not a directory")
 
-let open_ ~dir ~next_seq =
-  try
-    mkdir_if_missing dir;
-    recover_snapshot ~dir;
-    match read ~dir with
-    | Error e -> Error e
-    | Ok { entries; valid_bytes; torn } ->
-        let fd =
-          Unix.openfile (log_file dir) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
-        in
-        if torn then Unix.ftruncate fd valid_bytes;
-        ignore (Unix.lseek fd valid_bytes Unix.SEEK_SET);
-        Ok { dir; fd; next_seq; records = List.length entries }
-  with
-  | Sys_error e | Failure e -> Error e
-  | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
-
 let write_all fd s =
   let len = String.length s in
   let rec go off =
@@ -150,16 +259,68 @@ let write_all fd s =
   in
   go 0
 
+(* A v1 log is upgraded in place the first time it is opened: its intact
+   records are rewritten under the v2 header via the same tmp+rename
+   discipline as everything else, so a crash mid-migration leaves either
+   the old readable v1 file or the new readable v2 file. *)
+let migrate_v1 ~file entries =
+  let tmp = file ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd magic;
+      List.iter
+        (fun { seq; path; body } -> write_all fd (encode ~seq ~path ~body))
+        entries;
+      Unix.fsync fd);
+  Sys.rename tmp file
+
+let open_ ~dir ~next_seq =
+  try
+    mkdir_if_missing dir;
+    recover_snapshot ~dir;
+    match read ~dir with
+    | Error e -> Error e
+    | Ok { entries; valid_bytes; torn; version; _ } ->
+        let file = log_file dir in
+        if version = 1 then migrate_v1 ~file entries;
+        let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+        let pos =
+          if version = 1 then Unix.lseek fd 0 Unix.SEEK_END
+          else if valid_bytes = 0 then begin
+            (* Fresh (or fully empty) log: stamp the segment header. *)
+            Unix.ftruncate fd 0;
+            write_all fd magic;
+            Unix.fsync fd;
+            magic_len
+          end
+          else begin
+            if torn then Unix.ftruncate fd valid_bytes;
+            Unix.lseek fd valid_bytes Unix.SEEK_SET
+          end
+        in
+        ignore pos;
+        Ok { dir; fd; next_seq; records = List.length entries }
+  with
+  | Sys_error e | Failure e -> Error e
+  | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
+
 let append t ~path ~body =
   try
     let seq = t.next_seq in
+    Bx_fault.Fault.point "journal.append.pre_write";
     write_all t.fd (encode ~seq ~path ~body);
+    Bx_fault.Fault.point "journal.append.pre_fsync";
     Unix.fsync t.fd;
+    Bx_fault.Fault.point "journal.append.post_fsync";
     t.next_seq <- seq + 1;
     t.records <- t.records + 1;
     Ok seq
-  with Unix.Unix_error (e, _, arg) ->
-    Error (Printf.sprintf "journal append: %s: %s" arg (Unix.error_message e))
+  with
+  | Unix.Unix_error (e, _, arg) ->
+      Error (Printf.sprintf "journal append: %s: %s" arg (Unix.error_message e))
+  | Bx_fault.Fault.Injected m -> Error (Printf.sprintf "journal append: %s" m)
 
 let record_count t = t.records
 
@@ -186,24 +347,36 @@ let checkpoint t ~save =
   let old_ = snap ^ ".old" in
   try
     remove_tree tmp;
+    Bx_fault.Fault.point "journal.checkpoint.pre_save";
     match save ~dir:tmp with
     | Error e -> Error e
     | Ok files ->
+        Bx_fault.Fault.point "journal.checkpoint.pre_manifest";
         write_manifest tmp (t.next_seq - 1);
+        Bx_fault.Fault.point "journal.checkpoint.pre_swap";
         remove_tree old_;
         if Sys.file_exists snap then Sys.rename snap old_;
         Sys.rename tmp snap;
         remove_tree old_;
-        (* The snapshot now covers every journaled edit: empty the log.
-           A crash before the truncate is harmless — replay skips
-           records at or below the manifest's sequence number. *)
+        (* The snapshot now covers every journaled edit: reset the log to
+           a bare segment header.  A crash before the truncate is
+           harmless — replay skips records at or below the manifest's
+           sequence number. *)
+        Bx_fault.Fault.point "journal.checkpoint.pre_truncate";
         Unix.ftruncate t.fd 0;
         ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+        write_all t.fd magic;
         Unix.fsync t.fd;
         t.records <- 0;
         Ok files
   with
   | Sys_error e | Failure e -> Error e
   | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
+  | Bx_fault.Fault.Injected m -> Error m
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Kept for tests that fabricate v1 logs: the seed's record encoder. *)
+let encode_v1 ~seq ~path ~body =
+  Printf.sprintf "bxj1 %d %d %d %s\n%s\n%s\n" seq (String.length path)
+    (String.length body) (digest_v1 path body) path body

@@ -16,12 +16,34 @@
     not already contain — a crash {e between} writing a snapshot and
     truncating the log cannot double-apply an edit.
 
-    Record format (all lengths in bytes, digest over path and body):
-    {v bxj1 <seq> <path-len> <body-len> <md5-hex>\n<path>\n<body>\n v}
+    {b Format v2} (current): the log opens with a magic+version segment
+    header, then length-prefixed CRC32-framed records:
+    {v bxjournal 2\n
+u32be payload-len | u32be crc32(payload) | "<seq> <path-len>\n" path body v}
+    The CRC covers the whole payload, so a bit flip anywhere in a record
+    — not just a torn tail — is detected; the length prefix makes every
+    record boundary explicit without trusting record contents.
 
-    A torn tail — the partial record a [kill -9] mid-append leaves
-    behind — fails the length or digest check; {!read} stops there and
-    {!open_} truncates the file back to the last intact record. *)
+    {b Format v1} (the seed format) is still read: a log without the
+    magic is parsed as the line-oriented
+    [bxj1 <seq> <plen> <blen> <md5>] records and {!open_} migrates it to
+    v2 in place (tmp + rename), so pre-upgrade journals replay cleanly.
+
+    Recovery policy: parsing stops at the first malformed record.  A
+    truncated tail (the partial record a [kill -9] mid-append leaves) is
+    reported as [torn]; a complete-looking record whose checksum fails is
+    additionally counted in [crc_errors].  Everything from the stop
+    onward is untrusted — {!open_} truncates it away, and the service
+    surfaces both counts as [bxwiki_journal_torn_tail_total] and
+    [bxwiki_journal_crc_errors_total].
+
+    Failpoints (see {!Bx_fault.Fault}): [journal.append.pre_write],
+    [journal.append.pre_fsync], [journal.append.post_fsync],
+    [journal.checkpoint.pre_save], [journal.checkpoint.pre_manifest],
+    [journal.checkpoint.pre_swap], [journal.checkpoint.pre_truncate].
+    Injected errors surface as this module's [Error] results; [crash]
+    actions die in place, which is exactly what the crash-recovery
+    torture tests exploit. *)
 
 type t
 
@@ -30,15 +52,33 @@ type record = { seq : int; path : string; body : string }
 type replayed = {
   entries : record list;  (** intact records, oldest first *)
   valid_bytes : int;  (** file prefix the records occupy *)
-  torn : bool;  (** a corrupt/partial tail was skipped *)
+  torn : bool;  (** parsing stopped before the end of the file *)
+  crc_errors : int;
+      (** complete-looking records rejected by checksum — corruption,
+          as opposed to a benign crash tail *)
+  version : int;  (** 1 = seed format, 2 = CRC-framed (also for empty) *)
 }
 
 val log_file : string -> string
 val snapshot_dir : string -> string
 
+val crc32 : string -> int
+(** The IEEE CRC32 used by the v2 framing; exposed for tests that
+    fabricate or corrupt journals. *)
+
+val magic : string
+(** The v2 segment header ("bxjournal 2\n"). *)
+
+val encode : seq:int -> path:string -> body:string -> string
+(** One v2 record, framed and checksummed — exposed for tests. *)
+
+val encode_v1 : seq:int -> path:string -> body:string -> string
+(** The seed's v1 record encoding — for tests that fabricate old
+    journals to exercise the compatibility path. *)
+
 val read : dir:string -> (replayed, string) result
-(** Parse the log, tolerating a torn tail.  A missing log file reads as
-    empty. *)
+(** Parse the log, tolerating a torn or corrupt tail.  A missing or
+    empty log file reads as empty v2. *)
 
 val snapshot_seq : dir:string -> int
 (** The sequence number recorded in the snapshot's [MANIFEST]; 0 when
@@ -51,9 +91,10 @@ val recover_snapshot : dir:string -> unit
 
 val open_ : dir:string -> next_seq:int -> (t, string) result
 (** Open (creating [dir] and the log as needed) for appending.  The torn
-    tail, if any, is truncated away.  [next_seq] is the sequence number
-    the next {!append} will use — the caller derives it from
-    {!snapshot_seq} and the replayed records. *)
+    or corrupt tail, if any, is truncated away; a v1 log is migrated to
+    v2.  [next_seq] is the sequence number the next {!append} will use —
+    the caller derives it from {!snapshot_seq} and the replayed
+    records. *)
 
 val append : t -> path:string -> body:string -> (int, string) result
 (** Append one record and [fsync]; returns the record's sequence
@@ -64,11 +105,12 @@ val record_count : t -> int
 
 val checkpoint :
   t -> save:(dir:string -> (int, string) result) -> (int, string) result
-(** Compaction: write a fresh snapshot and empty the log.  [save] dumps
-    the registry into the directory it is given (the caller holds
-    whatever lock makes that consistent); the manifest seals it with the
-    current sequence number, the directories are swapped, and the log is
-    truncated.  Returns the number of files the snapshot wrote.  A crash
-    at any point leaves a state {!open_} recovers from. *)
+(** Compaction: write a fresh snapshot and reset the log to a bare
+    segment header.  [save] dumps the registry into the directory it is
+    given (the caller holds whatever lock makes that consistent); the
+    manifest seals it with the current sequence number, the directories
+    are swapped, and the log is truncated.  Returns the number of files
+    the snapshot wrote.  A crash at any point leaves a state {!open_}
+    recovers from. *)
 
 val close : t -> unit

@@ -20,8 +20,15 @@ type t = {
   errors : (string * string, int ref) Hashtbl.t; (* (route, reason) *)
   latency : (string, histogram) Hashtbl.t; (* per route *)
   lens_ops : (string * string, lens_op) Hashtbl.t; (* (lens, op) *)
+  shed : (string, int ref) Hashtbl.t; (* per reason: queue_full, deadline *)
   mutable hits : int;
   mutable misses : int;
+  mutable torn_tails : int;
+  mutable crc_errors : int;
+  mutable compact_ok : int;
+  mutable compact_fail : int;
+  mutable last_compaction_ok : bool;
+  mutable queue_depth : int; (* gauge, sampled at scrape time *)
 }
 
 let create () =
@@ -31,8 +38,15 @@ let create () =
     errors = Hashtbl.create 16;
     latency = Hashtbl.create 16;
     lens_ops = Hashtbl.create 16;
+    shed = Hashtbl.create 4;
     hits = 0;
     misses = 0;
+    torn_tails = 0;
+    crc_errors = 0;
+    compact_ok = 0;
+    compact_fail = 0;
+    last_compaction_ok = true;
+    queue_depth = 0;
   }
 
 let locked t f =
@@ -92,6 +106,29 @@ let lens_ops_total t =
 
 let cache_hit t = locked t (fun () -> t.hits <- t.hits + 1)
 let cache_miss t = locked t (fun () -> t.misses <- t.misses + 1)
+
+let journal_recovery t ~torn ~crc_errors =
+  locked t (fun () ->
+      if torn then t.torn_tails <- t.torn_tails + 1;
+      t.crc_errors <- t.crc_errors + crc_errors)
+
+let compaction t ~ok =
+  locked t (fun () ->
+      if ok then t.compact_ok <- t.compact_ok + 1
+      else t.compact_fail <- t.compact_fail + 1;
+      t.last_compaction_ok <- ok)
+
+let shed t ~reason = locked t (fun () -> bump t.shed reason)
+
+let note_queue_depth t depth = locked t (fun () -> t.queue_depth <- depth)
+
+let shed_total t =
+  locked t (fun () -> Hashtbl.fold (fun _ r acc -> acc + !r) t.shed 0)
+
+let compaction_counts t = locked t (fun () -> (t.compact_ok, t.compact_fail))
+
+let journal_recovery_counts t =
+  locked t (fun () -> (t.torn_tails, t.crc_errors))
 
 let requests_total t =
   locked t (fun () ->
@@ -179,4 +216,39 @@ let render t =
       line "# HELP bxwiki_cache_misses_total Rendered-page cache misses.";
       line "# TYPE bxwiki_cache_misses_total counter";
       line "bxwiki_cache_misses_total %d" t.misses;
+      line "# HELP bxwiki_journal_torn_tail_total Journal recoveries that truncated a torn tail.";
+      line "# TYPE bxwiki_journal_torn_tail_total counter";
+      line "bxwiki_journal_torn_tail_total %d" t.torn_tails;
+      line "# HELP bxwiki_journal_crc_errors_total Journal records rejected by checksum during recovery.";
+      line "# TYPE bxwiki_journal_crc_errors_total counter";
+      line "bxwiki_journal_crc_errors_total %d" t.crc_errors;
+      line "# HELP bxwiki_journal_compactions_total Snapshot compactions, by outcome.";
+      line "# TYPE bxwiki_journal_compactions_total counter";
+      line "bxwiki_journal_compactions_total{result=\"ok\"} %d" t.compact_ok;
+      line "bxwiki_journal_compactions_total{result=\"error\"} %d" t.compact_fail;
+      line "# HELP bxwiki_journal_last_compaction_ok Whether the most recent compaction succeeded (1 until one fails).";
+      line "# TYPE bxwiki_journal_last_compaction_ok gauge";
+      line "bxwiki_journal_last_compaction_ok %d"
+        (if t.last_compaction_ok then 1 else 0);
+      line "# HELP bxwiki_shed_total Connections shed by overload protection, by reason.";
+      line "# TYPE bxwiki_shed_total counter";
+      Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.shed []
+      |> List.sort compare
+      |> List.iter (fun (reason, n) ->
+             line "bxwiki_shed_total{reason=%S} %d" reason n);
+      line "# HELP bxwiki_queue_depth Pending connections queued for a worker (sampled at scrape).";
+      line "# TYPE bxwiki_queue_depth gauge";
+      line "bxwiki_queue_depth %d" t.queue_depth;
+      (* Failpoint counters come from the process-global fault runtime,
+         like the slens engine counters above. *)
+      let faults = Bx_fault.Fault.stats () in
+      line "# HELP bxwiki_fault_hits_total Failpoint evaluations, per configured site.";
+      line "# TYPE bxwiki_fault_hits_total counter";
+      line "# HELP bxwiki_fault_fired_total Failpoint actions actually taken, per configured site.";
+      line "# TYPE bxwiki_fault_fired_total counter";
+      List.iter
+        (fun (site, hits, fired) ->
+          line "bxwiki_fault_hits_total{site=%S} %d" site hits;
+          line "bxwiki_fault_fired_total{site=%S} %d" site fired)
+        faults;
       Buffer.contents b)

@@ -39,6 +39,25 @@ val observe_lens : t -> lens:string -> op:string -> docs:int -> bytes:int -> uni
 val cache_hit : t -> unit
 val cache_miss : t -> unit
 
+val journal_recovery : t -> torn:bool -> crc_errors:int -> unit
+(** Record what journal recovery found at boot: a truncated tail bumps
+    [bxwiki_journal_torn_tail_total]; each checksum-rejected record
+    bumps [bxwiki_journal_crc_errors_total]. *)
+
+val compaction : t -> ok:bool -> unit
+(** Record one compaction attempt; feeds
+    [bxwiki_journal_compactions_total{result}] and the
+    [bxwiki_journal_last_compaction_ok] gauge. *)
+
+val shed : t -> reason:string -> unit
+(** Record one connection shed by overload protection ([queue_full] when
+    the pending queue is at capacity, [deadline] when it waited past its
+    budget). *)
+
+val note_queue_depth : t -> int -> unit
+(** Sample the pending-connection queue depth (a gauge; the service sets
+    it when [/metrics] is scraped). *)
+
 val render : t -> string
 (** The Prometheus text exposition (version 0.0.4): [# HELP]/[# TYPE]
     preambles, then one line per labelled series, sorted so output is
@@ -56,3 +75,12 @@ val lens_ops_total : t -> int
 
 val cache_counts : t -> int * int
 (** (hits, misses). *)
+
+val shed_total : t -> int
+(** Sum over all shed reasons. *)
+
+val compaction_counts : t -> int * int
+(** (succeeded, failed). *)
+
+val journal_recovery_counts : t -> int * int
+(** (torn tails truncated, records rejected by checksum). *)

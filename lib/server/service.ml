@@ -5,6 +5,10 @@ type config = {
   max_body : int;
   read_timeout : float;
   lens_workers : int;
+  queue_capacity : int;
+  queue_deadline : float;
+  write_timeout : float;
+  failpoints_admin : bool;
 }
 
 let default_config =
@@ -15,6 +19,10 @@ let default_config =
     max_body = Httpd.default_max_body;
     read_timeout = 10.0;
     lens_workers = 4;
+    queue_capacity = 256;
+    queue_deadline = 5.0;
+    write_timeout = 10.0;
+    failpoints_admin = Bx_fault.Fault.env_configured;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -87,11 +95,16 @@ type t = {
   replay_applied : int;
   replay_failed : int;
   stop : bool Atomic.t;
+  journal_ok : bool Atomic.t;
+      (* false after a failed append, true again after a successful one;
+         feeds /readyz *)
   mutable bound_port : int option;
-  (* connection queue between the accept loop and the workers *)
+  (* connection queue between the accept loop and the workers; each
+     entry remembers when it was enqueued so workers can shed
+     connections that waited past their deadline budget *)
   qm : Mutex.t;
   qc : Condition.t;
-  queue : Unix.file_descr Queue.t;
+  queue : (Unix.file_descr * float) Queue.t;
   mutable accepting : bool;
 }
 
@@ -137,6 +150,7 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
       replay_applied = applied;
       replay_failed = failed;
       stop = Atomic.make false;
+      journal_ok = Atomic.make true;
       bound_port = None;
       qm = Mutex.create ();
       qc = Condition.create ();
@@ -161,7 +175,11 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
           let snap_seq = Journal.snapshot_seq ~dir in
           match Journal.read ~dir with
           | Error e -> Error ("journal read: " ^ e)
-          | Ok { entries; _ } ->
+          | Ok { entries; torn; crc_errors; _ } ->
+              (* What recovery found is an operational signal: torn tails
+                 are the benign residue of a crash, checksum failures are
+                 corruption worth an operator's attention. *)
+              Metrics.journal_recovery metrics ~torn ~crc_errors;
               let to_apply =
                 List.filter (fun (r : Journal.record) -> r.seq > snap_seq) entries
               in
@@ -186,6 +204,8 @@ let route_of t path =
   let ends_with suffix = Filename.check_suffix path suffix in
   if path = "/" || path = "" then "index"
   else if path = "/metrics" then "metrics"
+  else if path = "/healthz" || path = "/readyz" then "health"
+  else if path = "/debug/failpoints" then "debug"
   else if is_slens_path path then "slens"
   else if path = "/glossary" then "glossary"
   else if path = "/manuscript" then "manuscript"
@@ -203,6 +223,7 @@ let respond_html status title body =
 
 let handle_get t path =
   let render () =
+    Bx_fault.Fault.point "service.lock.read";
     if List.mem_assoc path t.pages then begin
       (* Serialise extra-page thunks (they may force lazies, which is
          not safe to race from parallel domains); the result is cached,
@@ -237,8 +258,12 @@ let checkpoint_locked t =
   match t.journal with
   | None -> Ok 0
   | Some j ->
-      Journal.checkpoint j ~save:(fun ~dir ->
-          Bx_repo.Store.save ~dir t.registry)
+      let result =
+        Journal.checkpoint j ~save:(fun ~dir ->
+            Bx_repo.Store.save ~dir t.registry)
+      in
+      Metrics.compaction t.metrics ~ok:(Result.is_ok result);
+      result
 
 (* ------------------------------------------------------------------ *)
 (* Lens execution routes.  POST /slens/<name>/<op>; single-document ops
@@ -324,6 +349,7 @@ let handle_slens t path body =
   | _ -> respond_text 404 "lens paths are /slens/<name>/<op>\n"
 
 let handle_post t path body =
+  Bx_fault.Fault.point "service.lock.write";
   Rwlock.write t.lock (fun () ->
       let response =
         Bx_repo.Webui.handle t.registry ~meth:"POST" ~path ~body
@@ -338,17 +364,23 @@ let handle_post t path body =
             | Error e ->
                 (* The in-memory edit stands, but durability was
                    promised and could not be delivered: tell the client
-                   the truth and let the operator look at the disk. *)
+                   the truth, flip /readyz, and let the operator look at
+                   the disk. *)
+                Atomic.set t.journal_ok false;
                 Metrics.protocol_error t.metrics ~route:"journal"
                   ~reason:"append_failed";
                 respond_html 500 "Journal write failed"
                   ("<p>Edit applied in memory but not journaled: "
                   ^ Bx_repo.Markup.html_escape e ^ "</p>")
             | Ok _ ->
+                Atomic.set t.journal_ok true;
                 if
                   t.config.compact_every > 0
                   && Journal.record_count j >= t.config.compact_every
                 then begin
+                  (* A failed compaction must not take the service down:
+                     the journal keeps growing, the failure is counted
+                     and surfaced in /metrics, and serving continues. *)
                   match checkpoint_locked t with
                   | Ok _ -> ()
                   | Error e ->
@@ -357,22 +389,76 @@ let handle_post t path body =
                 response)
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Health, readiness and the failpoint admin route *)
+
+let queue_depth t =
+  Mutex.lock t.qm;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.qm;
+  n
+
+let queue_high_water t = max 1 (t.config.queue_capacity * 3 / 4)
+
+(* Readiness = this process can usefully take traffic right now: the
+   journal accepted its last write (replay completed inside [create], so
+   a constructed service has replayed), we are not draining, and the
+   pending queue is below its high-water mark. *)
+let readiness t =
+  List.filter_map
+    (fun (ok, reason) -> if ok then None else Some reason)
+    [
+      (Atomic.get t.journal_ok, "journal_unwritable");
+      (not (Atomic.get t.stop), "draining");
+      (queue_depth t < queue_high_water t, "queue_high_water");
+    ]
+
+let ready t = readiness t = []
+
+let handle_readyz t =
+  match readiness t with
+  | [] -> respond_text 200 "ready\n"
+  | reasons -> respond_text 503 ("not ready: " ^ String.concat ", " reasons ^ "\n")
+
+let handle_failpoints_admin t ~meth ~body =
+  if not t.config.failpoints_admin then
+    respond_text 404 "failpoint admin is not enabled (set BXWIKI_FAILPOINTS)\n"
+  else
+    match meth with
+    | "GET" -> respond_text 200 (Bx_fault.Fault.describe () ^ "\n")
+    | "PUT" -> (
+        match Bx_fault.Fault.configure body with
+        | Ok () -> respond_text 200 (Bx_fault.Fault.describe () ^ "\n")
+        | Error e -> respond_text 400 (e ^ "\n"))
+    | _ -> respond_text 405 "use GET or PUT\n"
+
 let handle t ~meth ~path ~body =
   let started = Unix.gettimeofday () in
   let meth = String.uppercase_ascii meth in
   let response =
-    match meth with
-    | "GET" when path = "/metrics" ->
-        {
-          Bx_repo.Webui.status = 200;
-          content_type = "text/plain; version=0.0.4; charset=utf-8";
-          body = Metrics.render t.metrics;
-        }
-    | "GET" -> handle_get t path
-    | "POST" when is_slens_path path -> handle_slens t path body
-    | "POST" -> handle_post t path body
-    | _ ->
-        respond_html 405 "Method not allowed" "<p>Use GET or POST.</p>"
+    (* An injected fault at a lock or lens seam is answered like any
+       other transient overload: a 503 the retrying client backs off
+       from, never a hung connection or a dead worker. *)
+    try
+      match meth with
+      | "GET" when path = "/metrics" ->
+          Metrics.note_queue_depth t.metrics (queue_depth t);
+          {
+            Bx_repo.Webui.status = 200;
+            content_type = "text/plain; version=0.0.4; charset=utf-8";
+            body = Metrics.render t.metrics;
+          }
+      | "GET" when path = "/healthz" -> respond_text 200 "ok\n"
+      | "GET" when path = "/readyz" -> handle_readyz t
+      | ("GET" | "PUT") when path = "/debug/failpoints" ->
+          handle_failpoints_admin t ~meth ~body
+      | "GET" -> handle_get t path
+      | "POST" when is_slens_path path -> handle_slens t path body
+      | "POST" -> handle_post t path body
+      | _ ->
+          respond_html 405 "Method not allowed" "<p>Use GET or POST.</p>"
+    with Bx_fault.Fault.Injected m ->
+      respond_text 503 ("injected fault: " ^ m ^ "\n")
   in
   Metrics.observe_request t.metrics ~route:(route_of t path) ~meth
     ~status:response.Bx_repo.Webui.status
@@ -393,18 +479,37 @@ let shutdown t =
   Condition.broadcast t.qc;
   Mutex.unlock t.qm
 
+(* Shed one connection: a tiny 503 + Retry-After written straight from
+   whichever loop is rejecting it (the write goes to a socket buffer
+   that is empty, and SO_SNDTIMEO bounds the pathological case), then
+   close. *)
+let shed_connection t fd ~reason =
+  Metrics.shed t.metrics ~reason;
+  (try Httpd.write_response fd ~keep_alive:false (Httpd.shed_response ~reason)
+   with Unix.Unix_error _ | Bx_fault.Fault.Injected _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Bounded admission: beyond [queue_capacity] pending connections the
+   accept loop sheds instead of queueing — the server degrades to fast
+   503s rather than stalling every client behind an unbounded backlog. *)
 let enqueue t fd =
   Mutex.lock t.qm;
-  Queue.push fd t.queue;
-  Condition.signal t.qc;
-  Mutex.unlock t.qm
+  if Queue.length t.queue >= t.config.queue_capacity then begin
+    Mutex.unlock t.qm;
+    shed_connection t fd ~reason:"queue_full"
+  end
+  else begin
+    Queue.push (fd, Unix.gettimeofday ()) t.queue;
+    Condition.signal t.qc;
+    Mutex.unlock t.qm
+  end
 
 (* None once the accept loop has stopped and the queue is drained. *)
 let dequeue t =
   Mutex.lock t.qm;
   let rec wait () =
     match Queue.take_opt t.queue with
-    | Some fd -> Some fd
+    | Some entry -> Some entry
     | None ->
         if not t.accepting then None
         else begin
@@ -430,13 +535,19 @@ let handle_connection t fd =
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         bad "wire" "read_timeout" { Httpd.status = 408; reason = "read timeout" }
     | exception Unix.Unix_error (_, _, _) -> ()
+    | exception Bx_fault.Fault.Injected _ ->
+        (* An injected wire-read fault behaves like a peer reset. *)
+        Metrics.protocol_error t.metrics ~route:"wire" ~reason:"fault_injected"
     | Ok req -> (
         let response = handle t ~meth:req.meth ~path:req.path ~body:req.body in
         (* Drop keep-alive while draining so shutdown terminates. *)
         let keep_alive = req.keep_alive && not (Atomic.get t.stop) in
         match Httpd.write_response fd ~keep_alive response with
         | () -> if keep_alive then loop ()
-        | exception Unix.Unix_error (_, _, _) -> ())
+        | exception Unix.Unix_error (_, _, _) -> ()
+        | exception Bx_fault.Fault.Injected _ ->
+            Metrics.protocol_error t.metrics ~route:"wire"
+              ~reason:"fault_injected")
   in
   loop ();
   try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
@@ -445,13 +556,20 @@ let worker_loop t =
   let rec go () =
     match dequeue t with
     | None -> ()
-    | Some fd ->
-        (try handle_connection t fd
-         with exn ->
-           (* A worker must survive anything one connection throws. *)
-           Metrics.protocol_error t.metrics ~route:"wire" ~reason:"worker_exn";
-           Printf.eprintf "bxwiki: worker: %s\n%!" (Printexc.to_string exn);
-           (try Unix.close fd with Unix.Unix_error (_, _, _) -> ()));
+    | Some (fd, enqueued_at) ->
+        (* The deadline budget: a connection that sat queued longer than
+           [queue_deadline] is answered with a fast 503 — by now the
+           client has likely timed out or retried, and burning a worker
+           on stale work only deepens the overload. *)
+        if Unix.gettimeofday () -. enqueued_at > t.config.queue_deadline then
+          shed_connection t fd ~reason:"deadline"
+        else
+          (try handle_connection t fd
+           with exn ->
+             (* A worker must survive anything one connection throws. *)
+             Metrics.protocol_error t.metrics ~route:"wire" ~reason:"worker_exn";
+             Printf.eprintf "bxwiki: worker: %s\n%!" (Printexc.to_string exn);
+             (try Unix.close fd with Unix.Unix_error (_, _, _) -> ()));
         go ()
   in
   go ()
@@ -494,9 +612,19 @@ let serve t ?(port = 8008) ?(workers = 4) ?port_file ?(quiet = false) () =
         | _ -> (
             match Unix.accept sock with
             | client, _ ->
-                Unix.setsockopt_float client Unix.SO_RCVTIMEO
-                  t.config.read_timeout;
-                enqueue t client;
+                (match Bx_fault.Fault.point "httpd.accept" with
+                | () ->
+                    Unix.setsockopt_float client Unix.SO_RCVTIMEO
+                      t.config.read_timeout;
+                    (* A slow reader cannot pin a worker: response writes
+                       time out too, and the connection is dropped. *)
+                    Unix.setsockopt_float client Unix.SO_SNDTIMEO
+                      t.config.write_timeout;
+                    enqueue t client
+                | exception Bx_fault.Fault.Injected _ -> (
+                    Metrics.protocol_error t.metrics ~route:"wire"
+                      ~reason:"fault_injected";
+                    try Unix.close client with Unix.Unix_error _ -> ()));
                 accept_loop ()
             | exception
                 Unix.Unix_error

@@ -35,11 +35,25 @@ type config = {
   lens_workers : int;
       (** domains fanned over by the batch lens endpoints
           ([/slens/<name>/get_batch] and [put_batch]) *)
+  queue_capacity : int;
+      (** pending-connection bound: beyond it the accept loop sheds with
+          a fast 503 + [Retry-After] instead of queueing *)
+  queue_deadline : float;
+      (** seconds a connection may wait queued before a worker sheds it
+          unprocessed (the per-request deadline budget) *)
+  write_timeout : float;
+      (** per-socket send timeout, seconds — a slow reader cannot pin a
+          worker *)
+  failpoints_admin : bool;
+      (** mount [GET/PUT /debug/failpoints]; defaults to whether
+          [BXWIKI_FAILPOINTS] was present in the environment *)
 }
 
 val default_config : config
 (** No journal, 256 cached pages, compact every 64 edits, 1 MiB bodies,
-    10 s read timeout, 4 lens workers. *)
+    10 s read timeout, 4 lens workers, 256 queued connections, 5 s queue
+    deadline, 10 s write timeout, failpoint admin iff
+    [BXWIKI_FAILPOINTS] is set. *)
 
 type t
 
@@ -61,7 +75,18 @@ val handle :
   t -> meth:string -> path:string -> body:string -> Bx_repo.Webui.response
 (** One request through locks, cache, journal and metrics — the
     transport-free core, used by every worker and directly by tests and
-    benchmarks.  [GET /metrics] is answered here.
+    benchmarks.  [GET /metrics] is answered here, as are the health
+    probes ([GET /healthz] — process liveness, always 200 — and
+    [GET /readyz] — 200 only while the journal is writable, the service
+    is not draining, and the pending queue is below its high-water mark;
+    503 with the reasons otherwise) and, when [failpoints_admin] is set,
+    the fault-injection admin route ([GET /debug/failpoints] shows the
+    current rules, [PUT] replaces them with the body's
+    [site=ACTION;...] spec — an empty body clears them).
+
+    An injected fault ({!Bx_fault.Fault.Injected}) escaping any handler
+    is answered as a 503, the same shape as overload, so the retrying
+    client's backoff covers both.
 
     Registered lenses are served at [POST /slens/<name>/<op>], bypassing
     the registry lock (lens runs touch no shared state):
@@ -110,6 +135,16 @@ val replay_stats : t -> int * int
 
 val port : t -> int option
 (** The bound port while {!serve} runs. *)
+
+val ready : t -> bool
+(** The [/readyz] predicate, directly. *)
+
+val readiness : t -> string list
+(** Why the service is not ready ([[]] when it is): any of
+    [journal_unwritable], [draining], [queue_high_water]. *)
+
+val queue_depth : t -> int
+(** Pending connections currently queued for a worker. *)
 
 val with_registry : t -> (Bx_repo.Registry.t -> 'a) -> 'a
 (** Run [f] under the read lock — for invariant checks in tests. *)

@@ -551,15 +551,33 @@ let parallel_map ~workers f xs =
   let arr = Array.of_list xs in
   let n = Array.length arr in
   let w = max 1 (min workers n) in
-  if w = 1 then List.map f xs
+  if w = 1 then
+    List.map
+      (fun x ->
+        Bx_fault.Fault.point "slens.batch.worker";
+        f x)
+      xs
   else begin
     let out = Array.make n "" in
     let next = Atomic.make 0 in
+    (* A worker that throws (a type error on one document, an injected
+       fault) must not leave its siblings unjoined: the first exception
+       is parked, every domain drains normally, and the exception is
+       re-raised only after the join. *)
+    let failure = Atomic.make None in
     let worker () =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          out.(i) <- f arr.(i);
+          (match
+             Bx_fault.Fault.point "slens.batch.worker";
+             f arr.(i)
+           with
+          | result -> out.(i) <- result
+          | exception exn ->
+              ignore
+                (Atomic.compare_and_set failure None
+                   (Some (exn, Printexc.get_raw_backtrace ()))));
           go ()
         end
       in
@@ -568,6 +586,9 @@ let parallel_map ~workers f xs =
     let helpers = List.init (w - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join helpers;
+    (match Atomic.get failure with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
     Array.to_list out
   end
 

@@ -208,5 +208,66 @@ the journal:
   bxwiki: drained, snapshot written, bye
   $ test -f jdir/snapshot/MANIFEST && echo snapshot-sealed
   snapshot-sealed
+
+The truncated log is reset to the bare v2 segment header (12 bytes of
+magic, no records):
+
   $ wc -c < jdir/journal.log | tr -d ' '
-  0
+  12
+  $ head -1 jdir/journal.log
+  bxjournal 2
+
+Fault injection and the retrying client: start a server whose accept
+and read seams each fail exactly once (times(1,error)), plus a journal
+append that fails on its first attempt.  Plain curl would see dropped
+connections and a 500; `bxwiki client` backs off and retries until the
+request lands.
+
+  $ bxwiki --port 0 --port-file port3 --journal jdir3 --quiet \
+  >   --failpoints 'httpd.accept=times(1,error);httpd.read=times(1,error)' \
+  >   2> server3.err &
+  $ BXPID=$!
+  $ for i in $(seq 1 150); do [ -s port3 ] && break; sleep 0.1; done
+
+Liveness and readiness probes:
+
+  $ bxwiki client --port-file port3 --max-sleep 0.2 GET /healthz
+  ok
+  $ bxwiki client --port-file port3 --max-sleep 0.2 GET /readyz
+  ready
+
+The PUT /debug/failpoints admin route (mounted because --failpoints was
+given) arms the write-lock seam to fail twice; each injection surfaces
+as a 503 the client backs off from, and the third attempt lands:
+
+  $ bxwiki client --port-file port3 --max-sleep 0.2 \
+  >   --data 'service.lock.write=times(2,error)' PUT /debug/failpoints
+  service.lock.write=times(2,error)
+  $ bxwiki client --port-file port3 --max-sleep 0.2 --retries 6 \
+  >   --body-file edited.wiki POST /examples:celsius | grep -o 'Saved as version 0.2'
+  Saved as version 0.2
+
+The failpoint hit/fired counters made it to /metrics:
+
+  $ bxwiki client --port-file port3 --max-sleep 0.2 GET /metrics > m3.txt
+  $ grep -c 'bxwiki_fault_fired_total{site="service.lock.write"} 2' m3.txt
+  1
+
+A client that exhausts its retries reports the failure and exits 1:
+
+  $ bxwiki client --port-file port3 --max-sleep 0.05 \
+  >   --data 'service.lock.read=error' PUT /debug/failpoints
+  service.lock.read=error
+  $ bxwiki client --port-file port3 --max-sleep 0.05 --retries 2 \
+  >   GET /examples:celsius
+  bxwiki client: giving up after 2 attempts (HTTP 503)
+  [1]
+An empty PUT body clears every rule:
+
+  $ bxwiki client --port-file port3 --max-sleep 0.05 \
+  >   --data '' PUT /debug/failpoints | wc -l | tr -d ' '
+  1
+  $ bxwiki client --port-file port3 --max-sleep 0.05 GET /examples:celsius > /dev/null
+
+  $ kill -TERM $BXPID
+  $ wait $BXPID

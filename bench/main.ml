@@ -772,6 +772,202 @@ let write_shed_json path ~meta:(queue_capacity, workers, delay_ms) rows =
   out "  ]\n}\n";
   close_out oc
 
+(* ------------------------------------------------------------------ *)
+(* P9: replication — how fast a cold replica catches up on a journal
+   backlog, and how far behind a hot standby falls while the primary
+   takes a write storm.  The follower is the real Service.follow loop
+   over real sockets; lag is sampled from the replica's own
+   replication_lag/behind gauges while the storm runs.  --json-repl
+   dumps the numbers (committed as BENCH_repl.json). *)
+
+type repl_summary = {
+  rp_preload : int;  (* journal records the cold replica had to fetch *)
+  rp_catchup_s : float;
+  rp_catchup_rate : float;  (* records/s while catching up *)
+  rp_storm : int;  (* edits written while the follower was live *)
+  rp_storm_s : float;  (* wall time of the storm itself *)
+  rp_drain_s : float;  (* storm end -> replica reports behind = 0 *)
+  rp_apply_rate : float;  (* records/s applied over storm + drain *)
+  rp_max_behind : int;  (* worst sampled record lag *)
+  rp_max_lag_s : float;  (* worst sampled lag seconds *)
+  rp_samples : int;
+}
+
+let p9_replication () =
+  rule "P9: replication — catch-up and steady-state lag under a write storm";
+  let temp_dir () =
+    let d = Filename.temp_file "bx-bench-repl" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o755;
+    d
+  in
+  let preload = 200 and storm = 200 in
+  let pdir = temp_dir () and rdir = temp_dir () in
+  let config dir replica =
+    {
+      Bx_server.Service.default_config with
+      journal_dir = Some dir;
+      compact_every = 0;
+      stream_wait = 0.2;
+      replica;
+    }
+  in
+  let create dir replica =
+    match
+      Bx_server.Service.create ~config:(config dir replica)
+        ~seed:Bx_catalogue.Catalogue.seed ()
+    with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let primary = create pdir false in
+  let server =
+    Thread.create
+      (fun () ->
+        match Bx_server.Service.serve primary ~port:0 ~workers:2 ~quiet:true () with
+        | Ok () -> ()
+        | Error e -> Fmt.epr "repl primary: %s@." e)
+      ()
+  in
+  let rec wait_port n =
+    match Bx_server.Service.port primary with
+    | Some p -> p
+    | None ->
+        if n > 500 then failwith "repl primary never bound"
+        else begin
+          Thread.delay 0.01;
+          wait_port (n + 1)
+        end
+  in
+  let port = wait_port 0 in
+  let page =
+    (Bx_server.Service.handle primary ~meth:"GET"
+       ~path:"/examples:celsius.wiki" ~body:"")
+      .Bx_repo.Webui.body
+  in
+  let edit () =
+    ignore
+      (Bx_server.Service.handle primary ~meth:"POST" ~path:"/examples:celsius"
+         ~body:page)
+  in
+  (* A cold replica against an established backlog. *)
+  for _ = 1 to preload do
+    edit ()
+  done;
+  let replica = create rdir true in
+  let sink = Bx_server.Service.replication_sink replica in
+  let catchup_started = Unix.gettimeofday () in
+  let rec catch_up n =
+    if n > 10_000 then failwith "replica never caught up"
+    else
+      match Bx_server.Replication.poll_once ~host:"" ~port ~wait:0.2 sink with
+      | Ok 0 -> ()
+      | _ -> catch_up (n + 1)
+  in
+  catch_up 0;
+  let catchup_s = Unix.gettimeofday () -. catchup_started in
+  (* The hot standby under a write storm: the real follower loop applies
+     while we write flat out, and a sampler watches the lag gauges. *)
+  let follower =
+    Thread.create
+      (fun () ->
+        Bx_server.Service.follow replica ~host:"" ~port ~wait:0.2
+          ~min_sleep:0.005 ~max_sleep:0.05 ())
+      ()
+  in
+  let max_behind = Atomic.make 0
+  and max_lag_us = Atomic.make 0
+  and samples = Atomic.make 0
+  and stop_sampler = Atomic.make false in
+  let bump cell v =
+    let rec go () =
+      let cur = Atomic.get cell in
+      if v > cur && not (Atomic.compare_and_set cell cur v) then go ()
+    in
+    go ()
+  in
+  let sampler =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop_sampler) do
+          bump max_behind (Bx_server.Service.replication_behind replica);
+          bump max_lag_us
+            (int_of_float (Bx_server.Service.replication_lag replica *. 1e6));
+          Atomic.incr samples;
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  let storm_started = Unix.gettimeofday () in
+  for _ = 1 to storm do
+    edit ()
+  done;
+  let storm_s = Unix.gettimeofday () -. storm_started in
+  (* Drain: the follower reports behind = 0 once a post-storm poll has
+     applied everything. *)
+  let rec drain n =
+    if
+      Bx_server.Service.replication_behind replica > 0
+      || not (Bx_server.Service.replication_synced replica)
+    then
+      if n > 12_000 then failwith "storm never drained"
+      else begin
+        Thread.delay 0.005;
+        drain (n + 1)
+      end
+  in
+  drain 0;
+  let drain_s = Unix.gettimeofday () -. storm_started -. storm_s in
+  Atomic.set stop_sampler true;
+  Thread.join sampler;
+  Bx_server.Service.shutdown replica;
+  Thread.join follower;
+  Bx_server.Service.close replica;
+  Bx_server.Service.shutdown primary;
+  Thread.join server;
+  let summary =
+    {
+      rp_preload = preload;
+      rp_catchup_s = catchup_s;
+      rp_catchup_rate = float_of_int preload /. catchup_s;
+      rp_storm = storm;
+      rp_storm_s = storm_s;
+      rp_drain_s = drain_s;
+      rp_apply_rate = float_of_int storm /. (storm_s +. drain_s);
+      rp_max_behind = Atomic.get max_behind;
+      rp_max_lag_s = float_of_int (Atomic.get max_lag_us) /. 1e6;
+      rp_samples = Atomic.get samples;
+    }
+  in
+  Fmt.pr "cold catch-up     %4d records in %6.2f s  (%6.0f records/s)@."
+    summary.rp_preload summary.rp_catchup_s summary.rp_catchup_rate;
+  Fmt.pr
+    "write storm       %4d records in %6.2f s, drained %.2f s later  \
+     (%6.0f records/s applied)@."
+    summary.rp_storm summary.rp_storm_s summary.rp_drain_s
+    summary.rp_apply_rate;
+  Fmt.pr "worst sampled lag %4d records behind, %.3f s  (%d samples)@."
+    summary.rp_max_behind summary.rp_max_lag_s summary.rp_samples;
+  Fmt.pr "steady state      behind 0, lag 0 after drain@.";
+  summary
+
+let write_repl_json path s =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"benchmark\": \"P9 replication\",\n";
+  out "  \"catchup\": {\"records\": %d, \"seconds\": %.4f, \
+       \"records_per_s\": %.1f},\n"
+    s.rp_preload s.rp_catchup_s s.rp_catchup_rate;
+  out "  \"storm\": {\"records\": %d, \"storm_s\": %.4f, \"drain_s\": %.4f, \
+       \"applied_records_per_s\": %.1f},\n"
+    s.rp_storm s.rp_storm_s s.rp_drain_s s.rp_apply_rate;
+  out "  \"lag\": {\"max_behind_records\": %d, \"max_lag_s\": %.4f, \
+       \"samples\": %d}\n"
+    s.rp_max_behind s.rp_max_lag_s s.rp_samples;
+  out "}\n";
+  close_out oc
+
 (* The zero-cost-when-disabled contract, enforced: with no rules
    configured a Fault.point is one atomic load, and 50 M of them must
    average under 50 ns each (real cost is well under 5; the budget only
@@ -1138,9 +1334,11 @@ let () =
   let json_path = ref None in
   let strlens_json_path = ref None in
   let shed_json_path = ref None in
+  let repl_json_path = ref None in
   let e_only = ref false in
   let p7_only = ref false in
   let p8_only = ref false in
+  let p9_only = ref false in
   let guard_only = ref false in
   let skip_server = ref false in
   let spec =
@@ -1163,6 +1361,12 @@ let () =
       ( "--p8-only",
         Arg.Set p8_only,
         " run only the P8 load-shedding curve" );
+      ( "--json-repl",
+        Arg.String (fun p -> repl_json_path := Some p),
+        "<path>  dump the P9 replication summary as JSON" );
+      ( "--p9-only",
+        Arg.Set p9_only,
+        " run only the P9 replication catch-up/lag benchmark" );
       ( "--fault-guard",
         Arg.Set guard_only,
         " run only the zero-cost check on disabled failpoints (exits 1 on \
@@ -1174,10 +1378,18 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
-    "bench/main.exe [--e-only] [--p7-only] [--p8-only] [--fault-guard] \
-     [--skip-server] [--json <path>] [--json-strlens <path>] \
-     [--json-shed <path>]";
+    "bench/main.exe [--e-only] [--p7-only] [--p8-only] [--p9-only] \
+     [--fault-guard] [--skip-server] [--json <path>] \
+     [--json-strlens <path>] [--json-shed <path>] [--json-repl <path>]";
   if !guard_only then fault_guard ()
+  else if !p9_only then begin
+    let summary = p9_replication () in
+    match !repl_json_path with
+    | Some path ->
+        write_repl_json path summary;
+        Fmt.pr "@.wrote %s@." path
+    | None -> ()
+  end
   else if !p8_only then begin
     let meta, rows = p8_load_shedding () in
     match !shed_json_path with
@@ -1205,10 +1417,16 @@ let () =
       if not !skip_server then begin
         p5_server_throughput ();
         p5_journal_replay ();
-        let meta, rows = p8_load_shedding () in
-        match !shed_json_path with
+        (let meta, rows = p8_load_shedding () in
+         match !shed_json_path with
+         | Some path ->
+             write_shed_json path ~meta rows;
+             Fmt.pr "@.wrote %s@." path
+         | None -> ());
+        let summary = p9_replication () in
+        match !repl_json_path with
         | Some path ->
-            write_shed_json path ~meta rows;
+            write_repl_json path summary;
             Fmt.pr "@.wrote %s@." path
         | None -> ()
       end;

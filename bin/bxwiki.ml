@@ -8,9 +8,15 @@
 let usage () =
   prerr_endline
     "usage: bxwiki [PORT] [--port PORT] [--journal DIR] [--workers N]\n\
-    \              [--port-file FILE] [--failpoints SPEC] [--quiet]\n\
+    \              [--port-file FILE] [--compact-every N] [--failpoints SPEC]\n\
+    \              [--quiet]\n\
+    \       bxwiki replica --replicate-from [HOST:]PORT [--port PORT]\n\
+    \              [--journal DIR] [--workers N] [--port-file FILE]\n\
+    \              [--lag-threshold S] [--poll-wait S] [--compact-every N]\n\
+    \              [--failpoints SPEC] [--quiet]\n\
     \       bxwiki client [--port PORT] [--port-file FILE] [--retries N]\n\
-    \              [--max-sleep S] [--data BODY] [--body-file FILE] METH PATH\n\n\
+    \              [--max-sleep S] [--fallback [HOST:]PORT] [--data BODY]\n\
+    \              [--body-file FILE] METH PATH\n\n\
      --port 0 binds an ephemeral port (written to --port-file).\n\
      With --journal DIR every accepted edit is fsync'd to DIR/journal.log\n\
      before the response is sent, and restarts replay it on top of\n\
@@ -18,11 +24,29 @@ let usage () =
      --failpoints arms the fault-injection subsystem (site=ACTION;...)\n\
      and mounts the PUT /debug/failpoints admin route, as does setting\n\
      BXWIKI_FAILPOINTS in the environment.\n\n\
+     'bxwiki replica' runs a hot-standby read replica: it follows the\n\
+     primary's journal stream (--replicate-from), serves reads, answers\n\
+     503 to writes, reports replication lag on /readyz and /metrics, and\n\
+     becomes the writable primary on POST /admin/promote.\n\n\
      'bxwiki client' issues one request and retries on 503 and on\n\
      connect/read timeouts with capped exponential backoff and\n\
      decorrelated jitter, honouring Retry-After; the response body goes\n\
-     to stdout, and the exit status is 0 only for a 2xx.";
+     to stdout, and the exit status is 0 only for a 2xx.  With\n\
+     --fallback, a GET that exhausts its retries against the primary is\n\
+     retried against the fallback (reads fail over, writes never do).";
   exit 2
+
+(* "[HOST:]PORT" — the host is resolved to loopback (the service only
+   binds loopback); what matters is the port. *)
+let parse_hostport ~flag v fail =
+  let port_part =
+    match String.rindex_opt v ':' with
+    | Some i -> String.sub v (i + 1) (String.length v - i - 1)
+    | None -> v
+  in
+  match int_of_string_opt port_part with
+  | Some p when p > 0 -> p
+  | _ -> fail (flag ^ " wants [HOST:]PORT, got " ^ v)
 
 (* ------------------------------------------------------------------ *)
 (* The retrying client.  The cram tests (and any script poking a
@@ -38,6 +62,7 @@ let client_main args =
   let data = ref None in
   let meth = ref None in
   let path = ref None in
+  let fallback = ref None in
   let fail msg =
     Printf.eprintf "bxwiki client: %s\n" msg;
     exit 2
@@ -64,6 +89,9 @@ let client_main args =
         parse rest
     | "--data" :: v :: rest -> data := Some v; parse rest
     | "--body-file" :: v :: rest -> data := Some (read_file v); parse rest
+    | "--fallback" :: v :: rest ->
+        fallback := Some (parse_hostport ~flag:"--fallback" v fail);
+        parse rest
     | v :: rest when !meth = None -> meth := Some v; parse rest
     | v :: rest when !path = None -> path := Some v; parse rest
     | v :: _ -> fail ("unexpected argument " ^ v)
@@ -74,15 +102,27 @@ let client_main args =
   let port =
     match (!port, !port_file) with
     | Some p, _ -> p
-    | None, Some f -> (
-        match int_of_string_opt (String.trim (read_file f)) with
-        | Some p -> p
-        | None -> fail ("unreadable port file " ^ f))
+    | None, Some f ->
+        (* A server started moments ago may not have written its port
+           yet; wait for the file like we wait for the socket. *)
+        let rec resolve tries =
+          match
+            if Sys.file_exists f then
+              int_of_string_opt (String.trim (read_file f))
+            else None
+          with
+          | Some p -> p
+          | None when tries > 0 ->
+              Unix.sleepf 0.1;
+              resolve (tries - 1)
+          | None -> fail ("unreadable port file " ^ f)
+        in
+        resolve 100
     | None, None -> 8008
   in
   let body = Option.value ~default:"" !data in
   (* One attempt: Ok (status, retry_after, body) or a retryable error. *)
-  let attempt () =
+  let attempt port =
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Fun.protect
       ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
@@ -160,40 +200,66 @@ let client_main args =
     in
     Float.min !max_sleep hinted
   in
-  let rec go attempt_no sleep =
-    let outcome =
-      match attempt () with
-      | Ok (503, retry_after, _) -> Error ("HTTP 503", retry_after)
-      | Ok (status, _, resp_body) -> Ok (status, resp_body)
-      | Error e -> Error (e, None)
-      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET
-                                   | Unix.ETIMEDOUT | Unix.EPIPE
-                                   | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          Error ("connection failed or timed out", None)
-      | exception End_of_file -> Error ("server closed mid-response", None)
-      | exception Sys_error e -> Error (e, None)
+  (* The retry loop against one server; [`Gave_up reason] when every
+     attempt was retryable (503 or connection failure) — the condition
+     under which a GET may fail over to --fallback. *)
+  let run port =
+    let rec go attempt_no sleep =
+      let outcome =
+        match attempt port with
+        | Ok (503, retry_after, _) -> Error ("HTTP 503", retry_after)
+        | Ok (status, _, resp_body) -> Ok (status, resp_body)
+        | Error e -> Error (e, None)
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET
+                                     | Unix.ETIMEDOUT | Unix.EPIPE
+                                     | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            Error ("connection failed or timed out", None)
+        | exception End_of_file -> Error ("server closed mid-response", None)
+        | exception Sys_error e -> Error (e, None)
+      in
+      match outcome with
+      | Ok (status, resp_body) -> `Done (status, resp_body)
+      | Error (reason, retry_after) ->
+          if attempt_no >= !retries then `Gave_up (attempt_no, reason)
+          else begin
+            let sleep = next_sleep sleep retry_after in
+            Unix.sleepf sleep;
+            go (attempt_no + 1) sleep
+          end
     in
-    match outcome with
-    | Ok (status, resp_body) ->
-        print_string resp_body;
-        if status >= 200 && status < 300 then exit 0
-        else begin
-          Printf.eprintf "bxwiki client: HTTP %d\n" status;
-          exit 1
-        end
-    | Error (reason, retry_after) ->
-        if attempt_no >= !retries then begin
-          Printf.eprintf "bxwiki client: giving up after %d attempts (%s)\n"
-            attempt_no reason;
-          exit 1
-        end
-        else begin
-          let sleep = next_sleep sleep retry_after in
-          Unix.sleepf sleep;
-          go (attempt_no + 1) sleep
-        end
+    go 1 base
   in
-  go 1 base
+  let finish (status, resp_body) =
+    print_string resp_body;
+    if status >= 200 && status < 300 then exit 0
+    else begin
+      Printf.eprintf "bxwiki client: HTTP %d\n" status;
+      exit 1
+    end
+  in
+  match run port with
+  | `Done r -> finish r
+  | `Gave_up (attempts, reason) -> (
+      (* Reads fail over; writes never do — a replayed POST against a
+         replica (or a just-promoted primary) is how split brains are
+         made. *)
+      match !fallback with
+      | Some fb_port when meth = "GET" -> (
+          Printf.eprintf
+            "bxwiki client: primary unreachable (%s), falling back to \
+             replica on port %d\n"
+            reason fb_port;
+          match run fb_port with
+          | `Done r -> finish r
+          | `Gave_up (attempts, reason) ->
+              Printf.eprintf
+                "bxwiki client: giving up after %d attempts (%s)\n" attempts
+                reason;
+              exit 1)
+      | _ ->
+          Printf.eprintf "bxwiki client: giving up after %d attempts (%s)\n"
+            attempts reason;
+          exit 1)
 
 (* The live claimed-vs-verified report, computed once on first request
    (it runs every entry's law checks, which takes a few seconds). *)
@@ -212,22 +278,32 @@ let checks_page =
      in
      ("Claimed vs verified", "<h1>Claimed vs verified</h1>" ^ fragment))
 
-let () =
-  (match Array.to_list Sys.argv with
-  | _ :: "client" :: rest -> client_main rest
-  | _ -> ());
+let server_main ~replica args =
   let port = ref 8008 in
   let workers = ref 4 in
   let journal_dir = ref None in
   let port_file = ref None in
   let failpoints = ref None in
   let quiet = ref false in
+  let compact_every = ref Bx_server.Service.default_config.compact_every in
+  let replicate_from = ref None in
+  let lag_threshold =
+    ref Bx_server.Service.default_config.replica_lag_threshold
+  in
+  let poll_wait = ref Bx_server.Service.default_config.stream_wait in
+  let fail msg =
+    Printf.eprintf "bxwiki: %s\n" msg;
+    exit 2
+  in
   let int_arg name v =
     match int_of_string_opt v with
     | Some n when n >= 0 -> n
-    | _ ->
-        Printf.eprintf "bxwiki: %s wants a non-negative integer, got %s\n" name v;
-        exit 2
+    | _ -> fail (name ^ " wants a non-negative integer, got " ^ v)
+  in
+  let float_arg name v =
+    match float_of_string_opt v with
+    | Some s when s >= 0. -> s
+    | _ -> fail (name ^ " wants non-negative seconds, got " ^ v)
   in
   let rec parse = function
     | [] -> ()
@@ -238,11 +314,29 @@ let () =
     | "--journal" :: v :: rest -> journal_dir := Some v; parse rest
     | "--port-file" :: v :: rest -> port_file := Some v; parse rest
     | "--failpoints" :: v :: rest -> failpoints := Some v; parse rest
+    | "--compact-every" :: v :: rest ->
+        compact_every := int_arg "--compact-every" v;
+        parse rest
+    | "--replicate-from" :: v :: rest when replica ->
+        replicate_from := Some (parse_hostport ~flag:"--replicate-from" v fail);
+        parse rest
+    | "--lag-threshold" :: v :: rest when replica ->
+        lag_threshold := float_arg "--lag-threshold" v;
+        parse rest
+    | "--poll-wait" :: v :: rest when replica ->
+        poll_wait := float_arg "--poll-wait" v;
+        parse rest
     | "--quiet" :: rest -> quiet := true; parse rest
-    | [ v ] when int_of_string_opt v <> None -> port := int_arg "PORT" v
+    | [ v ] when (not replica) && int_of_string_opt v <> None ->
+        port := int_arg "PORT" v
     | _ -> usage ()
   in
-  parse (List.tl (Array.to_list Sys.argv));
+  parse args;
+  let upstream =
+    match (replica, !replicate_from) with
+    | true, None -> fail "replica mode needs --replicate-from [HOST:]PORT"
+    | _, v -> v
+  in
   (match !failpoints with
   | None -> ()
   | Some spec -> (
@@ -255,9 +349,13 @@ let () =
     {
       Bx_server.Service.default_config with
       journal_dir = !journal_dir;
+      compact_every = !compact_every;
       failpoints_admin =
         !failpoints <> None
         || Bx_server.Service.default_config.failpoints_admin;
+      replica;
+      replica_lag_threshold = !lag_threshold;
+      stream_wait = !poll_wait;
     }
   in
   let pages = [ ("/checks", fun () -> Lazy.force checks_page) ] in
@@ -285,11 +383,34 @@ let () =
            (if failed > 0 then Printf.sprintf " (%d failed)" failed else ""));
       Sys.set_signal Sys.sigterm
         (Sys.Signal_handle (fun _ -> Bx_server.Service.shutdown service));
-      match
+      (* The follower thread polls the primary and applies the stream;
+         it stops by itself on shutdown or promotion. *)
+      let follower =
+        Option.map
+          (fun up_port ->
+            if not !quiet then
+              Printf.printf "bxwiki: replicating from 127.0.0.1:%d\n%!" up_port;
+            Thread.create
+              (fun () ->
+                Bx_server.Service.follow service ~host:"127.0.0.1"
+                  ~port:up_port ~wait:!poll_wait ())
+              ())
+          upstream
+      in
+      let result =
         Bx_server.Service.serve service ~port:!port ~workers:!workers
           ?port_file:!port_file ~quiet:!quiet ()
-      with
+      in
+      Option.iter Thread.join follower;
+      match result with
       | Ok () -> ()
       | Error e ->
           Printf.eprintf "bxwiki: %s\n" e;
           exit 1)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "client" :: rest -> client_main rest
+  | _ :: "replica" :: rest -> server_main ~replica:true rest
+  | _ :: rest -> server_main ~replica:false rest
+  | [] -> usage ()

@@ -1,6 +1,7 @@
 type request = {
   meth : string;
   path : string;
+  query : string;
   body : string;
   keep_alive : bool;
 }
@@ -87,12 +88,14 @@ let parse_request_line line =
   match String.split_on_char ' ' (String.trim line) with
   | [ meth; target; version ]
     when String.length version >= 7 && String.sub version 0 7 = "HTTP/1." ->
-      let path =
+      let path, query =
         match String.index_opt target '?' with
-        | Some i -> String.sub target 0 i
-        | None -> target
+        | Some i ->
+            ( String.sub target 0 i,
+              String.sub target (i + 1) (String.length target - i - 1) )
+        | None -> (target, "")
       in
-      Ok (meth, path, version)
+      Ok (meth, path, query, version)
   | _ -> Error { status = 400; reason = "malformed_request_line" }
 
 let read_request ?(max_body = default_max_body) r =
@@ -102,7 +105,7 @@ let read_request ?(max_body = default_max_body) r =
   | Some line -> (
       match parse_request_line line with
       | Error e -> Error (`Bad e)
-      | Ok (meth, path, version) -> (
+      | Ok (meth, path, query, version) -> (
           let content_length = ref None in
           let connection = ref None in
           let rec headers n =
@@ -137,7 +140,7 @@ let read_request ?(max_body = default_max_body) r =
                 | None, "HTTP/1.0" -> false
                 | _ -> true
               in
-              let finish body = Ok { meth; path; body; keep_alive } in
+              let finish body = Ok { meth; path; query; body; keep_alive } in
               match !content_length with
               | None -> finish ""
               | Some v -> (
@@ -152,6 +155,22 @@ let read_request ?(max_body = default_max_body) r =
                       | Some body -> finish body)))))
   | exception Line_too_long -> bad 431 "line_too_long"
 
+(* Split "a=1&b=2" into pairs; a bare key maps to "".  No percent
+   decoding — the replication endpoints only pass integers. *)
+let query_params query =
+  if query = "" then []
+  else
+    String.split_on_char '&' query
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             match String.index_opt kv '=' with
+             | None -> Some (kv, "")
+             | Some i ->
+                 Some
+                   ( String.sub kv 0 i,
+                     String.sub kv (i + 1) (String.length kv - i - 1) ))
+
 let status_text = function
   | 200 -> "OK"
   | 400 -> "Bad Request"
@@ -159,6 +178,7 @@ let status_text = function
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
   | 413 -> "Content Too Large"
   | 431 -> "Request Header Fields Too Large"
   | 503 -> "Service Unavailable"

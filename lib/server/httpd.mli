@@ -22,6 +22,7 @@
 type request = {
   meth : string;
   path : string;  (** query string stripped *)
+  query : string;  (** the raw query string, without the [?]; [""] if none *)
   body : string;
   keep_alive : bool;
 }
@@ -66,5 +67,9 @@ val shed_response : reason:string -> Bx_repo.Webui.response
 
 val error_response : error -> Bx_repo.Webui.response
 (** A minimal HTML error body for a wire-level failure. *)
+
+val query_params : string -> (string * string) list
+(** Split a raw query string into key/value pairs (no percent decoding —
+    the internal endpoints that use queries only pass integers). *)
 
 val status_text : int -> string

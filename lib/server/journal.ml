@@ -205,6 +205,25 @@ let read ~dir =
       else Ok { (scan parse_record_v1 data 0) with version = 1 }
     with Sys_error e -> Error e
 
+(* A tailing read for replication: the intact records at or after
+   [from].  Reading races benignly with the appender — a record caught
+   mid-write parses as a torn tail and is simply not returned yet; the
+   next poll sees it whole. *)
+let tail ~dir ~from =
+  match read ~dir with
+  | Error e -> Error e
+  | Ok { entries; _ } -> Ok (List.filter (fun r -> r.seq >= from) entries)
+
+(* Strict frame decoding for replication payloads: transport batches are
+   never torn, so any malformation is an error, not a truncation. *)
+let decode_frames data ~off =
+  let scanned = scan parse_record_v2 data off in
+  if scanned.torn then
+    Error
+      (if scanned.crc_errors > 0 then "frame checksum mismatch"
+       else "truncated frame")
+  else Ok scanned.entries
+
 let snapshot_seq ~dir =
   let file = manifest_file dir in
   if not (Sys.file_exists file) then 0
@@ -323,6 +342,23 @@ let append t ~path ~body =
   | Bx_fault.Fault.Injected m -> Error (Printf.sprintf "journal append: %s" m)
 
 let record_count t = t.records
+let next_seq t = t.next_seq
+
+(* Truncate back to a bare segment header.  Used when a replica replaces
+   its whole state via snapshot bootstrap: every journaled record is
+   superseded by the installed snapshot, and the sequence counter jumps
+   to wherever the primary's stream resumes. *)
+let reset t ~next_seq =
+  try
+    Unix.ftruncate t.fd 0;
+    ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+    write_all t.fd magic;
+    Unix.fsync t.fd;
+    t.records <- 0;
+    t.next_seq <- next_seq;
+    Ok ()
+  with Unix.Unix_error (e, _, arg) ->
+    Error (Printf.sprintf "journal reset: %s: %s" arg (Unix.error_message e))
 
 (* ------------------------------------------------------------------ *)
 (* Compaction *)
@@ -373,6 +409,109 @@ let checkpoint t ~save =
   | Sys_error e | Failure e -> Error e
   | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
   | Bx_fault.Fault.Injected m -> Error m
+
+(* The snapshot as shippable payload: every flat file under
+   [dir/snapshot] except the MANIFEST, plus the manifest's sequence
+   number.  The caller serialises against compaction (which swaps the
+   directory out from under a concurrent reader). *)
+let snapshot_files ~dir =
+  let snap = snapshot_dir dir in
+  let seq = snapshot_seq ~dir in
+  if seq = 0 then Error "no snapshot"
+  else
+    try
+      let names =
+        Sys.readdir snap |> Array.to_list
+        |> List.filter (fun n -> n <> "MANIFEST")
+        |> List.sort String.compare
+      in
+      let files =
+        List.map
+          (fun n -> (n, read_whole_file (Filename.concat snap n)))
+          names
+      in
+      Ok (seq, files)
+    with Sys_error e -> Error e
+
+(* Install a snapshot shipped from a primary: materialise the files in a
+   transient directory, seal with the MANIFEST, swap with the same
+   discipline as {!checkpoint}, and reset the log — every local record
+   is superseded.  File names are the flat basenames {!snapshot_files}
+   produced; anything path-like is rejected rather than trusted. *)
+let install_snapshot t ~seq ~files =
+  let snap = snapshot_dir t.dir in
+  let tmp = snap ^ ".tmp" in
+  let old_ = snap ^ ".old" in
+  try
+    let bad =
+      List.find_opt
+        (fun (name, _) ->
+          name = "" || name = "MANIFEST"
+          || Filename.basename name <> name
+          || String.length name > 0 && name.[0] = '.')
+        files
+    in
+    match bad with
+    | Some (name, _) -> Error (Printf.sprintf "unsafe snapshot file name %S" name)
+    | None ->
+        remove_tree tmp;
+        Unix.mkdir tmp 0o755;
+        List.iter
+          (fun (name, contents) ->
+            let fd =
+              Unix.openfile (Filename.concat tmp name)
+                [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+            in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                write_all fd contents;
+                Unix.fsync fd))
+          files;
+        write_manifest tmp seq;
+        remove_tree old_;
+        if Sys.file_exists snap then Sys.rename snap old_;
+        Sys.rename tmp snap;
+        remove_tree old_;
+        reset t ~next_seq:(seq + 1)
+  with
+  | Sys_error e | Failure e -> Error e
+  | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
+
+(* ------------------------------------------------------------------ *)
+(* The replication epoch, persisted beside the log.  Monotonic across
+   promotions: a replica promoted to primary bumps and fsyncs it before
+   accepting writes, so a deposed primary can recognise (and be fenced
+   by) any newer epoch it ever observes. *)
+
+let epoch_file dir = Filename.concat dir "epoch"
+
+let read_epoch ~dir =
+  let file = epoch_file dir in
+  if not (Sys.file_exists file) then 0
+  else
+    try
+      match String.split_on_char ' ' (String.trim (read_whole_file file)) with
+      | [ "epoch"; n ] -> Option.value ~default:0 (int_of_string_opt n)
+      | _ -> 0
+    with Sys_error _ -> 0
+
+let write_epoch ~dir epoch =
+  try
+    mkdir_if_missing dir;
+    let file = epoch_file dir in
+    let tmp = file ^ ".tmp" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        write_all fd (Printf.sprintf "epoch %d\n" epoch);
+        Unix.fsync fd);
+    Sys.rename tmp file;
+    Ok ()
+  with
+  | Sys_error e | Failure e -> Error e
+  | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 

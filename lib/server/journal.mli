@@ -80,6 +80,17 @@ val read : dir:string -> (replayed, string) result
 (** Parse the log, tolerating a torn or corrupt tail.  A missing or
     empty log file reads as empty v2. *)
 
+val tail : dir:string -> from:int -> (record list, string) result
+(** The intact records with sequence number [>= from] — the replication
+    stream's reader.  Safe to call while another thread appends: a
+    record caught mid-write is simply not returned until the next
+    call. *)
+
+val decode_frames : string -> off:int -> (record list, string) result
+(** Strictly decode concatenated v2 frames starting at [off] — for
+    replication payloads, where a malformed or truncated frame means the
+    transport mangled the batch and the whole read must be retried. *)
+
 val snapshot_seq : dir:string -> int
 (** The sequence number recorded in the snapshot's [MANIFEST]; 0 when
     there is no snapshot (replay then starts from the beginning). *)
@@ -102,6 +113,34 @@ val append : t -> path:string -> body:string -> (int, string) result
 
 val record_count : t -> int
 (** Records currently in the log file (replayed + appended since open). *)
+
+val next_seq : t -> int
+(** The sequence number the next {!append} will use. *)
+
+val reset : t -> next_seq:int -> (unit, string) result
+(** Truncate the log back to a bare segment header and jump the sequence
+    counter — used when a snapshot bootstrap supersedes every local
+    record. *)
+
+val snapshot_files : dir:string -> (int * (string * string) list, string) result
+(** The snapshot as a shippable payload: its manifest sequence number
+    and every flat [(name, contents)] file except the MANIFEST.
+    [Error "no snapshot"] when none has been written.  Callers serialise
+    against {!checkpoint}, which swaps the directory. *)
+
+val install_snapshot :
+  t -> seq:int -> files:(string * string) list -> (unit, string) result
+(** Install a shipped snapshot: write the files into a transient
+    directory, seal with a MANIFEST at [seq], swap atomically, and
+    {!reset} the log to [seq + 1].  Rejects path-like file names. *)
+
+val read_epoch : dir:string -> int
+(** The persisted replication epoch; 0 when none has been recorded. *)
+
+val write_epoch : dir:string -> int -> (unit, string) result
+(** Persist the replication epoch (tmp + fsync + rename).  Promotion
+    bumps and persists before accepting writes, so epochs are monotonic
+    across crashes. *)
 
 val checkpoint :
   t -> save:(dir:string -> (int, string) result) -> (int, string) result

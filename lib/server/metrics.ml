@@ -29,6 +29,19 @@ type t = {
   mutable compact_fail : int;
   mutable last_compaction_ok : bool;
   mutable queue_depth : int; (* gauge, sampled at scrape time *)
+  (* Replication counters (either side of the stream) and gauges
+     (sampled at scrape time, like queue_depth). *)
+  mutable streamed_records : int;
+  mutable streamed_bytes : int;
+  mutable applied_records : int;
+  mutable reconnects : int;
+  mutable snapshot_bootstraps : int;
+  mutable epoch_rejects : int;
+  mutable repl_epoch : int;
+  mutable repl_fenced : bool;
+  mutable repl_role_replica : bool;
+  mutable repl_lag : float;
+  mutable repl_behind : int;
 }
 
 let create () =
@@ -47,6 +60,17 @@ let create () =
     compact_fail = 0;
     last_compaction_ok = true;
     queue_depth = 0;
+    streamed_records = 0;
+    streamed_bytes = 0;
+    applied_records = 0;
+    reconnects = 0;
+    snapshot_bootstraps = 0;
+    epoch_rejects = 0;
+    repl_epoch = 0;
+    repl_fenced = false;
+    repl_role_replica = false;
+    repl_lag = 0.;
+    repl_behind = 0;
   }
 
 let locked t f =
@@ -121,6 +145,36 @@ let compaction t ~ok =
 let shed t ~reason = locked t (fun () -> bump t.shed reason)
 
 let note_queue_depth t depth = locked t (fun () -> t.queue_depth <- depth)
+
+let replication_streamed t ~records ~bytes =
+  locked t (fun () ->
+      t.streamed_records <- t.streamed_records + records;
+      t.streamed_bytes <- t.streamed_bytes + bytes)
+
+let replication_applied t ~records =
+  locked t (fun () -> t.applied_records <- t.applied_records + records)
+
+let replication_reconnect t =
+  locked t (fun () -> t.reconnects <- t.reconnects + 1)
+
+let replication_snapshot_bootstrap t =
+  locked t (fun () -> t.snapshot_bootstraps <- t.snapshot_bootstraps + 1)
+
+let replication_epoch_reject t =
+  locked t (fun () -> t.epoch_rejects <- t.epoch_rejects + 1)
+
+let note_replication t ~epoch ~fenced ~replica ~lag ~behind =
+  locked t (fun () ->
+      t.repl_epoch <- epoch;
+      t.repl_fenced <- fenced;
+      t.repl_role_replica <- replica;
+      t.repl_lag <- lag;
+      t.repl_behind <- behind)
+
+let replication_counts t =
+  locked t (fun () ->
+      (t.streamed_records, t.applied_records, t.reconnects,
+       t.snapshot_bootstraps, t.epoch_rejects))
 
 let shed_total t =
   locked t (fun () -> Hashtbl.fold (fun _ r acc -> acc + !r) t.shed 0)
@@ -239,6 +293,42 @@ let render t =
       line "# HELP bxwiki_queue_depth Pending connections queued for a worker (sampled at scrape).";
       line "# TYPE bxwiki_queue_depth gauge";
       line "bxwiki_queue_depth %d" t.queue_depth;
+      line "# HELP bxwiki_replication_streamed_records_total Journal records served to followers.";
+      line "# TYPE bxwiki_replication_streamed_records_total counter";
+      line "bxwiki_replication_streamed_records_total %d" t.streamed_records;
+      line "# HELP bxwiki_replication_streamed_bytes_total Frame bytes served to followers.";
+      line "# TYPE bxwiki_replication_streamed_bytes_total counter";
+      line "bxwiki_replication_streamed_bytes_total %d" t.streamed_bytes;
+      line "# HELP bxwiki_replication_applied_records_total Streamed records applied by this replica.";
+      line "# TYPE bxwiki_replication_applied_records_total counter";
+      line "bxwiki_replication_applied_records_total %d" t.applied_records;
+      line "# HELP bxwiki_replication_reconnects_total Follower reconnect attempts after a failed poll.";
+      line "# TYPE bxwiki_replication_reconnects_total counter";
+      line "bxwiki_replication_reconnects_total %d" t.reconnects;
+      line "# HELP bxwiki_replication_snapshot_bootstraps_total Full snapshot installs performed to catch up across a compaction.";
+      line "# TYPE bxwiki_replication_snapshot_bootstraps_total counter";
+      line "bxwiki_replication_snapshot_bootstraps_total %d" t.snapshot_bootstraps;
+      line "# HELP bxwiki_replication_epoch_rejects_total Stream batches rejected for carrying a stale epoch.";
+      line "# TYPE bxwiki_replication_epoch_rejects_total counter";
+      line "bxwiki_replication_epoch_rejects_total %d" t.epoch_rejects;
+      line "# HELP bxwiki_replication_epoch The replication epoch this node believes is current.";
+      line "# TYPE bxwiki_replication_epoch gauge";
+      line "bxwiki_replication_epoch %d" t.repl_epoch;
+      line "# HELP bxwiki_replication_fenced Whether this node has been deposed by a newer epoch (writes rejected).";
+      line "# TYPE bxwiki_replication_fenced gauge";
+      line "bxwiki_replication_fenced %d" (if t.repl_fenced then 1 else 0);
+      line "# HELP bxwiki_replication_role Role of this node (1 for the held role).";
+      line "# TYPE bxwiki_replication_role gauge";
+      line "bxwiki_replication_role{role=\"replica\"} %d"
+        (if t.repl_role_replica then 1 else 0);
+      line "bxwiki_replication_role{role=\"primary\"} %d"
+        (if t.repl_role_replica then 0 else 1);
+      line "# HELP bxwiki_replication_lag_seconds Time since this replica was last known caught up (0 when in sync).";
+      line "# TYPE bxwiki_replication_lag_seconds gauge";
+      line "bxwiki_replication_lag_seconds %g" t.repl_lag;
+      line "# HELP bxwiki_replication_behind_records Records the upstream had that this replica had not applied at last poll.";
+      line "# TYPE bxwiki_replication_behind_records gauge";
+      line "bxwiki_replication_behind_records %d" t.repl_behind;
       (* Failpoint counters come from the process-global fault runtime,
          like the slens engine counters above. *)
       let faults = Bx_fault.Fault.stats () in

@@ -58,6 +58,35 @@ val note_queue_depth : t -> int -> unit
 (** Sample the pending-connection queue depth (a gauge; the service sets
     it when [/metrics] is scraped). *)
 
+(** {1 Replication} *)
+
+val replication_streamed : t -> records:int -> bytes:int -> unit
+(** Record one stream response served to a follower. *)
+
+val replication_applied : t -> records:int -> unit
+(** Record streamed records applied by this replica. *)
+
+val replication_reconnect : t -> unit
+(** Record one follower reconnect after a failed poll. *)
+
+val replication_snapshot_bootstrap : t -> unit
+(** Record one full snapshot install (catch-up across a compaction). *)
+
+val replication_epoch_reject : t -> unit
+(** Record a stream batch rejected for carrying a stale epoch. *)
+
+val note_replication :
+  t ->
+  epoch:int ->
+  fenced:bool ->
+  replica:bool ->
+  lag:float ->
+  behind:int ->
+  unit
+(** Sample the replication gauges (epoch, fenced, role, lag seconds,
+    records behind); the service sets them when [/metrics] is
+    scraped. *)
+
 val render : t -> string
 (** The Prometheus text exposition (version 0.0.4): [# HELP]/[# TYPE]
     preambles, then one line per labelled series, sorted so output is
@@ -84,3 +113,7 @@ val compaction_counts : t -> int * int
 
 val journal_recovery_counts : t -> int * int
 (** (torn tails truncated, records rejected by checksum). *)
+
+val replication_counts : t -> int * int * int * int * int
+(** (streamed records, applied records, reconnects, snapshot bootstraps,
+    epoch rejects). *)

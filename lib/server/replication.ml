@@ -1,0 +1,296 @@
+(* Journal-shipping replication: wire format, loopback HTTP client and
+   the follower loop.  See the .mli for the protocol; the design intent
+   is that a replica is always a crash-consistent prefix of its primary
+   — the same property the journal gives a single node — because the
+   stream reuses the journal's own CRC-framed record encoding and the
+   follower fsyncs each batch into its own journal before acking by
+   advancing its poll cursor. *)
+
+type stream_reply =
+  | Records of { epoch : int; next_seq : int; records : Journal.record list }
+  | Bootstrap of { epoch : int; floor : int }
+
+(* ------------------------------------------------------------------ *)
+(* Wire format.  Every response body opens with a single header line
+   whose first token names the shape; record payloads are v2 journal
+   frames so the follower CRC-checks them independently. *)
+
+let frames records =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun { Journal.seq; path; body } ->
+      Buffer.add_string b (Journal.encode ~seq ~path ~body))
+    records;
+  Buffer.contents b
+
+let stream_body ~epoch ~next_seq ~records =
+  Printf.sprintf "bxrepl 1 %d %d %d\n" epoch next_seq (List.length records)
+  ^ frames records
+
+let reset_body ~epoch ~floor = Printf.sprintf "bxreset 1 %d %d\n" epoch floor
+
+let snapshot_body ~epoch ~seq ~files =
+  Printf.sprintf "bxsnap 1 %d %d %d\n" epoch seq (List.length files)
+  ^ frames
+      (List.mapi
+         (fun i (path, body) -> { Journal.seq = i + 1; path; body })
+         files)
+
+let header_line data =
+  match String.index_opt data '\n' with
+  | None -> Error "missing header line"
+  | Some nl -> Ok (String.sub data 0 nl, nl + 1)
+
+let parse_stream_body data =
+  match header_line data with
+  | Error e -> Error e
+  | Ok (header, off) -> (
+      match String.split_on_char ' ' header with
+      | [ "bxrepl"; "1"; epoch_s; next_s; count_s ] -> (
+          match
+            ( int_of_string_opt epoch_s,
+              int_of_string_opt next_s,
+              int_of_string_opt count_s )
+          with
+          | Some epoch, Some next_seq, Some count -> (
+              match Journal.decode_frames data ~off with
+              | Error e -> Error e
+              | Ok records when List.length records <> count ->
+                  Error "frame count mismatch"
+              | Ok records -> Ok (Records { epoch; next_seq; records }))
+          | _ -> Error "malformed bxrepl header")
+      | [ "bxreset"; "1"; epoch_s; floor_s ] -> (
+          match (int_of_string_opt epoch_s, int_of_string_opt floor_s) with
+          | Some epoch, Some floor -> Ok (Bootstrap { epoch; floor })
+          | _ -> Error "malformed bxreset header")
+      | _ -> Error "unrecognised stream header")
+
+let parse_snapshot_body data =
+  match header_line data with
+  | Error e -> Error e
+  | Ok (header, off) -> (
+      match String.split_on_char ' ' header with
+      | [ "bxsnap"; "1"; epoch_s; seq_s; count_s ] -> (
+          match
+            ( int_of_string_opt epoch_s,
+              int_of_string_opt seq_s,
+              int_of_string_opt count_s )
+          with
+          | Some epoch, Some seq, Some count -> (
+              match Journal.decode_frames data ~off with
+              | Error e -> Error e
+              | Ok records when List.length records <> count ->
+                  Error "frame count mismatch"
+              | Ok records ->
+                  Ok
+                    ( epoch,
+                      seq,
+                      List.map (fun r -> (r.Journal.path, r.Journal.body)) records
+                    ))
+          | _ -> Error "malformed bxsnap header")
+      | _ -> Error "unrecognised snapshot header")
+
+(* ------------------------------------------------------------------ *)
+(* A lean loopback HTTP client.  One request per connection: the poll
+   cadence is seconds, so keep-alive buys nothing and [Connection:
+   close] keeps the state machine trivial. *)
+
+let request ~host ~port ?(timeout = 15.0) ~meth ~path ~body () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        Unix.setsockopt_float sock Unix.SO_RCVTIMEO timeout;
+        Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeout;
+        let addr =
+          if host = "" || host = "localhost" then Unix.inet_addr_loopback
+          else
+            try Unix.inet_addr_of_string host
+            with Failure _ -> Unix.inet_addr_loopback
+        in
+        Unix.connect sock (Unix.ADDR_INET (addr, port));
+        let req =
+          Printf.sprintf
+            "%s %s HTTP/1.1\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+            meth path (String.length body) body
+        in
+        let rec send off =
+          if off < String.length req then
+            send (off + Unix.write_substring sock req off (String.length req - off))
+        in
+        send 0;
+        let ic = Unix.in_channel_of_descr sock in
+        let status_line = input_line ic in
+        let status =
+          match String.split_on_char ' ' status_line with
+          | _ :: code :: _ -> int_of_string_opt code
+          | _ -> None
+        in
+        match status with
+        | None -> Error "malformed status line"
+        | Some status ->
+            let content_length = ref None in
+            (try
+               let rec headers () =
+                 let line = String.trim (input_line ic) in
+                 if line <> "" then begin
+                   (match String.index_opt line ':' with
+                   | Some i ->
+                       let name = String.lowercase_ascii (String.sub line 0 i) in
+                       let value =
+                         String.trim
+                           (String.sub line (i + 1) (String.length line - i - 1))
+                       in
+                       if name = "content-length" then
+                         content_length := int_of_string_opt value
+                   | None -> ());
+                   headers ()
+                 end
+               in
+               headers ()
+             with End_of_file -> ());
+            let resp_body =
+              match !content_length with
+              | Some n -> really_input_string ic n
+              | None ->
+                  let b = Buffer.create 1024 in
+                  (try
+                     while true do
+                       Buffer.add_channel b ic 1
+                     done
+                   with End_of_file -> ());
+                  Buffer.contents b
+            in
+            Ok (status, resp_body)
+      with
+      | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | End_of_file -> Error "connection closed mid-response"
+      | Sys_error e -> Error e)
+
+(* ------------------------------------------------------------------ *)
+(* The follower *)
+
+type sink = {
+  next_seq : unit -> int;
+  epoch : unit -> int;
+  observe_epoch : int -> unit;
+  apply : Journal.record list -> (unit, string) result;
+  install_snapshot :
+    seq:int -> files:(string * string) list -> (unit, string) result;
+  note_progress : behind:int -> unit;
+  note_reconnect : unit -> unit;
+  note_epoch_reject : unit -> unit;
+  note_snapshot_bootstrap : unit -> unit;
+  should_stop : unit -> bool;
+}
+
+let ( let* ) = Result.bind
+
+let bootstrap ~host ~port sink =
+  let* status, body =
+    request ~host ~port ~meth:"GET" ~path:"/replication/snapshot" ~body:"" ()
+  in
+  if status <> 200 then Error (Printf.sprintf "snapshot fetch: HTTP %d" status)
+  else
+    let* epoch, seq, files = parse_snapshot_body body in
+    if epoch < sink.epoch () then begin
+      sink.note_epoch_reject ();
+      Error "snapshot from a stale epoch"
+    end
+    else begin
+      if epoch > sink.epoch () then sink.observe_epoch epoch;
+      let* () = sink.install_snapshot ~seq ~files in
+      sink.note_snapshot_bootstrap ();
+      Ok ()
+    end
+
+let poll_once ~host ~port ?(wait = 5.0) sink =
+  let from = sink.next_seq () in
+  let my_epoch = sink.epoch () in
+  let path =
+    Printf.sprintf "/replication/stream?from=%d&epoch=%d&wait=%g" from my_epoch
+      wait
+  in
+  let* status, body =
+    request ~host ~port ~timeout:(wait +. 10.0) ~meth:"GET" ~path ~body:"" ()
+  in
+  match status with
+  | 200 -> (
+      let* () =
+        (* The seam between receiving a response and trusting its
+           frames: the torture tests crash a follower here with a batch
+           in flight. *)
+        try
+          Bx_fault.Fault.point "repl.frame.read";
+          Ok ()
+        with Bx_fault.Fault.Injected m -> Error m
+      in
+      let* reply = parse_stream_body body in
+      match reply with
+      | Records { epoch; next_seq; records } ->
+          if epoch < my_epoch then begin
+            sink.note_epoch_reject ();
+            Error
+              (Printf.sprintf "stream epoch %d below ours %d" epoch my_epoch)
+          end
+          else begin
+            if epoch > my_epoch then sink.observe_epoch epoch;
+            let* () =
+              match records with [] -> Ok () | rs -> sink.apply rs
+            in
+            let behind = max 0 (next_seq - sink.next_seq ()) in
+            sink.note_progress ~behind;
+            Ok behind
+          end
+      | Bootstrap { epoch; floor = _ } ->
+          if epoch < my_epoch then begin
+            sink.note_epoch_reject ();
+            Error
+              (Printf.sprintf "stream epoch %d below ours %d" epoch my_epoch)
+          end
+          else begin
+            if epoch > my_epoch then sink.observe_epoch epoch;
+            let* () = bootstrap ~host ~port sink in
+            (* Lag unknown until the next poll; report the bootstrap as
+               progress so readiness can see life. *)
+            sink.note_progress ~behind:0;
+            Ok 0
+          end)
+  | 409 ->
+      (* We polled with a higher epoch than the serving node holds: the
+         upstream is a deposed primary.  Nothing to apply from it. *)
+      sink.note_epoch_reject ();
+      Error "upstream deposed (stale epoch)"
+  | st -> Error (Printf.sprintf "stream: HTTP %d" st)
+
+(* Sleep in slices so promotion or shutdown interrupts a backoff
+   promptly. *)
+let interruptible_sleep sink seconds =
+  let slice = 0.05 in
+  let rec go left =
+    if left > 0. && not (sink.should_stop ()) then begin
+      Thread.delay (Float.min slice left);
+      go (left -. slice)
+    end
+  in
+  go seconds
+
+let follow ~host ~port ?(wait = 5.0) ?(min_sleep = 0.05) ?(max_sleep = 2.0)
+    sink =
+  let rng = Random.State.make_self_init () in
+  let next_sleep prev =
+    let upper = Float.max min_sleep ((prev *. 3.) -. min_sleep) in
+    Float.min max_sleep (min_sleep +. Random.State.float rng upper)
+  in
+  let rec loop prev_sleep =
+    if not (sink.should_stop ()) then
+      match poll_once ~host ~port ~wait sink with
+      | Ok _ -> loop min_sleep
+      | Error _ ->
+          sink.note_reconnect ();
+          let s = next_sleep prev_sleep in
+          interruptible_sleep sink s;
+          loop s
+  in
+  loop min_sleep

@@ -9,6 +9,10 @@ type config = {
   queue_deadline : float;
   write_timeout : float;
   failpoints_admin : bool;
+  replica : bool;
+  replica_lag_threshold : float;
+  stream_wait : float;
+  stream_max_records : int;
 }
 
 let default_config =
@@ -23,6 +27,10 @@ let default_config =
     queue_deadline = 5.0;
     write_timeout = 10.0;
     failpoints_admin = Bx_fault.Fault.env_configured;
+    replica = false;
+    replica_lag_threshold = 5.0;
+    stream_wait = 5.0;
+    stream_max_records = 512;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -81,7 +89,9 @@ end
 
 type t = {
   config : config;
-  registry : Bx_repo.Registry.t;
+  mutable registry : Bx_repo.Registry.t;
+      (* replaced wholesale by a snapshot bootstrap, under [lock]'s
+         write side; everything else reads it under the read side *)
   lock : Rwlock.t;
   pages : (string * (unit -> string * string)) list;
   lenses : (string * Bx_strlens.Slens.t) list;
@@ -106,6 +116,26 @@ type t = {
   qc : Condition.t;
   queue : (Unix.file_descr * float) Queue.t;
   mutable accepting : bool;
+  (* Replication.  [replica] flips to false on promotion; [epoch] is the
+     highest epoch this node has observed (persisted when journaled);
+     [fenced_by] is the epoch that deposed this primary (0 = none);
+     [applied_next] is the next sequence number this node will journal —
+     the follower's poll cursor and the primary's stream head alike. *)
+  replica : bool Atomic.t;
+  epoch : int Atomic.t;
+  fenced_by : int Atomic.t;
+  applied_next : int Atomic.t;
+  last_stream_from : int Atomic.t;
+      (* the highest [from] any follower has polled with — everything
+         below it is known applied downstream *)
+  created_at : float;
+  rm : Mutex.t; (* guards the follower-progress fields below *)
+  mutable repl_synced : bool; (* caught up at least once *)
+  mutable repl_behind : int; (* record lag at the last successful poll *)
+  mutable repl_last_sync : float; (* when [repl_behind] last hit 0 *)
+  mutable repl_allowance : float;
+      (* the long-poll hold: an idle follower's [repl_last_sync] is
+         legitimately this stale *)
 }
 
 let metrics t = t.metrics
@@ -136,6 +166,25 @@ let replay_edits registry records =
 let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
   let metrics = Metrics.create () in
   let fresh ~registry ~journal ~applied ~failed =
+    (* Epoch at boot: a primary starts at (at least) 1 and persists it,
+       so any future promotion elsewhere necessarily fences it; a
+       replica starts from whatever it last persisted (0 when it has
+       never observed a primary). *)
+    let persisted =
+      match config.journal_dir with
+      | Some dir -> Journal.read_epoch ~dir
+      | None -> 0
+    in
+    let epoch0 =
+      if config.replica then persisted else max 1 persisted
+    in
+    (if (not config.replica) && persisted < epoch0 then
+       match config.journal_dir with
+       | Some dir -> (
+           match Journal.write_epoch ~dir epoch0 with
+           | Ok () -> ()
+           | Error e -> Printf.eprintf "bxwiki: epoch persist: %s\n%!" e)
+       | None -> ());
     {
       config;
       registry;
@@ -156,6 +205,19 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
       qc = Condition.create ();
       queue = Queue.create ();
       accepting = false;
+      replica = Atomic.make config.replica;
+      epoch = Atomic.make epoch0;
+      fenced_by = Atomic.make 0;
+      applied_next =
+        Atomic.make
+          (match journal with Some j -> Journal.next_seq j | None -> 1);
+      last_stream_from = Atomic.make 0;
+      created_at = Unix.gettimeofday ();
+      rm = Mutex.create ();
+      repl_synced = false;
+      repl_behind = 0;
+      repl_last_sync = 0.;
+      repl_allowance = config.stream_wait +. 1.0;
     }
   in
   match config.journal_dir with
@@ -206,6 +268,9 @@ let route_of t path =
   else if path = "/metrics" then "metrics"
   else if path = "/healthz" || path = "/readyz" then "health"
   else if path = "/debug/failpoints" then "debug"
+  else if path = "/replication/stream" || path = "/replication/snapshot" then
+    "replication"
+  else if path = "/admin/promote" then "admin"
   else if is_slens_path path then "slens"
   else if path = "/glossary" then "glossary"
   else if path = "/manuscript" then "manuscript"
@@ -349,6 +414,13 @@ let handle_slens t path body =
   | _ -> respond_text 404 "lens paths are /slens/<name>/<op>\n"
 
 let handle_post t path body =
+  if Atomic.get t.replica then
+    respond_text 503 "read-only replica: writes go to the primary\n"
+  else if Atomic.get t.fenced_by > 0 then
+    respond_text 503
+      (Printf.sprintf "fenced: deposed by epoch %d, writes rejected\n"
+         (Atomic.get t.fenced_by))
+  else begin
   Bx_fault.Fault.point "service.lock.write";
   Rwlock.write t.lock (fun () ->
       let response =
@@ -358,7 +430,9 @@ let handle_post t path body =
       else begin
         t.gen <- t.gen + 1;
         match t.journal with
-        | None -> response
+        | None ->
+            Atomic.incr t.applied_next;
+            response
         | Some j -> (
             match Journal.append j ~path ~body with
             | Error e ->
@@ -374,6 +448,7 @@ let handle_post t path body =
                   ^ Bx_repo.Markup.html_escape e ^ "</p>")
             | Ok _ ->
                 Atomic.set t.journal_ok true;
+                Atomic.set t.applied_next (Journal.next_seq j);
                 if
                   t.config.compact_every > 0
                   && Journal.record_count j >= t.config.compact_every
@@ -388,6 +463,309 @@ let handle_post t path body =
                 end;
                 response)
       end)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Replication: the primary side (stream + snapshot endpoints), the
+   replica side (apply + snapshot install, reached through the
+   {!Replication.sink}), and promotion. *)
+
+let is_replica t = Atomic.get t.replica
+let epoch t = Atomic.get t.epoch
+let fenced t = Atomic.get t.fenced_by > 0
+let last_stream_poll t = Atomic.get t.last_stream_from
+
+let replication_behind t =
+  Mutex.lock t.rm;
+  let b = t.repl_behind in
+  Mutex.unlock t.rm;
+  b
+
+let replication_synced t =
+  Mutex.lock t.rm;
+  let s = t.repl_synced in
+  Mutex.unlock t.rm;
+  s
+
+(* How stale this replica's data may be: 0 while it is demonstrably
+   caught up (the idle long-poll hold is legitimate staleness and is
+   allowed for), growing from the moment it last knew it was current —
+   whether because records are queueing up or because the primary has
+   gone quiet.  A replica that has never synced is lagging since
+   birth. *)
+let replication_lag t =
+  if not (Atomic.get t.replica) then 0.
+  else begin
+    let now = Unix.gettimeofday () in
+    Mutex.lock t.rm;
+    let lag =
+      if not t.repl_synced then now -. t.created_at
+      else if t.repl_behind > 0 then now -. t.repl_last_sync
+      else Float.max 0. (now -. t.repl_last_sync -. t.repl_allowance)
+    in
+    Mutex.unlock t.rm;
+    lag
+  end
+
+let octet_response body =
+  { Bx_repo.Webui.status = 200; content_type = "application/octet-stream"; body }
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let handle_stream t query =
+  match t.config.journal_dir with
+  | None -> respond_text 404 "replication requires a journal\n"
+  | Some dir ->
+      let params = Httpd.query_params query in
+      let int_param name default =
+        match List.assoc_opt name params with
+        | None -> Some default
+        | Some v -> int_of_string_opt v
+      in
+      let wait =
+        match List.assoc_opt "wait" params with
+        | None -> 0.
+        | Some v -> Option.value ~default:0. (float_of_string_opt v)
+      in
+      (match (int_param "from" 1, int_param "epoch" 0) with
+      | None, _ | _, None -> respond_text 400 "bad from/epoch\n"
+      | Some from, Some peer_epoch when from < 0 || peer_epoch < 0 ->
+          respond_text 400 "bad from/epoch\n"
+      | Some from, Some peer_epoch ->
+          let my_epoch = Atomic.get t.epoch in
+          if peer_epoch > my_epoch then begin
+            (* The poller has seen a newer primary than us: we are the
+               deposed one.  Fence: refuse all further writes, so no
+               stale ack from this node can contradict the new epoch. *)
+            Atomic.set t.fenced_by peer_epoch;
+            respond_text 409
+              (Printf.sprintf "deposed: epoch %d supersedes ours (%d)\n"
+                 peer_epoch my_epoch)
+          end
+          else begin
+            (* A poll at [from] acknowledges everything below it. *)
+            if from > Atomic.get t.last_stream_from then
+              Atomic.set t.last_stream_from from;
+            let wait = Float.min wait t.config.stream_wait in
+            let deadline = Unix.gettimeofday () +. wait in
+            (* The long poll: re-read under the read lock (compaction
+               swaps the snapshot and truncates the log under the write
+               lock), sleep in slices outside it. *)
+            let rec attempt () =
+              let r =
+                Rwlock.read t.lock (fun () ->
+                    let floor = Journal.snapshot_seq ~dir in
+                    if from <= floor then `Reset floor
+                    else
+                      match Journal.tail ~dir ~from with
+                      | Error e -> `Err e
+                      | Ok records ->
+                          `Records (records, Atomic.get t.applied_next))
+              in
+              match r with
+              | `Records ([], _)
+                when Unix.gettimeofday () < deadline && not (Atomic.get t.stop)
+                ->
+                  Thread.delay 0.01;
+                  attempt ()
+              | r -> r
+            in
+            match attempt () with
+            | `Err e -> respond_text 500 ("journal read: " ^ e ^ "\n")
+            | `Reset floor ->
+                Bx_fault.Fault.point "repl.stream.write";
+                octet_response
+                  (Replication.reset_body ~epoch:my_epoch ~floor)
+            | `Records (records, next_seq) ->
+                let records = take t.config.stream_max_records records in
+                Bx_fault.Fault.point "repl.stream.write";
+                let body =
+                  Replication.stream_body ~epoch:my_epoch ~next_seq ~records
+                in
+                Metrics.replication_streamed t.metrics
+                  ~records:(List.length records) ~bytes:(String.length body);
+                octet_response body
+          end)
+
+let handle_snapshot t =
+  match t.config.journal_dir with
+  | None -> respond_text 404 "replication requires a journal\n"
+  | Some dir -> (
+      match Rwlock.read t.lock (fun () -> Journal.snapshot_files ~dir) with
+      | Error e -> respond_text 404 (e ^ "\n")
+      | Ok (seq, files) ->
+          Bx_fault.Fault.point "repl.stream.write";
+          let body =
+            Replication.snapshot_body ~epoch:(Atomic.get t.epoch) ~seq ~files
+          in
+          Metrics.replication_streamed t.metrics ~records:0
+            ~bytes:(String.length body);
+          octet_response body)
+
+(* Apply one streamed batch: journal first (a crash between journal and
+   registry replays to the same state at next boot), then the registry,
+   then bump the cache generation — a replica's Respcache is invalidated
+   by the replication apply path exactly as a primary's is by local
+   writes.  Retried prefixes (the upstream resent records we already
+   hold) are skipped; a gap means the stream and our cursor disagree and
+   is fatal for the batch. *)
+let replication_apply t records =
+  try
+    Bx_fault.Fault.point "repl.apply";
+    Rwlock.write t.lock (fun () ->
+        let apply_one (r : Journal.record) =
+          let response =
+            Bx_repo.Webui.handle t.registry ~meth:"POST" ~path:r.path
+              ~body:r.body
+          in
+          if response.Bx_repo.Webui.status <> 200 then begin
+            Printf.eprintf
+              "bxwiki: streamed record %d (%s) did not apply (status %d)\n%!"
+              r.seq r.path response.Bx_repo.Webui.status;
+            Metrics.protocol_error t.metrics ~route:"replication"
+              ~reason:"apply_failed"
+          end;
+          Atomic.set t.applied_next (r.seq + 1);
+          t.gen <- t.gen + 1;
+          Metrics.replication_applied t.metrics ~records:1;
+          match t.journal with
+          | Some j
+            when t.config.compact_every > 0
+                 && Journal.record_count j >= t.config.compact_every -> (
+              match checkpoint_locked t with
+              | Ok _ -> ()
+              | Error e -> Printf.eprintf "bxwiki: compaction failed: %s\n%!" e)
+          | _ -> ()
+        in
+        let rec go = function
+          | [] -> Ok ()
+          | (r : Journal.record) :: rest ->
+              let next = Atomic.get t.applied_next in
+              if r.seq < next then go rest
+              else if r.seq > next then
+                Error
+                  (Printf.sprintf "stream gap: expected seq %d, got %d" next
+                     r.seq)
+              else begin
+                match t.journal with
+                | None ->
+                    apply_one r;
+                    go rest
+                | Some j -> (
+                    match Journal.append j ~path:r.path ~body:r.body with
+                    | Error e ->
+                        Atomic.set t.journal_ok false;
+                        Error e
+                    | Ok _ ->
+                        Atomic.set t.journal_ok true;
+                        apply_one r;
+                        go rest)
+              end
+        in
+        go records)
+  with Bx_fault.Fault.Injected m -> Error m
+
+let replication_install_snapshot t ~seq ~files =
+  try
+    Bx_fault.Fault.point "repl.apply";
+    Rwlock.write t.lock (fun () ->
+        match (t.journal, t.config.journal_dir) with
+        | Some j, Some dir -> (
+            match Journal.install_snapshot j ~seq ~files with
+            | Error e -> Error e
+            | Ok () -> (
+                match Bx_repo.Store.load ~dir:(Journal.snapshot_dir dir) with
+                | Error e -> Error ("snapshot load: " ^ e)
+                | Ok registry ->
+                    t.registry <- registry;
+                    t.gen <- t.gen + 1;
+                    Atomic.set t.applied_next (seq + 1);
+                    Ok ()))
+        | _ -> Error "snapshot bootstrap requires a journal")
+  with Bx_fault.Fault.Injected m -> Error m
+
+let observe_epoch t e =
+  if e > Atomic.get t.epoch then begin
+    Atomic.set t.epoch e;
+    match t.config.journal_dir with
+    | Some dir -> (
+        match Journal.write_epoch ~dir e with
+        | Ok () -> ()
+        | Error err -> Printf.eprintf "bxwiki: epoch persist: %s\n%!" err)
+    | None -> ()
+  end
+
+let replication_sink t =
+  {
+    Replication.next_seq = (fun () -> Atomic.get t.applied_next);
+    epoch = (fun () -> Atomic.get t.epoch);
+    observe_epoch = observe_epoch t;
+    apply = replication_apply t;
+    install_snapshot = replication_install_snapshot t;
+    note_progress =
+      (fun ~behind ->
+        Mutex.lock t.rm;
+        t.repl_behind <- behind;
+        if behind = 0 then begin
+          t.repl_synced <- true;
+          t.repl_last_sync <- Unix.gettimeofday ()
+        end;
+        Mutex.unlock t.rm);
+    note_reconnect = (fun () -> Metrics.replication_reconnect t.metrics);
+    note_epoch_reject = (fun () -> Metrics.replication_epoch_reject t.metrics);
+    note_snapshot_bootstrap =
+      (fun () -> Metrics.replication_snapshot_bootstrap t.metrics);
+    should_stop =
+      (fun () -> Atomic.get t.stop || not (Atomic.get t.replica));
+  }
+
+let follow t ~host ~port ?(wait = default_config.stream_wait) ?min_sleep
+    ?max_sleep () =
+  Mutex.lock t.rm;
+  t.repl_allowance <- wait +. 1.0;
+  Mutex.unlock t.rm;
+  Replication.follow ~host ~port ~wait ?min_sleep ?max_sleep
+    (replication_sink t)
+
+(* Promotion: bump and persist the epoch, then flip writable — in that
+   order, so a crash in between leaves a replica with a monotonically
+   advanced epoch and nothing worse.  A replica that has never synced
+   and never persisted an epoch has nothing worth promoting and is
+   refused. *)
+let promote t =
+  if not (Atomic.get t.replica) then Error "already primary"
+  else
+    Rwlock.write t.lock (fun () ->
+        if not (Atomic.get t.replica) then Error "already primary"
+        else if not (replication_synced t || Atomic.get t.epoch > 0) then
+          Error "replica has never synced with a primary"
+        else begin
+          try
+            Bx_fault.Fault.point "repl.promote";
+            let e = Atomic.get t.epoch + 1 in
+            let persisted =
+              match t.config.journal_dir with
+              | Some dir -> Journal.write_epoch ~dir e
+              | None -> Ok ()
+            in
+            match persisted with
+            | Error err -> Error ("epoch persist: " ^ err)
+            | Ok () ->
+                Atomic.set t.epoch e;
+                Atomic.set t.fenced_by 0;
+                Atomic.set t.replica false;
+                Ok e
+          with Bx_fault.Fault.Injected m -> Error m
+        end)
+
+let handle_promote t =
+  match promote t with
+  | Ok e -> respond_text 200 (Printf.sprintf "promoted: epoch %d\n" e)
+  | Error ("already primary" as e) -> respond_text 409 (e ^ "\n")
+  | Error e -> respond_text 503 ("promote failed: " ^ e ^ "\n")
 
 (* ------------------------------------------------------------------ *)
 (* Health, readiness and the failpoint admin route *)
@@ -405,12 +783,21 @@ let queue_high_water t = max 1 (t.config.queue_capacity * 3 / 4)
    a constructed service has replayed), we are not draining, and the
    pending queue is below its high-water mark. *)
 let readiness t =
+  let replica = Atomic.get t.replica in
+  let synced = (not replica) || replication_synced t in
   List.filter_map
     (fun (ok, reason) -> if ok then None else Some reason)
     [
       (Atomic.get t.journal_ok, "journal_unwritable");
       (not (Atomic.get t.stop), "draining");
       (queue_depth t < queue_high_water t, "queue_high_water");
+      (* A replica is ready only once it has caught up and is staying
+         caught up; a fenced (deposed) primary is never ready. *)
+      (synced, "replica_syncing");
+      ( (not replica) || (not synced)
+        || replication_lag t <= t.config.replica_lag_threshold,
+        "replication_lag" );
+      (not (fenced t), "fenced");
     ]
 
 let ready t = readiness t = []
@@ -432,7 +819,7 @@ let handle_failpoints_admin t ~meth ~body =
         | Error e -> respond_text 400 (e ^ "\n"))
     | _ -> respond_text 405 "use GET or PUT\n"
 
-let handle t ~meth ~path ~body =
+let handle_query t ~query ~meth ~path ~body =
   let started = Unix.gettimeofday () in
   let meth = String.uppercase_ascii meth in
   let response =
@@ -443,6 +830,10 @@ let handle t ~meth ~path ~body =
       match meth with
       | "GET" when path = "/metrics" ->
           Metrics.note_queue_depth t.metrics (queue_depth t);
+          Metrics.note_replication t.metrics ~epoch:(Atomic.get t.epoch)
+            ~fenced:(fenced t)
+            ~replica:(Atomic.get t.replica)
+            ~lag:(replication_lag t) ~behind:(replication_behind t);
           {
             Bx_repo.Webui.status = 200;
             content_type = "text/plain; version=0.0.4; charset=utf-8";
@@ -452,6 +843,9 @@ let handle t ~meth ~path ~body =
       | "GET" when path = "/readyz" -> handle_readyz t
       | ("GET" | "PUT") when path = "/debug/failpoints" ->
           handle_failpoints_admin t ~meth ~body
+      | "GET" when path = "/replication/stream" -> handle_stream t query
+      | "GET" when path = "/replication/snapshot" -> handle_snapshot t
+      | "POST" when path = "/admin/promote" -> handle_promote t
       | "GET" -> handle_get t path
       | "POST" when is_slens_path path -> handle_slens t path body
       | "POST" -> handle_post t path body
@@ -464,6 +858,8 @@ let handle t ~meth ~path ~body =
     ~status:response.Bx_repo.Webui.status
     ~seconds:(Unix.gettimeofday () -. started);
   response
+
+let handle t ~meth ~path ~body = handle_query t ~query:"" ~meth ~path ~body
 
 let checkpoint t = Rwlock.write t.lock (fun () -> checkpoint_locked t)
 
@@ -539,7 +935,10 @@ let handle_connection t fd =
         (* An injected wire-read fault behaves like a peer reset. *)
         Metrics.protocol_error t.metrics ~route:"wire" ~reason:"fault_injected"
     | Ok req -> (
-        let response = handle t ~meth:req.meth ~path:req.path ~body:req.body in
+        let response =
+          handle_query t ~query:req.query ~meth:req.meth ~path:req.path
+            ~body:req.body
+        in
         (* Drop keep-alive while draining so shutdown terminates. *)
         let keep_alive = req.keep_alive && not (Atomic.get t.stop) in
         match Httpd.write_response fd ~keep_alive response with

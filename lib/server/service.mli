@@ -47,13 +47,26 @@ type config = {
   failpoints_admin : bool;
       (** mount [GET/PUT /debug/failpoints]; defaults to whether
           [BXWIKI_FAILPOINTS] was present in the environment *)
+  replica : bool;
+      (** start in read-only replica mode: plain POSTs answer 503, state
+          arrives through the replication apply path, and
+          [POST /admin/promote] flips the node writable *)
+  replica_lag_threshold : float;
+      (** seconds of replication lag beyond which a replica reports not
+          ready *)
+  stream_wait : float;
+      (** longest the stream endpoint holds an empty long poll open *)
+  stream_max_records : int;
+      (** record cap per stream response; a further-behind follower just
+          polls again *)
 }
 
 val default_config : config
 (** No journal, 256 cached pages, compact every 64 edits, 1 MiB bodies,
     10 s read timeout, 4 lens workers, 256 queued connections, 5 s queue
     deadline, 10 s write timeout, failpoint admin iff
-    [BXWIKI_FAILPOINTS] is set. *)
+    [BXWIKI_FAILPOINTS] is set; primary role, 5 s lag threshold, 5 s
+    stream hold, 512 records per stream response. *)
 
 type t
 
@@ -84,6 +97,16 @@ val handle :
     current rules, [PUT] replaces them with the body's
     [site=ACTION;...] spec — an empty body clears them).
 
+    Replication routes (see {!Replication} for the protocol):
+    [GET /replication/stream?from=N&epoch=E&wait=S] long-polls the
+    journal, [GET /replication/snapshot] ships the snapshot for
+    bootstrap, and [POST /admin/promote] promotes a replica.  On a
+    replica, every other POST (except lens execution, which touches no
+    registry state) answers 503; on a fenced primary — one that has
+    observed a newer epoch — they answer 503 too.  {!handle} itself
+    carries no query string; {!handle_query} is the variant the socket
+    workers (and replication tests) use.
+
     An injected fault ({!Bx_fault.Fault.Injected}) escaping any handler
     is answered as a 503, the same shape as overload, so the retrying
     client's backoff covers both.
@@ -97,6 +120,16 @@ val handle :
     Batch operations fan across [config.lens_workers] domains via
     {!Bx_strlens.Slens.get_all}/[put_all].  Ill-typed documents get a
     422 with the engine's message; unknown lenses a 404. *)
+
+val handle_query :
+  t ->
+  query:string ->
+  meth:string ->
+  path:string ->
+  body:string ->
+  Bx_repo.Webui.response
+(** {!handle} with the request's raw query string ([""] for none) —
+    the replication stream endpoint reads its parameters from it. *)
 
 val serve :
   t
@@ -141,10 +174,61 @@ val ready : t -> bool
 
 val readiness : t -> string list
 (** Why the service is not ready ([[]] when it is): any of
-    [journal_unwritable], [draining], [queue_high_water]. *)
+    [journal_unwritable], [draining], [queue_high_water],
+    [replica_syncing] (a replica that has not yet caught up),
+    [replication_lag] (a replica whose lag exceeds
+    [replica_lag_threshold]), [fenced] (a deposed primary). *)
 
 val queue_depth : t -> int
 (** Pending connections currently queued for a worker. *)
 
 val with_registry : t -> (Bx_repo.Registry.t -> 'a) -> 'a
 (** Run [f] under the read lock — for invariant checks in tests. *)
+
+(** {1 Replication} *)
+
+val promote : t -> (int, string) result
+(** Flip a replica to writable primary: bump the epoch, persist it
+    (journaled services), then accept writes — in that order, so a crash
+    mid-promotion leaves at worst an advanced epoch.  Refused on a
+    primary and on a replica that has never synced.  Returns the new
+    epoch.  Failpoint: [repl.promote]. *)
+
+val follow :
+  t ->
+  host:string ->
+  port:int ->
+  ?wait:float ->
+  ?min_sleep:float ->
+  ?max_sleep:float ->
+  unit ->
+  unit
+(** Run the follower loop against an upstream, blocking until
+    {!shutdown} or {!promote} stops it — callers that want a hot standby
+    run it in a [Thread].  [wait] is the long-poll hold requested from
+    the upstream; [min_sleep]/[max_sleep] bound the reconnect backoff
+    (see {!Replication.follow}). *)
+
+val replication_sink : t -> Replication.sink
+(** The service wired up as a {!Replication.sink} — lets tests drive
+    {!Replication.poll_once} synchronously. *)
+
+val is_replica : t -> bool
+val epoch : t -> int
+val fenced : t -> bool
+(** Whether this node observed a newer epoch and now rejects writes. *)
+
+val replication_lag : t -> float
+(** Seconds this replica may be stale: 0 while demonstrably caught up
+    (always 0 on a primary). *)
+
+val replication_behind : t -> int
+(** Record lag reported by the last successful poll. *)
+
+val replication_synced : t -> bool
+(** Whether this replica has ever fully caught up. *)
+
+val last_stream_poll : t -> int
+(** The highest [from] any follower has polled this node with — every
+    record below it is known applied downstream.  The failover tests use
+    it to wait for a replica without back-channels. *)

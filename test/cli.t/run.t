@@ -271,3 +271,99 @@ An empty PUT body clears every rule:
 
   $ kill -TERM $BXPID
   $ wait $BXPID
+
+Replication and failover: a primary compacting aggressively, edited
+enough that the early records only survive inside its snapshot.
+
+  $ bxwiki --port 0 --port-file pport --journal pjdir --compact-every 4 \
+  >   --quiet 2> prim.err &
+  $ PPID=$!
+  $ for i in $(seq 1 150); do [ -s pport ] && break; sleep 0.1; done
+  $ PPORT=$(cat pport)
+  $ curl -sf "http://127.0.0.1:$PPORT/examples:celsius.wiki" -o prim.wiki
+  $ for i in 1 2 3 4 5; do
+  >   sed "s/temperature[0-9]*/heat$i/g" prim.wiki > edit$i.wiki
+  >   curl -sf -X POST --data-binary "@edit$i.wiki" \
+  >     "http://127.0.0.1:$PPORT/examples:celsius" > /dev/null
+  > done
+  $ test -f pjdir/snapshot/MANIFEST && echo compacted
+  compacted
+
+A hot-standby replica catches up from seq 1: the compacted prefix
+arrives as a snapshot bootstrap, the tail as streamed journal frames.
+/readyz answers 503 while it syncs, so the retrying client doubles as
+a readiness gate.
+
+  $ bxwiki replica --replicate-from "$PPORT" --port 0 --port-file rport \
+  >   --journal rjdir --poll-wait 0.2 --quiet 2> repl.err &
+  $ RPID=$!
+  $ for i in $(seq 1 150); do [ -s rport ] && break; sleep 0.1; done
+  $ RPORT=$(cat rport)
+  $ bxwiki client --port-file rport --retries 20 --max-sleep 0.2 GET /readyz
+  ready
+  $ for i in $(seq 1 100); do
+  >   curl -sf "http://127.0.0.1:$RPORT/examples:celsius.wiki" | grep -q heat5 && break
+  >   sleep 0.1
+  > done
+  $ curl -sf "http://127.0.0.1:$RPORT/examples:celsius.wiki" | grep -q heat5 && echo replicated
+  replicated
+
+The replica's lag settled to zero, the bootstrap was counted, and its
+role is advertised; writes are refused — they belong on the primary.
+
+  $ curl -sf "http://127.0.0.1:$RPORT/metrics" > rmetrics.txt
+  $ grep -c 'bxwiki_replication_snapshot_bootstraps_total 1' rmetrics.txt
+  1
+  $ grep -c 'bxwiki_replication_lag_seconds 0$' rmetrics.txt
+  1
+  $ grep -c 'bxwiki_replication_role{role="replica"} 1' rmetrics.txt
+  1
+  $ bxwiki client --port-file rport --retries 2 --max-sleep 0.05 \
+  >   --body-file edit5.wiki POST /examples:celsius > /dev/null
+  bxwiki client: giving up after 2 attempts (HTTP 503)
+  [1]
+
+kill -9 the primary.  Reads fail over to the replica with --fallback;
+writes never do — a replayed POST against a replica is how split
+brains are made.
+
+  $ kill -9 $PPID 2> /dev/null
+  $ wait $PPID 2> /dev/null || true
+  $ bxwiki client --port "$PPORT" --retries 2 --max-sleep 0.05 \
+  >   --fallback "$RPORT" GET /examples:celsius.wiki 2> /dev/null | grep -q heat5 && echo failed-over
+  failed-over
+  $ bxwiki client --port "$PPORT" --retries 2 --max-sleep 0.05 \
+  >   --fallback "$RPORT" --body-file edit5.wiki POST /examples:celsius
+  bxwiki client: giving up after 2 attempts (connection failed or timed out)
+  [1]
+
+Promote the survivor: the epoch advances past the dead primary's and
+is persisted before the node turns writable.
+
+  $ bxwiki client --port-file rport --max-sleep 0.2 POST /admin/promote
+  promoted: epoch 2
+  $ cat rjdir/epoch
+  epoch 2
+  $ sed 's/heat[0-9]*/afterlife/g' prim.wiki > promoted.wiki
+  $ bxwiki client --port-file rport --max-sleep 0.2 \
+  >   --body-file promoted.wiki POST /examples:celsius | grep -o 'Saved as version 0.7'
+  Saved as version 0.7
+
+Revive the deposed primary from its own journal: the first poll
+carrying the new epoch fences it, and its stale writes are rejected —
+no acknowledgement from the old timeline can contradict the new one.
+
+  $ bxwiki --port 0 --port-file oport --journal pjdir --quiet 2> old.err &
+  $ OPID=$!
+  $ for i in $(seq 1 150); do [ -s oport ] && break; sleep 0.1; done
+  $ OPORT=$(cat oport)
+  $ curl -s -o /dev/null -w '%{http_code}\n' \
+  >   "http://127.0.0.1:$OPORT/replication/stream?from=1&epoch=2&wait=0"
+  409
+  $ curl -s -X POST --data-binary @edit1.wiki "http://127.0.0.1:$OPORT/examples:celsius"
+  fenced: deposed by epoch 2, writes rejected
+  $ curl -s "http://127.0.0.1:$OPORT/readyz"
+  not ready: fenced
+
+  $ kill -TERM $OPID $RPID
+  $ wait $OPID $RPID

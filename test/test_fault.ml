@@ -240,6 +240,57 @@ let journal_tests =
         let head = really_input_string ic (String.length Journal.magic) in
         close_in ic;
         check Alcotest.string "magic on disk" Journal.magic head);
+    tc "an empty log file is adopted as a fresh v2 segment" (fun () ->
+        (* A crash can leave journal.log created but zero bytes long —
+           before even the magic was written.  That is a fresh log, not
+           a corrupt one. *)
+        let dir = fresh_dir "bxempty" in
+        close_out (open_out_bin (Journal.log_file dir));
+        check Alcotest.int "zero bytes" 0 (log_size dir);
+        let r = read_exn dir in
+        check Alcotest.int "reads as v2" 2 r.Journal.version;
+        check Alcotest.bool "not torn" false r.Journal.torn;
+        with_log dir (fun j -> ignore (append_exn j ~path:"/a" ~body:"one"));
+        let r = read_exn dir in
+        check Alcotest.int "header stamped, record landed" 1
+          (List.length r.Journal.entries);
+        let ic = open_in_bin (Journal.log_file dir) in
+        let head = really_input_string ic (String.length Journal.magic) in
+        close_in ic;
+        check Alcotest.string "magic on disk" Journal.magic head);
+    tc "a v1 log ending exactly on a record boundary migrates whole"
+      (fun () ->
+        let dir = fresh_dir "bxv1edge" in
+        let oc = open_out_bin (Journal.log_file dir) in
+        output_string oc (Journal.encode_v1 ~seq:1 ~path:"/a" ~body:"one");
+        close_out oc;
+        let r = read_exn dir in
+        check Alcotest.int "v1" 1 r.Journal.version;
+        check Alcotest.bool "clean boundary is not torn" false r.Journal.torn;
+        (* Open purely for the side effect: migrate, append nothing. *)
+        with_log dir (fun _ -> ());
+        let r = read_exn dir in
+        check Alcotest.int "v2 after open" 2 r.Journal.version;
+        check (Alcotest.list entry) "the record survived intact"
+          [ { Journal.seq = 1; path = "/a"; body = "one" } ]
+          r.Journal.entries);
+    tc "reopening a migrated log is idempotent" (fun () ->
+        let dir = fresh_dir "bxv1twice" in
+        let oc = open_out_bin (Journal.log_file dir) in
+        output_string oc (Journal.encode_v1 ~seq:1 ~path:"/a" ~body:"one");
+        output_string oc (Journal.encode_v1 ~seq:2 ~path:"/b" ~body:"two");
+        close_out oc;
+        with_log dir (fun _ -> ());
+        let migrated = log_size dir in
+        (* The second open must neither re-migrate nor truncate. *)
+        with_log dir (fun _ -> ());
+        check Alcotest.int "size unchanged" migrated (log_size dir);
+        let r = read_exn dir in
+        check Alcotest.int "still v2" 2 r.Journal.version;
+        check
+          Alcotest.(list string)
+          "both records, once each" [ "/a"; "/b" ]
+          (List.map (fun e -> e.Journal.path) r.Journal.entries));
     tc "checkpoint resets the log to a bare segment header" (fun () ->
         let dir = fresh_dir "bxck" in
         let t = service ~config:(journal_config dir) () in

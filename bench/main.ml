@@ -750,11 +750,20 @@ let p8_load_shedding () =
      else "*** NO SHEDDING AT >= 2x CAPACITY ***");
   ((queue_capacity, workers, delay_ms), rows)
 
+(* Bench honesty: every BENCH_*.json says what the host offered next to
+   what the run actually used — a flat "scaling" number measured on a
+   single-core container must be readable as such. *)
+let host_meta ~domains_used =
+  Printf.sprintf "  \"cores_available\": %d,\n  \"domains_used\": %d,\n"
+    (Domain.recommended_domain_count ())
+    domains_used
+
 let write_shed_json path ~meta:(queue_capacity, workers, delay_ms) rows =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"benchmark\": \"P8 load shedding\",\n";
+  out "%s" (host_meta ~domains_used:workers);
   out "  \"queue_capacity\": %d,\n" queue_capacity;
   out "  \"workers\": %d,\n" workers;
   out "  \"service_delay_ms\": %g,\n" delay_ms;
@@ -956,6 +965,9 @@ let write_repl_json path s =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"benchmark\": \"P9 replication\",\n";
+  (* The primary serves the stream with 2 worker domains (see
+     p9_replication); the follower applies on its own. *)
+  out "%s" (host_meta ~domains_used:2);
   out "  \"catchup\": {\"records\": %d, \"seconds\": %.4f, \
        \"records_per_s\": %.1f},\n"
     s.rp_preload s.rp_catchup_s s.rp_catchup_rate;
@@ -1256,6 +1268,8 @@ let write_json path ~p6 ~series =
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
   add "  \"suite\": \"bx bench\",\n";
+  (* 4 = the pooled-service worker count in p4_server_throughput. *)
+  add "%s" (host_meta ~domains_used:4);
   add "  \"p6_compiled_engine\": {\n";
   add "    \"doc_bytes\": %d,\n" p6.doc_bytes;
   add "    \"compiled_ns_per_match\": %.1f,\n" p6.compiled_ns;
@@ -1289,6 +1303,7 @@ let write_strlens_json path ~p7 =
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
   add "  \"suite\": \"bx strlens engine\",\n";
+  add "%s" (host_meta ~domains_used:p7.batch7.batch_workers);
   add "  \"baseline\": \"copying engine (Slens_ref)\",\n";
   add "  \"speedup_target\": 3.0,\n";
   add "  \"rows\": [\n";

@@ -9,14 +9,20 @@ let usage () =
   prerr_endline
     "usage: bxwiki [PORT] [--port PORT] [--journal DIR] [--workers N]\n\
     \              [--port-file FILE] [--compact-every N] [--failpoints SPEC]\n\
-    \              [--quiet]\n\
+    \              [--gen-entries N] [--gen-seed S] [--quiet]\n\
     \       bxwiki replica --replicate-from [HOST:]PORT [--port PORT]\n\
     \              [--journal DIR] [--workers N] [--port-file FILE]\n\
     \              [--lag-threshold S] [--poll-wait S] [--compact-every N]\n\
     \              [--failpoints SPEC] [--quiet]\n\
     \       bxwiki client [--port PORT] [--port-file FILE] [--retries N]\n\
     \              [--max-sleep S] [--fallback [HOST:]PORT] [--data BODY]\n\
-    \              [--body-file FILE] METH PATH\n\n\
+    \              [--body-file FILE] METH PATH\n\
+    \       bxwiki gen --entries N [--seed S] [--format titles|paths|wiki]\n\
+    \       bxwiki loadgen [--port PORT] [--port-file FILE] [--rate RPS]\n\
+    \              [--warmup S] [--duration S] [--domains N]\n\
+    \              [--profile read-heavy|write-heavy|all] [--pacing MODE]\n\
+    \              [--entries N] [--seed S] [--scaling 1,2,4,8]\n\
+    \              [--scaling-rate RPS] [--out FILE]\n\n\
      --port 0 binds an ephemeral port (written to --port-file).\n\
      With --journal DIR every accepted edit is fsync'd to DIR/journal.log\n\
      before the response is sent, and restarts replay it on top of\n\
@@ -33,7 +39,18 @@ let usage () =
      decorrelated jitter, honouring Retry-After; the response body goes\n\
      to stdout, and the exit status is 0 only for a 2xx.  With\n\
      --fallback, a GET that exhausts its retries against the primary is\n\
-     retried against the fallback (reads fail over, writes never do).";
+     retried against the fallback (reads fail over, writes never do).\n\n\
+     --gen-entries seeds the server with N generated corpus entries on\n\
+     top of the catalogue (deterministic in --gen-seed); 'bxwiki gen'\n\
+     prints the same corpus.\n\n\
+     'bxwiki loadgen' drives a live server open-loop: arrivals are\n\
+     scheduled in advance (--pacing constant|poisson) and latency is\n\
+     measured from the scheduled instant, so queueing delay is not\n\
+     averaged away by coordinated omission.  Give the server at least\n\
+     as many --workers as --domains (keep-alive pins a connection to a\n\
+     worker) and the same --entries/--seed it booted with.  --scaling\n\
+     re-runs the read-heavy profile at each domain count and records\n\
+     the server's lock-contention deltas; --out writes BENCH_load.json.";
   exit 2
 
 (* "[HOST:]PORT" — the host is resolved to loopback (the service only
@@ -47,6 +64,33 @@ let parse_hostport ~flag v fail =
   match int_of_string_opt port_part with
   | Some p when p > 0 -> p
   | _ -> fail (flag ^ " wants [HOST:]PORT, got " ^ v)
+
+let read_file f =
+  let ic = open_in_bin f in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --port beats --port-file beats the default.  A server started moments
+   ago may not have written its port file yet; wait for it like we wait
+   for the socket. *)
+let resolve_port ~port ~port_file ~fail =
+  match (port, port_file) with
+  | Some p, _ -> p
+  | None, Some f ->
+      let rec resolve tries =
+        match
+          if Sys.file_exists f then int_of_string_opt (String.trim (read_file f))
+          else None
+        with
+        | Some p -> p
+        | None when tries > 0 ->
+            Unix.sleepf 0.1;
+            resolve (tries - 1)
+        | None -> fail ("unreadable port file " ^ f)
+      in
+      resolve 100
+  | None, None -> 8008
 
 (* ------------------------------------------------------------------ *)
 (* The retrying client.  The cram tests (and any script poking a
@@ -66,12 +110,6 @@ let client_main args =
   let fail msg =
     Printf.eprintf "bxwiki client: %s\n" msg;
     exit 2
-  in
-  let read_file f =
-    let ic = open_in_bin f in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
   in
   let rec parse = function
     | [] -> ()
@@ -99,27 +137,7 @@ let client_main args =
   parse args;
   let meth = match !meth with Some m -> String.uppercase_ascii m | None -> usage () in
   let path = match !path with Some p -> p | None -> usage () in
-  let port =
-    match (!port, !port_file) with
-    | Some p, _ -> p
-    | None, Some f ->
-        (* A server started moments ago may not have written its port
-           yet; wait for the file like we wait for the socket. *)
-        let rec resolve tries =
-          match
-            if Sys.file_exists f then
-              int_of_string_opt (String.trim (read_file f))
-            else None
-          with
-          | Some p -> p
-          | None when tries > 0 ->
-              Unix.sleepf 0.1;
-              resolve (tries - 1)
-          | None -> fail ("unreadable port file " ^ f)
-        in
-        resolve 100
-    | None, None -> 8008
-  in
+  let port = resolve_port ~port:!port ~port_file:!port_file ~fail in
   let body = Option.value ~default:"" !data in
   (* One attempt: Ok (status, retry_after, body) or a retryable error. *)
   let attempt port =
@@ -286,6 +304,8 @@ let server_main ~replica args =
   let failpoints = ref None in
   let quiet = ref false in
   let compact_every = ref Bx_server.Service.default_config.compact_every in
+  let gen_entries = ref 0 in
+  let gen_seed = ref 1 in
   let replicate_from = ref None in
   let lag_threshold =
     ref Bx_server.Service.default_config.replica_lag_threshold
@@ -316,6 +336,12 @@ let server_main ~replica args =
     | "--failpoints" :: v :: rest -> failpoints := Some v; parse rest
     | "--compact-every" :: v :: rest ->
         compact_every := int_arg "--compact-every" v;
+        parse rest
+    | "--gen-entries" :: v :: rest ->
+        gen_entries := int_arg "--gen-entries" v;
+        parse rest
+    | "--gen-seed" :: v :: rest ->
+        gen_seed := int_arg "--gen-seed" v;
         parse rest
     | "--replicate-from" :: v :: rest when replica ->
         replicate_from := Some (parse_hostport ~flag:"--replicate-from" v fail);
@@ -350,6 +376,8 @@ let server_main ~replica args =
       Bx_server.Service.default_config with
       journal_dir = !journal_dir;
       compact_every = !compact_every;
+      (* One response-cache shard per worker domain: see Respcache. *)
+      cache_shards = !workers;
       failpoints_admin =
         !failpoints <> None
         || Bx_server.Service.default_config.failpoints_admin;
@@ -369,10 +397,12 @@ let server_main ~replica args =
       ("composers-positional", Bx_catalogue.Composers_string.positional_lens);
     ]
   in
-  match
-    Bx_server.Service.create ~config ~pages ~lenses
-      ~seed:Bx_catalogue.Catalogue.seed ()
-  with
+  let seed =
+    if !gen_entries > 0 then
+      Bx_load.Corpus.seed_registry ~entries:!gen_entries ~seed:!gen_seed
+    else Bx_catalogue.Catalogue.seed
+  in
+  match Bx_server.Service.create ~config ~pages ~lenses ~seed () with
   | Error e ->
       Printf.eprintf "bxwiki: %s\n" e;
       exit 1
@@ -408,9 +438,225 @@ let server_main ~replica args =
           Printf.eprintf "bxwiki: %s\n" e;
           exit 1)
 
+(* ------------------------------------------------------------------ *)
+(* The corpus generator, standalone: the same entries --gen-entries
+   seeds a server with, printable for inspection or scripting. *)
+
+let gen_main args =
+  let entries = ref 0 in
+  let seed = ref 1 in
+  let format = ref `Paths in
+  let fail msg =
+    Printf.eprintf "bxwiki gen: %s\n" msg;
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--entries" :: v :: rest ->
+        entries := (match int_of_string_opt v with
+          | Some n when n > 0 -> n
+          | _ -> fail "--entries wants a positive integer");
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := (match int_of_string_opt v with
+          | Some n -> n
+          | None -> fail "--seed wants an integer");
+        parse rest
+    | "--format" :: v :: rest ->
+        format := (match v with
+          | "titles" -> `Titles
+          | "paths" -> `Paths
+          | "wiki" -> `Wiki
+          | _ -> fail "--format wants titles, paths or wiki");
+        parse rest
+    | v :: _ -> fail ("unexpected argument " ^ v)
+  in
+  parse args;
+  if !entries = 0 then fail "--entries N is required";
+  let templates = Bx_load.Corpus.generate ~entries:!entries ~seed:!seed in
+  match !format with
+  | `Titles ->
+      List.iter (fun t -> print_endline t.Bx_repo.Template.title) templates
+  | `Paths ->
+      Array.iter print_endline
+        (Bx_load.Corpus.wiki_paths ~entries:!entries ~seed:!seed)
+  | `Wiki ->
+      List.iter
+        (fun t -> print_string (Bx_repo.Sync.wiki_text t))
+        templates
+
+(* ------------------------------------------------------------------ *)
+(* The open-loop load generator (see Bx_load.Loadgen). *)
+
+let loadgen_main args =
+  let port = ref None in
+  let port_file = ref None in
+  let rate = ref 150. in
+  let warmup = ref 1.0 in
+  let duration = ref 5.0 in
+  let domains = ref 2 in
+  let profile = ref "all" in
+  let pacing = ref Bx_load.Arrival.Poisson in
+  let entries = ref 0 in
+  let seed = ref 1 in
+  let scaling = ref [] in
+  let scaling_rate = ref 2000. in
+  let out = ref None in
+  let fail msg =
+    Printf.eprintf "bxwiki loadgen: %s\n" msg;
+    exit 2
+  in
+  let float_arg name v =
+    match float_of_string_opt v with
+    | Some f when f >= 0. -> f
+    | _ -> fail (name ^ " wants a non-negative number, got " ^ v)
+  in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> n
+    | _ -> fail (name ^ " wants a non-negative integer, got " ^ v)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--port" :: v :: rest -> port := int_of_string_opt v; parse rest
+    | "--port-file" :: v :: rest -> port_file := Some v; parse rest
+    | "--rate" :: v :: rest -> rate := float_arg "--rate" v; parse rest
+    | "--warmup" :: v :: rest -> warmup := float_arg "--warmup" v; parse rest
+    | "--duration" :: v :: rest ->
+        duration := float_arg "--duration" v;
+        parse rest
+    | "--domains" :: v :: rest ->
+        domains := max 1 (int_arg "--domains" v);
+        parse rest
+    | "--profile" :: v :: rest -> profile := v; parse rest
+    | "--pacing" :: v :: rest ->
+        pacing := (match Bx_load.Arrival.pacing_of_string v with
+          | Some p -> p
+          | None -> fail "--pacing wants constant or poisson");
+        parse rest
+    | "--entries" :: v :: rest -> entries := int_arg "--entries" v; parse rest
+    | "--seed" :: v :: rest -> seed := int_arg "--seed" v; parse rest
+    | "--scaling" :: v :: rest ->
+        scaling :=
+          List.map
+            (fun s ->
+              match int_of_string_opt (String.trim s) with
+              | Some n when n >= 1 -> n
+              | _ -> fail "--scaling wants a comma-separated list of counts")
+            (String.split_on_char ',' v);
+        parse rest
+    | "--scaling-rate" :: v :: rest ->
+        scaling_rate := float_arg "--scaling-rate" v;
+        parse rest
+    | "--out" :: v :: rest -> out := Some v; parse rest
+    | v :: _ -> fail ("unexpected argument " ^ v)
+  in
+  parse args;
+  let port = resolve_port ~port:!port ~port_file:!port_file ~fail in
+  (* The same paths the server serves: the catalogue, plus the generated
+     corpus when the server was booted with --gen-entries. *)
+  let catalogue_paths =
+    List.filter_map
+      (fun t ->
+        match Bx_repo.Identifier.of_title t.Bx_repo.Template.title with
+        | Ok id -> Some ("/" ^ Bx_repo.Identifier.wiki_path id)
+        | Error _ -> None)
+      (Bx_catalogue.Catalogue.all ())
+  in
+  let corpus_paths =
+    if !entries > 0 then
+      Array.to_list (Bx_load.Corpus.wiki_paths ~entries:!entries ~seed:!seed)
+    else []
+  in
+  let targets = Array.of_list (catalogue_paths @ corpus_paths) in
+  let profiles =
+    match !profile with
+    | "all" -> Bx_load.Workload.profiles
+    | name -> (
+        match Bx_load.Workload.of_name name with
+        | Some p -> [ p ]
+        | None -> fail ("unknown profile " ^ name))
+  in
+  let spec profile domains rate =
+    {
+      Bx_load.Loadgen.port;
+      profile;
+      pacing = !pacing;
+      rate;
+      domains;
+      warmup = !warmup;
+      duration = !duration;
+      seed = !seed;
+      targets;
+    }
+  in
+  let failures = ref false in
+  let report label (r : Bx_load.Loadgen.result) =
+    let q p = Bx_load.Hist.quantile r.latency p in
+    Printf.printf
+      "loadgen: %s: %.1f req/s ok=%d shed=%d err=%d transport=%d p50=%dus \
+       p99=%dus p999=%dus max=%dus\n%!"
+      label r.throughput r.ok r.shed r.failed r.transport (q 0.5) (q 0.99)
+      (q 0.999)
+      (Bx_load.Hist.max_value r.latency);
+    List.iter
+      (fun l ->
+        Printf.printf "loadgen:   lock %s/%s: %d acquisitions, %d contended\n%!"
+          l.Bx_load.Loadgen.lock l.Bx_load.Loadgen.mode l.acquisitions
+          l.contended)
+      r.locks;
+    List.iter
+      (fun e ->
+        failures := true;
+        Printf.eprintf "loadgen: client domain crashed: %s\n%!" e)
+      r.domain_failures;
+    if r.failed > 0 || r.transport > 0 then failures := true
+  in
+  let run_spec label s =
+    match Bx_load.Loadgen.run s with
+    | Ok r ->
+        report label r;
+        Some r
+    | Error e ->
+        failures := true;
+        Printf.eprintf "loadgen: %s: %s\n%!" label e;
+        None
+  in
+  let results =
+    List.filter_map
+      (fun p ->
+        run_spec p.Bx_load.Workload.profile_name (spec p !domains !rate))
+      profiles
+  in
+  (* The scaling curve saturates the server (--scaling-rate is meant to
+     exceed capacity) at each domain count, read-heavy, and keeps the
+     lock-counter deltas: on a multicore host throughput should climb;
+     where it does not, the contended counts name the blocking lock. *)
+  let scaling_results =
+    List.filter_map
+      (fun d ->
+        run_spec
+          (Printf.sprintf "scaling/%d-domain" d)
+          (spec Bx_load.Workload.read_heavy d !scaling_rate))
+      !scaling
+  in
+  (match !out with
+  | None -> ()
+  | Some path ->
+      let json =
+        Bx_load.Loadgen.to_json ~results ~scaling:scaling_results
+          ~warmup:!warmup ~duration:!duration ~entries:!entries ~seed:!seed
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc json);
+      Printf.printf "loadgen: wrote %s\n%!" path);
+  if !failures then exit 1
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "client" :: rest -> client_main rest
   | _ :: "replica" :: rest -> server_main ~replica:true rest
+  | _ :: "gen" :: rest -> gen_main rest
+  | _ :: "loadgen" :: rest -> loadgen_main rest
   | _ :: rest -> server_main ~replica:false rest
   | [] -> usage ()

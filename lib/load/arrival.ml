@@ -1,0 +1,29 @@
+type pacing = Constant | Poisson
+
+let pacing_name = function Constant -> "constant" | Poisson -> "poisson"
+
+let pacing_of_string = function
+  | "constant" -> Some Constant
+  | "poisson" -> Some Poisson
+  | _ -> None
+
+let schedule pacing ~rate ~seed ~count =
+  if rate <= 0. then invalid_arg "Arrival.schedule: rate must be positive";
+  if count < 0 then invalid_arg "Arrival.schedule: negative count";
+  let offsets = Array.make count 0. in
+  (match pacing with
+  | Constant ->
+      let gap = 1. /. rate in
+      for i = 0 to count - 1 do
+        offsets.(i) <- float_of_int i *. gap
+      done
+  | Poisson ->
+      let prng = Prng.create seed in
+      let t = ref 0. in
+      for i = 0 to count - 1 do
+        offsets.(i) <- !t;
+        (* 1 - U is in (0, 1], so the log is finite; -ln(U')/rate is an
+           exponential gap with mean 1/rate. *)
+        t := !t +. (-.log (1. -. Prng.float prng) /. rate)
+      done);
+  offsets

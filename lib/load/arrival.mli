@@ -1,0 +1,23 @@
+(** Open-loop arrival schedules.
+
+    The generator decides {e in advance} when each request ought to
+    start, and latency is measured from that scheduled instant — not
+    from when the client got around to sending.  A closed-loop driver
+    (issue, wait, issue) silently stops offering load the moment the
+    server slows down, hiding exactly the queueing delay users feel;
+    scheduling arrivals up front makes that coordinated omission
+    impossible to commit. *)
+
+type pacing =
+  | Constant  (** Evenly spaced: arrival [i] at [i / rate]. *)
+  | Poisson
+      (** Exponentially distributed gaps with mean [1 / rate] — memoryless
+          arrivals, the standard open-system model, so bursts happen. *)
+
+val pacing_name : pacing -> string
+val pacing_of_string : string -> pacing option
+
+val schedule : pacing -> rate:float -> seed:int64 -> count:int -> float array
+(** [count] arrival offsets in seconds from the start of the run,
+    non-decreasing, deterministic in [seed] (which only Poisson
+    consults).  [rate] is arrivals per second and must be positive. *)

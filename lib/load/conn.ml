@@ -1,0 +1,138 @@
+type state = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int; (* unread window into buf *)
+  mutable len : int;
+}
+
+type t = {
+  port : int;
+  mutable state : state option;
+  mutable dials : int;
+}
+
+let create ~port = { port; state = None; dials = 0 }
+
+let dial t =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.TCP_NODELAY true;
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10.0;
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  t.dials <- t.dials + 1;
+  let s = { fd; buf = Bytes.create 65536; pos = 0; len = 0 } in
+  t.state <- Some s;
+  s
+
+let teardown t =
+  (match t.state with
+  | Some s -> ( try Unix.close s.fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.state <- None
+
+let close = teardown
+let reconnects t = max 0 (t.dials - 1)
+
+let refill s =
+  let n = Unix.read s.fd s.buf 0 (Bytes.length s.buf) in
+  if n = 0 then raise End_of_file;
+  s.pos <- 0;
+  s.len <- n
+
+let read_byte s =
+  if s.pos >= s.len then refill s;
+  let c = Bytes.get s.buf s.pos in
+  s.pos <- s.pos + 1;
+  c
+
+(* One header line, CRLF (or bare LF) stripped. *)
+let read_line s =
+  let b = Buffer.create 80 in
+  let rec go () =
+    match read_byte s with
+    | '\n' -> ()
+    | '\r' -> ( match read_byte s with '\n' -> () | c -> Buffer.add_char b c; go ())
+    | c ->
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let read_exact s n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if s.pos >= s.len then refill s;
+    let take = min (n - !filled) (s.len - s.pos) in
+    Bytes.blit s.buf s.pos out !filled take;
+    s.pos <- s.pos + take;
+    filled := !filled + take
+  done;
+  Bytes.unsafe_to_string out
+
+let write_all fd str =
+  let rec go off =
+    if off < String.length str then
+      go (off + Unix.write_substring fd str off (String.length str - off))
+  in
+  go 0
+
+let attempt t ~meth ~path ~body =
+  let s = match t.state with Some s -> s | None -> dial t in
+  write_all s.fd
+    (Printf.sprintf
+       "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\r\n%s"
+       meth path (String.length body) body);
+  let status =
+    match String.split_on_char ' ' (read_line s) with
+    | _ :: code :: _ -> (
+        match int_of_string_opt code with
+        | Some c -> c
+        | None -> failwith "malformed status line")
+    | _ -> failwith "malformed status line"
+  in
+  let content_length = ref None in
+  let server_closes = ref false in
+  let rec headers () =
+    let line = read_line s in
+    if line <> "" then begin
+      (match String.index_opt line ':' with
+      | Some i ->
+          let name = String.lowercase_ascii (String.sub line 0 i) in
+          let value =
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          if name = "content-length" then
+            content_length := int_of_string_opt value
+          else if name = "connection" && String.lowercase_ascii value = "close"
+          then server_closes := true
+      | None -> ());
+      headers ()
+    end
+  in
+  headers ();
+  let resp_body =
+    match !content_length with
+    | Some n -> read_exact s n
+    | None -> failwith "response without Content-Length on a keep-alive link"
+  in
+  if !server_closes then teardown t;
+  (status, resp_body)
+
+let request t ~meth ~path ~body =
+  match attempt t ~meth ~path ~body with
+  | result -> Ok result
+  | exception
+      (( Unix.Unix_error _ | End_of_file | Failure _ | Sys_error _ ) as e) ->
+      teardown t;
+      Error
+        (match e with
+        | Unix.Unix_error (err, _, _) -> Unix.error_message err
+        | Failure m -> m
+        | Sys_error m -> m
+        | _ -> "connection closed")

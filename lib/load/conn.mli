@@ -1,0 +1,24 @@
+(** A keep-alive HTTP/1.1 connection to the local server.
+
+    One per client domain: requests on a connection are serial (as they
+    are for a real keep-alive client), the socket is reused across
+    requests, and a broken connection is re-dialled transparently on the
+    next request (counted, so reports show connection churn).  Not
+    thread-safe — each domain owns its own. *)
+
+type t
+
+val create : port:int -> t
+(** No I/O happens until the first {!request}. *)
+
+val request :
+  t -> meth:string -> path:string -> body:string -> (int * string, string) result
+(** Issue one request and read the full response: [Ok (status, body)],
+    or [Error reason] when the transport failed (the connection is then
+    closed and the next request re-dials).  A server that answers
+    [Connection: close] also triggers a re-dial next time. *)
+
+val reconnects : t -> int
+(** Dials after the first — broken or server-closed connections. *)
+
+val close : t -> unit

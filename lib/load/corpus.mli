@@ -1,0 +1,22 @@
+(** A parameterised corpus of valid repository entries for load testing.
+
+    [generate ~entries ~seed] produces [entries] templates, each passing
+    {!Bx_repo.Template.validate}, with unique stable titles, spread over
+    the composers / bookstore / uml2rdbms families.  The output is a
+    pure function of [(entries, seed)], so a load generator given the
+    same pair as the server can reconstruct every wiki path without
+    asking — and [bxwiki gen] can print the corpus for inspection. *)
+
+val generate : entries:int -> seed:int -> Bx_repo.Template.t list
+(** Deterministic; every template is provisional (version 0.1, no
+    reviewers) so {!Bx_repo.Registry.submit} accepts it. *)
+
+val wiki_paths : entries:int -> seed:int -> string array
+(** The server URL path ("/examples:composers-load-0007"-style) of each
+    generated entry, in order. *)
+
+val seed_registry : entries:int -> seed:int -> unit -> Bx_repo.Registry.t
+(** The full catalogue ({!Bx_catalogue.Catalogue.seed}) plus the
+    generated corpus, each entry submitted as its first author — what
+    [bxwiki --gen-entries N --gen-seed S] boots from.  Raises
+    [Failure] if a generated entry is rejected (a corpus bug). *)

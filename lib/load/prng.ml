@@ -1,0 +1,29 @@
+(* splitmix64 (Steele, Lea, Flood 2014): the state walks a Weyl sequence
+   and the output mixes it through two xor-multiply rounds.  Passes
+   BigCrush, costs a handful of arithmetic ops, and — unlike [Random] —
+   carries its state explicitly so domains never share. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let of_int seed = create (Int64.of_int seed)
+
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let float t =
+  (* The top 53 bits scaled by 2^-53: uniform on [0, 1). *)
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* The low 62 bits as a non-negative OCaml int; modulo bias is
+     negligible for the small bounds the generator uses. *)
+  Int64.to_int (Int64.shift_right_logical (next t) 2) mod bound
+
+let split t = create (next t)

@@ -1,0 +1,26 @@
+(** A tiny deterministic PRNG (splitmix64) for the load generator.
+
+    Everything the generator randomises — Poisson gaps, operation picks,
+    corpus text — flows from one of these, so a (seed, parameters) pair
+    names a reproducible run.  Unlike [Random], state is explicit: each
+    client domain owns its own [t] and no locking is involved. *)
+
+type t
+
+val create : int64 -> t
+(** Seed a fresh stream.  Distinct seeds give independent streams;
+    splitmix64 has no bad seeds (even 0 is fine). *)
+
+val of_int : int -> t
+
+val next : t -> int64
+(** The next 64 raw bits. *)
+
+val float : t -> float
+(** Uniform in [0, 1), 53 bits of precision. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val split : t -> t
+(** A new stream seeded from this one — give each domain its own. *)

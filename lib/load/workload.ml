@@ -1,0 +1,119 @@
+type op =
+  | Entry_html
+  | Entry_wiki
+  | Entry_json
+  | Entry_write
+  | Index
+  | Manuscript
+  | Slens_get
+  | Slens_put
+  | Slens_batch
+
+let op_name = function
+  | Entry_html -> "entry_html"
+  | Entry_wiki -> "entry_wiki"
+  | Entry_json -> "entry_json"
+  | Entry_write -> "entry_write"
+  | Index -> "index"
+  | Manuscript -> "manuscript"
+  | Slens_get -> "slens_get"
+  | Slens_put -> "slens_put"
+  | Slens_batch -> "slens_batch"
+
+type profile = { profile_name : string; mix : (op * int) list }
+
+let read_heavy =
+  {
+    profile_name = "read-heavy";
+    mix =
+      [
+        (Entry_html, 40); (Entry_wiki, 15); (Entry_json, 10); (Index, 10);
+        (Slens_get, 12); (Slens_batch, 5); (Manuscript, 1); (Entry_write, 4);
+        (Slens_put, 3);
+      ];
+  }
+
+let write_heavy =
+  {
+    profile_name = "write-heavy";
+    mix =
+      [
+        (Entry_write, 35); (Slens_put, 10); (Slens_batch, 5);
+        (Entry_html, 25); (Entry_wiki, 10); (Entry_json, 5); (Index, 10);
+      ];
+  }
+
+let profiles = [ read_heavy; write_heavy ]
+
+let of_name name =
+  List.find_opt (fun p -> p.profile_name = name) profiles
+
+let pick profile prng =
+  let weight = List.fold_left (fun acc (_, w) -> acc + w) 0 profile.mix in
+  let roll = Prng.int prng weight in
+  let rec go acc = function
+    | [] -> assert false (* weights sum to [weight] > roll *)
+    | (op, w) :: rest -> if roll < acc + w then op else go (acc + w) rest
+  in
+  go 0 profile.mix
+
+type request = { meth : string; path : string; body : string }
+
+let rs = "\x1e"
+let us = "\x1f"
+
+(* Synthetic composer documents sized 1..8 records: small enough that a
+   request is dominated by dispatch, not lens arithmetic, large enough
+   to exercise splitting and alignment. *)
+let doc prng = Bx_catalogue.Composers_string.synthetic_source (1 + Prng.int prng 8)
+
+let entry targets prng = targets.(Prng.int prng (Array.length targets))
+
+let plan ~targets prng op =
+  if Array.length targets = 0 then invalid_arg "Workload.plan: no targets";
+  match op with
+  | Entry_html -> { meth = "GET"; path = entry targets prng; body = "" }
+  | Entry_wiki ->
+      { meth = "GET"; path = entry targets prng ^ ".wiki"; body = "" }
+  | Entry_json ->
+      { meth = "GET"; path = entry targets prng ^ ".json"; body = "" }
+  | Entry_write ->
+      (* Phase one of the read-modify-write; see [write_back]. *)
+      { meth = "GET"; path = entry targets prng ^ ".wiki"; body = "" }
+  | Index -> { meth = "GET"; path = "/"; body = "" }
+  | Manuscript -> { meth = "GET"; path = "/manuscript"; body = "" }
+  | Slens_get ->
+      { meth = "POST"; path = "/slens/composers/get"; body = doc prng }
+  | Slens_put ->
+      let k = 1 + Prng.int prng 8 in
+      {
+        meth = "POST";
+        path = "/slens/composers/put";
+        body =
+          Bx_catalogue.Composers_string.synthetic_view k ^ rs
+          ^ Bx_catalogue.Composers_string.synthetic_source k;
+      }
+  | Slens_batch ->
+      if Prng.int prng 2 = 0 then
+        {
+          meth = "POST";
+          path = "/slens/composers/get_batch";
+          body =
+            String.concat rs (List.init (2 + Prng.int prng 6) (fun _ -> doc prng));
+        }
+      else
+        {
+          meth = "POST";
+          path = "/slens/composers/put_batch";
+          body =
+            String.concat rs
+              (List.init (2 + Prng.int prng 6) (fun _ ->
+                   let k = 1 + Prng.int prng 8 in
+                   Bx_catalogue.Composers_string.synthetic_view k ^ us
+                   ^ Bx_catalogue.Composers_string.synthetic_source k));
+        }
+
+let write_back req ~body =
+  match (req.meth, Filename.chop_suffix_opt ~suffix:".wiki" req.path) with
+  | "GET", Some page -> Some { meth = "POST"; path = page; body }
+  | _ -> None

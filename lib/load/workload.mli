@@ -1,0 +1,55 @@
+(** Traffic profiles: weighted mixes of the operations a real client
+    population performs against the wiki, and the request each operation
+    turns into.
+
+    Write traffic is honest: an [Entry_write] fetches the page's wiki
+    source and posts it back, which the server parses through the
+    section 5.4 lens and publishes as a new version — so writes take the
+    registry write lock, bump the generation and invalidate the response
+    cache, exactly like a human edit. *)
+
+type op =
+  | Entry_html  (** GET /<page> — the rendered entry. *)
+  | Entry_wiki  (** GET /<page>.wiki — the lens view. *)
+  | Entry_json  (** GET /<page>.json — the export format. *)
+  | Entry_write
+      (** GET /<page>.wiki then POST /<page> — a full read-modify-write
+          revision; latency covers both requests. *)
+  | Index  (** GET / — the entry list plus catalogue search tables. *)
+  | Manuscript  (** GET /manuscript — the collected-examples export. *)
+  | Slens_get  (** POST /slens/composers/get. *)
+  | Slens_put  (** POST /slens/composers/put (RS-framed). *)
+  | Slens_batch
+      (** POST /slens/composers/get_batch or put_batch — RS/US framed
+          multi-document payloads fanned over the server's lens
+          workers. *)
+
+val op_name : op -> string
+
+type profile = { profile_name : string; mix : (op * int) list }
+(** Weights are relative integers; zero-weight ops never fire. *)
+
+val read_heavy : profile
+(** ~95% reads: entry pages in all three formats, index, lens gets,
+    some batches, a trickle of writes and manuscript renders. *)
+
+val write_heavy : profile
+(** Half the traffic revises entries or puts lens views — the profile
+    that exercises the write lock and cache invalidation. *)
+
+val profiles : profile list
+val of_name : string -> profile option
+
+val pick : profile -> Prng.t -> op
+(** Draw one operation, weights respected, deterministic in the PRNG. *)
+
+type request = { meth : string; path : string; body : string }
+
+val plan : targets:string array -> Prng.t -> op -> request
+(** The request an [op] issues against entry paths [targets] (as from
+    {!Corpus.wiki_paths}).  [Entry_write] plans its opening GET; the
+    driver posts the fetched body back to {!write_back}. *)
+
+val write_back : request -> body:string -> request option
+(** Given a planned [Entry_write] GET and the wiki text it returned, the
+    follow-up POST; [None] for every other request. *)

@@ -42,6 +42,12 @@ type t = {
   mutable repl_role_replica : bool;
   mutable repl_lag : float;
   mutable repl_behind : int;
+  (* Lock contention gauges, sampled at scrape time: (lock, mode) ->
+     (acquisitions, contended).  Contended = the acquirer had to block
+     (mutex busy, or a reader/writer held the rwlock against it). *)
+  locks : (string * string, int * int) Hashtbl.t;
+  mutable respcache_shards : int;
+  mutable respcache_entries : int;
 }
 
 let create () =
@@ -71,6 +77,9 @@ let create () =
     repl_role_replica = false;
     repl_lag = 0.;
     repl_behind = 0;
+    locks = Hashtbl.create 8;
+    respcache_shards = 1;
+    respcache_entries = 0;
   }
 
 let locked t f =
@@ -170,6 +179,20 @@ let note_replication t ~epoch ~fenced ~replica ~lag ~behind =
       t.repl_role_replica <- replica;
       t.repl_lag <- lag;
       t.repl_behind <- behind)
+
+let note_lock t ~lock ~mode ~acquisitions ~contended =
+  locked t (fun () ->
+      Hashtbl.replace t.locks (lock, mode) (acquisitions, contended))
+
+let note_respcache t ~shards ~entries =
+  locked t (fun () ->
+      t.respcache_shards <- shards;
+      t.respcache_entries <- entries)
+
+let lock_counts t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.locks []
+      |> List.sort compare)
 
 let replication_counts t =
   locked t (fun () ->
@@ -293,6 +316,29 @@ let render t =
       line "# HELP bxwiki_queue_depth Pending connections queued for a worker (sampled at scrape).";
       line "# TYPE bxwiki_queue_depth gauge";
       line "bxwiki_queue_depth %d" t.queue_depth;
+      line "# HELP bxwiki_lock_acquisitions_total Lock acquisitions by lock and mode (sampled at scrape).";
+      line "# TYPE bxwiki_lock_acquisitions_total counter";
+      let lock_rows =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.locks []
+        |> List.sort compare
+      in
+      List.iter
+        (fun ((lock, mode), (acq, _)) ->
+          line "bxwiki_lock_acquisitions_total{lock=%S,mode=%S} %d" lock mode
+            acq)
+        lock_rows;
+      line "# HELP bxwiki_lock_contended_total Lock acquisitions that had to block behind another holder.";
+      line "# TYPE bxwiki_lock_contended_total counter";
+      List.iter
+        (fun ((lock, mode), (_, cont)) ->
+          line "bxwiki_lock_contended_total{lock=%S,mode=%S} %d" lock mode cont)
+        lock_rows;
+      line "# HELP bxwiki_respcache_shards Response-cache shards (one per worker domain).";
+      line "# TYPE bxwiki_respcache_shards gauge";
+      line "bxwiki_respcache_shards %d" t.respcache_shards;
+      line "# HELP bxwiki_respcache_entries Cached rendered responses across all shards (sampled at scrape).";
+      line "# TYPE bxwiki_respcache_entries gauge";
+      line "bxwiki_respcache_entries %d" t.respcache_entries;
       line "# HELP bxwiki_replication_streamed_records_total Journal records served to followers.";
       line "# TYPE bxwiki_replication_streamed_records_total counter";
       line "bxwiki_replication_streamed_records_total %d" t.streamed_records;

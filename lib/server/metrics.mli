@@ -58,6 +58,18 @@ val note_queue_depth : t -> int -> unit
 (** Sample the pending-connection queue depth (a gauge; the service sets
     it when [/metrics] is scraped). *)
 
+val note_lock :
+  t -> lock:string -> mode:string -> acquisitions:int -> contended:int -> unit
+(** Sample one lock's contention counters (the service sets them when
+    [/metrics] is scraped): [acquisitions] since boot, and how many had
+    to block behind another holder.  Exposed as
+    [bxwiki_lock_acquisitions_total{lock,mode}] and
+    [bxwiki_lock_contended_total{lock,mode}] — the load benchmarks read
+    these to name the blocking lock when a scaling curve flattens. *)
+
+val note_respcache : t -> shards:int -> entries:int -> unit
+(** Sample the response cache's shape: shard count and total entries. *)
+
 (** {1 Replication} *)
 
 val replication_streamed : t -> records:int -> bytes:int -> unit
@@ -117,3 +129,7 @@ val journal_recovery_counts : t -> int * int
 val replication_counts : t -> int * int * int * int * int
 (** (streamed records, applied records, reconnects, snapshot bootstraps,
     epoch rejects). *)
+
+val lock_counts : t -> ((string * string) * (int * int)) list
+(** The sampled lock counters: ((lock, mode), (acquisitions, contended)),
+    sorted. *)

@@ -1,23 +1,53 @@
 type entry = { generation : int; response : Bx_repo.Webui.response }
 
-type t = {
+type shard = {
   mutex : Mutex.t;
   table : (string, entry) Hashtbl.t;
-  capacity : int;
-  metrics : Metrics.t;
 }
 
-let create ?(capacity = 256) metrics =
-  { mutex = Mutex.create (); table = Hashtbl.create 64; capacity; metrics }
+type t = {
+  shards : shard array;
+  capacity : int; (* per shard *)
+  metrics : Metrics.t;
+  acquisitions : int Atomic.t;
+  contended : int Atomic.t;
+}
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let create ?(capacity = 256) ?(shards = 1) metrics =
+  let shards = max 1 shards in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { mutex = Mutex.create (); table = Hashtbl.create 64 });
+    capacity = max 16 (capacity / shards);
+    metrics;
+    acquisitions = Atomic.make 0;
+    contended = Atomic.make 0;
+  }
+
+let shard_count t = Array.length t.shards
+
+(* Each worker domain owns one shard: lookups from different domains
+   never take the same mutex, so a cache that exists to make the read
+   path cheap cannot itself serialise the read path.  Keep-alive pins a
+   connection to one worker, so a client's reads stay warm in the shard
+   that served them. *)
+let shard_of t =
+  t.shards.((Domain.self () :> int) mod Array.length t.shards)
+
+let locked t shard f =
+  Atomic.incr t.acquisitions;
+  if not (Mutex.try_lock shard.mutex) then begin
+    Atomic.incr t.contended;
+    Mutex.lock shard.mutex
+  end;
+  Fun.protect ~finally:(fun () -> Mutex.unlock shard.mutex) f
 
 let find t ~path ~generation =
+  let shard = shard_of t in
   let found =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.table path with
+    locked t shard (fun () ->
+        match Hashtbl.find_opt shard.table path with
         | Some e when e.generation = generation -> Some e.response
         | _ -> None)
   in
@@ -27,19 +57,26 @@ let find t ~path ~generation =
   found
 
 let store t ~path ~generation response =
-  locked t (fun () ->
+  let shard = shard_of t in
+  locked t shard (fun () ->
       if
-        Hashtbl.length t.table >= t.capacity
-        && not (Hashtbl.mem t.table path)
+        Hashtbl.length shard.table >= t.capacity
+        && not (Hashtbl.mem shard.table path)
       then begin
         let stale =
           Hashtbl.fold
             (fun p e acc -> if e.generation <> generation then p :: acc else acc)
-            t.table []
+            shard.table []
         in
-        if stale = [] then Hashtbl.reset t.table
-        else List.iter (Hashtbl.remove t.table) stale
+        if stale = [] then Hashtbl.reset shard.table
+        else List.iter (Hashtbl.remove shard.table) stale
       end;
-      Hashtbl.replace t.table path { generation; response })
+      Hashtbl.replace shard.table path { generation; response })
 
-let size t = locked t (fun () -> Hashtbl.length t.table)
+let size t =
+  Array.fold_left
+    (fun acc shard ->
+      acc + locked t shard (fun () -> Hashtbl.length shard.table))
+    0 t.shards
+
+let lock_stats t = (Atomic.get t.acquisitions, Atomic.get t.contended)

@@ -1,25 +1,45 @@
 (** A cache of rendered GET responses, keyed on (path, registry
-    generation).
+    generation), sharded per worker domain.
 
     The {!Service} bumps its generation counter on every successful
     write, so a cached page is valid exactly while its generation
     matches — there is no invalidation traffic, stale entries simply
     stop being found and are swept on the next insertion past capacity.
-    Hits and misses are counted in the service's {!Metrics}. *)
+
+    The table is split into [shards] independent (mutex, hashtable)
+    pairs and each worker domain always uses the shard indexed by its
+    own domain id: domains never contend on a cache mutex, at the cost
+    of a page being rendered once per domain that serves it.  Lock
+    acquisitions and the (rare) contended ones are counted in process
+    atomics so the load benchmarks can see whether the cache is a
+    bottleneck.  Hits and misses are counted in the service's
+    {!Metrics}. *)
 
 type t
 
-val create : ?capacity:int -> Metrics.t -> t
-(** [capacity] bounds the number of cached responses (default 256). *)
+val create : ?capacity:int -> ?shards:int -> Metrics.t -> t
+(** [capacity] bounds the total number of cached responses (default 256,
+    split evenly across shards with a floor of 16 per shard); [shards]
+    is normally the worker-domain count (default 1). *)
 
 val find : t -> path:string -> generation:int -> Bx_repo.Webui.response option
-(** A hit requires both the path and the generation to match. *)
+(** A hit requires both the path and the generation to match, in the
+    calling domain's shard. *)
 
 val store :
   t -> path:string -> generation:int -> Bx_repo.Webui.response -> unit
-(** Insert (or refresh) the rendering of [path] at [generation].  When
-    the cache is full, entries from older generations are evicted first;
-    if every entry is current, the whole table is dropped (rare: it
-    means [capacity] distinct pages were rendered without a write). *)
+(** Insert (or refresh) the rendering of [path] at [generation] into the
+    calling domain's shard.  When the shard is full, entries from older
+    generations are evicted first; if every entry is current, the whole
+    shard is dropped (rare: it means a shard's capacity of distinct
+    pages was rendered without a write). *)
 
 val size : t -> int
+(** Total entries across all shards. *)
+
+val shard_count : t -> int
+
+val lock_stats : t -> int * int
+(** (acquisitions, contended acquisitions) across all shards since
+    creation — a contended acquisition is one where [Mutex.try_lock]
+    failed and the caller had to block. *)

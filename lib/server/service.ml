@@ -1,6 +1,7 @@
 type config = {
   journal_dir : string option;
   cache_capacity : int;
+  cache_shards : int;
   compact_every : int;
   max_body : int;
   read_timeout : float;
@@ -19,6 +20,7 @@ let default_config =
   {
     journal_dir = None;
     cache_capacity = 256;
+    cache_shards = 4;
     compact_every = 64;
     max_body = Httpd.default_max_body;
     read_timeout = 10.0;
@@ -45,6 +47,14 @@ module Rwlock = struct
     mutable readers : int;
     mutable writing : bool;
     mutable waiting_writers : int;
+    (* Contention accounting: every acquisition, plus the ones that had
+       to block — on the guard mutex itself or behind a conflicting
+       holder.  The load benchmarks read these to tell whether a flat
+       scaling curve is this lock's fault. *)
+    reads : int Atomic.t;
+    writes : int Atomic.t;
+    reads_contended : int Atomic.t;
+    writes_contended : int Atomic.t;
   }
 
   let create () =
@@ -55,13 +65,28 @@ module Rwlock = struct
       readers = 0;
       writing = false;
       waiting_writers = 0;
+      reads = Atomic.make 0;
+      writes = Atomic.make 0;
+      reads_contended = Atomic.make 0;
+      writes_contended = Atomic.make 0;
     }
 
+  (* Take the guard mutex, reporting whether we had to block for it. *)
+  let lock_guard t =
+    if Mutex.try_lock t.m then false
+    else begin
+      Mutex.lock t.m;
+      true
+    end
+
   let read t f =
-    Mutex.lock t.m;
+    Atomic.incr t.reads;
+    let blocked = lock_guard t in
+    let blocked = blocked || t.writing || t.waiting_writers > 0 in
     while t.writing || t.waiting_writers > 0 do
       Condition.wait t.ok_read t.m
     done;
+    if blocked then Atomic.incr t.reads_contended;
     t.readers <- t.readers + 1;
     Mutex.unlock t.m;
     Fun.protect f ~finally:(fun () ->
@@ -71,13 +96,16 @@ module Rwlock = struct
         Mutex.unlock t.m)
 
   let write t f =
-    Mutex.lock t.m;
+    Atomic.incr t.writes;
+    let blocked = lock_guard t in
+    let blocked = blocked || t.writing || t.readers > 0 in
     t.waiting_writers <- t.waiting_writers + 1;
     while t.writing || t.readers > 0 do
       Condition.wait t.ok_write t.m
     done;
     t.waiting_writers <- t.waiting_writers - 1;
     t.writing <- true;
+    if blocked then Atomic.incr t.writes_contended;
     Mutex.unlock t.m;
     Fun.protect f ~finally:(fun () ->
         Mutex.lock t.m;
@@ -85,6 +113,12 @@ module Rwlock = struct
         Condition.broadcast t.ok_read;
         Condition.signal t.ok_write;
         Mutex.unlock t.m)
+
+  let stats t =
+    ( Atomic.get t.reads,
+      Atomic.get t.reads_contended,
+      Atomic.get t.writes,
+      Atomic.get t.writes_contended )
 end
 
 type t = {
@@ -145,6 +179,15 @@ let port t = t.bound_port
 let with_registry t f = Rwlock.read t.lock (fun () -> f t.registry)
 let metrics_text t = Metrics.render t.metrics
 
+let lock_stats t =
+  let reads, reads_c, writes, writes_c = Rwlock.stats t.lock in
+  let cache_acq, cache_cont = Respcache.lock_stats t.cache in
+  [
+    ("registry", "read", reads, reads_c);
+    ("registry", "write", writes, writes_c);
+    ("respcache", "all", cache_acq, cache_cont);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Boot: snapshot, then log replay *)
 
@@ -194,7 +237,9 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
       pages_mutex = Mutex.create ();
       journal;
       metrics;
-      cache = Respcache.create ~capacity:config.cache_capacity metrics;
+      cache =
+        Respcache.create ~capacity:config.cache_capacity
+          ~shards:config.cache_shards metrics;
       gen = 0;
       replay_applied = applied;
       replay_failed = failed;
@@ -830,6 +875,13 @@ let handle_query t ~query ~meth ~path ~body =
       match meth with
       | "GET" when path = "/metrics" ->
           Metrics.note_queue_depth t.metrics (queue_depth t);
+          List.iter
+            (fun (lock, mode, acquisitions, contended) ->
+              Metrics.note_lock t.metrics ~lock ~mode ~acquisitions ~contended)
+            (lock_stats t);
+          Metrics.note_respcache t.metrics
+            ~shards:(Respcache.shard_count t.cache)
+            ~entries:(Respcache.size t.cache);
           Metrics.note_replication t.metrics ~epoch:(Atomic.get t.epoch)
             ~fenced:(fenced t)
             ~replica:(Atomic.get t.replica)

@@ -26,7 +26,10 @@ type config = {
   journal_dir : string option;
       (** durable state lives here; [None] = in-memory only (the seed
           behaviour) *)
-  cache_capacity : int;  (** rendered-page cache entries *)
+  cache_capacity : int;  (** rendered-page cache entries, across shards *)
+  cache_shards : int;
+      (** rendered-page cache shards; set to the worker-domain count so
+          domains never contend on a cache mutex (default 4) *)
   compact_every : int;
       (** snapshot + truncate once the log holds this many edits;
           [0] disables automatic compaction *)
@@ -165,6 +168,14 @@ val generation : t -> int
 
 val replay_stats : t -> int * int
 (** (records applied, records that failed to apply) during {!create}. *)
+
+val lock_stats : t -> (string * string * int * int) list
+(** Contention counters per (lock, mode): acquisitions since boot and
+    how many of them had to block.  Rows: [("registry", "read", ...)],
+    [("registry", "write", ...)], [("respcache", "all", ...)].  Also
+    exported as [bxwiki_lock_*] at [/metrics]; the load benchmarks
+    diff these across a run to name the lock that flattens a scaling
+    curve. *)
 
 val port : t -> int option
 (** The bound port while {!serve} runs. *)

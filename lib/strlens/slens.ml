@@ -547,37 +547,38 @@ let separated ~sep l =
    document sizes balance themselves; each domain reuses its own
    execution context for its whole share. *)
 
-let parallel_map ~workers f xs =
+(* The shared core: run [f] over every item, never losing a sibling's
+   result to one item's exception.  Each item's outcome is recorded
+   individually, every domain drains normally, and the caller decides
+   what a failure means — the batched lens API re-raises the first one
+   (one ill-typed document fails the whole batch), while callers that
+   fan long-lived loops across domains (the load generator's client
+   domains) keep the survivors and report the crash per item. *)
+let parallel_map_outcomes ~workers f xs =
   let arr = Array.of_list xs in
   let n = Array.length arr in
   let w = max 1 (min workers n) in
+  let out = Array.make n None in
+  let run i =
+    match
+      Bx_fault.Fault.point "slens.batch.worker";
+      f arr.(i)
+    with
+    | result -> out.(i) <- Some (Ok result)
+    | exception exn ->
+        out.(i) <- Some (Error (exn, Printexc.get_raw_backtrace ()))
+  in
   if w = 1 then
-    List.map
-      (fun x ->
-        Bx_fault.Fault.point "slens.batch.worker";
-        f x)
-      xs
+    for i = 0 to n - 1 do
+      run i
+    done
   else begin
-    let out = Array.make n "" in
     let next = Atomic.make 0 in
-    (* A worker that throws (a type error on one document, an injected
-       fault) must not leave its siblings unjoined: the first exception
-       is parked, every domain drains normally, and the exception is
-       re-raised only after the join. *)
-    let failure = Atomic.make None in
     let worker () =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (match
-             Bx_fault.Fault.point "slens.batch.worker";
-             f arr.(i)
-           with
-          | result -> out.(i) <- result
-          | exception exn ->
-              ignore
-                (Atomic.compare_and_set failure None
-                   (Some (exn, Printexc.get_raw_backtrace ()))));
+          run i;
           go ()
         end
       in
@@ -585,12 +586,24 @@ let parallel_map ~workers f xs =
     in
     let helpers = List.init (w - 1) (fun _ -> Domain.spawn worker) in
     worker ();
-    List.iter Domain.join helpers;
-    (match Atomic.get failure with
-    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
-    | None -> ());
-    Array.to_list out
-  end
+    List.iter Domain.join helpers
+  end;
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) out)
+
+let parallel_map ~workers f xs =
+  List.map
+    (function
+      | Ok r -> r
+      | Error (exn, bt) -> Printexc.raise_with_backtrace exn bt)
+    (parallel_map_outcomes ~workers f xs)
+
+let parallel_map_results ~workers f xs =
+  List.map
+    (function
+      | Ok r -> Ok r
+      | Error (exn, _) -> Error (Printexc.to_string exn))
+    (parallel_map_outcomes ~workers f xs)
 
 let get_all ?(workers = 1) l sources = parallel_map ~workers l.get sources
 

@@ -284,7 +284,7 @@ let export_cmd =
 
 let import_cmd =
   let run dir =
-    match Store.load ~dir with
+    match Store.load ~dir () with
     | Error e ->
         Fmt.epr "bxrepo: %s@." e;
         exit 1

@@ -7,26 +7,33 @@
 
 let usage () =
   prerr_endline
-    "usage: bxwiki [PORT] [--port PORT] [--journal DIR] [--workers N]\n\
-    \              [--port-file FILE] [--compact-every N] [--failpoints SPEC]\n\
-    \              [--gen-entries N] [--gen-seed S] [--quiet]\n\
+    "usage: bxwiki [PORT] [--port PORT] [--journal DIR] [--shards N]\n\
+    \              [--workers N] [--port-file FILE] [--compact-every N]\n\
+    \              [--failpoints SPEC] [--gen-entries N] [--gen-seed S]\n\
+    \              [--quiet]\n\
     \       bxwiki replica --replicate-from [HOST:]PORT [--port PORT]\n\
-    \              [--journal DIR] [--workers N] [--port-file FILE]\n\
-    \              [--lag-threshold S] [--poll-wait S] [--compact-every N]\n\
-    \              [--failpoints SPEC] [--quiet]\n\
+    \              [--journal DIR] [--shards N] [--workers N]\n\
+    \              [--port-file FILE] [--lag-threshold S] [--poll-wait S]\n\
+    \              [--compact-every N] [--failpoints SPEC] [--quiet]\n\
     \       bxwiki client [--port PORT] [--port-file FILE] [--retries N]\n\
     \              [--max-sleep S] [--fallback [HOST:]PORT] [--data BODY]\n\
     \              [--body-file FILE] METH PATH\n\
     \       bxwiki gen --entries N [--seed S] [--format titles|paths|wiki]\n\
     \       bxwiki loadgen [--port PORT] [--port-file FILE] [--rate RPS]\n\
     \              [--warmup S] [--duration S] [--domains N]\n\
-    \              [--profile read-heavy|write-heavy|all] [--pacing MODE]\n\
+    \              [--profile read-heavy|write-heavy|search-heavy|all]\n\
+    \              [--pacing MODE]\n\
     \              [--entries N] [--seed S] [--scaling 1,2,4,8]\n\
     \              [--scaling-rate RPS] [--out FILE]\n\n\
      --port 0 binds an ephemeral port (written to --port-file).\n\
      With --journal DIR every accepted edit is fsync'd to DIR/journal.log\n\
      before the response is sent, and restarts replay it on top of\n\
      DIR/snapshot; without it, state is in-process only.\n\
+     --shards N partitions the registry into N identifier-hashed shards,\n\
+     each with its own lock, journal segment and snapshot; the count is\n\
+     part of the on-disk layout, so reopen a journal directory with the\n\
+     same --shards (a legacy single-segment directory is migrated in\n\
+     place), and give replicas the same --shards as their primary.\n\
      --failpoints arms the fault-injection subsystem (site=ACTION;...)\n\
      and mounts the PUT /debug/failpoints admin route, as does setting\n\
      BXWIKI_FAILPOINTS in the environment.\n\n\
@@ -304,6 +311,7 @@ let server_main ~replica args =
   let failpoints = ref None in
   let quiet = ref false in
   let compact_every = ref Bx_server.Service.default_config.compact_every in
+  let shards = ref Bx_server.Service.default_config.shards in
   let gen_entries = ref 0 in
   let gen_seed = ref 1 in
   let replicate_from = ref None in
@@ -332,6 +340,9 @@ let server_main ~replica args =
         workers := max 1 (int_arg "--workers" v);
         parse rest
     | "--journal" :: v :: rest -> journal_dir := Some v; parse rest
+    | "--shards" :: v :: rest ->
+        shards := max 1 (int_arg "--shards" v);
+        parse rest
     | "--port-file" :: v :: rest -> port_file := Some v; parse rest
     | "--failpoints" :: v :: rest -> failpoints := Some v; parse rest
     | "--compact-every" :: v :: rest ->
@@ -375,6 +386,7 @@ let server_main ~replica args =
     {
       Bx_server.Service.default_config with
       journal_dir = !journal_dir;
+      shards = !shards;
       compact_every = !compact_every;
       (* One response-cache shard per worker domain: see Respcache. *)
       cache_shards = !workers;
@@ -399,8 +411,9 @@ let server_main ~replica args =
   in
   let seed =
     if !gen_entries > 0 then
-      Bx_load.Corpus.seed_registry ~entries:!gen_entries ~seed:!gen_seed
-    else Bx_catalogue.Catalogue.seed
+      Bx_load.Corpus.seed_registry ~shards:!shards ~entries:!gen_entries
+        ~seed:!gen_seed
+    else fun () -> Bx_catalogue.Catalogue.seed ~shards:!shards ()
   in
   match Bx_server.Service.create ~config ~pages ~lenses ~seed () with
   | Error e ->

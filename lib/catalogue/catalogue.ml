@@ -25,8 +25,8 @@ let find title =
     (fun tmpl -> String.uppercase_ascii tmpl.Bx_repo.Template.title = t)
     (all ())
 
-let seed () =
-  let registry = Bx_repo.Registry.create () in
+let seed ?shards () =
+  let registry = Bx_repo.Registry.create ?shards () in
   List.iter
     (fun template ->
       let submitter =

@@ -11,7 +11,7 @@ val all : unit -> Bx_repo.Template.t list
 val find : string -> Bx_repo.Template.t option
 (** Look up a catalogue template by title (case-insensitive). *)
 
-val seed : unit -> Bx_repo.Registry.t
+val seed : ?shards:int -> unit -> Bx_repo.Registry.t
 (** A registry populated with the full catalogue, submitted by each
     entry's first author.  Raises [Failure] if any entry fails template
     validation — the test suite relies on this never happening. *)

@@ -12,7 +12,16 @@
       valid;
     - identifiers are stable; citation strings are generated per version;
     - the whole store exports to (and re-imports from) wiki pages through
-      the {!Sync} lens. *)
+      the {!Sync} lens.
+
+    The store is partitioned into identifier-hashed {e shards} (default 1)
+    so lookup, mutation and persistence cost are independent of catalogue
+    size: every entry lives in exactly one shard, chosen by a stable hash
+    of its canonical identifier.  Each shard additionally maintains
+    incremental secondary indexes (by author, tag, example class, property
+    claim and curation state), kept transactionally in step with every
+    mutation, so {!search} is posting-list intersection rather than a full
+    scan. *)
 
 type t
 
@@ -24,11 +33,34 @@ type error =
 
 val error_message : error -> string
 
-val create : unit -> t
+val create : ?shards:int -> unit -> t
+(** [create ?shards ()] makes an empty registry partitioned into [shards]
+    identifier-hashed shards (default [1]).  Raises [Invalid_argument] if
+    [shards < 1]. *)
+
 val ids : t -> Identifier.t list
 (** Sorted. *)
 
+val ids_page : t -> offset:int -> limit:int -> Identifier.t list
+(** A slice of the catalogue in submission order: identifiers at
+    positions [offset .. offset + limit - 1].  Costs O(limit), not
+    O(catalogue) — submission positions are looked up directly, which is
+    what keeps a paginated index page flat-latency at any catalogue
+    size. *)
+
 val size : t -> int
+
+(** {1 Shards} *)
+
+val shard_count : t -> int
+
+val shard_of_id : t -> Identifier.t -> int
+(** The shard an identifier hashes to.  Stable across runs: the hash is
+    part of the on-disk layout (journal segment assignment). *)
+
+val shard_ids : t -> int -> Identifier.t list
+(** Sorted identifiers living in one shard.  Raises [Invalid_argument] if
+    the shard index is out of range. *)
 
 (** {1 Contribution workflow} *)
 
@@ -73,18 +105,35 @@ val find_version : t -> Identifier.t -> Version.t -> (Template.t, error) result
 val versions : t -> Identifier.t -> (Version.t list, error) result
 (** Oldest first. *)
 
+(** Where an entry sits in the curation lifecycle: freshly submitted
+    ([Provisional]), endorsed by at least one reviewer but not yet approved
+    ([Endorsed]), or approved to a non-provisional version
+    ([Published]). *)
+type curation_state = Provisional | Endorsed | Published
+
+val state_name : curation_state -> string
+val state_of_name : string -> curation_state option
+
 type query = {
   q_class : Template.example_class option;
   q_property : Bx.Properties.claim option;
   q_text : string option;  (** Case-insensitive substring over all fields. *)
+  q_author : string option;  (** Case-insensitive exact author name. *)
+  q_tag : string option;  (** Case-insensitive exact variant name. *)
+  q_state : curation_state option;
 }
 
-val query : ?cls:Template.example_class -> ?property:Bx.Properties.claim
-  -> ?text:string -> unit -> query
+val query :
+  ?cls:Template.example_class -> ?property:Bx.Properties.claim
+  -> ?text:string -> ?author:string -> ?tag:string -> ?state:curation_state
+  -> unit -> query
 
 val search : t -> query -> Identifier.t list
 (** Identifiers of entries whose latest version matches all given
-    criteria. *)
+    criteria, sorted.  Class, property, author, tag and curation-state
+    criteria are answered from the incremental shard indexes (posting-list
+    intersection); free text is a post-filter over the candidates (or a
+    scan when it is the only criterion). *)
 
 (** {1 Citations and export} *)
 
@@ -98,9 +147,25 @@ val export : t -> (string * string) list
 (** All versions of all entries as (path, wiki text) pairs — the local,
     wiki-markup-independent copy of section 5.4.  Paths look like
     ["examples:composers/0.1"]; the latest version is additionally
-    exported at ["examples:composers"]. *)
+    exported at ["examples:composers"].  Submission-order stable. *)
 
-val import : (string * string) list -> (t, string) result
+val export_shard : t -> int -> (string * string) list
+(** Like {!export} restricted to one shard, letting callers stream a big
+    catalogue shard-by-shard instead of materialising all pages at once.
+    The concatenation over all shards is a permutation of {!export}.
+    Raises [Invalid_argument] if the shard index is out of range. *)
+
+val import : ?shards:int -> (string * string) list -> (t, string) result
 (** Rebuild a registry from an {!export} dump (versioned pages only; the
-    latest-version aliases are ignored).  Round-trips with {!export} up to
-    page ordering. *)
+    latest-version aliases are ignored), partitioned into [shards]
+    (default 1).  Round-trips with {!export} up to page ordering; entries
+    re-hash to shards, so the shard count may differ from the registry
+    that produced the dump. *)
+
+val overlay : t -> (string * string) list -> (unit, string) result
+(** Lay an {!export}-format page dump over an existing registry: an
+    entry already present is replaced wholesale (history and indexes;
+    its submission order is kept, pending comments are dropped — a
+    snapshot does not carry them), a new one is appended.  Lets a
+    sharded boot start from the seed and fold in per-shard snapshot
+    pages without rebuilding from scratch. *)

@@ -56,43 +56,66 @@ let index_page registry =
   String.concat "\n"
     (("+ Index" :: "" :: lines) @ [ "" ])
 
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    failwith (dir ^ " exists and is not a directory")
+
+(* Write one entry-set's pages and JSON sidecars under [dir]; the caller
+   decides which slice of the registry to persist ({!save} = all entries,
+   {!save_shard} = one shard).  Cost is proportional to the pages written,
+   not to catalogue size. *)
+let save_pages ~dir registry pages latest_ids =
+  List.iter
+    (fun (path, text) ->
+      write_file (Filename.concat dir (page_filename path)) text)
+    pages;
+  (* JSON sidecars for the latest version of each entry: the
+     structured interchange form of section 5.1, alongside the wiki
+     markup. *)
+  let sidecars =
+    List.filter_map
+      (fun id ->
+        match Registry.latest registry id with
+        | Error _ -> None
+        | Ok template ->
+            let file =
+              String.map
+                (function ':' | '/' -> '_' | c -> c)
+                (Identifier.wiki_path id)
+              ^ ".json"
+            in
+            Some (file, Json_codec.to_string ~indent:2 template ^ "\n"))
+      latest_ids
+  in
+  List.iter
+    (fun (file, contents) -> write_file (Filename.concat dir file) contents)
+    sidecars;
+  List.length pages + List.length sidecars
+
 let save ~dir registry =
   try
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
-    else if not (Sys.is_directory dir) then
-      failwith (dir ^ " exists and is not a directory");
-    let pages = Registry.export registry in
-    List.iter
-      (fun (path, text) ->
-        write_file (Filename.concat dir (page_filename path)) text)
-      pages;
-    (* JSON sidecars for the latest version of each entry: the
-       structured interchange form of section 5.1, alongside the wiki
-       markup. *)
-    let sidecars =
-      List.filter_map
-        (fun id ->
-          match Registry.latest registry id with
-          | Error _ -> None
-          | Ok template ->
-              let file =
-                String.map
-                  (function ':' | '/' -> '_' | c -> c)
-                  (Identifier.wiki_path id)
-                ^ ".json"
-              in
-              Some (file, Json_codec.to_string ~indent:2 template ^ "\n"))
+    ensure_dir dir;
+    let written =
+      save_pages ~dir registry (Registry.export registry)
         (Registry.ids registry)
     in
-    List.iter
-      (fun (file, contents) -> write_file (Filename.concat dir file) contents)
-      sidecars;
     write_file (Filename.concat dir "INDEX.wiki") (index_page registry);
-    Ok (List.length pages + List.length sidecars + 1)
+    Ok (written + 1)
   with
   | Sys_error e | Failure e -> Error e
 
-let load ~dir =
+let save_shard ~dir registry shard =
+  try
+    ensure_dir dir;
+    Ok
+      (save_pages ~dir registry
+         (Registry.export_shard registry shard)
+         (Registry.shard_ids registry shard))
+  with
+  | Sys_error e | Failure e -> Error e
+
+let load_pages ~dir =
   try
     if not (Sys.file_exists dir && Sys.is_directory dir) then
       failwith (dir ^ " is not a directory");
@@ -106,14 +129,18 @@ let load ~dir =
              | Some version ->
                  Some (version, read_file (Filename.concat dir name)))
     in
-    (* Reuse Registry.import by rebuilding (path, text) pairs: import only
-       needs the version after the slash. *)
-    let as_pages =
-      List.mapi
-        (fun i (version, text) ->
-          (Printf.sprintf "page%d/%s" i (Version.to_string version), text))
-        pages
-    in
-    Registry.import as_pages
+    (* Rebuild (path, text) pairs for Registry.import: import only needs
+       the version after the slash — entry identity comes from the page
+       contents, so the synthetic path prefix just has to be unique. *)
+    Ok
+      (List.mapi
+         (fun i (version, text) ->
+           (Printf.sprintf "page%d/%s" i (Version.to_string version), text))
+         pages)
   with
   | Sys_error e | Failure e -> Error e
+
+let load ?shards ~dir () =
+  match load_pages ~dir with
+  | Error e -> Error e
+  | Ok as_pages -> Registry.import ?shards as_pages

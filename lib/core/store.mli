@@ -18,10 +18,20 @@ val save : dir:string -> Registry.t -> (int, string) result
     leaves a truncated page; on failure the error names the first path
     that could not be written. *)
 
-val load : dir:string -> (Registry.t, string) result
-(** Rebuild a registry from a directory written by {!save}.  Only
-    versioned pages participate (latest-aliases and the index are
-    ignored). *)
+val save_shard : dir:string -> Registry.t -> int -> (int, string) result
+(** Like {!save} restricted to one registry shard (no [INDEX.wiki]):
+    the per-shard snapshot used by segmented-journal compaction.  Cost is
+    proportional to the shard, not the catalogue. *)
+
+val load : ?shards:int -> dir:string -> unit -> (Registry.t, string) result
+(** Rebuild a registry from a directory written by {!save}, partitioned
+    into [shards] (default 1).  Only versioned pages participate
+    (latest-aliases and the index are ignored). *)
+
+val load_pages : dir:string -> ((string * string) list, string) result
+(** The import-ready (path, text) pairs stored under [dir] — what {!load}
+    feeds to {!Registry.import}.  Exposed so a boot sequence can merge
+    pages from several per-shard snapshot directories and import once. *)
 
 val page_filename : string -> string
 (** The file name used for a wiki path (exposed for tests). *)

@@ -20,14 +20,114 @@ let respond ?(content_type = "text/html; charset=utf-8") status body =
 let not_found path =
   respond 404 (html_page ~title:"Not found" ("<h1>No such page</h1><p>" ^ Markup.html_escape path ^ "</p>"))
 
-let index_page registry =
+(* {2 Query strings}
+
+   [Httpd] lives above this library, so the handler does its own query
+   parsing — including percent-decoding, which search values (spaces in
+   author names) need. *)
+
+let urldecode s =
+  let buf = Buffer.create (String.length s) in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | '+' ->
+          Buffer.add_char buf ' ';
+          go (i + 1)
+      | '%' when i + 2 < n -> (
+          match (hex s.[i + 1], hex s.[i + 2]) with
+          | Some h, Some l ->
+              Buffer.add_char buf (Char.chr ((h * 16) + l));
+              go (i + 3)
+          | _ ->
+              Buffer.add_char buf '%';
+              go (i + 1))
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let query_params query =
+  if query = "" then []
+  else
+    List.filter_map
+      (fun pair ->
+        if pair = "" then None
+        else
+          match String.index_opt pair '=' with
+          | None -> Some (urldecode pair, "")
+          | Some i ->
+              Some
+                ( urldecode (String.sub pair 0 i),
+                  urldecode
+                    (String.sub pair (i + 1) (String.length pair - i - 1)) ))
+      (String.split_on_char '&' query)
+
+(* {2 The paginated index}
+
+   The entry list is sliced by submission order ([Registry.ids_page]), so
+   rendering one page costs O(page size) whatever the catalogue holds.
+   The cross-reference index is itself a whole-catalogue scan, so it only
+   appears while the catalogue is small enough for that to be free. *)
+
+let index_per_page_default = 100
+let index_with_crossref_max = 200
+
+let index_page registry query =
+  let params = query_params query in
+  let int_param name default =
+    match List.assoc_opt name params with
+    | None -> default
+    | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
+  in
+  let per_page =
+    max 1 (min 1000 (int_param "per_page" index_per_page_default))
+  in
+  let total = Registry.size registry in
+  let pages = max 1 ((total + per_page - 1) / per_page) in
+  let page = max 1 (min pages (int_param "page" 1)) in
+  let offset = (page - 1) * per_page in
   let entry_list =
     Markup.Bullets
       (List.map
          (fun id ->
            let path = Identifier.wiki_path id in
            Printf.sprintf "%s — /%s" (Identifier.to_string id) path)
-         (Registry.ids registry))
+         (Registry.ids_page registry ~offset ~limit:per_page))
+  in
+  let nav =
+    if pages <= 1 then []
+    else
+      let link p label =
+        Markup.Link
+          {
+            target = Printf.sprintf "/?page=%d&per_page=%d" p per_page;
+            label;
+          }
+      in
+      [
+        Markup.Para
+          ((if page > 1 then [ link (page - 1) "newer"; Markup.Text " · " ]
+            else [])
+          @ [
+              Markup.Text
+                (Printf.sprintf "page %d of %d (%d entries)" page pages total);
+            ]
+          @
+          if page < pages then [ Markup.Text " · "; link (page + 1) "older" ]
+          else []);
+      ]
   in
   let doc =
     [
@@ -42,7 +142,9 @@ let index_page registry =
       Markup.Heading (2, "Entries");
       entry_list;
     ]
-    @ Catalogue_index.render registry
+    @ nav
+    @ (if total <= index_with_crossref_max then Catalogue_index.render registry
+       else [])
   in
   respond 200 (html_page ~title:Citation.repository_name (Markup.to_html doc))
 
@@ -73,6 +175,88 @@ let find_entry registry page =
       | Ok template -> Some (id, template)
       | Error _ -> None)
 
+(* {2 Search}
+
+   A thin HTML front on {!Registry.search}: every parameter narrows the
+   result, unknown names are a 400 (a typo'd class silently matching
+   nothing would be worse), and the criteria the indexes answer make the
+   whole thing flat-latency at catalogue scale. *)
+
+let search_page registry query =
+  let params = query_params query in
+  let param name =
+    match List.assoc_opt name params with
+    | Some "" | None -> None
+    | Some v -> Some v
+  in
+  let bad what v =
+    Error (Printf.sprintf "unknown %s %S" what v)
+  in
+  let parse_opt what of_name = function
+    | None -> Ok None
+    | Some v -> (
+        match of_name v with Some x -> Ok (Some x) | None -> bad what v)
+  in
+  let ( let* ) = Result.bind in
+  let built =
+    let* cls = parse_opt "class" Template.class_of_name (param "class") in
+    let* property =
+      parse_opt "property" Bx.Properties.claim_of_name (param "property")
+    in
+    let* state = parse_opt "state" Registry.state_of_name (param "state") in
+    let text =
+      match param "text" with Some _ as t -> t | None -> param "q"
+    in
+    Ok
+      {
+        Registry.q_class = cls;
+        q_property = property;
+        q_text = text;
+        q_author = param "author";
+        q_tag = param "tag";
+        q_state = state;
+      }
+  in
+  match built with
+  | Error e ->
+      respond 400
+        (html_page ~title:"Bad search" ("<p>" ^ Markup.html_escape e ^ "</p>"))
+  | Ok q ->
+      let ids = Registry.search registry q in
+      let describe =
+        List.filter_map
+          (fun (name, value) ->
+            Option.map (fun v -> name ^ "=" ^ v) value)
+          [
+            ("class", param "class");
+            ("property", param "property");
+            ("author", param "author");
+            ("tag", param "tag");
+            ("state", param "state");
+            ("text", (match param "text" with None -> param "q" | t -> t));
+          ]
+      in
+      let doc =
+        [
+          Markup.Heading (1, "Search");
+          Markup.Para
+            [
+              Markup.Text
+                (Printf.sprintf "%d match%s%s" (List.length ids)
+                   (if List.length ids = 1 then "" else "es")
+                   (if describe = [] then ""
+                    else " for " ^ String.concat ", " describe));
+            ];
+          Markup.Bullets
+            (List.map
+               (fun id ->
+                 Printf.sprintf "%s — /%s" (Identifier.to_string id)
+                   (Identifier.wiki_path id))
+               ids);
+        ]
+      in
+      respond 200 (html_page ~title:"Search" (Markup.to_html doc))
+
 let glossary_page () =
   let doc =
     Markup.Heading (1, "Glossary")
@@ -83,8 +267,33 @@ let glossary_page () =
   in
   respond 200 (html_page ~title:"Glossary" (Markup.to_html doc))
 
-let get registry path =
-  if path = "/" || path = "" then index_page registry
+(* The identifier a request path concerns, if it is an entry route at
+   all: "/examples:composers.wiki" -> the composers identifier.  This is
+   static routing — the entry need not exist — which is what lets a
+   sharded service pick the right shard lock (and journal segment)
+   before touching the registry. *)
+let page_identifier path =
+  if
+    path = "/" || path = "" || path = "/glossary" || path = "/manuscript"
+    || path = "/search"
+  then None
+  else if String.length path < 1 || path.[0] <> '/' then None
+  else
+    let page, _ =
+      split_extension (String.sub path 1 (String.length path - 1))
+    in
+    let name =
+      match String.index_opt page ':' with
+      | Some i -> String.sub page (i + 1) (String.length page - i - 1)
+      | None -> page
+    in
+    match Identifier.of_string name with
+    | Error _ -> None
+    | Ok id -> Some id
+
+let get registry ~query path =
+  if path = "/" || path = "" then index_page registry query
+  else if path = "/search" then search_page registry query
   else if path = "/glossary" then glossary_page ()
   else if path = "/manuscript" then
     match Markup.parse (Manuscript.generate registry) with
@@ -144,15 +353,15 @@ let post ~editor registry path body =
 
 let default_editor = Curation.account ~role:Curation.Curator "wiki"
 
-let handle ?(editor = default_editor) ?(pages = []) registry ~meth ~path ~body
-    =
+let handle ?(editor = default_editor) ?(pages = []) ?(query = "") registry
+    ~meth ~path ~body =
   match String.uppercase_ascii meth with
   | "GET" -> (
       match List.assoc_opt path pages with
       | Some render ->
           let title, fragment = render () in
           respond 200 (html_page ~title fragment)
-      | None -> get registry path)
+      | None -> get registry ~query path)
   | "POST" -> post ~editor registry path body
   | _ ->
       respond 405

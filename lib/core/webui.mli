@@ -3,7 +3,12 @@
     it directly.
 
     Routes (paths are wiki paths, e.g. ["/examples:composers"]):
-    - [GET /] — the index page (entry list and cross-reference index);
+    - [GET /] — the index page: the entry list in submission order,
+      paginated ([?page=N&per_page=M], default 100 per page), with the
+      cross-reference index appended while the catalogue is small;
+    - [GET /search] — query the catalogue by [class], [property],
+      [author], [tag], [state] and/or free [text] (alias [q]), answered
+      from the registry's secondary indexes;
     - [GET /<page>] — an entry's latest version as HTML;
     - [GET /<page>.wiki] — the raw wiki text (the {!Sync} get direction);
     - [GET /<page>.json] — the structured form ({!Json_codec});
@@ -26,12 +31,23 @@ type response = {
 
 val handle :
   ?editor:Curation.account -> ?pages:(string * (unit -> string * string)) list
+  -> ?query:string
   -> Registry.t -> meth:string -> path:string -> body:string -> response
 (** [editor] defaults to a curator account named ["wiki"] (curators may
     edit anything, which is what a self-hosted wiki wants).  [pages] adds
     extra GET routes: each maps a path to a thunk producing (title, HTML
     fragment) — how the server mounts content from libraries this one
-    cannot depend on (the live verification report, say). *)
+    cannot depend on (the live verification report, say).  [query] is the
+    raw (still percent-encoded) query string; the index and [/search]
+    read it, every other route ignores it. *)
+
+val page_identifier : string -> Identifier.t option
+(** The identifier a request path addresses, when it is an entry route:
+    ["/examples:composers.wiki"] yields the composers identifier; [/],
+    [/search], [/glossary], [/manuscript] and malformed names yield
+    [None].  Purely syntactic — the entry need not exist — so a sharded
+    server can route a request to its registry shard before taking any
+    lock. *)
 
 val html_page : title:string -> string -> string
 (** Wrap an HTML fragment in the wiki's page chrome (exposed for the

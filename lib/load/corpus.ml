@@ -75,6 +75,19 @@ let authors =
     Contributor.make ~affiliation:"Load Corpus" "Dana Probe";
   |]
 
+(* Rotate property claims so searches by claimed property hit every
+   bucket; kept to combinations the validator accepts. *)
+let property_claims =
+  Bx.Properties.
+    [|
+      [ Satisfies Correct ];
+      [ Satisfies Correct; Satisfies Hippocratic ];
+      [ Satisfies Well_behaved ];
+      [ Satisfies Undoable; Violates Least_change ];
+      [ Violates Oblivious ];
+      [];
+    |]
+
 let pick prng arr = arr.(Prng.int prng (Array.length arr))
 
 let sentences prng n mk =
@@ -112,6 +125,7 @@ let template prng i =
           (Printf.sprintf "Alternative handling of %s." (pick prng aspects)))
   in
   Template.make ~title ~classes ~overview
+    ~properties:(pick prng property_claims)
     ~models:
       [
         Template.model_desc ?meta_model:m1m ~name:m1n m1d;
@@ -143,8 +157,8 @@ let wiki_paths ~entries ~seed =
          | Error e -> failwith ("Corpus.wiki_paths: " ^ e))
   |> Array.of_list
 
-let seed_registry ~entries ~seed () =
-  let registry = Bx_catalogue.Catalogue.seed () in
+let seed_registry ?shards ~entries ~seed () =
+  let registry = Bx_catalogue.Catalogue.seed ?shards () in
   List.iter
     (fun t ->
       let submitter =

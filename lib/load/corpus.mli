@@ -15,7 +15,8 @@ val wiki_paths : entries:int -> seed:int -> string array
 (** The server URL path ("/examples:composers-load-0007"-style) of each
     generated entry, in order. *)
 
-val seed_registry : entries:int -> seed:int -> unit -> Bx_repo.Registry.t
+val seed_registry :
+  ?shards:int -> entries:int -> seed:int -> unit -> Bx_repo.Registry.t
 (** The full catalogue ({!Bx_catalogue.Catalogue.seed}) plus the
     generated corpus, each entry submitted as its first author — what
     [bxwiki --gen-entries N --gen-seed S] boots from.  Raises

@@ -4,6 +4,7 @@ type op =
   | Entry_json
   | Entry_write
   | Index
+  | Search
   | Manuscript
   | Slens_get
   | Slens_put
@@ -15,6 +16,7 @@ let op_name = function
   | Entry_json -> "entry_json"
   | Entry_write -> "entry_write"
   | Index -> "index"
+  | Search -> "search"
   | Manuscript -> "manuscript"
   | Slens_get -> "slens_get"
   | Slens_put -> "slens_put"
@@ -43,7 +45,17 @@ let write_heavy =
       ];
   }
 
-let profiles = [ read_heavy; write_heavy ]
+let search_heavy =
+  {
+    profile_name = "search-heavy";
+    mix =
+      [
+        (Search, 50); (Entry_html, 20); (Entry_wiki, 5); (Entry_json, 5);
+        (Index, 10); (Entry_write, 10);
+      ];
+  }
+
+let profiles = [ read_heavy; write_heavy; search_heavy ]
 
 let of_name name =
   List.find_opt (fun p -> p.profile_name = name) profiles
@@ -69,6 +81,25 @@ let doc prng = Bx_catalogue.Composers_string.synthetic_source (1 + Prng.int prng
 
 let entry targets prng = targets.(Prng.int prng (Array.length targets))
 
+(* Queries the registry's secondary indexes answer; values are already
+   percent-encoded as they would arrive on the wire.  Drawn from the
+   corpus generator's own pools, so most queries have hits. *)
+let search_paths =
+  [|
+    "/search?author=Ada%20Driver";
+    "/search?author=basil%20meter";
+    "/search?author=Chidi%20Gauge&class=SKETCH";
+    "/search?class=PRECISE";
+    "/search?class=sketch&state=provisional";
+    "/search?class=BENCHMARK&property=correct";
+    "/search?property=correct";
+    "/search?property=not%20least-change";
+    "/search?property=well-behaved";
+    "/search?state=provisional";
+    "/search?tag=v0-keyed";
+    "/search?tag=v1-journaled&state=provisional";
+  |]
+
 let plan ~targets prng op =
   if Array.length targets = 0 then invalid_arg "Workload.plan: no targets";
   match op with
@@ -81,6 +112,12 @@ let plan ~targets prng op =
       (* Phase one of the read-modify-write; see [write_back]. *)
       { meth = "GET"; path = entry targets prng ^ ".wiki"; body = "" }
   | Index -> { meth = "GET"; path = "/"; body = "" }
+  | Search ->
+      {
+        meth = "GET";
+        path = search_paths.(Prng.int prng (Array.length search_paths));
+        body = "";
+      }
   | Manuscript -> { meth = "GET"; path = "/manuscript"; body = "" }
   | Slens_get ->
       { meth = "POST"; path = "/slens/composers/get"; body = doc prng }

@@ -16,6 +16,10 @@ type op =
       (** GET /<page>.wiki then POST /<page> — a full read-modify-write
           revision; latency covers both requests. *)
   | Index  (** GET / — the entry list plus catalogue search tables. *)
+  | Search
+      (** GET /search with indexed criteria (class, property, author,
+          tag, state) — answered by posting-list intersection, so
+          latency should not grow with the catalogue. *)
   | Manuscript  (** GET /manuscript — the collected-examples export. *)
   | Slens_get  (** POST /slens/composers/get. *)
   | Slens_put  (** POST /slens/composers/put (RS-framed). *)
@@ -36,6 +40,11 @@ val read_heavy : profile
 val write_heavy : profile
 (** Half the traffic revises entries or puts lens views — the profile
     that exercises the write lock and cache invalidation. *)
+
+val search_heavy : profile
+(** Half the traffic queries [/search] with indexed criteria, the rest
+    browses and occasionally writes — the profile that shows whether
+    search latency stays flat as the catalogue grows. *)
 
 val profiles : profile list
 val of_name : string -> profile option

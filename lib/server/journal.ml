@@ -325,9 +325,8 @@ let open_ ~dir ~next_seq =
   | Sys_error e | Failure e -> Error e
   | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
 
-let append t ~path ~body =
+let append_at t ~seq ~path ~body =
   try
-    let seq = t.next_seq in
     Bx_fault.Fault.point "journal.append.pre_write";
     write_all t.fd (encode ~seq ~path ~body);
     Bx_fault.Fault.point "journal.append.pre_fsync";
@@ -340,6 +339,19 @@ let append t ~path ~body =
   | Unix.Unix_error (e, _, arg) ->
       Error (Printf.sprintf "journal append: %s: %s" arg (Unix.error_message e))
   | Bx_fault.Fault.Injected m -> Error (Printf.sprintf "journal append: %s" m)
+
+let append t ~path ~body = append_at t ~seq:t.next_seq ~path ~body
+
+(* Sharded layouts allocate sequence numbers from one global counter and
+   fan records across per-shard segment files, so a segment's records are
+   dense in the *global* space but sparse locally: appends must be able to
+   skip ahead.  Going backwards would corrupt replay ordering. *)
+let append_seq t ~seq ~path ~body =
+  if seq < t.next_seq then
+    Error
+      (Printf.sprintf "journal append: seq %d below segment floor %d" seq
+         t.next_seq)
+  else append_at t ~seq ~path ~body
 
 let record_count t = t.records
 let next_seq t = t.next_seq
@@ -377,7 +389,7 @@ let write_manifest dir seq =
       Unix.fsync (Unix.descr_of_out_channel oc));
   Sys.rename tmp file
 
-let checkpoint t ~save =
+let checkpoint ?seq t ~save =
   let snap = snapshot_dir t.dir in
   let tmp = snap ^ ".tmp" in
   let old_ = snap ^ ".old" in
@@ -388,7 +400,7 @@ let checkpoint t ~save =
     | Error e -> Error e
     | Ok files ->
         Bx_fault.Fault.point "journal.checkpoint.pre_manifest";
-        write_manifest tmp (t.next_seq - 1);
+        write_manifest tmp (Option.value seq ~default:(t.next_seq - 1));
         Bx_fault.Fault.point "journal.checkpoint.pre_swap";
         remove_tree old_;
         if Sys.file_exists snap then Sys.rename snap old_;

@@ -111,6 +111,14 @@ val append : t -> path:string -> body:string -> (int, string) result
 (** Append one record and [fsync]; returns the record's sequence
     number.  On [Error] nothing may be assumed durable. *)
 
+val append_seq :
+  t -> seq:int -> path:string -> body:string -> (int, string) result
+(** Like {!append} with an explicit, caller-allocated sequence number.
+    Sharded layouts draw sequence numbers from one global counter and fan
+    records across per-shard segments, so a segment's sequence numbers
+    are dense globally but sparse locally — [seq] may jump ahead of the
+    segment's own counter, never behind it ([Error] otherwise). *)
+
 val record_count : t -> int
 (** Records currently in the log file (replayed + appended since open). *)
 
@@ -143,13 +151,15 @@ val write_epoch : dir:string -> int -> (unit, string) result
     across crashes. *)
 
 val checkpoint :
-  t -> save:(dir:string -> (int, string) result) -> (int, string) result
+  ?seq:int -> t -> save:(dir:string -> (int, string) result)
+  -> (int, string) result
 (** Compaction: write a fresh snapshot and reset the log to a bare
     segment header.  [save] dumps the registry into the directory it is
     given (the caller holds whatever lock makes that consistent); the
-    manifest seals it with the current sequence number, the directories
-    are swapped, and the log is truncated.  Returns the number of files
-    the snapshot wrote.  A crash at any point leaves a state {!open_}
-    recovers from. *)
+    manifest seals it with the current sequence number (or [seq] when
+    given — sharded layouts seal every segment's snapshot at the same
+    global cut), the directories are swapped, and the log is truncated.
+    Returns the number of files the snapshot wrote.  A crash at any point
+    leaves a state {!open_} recovers from. *)
 
 val close : t -> unit

@@ -48,6 +48,8 @@ type t = {
   locks : (string * string, int * int) Hashtbl.t;
   mutable respcache_shards : int;
   mutable respcache_entries : int;
+  mutable registry_shards : int;
+  mutable registry_entries : int;
 }
 
 let create () =
@@ -80,6 +82,8 @@ let create () =
     locks = Hashtbl.create 8;
     respcache_shards = 1;
     respcache_entries = 0;
+    registry_shards = 1;
+    registry_entries = 0;
   }
 
 let locked t f =
@@ -188,6 +192,11 @@ let note_respcache t ~shards ~entries =
   locked t (fun () ->
       t.respcache_shards <- shards;
       t.respcache_entries <- entries)
+
+let note_registry t ~shards ~entries =
+  locked t (fun () ->
+      t.registry_shards <- shards;
+      t.registry_entries <- entries)
 
 let lock_counts t =
   locked t (fun () ->
@@ -339,6 +348,12 @@ let render t =
       line "# HELP bxwiki_respcache_entries Cached rendered responses across all shards (sampled at scrape).";
       line "# TYPE bxwiki_respcache_entries gauge";
       line "bxwiki_respcache_entries %d" t.respcache_entries;
+      line "# HELP bxwiki_registry_shards Registry shards (identifier-hashed partitions).";
+      line "# TYPE bxwiki_registry_shards gauge";
+      line "bxwiki_registry_shards %d" t.registry_shards;
+      line "# HELP bxwiki_registry_entries Catalogue entries across all registry shards (sampled at scrape).";
+      line "# TYPE bxwiki_registry_entries gauge";
+      line "bxwiki_registry_entries %d" t.registry_entries;
       line "# HELP bxwiki_replication_streamed_records_total Journal records served to followers.";
       line "# TYPE bxwiki_replication_streamed_records_total counter";
       line "bxwiki_replication_streamed_records_total %d" t.streamed_records;

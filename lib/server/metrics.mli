@@ -70,6 +70,10 @@ val note_lock :
 val note_respcache : t -> shards:int -> entries:int -> unit
 (** Sample the response cache's shape: shard count and total entries. *)
 
+val note_registry : t -> shards:int -> entries:int -> unit
+(** Sample the registry's shape: shard count and catalogue size.
+    Exposed as [bxwiki_registry_shards] and [bxwiki_registry_entries]. *)
+
 (** {1 Replication} *)
 
 val replication_streamed : t -> records:int -> bytes:int -> unit

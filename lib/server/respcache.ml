@@ -56,7 +56,14 @@ let find t ~path ~generation =
   | None -> Metrics.cache_miss t.metrics);
   found
 
-let store t ~path ~generation response =
+let store ?current t ~path ~generation response =
+  (* Under per-shard generations different paths are valid at different
+     generations; [current] tells the eviction sweep what "fresh" means
+     for each cached path, so a write to one registry shard does not
+     evict every other shard's still-valid pages. *)
+  let current =
+    match current with Some f -> f | None -> fun _ -> generation
+  in
   let shard = shard_of t in
   locked t shard (fun () ->
       if
@@ -65,7 +72,7 @@ let store t ~path ~generation response =
       then begin
         let stale =
           Hashtbl.fold
-            (fun p e acc -> if e.generation <> generation then p :: acc else acc)
+            (fun p e acc -> if e.generation <> current p then p :: acc else acc)
             shard.table []
         in
         if stale = [] then Hashtbl.reset shard.table

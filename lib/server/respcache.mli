@@ -27,12 +27,17 @@ val find : t -> path:string -> generation:int -> Bx_repo.Webui.response option
     calling domain's shard. *)
 
 val store :
+  ?current:(string -> int) ->
   t -> path:string -> generation:int -> Bx_repo.Webui.response -> unit
 (** Insert (or refresh) the rendering of [path] at [generation] into the
     calling domain's shard.  When the shard is full, entries from older
     generations are evicted first; if every entry is current, the whole
     shard is dropped (rare: it means a shard's capacity of distinct
-    pages was rendered without a write). *)
+    pages was rendered without a write).  [current] maps a cached path to
+    the generation at which it would be considered fresh (default:
+    everything is compared against [generation]) — a service with
+    per-registry-shard generations passes its per-path generation
+    function so the sweep only evicts genuinely stale pages. *)
 
 val size : t -> int
 (** Total entries across all shards. *)

@@ -1,5 +1,6 @@
 type config = {
   journal_dir : string option;
+  shards : int;
   cache_capacity : int;
   cache_shards : int;
   compact_every : int;
@@ -19,6 +20,7 @@ type config = {
 let default_config =
   {
     journal_dir = None;
+    shards = 1;
     cache_capacity = 256;
     cache_shards = 4;
     compact_every = 64;
@@ -124,18 +126,24 @@ end
 type t = {
   config : config;
   mutable registry : Bx_repo.Registry.t;
-      (* replaced wholesale by a snapshot bootstrap, under [lock]'s
-         write side; everything else reads it under the read side *)
-  lock : Rwlock.t;
+      (* replaced wholesale by a snapshot bootstrap, under every lock's
+         write side; everything else reads it under a read side *)
+  locks : Rwlock.t array;
+      (* one reader/writer lock per registry shard: edits to entries in
+         different shards do not serialise against each other, and an
+         entry read only ever waits on its own shard's writer *)
   pages : (string * (unit -> string * string)) list;
   lenses : (string * Bx_strlens.Slens.t) list;
   pages_mutex : Mutex.t;
       (* extra-page thunks may force lazies; serialise them so worker
          domains cannot race inside [Lazy.force] *)
-  journal : Journal.t option;
+  log : Shardlog.t option;
   metrics : Metrics.t;
   cache : Respcache.t;
-  mutable gen : int; (* guarded by [lock]'s write side *)
+  gens : int array;
+      (* per-shard write generations, each guarded by its shard lock's
+         write side; the service-wide generation is their sum, so it
+         still advances by one on every accepted write *)
   replay_applied : int;
   replay_failed : int;
   stop : bool Atomic.t;
@@ -173,14 +181,40 @@ type t = {
 }
 
 let metrics t = t.metrics
-let generation t = t.gen
+
+(* Nested acquisition over every shard lock, always in index order, so
+   an all-shard reader/writer (index page, replication, promotion) can
+   never deadlock against another. *)
+let read_shard t k f = Rwlock.read t.locks.(k) (fun () -> f ())
+
+let write_shard t k f = Rwlock.write t.locks.(k) (fun () -> f ())
+
+let read_all t f =
+  let rec go k = if k = Array.length t.locks then f () else Rwlock.read t.locks.(k) (fun () -> go (k + 1)) in
+  go 0
+
+let write_all t f =
+  let rec go k = if k = Array.length t.locks then f () else Rwlock.write t.locks.(k) (fun () -> go (k + 1)) in
+  go 0
+
+let total_gen t = Array.fold_left ( + ) 0 t.gens
+let generation t = total_gen t
 let replay_stats t = (t.replay_applied, t.replay_failed)
 let port t = t.bound_port
-let with_registry t f = Rwlock.read t.lock (fun () -> f t.registry)
+let with_registry t f = read_all t (fun () -> f t.registry)
 let metrics_text t = Metrics.render t.metrics
 
 let lock_stats t =
-  let reads, reads_c, writes, writes_c = Rwlock.stats t.lock in
+  (* Shard locks are one logical registry lock to observers: the rows
+     (and the /metrics series behind them) keep their pre-sharding
+     labels, summed across shards. *)
+  let reads, reads_c, writes, writes_c =
+    Array.fold_left
+      (fun (r, rc, w, wc) lock ->
+        let r', rc', w', wc' = Rwlock.stats lock in
+        (r + r', rc + rc', w + w', wc + wc'))
+      (0, 0, 0, 0) t.locks
+  in
   let cache_acq, cache_cont = Respcache.lock_stats t.cache in
   [
     ("registry", "read", reads, reads_c);
@@ -206,9 +240,49 @@ let replay_edits registry records =
       end)
     (0, 0) records
 
+(* Per-shard snapshot writer: a single-shard service keeps writing the
+   full legacy dump (INDEX.wiki and all — bit-compatible with every
+   pre-sharding snapshot); a sharded one dumps only shard [k], so
+   compacting one segment costs O(shard), not O(catalogue). *)
+let save_shard_cb t k ~dir =
+  if Array.length t.locks = 1 then Bx_repo.Store.save ~dir t.registry
+  else Bx_repo.Store.save_shard ~dir t.registry k
+
+let checkpoint_shard_locked t k =
+  (* Caller holds shard [k]'s write lock. *)
+  match t.log with
+  | None -> Ok 0
+  | Some log ->
+      let result =
+        Shardlog.checkpoint_shard log ~shard:k ~save:(fun ~dir ->
+            save_shard_cb t k ~dir)
+      in
+      Metrics.compaction t.metrics ~ok:(Result.is_ok result);
+      result
+
+let checkpoint_all_locked t =
+  (* Caller holds every write lock (or is single-threaded at boot or
+     shutdown): all segments seal at the same global cut. *)
+  match t.log with
+  | None -> Ok 0
+  | Some log ->
+      let result =
+        Shardlog.checkpoint_all log ~save:(fun k ~dir -> save_shard_cb t k ~dir)
+      in
+      Metrics.compaction t.metrics ~ok:(Result.is_ok result);
+      result
+
 let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
   let metrics = Metrics.create () in
-  let fresh ~registry ~journal ~applied ~failed =
+  let shards = max 1 config.shards in
+  (* Shard assignment must agree with the journal segment layout, so a
+     seed partitioned differently is re-sharded (export/import re-hashes
+     every entry). *)
+  let resharded registry =
+    if Bx_repo.Registry.shard_count registry = shards then Ok registry
+    else Bx_repo.Registry.import ~shards (Bx_repo.Registry.export registry)
+  in
+  let fresh ~registry ~log ~applied ~failed =
     (* Epoch at boot: a primary starts at (at least) 1 and persists it,
        so any future promotion elsewhere necessarily fences it; a
        replica starts from whatever it last persisted (0 when it has
@@ -231,16 +305,16 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
     {
       config;
       registry;
-      lock = Rwlock.create ();
+      locks = Array.init shards (fun _ -> Rwlock.create ());
       pages;
       lenses;
       pages_mutex = Mutex.create ();
-      journal;
+      log;
       metrics;
       cache =
         Respcache.create ~capacity:config.cache_capacity
           ~shards:config.cache_shards metrics;
-      gen = 0;
+      gens = Array.make shards 0;
       replay_applied = applied;
       replay_failed = failed;
       stop = Atomic.make false;
@@ -255,7 +329,7 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
       fenced_by = Atomic.make 0;
       applied_next =
         Atomic.make
-          (match journal with Some j -> Journal.next_seq j | None -> 1);
+          (match log with Some l -> Shardlog.next_seq l | None -> 1);
       last_stream_from = Atomic.make 0;
       created_at = Unix.gettimeofday ();
       rm = Mutex.create ();
@@ -266,40 +340,57 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
     }
   in
   match config.journal_dir with
-  | None ->
-      Ok (fresh ~registry:(seed ()) ~journal:None ~applied:0 ~failed:0)
+  | None -> (
+      match resharded (seed ()) with
+      | Error e -> Error ("seed re-shard: " ^ e)
+      | Ok registry -> Ok (fresh ~registry ~log:None ~applied:0 ~failed:0))
   | Some dir -> (
-      Journal.recover_snapshot ~dir;
-      let snap = Journal.snapshot_dir dir in
-      let loaded =
-        if Sys.file_exists (Filename.concat snap "MANIFEST") then
-          Bx_repo.Store.load ~dir:snap
-        else Ok (seed ())
-      in
-      match loaded with
-      | Error e -> Error ("snapshot load: " ^ e)
-      | Ok registry -> (
-          let snap_seq = Journal.snapshot_seq ~dir in
-          match Journal.read ~dir with
-          | Error e -> Error ("journal read: " ^ e)
-          | Ok { entries; torn; crc_errors; _ } ->
-              (* What recovery found is an operational signal: torn tails
-                 are the benign residue of a crash, checksum failures are
-                 corruption worth an operator's attention. *)
-              Metrics.journal_recovery metrics ~torn ~crc_errors;
-              let to_apply =
-                List.filter (fun (r : Journal.record) -> r.seq > snap_seq) entries
-              in
-              let applied, failed = replay_edits registry to_apply in
-              let max_seq =
-                List.fold_left
-                  (fun acc (r : Journal.record) -> max acc r.seq)
-                  snap_seq entries
-              in
-              (match Journal.open_ ~dir ~next_seq:(max_seq + 1) with
-              | Error e -> Error ("journal open: " ^ e)
-              | Ok j ->
-                  Ok (fresh ~registry ~journal:(Some j) ~applied ~failed))))
+      match Shardlog.open_ ~dir ~shards with
+      | Error e -> Error e
+      | Ok (log, recovery) -> (
+          (* What recovery found is an operational signal: torn tails
+             are the benign residue of a crash, checksum failures are
+             corruption worth an operator's attention. *)
+          Metrics.journal_recovery metrics ~torn:recovery.torn
+            ~crc_errors:recovery.crc_errors;
+          let registry0 =
+            if recovery.complete then
+              (* Every segment carries a sealed snapshot: the pages are
+                 the whole catalogue, no seed needed. *)
+              Result.map_error
+                (fun e -> "snapshot load: " ^ e)
+                (Bx_repo.Registry.import ~shards recovery.pages)
+            else
+              (* Partial (or no) snapshots: start from the seed and lay
+                 the sealed shards' pages over it — cheaper than forcing
+                 a full initial checkpoint just to make boot uniform. *)
+              match resharded (seed ()) with
+              | Error e -> Error ("seed re-shard: " ^ e)
+              | Ok registry -> (
+                  match Bx_repo.Registry.overlay registry recovery.pages with
+                  | Error e -> Error ("snapshot overlay: " ^ e)
+                  | Ok () -> Ok registry)
+          in
+          match registry0 with
+          | Error e ->
+              Shardlog.close log;
+              Error e
+          | Ok registry -> (
+              let applied, failed = replay_edits registry recovery.replay in
+              let t = fresh ~registry ~log:(Some log) ~applied ~failed in
+              if not recovery.migrated then Ok t
+              else
+                (* A legacy layout was absorbed: capture the rebuilt
+                   state into the segments, and only then delete the
+                   legacy files and stamp the directory — a crash before
+                   the stamp redoes the migration from the still-intact
+                   legacy state. *)
+                match checkpoint_all_locked t with
+                | Error e -> Error ("migration checkpoint: " ^ e)
+                | Ok _ -> (
+                    match Shardlog.seal_migration log with
+                    | Error e -> Error ("migration seal: " ^ e)
+                    | Ok () -> Ok t))))
 
 (* ------------------------------------------------------------------ *)
 (* Request handling *)
@@ -317,6 +408,7 @@ let route_of t path =
     "replication"
   else if path = "/admin/promote" then "admin"
   else if is_slens_path path then "slens"
+  else if path = "/search" then "search"
   else if path = "/glossary" then "glossary"
   else if path = "/manuscript" then "manuscript"
   else if List.mem_assoc path t.pages then path
@@ -331,7 +423,37 @@ let respond_html status title body =
     body = Bx_repo.Webui.html_page ~title body;
   }
 
-let handle_get t path =
+(* Which registry shard a path's cache validity rides on: an entry route
+   is exactly as fresh as its shard's generation, everything else (the
+   index, search, the manuscript...) reads the whole catalogue and is
+   invalidated by any write.  Purely syntactic, so it can classify both
+   live requests and already-cached keys. *)
+let shard_route t path =
+  match route_of t path with
+  | "entry" | "entry.wiki" | "entry.json" -> (
+      match Bx_repo.Webui.page_identifier path with
+      | Some id -> Some (Bx_repo.Registry.shard_of_id t.registry id)
+      | None -> None)
+  | _ -> None
+
+let cache_key ~path ~query = if query = "" then path else path ^ "?" ^ query
+
+(* The generation a cached key would have to carry to be fresh now.
+   Sampled racily (like the pre-sharding code sampled [t.gen]): a stale
+   sample only causes a miss or an eviction, never a stale hit, because
+   the store-side generation is sampled under the rendering lock. *)
+let gen_for_key t key =
+  let path =
+    match String.index_opt key '?' with
+    | None -> key
+    | Some i -> String.sub key 0 i
+  in
+  match shard_route t path with
+  | Some k -> t.gens.(k)
+  | None -> total_gen t
+
+let handle_get t ~query path =
+  let key = cache_key ~path ~query in
   let render () =
     Bx_fault.Fault.point "service.lock.read";
     if List.mem_assoc path t.pages then begin
@@ -342,38 +464,38 @@ let handle_get t path =
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.pages_mutex)
         (fun () ->
-          Rwlock.read t.lock (fun () ->
-              ( t.gen,
-                Bx_repo.Webui.handle ~pages:t.pages t.registry ~meth:"GET" ~path
-                  ~body:"" )))
+          read_all t (fun () ->
+              ( total_gen t,
+                Bx_repo.Webui.handle ~pages:t.pages ~query t.registry
+                  ~meth:"GET" ~path ~body:"" )))
     end
     else
-      Rwlock.read t.lock (fun () ->
-          ( t.gen,
-            Bx_repo.Webui.handle t.registry ~meth:"GET" ~path ~body:"" ))
+      match shard_route t path with
+      | Some k ->
+          (* An entry page renders under just its shard's read lock: a
+             write to any other shard neither blocks this read nor
+             invalidates its cache entry. *)
+          read_shard t k (fun () ->
+              ( t.gens.(k),
+                Bx_repo.Webui.handle ~query t.registry ~meth:"GET" ~path
+                  ~body:"" ))
+      | None ->
+          read_all t (fun () ->
+              ( total_gen t,
+                Bx_repo.Webui.handle ~query t.registry ~meth:"GET" ~path
+                  ~body:"" ))
   in
   (* The generation is sampled under the same read lock that renders, so
      a cached page can never be older than the generation it is filed
      under. *)
-  match Respcache.find t.cache ~path ~generation:t.gen with
+  match Respcache.find t.cache ~path:key ~generation:(gen_for_key t key) with
   | Some response -> response
   | None ->
       let generation, response = render () in
       if response.Bx_repo.Webui.status = 200 then
-        Respcache.store t.cache ~path ~generation response;
+        Respcache.store t.cache ~path:key ~generation response
+          ~current:(gen_for_key t);
       response
-
-let checkpoint_locked t =
-  (* Caller holds the write lock (or is single-threaded at shutdown). *)
-  match t.journal with
-  | None -> Ok 0
-  | Some j ->
-      let result =
-        Journal.checkpoint j ~save:(fun ~dir ->
-            Bx_repo.Store.save ~dir t.registry)
-      in
-      Metrics.compaction t.metrics ~ok:(Result.is_ok result);
-      result
 
 (* ------------------------------------------------------------------ *)
 (* Lens execution routes.  POST /slens/<name>/<op>; single-document ops
@@ -467,19 +589,33 @@ let handle_post t path body =
          (Atomic.get t.fenced_by))
   else begin
   Bx_fault.Fault.point "service.lock.write";
-  Rwlock.write t.lock (fun () ->
+  (* An entry edit takes only its shard's write lock (and lands in that
+     shard's journal segment); edits to entries in other shards proceed
+     in parallel.  Anything unroutable serialises against everything. *)
+  let shard_opt =
+    Option.map
+      (fun id -> Bx_repo.Registry.shard_of_id t.registry id)
+      (Bx_repo.Webui.page_identifier path)
+  in
+  let locked =
+    match shard_opt with
+    | Some k -> write_shard t k
+    | None -> write_all t
+  in
+  locked (fun () ->
       let response =
         Bx_repo.Webui.handle t.registry ~meth:"POST" ~path ~body
       in
       if response.Bx_repo.Webui.status <> 200 then response
       else begin
-        t.gen <- t.gen + 1;
-        match t.journal with
+        let k = Option.value shard_opt ~default:0 in
+        t.gens.(k) <- t.gens.(k) + 1;
+        match t.log with
         | None ->
             Atomic.incr t.applied_next;
             response
-        | Some j -> (
-            match Journal.append j ~path ~body with
+        | Some log -> (
+            match Shardlog.append log ~shard:k ~path ~body with
             | Error e ->
                 (* The in-memory edit stands, but durability was
                    promised and could not be delivered: tell the client
@@ -493,15 +629,18 @@ let handle_post t path body =
                   ^ Bx_repo.Markup.html_escape e ^ "</p>")
             | Ok _ ->
                 Atomic.set t.journal_ok true;
-                Atomic.set t.applied_next (Journal.next_seq j);
+                Atomic.set t.applied_next (Shardlog.next_seq log);
                 if
                   t.config.compact_every > 0
-                  && Journal.record_count j >= t.config.compact_every
+                  && Shardlog.record_count log k >= t.config.compact_every
                 then begin
                   (* A failed compaction must not take the service down:
                      the journal keeps growing, the failure is counted
-                     and surfaced in /metrics, and serving continues. *)
-                  match checkpoint_locked t with
+                     and surfaced in /metrics, and serving continues.
+                     Only this shard's segment snapshots and truncates —
+                     compaction cost is O(shard), whatever the catalogue
+                     size. *)
+                  match checkpoint_shard_locked t k with
                   | Ok _ -> ()
                   | Error e ->
                       Printf.eprintf "bxwiki: compaction failed: %s\n%!" e
@@ -561,9 +700,9 @@ let rec take n = function
   | x :: rest -> x :: take (n - 1) rest
 
 let handle_stream t query =
-  match t.config.journal_dir with
+  match t.log with
   | None -> respond_text 404 "replication requires a journal\n"
-  | Some dir ->
+  | Some log ->
       let params = Httpd.query_params query in
       let int_param name default =
         match List.assoc_opt name params with
@@ -601,11 +740,14 @@ let handle_stream t query =
                lock), sleep in slices outside it. *)
             let rec attempt () =
               let r =
-                Rwlock.read t.lock (fun () ->
-                    let floor = Journal.snapshot_seq ~dir in
+                read_all t (fun () ->
+                    (* The floor is the max over segment manifests: a
+                       cursor at or below it may point into a truncated
+                       segment and must re-bootstrap. *)
+                    let floor = Shardlog.floor log in
                     if from <= floor then `Reset floor
                     else
-                      match Journal.tail ~dir ~from with
+                      match Shardlog.tail log ~from with
                       | Error e -> `Err e
                       | Ok records ->
                           `Records (records, Atomic.get t.applied_next))
@@ -636,10 +778,23 @@ let handle_stream t query =
           end)
 
 let handle_snapshot t =
-  match t.config.journal_dir with
+  match t.log with
   | None -> respond_text 404 "replication requires a journal\n"
-  | Some dir -> (
-      match Rwlock.read t.lock (fun () -> Journal.snapshot_files ~dir) with
+  | Some log -> (
+      let files =
+        if Shardlog.shards log = 1 then
+          (* Single shard: ship whatever snapshot exists (404 until the
+             first checkpoint), exactly the pre-sharding contract. *)
+          read_all t (fun () -> Shardlog.snapshot_files log)
+        else
+          (* Sharded: a consistent ship needs every segment sealed at
+             one global cut, so cut one now under all write locks. *)
+          write_all t (fun () ->
+              match checkpoint_all_locked t with
+              | Error e -> Error e
+              | Ok _ -> Shardlog.snapshot_files log)
+      in
+      match files with
       | Error e -> respond_text 404 (e ^ "\n")
       | Ok (seq, files) ->
           Bx_fault.Fault.point "repl.stream.write";
@@ -660,8 +815,17 @@ let handle_snapshot t =
 let replication_apply t records =
   try
     Bx_fault.Fault.point "repl.apply";
-    Rwlock.write t.lock (fun () ->
+    write_all t (fun () ->
+        (* Replayed records fan into the same shard (lock, generation and
+           journal segment) a local edit would have used — a replica's
+           on-disk layout converges on the primary's. *)
+        let shard_of_path path =
+          match Bx_repo.Webui.page_identifier path with
+          | Some id -> Bx_repo.Registry.shard_of_id t.registry id
+          | None -> 0
+        in
         let apply_one (r : Journal.record) =
+          let k = shard_of_path r.path in
           let response =
             Bx_repo.Webui.handle t.registry ~meth:"POST" ~path:r.path
               ~body:r.body
@@ -674,13 +838,13 @@ let replication_apply t records =
               ~reason:"apply_failed"
           end;
           Atomic.set t.applied_next (r.seq + 1);
-          t.gen <- t.gen + 1;
+          t.gens.(k) <- t.gens.(k) + 1;
           Metrics.replication_applied t.metrics ~records:1;
-          match t.journal with
-          | Some j
+          match t.log with
+          | Some log
             when t.config.compact_every > 0
-                 && Journal.record_count j >= t.config.compact_every -> (
-              match checkpoint_locked t with
+                 && Shardlog.record_count log k >= t.config.compact_every -> (
+              match checkpoint_shard_locked t k with
               | Ok _ -> ()
               | Error e -> Printf.eprintf "bxwiki: compaction failed: %s\n%!" e)
           | _ -> ()
@@ -695,12 +859,15 @@ let replication_apply t records =
                   (Printf.sprintf "stream gap: expected seq %d, got %d" next
                      r.seq)
               else begin
-                match t.journal with
+                match t.log with
                 | None ->
                     apply_one r;
                     go rest
-                | Some j -> (
-                    match Journal.append j ~path:r.path ~body:r.body with
+                | Some log -> (
+                    match
+                      Shardlog.append_at log ~shard:(shard_of_path r.path)
+                        ~seq:r.seq ~path:r.path ~body:r.body
+                    with
                     | Error e ->
                         Atomic.set t.journal_ok false;
                         Error e
@@ -716,20 +883,29 @@ let replication_apply t records =
 let replication_install_snapshot t ~seq ~files =
   try
     Bx_fault.Fault.point "repl.apply";
-    Rwlock.write t.lock (fun () ->
-        match (t.journal, t.config.journal_dir) with
-        | Some j, Some dir -> (
-            match Journal.install_snapshot j ~seq ~files with
+    write_all t (fun () ->
+        match t.log with
+        | Some log -> (
+            match Shardlog.install_snapshot log ~seq ~files with
             | Error e -> Error e
             | Ok () -> (
-                match Bx_repo.Store.load ~dir:(Journal.snapshot_dir dir) with
+                match Shardlog.snapshot_pages log with
                 | Error e -> Error ("snapshot load: " ^ e)
-                | Ok registry ->
-                    t.registry <- registry;
-                    t.gen <- t.gen + 1;
-                    Atomic.set t.applied_next (seq + 1);
-                    Ok ()))
-        | _ -> Error "snapshot bootstrap requires a journal")
+                | Ok pages -> (
+                    match
+                      Bx_repo.Registry.import
+                        ~shards:(Shardlog.shards log) pages
+                    with
+                    | Error e -> Error ("snapshot load: " ^ e)
+                    | Ok registry ->
+                        t.registry <- registry;
+                        (* Everything cached is superseded. *)
+                        Array.iteri
+                          (fun i _ -> t.gens.(i) <- t.gens.(i) + 1)
+                          t.gens;
+                        Atomic.set t.applied_next (seq + 1);
+                        Ok ())))
+        | None -> Error "snapshot bootstrap requires a journal")
   with Bx_fault.Fault.Injected m -> Error m
 
 let observe_epoch t e =
@@ -783,7 +959,7 @@ let follow t ~host ~port ?(wait = default_config.stream_wait) ?min_sleep
 let promote t =
   if not (Atomic.get t.replica) then Error "already primary"
   else
-    Rwlock.write t.lock (fun () ->
+    write_all t (fun () ->
         if not (Atomic.get t.replica) then Error "already primary"
         else if not (replication_synced t || Atomic.get t.epoch > 0) then
           Error "replica has never synced with a primary"
@@ -882,6 +1058,9 @@ let handle_query t ~query ~meth ~path ~body =
           Metrics.note_respcache t.metrics
             ~shards:(Respcache.shard_count t.cache)
             ~entries:(Respcache.size t.cache);
+          Metrics.note_registry t.metrics
+            ~shards:(Bx_repo.Registry.shard_count t.registry)
+            ~entries:(Bx_repo.Registry.size t.registry);
           Metrics.note_replication t.metrics ~epoch:(Atomic.get t.epoch)
             ~fenced:(fenced t)
             ~replica:(Atomic.get t.replica)
@@ -898,7 +1077,7 @@ let handle_query t ~query ~meth ~path ~body =
       | "GET" when path = "/replication/stream" -> handle_stream t query
       | "GET" when path = "/replication/snapshot" -> handle_snapshot t
       | "POST" when path = "/admin/promote" -> handle_promote t
-      | "GET" -> handle_get t path
+      | "GET" -> handle_get t ~query path
       | "POST" when is_slens_path path -> handle_slens t path body
       | "POST" -> handle_post t path body
       | _ ->
@@ -913,9 +1092,9 @@ let handle_query t ~query ~meth ~path ~body =
 
 let handle t ~meth ~path ~body = handle_query t ~query:"" ~meth ~path ~body
 
-let checkpoint t = Rwlock.write t.lock (fun () -> checkpoint_locked t)
+let checkpoint t = write_all t (fun () -> checkpoint_all_locked t)
 
-let close t = Option.iter Journal.close t.journal
+let close t = Option.iter Shardlog.close t.log
 
 (* ------------------------------------------------------------------ *)
 (* The socket server: accept loop + worker pool *)

@@ -26,6 +26,14 @@ type config = {
   journal_dir : string option;
       (** durable state lives here; [None] = in-memory only (the seed
           behaviour) *)
+  shards : int;
+      (** registry shards (default 1): each gets its own reader/writer
+          lock, write generation and journal segment, so edits to (and
+          compactions of) different shards never serialise against each
+          other.  The shard count is part of the on-disk layout: opening
+          an existing journal directory with a different count is an
+          error, except that a legacy single-segment directory opened
+          with [shards > 1] is migrated in place *)
   cache_capacity : int;  (** rendered-page cache entries, across shards *)
   cache_shards : int;
       (** rendered-page cache shards; set to the worker-domain count so

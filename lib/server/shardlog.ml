@@ -1,0 +1,457 @@
+type t = {
+  dir : string;
+  shards : int;
+  seg_dirs : string array;
+  segments : Journal.t array;
+  mu : Mutex.t;
+      (* serialises sequence allocation with the segment write + fsync,
+         so the durable records across segments are always a dense
+         prefix of the accepted writes *)
+  mutable next : int; (* next global sequence number, guarded by [mu] *)
+}
+
+type recovery = {
+  pages : (string * string) list;
+  complete : bool;
+  replay : Journal.record list;
+  torn : bool;
+  crc_errors : int;
+  migrated : bool;
+}
+
+let shards t = t.shards
+
+let segment_dir ~dir ~shards k =
+  if shards = 1 then dir
+  else Filename.concat dir (Printf.sprintf "shard-%03d" k)
+
+let stamp_file dir = Filename.concat dir "SHARDS"
+let marker_file dir = Filename.concat dir "INSTALL"
+let staging_dir dir = Filename.concat dir "install.tmp"
+
+let rec remove_tree path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun name -> remove_tree (Filename.concat path name))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* tmp + fsync + rename, like Store.write_file: stamps and manifests mark
+   multi-step operations complete, so they must never exist torn. *)
+let write_small path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc contents;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path
+
+let read_stamp dir =
+  let file = stamp_file dir in
+  if not (Sys.file_exists file) then None
+  else
+    let ic = open_in file in
+    let line =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> try input_line ic with End_of_file -> "")
+    in
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "shards"; n ] -> int_of_string_opt n
+    | _ -> None
+
+let write_stamp dir shards =
+  write_small (stamp_file dir) (Printf.sprintf "shards %d\n" shards)
+
+let manifest_exists seg_dir =
+  Sys.file_exists (Filename.concat (Journal.snapshot_dir seg_dir) "MANIFEST")
+
+let write_manifest dir seq =
+  write_small (Filename.concat dir "MANIFEST") (Printf.sprintf "seq %d\n" seq)
+
+(* A legacy (pre-sharding) directory is one that has served as a plain
+   single-segment journal: its log or snapshot exists at the top level. *)
+let legacy_present dir =
+  Sys.file_exists (Journal.log_file dir)
+  || Sys.file_exists (Journal.snapshot_dir dir)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    failwith (dir ^ " exists and is not a directory")
+
+(* Roll an interrupted snapshot install forward: every staged segment
+   snapshot still present in [install.tmp] is swapped in; ones already
+   swapped are left alone.  Only then is the marker removed — the
+   operation is idempotent from any crash point after the marker was
+   written. *)
+let finish_install ~dir ~shards =
+  if Sys.file_exists (marker_file dir) then begin
+    for k = 0 to shards - 1 do
+      let staged = Filename.concat (staging_dir dir) (Printf.sprintf "shard-%03d" k) in
+      if Sys.file_exists staged then begin
+        let seg = segment_dir ~dir ~shards k in
+        ensure_dir seg;
+        let snap = Journal.snapshot_dir seg in
+        let old_ = snap ^ ".old" in
+        remove_tree old_;
+        if Sys.file_exists snap then Sys.rename snap old_;
+        Sys.rename staged snap;
+        remove_tree old_
+      end
+    done;
+    Sys.remove (marker_file dir);
+    remove_tree (staging_dir dir)
+  end
+  else remove_tree (staging_dir dir) (* stale staging from a pre-marker crash *)
+
+(* Recover one segment: repair its snapshot, read (and remember) its
+   intact records, and open it for appending just past its own last
+   sequence number. *)
+let open_segment seg_dir =
+  Journal.recover_snapshot ~dir:seg_dir;
+  let floor = Journal.snapshot_seq ~dir:seg_dir in
+  match Journal.read ~dir:seg_dir with
+  | Error e -> Error (Printf.sprintf "%s: journal read: %s" seg_dir e)
+  | Ok { Journal.entries; torn; crc_errors; _ } -> (
+      let seg_max =
+        List.fold_left
+          (fun acc (r : Journal.record) -> max acc r.seq)
+          floor entries
+      in
+      match Journal.open_ ~dir:seg_dir ~next_seq:(seg_max + 1) with
+      | Error e -> Error (Printf.sprintf "%s: journal open: %s" seg_dir e)
+      | Ok j ->
+          let pages =
+            if manifest_exists seg_dir then
+              match Bx_repo.Store.load_pages ~dir:(Journal.snapshot_dir seg_dir) with
+              | Ok pages -> pages
+              | Error _ -> []
+            else []
+          in
+          let replay =
+            List.filter (fun (r : Journal.record) -> r.seq > floor) entries
+          in
+          Ok (j, pages, manifest_exists seg_dir, replay, torn, crc_errors, seg_max))
+
+let merge_sorted replays =
+  List.sort
+    (fun (a : Journal.record) (b : Journal.record) -> compare a.seq b.seq)
+    (List.concat replays)
+
+let open_segments ~dir ~shards ~migrated ~legacy =
+  let rec go k acc =
+    if k = shards then Ok (List.rev acc)
+    else
+      match open_segment (segment_dir ~dir ~shards k) with
+      | Error e -> Error e
+      | Ok seg -> go (k + 1) (seg :: acc)
+  in
+  match go 0 [] with
+  | Error e -> Error e
+  | Ok segs ->
+      let js = Array.of_list (List.map (fun (j, _, _, _, _, _, _) -> j) segs) in
+      let pages =
+        List.concat_map (fun (_, pages, _, _, _, _, _) -> pages) segs
+      in
+      let complete =
+        List.for_all (fun (_, _, sealed, _, _, _, _) -> sealed) segs
+      in
+      let replay =
+        merge_sorted (List.map (fun (_, _, _, r, _, _, _) -> r) segs)
+      in
+      let torn = List.exists (fun (_, _, _, _, t, _, _) -> t) segs in
+      let crc_errors =
+        List.fold_left (fun acc (_, _, _, _, _, c, _) -> acc + c) 0 segs
+      in
+      let max_seq =
+        List.fold_left (fun acc (_, _, _, _, _, _, m) -> max acc m) 0 segs
+      in
+      let legacy_pages, legacy_replay, legacy_complete, next =
+        match legacy with
+        | None -> ([], [], true, max_seq + 1)
+        | Some (p, r, c, n) -> (p, r, c, max n (max_seq + 1))
+      in
+      let t =
+        {
+          dir;
+          shards;
+          seg_dirs = Array.init shards (fun k -> segment_dir ~dir ~shards k);
+          segments = js;
+          mu = Mutex.create ();
+          next;
+        }
+      in
+      Ok
+        ( t,
+          {
+            pages = legacy_pages @ pages;
+            complete = complete && legacy_complete;
+            replay = merge_sorted [ legacy_replay; replay ];
+            torn;
+            crc_errors;
+            migrated;
+          } )
+
+let open_ ~dir ~shards =
+  if shards < 1 then Error "shards must be >= 1"
+  else
+    try
+      ensure_dir dir;
+      match read_stamp dir with
+      | Some n when n <> shards ->
+          Error
+            (Printf.sprintf
+               "journal directory %s is laid out for %d shards, not %d; pass \
+                --shards %d (re-sharding requires an explicit export/import)"
+               dir n shards n)
+      | Some _ ->
+          finish_install ~dir ~shards;
+          open_segments ~dir ~shards ~migrated:false ~legacy:None
+      | None when shards = 1 ->
+          open_segments ~dir ~shards ~migrated:false ~legacy:None
+      | None when not (legacy_present dir) ->
+          (* Fresh directory: stamp it and lay out empty segments.  A
+             crash right after the stamp is just a stamped empty
+             layout. *)
+          write_stamp dir shards;
+          open_segments ~dir ~shards ~migrated:false ~legacy:None
+      | None -> (
+          (* Absorb a legacy single-segment layout.  The legacy files
+             stay authoritative (and untouched) until [seal_migration]
+             writes the stamp, so a crash anywhere in between redoes
+             this from scratch — including wiping any half-built
+             segments. *)
+          Journal.recover_snapshot ~dir;
+          let floor = Journal.snapshot_seq ~dir in
+          match Journal.read ~dir with
+          | Error e -> Error ("journal read: " ^ e)
+          | Ok { Journal.entries; torn; crc_errors; _ } ->
+              let pages =
+                if manifest_exists dir then
+                  match Bx_repo.Store.load_pages ~dir:(Journal.snapshot_dir dir) with
+                  | Ok pages -> pages
+                  | Error _ -> []
+                else []
+              in
+              let replay =
+                List.filter (fun (r : Journal.record) -> r.seq > floor) entries
+              in
+              let max_seq =
+                List.fold_left
+                  (fun acc (r : Journal.record) -> max acc r.seq)
+                  floor entries
+              in
+              for k = 0 to shards - 1 do
+                remove_tree (segment_dir ~dir ~shards k)
+              done;
+              let lt = (torn, crc_errors) in
+              (match
+                 open_segments ~dir ~shards ~migrated:true
+                   ~legacy:
+                     (Some (pages, replay, manifest_exists dir, max_seq + 1))
+               with
+              | Error e -> Error e
+              | Ok (t, recovery) ->
+                  let torn0, crc0 = lt in
+                  Ok
+                    ( t,
+                      {
+                        recovery with
+                        torn = recovery.torn || torn0;
+                        crc_errors = recovery.crc_errors + crc0;
+                      } )))
+    with
+    | Sys_error e | Failure e -> Error e
+    | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
+
+let next_seq t =
+  Mutex.lock t.mu;
+  let n = t.next in
+  Mutex.unlock t.mu;
+  n
+
+let record_count t k = Journal.record_count t.segments.(k)
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let append t ~shard ~path ~body =
+  with_mu t (fun () ->
+      let seq = t.next in
+      match Journal.append_seq t.segments.(shard) ~seq ~path ~body with
+      | Ok s ->
+          t.next <- seq + 1;
+          Ok s
+      | Error _ as e -> e)
+
+let append_at t ~shard ~seq ~path ~body =
+  with_mu t (fun () ->
+      match Journal.append_seq t.segments.(shard) ~seq ~path ~body with
+      | Ok s ->
+          if seq + 1 > t.next then t.next <- seq + 1;
+          Ok s
+      | Error _ as e -> e)
+
+let floor t =
+  Array.fold_left
+    (fun acc seg_dir -> max acc (Journal.snapshot_seq ~dir:seg_dir))
+    0 t.seg_dirs
+
+let tail t ~from =
+  let rec go k acc =
+    if k = t.shards then Ok (merge_sorted acc)
+    else
+      match Journal.tail ~dir:t.seg_dirs.(k) ~from with
+      | Error e -> Error e
+      | Ok records -> go (k + 1) (records :: acc)
+  in
+  go 0 []
+
+let checkpoint_shard t ~shard ~save =
+  Journal.checkpoint t.segments.(shard) ~save
+
+let checkpoint_all t ~save =
+  let seq = next_seq t - 1 in
+  let rec go k files =
+    if k = t.shards then Ok files
+    else
+      match
+        Journal.checkpoint ~seq t.segments.(k) ~save:(fun ~dir -> save k ~dir)
+      with
+      | Error e -> Error (Printf.sprintf "shard %d: %s" k e)
+      | Ok n -> go (k + 1) (files + n)
+  in
+  go 0 0
+
+let seal_migration t =
+  try
+    if Sys.file_exists (Journal.log_file t.dir) then
+      Sys.remove (Journal.log_file t.dir);
+    remove_tree (Journal.snapshot_dir t.dir);
+    remove_tree (Journal.snapshot_dir t.dir ^ ".tmp");
+    remove_tree (Journal.snapshot_dir t.dir ^ ".old");
+    write_stamp t.dir t.shards;
+    Ok ()
+  with
+  | Sys_error e | Failure e -> Error e
+  | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
+
+let snapshot_files t =
+  if t.shards = 1 then Journal.snapshot_files ~dir:t.dir
+  else
+    let rec go k seq acc =
+      if k = t.shards then Ok (seq, List.concat (List.rev acc))
+      else
+        match Journal.snapshot_files ~dir:t.seg_dirs.(k) with
+        | Error e -> Error (Printf.sprintf "shard %d: %s" k e)
+        | Ok (sk, files) ->
+            if k > 0 && sk <> seq then
+              Error
+                (Printf.sprintf
+                   "segments sealed at different cuts (%d vs %d): checkpoint \
+                    first"
+                   seq sk)
+            else
+              let prefixed =
+                List.map
+                  (fun (name, contents) ->
+                    (Printf.sprintf "shard-%03d/%s" k name, contents))
+                  files
+              in
+              go (k + 1) sk (prefixed :: acc)
+    in
+    go 0 0 []
+
+let snapshot_pages t =
+  let rec go k acc =
+    if k = t.shards then Ok (List.concat (List.rev acc))
+    else
+      let seg_dir = t.seg_dirs.(k) in
+      if not (manifest_exists seg_dir) then go (k + 1) acc
+      else
+        match Bx_repo.Store.load_pages ~dir:(Journal.snapshot_dir seg_dir) with
+        | Error e -> Error (Printf.sprintf "shard %d: %s" k e)
+        | Ok pages -> go (k + 1) (pages :: acc)
+  in
+  go 0 []
+
+(* Sharded snapshot install.  Stage everything under [install.tmp], seal
+   each staged segment with a manifest, then write the [INSTALL] marker:
+   from that point the swap loop is idempotent and {!finish_install}
+   rolls it forward across any crash.  Until the marker exists, the old
+   snapshots stay untouched. *)
+let install_snapshot t ~seq ~files =
+  if t.shards = 1 then Journal.install_snapshot t.segments.(0) ~seq ~files
+  else
+    try
+      let parse name =
+        match String.index_opt name '/' with
+        | None -> Error (Printf.sprintf "unsharded snapshot file %S" name)
+        | Some i ->
+            let d = String.sub name 0 i in
+            let rest = String.sub name (i + 1) (String.length name - i - 1) in
+            if
+              rest = "" || rest = "MANIFEST"
+              || Filename.basename rest <> rest
+              || String.length d <> 9
+              || not (String.length d > 6 && String.sub d 0 6 = "shard-")
+            then Error (Printf.sprintf "bad snapshot file name %S" name)
+            else
+              match int_of_string_opt (String.sub d 6 3) with
+              | Some k when k >= 0 && k < t.shards -> Ok (k, rest)
+              | _ -> Error (Printf.sprintf "bad shard in %S" name)
+      in
+      let by_shard = Array.make t.shards [] in
+      let rec sort_files = function
+        | [] -> Ok ()
+        | (name, contents) :: rest -> (
+            match parse name with
+            | Error e -> Error e
+            | Ok (k, flat) ->
+                by_shard.(k) <- (flat, contents) :: by_shard.(k);
+                sort_files rest)
+      in
+      match sort_files files with
+      | Error e -> Error e
+      | Ok () ->
+          let staging = staging_dir t.dir in
+          remove_tree staging;
+          ensure_dir staging;
+          Bx_fault.Fault.point "shardlog.install.pre_stage";
+          for k = 0 to t.shards - 1 do
+            let d = Filename.concat staging (Printf.sprintf "shard-%03d" k) in
+            ensure_dir d;
+            List.iter
+              (fun (name, contents) ->
+                write_small (Filename.concat d name) contents)
+              by_shard.(k);
+            write_manifest d seq
+          done;
+          Bx_fault.Fault.point "shardlog.install.pre_marker";
+          write_small (marker_file t.dir) "install\n";
+          Bx_fault.Fault.point "shardlog.install.mid_swap";
+          finish_install ~dir:t.dir ~shards:t.shards;
+          let rec reset k =
+            if k = t.shards then Ok ()
+            else
+              match Journal.reset t.segments.(k) ~next_seq:(seq + 1) with
+              | Error e -> Error e
+              | Ok () -> reset (k + 1)
+          in
+          let r = reset 0 in
+          with_mu t (fun () -> if seq + 1 > t.next then t.next <- seq + 1);
+          r
+    with
+    | Sys_error e | Failure e -> Error e
+    | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
+    | Bx_fault.Fault.Injected m -> Error m
+
+let close t = Array.iter Journal.close t.segments

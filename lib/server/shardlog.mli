@@ -1,0 +1,135 @@
+(** A segmented write-ahead journal: one {!Journal} segment per registry
+    shard, sharing a single global sequence space.
+
+    Layout under the journal directory [dir]:
+    - 1 shard: the segment {e is} [dir] itself — bit-compatible with the
+      plain {!Journal} layout (and with every pre-sharding on-disk state);
+    - N > 1 shards: [dir/SHARDS] stamps the shard count, and segment [k]
+      lives under [dir/shard-00k/] with its own [journal.log] and
+      [snapshot/].  The replication epoch stays at the top level.
+
+    {b Sequence discipline.}  All appends draw from one global counter
+    and are serialised (allocation, segment write and fsync) under one
+    mutex, so the durable records across all segments always form a
+    dense prefix of the accepted writes: a crash can lose only a suffix,
+    never punch a hole — which is what lets replication keep a single
+    scalar cursor over the merged stream.  A segment's own sequence
+    numbers are therefore sparse (dense globally, not locally).
+
+    {b Compaction.}  Each segment checkpoints independently
+    ({!checkpoint_shard}): its shard's entries are snapshotted, the
+    manifest seals at the segment's last record, and only that segment's
+    log truncates — cost proportional to the shard, not the catalogue.
+    {!checkpoint_all} seals {e every} segment at the same global cut
+    (for shutdown, and for shipping a consistent snapshot to a
+    bootstrapping follower).  The stream floor below which a follower
+    must re-bootstrap is the {e maximum} over segment manifests
+    ({!floor}).
+
+    {b Migration.}  Opening a legacy single-segment directory with
+    [shards > 1] absorbs it: the old snapshot pages and records are
+    returned for the caller to replay, and {!seal_migration} (called
+    after the caller has checkpointed the rebuilt state into the
+    segments) deletes the legacy files and writes the [SHARDS] stamp.
+    Until the stamp exists the legacy files remain authoritative, so a
+    crash anywhere mid-migration simply redoes it.  Opening a stamped
+    directory with a different shard count is an error — re-sharding an
+    existing catalogue is an explicit operation, not a boot flag
+    surprise. *)
+
+type t
+
+type recovery = {
+  pages : (string * string) list;
+      (** snapshot pages from every sealed segment, import-ready *)
+  complete : bool;
+      (** every segment had a sealed snapshot: [pages] is the whole
+          catalogue and the caller needs no seed *)
+  replay : Journal.record list;
+      (** intact records above each segment's manifest, merged and
+          sorted by global sequence number *)
+  torn : bool;  (** at least one segment had a truncated tail *)
+  crc_errors : int;  (** summed over segments *)
+  migrated : bool;
+      (** a legacy layout was absorbed: the caller must replay, then
+          {!checkpoint_all}, then {!seal_migration} *)
+}
+
+val segment_dir : dir:string -> shards:int -> int -> string
+(** Where segment [k] lives (= [dir] when [shards = 1]). *)
+
+val open_ : dir:string -> shards:int -> (t * recovery, string) result
+(** Open (creating and, if needed, migrating) the segmented journal.
+    Torn tails are truncated per segment; an unfinished snapshot install
+    is rolled forward. *)
+
+val shards : t -> int
+val next_seq : t -> int
+(** The next global sequence number an append will use. *)
+
+val record_count : t -> int -> int
+(** Records currently in segment [k]'s log. *)
+
+val append : t -> shard:int -> path:string -> body:string -> (int, string) result
+(** Allocate the next global sequence number and append durably to
+    segment [shard].  The caller must hold the shard's write lock (two
+    appends to one segment may not race); appends to different shards
+    serialise only on the internal allocation mutex. *)
+
+val append_at :
+  t -> shard:int -> seq:int -> path:string -> body:string
+  -> (int, string) result
+(** Append a record whose global sequence number was allocated elsewhere
+    (a replica applying a primary's stream).  Advances the global
+    counter past [seq]. *)
+
+val floor : t -> int
+(** The stream floor: the maximum over segment manifests.  A cursor at
+    or below it may point into truncated history and must re-bootstrap
+    from a snapshot. *)
+
+val tail : t -> from:int -> (Journal.record list, string) result
+(** The merged intact records with sequence number [>= from], ascending.
+    The caller must hold all read locks (compaction swaps segments under
+    write locks). *)
+
+val checkpoint_shard :
+  t -> shard:int -> save:(dir:string -> (int, string) result)
+  -> (int, string) result
+(** Snapshot one shard and truncate its segment, sealing the manifest at
+    the segment's last record.  The caller holds that shard's write
+    lock. *)
+
+val checkpoint_all :
+  t -> save:(int -> dir:string -> (int, string) result)
+  -> (int, string) result
+(** Seal {e every} segment at the current global cut ([next_seq - 1]):
+    [save k ~dir] dumps shard [k].  After this, {!snapshot_files} ships
+    a consistent catalogue.  The caller holds all write locks.  Returns
+    total files written. *)
+
+val seal_migration : t -> (unit, string) result
+(** Finish absorbing a legacy layout: delete the legacy log and
+    snapshot, then write the [SHARDS] stamp.  Call only after
+    {!checkpoint_all} has captured the migrated state. *)
+
+val snapshot_files : t -> (int * (string * string) list, string) result
+(** The snapshot as a shippable payload: the common manifest sequence
+    number and every file, named flat for one shard and
+    ["shard-00k/name"] otherwise.  [Error] when segments are missing a
+    snapshot or sealed at different cuts (run {!checkpoint_all}
+    first). *)
+
+val snapshot_pages : t -> ((string * string) list, string) result
+(** Import-ready pages merged from every sealed segment snapshot (for
+    rebuilding a registry after {!install_snapshot}). *)
+
+val install_snapshot :
+  t -> seq:int -> files:(string * string) list -> (unit, string) result
+(** Install a shipped snapshot.  One shard: flat names, delegates to
+    {!Journal.install_snapshot}.  Sharded: names must be
+    ["shard-00k/name"]; all segment snapshots are staged, an [INSTALL]
+    marker makes the multi-directory swap roll forward across a crash,
+    and every segment log resets to [seq + 1]. *)
+
+val close : t -> unit

@@ -81,7 +81,7 @@ let lifecycle_test () =
       (match Store.save ~dir reg with
       | Ok _ -> ()
       | Error e -> Alcotest.fail e);
-      let reg' = Result.get_ok (Store.load ~dir) in
+      let reg' = Result.get_ok (Store.load ~dir ()) in
       check Alcotest.int "entries survive" (Registry.size reg)
         (Registry.size reg');
       let vs = or_die (Registry.versions reg' composers) in

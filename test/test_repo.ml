@@ -750,7 +750,7 @@ let store_tests =
             (match Store.save ~dir reg with
             | Error e -> Alcotest.fail e
             | Ok _ -> ());
-            match Store.load ~dir with
+            match Store.load ~dir () with
             | Error e -> Alcotest.fail e
             | Ok reg' ->
                 check Alcotest.int "one entry" 1 (Registry.size reg');
@@ -765,14 +765,14 @@ let store_tests =
         with_temp_dir (fun dir ->
             let reg, _ = seeded_registry () in
             (match Store.save ~dir reg with Ok _ -> () | Error e -> Alcotest.fail e);
-            match Store.load ~dir with
+            match Store.load ~dir () with
             | Ok reg' ->
                 (* Exactly the two versioned pages, not four entries. *)
                 check Alcotest.int "one entry" 1 (Registry.size reg')
             | Error e -> Alcotest.fail e));
     tc "load on a missing directory errors" (fun () ->
         check Alcotest.bool "error" true
-          (Result.is_error (Store.load ~dir:"/nonexistent/bx-dir")));
+          (Result.is_error (Store.load ~dir:"/nonexistent/bx-dir" ())));
     tc "page_filename flattens path separators" (fun () ->
         check Alcotest.string "flattened" "examples_composers_0.1.wiki"
           (Store.page_filename "examples:composers/0.1"));
@@ -944,7 +944,7 @@ let robustness_tests =
             let oc = open_out (Filename.concat dir "notes.txt") in
             output_string oc "junk";
             close_out oc;
-            match Store.load ~dir with
+            match Store.load ~dir () with
             | Ok reg -> check Alcotest.int "empty registry" 0 (Registry.size reg)
             | Error e -> Alcotest.fail e));
     tc "version parsing is total on junk" (fun () ->

@@ -1582,6 +1582,228 @@ let write_strlens_json path ~p7 =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))
 
+(* ------------------------------------------------------------------ *)
+(* P12: delta propagation against full recomputation (ISSUE 8).  The
+   claim under test: a single-line edit to an n-line composer document
+   through Slens_delta.put_delta costs O(edit window), not O(n) — at
+   1000 lines it should beat the (already zero-copy) full put by >= 20x
+   — and the journal record a patch persists is a few percent of the
+   full-document record a non-delta pipeline would write.  Timing is
+   the realistic steady state: the document evolves edit by edit and
+   the delta cache follows, so every sample pays exactly what the
+   docstore's patch endpoint pays.  Edit construction (the client's
+   work) happens outside the timed region.  p50 over >= 9 samples
+   after 3 warm-ups, as in P11.  --json-delta dumps the rows
+   (committed as BENCH_delta.json). *)
+
+type p12_row = {
+  p12_lines : int;
+  p12_bytes : int;
+  delta_put_us : float;
+  full_put_us : float;
+  p12_put_speedup : float;
+  delta_get_us : float;
+  full_get_us : float;
+  p12_get_speedup : float;
+  edit_record_bytes : int;
+  full_record_bytes : int;
+  edit_record_pct : float;
+  put_fast_share : float;
+}
+
+(* [p50_per_run], but with per-sample setup excluded from the clock:
+   [prepare] builds the next edit, only [f] is timed. *)
+let p12_p50 ~prepare ~f =
+  for _ = 1 to 3 do
+    ignore (Sys.opaque_identity (f (prepare ())))
+  done;
+  let samples = ref [] in
+  let started = Unix.gettimeofday () in
+  let n = ref 0 in
+  while !n < 9 || (Unix.gettimeofday () -. started < 0.3 && !n < 2000) do
+    let x = prepare () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f x));
+    samples := (Unix.gettimeofday () -. t0) :: !samples;
+    incr n
+  done;
+  let sorted = List.sort compare !samples in
+  List.nth sorted (List.length sorted / 2)
+
+(* Replace the final comma-field (the nationality) of one line with
+   [word], rotating through the document — a fresh letters-only word
+   keeps the document inside the lens's types while guaranteeing the
+   line actually changes. *)
+let p12_edit_line doc line word =
+  let lines = String.split_on_char '\n' doc in
+  let n = max 1 (List.length lines - 1) in
+  let target = line mod n in
+  String.concat "\n"
+    (List.mapi
+       (fun i l ->
+         if i <> target || l = "" then l
+         else
+           match String.rindex_opt l ',' with
+           | None -> l
+           | Some c -> String.sub l 0 c ^ ", " ^ word)
+       lines)
+
+let p12_word i =
+  Printf.sprintf "q%c%c"
+    (Char.chr (Char.code 'a' + (i mod 26)))
+    (Char.chr (Char.code 'a' + (i / 26 mod 26)))
+
+let p12_delta ~sizes () =
+  rule "P12: delta propagation vs full recomputation (single-line edits)";
+  let module S = Bx_strlens.Slens in
+  let module D = Bx_strlens.Slens_delta in
+  let module Sd = Bx_strlens.Sdiff in
+  let lens = Bx_catalogue.Composers_string.lens in
+  List.map
+    (fun k ->
+      let src0 = csv_source_of_size k in
+      (* Not [csv_view_of_size]: that view is deliberately shuffled and
+         renamed to stress keyed realignment.  Delta propagation starts
+         from a consistent pair, as the docstore guarantees. *)
+      let view0 = lens.S.get src0 in
+      let bytes = String.length src0 in
+      (* The tiers must agree with the full engine before their times
+         mean anything. *)
+      let v1 = p12_edit_line view0 (k / 2) "qzz" in
+      let e1 = Sd.diff view0 v1 in
+      let check_cache = D.make_cache () in
+      let ns1, se1 =
+        D.put_delta lens ~cache:check_cache ~source:src0 ~view:view0 e1
+      in
+      assert (String.equal ns1 (lens.S.put v1 src0));
+      assert (String.equal (Sd.apply src0 se1) ns1);
+      (* put: steady state, document evolving under its cache. *)
+      let src = ref src0 and view = ref view0 in
+      let cache = D.make_cache () in
+      let counter = ref 0 in
+      D.reset_stats ();
+      let delta_put =
+        p12_p50
+          ~prepare:(fun () ->
+            incr counter;
+            let v' = p12_edit_line !view !counter (p12_word !counter) in
+            (Sd.diff !view v', v'))
+          ~f:(fun (edit, v') ->
+            let ns, _ = D.put_delta lens ~cache ~source:!src ~view:!view edit in
+            src := ns;
+            view := v')
+      in
+      let ds = D.stats () in
+      let put_calls = ds.D.fast_puts + ds.D.slow_puts + ds.D.fallback_puts in
+      let put_fast_share =
+        if put_calls = 0 then 0.
+        else float_of_int ds.D.fast_puts /. float_of_int put_calls
+      in
+      let full_put = p50_per_run (fun () -> lens.S.put v1 src0) in
+      (* get: the mirror direction, source edits propagated forward. *)
+      let src = ref src0 and view = ref view0 in
+      let gcache = D.make_cache () in
+      let delta_get =
+        p12_p50
+          ~prepare:(fun () ->
+            incr counter;
+            let s' = p12_edit_line !src !counter (p12_word !counter) in
+            (Sd.diff !src s', s'))
+          ~f:(fun (edit, s') ->
+            let nv, _ =
+              D.get_delta lens ~cache:gcache ~source:!src ~view:!view edit
+            in
+            view := nv;
+            src := s')
+      in
+      let s1 = p12_edit_line src0 (k / 2) "qzz" in
+      let full_get = p50_per_run (fun () -> lens.S.get s1) in
+      (* What the journal persists for a patch vs for a full document:
+         real v2 record framing, path and all. *)
+      let rs = "\x1e" in
+      let patch_body = "doc-1" ^ rs ^ "42" ^ rs ^ Sd.encode e1 in
+      let edit_record_bytes =
+        String.length
+          (Bx_server.Journal.encode ~seq:1000
+             ~path:"/slens/composers/patch" ~body:patch_body)
+      in
+      let full_record_bytes =
+        String.length
+          (Bx_server.Journal.encode ~seq:1000
+             ~path:"/slens/composers/doc/doc-1" ~body:ns1)
+      in
+      let edit_record_pct =
+        100. *. float_of_int edit_record_bytes /. float_of_int full_record_bytes
+      in
+      let p12_put_speedup = full_put /. delta_put in
+      let p12_get_speedup = full_get /. delta_get in
+      Fmt.pr
+        "lines=%5d  put_delta %8.1f us vs full put %8.1f us (%5.1fx, fast \
+         share %.2f)%s@."
+        k (delta_put *. 1e6) (full_put *. 1e6) p12_put_speedup put_fast_share
+        (if k = 1000 && p12_put_speedup < 20.0 then
+           "  *** BELOW 20x TARGET ***"
+         else "");
+      Fmt.pr
+        "             get_delta %8.1f us vs full get %8.1f us (%5.1fx)@."
+        (delta_get *. 1e6) (full_get *. 1e6) p12_get_speedup;
+      Fmt.pr
+        "             journal record: %d B edit vs %d B full document \
+         (%.2f%%)%s@."
+        edit_record_bytes full_record_bytes edit_record_pct
+        (if k = 1000 && edit_record_pct > 5.0 then
+           "  *** ABOVE 5%% TARGET ***"
+         else "");
+      {
+        p12_lines = k;
+        p12_bytes = bytes;
+        delta_put_us = delta_put *. 1e6;
+        full_put_us = full_put *. 1e6;
+        p12_put_speedup;
+        delta_get_us = delta_get *. 1e6;
+        full_get_us = full_get *. 1e6;
+        p12_get_speedup;
+        edit_record_bytes;
+        full_record_bytes;
+        edit_record_pct;
+        put_fast_share;
+      })
+    sizes
+
+let write_delta_json path rows =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"suite\": \"bx delta propagation\",\n";
+  add "%s" (host_meta ~domains_used:1);
+  add "  \"baseline\": \"full put/get through the zero-copy slice engine\",\n";
+  add "  \"edit_shape\": \"single-line nationality replacement, rotating \
+       line, steady-state cache\",\n";
+  add "  \"method\": \"p50 over >= 9 samples after 3 warm-ups; edit \
+       construction untimed\",\n";
+  add "  \"put_speedup_target_at_1000_lines\": 20.0,\n";
+  add "  \"edit_record_max_pct\": 5.0,\n";
+  add "  \"rows\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      add
+        "    { \"lines\": %d, \"bytes\": %d, \"delta_put_us\": %.2f, \
+         \"full_put_us\": %.2f, \"put_speedup\": %.1f, \"put_fast_share\": \
+         %.3f, \"delta_get_us\": %.2f, \"full_get_us\": %.2f, \
+         \"get_speedup\": %.1f, \"edit_record_bytes\": %d, \
+         \"full_record_bytes\": %d, \"edit_record_pct\": %.2f }%s\n"
+        r.p12_lines r.p12_bytes r.delta_put_us r.full_put_us
+        r.p12_put_speedup r.put_fast_share r.delta_get_us r.full_get_us
+        r.p12_get_speedup r.edit_record_bytes r.full_record_bytes
+        r.edit_record_pct
+        (if i = last then "" else ","))
+    rows;
+  add "  ]\n";
+  add "}\n";
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf))
+
 let e6 () =
   rule "E6: BenchmarX-style scenarios stay consistent at every step";
   List.iter
@@ -1605,6 +1827,9 @@ let () =
   let p9_only = ref false in
   let p11_only = ref false in
   let p11_sizes = ref [ 10_000; 100_000 ] in
+  let p12_only = ref false in
+  let p12_sizes = ref [ 100; 1000; 5000 ] in
+  let delta_json_path = ref None in
   let guard_only = ref false in
   let skip_server = ref false in
   let spec =
@@ -1650,6 +1875,23 @@ let () =
                   | _ -> raise (Arg.Bad ("bad --p11-sizes entry: " ^ v)))
                 (String.split_on_char ',' s)),
         "<n,m,...>  P11 catalogue sizes (default 10000,100000)" );
+      ( "--json-delta",
+        Arg.String (fun p -> delta_json_path := Some p),
+        "<path>  dump the P12 delta-propagation rows as JSON" );
+      ( "--p12-only",
+        Arg.Set p12_only,
+        " run only the P12 delta-propagation benchmark" );
+      ( "--p12-sizes",
+        Arg.String
+          (fun s ->
+            p12_sizes :=
+              List.map
+                (fun v ->
+                  match int_of_string_opt (String.trim v) with
+                  | Some n when n > 0 -> n
+                  | _ -> raise (Arg.Bad ("bad --p12-sizes entry: " ^ v)))
+                (String.split_on_char ',' s)),
+        "<n,m,...>  P12 document sizes in lines (default 100,1000,5000)" );
       ( "--fault-guard",
         Arg.Set guard_only,
         " run only the zero-cost check on disabled failpoints (exits 1 on \
@@ -1662,10 +1904,19 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
     "bench/main.exe [--e-only] [--p7-only] [--p8-only] [--p9-only] \
-     [--p11-only] [--p11-sizes n,m] [--fault-guard] [--skip-server] \
-     [--json <path>] [--json-strlens <path>] [--json-shed <path>] \
-     [--json-repl <path>] [--json-shard <path>]";
+     [--p11-only] [--p11-sizes n,m] [--p12-only] [--p12-sizes n,m] \
+     [--fault-guard] [--skip-server] [--json <path>] [--json-strlens <path>] \
+     [--json-shed <path>] [--json-repl <path>] [--json-shard <path>] \
+     [--json-delta <path>]";
   if !guard_only then fault_guard ()
+  else if !p12_only then begin
+    let rows = p12_delta ~sizes:!p12_sizes () in
+    match !delta_json_path with
+    | Some path ->
+        write_delta_json path rows;
+        Fmt.pr "@.wrote %s@." path
+    | None -> ()
+  end
   else if !p11_only then begin
     let rows = p11_sharded ~sizes:!p11_sizes () in
     match !shard_json_path with
@@ -1724,6 +1975,12 @@ let () =
       end;
       let p6 = p6_engine () in
       let p7 = p7_strlens () in
+      (let rows = p12_delta ~sizes:!p12_sizes () in
+       match !delta_json_path with
+       | Some path ->
+           write_delta_json path rows;
+           Fmt.pr "@.wrote %s@." path
+       | None -> ());
       (let rows = p11_sharded ~sizes:!p11_sizes () in
        match !shard_json_path with
        | Some path ->

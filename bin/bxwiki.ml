@@ -21,7 +21,8 @@ let usage () =
     \       bxwiki gen --entries N [--seed S] [--format titles|paths|wiki]\n\
     \       bxwiki loadgen [--port PORT] [--port-file FILE] [--rate RPS]\n\
     \              [--warmup S] [--duration S] [--domains N]\n\
-    \              [--profile read-heavy|write-heavy|search-heavy|all]\n\
+    \              [--profile read-heavy|write-heavy|search-heavy|\n\
+    \                          patch-heavy|all]\n\
     \              [--pacing MODE]\n\
     \              [--entries N] [--seed S] [--scaling 1,2,4,8]\n\
     \              [--scaling-rate RPS] [--out FILE]\n\n\
@@ -57,7 +58,10 @@ let usage () =
      as many --workers as --domains (keep-alive pins a connection to a\n\
      worker) and the same --entries/--seed it booted with.  --scaling\n\
      re-runs the read-heavy profile at each domain count and records\n\
-     the server's lock-contention deltas; --out writes BENCH_load.json.";
+     the server's lock-contention deltas; --out writes BENCH_load.json.\n\
+     The patch-heavy profile ships single-line edits to lens-backed\n\
+     documents via POST /slens/composers/patch (each client domain owns\n\
+     one document), exercising the incremental delta-propagation path.";
   exit 2
 
 (* "[HOST:]PORT" — the host is resolved to loopback (the service only

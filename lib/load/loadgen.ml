@@ -141,6 +141,13 @@ type domain_tally = {
 let run_domain ~spec ~start ~offsets ~dseed () =
   let prng = Prng.of_int dseed in
   let conn = Conn.create ~port:spec.port in
+  (* One patch session per domain: one document, one writer, so patch
+     generations only go stale across a lost response. *)
+  let session =
+    Workload.session
+      ~docid:(Printf.sprintf "load-%d" (dseed land 0xFFFFFF))
+      ~doc_lines:200
+  in
   let tally =
     {
       hist = Hist.create ();
@@ -163,12 +170,22 @@ let run_domain ~spec ~start ~offsets ~dseed () =
       let now = Unix.gettimeofday () in
       if scheduled > now then Unix.sleepf (scheduled -. now);
       let op = Workload.pick spec.profile prng in
-      let req = Workload.plan ~targets:spec.targets prng op in
+      let req =
+        match op with
+        | Workload.Patch -> Workload.patch_plan session prng
+        | _ -> Workload.plan ~targets:spec.targets prng op
+      in
       let outcome =
         match Conn.request conn ~meth:req.Workload.meth ~path:req.Workload.path
                 ~body:req.Workload.body
         with
-        | Error e -> Error e
+        | Error e ->
+            if op = Workload.Patch then
+              Workload.patch_ack session ~status:0 ~body:"";
+            Error e
+        | Ok (status, body) when op = Workload.Patch ->
+            Workload.patch_ack session ~status ~body;
+            Ok status
         | Ok (status, body) when status >= 200 && status < 300 -> (
             (* A write's opening GET succeeded: post the text back. *)
             match Workload.write_back req ~body with

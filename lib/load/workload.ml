@@ -9,6 +9,7 @@ type op =
   | Slens_get
   | Slens_put
   | Slens_batch
+  | Patch
 
 let op_name = function
   | Entry_html -> "entry_html"
@@ -21,6 +22,7 @@ let op_name = function
   | Slens_get -> "slens_get"
   | Slens_put -> "slens_put"
   | Slens_batch -> "slens_batch"
+  | Patch -> "patch"
 
 type profile = { profile_name : string; mix : (op * int) list }
 
@@ -55,7 +57,17 @@ let search_heavy =
       ];
   }
 
-let profiles = [ read_heavy; write_heavy; search_heavy ]
+let patch_heavy =
+  {
+    profile_name = "patch-heavy";
+    mix =
+      [
+        (Patch, 50); (Entry_html, 20); (Slens_get, 10); (Entry_wiki, 5);
+        (Index, 5); (Entry_write, 5); (Slens_put, 5);
+      ];
+  }
+
+let profiles = [ read_heavy; write_heavy; search_heavy; patch_heavy ]
 
 let of_name name =
   List.find_opt (fun p -> p.profile_name = name) profiles
@@ -103,6 +115,7 @@ let search_paths =
 let plan ~targets prng op =
   if Array.length targets = 0 then invalid_arg "Workload.plan: no targets";
   match op with
+  | Patch -> invalid_arg "Workload.plan: Patch is stateful, use patch_plan"
   | Entry_html -> { meth = "GET"; path = entry targets prng; body = "" }
   | Entry_wiki ->
       { meth = "GET"; path = entry targets prng ^ ".wiki"; body = "" }
@@ -154,3 +167,136 @@ let write_back req ~body =
   match (req.meth, Filename.chop_suffix_opt ~suffix:".wiki" req.path) with
   | "GET", Some page -> Some { meth = "POST"; path = page; body }
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Patch sessions.  A [Patch] op edits a long-lived server-side
+   document through POST /slens/composers/patch, shipping a single-line
+   edit instead of the document — the traffic shape the delta engine
+   exists for.  That needs state a stateless [plan] cannot carry: the
+   document's generation (the patch frame names it) and the client's
+   copy of the view (edits are computed against it).  Each client
+   domain owns one session — one document, one writer — so generations
+   only go stale across a lost response, which the ack path heals by
+   recreating the document. *)
+
+type session = {
+  docid : string;
+  doc_lines : int;
+  mutable pgen : int;  (* 0 = document not (or no longer) created *)
+  mutable pview : string;  (* client copy of the view while pgen > 0 *)
+  mutable pending : pending;
+}
+
+and pending = P_none | P_create | P_patch of string
+
+let session ~docid ~doc_lines =
+  {
+    docid;
+    doc_lines = max 1 doc_lines;
+    pgen = 0;
+    pview = "";
+    pending = P_none;
+  }
+
+(* A fresh nationality for a random line of the view: keeps the document
+   well-typed (letters only) while guaranteeing the line actually
+   changes. *)
+let edit_view prng view =
+  let lines = String.split_on_char '\n' view in
+  (* A well-formed view ends in '\n', so the last split element is "". *)
+  let n = List.length lines - 1 in
+  if n <= 0 then None
+  else begin
+    let target = Prng.int prng n in
+    let word =
+      String.init 6 (fun _ -> Char.chr (Char.code 'a' + Prng.int prng 26))
+    in
+    let changed = ref false in
+    let lines' =
+      List.mapi
+        (fun i line ->
+          if i <> target || line = "" then line
+          else
+            match String.index_opt line ',' with
+            | None -> line
+            | Some c ->
+                let line' = String.sub line 0 c ^ ", " ^ word in
+                if line' <> line then changed := true;
+                line')
+        lines
+    in
+    if !changed then Some (String.concat "\n" lines') else None
+  end
+
+let patch_plan session prng =
+  if session.pgen = 0 then begin
+    session.pending <- P_create;
+    {
+      meth = "POST";
+      path = "/slens/composers/doc/" ^ session.docid;
+      body = Bx_catalogue.Composers_string.synthetic_source session.doc_lines;
+    }
+  end
+  else
+    match edit_view prng session.pview with
+    | Some view' ->
+        let edit = Bx_strlens.Sdiff.diff session.pview view' in
+        session.pending <- P_patch view';
+        {
+          meth = "POST";
+          path = "/slens/composers/patch";
+          body =
+            session.docid ^ rs ^ string_of_int session.pgen ^ rs
+            ^ Bx_strlens.Sdiff.encode edit;
+        }
+    | None ->
+        (* Degenerate view (should not happen for doc_lines >= 1):
+           recreate rather than wedge. *)
+        session.pgen <- 0;
+        session.pending <- P_create;
+        {
+          meth = "POST";
+          path = "/slens/composers/doc/" ^ session.docid;
+          body =
+            Bx_catalogue.Composers_string.synthetic_source session.doc_lines;
+        }
+
+let patch_ack session ~status ~body =
+  let pending = session.pending in
+  session.pending <- P_none;
+  if status >= 200 && status < 300 then begin
+    (* Both responses open with the new generation. *)
+    let gen_prefix =
+      let stop = ref 0 in
+      let n = String.length body in
+      while !stop < n && body.[!stop] >= '0' && body.[!stop] <= '9' do
+        incr stop
+      done;
+      String.sub body 0 !stop
+    in
+    match (int_of_string_opt gen_prefix, pending) with
+    | Some gen, P_create ->
+        session.pgen <- gen;
+        (* The server's view of the document we just created — computed
+           through the lens, NOT [synthetic_view], which is a shuffled
+           variant for realignment benchmarks.  The client copy must
+           match the server's or every edit would be computed against
+           the wrong base. *)
+        session.pview <-
+          (let module S = Bx_strlens.Slens in
+           Bx_catalogue.Composers_string.lens.S.get
+             (Bx_catalogue.Composers_string.synthetic_source
+                session.doc_lines))
+    | Some gen, P_patch view' ->
+        session.pgen <- gen;
+        session.pview <- view'
+    | _ -> session.pgen <- 0
+  end
+  else if status = 409 then
+    (* Our generation went stale (a lost response applied after all):
+       recreate the document on the next Patch op. *)
+    session.pgen <- 0
+(* Any other refusal (503 shed, transport error reported as status 0):
+   the server did not apply the patch, so the session state still
+   matches and the next patch simply retries against the same
+   generation — and heals via the 409 path if we guessed wrong. *)

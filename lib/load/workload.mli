@@ -27,6 +27,11 @@ type op =
       (** POST /slens/composers/get_batch or put_batch — RS/US framed
           multi-document payloads fanned over the server's lens
           workers. *)
+  | Patch
+      (** POST /slens/composers/patch — a single-line edit to a
+          long-lived lens-backed document, propagated incrementally by
+          the server's delta engine.  Stateful: planned through
+          {!patch_plan} against a per-domain {!session}, not {!plan}. *)
 
 val op_name : op -> string
 
@@ -46,6 +51,12 @@ val search_heavy : profile
     browses and occasionally writes — the profile that shows whether
     search latency stays flat as the catalogue grows. *)
 
+val patch_heavy : profile
+(** Half the traffic ships single-line edits to lens-backed documents
+    through [/slens/composers/patch] — the profile that exercises the
+    delta propagation path (edit-sized requests, journal records and
+    replication traffic) against a background of reads. *)
+
 val profiles : profile list
 val of_name : string -> profile option
 
@@ -57,8 +68,34 @@ type request = { meth : string; path : string; body : string }
 val plan : targets:string array -> Prng.t -> op -> request
 (** The request an [op] issues against entry paths [targets] (as from
     {!Corpus.wiki_paths}).  [Entry_write] plans its opening GET; the
-    driver posts the fetched body back to {!write_back}. *)
+    driver posts the fetched body back to {!write_back}.  [Patch] is
+    stateful and must go through {!patch_plan} instead
+    ([Invalid_argument] here). *)
 
 val write_back : request -> body:string -> request option
 (** Given a planned [Entry_write] GET and the wiki text it returned, the
     follow-up POST; [None] for every other request. *)
+
+(** {1 Patch sessions}
+
+    One per client domain: a long-lived lens-backed document the domain
+    repeatedly edits through [/slens/composers/patch], tracking the
+    generation and its copy of the view client-side. *)
+
+type session
+
+val session : docid:string -> doc_lines:int -> session
+(** A session for document [docid] of [doc_lines] composer records
+    (created lazily by the first [Patch] op). *)
+
+val patch_plan : session -> Prng.t -> request
+(** The next [Patch] request: the document-creating POST when the
+    session has no live document, otherwise a patch frame carrying a
+    single-line edit computed against the session's view copy. *)
+
+val patch_ack : session -> status:int -> body:string -> unit
+(** Feed the response back.  Success advances the generation and the
+    view copy; a 409 marks the document for recreation (our state went
+    stale across a lost response); anything else leaves the session
+    unchanged — the patch was not applied, so a retry against the same
+    generation is correct. *)

@@ -1,0 +1,320 @@
+module Slens = Bx_strlens.Slens
+module Sdiff = Bx_strlens.Sdiff
+module Delta = Bx_strlens.Slens_delta
+
+let rs = '\x1e'
+
+type entry = {
+  mutable source : string;
+  mutable view : string;
+  mutable gen : int;
+  cache : Delta.cache;
+      (* private to this document; mutated under the store mutex *)
+}
+
+type t = {
+  lenses : (string * Slens.t) list;
+  docs : (string * string, entry) Hashtbl.t; (* (lens, docid) *)
+  m : Mutex.t;
+}
+
+let create ~lenses = { lenses; docs = Hashtbl.create 64; m = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.m)
+
+let doc_count t = locked t (fun () -> Hashtbl.length t.docs)
+
+type error =
+  | Not_found of string
+  | Stale of { current : int; got : int }
+  | Bad_request of string
+  | Unprocessable of string
+
+let describe = function
+  | Not_found m -> m
+  | Stale { current; got } ->
+      Printf.sprintf "stale generation: document is at %d, patch names %d"
+        current got
+  | Bad_request m -> m
+  | Unprocessable m -> m
+
+(* A docid travels inside patch frames (RS-separated) and path segments,
+   so it must be a single printable token. *)
+let docid_ok id =
+  id <> ""
+  && String.for_all (fun c -> c > '\x1f' && c <> '\x7f' && c <> '/') id
+
+let find_lens t name =
+  match List.assoc_opt name t.lenses with
+  | Some l -> Ok l
+  | None -> Error (Not_found (Printf.sprintf "unknown lens %S" name))
+
+let put_doc t ~lens ~docid ~source =
+  locked t (fun () ->
+      match find_lens t lens with
+      | Error _ as e -> e
+      | Ok l ->
+          if not (docid_ok docid) then
+            Error (Bad_request (Printf.sprintf "bad document id %S" docid))
+          else begin
+            match l.Slens.get source with
+            | exception (Slens.Type_error m | Bx_strlens.Split.Split_error m)
+              ->
+                Error (Unprocessable m)
+            | view -> (
+                let key = (lens, docid) in
+                match Hashtbl.find_opt t.docs key with
+                | Some e ->
+                    e.source <- source;
+                    e.view <- view;
+                    e.gen <- e.gen + 1;
+                    Delta.invalidate e.cache;
+                    Ok e.gen
+                | None ->
+                    Hashtbl.replace t.docs key
+                      { source; view; gen = 1; cache = Delta.make_cache () };
+                    Ok 1)
+          end)
+
+let get_doc t ~lens ~docid ~view =
+  locked t (fun () ->
+      match find_lens t lens with
+      | Error _ as e -> e
+      | Ok _ -> (
+          match Hashtbl.find_opt t.docs (lens, docid) with
+          | None ->
+              Error (Not_found (Printf.sprintf "unknown document %S" docid))
+          | Some e -> Ok (e.gen, if view then e.view else e.source)))
+
+let split_once sep str =
+  match String.index_opt str sep with
+  | None -> None
+  | Some i ->
+      Some
+        (String.sub str 0 i, String.sub str (i + 1) (String.length str - i - 1))
+
+let patch t ~lens ~reverse body =
+  locked t (fun () ->
+      match find_lens t lens with
+      | Error _ as e -> e
+      | Ok l -> (
+          let frame =
+            match split_once rs body with
+            | None -> None
+            | Some (docid, rest) -> (
+                match split_once rs rest with
+                | None -> None
+                | Some (gen_s, edit_frame) -> (
+                    match int_of_string_opt gen_s with
+                    | None -> None
+                    | Some gen -> Some (docid, gen, edit_frame)))
+          in
+          match frame with
+          | None ->
+              Error
+                (Bad_request
+                   "patch body must be <docid> RS (0x1e) <gen> RS <edit>")
+          | Some (docid, gen, edit_frame) -> (
+              match Hashtbl.find_opt t.docs (lens, docid) with
+              | None ->
+                  Error
+                    (Not_found (Printf.sprintf "unknown document %S" docid))
+              | Some e ->
+                  if gen <> e.gen then
+                    Error (Stale { current = e.gen; got = gen })
+                  else begin
+                    match Sdiff.decode edit_frame with
+                    | Error m -> Error (Unprocessable ("bad edit: " ^ m))
+                    | Ok edit -> (
+                        try
+                          if reverse then begin
+                            (* Source edit, propagated forwards. *)
+                            let new_view, view_edit =
+                              Delta.get_delta l ~cache:e.cache
+                                ~source:e.source ~view:e.view edit
+                            in
+                            e.source <- Sdiff.apply e.source edit;
+                            e.view <- new_view;
+                            e.gen <- e.gen + 1;
+                            Ok (e.gen, view_edit)
+                          end
+                          else begin
+                            (* View edit, propagated backwards. *)
+                            let new_source, source_edit =
+                              Delta.put_delta l ~cache:e.cache
+                                ~source:e.source ~view:e.view edit
+                            in
+                            e.view <- Sdiff.apply e.view edit;
+                            e.source <- new_source;
+                            e.gen <- e.gen + 1;
+                            Ok (e.gen, source_edit)
+                          end
+                        with
+                        | Sdiff.Bad_edit m ->
+                            Error (Unprocessable ("bad edit: " ^ m))
+                        | Slens.Type_error m
+                        | Bx_strlens.Split.Split_error m ->
+                            (* The full-put fallback may have died halfway
+                               through a buffer; the cached decomposition
+                               is not to be trusted. *)
+                            Delta.invalidate e.cache;
+                            Error (Unprocessable m))
+                  end)))
+
+let is_doc_path path =
+  match String.split_on_char '/' path with
+  | [ ""; "slens"; _; ("patch" | "patch_source") ] -> true
+  | [ ""; "slens"; _; "doc"; _ ] -> true
+  | _ -> false
+
+let apply t ~path ~body =
+  match String.split_on_char '/' path with
+  | [ ""; "slens"; name; "doc"; docid ] -> (
+      match put_doc t ~lens:name ~docid ~source:body with
+      | Ok _ -> Ok ()
+      | Error e -> Error (describe e))
+  | [ ""; "slens"; name; ("patch" | "patch_source" as op) ] -> (
+      match patch t ~lens:name ~reverse:(op = "patch_source") body with
+      | Ok _ -> Ok ()
+      | Error e -> Error (describe e))
+  | _ -> Error "not a document-store path"
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot dump: a deterministic, length-prefixed flat file.  Only
+   (lens, docid, gen, source) is stored — the view is the lens's to
+   recompute, which doubles as validation at load. *)
+
+let docs_file = "DOCS.bxdocs"
+let magic = "bxdocs1\n"
+
+let dump t =
+  locked t (fun () ->
+      let entries =
+        Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.docs []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf magic;
+      Buffer.add_string buf (string_of_int (List.length entries));
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun ((lens, docid), e) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d %d %d %d\n" e.gen (String.length lens)
+               (String.length docid)
+               (String.length e.source));
+          Buffer.add_string buf lens;
+          Buffer.add_string buf docid;
+          Buffer.add_string buf e.source;
+          Buffer.add_char buf '\n')
+        entries;
+      Buffer.contents buf)
+
+let parse s =
+  let n = String.length s in
+  let fail m = Error ("docstore dump: " ^ m) in
+  let mlen = String.length magic in
+  if n < mlen || String.sub s 0 mlen <> magic then fail "bad magic"
+  else
+    let line_end pos =
+      match String.index_from_opt s pos '\n' with
+      | Some i -> Ok i
+      | None -> fail "truncated"
+    in
+    match line_end mlen with
+    | Error _ as e -> e
+    | Ok ce -> (
+        match int_of_string_opt (String.sub s mlen (ce - mlen)) with
+        | None -> fail "bad count"
+        | Some count ->
+            let rec go k pos acc =
+              if k = count then
+                if pos = n then Ok (List.rev acc) else fail "trailing bytes"
+              else
+                match line_end pos with
+                | Error _ as e -> e
+                | Ok he -> (
+                    let header = String.sub s pos (he - pos) in
+                    match
+                      String.split_on_char ' ' header
+                      |> List.map int_of_string_opt
+                    with
+                    | [ Some gen; Some ll; Some dl; Some sl ]
+                      when gen > 0 && ll >= 0 && dl >= 0 && sl >= 0 ->
+                        let start = he + 1 in
+                        if start + ll + dl + sl + 1 > n then fail "truncated"
+                        else
+                          let lens = String.sub s start ll in
+                          let docid = String.sub s (start + ll) dl in
+                          let source = String.sub s (start + ll + dl) sl in
+                          if s.[start + ll + dl + sl] <> '\n' then
+                            fail "bad record terminator"
+                          else
+                            go (k + 1)
+                              (start + ll + dl + sl + 1)
+                              ((lens, docid, gen, source) :: acc)
+                    | _ -> fail "bad record header")
+            in
+            go 0 (ce + 1) [])
+
+let load t s =
+  match parse s with
+  | Error _ as e -> e
+  | Ok records ->
+      locked t (fun () ->
+          Hashtbl.reset t.docs;
+          let rec go = function
+            | [] -> Ok ()
+            | (lens, docid, gen, source) :: rest -> (
+                match List.assoc_opt lens t.lenses with
+                | None ->
+                    Printf.eprintf
+                      "bxwiki: docstore: skipping %S/%S (unknown lens)\n%!"
+                      lens docid;
+                    go rest
+                | Some l -> (
+                    match l.Slens.get source with
+                    | exception
+                        ( Slens.Type_error m
+                        | Bx_strlens.Split.Split_error m ) ->
+                        Error
+                          (Printf.sprintf "docstore dump: %s/%s: %s" lens
+                             docid m)
+                    | view ->
+                        Hashtbl.replace t.docs (lens, docid)
+                          { source; view; gen; cache = Delta.make_cache () };
+                        go rest))
+          in
+          go records)
+
+let save_dir t ~dir =
+  if doc_count t = 0 then Ok ()
+  else
+    try
+      let oc = open_out_bin (Filename.concat dir docs_file) in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (dump t));
+      Ok ()
+    with Sys_error e -> Error e
+
+let load_dir t ~dir =
+  let file = Filename.concat dir docs_file in
+  if not (Sys.file_exists file) then begin
+    locked t (fun () -> Hashtbl.reset t.docs);
+    Ok ()
+  end
+  else
+    try
+      let ic = open_in_bin file in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      load t s
+    with
+    | Sys_error e -> Error ("docstore dump: " ^ e)
+    | End_of_file -> Error "docstore dump: truncated file"

@@ -296,6 +296,38 @@ let render t =
       line "# HELP bxwiki_slens_ctx_fresh_total Lens runs that allocated a fresh execution context.";
       line "# TYPE bxwiki_slens_ctx_fresh_total counter";
       line "bxwiki_slens_ctx_fresh_total %d" es.Bx_strlens.Slens.ctx_fresh;
+      (* Delta propagation: which tier served each call, how much work
+         it reused, and what the edits weighed against the documents
+         they stand for. *)
+      let ds = Bx_strlens.Slens_delta.stats () in
+      line "# HELP bxwiki_delta_puts_total put_delta calls, by tier.";
+      line "# TYPE bxwiki_delta_puts_total counter";
+      line "bxwiki_delta_puts_total{path=\"fast\"} %d"
+        ds.Bx_strlens.Slens_delta.fast_puts;
+      line "bxwiki_delta_puts_total{path=\"slow\"} %d"
+        ds.Bx_strlens.Slens_delta.slow_puts;
+      line "bxwiki_delta_puts_total{path=\"fallback\"} %d"
+        ds.Bx_strlens.Slens_delta.fallback_puts;
+      line "# HELP bxwiki_delta_gets_total get_delta calls, by tier.";
+      line "# TYPE bxwiki_delta_gets_total counter";
+      line "bxwiki_delta_gets_total{path=\"fast\"} %d"
+        ds.Bx_strlens.Slens_delta.fast_gets;
+      line "bxwiki_delta_gets_total{path=\"fallback\"} %d"
+        ds.Bx_strlens.Slens_delta.fallback_gets;
+      line
+        "# HELP bxwiki_delta_chunks_total Chunks spliced verbatim vs re-run through the body lens.";
+      line "# TYPE bxwiki_delta_chunks_total counter";
+      line "bxwiki_delta_chunks_total{action=\"reused\"} %d"
+        ds.Bx_strlens.Slens_delta.chunks_reused;
+      line "bxwiki_delta_chunks_total{action=\"recomputed\"} %d"
+        ds.Bx_strlens.Slens_delta.chunks_recomputed;
+      line
+        "# HELP bxwiki_delta_bytes_total Edit payload bytes vs the full documents they stand for.";
+      line "# TYPE bxwiki_delta_bytes_total counter";
+      line "bxwiki_delta_bytes_total{kind=\"delta\"} %d"
+        ds.Bx_strlens.Slens_delta.delta_bytes;
+      line "bxwiki_delta_bytes_total{kind=\"full\"} %d"
+        ds.Bx_strlens.Slens_delta.full_bytes;
       line "# HELP bxwiki_cache_hits_total Rendered-page cache hits.";
       line "# TYPE bxwiki_cache_hits_total counter";
       line "bxwiki_cache_hits_total %d" t.hits;

@@ -134,6 +134,10 @@ type t = {
          entry read only ever waits on its own shard's writer *)
   pages : (string * (unit -> string * string)) list;
   lenses : (string * Bx_strlens.Slens.t) list;
+  docstore : Docstore.t;
+      (* lens-backed documents; mutations ride shard 0's write lock and
+         journal segment (lock order: shard lock, then the store's own
+         mutex) *)
   pages_mutex : Mutex.t;
       (* extra-page thunks may force lazies; serialise them so worker
          domains cannot race inside [Lazy.force] *)
@@ -225,19 +229,33 @@ let lock_stats t =
 (* ------------------------------------------------------------------ *)
 (* Boot: snapshot, then log replay *)
 
-let replay_edits registry records =
+let is_slens_path path =
+  String.length path > 7 && String.sub path 0 7 = "/slens/"
+
+let replay_edits registry docstore records =
   List.fold_left
     (fun (ok, failed) (r : Journal.record) ->
-      let response =
-        Bx_repo.Webui.handle registry ~meth:"POST" ~path:r.path ~body:r.body
-      in
-      if response.Bx_repo.Webui.status = 200 then (ok + 1, failed)
-      else begin
-        Printf.eprintf
-          "bxwiki: journal record %d (%s) no longer applies (status %d)\n%!"
-          r.seq r.path response.Bx_repo.Webui.status;
-        (ok, failed + 1)
-      end)
+      if is_slens_path r.path then
+        (* Lens-document records replay against the docstore; the
+           registry never sees them. *)
+        match Docstore.apply docstore ~path:r.path ~body:r.body with
+        | Ok () -> (ok + 1, failed)
+        | Error e ->
+            Printf.eprintf
+              "bxwiki: journal record %d (%s) no longer applies (%s)\n%!"
+              r.seq r.path e;
+            (ok, failed + 1)
+      else
+        let response =
+          Bx_repo.Webui.handle registry ~meth:"POST" ~path:r.path ~body:r.body
+        in
+        if response.Bx_repo.Webui.status = 200 then (ok + 1, failed)
+        else begin
+          Printf.eprintf
+            "bxwiki: journal record %d (%s) no longer applies (status %d)\n%!"
+            r.seq r.path response.Bx_repo.Webui.status;
+          (ok, failed + 1)
+        end)
     (0, 0) records
 
 (* Per-shard snapshot writer: a single-shard service keeps writing the
@@ -245,8 +263,21 @@ let replay_edits registry records =
    pre-sharding snapshot); a sharded one dumps only shard [k], so
    compacting one segment costs O(shard), not O(catalogue). *)
 let save_shard_cb t k ~dir =
-  if Array.length t.locks = 1 then Bx_repo.Store.save ~dir t.registry
-  else Bx_repo.Store.save_shard ~dir t.registry k
+  let pages =
+    if Array.length t.locks = 1 then Bx_repo.Store.save ~dir t.registry
+    else Bx_repo.Store.save_shard ~dir t.registry k
+  in
+  match pages with
+  | Error _ as e -> e
+  | Ok n ->
+      (* Lens-backed documents ride shard 0's snapshot as one extra flat
+         file; every other loader ignores it (page files are recognised
+         by name). *)
+      if k <> 0 || Docstore.doc_count t.docstore = 0 then Ok n
+      else
+        match Docstore.save_dir t.docstore ~dir with
+        | Ok () -> Ok (n + 1)
+        | Error e -> Error e
 
 let checkpoint_shard_locked t k =
   (* Caller holds shard [k]'s write lock. *)
@@ -282,6 +313,9 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
     if Bx_repo.Registry.shard_count registry = shards then Ok registry
     else Bx_repo.Registry.import ~shards (Bx_repo.Registry.export registry)
   in
+  (* Built before replay: journalled lens-document records apply to the
+     docstore, not the registry. *)
+  let docstore = Docstore.create ~lenses in
   let fresh ~registry ~log ~applied ~failed =
     (* Epoch at boot: a primary starts at (at least) 1 and persists it,
        so any future promotion elsewhere necessarily fences it; a
@@ -308,6 +342,7 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
       locks = Array.init shards (fun _ -> Rwlock.create ());
       pages;
       lenses;
+      docstore;
       pages_mutex = Mutex.create ();
       log;
       metrics;
@@ -376,7 +411,20 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
               Shardlog.close log;
               Error e
           | Ok registry -> (
-              let applied, failed = replay_edits registry recovery.replay in
+              (* Documents persist in shard 0's snapshot; load them
+                 before replay so journalled patches find their
+                 documents at the right generation. *)
+              (match
+                 Docstore.load_dir docstore
+                   ~dir:
+                     (Journal.snapshot_dir
+                        (Shardlog.segment_dir ~dir ~shards 0))
+               with
+              | Ok () -> ()
+              | Error e -> Printf.eprintf "bxwiki: %s\n%!" e);
+              let applied, failed =
+                replay_edits registry docstore recovery.replay
+              in
               let t = fresh ~registry ~log:(Some log) ~applied ~failed in
               if not recovery.migrated then Ok t
               else
@@ -394,9 +442,6 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
 
 (* ------------------------------------------------------------------ *)
 (* Request handling *)
-
-let is_slens_path path =
-  String.length path > 7 && String.sub path 0 7 = "/slens/"
 
 let route_of t path =
   let ends_with suffix = Filename.check_suffix path suffix in
@@ -580,14 +625,61 @@ let handle_slens t path body =
             respond_text 422 (m ^ "\n")))
   | _ -> respond_text 404 "lens paths are /slens/<name>/<op>\n"
 
-let handle_post t path body =
+(* Why this node cannot accept a write right now, if it cannot. *)
+let write_barrier t =
   if Atomic.get t.replica then
-    respond_text 503 "read-only replica: writes go to the primary\n"
+    Some (respond_text 503 "read-only replica: writes go to the primary\n")
   else if Atomic.get t.fenced_by > 0 then
-    respond_text 503
-      (Printf.sprintf "fenced: deposed by epoch %d, writes rejected\n"
-         (Atomic.get t.fenced_by))
-  else begin
+    Some
+      (respond_text 503
+         (Printf.sprintf "fenced: deposed by epoch %d, writes rejected\n"
+            (Atomic.get t.fenced_by)))
+  else None
+
+(* The durability half of an accepted write: bump shard [k]'s
+   generation, append the record, compact the segment when it is due.
+   The caller holds shard [k]'s write lock and has already applied the
+   edit in memory. *)
+let journal_accepted t ~k ~path ~body response =
+  t.gens.(k) <- t.gens.(k) + 1;
+  match t.log with
+  | None ->
+      Atomic.incr t.applied_next;
+      response
+  | Some log -> (
+      match Shardlog.append log ~shard:k ~path ~body with
+      | Error e ->
+          (* The in-memory edit stands, but durability was promised and
+             could not be delivered: tell the client the truth, flip
+             /readyz, and let the operator look at the disk. *)
+          Atomic.set t.journal_ok false;
+          Metrics.protocol_error t.metrics ~route:"journal"
+            ~reason:"append_failed";
+          respond_html 500 "Journal write failed"
+            ("<p>Edit applied in memory but not journaled: "
+            ^ Bx_repo.Markup.html_escape e ^ "</p>")
+      | Ok _ ->
+          Atomic.set t.journal_ok true;
+          Atomic.set t.applied_next (Shardlog.next_seq log);
+          if
+            t.config.compact_every > 0
+            && Shardlog.record_count log k >= t.config.compact_every
+          then begin
+            (* A failed compaction must not take the service down: the
+               journal keeps growing, the failure is counted and
+               surfaced in /metrics, and serving continues.  Only this
+               shard's segment snapshots and truncates — compaction
+               cost is O(shard), whatever the catalogue size. *)
+            match checkpoint_shard_locked t k with
+            | Ok _ -> ()
+            | Error e -> Printf.eprintf "bxwiki: compaction failed: %s\n%!" e
+          end;
+          response)
+
+let handle_post t path body =
+  match write_barrier t with
+  | Some refusal -> refusal
+  | None ->
   Bx_fault.Fault.point "service.lock.write";
   (* An entry edit takes only its shard's write lock (and lands in that
      shard's journal segment); edits to entries in other shards proceed
@@ -607,47 +699,88 @@ let handle_post t path body =
         Bx_repo.Webui.handle t.registry ~meth:"POST" ~path ~body
       in
       if response.Bx_repo.Webui.status <> 200 then response
-      else begin
-        let k = Option.value shard_opt ~default:0 in
-        t.gens.(k) <- t.gens.(k) + 1;
-        match t.log with
-        | None ->
-            Atomic.incr t.applied_next;
-            response
-        | Some log -> (
-            match Shardlog.append log ~shard:k ~path ~body with
-            | Error e ->
-                (* The in-memory edit stands, but durability was
-                   promised and could not be delivered: tell the client
-                   the truth, flip /readyz, and let the operator look at
-                   the disk. *)
-                Atomic.set t.journal_ok false;
-                Metrics.protocol_error t.metrics ~route:"journal"
-                  ~reason:"append_failed";
-                respond_html 500 "Journal write failed"
-                  ("<p>Edit applied in memory but not journaled: "
-                  ^ Bx_repo.Markup.html_escape e ^ "</p>")
-            | Ok _ ->
-                Atomic.set t.journal_ok true;
-                Atomic.set t.applied_next (Shardlog.next_seq log);
-                if
-                  t.config.compact_every > 0
-                  && Shardlog.record_count log k >= t.config.compact_every
-                then begin
-                  (* A failed compaction must not take the service down:
-                     the journal keeps growing, the failure is counted
-                     and surfaced in /metrics, and serving continues.
-                     Only this shard's segment snapshots and truncates —
-                     compaction cost is O(shard), whatever the catalogue
-                     size. *)
-                  match checkpoint_shard_locked t k with
-                  | Ok _ -> ()
-                  | Error e ->
-                      Printf.eprintf "bxwiki: compaction failed: %s\n%!" e
-                end;
-                response)
-      end)
-  end
+      else
+        journal_accepted t
+          ~k:(Option.value shard_opt ~default:0)
+          ~path ~body response)
+
+(* ------------------------------------------------------------------ *)
+(* Lens-backed documents.  POST /slens/<name>/doc/<docid> stores a
+   source document (the view is maintained through the lens);
+   GET /slens/<name>/doc/<docid>[?as=view] reads either side back with
+   its generation; POST /slens/<name>/patch ships an {e edit} instead
+   of a document — a [<docid> RS <gen> RS <edit>] frame propagated
+   incrementally by {!Bx_strlens.Slens_delta}, answered with the new
+   generation and the complementary source edit.  [/patch_source] is
+   the mirror direction (a source edit, answered with the view edit).
+
+   Mutations ride shard 0's write lock and journal segment, and the
+   journal record {e is} the request frame: what the log and the
+   replication stream carry for a patch is the edit, not the
+   document. *)
+
+let docstore_error e =
+  let status =
+    match e with
+    | Docstore.Not_found _ -> 404
+    | Docstore.Stale _ -> 409
+    | Docstore.Bad_request _ -> 400
+    | Docstore.Unprocessable _ -> 422
+  in
+  respond_text status (Docstore.describe e ^ "\n")
+
+let handle_docstore_get t ~query path =
+  match String.split_on_char '/' path with
+  | [ ""; "slens"; name; "doc"; docid ] ->
+      let as_view =
+        List.assoc_opt "as" (Httpd.query_params query) = Some "view"
+      in
+      Metrics.observe_lens t.metrics ~lens:name ~op:"doc_get" ~docs:1
+        ~bytes:0;
+      read_shard t 0 (fun () ->
+          match
+            Docstore.get_doc t.docstore ~lens:name ~docid ~view:as_view
+          with
+          | Ok (gen, doc) ->
+              respond_text 200 (string_of_int gen ^ rs_str ^ doc)
+          | Error e -> docstore_error e)
+  | _ -> respond_text 404 "document paths are /slens/<name>/doc/<docid>\n"
+
+let handle_docstore_post t path body =
+  match write_barrier t with
+  | Some refusal -> refusal
+  | None ->
+      Bx_fault.Fault.point "service.lock.write";
+      write_shard t 0 (fun () ->
+          let result =
+            match String.split_on_char '/' path with
+            | [ ""; "slens"; name; "doc"; docid ] ->
+                Metrics.observe_lens t.metrics ~lens:name ~op:"doc_put"
+                  ~docs:1 ~bytes:(String.length body);
+                Result.map
+                  (fun gen -> respond_text 200 (string_of_int gen ^ "\n"))
+                  (Docstore.put_doc t.docstore ~lens:name ~docid
+                     ~source:body)
+            | [ ""; "slens"; name; (("patch" | "patch_source") as op) ] ->
+                Metrics.observe_lens t.metrics ~lens:name ~op ~docs:1
+                  ~bytes:(String.length body);
+                Result.map
+                  (fun (gen, edit) ->
+                    respond_text 200
+                      (string_of_int gen ^ rs_str
+                     ^ Bx_strlens.Sdiff.encode edit))
+                  (Docstore.patch t.docstore ~lens:name
+                     ~reverse:(op = "patch_source") body)
+            | _ ->
+                Ok
+                  (respond_text 404
+                     "document paths are /slens/<name>/doc/<docid> and \
+                      /slens/<name>/patch\n")
+          in
+          match result with
+          | Error e -> docstore_error e
+          | Ok response when response.Bx_repo.Webui.status <> 200 -> response
+          | Ok response -> journal_accepted t ~k:0 ~path ~body response)
 
 (* ------------------------------------------------------------------ *)
 (* Replication: the primary side (stream + snapshot endpoints), the
@@ -820,23 +953,40 @@ let replication_apply t records =
            journal segment) a local edit would have used — a replica's
            on-disk layout converges on the primary's. *)
         let shard_of_path path =
-          match Bx_repo.Webui.page_identifier path with
-          | Some id -> Bx_repo.Registry.shard_of_id t.registry id
-          | None -> 0
+          if is_slens_path path then 0
+          else
+            match Bx_repo.Webui.page_identifier path with
+            | Some id -> Bx_repo.Registry.shard_of_id t.registry id
+            | None -> 0
         in
         let apply_one (r : Journal.record) =
           let k = shard_of_path r.path in
-          let response =
-            Bx_repo.Webui.handle t.registry ~meth:"POST" ~path:r.path
-              ~body:r.body
-          in
-          if response.Bx_repo.Webui.status <> 200 then begin
-            Printf.eprintf
-              "bxwiki: streamed record %d (%s) did not apply (status %d)\n%!"
-              r.seq r.path response.Bx_repo.Webui.status;
-            Metrics.protocol_error t.metrics ~route:"replication"
-              ~reason:"apply_failed"
-          end;
+          (if is_slens_path r.path then begin
+             (* A streamed patch record carries the edit, not the
+                document: the follower propagates it through its own
+                docstore (put_delta and its internal full-put
+                fallback), converging on the primary's state. *)
+             match Docstore.apply t.docstore ~path:r.path ~body:r.body with
+             | Ok () -> ()
+             | Error e ->
+                 Printf.eprintf
+                   "bxwiki: streamed record %d (%s) did not apply (%s)\n%!"
+                   r.seq r.path e;
+                 Metrics.protocol_error t.metrics ~route:"replication"
+                   ~reason:"apply_failed"
+           end
+           else
+             let response =
+               Bx_repo.Webui.handle t.registry ~meth:"POST" ~path:r.path
+                 ~body:r.body
+             in
+             if response.Bx_repo.Webui.status <> 200 then begin
+               Printf.eprintf
+                 "bxwiki: streamed record %d (%s) did not apply (status %d)\n%!"
+                 r.seq r.path response.Bx_repo.Webui.status;
+               Metrics.protocol_error t.metrics ~route:"replication"
+                 ~reason:"apply_failed"
+             end);
           Atomic.set t.applied_next (r.seq + 1);
           t.gens.(k) <- t.gens.(k) + 1;
           Metrics.replication_applied t.metrics ~records:1;
@@ -904,7 +1054,17 @@ let replication_install_snapshot t ~seq ~files =
                           (fun i _ -> t.gens.(i) <- t.gens.(i) + 1)
                           t.gens;
                         Atomic.set t.applied_next (seq + 1);
-                        Ok ())))
+                        (* The shipped snapshot carries the primary's
+                           documents (or none); either way it replaces
+                           ours. *)
+                        (match t.config.journal_dir with
+                        | None -> Ok ()
+                        | Some dir ->
+                            Docstore.load_dir t.docstore
+                              ~dir:
+                                (Journal.snapshot_dir
+                                   (Shardlog.segment_dir ~dir
+                                      ~shards:(Shardlog.shards log) 0))))))
         | None -> Error "snapshot bootstrap requires a journal")
   with Bx_fault.Fault.Injected m -> Error m
 
@@ -1077,8 +1237,11 @@ let handle_query t ~query ~meth ~path ~body =
       | "GET" when path = "/replication/stream" -> handle_stream t query
       | "GET" when path = "/replication/snapshot" -> handle_snapshot t
       | "POST" when path = "/admin/promote" -> handle_promote t
+      | "GET" when is_slens_path path -> handle_docstore_get t ~query path
       | "GET" -> handle_get t ~query path
-      | "POST" when is_slens_path path -> handle_slens t path body
+      | "POST" when is_slens_path path ->
+          if Docstore.is_doc_path path then handle_docstore_post t path body
+          else handle_slens t path body
       | "POST" -> handle_post t path body
       | _ ->
           respond_html 405 "Method not allowed" "<p>Use GET or POST.</p>"

@@ -1,0 +1,314 @@
+type hunk = { at : int; drop : int; insert : string }
+type edit = hunk list
+
+exception Bad_edit of string
+
+let bad_edit fmt = Format.kasprintf (fun m -> raise (Bad_edit m)) fmt
+
+let empty = []
+let is_empty e = e = []
+
+let payload_bytes e =
+  List.fold_left (fun acc h -> acc + String.length h.insert) 0 e
+
+(* ------------------------------------------------------------------ *)
+(* Application *)
+
+let check_edit n e =
+  let rec go prev_end = function
+    | [] -> ()
+    | h :: rest ->
+        if h.at < prev_end then
+          bad_edit "hunk at %d overlaps previous hunk ending at %d" h.at
+            prev_end;
+        if h.drop < 0 then bad_edit "hunk at %d drops %d bytes" h.at h.drop;
+        if h.at + h.drop > n then
+          bad_edit "hunk [%d, %d) exceeds document length %d" h.at
+            (h.at + h.drop) n;
+        go (h.at + h.drop) rest
+  in
+  go 0 e
+
+let apply_with_span old e =
+  let n = String.length old in
+  check_edit n e;
+  match e with
+  | [] -> (old, (0, 0, 0))
+  | first :: _ ->
+      let buf =
+        Buffer.create (n + payload_bytes e)
+      in
+      let pos =
+        List.fold_left
+          (fun pos h ->
+            Buffer.add_substring buf old pos (h.at - pos);
+            Buffer.add_string buf h.insert;
+            h.at + h.drop)
+          0 e
+      in
+      Buffer.add_substring buf old pos (n - pos);
+      let last = List.fold_left (fun _ h -> h) first e in
+      let a = first.at in
+      let b_old = last.at + last.drop in
+      let shift =
+        List.fold_left
+          (fun acc h -> acc + String.length h.insert - h.drop)
+          0 e
+      in
+      (Buffer.contents buf, (a, b_old, b_old + shift))
+
+let apply old e = fst (apply_with_span old e)
+
+(* ------------------------------------------------------------------ *)
+(* Line table: start offset of every line of [s] (terminators belong to
+   their line, the last line may lack one), plus the end sentinel, so
+   line [i] is the byte span [starts.(i), starts.(i+1)). *)
+
+let line_starts s =
+  let n = String.length s in
+  let count = ref 1 in
+  for i = 0 to n - 1 do
+    if String.unsafe_get s i = '\n' && i < n - 1 then incr count
+  done;
+  if n = 0 then [| 0 |]
+  else begin
+    let starts = Array.make (!count + 1) 0 in
+    let k = ref 1 in
+    for i = 0 to n - 1 do
+      if String.unsafe_get s i = '\n' && i < n - 1 then begin
+        starts.(!k) <- i + 1;
+        incr k
+      end
+    done;
+    starts.(!count) <- n;
+    starts
+  end
+
+let line_count starts = Array.length starts - 1
+
+(* Byte equality of line [i] of [a] against line [j] of [b]. *)
+let lines_equal a sa i b sb j =
+  let la = sa.(i + 1) - sa.(i) and lb = sb.(j + 1) - sb.(j) in
+  la = lb
+  &&
+  let pa = sa.(i) and pb = sb.(j) in
+  let rec eq k =
+    k >= la
+    || String.unsafe_get a (pa + k) = String.unsafe_get b (pb + k)
+       && eq (k + 1)
+  in
+  eq 0
+
+(* ------------------------------------------------------------------ *)
+(* Myers' greedy shortest edit script (the forward O(ND) variant, with
+   one saved frontier per round for the traceback).  Works over
+   abstract sequences through [eq]; returns the script as operations
+   in order, or [None] when the distance exceeds [cap]. *)
+
+type op = Keep | Del | Ins
+
+let myers ~eq n m ~cap =
+  if n = 0 then Some (List.init m (fun _ -> Ins))
+  else if m = 0 then Some (List.init n (fun _ -> Del))
+  else begin
+    let maxd = min (n + m) cap in
+    let off = maxd in
+    let v = Array.make ((2 * maxd) + 2) 0 in
+    let trace = ref [] in
+    let found = ref (-1) in
+    (try
+       for d = 0 to maxd do
+         trace := Array.copy v :: !trace;
+         let k = ref (-d) in
+         while !k <= d do
+           let kk = !k in
+           let x0 =
+             if kk = -d || (kk <> d && v.(off + kk - 1) < v.(off + kk + 1))
+             then v.(off + kk + 1)
+             else v.(off + kk - 1) + 1
+           in
+           let x = ref x0 in
+           let y = ref (x0 - kk) in
+           while !x < n && !y < m && eq !x !y do
+             incr x;
+             incr y
+           done;
+           v.(off + kk) <- !x;
+           if !x >= n && !y >= m then begin
+             found := d;
+             raise Exit
+           end;
+           k := !k + 2
+         done
+       done
+     with Exit -> ());
+    if !found < 0 then None
+    else begin
+      let traces = Array.of_list (List.rev !trace) in
+      (* traces.(d) is the frontier at the start of round d — the
+         furthest-reaching endpoints of all (d-1)-paths. *)
+      let ops = ref [] in
+      let x = ref n and y = ref m in
+      for d = !found downto 1 do
+        let v = traces.(d) in
+        let k = !x - !y in
+        let prev_k =
+          if k = -d || (k <> d && v.(off + k - 1) < v.(off + k + 1)) then
+            k + 1
+          else k - 1
+        in
+        let prev_x = v.(off + prev_k) in
+        let prev_y = prev_x - prev_k in
+        while !x > prev_x && !y > prev_y do
+          ops := Keep :: !ops;
+          decr x;
+          decr y
+        done;
+        if !x = prev_x then begin
+          ops := Ins :: !ops;
+          decr y
+        end
+        else begin
+          ops := Del :: !ops;
+          decr x
+        end
+      done;
+      while !x > 0 && !y > 0 do
+        ops := Keep :: !ops;
+        decr x;
+        decr y
+      done;
+      Some !ops
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* diff *)
+
+let myers_cap = 128
+
+let diff old new_ =
+  if String.equal old new_ then []
+  else begin
+    let sa = line_starts old and sb = line_starts new_ in
+    let n = line_count sa and m = line_count sb in
+    (* Trim common prefix and suffix lines. *)
+    let p = ref 0 in
+    while !p < n && !p < m && lines_equal old sa !p new_ sb !p do incr p done;
+    let q = ref 0 in
+    while
+      !q < n - !p && !q < m - !p
+      && lines_equal old sa (n - 1 - !q) new_ sb (m - 1 - !q)
+    do
+      incr q
+    done;
+    let p = !p and q = !q in
+    let n' = n - p - q and m' = m - p - q in
+    let old_base = sa.(p) in
+    let old_stop = sa.(n - q) in
+    let single_replace () =
+      [
+        {
+          at = old_base;
+          drop = old_stop - old_base;
+          insert = String.sub new_ sb.(p) (sb.(m - q) - sb.(p));
+        };
+      ]
+    in
+    let eq i j = lines_equal old sa (p + i) new_ sb (p + j) in
+    match myers ~eq n' m' ~cap:myers_cap with
+    | None -> single_replace ()
+    | Some script ->
+        (* Fold the op script into replace hunks: runs of Del/Ins merge,
+           Keeps flush. *)
+        let hunks = ref [] in
+        let hstart = ref (-1) in
+        let hdrop = ref 0 in
+        let ins = Buffer.create 64 in
+        let flush () =
+          if !hstart >= 0 then begin
+            hunks :=
+              { at = !hstart; drop = !hdrop; insert = Buffer.contents ins }
+              :: !hunks;
+            hstart := -1;
+            hdrop := 0;
+            Buffer.clear ins
+          end
+        in
+        let i = ref p and j = ref p in
+        List.iter
+          (fun op ->
+            match op with
+            | Keep ->
+                flush ();
+                incr i;
+                incr j
+            | Del ->
+                if !hstart < 0 then hstart := sa.(!i);
+                hdrop := !hdrop + (sa.(!i + 1) - sa.(!i));
+                incr i
+            | Ins ->
+                if !hstart < 0 then hstart := sa.(!i);
+                Buffer.add_substring ins new_ sb.(!j) (sb.(!j + 1) - sb.(!j));
+                incr j)
+          script;
+        flush ();
+        List.rev !hunks
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Framing.  Header line, then per hunk a "[at] [drop] [insert_len]"
+   line followed by exactly [insert_len] raw bytes — unambiguous
+   whatever the insert contains. *)
+
+let magic = "bxedit1"
+
+let encode e =
+  let buf = Buffer.create (64 + payload_bytes e) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d\n" h.at h.drop (String.length h.insert));
+      Buffer.add_string buf h.insert)
+    e;
+  Buffer.contents buf
+
+let decode s =
+  let n = String.length s in
+  let line_end p = match String.index_from_opt s p '\n' with
+    | Some i -> Some i
+    | None -> None
+  in
+  match line_end 0 with
+  | None -> Error "missing edit header"
+  | Some h when String.sub s 0 h <> magic -> Error "bad edit magic"
+  | Some h -> (
+      let rec go p acc =
+        if p >= n then Ok (List.rev acc)
+        else
+          match line_end p with
+          | None -> Error "truncated hunk header"
+          | Some e -> (
+              match
+                String.split_on_char ' ' (String.sub s p (e - p))
+                |> List.map int_of_string_opt
+              with
+              | [ Some at; Some drop; Some len ]
+                when at >= 0 && drop >= 0 && len >= 0 ->
+                  if e + 1 + len > n then Error "truncated hunk payload"
+                  else
+                    go
+                      (e + 1 + len)
+                      ({ at; drop; insert = String.sub s (e + 1) len } :: acc)
+              | _ -> Error "bad hunk header")
+      in
+      match go (h + 1) [] with
+      | Error _ as err -> err
+      | Ok hunks -> (
+          (* Validate ordering with an unbounded length: decode has no
+             document at hand, [apply] re-checks against the real one. *)
+          match check_edit max_int hunks with
+          | () -> Ok hunks
+          | exception Bad_edit m -> Error m))

@@ -1,0 +1,62 @@
+(** Line-oriented document diffs over byte-span edits — the edit
+    language of the delta-lens layer ({!Slens_delta}).
+
+    An {!edit} is a sorted list of non-overlapping {!hunk}s, each
+    replacing a byte span of the old document with replacement bytes.
+    Spans are {e byte} offsets so application is a handful of blits and
+    composition with the slice engine's chunk bounds needs no line
+    table; {!diff} nevertheless works {e line-wise} (Myers' greedy
+    shortest-edit-script over lines, after trimming the common prefix
+    and suffix), so the hunks it produces respect line structure — a
+    one-line change to a 5000-line document diffs to one small hunk in
+    O(document) byte comparisons and O(changed lines²) search. *)
+
+type hunk = {
+  at : int;  (** Byte offset in the {e old} document where the hunk starts. *)
+  drop : int;  (** Bytes of the old document the hunk removes. *)
+  insert : string;  (** Replacement bytes. *)
+}
+
+type edit = hunk list
+(** Hunks in ascending [at] order; [at + drop] of one hunk never exceeds
+    the [at] of the next (adjacent is allowed, overlap is not). *)
+
+exception Bad_edit of string
+(** Raised by {!apply} when an edit is out of bounds, unsorted or
+    overlapping. *)
+
+val empty : edit
+val is_empty : edit -> bool
+
+val payload_bytes : edit -> int
+(** Replacement bytes carried by the edit (what a journal record of the
+    edit must ship, up to framing). *)
+
+val apply : string -> edit -> string
+(** Apply the edit to the old document.  Raises {!Bad_edit} on a
+    malformed edit. *)
+
+val apply_with_span : string -> edit -> string * (int * int * int)
+(** [apply_with_span old e] additionally returns the dirty hull
+    [(a, b_old, b_new)]: bytes [\[a, b_old)] of the old document were
+    replaced by bytes [\[a, b_new)] of the new one, and the documents
+    agree byte-for-byte outside those spans (prefix [\[0, a)] verbatim,
+    suffix shifted by [b_new - b_old]).  The empty edit yields
+    [(0, 0, 0)]. *)
+
+val diff : string -> string -> edit
+(** [diff old new_] is an edit with [apply old (diff old new_) =
+    new_].  Line-based: common prefix and suffix lines are trimmed, the
+    middle runs Myers' O(ND) shortest-script search capped at 128 edit
+    steps — beyond the cap (or on documents that are wildly different)
+    the middle collapses to a single replace hunk, trading minimality
+    for bounded work.  [diff old old] is [empty]. *)
+
+val encode : edit -> string
+(** Frame an edit for the wire and the journal: a [bxedit1] header, then
+    one [at drop insert_length] line per hunk followed by the raw
+    insert bytes.  Unambiguous for arbitrary insert contents. *)
+
+val decode : string -> (edit, string) result
+(** Parse {!encode}'s framing; the result is validated to be sorted and
+    non-overlapping. *)

@@ -117,9 +117,29 @@ type t = {
   put : string -> string -> string;
   create : string -> string;
   impl : impl;
+  shape : shape;
 }
 
-let seal ~stype ~vtype impl =
+(* Structural reflection for the delta layer: a star at the root tells
+   {!Slens_delta} how the document chunks and how put aligns the
+   chunks, so an edit can be localised to the chunks it touches.  Every
+   other root is [Opaque] and delta calls fall back to the full
+   functions. *)
+and shape = Opaque | Star of star_shape
+
+and star_shape = {
+  body : t;
+  align : align_kind;
+  sbounds : Split.star_bounds;
+  vbounds : Split.star_bounds;
+}
+
+and align_kind =
+  | Positional
+  | Keyed of (string -> string)
+  | Diffed of (string -> string)
+
+let seal ?(shape = Opaque) ~stype ~vtype impl =
   (* The emitters assume well-typed slices (splitting re-establishes the
      invariant structurally), so membership is verified once, here, at
      the public string boundary.  The DFAs are compiled on first use and
@@ -133,6 +153,7 @@ let seal ~stype ~vtype impl =
     stype;
     vtype;
     impl;
+    shape;
     get =
       (fun s ->
         require "get" ds stype s;
@@ -167,7 +188,7 @@ let of_funs ~stype ~vtype ~get ~put ~create =
           Buffer.add_string ctx.out (create (String.sub v vp vl)));
     }
   in
-  { stype; vtype; get; put; create; impl }
+  { stype; vtype; get; put; create; impl; shape = Opaque }
 
 let require_unambig_concat what r1 r2 =
   match Ambig.unambig_concat r1 r2 with
@@ -347,12 +368,71 @@ let chunk_view ctx l s bounds i =
   capture ctx (fun () ->
       l.impl.e_get ctx s bounds.(i) (bounds.(i + 1) - bounds.(i)))
 
-let star_with ~name ~align l =
+(* ------------------------------------------------------------------ *)
+(* Chunk pairing, shared between the star aligners here and the delta
+   layer's slow path ({!Slens_delta}): given the per-chunk keys of both
+   sides, decide for every view chunk which source chunk it reuses
+   ([-1] = none, create).  Explicit loops — evaluation order carries the
+   first-unconsumed-match discipline, which [Array.init] does not
+   guarantee. *)
+
+let key_pairing ~skeys ~vkeys =
+  let ns = Array.length skeys and nv = Array.length vkeys in
+  (* A queue per key preserves the first-unconsumed-match discipline
+     without rescanning the chunk array for every view chunk. *)
+  let by_key : (string, int Queue.t) Hashtbl.t = Hashtbl.create (2 * ns + 1) in
+  for i = 0 to ns - 1 do
+    let q =
+      match Hashtbl.find_opt by_key skeys.(i) with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add by_key skeys.(i) q;
+          q
+    in
+    Queue.push i q
+  done;
+  let pair = Array.make nv (-1) in
+  for j = 0 to nv - 1 do
+    match Hashtbl.find_opt by_key vkeys.(j) with
+    | Some q when not (Queue.is_empty q) -> pair.(j) <- Queue.pop q
+    | _ -> ()
+  done;
+  pair
+
+(* Longest common subsequence of two key arrays, as a list of index
+   pairs (i_source, j_view), strictly increasing in both components. *)
+let lcs_pairs a b =
+  let n = Array.length a and m = Array.length b in
+  let table = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      table.(i).(j) <-
+        (if String.equal a.(i) b.(j) then 1 + table.(i + 1).(j + 1)
+         else max table.(i + 1).(j) table.(i).(j + 1))
+    done
+  done;
+  let rec walk i j acc =
+    if i >= n || j >= m then List.rev acc
+    else if String.equal a.(i) b.(j) then walk (i + 1) (j + 1) ((i, j) :: acc)
+    else if table.(i + 1).(j) >= table.(i).(j + 1) then walk (i + 1) j acc
+    else walk i (j + 1) acc
+  in
+  walk 0 0 []
+
+let diff_pairing ~skeys ~vkeys =
+  let pair = Array.make (Array.length vkeys) (-1) in
+  List.iter (fun (i, j) -> pair.(j) <- i) (lcs_pairs skeys vkeys);
+  pair
+
+let star_with ~name ~kind ~align l =
   require_unambig_star (name ^ " (source)") l.stype;
   require_unambig_star (name ^ " (view)") l.vtype;
   let bounds_s = Split.make_star_bounds l.stype in
   let bounds_v = Split.make_star_bounds l.vtype in
   seal
+    ~shape:
+      (Star { body = l; align = kind; sbounds = bounds_s; vbounds = bounds_v })
     ~stype:(Regex.star l.stype)
     ~vtype:(Regex.star l.vtype)
     {
@@ -384,77 +464,40 @@ let star l =
       else l.impl.e_create ctx v vb.(j) (vb.(j + 1) - vb.(j))
     done
   in
-  star_with ~name:"star" ~align:positional l
+  star_with ~name:"star" ~kind:Positional ~align:positional l
+
+(* Both keyed aligners share one skeleton: materialise the per-chunk
+   keys, let a pairing function decide reuse-vs-create per view chunk,
+   then emit.  The pairing functions are pure over the key arrays, so
+   the delta layer replays exactly the same decisions from its cached
+   keys without touching the source bytes. *)
+let keyed_align ~key ~pairing l ctx v vb s sb =
+  let ns = Array.length sb - 1 and nv = Array.length vb - 1 in
+  let skeys = Array.make ns "" in
+  for i = 0 to ns - 1 do
+    skeys.(i) <- key (chunk_view ctx l s sb i)
+  done;
+  let vkeys = Array.make nv "" in
+  for j = 0 to nv - 1 do
+    vkeys.(j) <- key (String.sub v vb.(j) (vb.(j + 1) - vb.(j)))
+  done;
+  let pair = pairing ~skeys ~vkeys in
+  for j = 0 to nv - 1 do
+    let vlen = vb.(j + 1) - vb.(j) in
+    match pair.(j) with
+    | -1 -> l.impl.e_create ctx v vb.(j) vlen
+    | i -> l.impl.e_put ctx v vb.(j) vlen s sb.(i) (sb.(i + 1) - sb.(i))
+  done
 
 let star_key ~key l =
-  let align ctx v vb s sb =
-    let ns = Array.length sb - 1 in
-    (* Index source chunks by key once: a queue per key preserves the
-       first-unconsumed-match discipline without rescanning the chunk
-       array for every view chunk. *)
-    let by_key : (string, int Queue.t) Hashtbl.t = Hashtbl.create (2 * ns + 1) in
-    for i = 0 to ns - 1 do
-      let k = key (chunk_view ctx l s sb i) in
-      let q =
-        match Hashtbl.find_opt by_key k with
-        | Some q -> q
-        | None ->
-            let q = Queue.create () in
-            Hashtbl.add by_key k q;
-            q
-      in
-      Queue.push i q
-    done;
-    for j = 0 to Array.length vb - 2 do
-      let vlen = vb.(j + 1) - vb.(j) in
-      let k = key (String.sub v vb.(j) vlen) in
-      match Hashtbl.find_opt by_key k with
-      | Some q when not (Queue.is_empty q) ->
-          let i = Queue.pop q in
-          l.impl.e_put ctx v vb.(j) vlen s sb.(i) (sb.(i + 1) - sb.(i))
-      | _ -> l.impl.e_create ctx v vb.(j) vlen
-    done
-  in
-  star_with ~name:"star_key" ~align l
-
-(* Longest common subsequence of two key arrays, as a list of index
-   pairs (i_source, j_view), strictly increasing in both components. *)
-let lcs_pairs a b =
-  let n = Array.length a and m = Array.length b in
-  let table = Array.make_matrix (n + 1) (m + 1) 0 in
-  for i = n - 1 downto 0 do
-    for j = m - 1 downto 0 do
-      table.(i).(j) <-
-        (if String.equal a.(i) b.(j) then 1 + table.(i + 1).(j + 1)
-         else max table.(i + 1).(j) table.(i).(j + 1))
-    done
-  done;
-  let rec walk i j acc =
-    if i >= n || j >= m then List.rev acc
-    else if String.equal a.(i) b.(j) then walk (i + 1) (j + 1) ((i, j) :: acc)
-    else if table.(i + 1).(j) >= table.(i).(j + 1) then walk (i + 1) j acc
-    else walk i (j + 1) acc
-  in
-  walk 0 0 []
+  star_with ~name:"star_key" ~kind:(Keyed key)
+    ~align:(keyed_align ~key ~pairing:key_pairing l)
+    l
 
 let star_diff ~key l =
-  let align ctx v vb s sb =
-    let ns = Array.length sb - 1 and nv = Array.length vb - 1 in
-    let skeys = Array.init ns (fun i -> key (chunk_view ctx l s sb i)) in
-    let vkeys =
-      Array.init nv (fun j -> key (String.sub v vb.(j) (vb.(j + 1) - vb.(j))))
-    in
-    let matched = lcs_pairs skeys vkeys in
-    let source_for = Hashtbl.create 16 in
-    List.iter (fun (i, j) -> Hashtbl.replace source_for j i) matched;
-    for j = 0 to nv - 1 do
-      let vlen = vb.(j + 1) - vb.(j) in
-      match Hashtbl.find_opt source_for j with
-      | Some i -> l.impl.e_put ctx v vb.(j) vlen s sb.(i) (sb.(i + 1) - sb.(i))
-      | None -> l.impl.e_create ctx v vb.(j) vlen
-    done
-  in
-  star_with ~name:"star_diff" ~align l
+  star_with ~name:"star_diff" ~kind:(Diffed key)
+    ~align:(keyed_align ~key ~pairing:diff_pairing l)
+    l
 
 (* ------------------------------------------------------------------ *)
 (* Composition and permutation *)
@@ -635,3 +678,23 @@ let put_get_law l =
       else
         let v' = l.get (l.put v s) in
         Bx.Law.require (String.equal v v') "get (put %S %S) = %S" v s v')
+
+(* ------------------------------------------------------------------ *)
+(* Engine hooks for the delta layer.  {!Slens_delta} splices untouched
+   source bytes verbatim and re-runs the body lens only on dirty
+   chunks; to do that it needs to drive emitters directly inside a
+   context of its own acquisition. *)
+
+module Internal = struct
+  type nonrec ctx = ctx
+
+  let exec = exec
+  let ws ctx = ctx.ws
+  let out_length ctx = Buffer.length ctx.out
+  let blit ctx s pos len = Buffer.add_substring ctx.out s pos len
+  let e_get l ctx s pos len = l.impl.e_get ctx s pos len
+  let e_put l ctx v vp vl s sp sl = l.impl.e_put ctx v vp vl s sp sl
+  let e_create l ctx v vp vl = l.impl.e_create ctx v vp vl
+  let key_pairing = key_pairing
+  let diff_pairing = diff_pairing
+end

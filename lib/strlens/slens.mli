@@ -35,7 +35,29 @@ type t = {
   put : string -> string -> string;  (** [put view source]. *)
   create : string -> string;
   impl : impl;  (** The zero-copy engine behind the string functions. *)
+  shape : shape;  (** Structural reflection for {!Slens_delta}. *)
 }
+
+(** How the root of the lens decomposes its documents, as much as the
+    delta layer needs to localise an edit: a star at the root exposes
+    its chunking and alignment policy; everything else is [Opaque] and
+    delta operations on it fall back to the full functions.  Correctness
+    never depends on the shape — it only gates the fast path. *)
+and shape = Opaque | Star of star_shape
+
+and star_shape = {
+  body : t;  (** The iterated body lens. *)
+  align : align_kind;  (** How [put] pairs view chunks with source chunks. *)
+  sbounds : Split.star_bounds;  (** Chunker for source-type slices. *)
+  vbounds : Split.star_bounds;  (** Chunker for view-type slices. *)
+}
+
+and align_kind =
+  | Positional  (** {!star}: i-th view chunk reuses i-th source chunk. *)
+  | Keyed of (string -> string)
+      (** {!star_key}: first unconsumed source chunk with the same key. *)
+  | Diffed of (string -> string)
+      (** {!star_diff}: longest common subsequence of chunk keys. *)
 
 (** {1 Primitives} *)
 
@@ -194,3 +216,42 @@ val get_put_law : t -> string Bx.Law.t
 val put_get_law : t -> (string * string) Bx.Law.t
 (** PutGet specialised to string lenses: inputs are [(source, view)];
     ill-typed inputs are vacuously accepted. *)
+
+(** {1 Engine hooks}
+
+    Low-level access to the slice engine for {!Slens_delta}, which
+    splices untouched source bytes around re-run chunks.  Not for
+    general use: emitters assume well-typed slices and the caller is
+    responsible for upholding that invariant. *)
+module Internal : sig
+  type ctx
+  (** The per-domain execution context of a run. *)
+
+  val exec : int -> (ctx -> unit) -> string
+  (** [exec input_bytes emit] acquires the calling domain's context,
+      runs [emit], and returns the bytes it appended.  [input_bytes] is
+      the instrumentation charge recorded in {!stats}. *)
+
+  val ws : ctx -> Split.ws
+  (** The splitter workspace, for running {!Split.star_bounds} closures. *)
+
+  val out_length : ctx -> int
+  (** Bytes emitted so far — chunk offsets of the output under
+      construction. *)
+
+  val blit : ctx -> string -> int -> int -> unit
+  (** Append a raw slice verbatim to the output. *)
+
+  val e_get : t -> ctx -> string -> int -> int -> unit
+  val e_put : t -> ctx -> string -> int -> int -> string -> int -> int -> unit
+  val e_create : t -> ctx -> string -> int -> int -> unit
+
+  val key_pairing : skeys:string array -> vkeys:string array -> int array
+  (** {!star_key}'s alignment over materialised key arrays: for each
+      view chunk, the source chunk it reuses ([-1] = create), following
+      the first-unconsumed-match discipline. *)
+
+  val diff_pairing : skeys:string array -> vkeys:string array -> int array
+  (** {!star_diff}'s alignment: reuse decided by a longest common
+      subsequence of the key arrays ([-1] = create). *)
+end

@@ -10,7 +10,7 @@ let usage () =
     "usage: bxwiki [PORT] [--port PORT] [--journal DIR] [--shards N]\n\
     \              [--workers N] [--port-file FILE] [--compact-every N]\n\
     \              [--failpoints SPEC] [--gen-entries N] [--gen-seed S]\n\
-    \              [--quiet]\n\
+    \              [--scrub-rate N] [--quiet]\n\
     \       bxwiki replica --replicate-from [HOST:]PORT [--port PORT]\n\
     \              [--journal DIR] [--shards N] [--workers N]\n\
     \              [--port-file FILE] [--lag-threshold S] [--poll-wait S]\n\
@@ -18,6 +18,8 @@ let usage () =
     \       bxwiki client [--port PORT] [--port-file FILE] [--retries N]\n\
     \              [--max-sleep S] [--fallback [HOST:]PORT] [--data BODY]\n\
     \              [--body-file FILE] METH PATH\n\
+    \       bxwiki scrub --journal DIR [--shards N] [--gen-entries N]\n\
+    \              [--gen-seed S] [--quiet]\n\
     \       bxwiki gen --entries N [--seed S] [--format titles|paths|wiki]\n\
     \       bxwiki loadgen [--port PORT] [--port-file FILE] [--rate RPS]\n\
     \              [--warmup S] [--duration S] [--domains N]\n\
@@ -51,6 +53,14 @@ let usage () =
      --gen-entries seeds the server with N generated corpus entries on\n\
      top of the catalogue (deterministic in --gen-seed); 'bxwiki gen'\n\
      prints the same corpus.\n\n\
+     --scrub-rate N runs a background scrubber domain that re-verifies\n\
+     N items/second: journal record CRCs, snapshot checksums against\n\
+     their DIGESTS manifests, entry round-trip laws, and document\n\
+     view/source agreement.  Findings are quarantined — entries serve\n\
+     under a Warning header, documents answer 410 — and counted at\n\
+     /metrics (bxwiki_scrub_*, bxwiki_quarantine_*).  'bxwiki scrub'\n\
+     runs one unmetered pass offline over a journal directory and exits\n\
+     1 if anything is corrupt.\n\n\
      'bxwiki loadgen' drives a live server open-loop: arrivals are\n\
      scheduled in advance (--pacing constant|poisson) and latency is\n\
      measured from the scheduled instant, so queueing delay is not\n\
@@ -307,6 +317,48 @@ let checks_page =
      in
      ("Claimed vs verified", "<h1>Claimed vs verified</h1>" ^ fragment))
 
+(* The extra deterministic law the scrubber runs on every stored entry:
+   the wiki-sync lens's well-behavedness (GetPut and PutGet) on the
+   entry under test, paired with view pages sampled at a fixed seed —
+   the QCheck harness lives here in the CLI, so the server library
+   never depends on the test stack. *)
+let scrub_law =
+  let s_space =
+    Bx.Model.make ~name:"entry" ~equal:Bx_repo.Template.equal
+      ~pp:Bx_repo.Template.pp
+  in
+  let v_space =
+    Bx.Model.make ~name:"page" ~equal:Bx_repo.Markup.equal ~pp:Bx_repo.Markup.pp
+  in
+  let laws =
+    Bx.Lens.well_behaved_laws s_space v_space Bx_catalogue.Wiki_sync_example.lens
+  in
+  let views =
+    lazy
+      (List.map
+         (fun t -> Bx_repo.Sync.render_entry (Bx_repo.Sync.normalise t))
+         (Bx_catalogue.Catalogue.all ()))
+  in
+  fun (template : Bx_repo.Template.t) ->
+    (* GetPut holds exactly on normalised templates (see Bx_repo.Sync);
+       stored entries are normalised on ingestion, but normalising again
+       costs nothing and keeps the check about corruption, not about
+       free-text spelling. *)
+    let template = Bx_repo.Sync.normalise template in
+    Bx_check.Qlaw.holds_on_samples ~seed:42 ~count:8
+      (QCheck2.Gen.map (fun v -> (template, v))
+         (QCheck2.Gen.oneofl (Lazy.force views)))
+      laws
+
+(* The lens families every server (and the offline scrubber) mounts. *)
+let standard_lenses =
+  [
+    ("composers", Bx_catalogue.Composers_string.lens);
+    ("composers-by-name", Bx_catalogue.Composers_string.name_keyed_lens);
+    ("composers-diff", Bx_catalogue.Composers_string.diff_lens);
+    ("composers-positional", Bx_catalogue.Composers_string.positional_lens);
+  ]
+
 let server_main ~replica args =
   let port = ref 8008 in
   let workers = ref 4 in
@@ -323,6 +375,7 @@ let server_main ~replica args =
     ref Bx_server.Service.default_config.replica_lag_threshold
   in
   let poll_wait = ref Bx_server.Service.default_config.stream_wait in
+  let scrub_rate = ref Bx_server.Service.default_config.scrub_rate in
   let fail msg =
     Printf.eprintf "bxwiki: %s\n" msg;
     exit 2
@@ -357,6 +410,9 @@ let server_main ~replica args =
         parse rest
     | "--gen-seed" :: v :: rest ->
         gen_seed := int_arg "--gen-seed" v;
+        parse rest
+    | "--scrub-rate" :: v :: rest ->
+        scrub_rate := int_arg "--scrub-rate" v;
         parse rest
     | "--replicate-from" :: v :: rest when replica ->
         replicate_from := Some (parse_hostport ~flag:"--replicate-from" v fail);
@@ -400,19 +456,14 @@ let server_main ~replica args =
       replica;
       replica_lag_threshold = !lag_threshold;
       stream_wait = !poll_wait;
+      scrub_rate = !scrub_rate;
+      entry_law = Some scrub_law;
     }
   in
   let pages = [ ("/checks", fun () -> Lazy.force checks_page) ] in
   (* String lenses served at POST /slens/<name>/<op>; the composers
      family exercises every alignment strategy. *)
-  let lenses =
-    [
-      ("composers", Bx_catalogue.Composers_string.lens);
-      ("composers-by-name", Bx_catalogue.Composers_string.name_keyed_lens);
-      ("composers-diff", Bx_catalogue.Composers_string.diff_lens);
-      ("composers-positional", Bx_catalogue.Composers_string.positional_lens);
-    ]
-  in
+  let lenses = standard_lenses in
   let seed =
     if !gen_entries > 0 then
       Bx_load.Corpus.seed_registry ~shards:!shards ~entries:!gen_entries
@@ -454,6 +505,80 @@ let server_main ~replica args =
       | Error e ->
           Printf.eprintf "bxwiki: %s\n" e;
           exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* The offline scrubber: open a journal directory (without serving),
+   run one unmetered scrub pass over every surface, report findings,
+   exit 1 when anything is corrupt — the fsck for a bxwiki data dir. *)
+
+let scrub_main args =
+  let journal_dir = ref None in
+  let shards = ref Bx_server.Service.default_config.shards in
+  let gen_entries = ref 0 in
+  let gen_seed = ref 1 in
+  let quiet = ref false in
+  let fail msg =
+    Printf.eprintf "bxwiki scrub: %s\n" msg;
+    exit 2
+  in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> n
+    | _ -> fail (name ^ " wants a non-negative integer, got " ^ v)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--journal" :: v :: rest -> journal_dir := Some v; parse rest
+    | "--shards" :: v :: rest ->
+        shards := max 1 (int_arg "--shards" v);
+        parse rest
+    | "--gen-entries" :: v :: rest ->
+        gen_entries := int_arg "--gen-entries" v;
+        parse rest
+    | "--gen-seed" :: v :: rest ->
+        gen_seed := int_arg "--gen-seed" v;
+        parse rest
+    | "--quiet" :: rest -> quiet := true; parse rest
+    | v :: _ -> fail ("unexpected argument " ^ v)
+  in
+  parse args;
+  let journal_dir =
+    match !journal_dir with
+    | Some d -> Some d
+    | None -> fail "--journal DIR is required (the directory to check)"
+  in
+  let config =
+    {
+      Bx_server.Service.default_config with
+      journal_dir;
+      shards = !shards;
+      compact_every = 0;
+      entry_law = Some scrub_law;
+    }
+  in
+  let seed =
+    if !gen_entries > 0 then
+      Bx_load.Corpus.seed_registry ~shards:!shards ~entries:!gen_entries
+        ~seed:!gen_seed
+    else fun () -> Bx_catalogue.Catalogue.seed ~shards:!shards ()
+  in
+  match
+    Bx_server.Service.create ~config ~lenses:standard_lenses ~seed ()
+  with
+  | Error e ->
+      Printf.eprintf "bxwiki scrub: %s\n" e;
+      exit 1
+  | Ok service ->
+      let items, findings = Bx_server.Service.scrub_once service in
+      if not !quiet then begin
+        List.iter
+          (fun (name, why) -> Printf.printf "bxwiki scrub: %s: %s\n" name why)
+          findings;
+        Printf.printf "bxwiki scrub: %d item(s) checked, %d finding(s)\n%!"
+          items (List.length findings)
+      end;
+      Bx_server.Service.close service;
+      if findings <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* The corpus generator, standalone: the same entries --gen-entries
@@ -673,6 +798,7 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: "client" :: rest -> client_main rest
   | _ :: "replica" :: rest -> server_main ~replica:true rest
+  | _ :: "scrub" :: rest -> scrub_main rest
   | _ :: "gen" :: rest -> gen_main rest
   | _ :: "loadgen" :: rest -> loadgen_main rest
   | _ :: rest -> server_main ~replica:false rest

@@ -604,6 +604,62 @@ let import ?(shards = 1) pages =
         grouped;
       Ok t
 
+let replace_shard t i pages =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "Registry.replace_shard: shard out of range";
+  match group_pages pages with
+  | Error e -> Error e
+  | Ok grouped ->
+      let misplaced =
+        List.filter (fun (id, _) -> shard_of_id t id <> i) grouped
+      in
+      if misplaced <> [] then
+        Error
+          (Printf.sprintf "replace_shard: %s does not hash to shard %d"
+             (Identifier.to_string (fst (List.hd misplaced)))
+             i)
+      else begin
+        let shard = t.shards.(i) in
+        let incoming = Hashtbl.create 64 in
+        List.iter
+          (fun (id, history) ->
+            Hashtbl.replace incoming (Identifier.to_string id) history)
+          grouped;
+        (* Entries the upstream no longer has: drop them, postings, ord
+           and all.  ids_page tolerates the resulting ord holes. *)
+        let stale =
+          Hashtbl.fold
+            (fun key e acc ->
+              if Hashtbl.mem incoming key then acc else (key, e) :: acc)
+            shard.table []
+        in
+        List.iter
+          (fun (key, e) ->
+            List.iter
+              (fun (idx, k) -> idx_remove idx k e)
+              (postings_of shard e);
+            Hashtbl.remove shard.table key;
+            Hashtbl.remove t.by_ord e.ord)
+          stale;
+        (* Survivors keep their ord (the index page stays stable);
+           genuinely new entries append. *)
+        List.iter
+          (fun (id, history) ->
+            match Hashtbl.find_opt shard.table (Identifier.to_string id) with
+            | Some entry ->
+                ignore
+                  (reindexing shard entry (fun entry ->
+                       entry.history <- history;
+                       entry.pending <- [];
+                       Ok ()))
+            | None ->
+                let entry = { id; ord = t.next_ord; history; pending = [] } in
+                t.next_ord <- t.next_ord + 1;
+                insert_entry t entry)
+          grouped;
+        Ok ()
+      end
+
 let overlay t pages =
   match group_pages pages with
   | Error e -> Error e

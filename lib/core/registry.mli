@@ -169,3 +169,15 @@ val overlay : t -> (string * string) list -> (unit, string) result
     snapshot does not carry them), a new one is appended.  Lets a
     sharded boot start from the seed and fold in per-shard snapshot
     pages without rebuilding from scratch. *)
+
+val replace_shard : t -> int -> (string * string) list -> (unit, string) result
+(** Make shard [i]'s contents exactly the entries in the given
+    {!export}-format page dump: entries present on both sides are
+    replaced wholesale keeping their submission order (like {!overlay}),
+    entries absent from the dump are removed (table, indexes and
+    submission order), new ones are appended.  Every page must hash to
+    shard [i]; a misplaced identifier is an [Error] and leaves the
+    registry untouched.  This is the anti-entropy repair primitive: a
+    follower whose shard digest diverges installs the upstream's shard
+    pages over its own.  Raises [Invalid_argument] if the shard index is
+    out of range. *)

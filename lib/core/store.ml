@@ -115,7 +115,7 @@ let save_shard ~dir registry shard =
   with
   | Sys_error e | Failure e -> Error e
 
-let load_pages ~dir =
+let load_pages ?(skip = fun _ -> false) ~dir () =
   try
     if not (Sys.file_exists dir && Sys.is_directory dir) then
       failwith (dir ^ " is not a directory");
@@ -124,10 +124,12 @@ let load_pages ~dir =
     let pages =
       Array.to_list files
       |> List.filter_map (fun name ->
-             match version_of_filename name with
-             | None -> None
-             | Some version ->
-                 Some (version, read_file (Filename.concat dir name)))
+             if skip name then None
+             else
+               match version_of_filename name with
+               | None -> None
+               | Some version ->
+                   Some (version, read_file (Filename.concat dir name)))
     in
     (* Rebuild (path, text) pairs for Registry.import: import only needs
        the version after the slash — entry identity comes from the page
@@ -141,6 +143,6 @@ let load_pages ~dir =
   | Sys_error e | Failure e -> Error e
 
 let load ?shards ~dir () =
-  match load_pages ~dir with
+  match load_pages ~dir () with
   | Error e -> Error e
   | Ok as_pages -> Registry.import ?shards as_pages

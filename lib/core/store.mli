@@ -28,10 +28,15 @@ val load : ?shards:int -> dir:string -> unit -> (Registry.t, string) result
     into [shards] (default 1).  Only versioned pages participate
     (latest-aliases and the index are ignored). *)
 
-val load_pages : dir:string -> ((string * string) list, string) result
+val load_pages :
+  ?skip:(string -> bool) -> dir:string -> unit
+  -> ((string * string) list, string) result
 (** The import-ready (path, text) pairs stored under [dir] — what {!load}
     feeds to {!Registry.import}.  Exposed so a boot sequence can merge
-    pages from several per-shard snapshot directories and import once. *)
+    pages from several per-shard snapshot directories and import once.
+    [skip] excludes files by name before they are read — the integrity
+    layer's hook for quarantining files that failed checksum
+    verification (default: keep everything). *)
 
 val page_filename : string -> string
 (** The file name used for a wiki path (exposed for tests). *)

@@ -2,6 +2,7 @@ type response = {
   status : int;
   content_type : string;
   body : string;
+  headers : (string * string) list;
 }
 
 let html_page ~title body =
@@ -14,8 +15,9 @@ let html_page ~title body =
      <body>%s</body></html>\n"
     (Markup.html_escape title) body
 
-let respond ?(content_type = "text/html; charset=utf-8") status body =
-  { status; content_type; body }
+let respond ?(content_type = "text/html; charset=utf-8") ?(headers = []) status
+    body =
+  { status; content_type; body; headers }
 
 let not_found path =
   respond 404 (html_page ~title:"Not found" ("<h1>No such page</h1><p>" ^ Markup.html_escape path ^ "</p>"))

@@ -27,6 +27,10 @@ type response = {
   status : int;
   content_type : string;
   body : string;
+  headers : (string * string) list;
+      (** extra response headers ([(name, value)]), e.g. the integrity
+          layer's [Warning] on quarantined entries or a computed
+          [Retry-After] on 503s; usually empty *)
 }
 
 val handle :

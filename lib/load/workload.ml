@@ -10,6 +10,8 @@ type op =
   | Slens_put
   | Slens_batch
   | Patch
+  | Digest
+  | Readyz
 
 let op_name = function
   | Entry_html -> "entry_html"
@@ -23,6 +25,8 @@ let op_name = function
   | Slens_put -> "slens_put"
   | Slens_batch -> "slens_batch"
   | Patch -> "patch"
+  | Digest -> "digest"
+  | Readyz -> "readyz"
 
 type profile = { profile_name : string; mix : (op * int) list }
 
@@ -67,7 +71,19 @@ let patch_heavy =
       ];
   }
 
-let profiles = [ read_heavy; write_heavy; search_heavy; patch_heavy ]
+let scrub_soak =
+  {
+    profile_name = "scrub-soak";
+    mix =
+      [
+        (Entry_html, 35); (Entry_wiki, 15); (Entry_json, 10); (Index, 8);
+        (Slens_get, 10); (Entry_write, 8); (Slens_put, 4); (Search, 4);
+        (Digest, 4); (Readyz, 2);
+      ];
+  }
+
+let profiles =
+  [ read_heavy; write_heavy; search_heavy; patch_heavy; scrub_soak ]
 
 let of_name name =
   List.find_opt (fun p -> p.profile_name = name) profiles
@@ -132,6 +148,8 @@ let plan ~targets prng op =
         body = "";
       }
   | Manuscript -> { meth = "GET"; path = "/manuscript"; body = "" }
+  | Digest -> { meth = "GET"; path = "/replication/digest"; body = "" }
+  | Readyz -> { meth = "GET"; path = "/readyz"; body = "" }
   | Slens_get ->
       { meth = "POST"; path = "/slens/composers/get"; body = doc prng }
   | Slens_put ->

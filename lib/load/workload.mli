@@ -32,6 +32,13 @@ type op =
           long-lived lens-backed document, propagated incrementally by
           the server's delta engine.  Stateful: planned through
           {!patch_plan} against a per-domain {!session}, not {!plan}. *)
+  | Digest
+      (** GET /replication/digest — the per-shard integrity digests an
+          anti-entropy follower polls; cheap, but touches every shard's
+          read path. *)
+  | Readyz
+      (** GET /readyz — the readiness probe, which now also reflects
+          corruption bursts found by the scrubber. *)
 
 val op_name : op -> string
 
@@ -56,6 +63,12 @@ val patch_heavy : profile
     through [/slens/composers/patch] — the profile that exercises the
     delta propagation path (edit-sized requests, journal records and
     replication traffic) against a background of reads. *)
+
+val scrub_soak : profile
+(** Read-heavy browsing plus a steady trickle of digest and readiness
+    probes — the profile to run with the background scrubber enabled
+    when measuring how much integrity checking costs foreground
+    latency. *)
 
 val profiles : profile list
 val of_name : string -> profile option

@@ -292,13 +292,55 @@ let load t s =
 let save_dir t ~dir =
   if doc_count t = 0 then Ok ()
   else
+    (* Atomic: tmp + fsync + rename, so a crash mid-write cannot leave a
+       half dump where the checksum manifest expects a whole one. *)
+    let file = Filename.concat dir docs_file in
+    let tmp = file ^ ".tmp" in
     try
-      let oc = open_out_bin (Filename.concat dir docs_file) in
+      let oc = open_out_bin tmp in
       Fun.protect
         ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc (dump t));
+        (fun () ->
+          output_string oc (dump t);
+          flush oc;
+          Unix.fsync (Unix.descr_of_out_channel oc));
+      Sys.rename tmp file;
       Ok ()
-    with Sys_error e -> Error e
+    with Sys_error e | Unix.Unix_error (_, _, e) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error e
+
+let doc_keys t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) t.docs [] |> List.sort compare)
+
+let check_doc t ~lens ~docid =
+  locked t (fun () ->
+      match List.assoc_opt lens t.lenses with
+      | None -> Error (Printf.sprintf "unknown lens %S" lens)
+      | Some l -> (
+          match Hashtbl.find_opt t.docs (lens, docid) with
+          | None -> Error (Printf.sprintf "unknown document %S" docid)
+          | Some e -> (
+              match l.Slens.get e.source with
+              | exception (Slens.Type_error m | Bx_strlens.Split.Split_error m)
+                ->
+                  Error (Printf.sprintf "get raised: %s" m)
+              | view ->
+                  if String.equal view e.view then Ok ()
+                  else
+                    Error
+                      (Printf.sprintf
+                         "view drift: stored view (%d bytes) <> get source \
+                          (%d bytes)"
+                         (String.length e.view) (String.length view)))))
+
+let doc_digest_parts t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun (lens, docid) e acc -> (lens, docid, e.gen, e.source) :: acc)
+        t.docs []
+      |> List.sort compare)
 
 let load_dir t ~dir =
   let file = Filename.concat dir docs_file in

@@ -86,8 +86,23 @@ val docs_file : string
 (** ["DOCS.bxdocs"]. *)
 
 val save_dir : t -> dir:string -> (unit, string) result
-(** Write the dump into [dir] (a snapshot directory being built).
-    Writes nothing when the store is empty. *)
+(** Write the dump into [dir] (a snapshot directory being built),
+    atomically: tmp + fsync + rename.  Writes nothing when the store is
+    empty. *)
+
+val doc_keys : t -> (string * string) list
+(** All (lens, docid) pairs currently stored, sorted — the scrubber's
+    walk order. *)
+
+val check_doc : t -> lens:string -> docid:string -> (unit, string) result
+(** Re-derive the view from the stored source through the lens and
+    compare byte-for-byte with the stored view — the [view = get source]
+    invariant the delta machinery depends on.  Runs under the store's
+    mutex; an [Error] names the drift or the raised lens error. *)
+
+val doc_digest_parts : t -> (string * string * int * string) list
+(** Every document as (lens, docid, generation, source), sorted — the
+    inputs to the anti-entropy digest ({!Integrity.doc_hash}). *)
 
 val load_dir : t -> dir:string -> (unit, string) result
 (** Replace the store's contents from [dir]'s dump; an absent file

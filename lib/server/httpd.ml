@@ -179,6 +179,7 @@ let status_text = function
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
   | 409 -> "Conflict"
+  | 410 -> "Gone"
   | 413 -> "Content Too Large"
   | 431 -> "Request Header Fields Too Large"
   | 503 -> "Service Unavailable"
@@ -194,33 +195,53 @@ let write_all fd s =
 
 (* Every 503 carries Retry-After: overload is the one condition where
    the server knows the client should come back, and the retrying client
-   keys its backoff off it. *)
+   keys its backoff off it.  The service scales the value with queue
+   depth (1s under light pressure, up to 8s as the queue fills) and ships
+   it in the response's headers; this constant is only the fallback for a
+   503 built without one. *)
 let retry_after_seconds = 1
 
 let write_response fd ~keep_alive (r : Bx_repo.Webui.response) =
+  let extra =
+    String.concat ""
+      (List.map
+         (fun (name, value) -> Printf.sprintf "%s: %s\r\n" name value)
+         r.Bx_repo.Webui.headers)
+  in
   let head =
     Printf.sprintf
       "HTTP/1.1 %d %s\r\n\
        Content-Type: %s\r\n\
        Content-Length: %d\r\n\
-       %sConnection: %s\r\n\
+       %s%sConnection: %s\r\n\
        \r\n"
       r.Bx_repo.Webui.status
       (status_text r.Bx_repo.Webui.status)
       r.Bx_repo.Webui.content_type
       (String.length r.Bx_repo.Webui.body)
-      (if r.Bx_repo.Webui.status = 503 then
-         Printf.sprintf "Retry-After: %d\r\n" retry_after_seconds
+      extra
+      (if
+         r.Bx_repo.Webui.status = 503
+         && not
+              (List.exists
+                 (fun (name, _) ->
+                   String.lowercase_ascii name = "retry-after")
+                 r.Bx_repo.Webui.headers)
+       then Printf.sprintf "Retry-After: %d\r\n" retry_after_seconds
        else "")
       (if keep_alive then "keep-alive" else "close")
   in
   write_all fd (head ^ r.Bx_repo.Webui.body)
 
-let shed_response ~reason =
+let shed_response ?retry_after ~reason () =
   {
     Bx_repo.Webui.status = 503;
     content_type = "text/plain; charset=utf-8";
     body = Printf.sprintf "overloaded: %s, retry later\n" reason;
+    headers =
+      (match retry_after with
+      | None -> []
+      | Some seconds -> [ ("Retry-After", string_of_int seconds) ]);
   }
 
 let error_response { status; reason } =
@@ -231,4 +252,5 @@ let error_response { status; reason } =
       Bx_repo.Webui.html_page ~title:(status_text status)
         (Printf.sprintf "<h1>%d %s</h1><p>%s</p>" status (status_text status)
            reason);
+    headers = [];
   }

@@ -61,9 +61,12 @@ val write_response :
     {!Bx_fault.Fault.Injected}, which the service treats as a dropped
     connection. *)
 
-val shed_response : reason:string -> Bx_repo.Webui.response
+val shed_response :
+  ?retry_after:int -> reason:string -> unit -> Bx_repo.Webui.response
 (** The 503 body written when overload protection rejects a connection
-    ([reason] is [queue_full] or [deadline]). *)
+    ([reason] is [queue_full] or [deadline]).  [retry_after] ships a
+    queue-depth-scaled [Retry-After] header; without it the writer falls
+    back to a flat 1s. *)
 
 val error_response : error -> Bx_repo.Webui.response
 (** A minimal HTML error body for a wire-level failure. *)

@@ -20,27 +20,11 @@ let snapshot_dir dir = Filename.concat dir "snapshot"
 let manifest_file dir = Filename.concat (snapshot_dir dir) "MANIFEST"
 
 (* ------------------------------------------------------------------ *)
-(* CRC32 (IEEE 802.3, the zlib polynomial), table-driven. *)
+(* CRC32 (IEEE 802.3, the zlib polynomial) — shared with the whole
+   integrity layer; see {!Integrity}. *)
 
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let crc32_sub s off len =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFF in
-  for i = off to off + len - 1 do
-    c := Array.unsafe_get table ((!c lxor Char.code s.[i]) land 0xff)
-         lxor (!c lsr 8)
-  done;
-  !c lxor 0xFFFFFFFF
-
-let crc32 s = crc32_sub s 0 (String.length s)
+let crc32_sub = Integrity.crc32_sub
+let crc32 = Integrity.crc32
 
 (* ------------------------------------------------------------------ *)
 (* Format v2: a segment header, then length-prefixed CRC-framed records.
@@ -224,15 +208,41 @@ let decode_frames data ~off =
        else "truncated frame")
   else Ok scanned.entries
 
-let snapshot_seq ~dir =
+(* The sealed MANIFEST now carries its own checksum ("seq N crc XXXXXXXX");
+   the crc-less "seq N" form is the pre-digest layout, still accepted.
+   Anything else — including a v2 manifest whose crc does not match — is
+   [`Corrupt]: the snapshot's cut point cannot be trusted, so the whole
+   snapshot is refused rather than replayed against a guessed sequence
+   number. *)
+let read_manifest ~dir =
   let file = manifest_file dir in
-  if not (Sys.file_exists file) then 0
+  if not (Sys.file_exists file) then `None
   else
     try
-      match String.split_on_char ' ' (String.trim (read_whole_file file)) with
-      | [ "seq"; n ] -> Option.value ~default:0 (int_of_string_opt n)
-      | _ -> 0
-    with Sys_error _ -> 0
+      let body = String.trim (read_whole_file file) in
+      match String.split_on_char ' ' body with
+      | [ "seq"; n ] -> (
+          match int_of_string_opt n with
+          | Some seq when seq >= 0 -> `Seq seq
+          | _ -> `Corrupt)
+      | [ "seq"; n; "crc"; c ] -> (
+          match (int_of_string_opt n, int_of_string_opt ("0x" ^ c)) with
+          | Some seq, Some crc
+            when seq >= 0
+                 && crc = crc32 (Printf.sprintf "seq %d" seq)
+                 (* The writer emits exactly this encoding; int parsing
+                    is laxer (case-insensitive hex, underscores), so a
+                    flipped bit could read back as the same values.
+                    Demand the canonical bytes — any deviation is
+                    damage. *)
+                 && body = Printf.sprintf "seq %d crc %08x" seq crc ->
+              `Seq seq
+          | _ -> `Corrupt)
+      | _ -> `Corrupt
+    with Sys_error _ -> `Corrupt
+
+let snapshot_seq ~dir =
+  match read_manifest ~dir with `Seq seq -> seq | `None | `Corrupt -> 0
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot directory management *)
@@ -377,14 +387,17 @@ let reset t ~next_seq =
 
 let write_manifest dir seq =
   (* Same temp-and-rename discipline as Store.save: the manifest's
-     presence marks the snapshot complete. *)
+     presence marks the snapshot complete.  The crc field seals the cut
+     point itself — a bit flip in the MANIFEST must read as "no usable
+     snapshot", never as a different sequence number. *)
   let file = Filename.concat dir "MANIFEST" in
   let tmp = file ^ ".tmp" in
   let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Printf.fprintf oc "seq %d\n" seq;
+      let body = Printf.sprintf "seq %d" seq in
+      Printf.fprintf oc "%s crc %08x\n" body (crc32 body);
       flush oc;
       Unix.fsync (Unix.descr_of_out_channel oc));
   Sys.rename tmp file
@@ -399,6 +412,10 @@ let checkpoint ?seq t ~save =
     match save ~dir:tmp with
     | Error e -> Error e
     | Ok files ->
+        (* Seal the cold files with their digest manifest before the
+           MANIFEST makes the snapshot official: a snapshot is either
+           complete-and-checksummed or not a snapshot at all. *)
+        Integrity.Digests.write_dir ~dir:tmp;
         Bx_fault.Fault.point "journal.checkpoint.pre_manifest";
         write_manifest tmp (Option.value seq ~default:(t.next_seq - 1));
         Bx_fault.Fault.point "journal.checkpoint.pre_swap";
@@ -442,7 +459,22 @@ let snapshot_files ~dir =
           (fun n -> (n, read_whole_file (Filename.concat snap n)))
           names
       in
-      Ok (seq, files)
+      (* Never ship bytes that fail their own manifest: a corrupted
+         primary must refuse to bootstrap followers, not replicate the
+         damage.  The DIGESTS file rides along in [files], so the
+         receiver re-verifies the same payload. *)
+      match
+        List.assoc_opt Integrity.Digests.name files
+        |> Option.map Integrity.Digests.parse
+      with
+      | Some (Error e) -> Error ("snapshot DIGESTS unreadable: " ^ e)
+      | Some (Ok manifest) -> (
+          match Integrity.Digests.verify_files ~manifest files with
+          | [] -> Ok (seq, files)
+          | (name, why) :: _ ->
+              Error (Printf.sprintf "snapshot corrupt, refusing to ship %s: %s"
+                       name why))
+      | None -> Ok (seq, files) (* pre-digest snapshot: accepted *)
     with Sys_error e -> Error e
 
 (* Install a snapshot shipped from a primary: materialise the files in a
@@ -463,9 +495,31 @@ let install_snapshot t ~seq ~files =
           || String.length name > 0 && name.[0] = '.')
         files
     in
-    match bad with
-    | Some (name, _) -> Error (Printf.sprintf "unsafe snapshot file name %S" name)
-    | None ->
+    let payload_fault =
+      (* Verify the shipped payload against the DIGESTS it carries before
+         a single byte lands on disk: a mangled transfer (or a corrupted
+         sender that slipped through) is refused wholesale.  A payload
+         without a manifest is a pre-digest primary; accept it and seal
+         the installed directory with a locally computed one below. *)
+      match
+        List.assoc_opt Integrity.Digests.name files
+        |> Option.map Integrity.Digests.parse
+      with
+      | Some (Error e) -> Some ("snapshot payload DIGESTS unreadable: " ^ e)
+      | Some (Ok manifest) -> (
+          match Integrity.Digests.verify_files ~manifest files with
+          | [] -> None
+          | (name, why) :: _ ->
+              Some
+                (Printf.sprintf "snapshot payload corrupt, refusing %s: %s"
+                   name why))
+      | None -> None
+    in
+    match (bad, payload_fault) with
+    | Some (name, _), _ ->
+        Error (Printf.sprintf "unsafe snapshot file name %S" name)
+    | None, Some fault -> Error fault
+    | None, None ->
         remove_tree tmp;
         Unix.mkdir tmp 0o755;
         List.iter
@@ -480,6 +534,8 @@ let install_snapshot t ~seq ~files =
                 write_all fd contents;
                 Unix.fsync fd))
           files;
+        if not (List.mem_assoc Integrity.Digests.name files) then
+          Integrity.Digests.write_dir ~dir:tmp;
         write_manifest tmp seq;
         remove_tree old_;
         if Sys.file_exists snap then Sys.rename snap old_;

@@ -93,7 +93,15 @@ val decode_frames : string -> off:int -> (record list, string) result
 
 val snapshot_seq : dir:string -> int
 (** The sequence number recorded in the snapshot's [MANIFEST]; 0 when
-    there is no snapshot (replay then starts from the beginning). *)
+    there is no snapshot (replay then starts from the beginning) or the
+    manifest fails its checksum — a snapshot whose cut point cannot be
+    trusted is not used. *)
+
+val read_manifest : dir:string -> [ `None | `Seq of int | `Corrupt ]
+(** The MANIFEST's verdict, distinguishing "no snapshot" from "snapshot
+    present but its manifest is damaged".  The sealed form is
+    ["seq N crc XXXXXXXX\n"] (crc32 over ["seq N"]); the crc-less
+    pre-digest form ["seq N\n"] is still accepted as [`Seq]. *)
 
 val recover_snapshot : dir:string -> unit
 (** Repair the snapshot directories after a crash: promote a complete
@@ -132,15 +140,20 @@ val reset : t -> next_seq:int -> (unit, string) result
 
 val snapshot_files : dir:string -> (int * (string * string) list, string) result
 (** The snapshot as a shippable payload: its manifest sequence number
-    and every flat [(name, contents)] file except the MANIFEST.
+    and every flat [(name, contents)] file except the MANIFEST — the
+    [DIGESTS] manifest rides along, and every file is verified against
+    it first ([Error] rather than shipping corrupted bytes).
     [Error "no snapshot"] when none has been written.  Callers serialise
     against {!checkpoint}, which swaps the directory. *)
 
 val install_snapshot :
   t -> seq:int -> files:(string * string) list -> (unit, string) result
-(** Install a shipped snapshot: write the files into a transient
-    directory, seal with a MANIFEST at [seq], swap atomically, and
-    {!reset} the log to [seq + 1].  Rejects path-like file names. *)
+(** Install a shipped snapshot: verify the payload against the [DIGESTS]
+    it carries (refusing a mangled transfer wholesale), write the files
+    into a transient directory, seal with a checksummed MANIFEST at
+    [seq], swap atomically, and {!reset} the log to [seq + 1].  Rejects
+    path-like file names; a payload without a [DIGESTS] (pre-digest
+    primary) is accepted and sealed with a locally computed one. *)
 
 val read_epoch : dir:string -> int
 (** The persisted replication epoch; 0 when none has been recorded. *)

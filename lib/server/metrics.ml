@@ -37,6 +37,19 @@ type t = {
   mutable reconnects : int;
   mutable snapshot_bootstraps : int;
   mutable epoch_rejects : int;
+  mutable replication_gaps : int;
+  mutable digest_checks : int;
+  mutable digest_mismatches : int;
+  mutable shard_resyncs : int;
+  (* Integrity: the background scrubber's walk and its findings, and the
+     quarantine's current population (a gauge, maintained by the
+     service). *)
+  mutable scrub_passes : int;
+  scrub_items : (string, int ref) Hashtbl.t; (* per surface *)
+  scrub_corruptions : (string, int ref) Hashtbl.t; (* per surface *)
+  mutable quarantined_entries : int;
+  mutable quarantined_docs : int;
+  mutable quarantined_files : int;
   mutable repl_epoch : int;
   mutable repl_fenced : bool;
   mutable repl_role_replica : bool;
@@ -74,6 +87,16 @@ let create () =
     reconnects = 0;
     snapshot_bootstraps = 0;
     epoch_rejects = 0;
+    replication_gaps = 0;
+    digest_checks = 0;
+    digest_mismatches = 0;
+    shard_resyncs = 0;
+    scrub_passes = 0;
+    scrub_items = Hashtbl.create 8;
+    scrub_corruptions = Hashtbl.create 8;
+    quarantined_entries = 0;
+    quarantined_docs = 0;
+    quarantined_files = 0;
     repl_epoch = 0;
     repl_fenced = false;
     repl_role_replica = false;
@@ -175,6 +198,56 @@ let replication_snapshot_bootstrap t =
 
 let replication_epoch_reject t =
   locked t (fun () -> t.epoch_rejects <- t.epoch_rejects + 1)
+
+let replication_gap t =
+  locked t (fun () -> t.replication_gaps <- t.replication_gaps + 1)
+
+let replication_digest_check t ~matched =
+  locked t (fun () ->
+      t.digest_checks <- t.digest_checks + 1;
+      if not matched then t.digest_mismatches <- t.digest_mismatches + 1)
+
+let replication_shard_resync t =
+  locked t (fun () -> t.shard_resyncs <- t.shard_resyncs + 1)
+
+(* --- Integrity: scrubber + quarantine --------------------------------- *)
+
+let scrub_pass t = locked t (fun () -> t.scrub_passes <- t.scrub_passes + 1)
+
+let bump_by table key n =
+  match Hashtbl.find_opt table key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace table key (ref n)
+
+let scrub_item t ~surface ~n =
+  locked t (fun () -> bump_by t.scrub_items surface n)
+
+let scrub_corruption t ~surface =
+  locked t (fun () -> bump_by t.scrub_corruptions surface 1)
+
+let note_quarantine t ~entries ~docs ~files =
+  locked t (fun () ->
+      t.quarantined_entries <- entries;
+      t.quarantined_docs <- docs;
+      t.quarantined_files <- files)
+
+let scrub_counts t =
+  locked t (fun () ->
+      ( t.scrub_passes,
+        Hashtbl.fold (fun _ r acc -> acc + !r) t.scrub_items 0,
+        Hashtbl.fold (fun _ r acc -> acc + !r) t.scrub_corruptions 0 ))
+
+let scrub_corruptions_by_surface t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.scrub_corruptions []
+      |> List.sort compare)
+
+let integrity_counts t =
+  locked t (fun () ->
+      ( t.replication_gaps,
+        t.digest_checks,
+        t.digest_mismatches,
+        t.shard_resyncs ))
 
 let note_replication t ~epoch ~fenced ~replica ~lag ~behind =
   locked t (fun () ->
@@ -404,6 +477,38 @@ let render t =
       line "# HELP bxwiki_replication_epoch_rejects_total Stream batches rejected for carrying a stale epoch.";
       line "# TYPE bxwiki_replication_epoch_rejects_total counter";
       line "bxwiki_replication_epoch_rejects_total %d" t.epoch_rejects;
+      line "# HELP bxwiki_replication_gaps_total Sequence gaps detected in the applied stream (each triggers a snapshot re-bootstrap).";
+      line "# TYPE bxwiki_replication_gaps_total counter";
+      line "bxwiki_replication_gaps_total %d" t.replication_gaps;
+      line "# HELP bxwiki_replication_digest_checks_total Anti-entropy digest comparisons performed against the upstream.";
+      line "# TYPE bxwiki_replication_digest_checks_total counter";
+      line "bxwiki_replication_digest_checks_total %d" t.digest_checks;
+      line "# HELP bxwiki_replication_digest_mismatches_total Digest comparisons that found at least one diverged shard.";
+      line "# TYPE bxwiki_replication_digest_mismatches_total counter";
+      line "bxwiki_replication_digest_mismatches_total %d" t.digest_mismatches;
+      line "# HELP bxwiki_replication_shard_resyncs_total Targeted per-shard re-bootstraps performed after a digest mismatch.";
+      line "# TYPE bxwiki_replication_shard_resyncs_total counter";
+      line "bxwiki_replication_shard_resyncs_total %d" t.shard_resyncs;
+      line "# HELP bxwiki_scrub_passes_total Complete scrubber walks over the store.";
+      line "# TYPE bxwiki_scrub_passes_total counter";
+      line "bxwiki_scrub_passes_total %d" t.scrub_passes;
+      line "# HELP bxwiki_scrub_items_total Items examined by the scrubber, by surface.";
+      line "# TYPE bxwiki_scrub_items_total counter";
+      Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.scrub_items []
+      |> List.sort compare
+      |> List.iter (fun (surface, n) ->
+             line "bxwiki_scrub_items_total{surface=%S} %d" surface n);
+      line "# HELP bxwiki_scrub_corruptions_total Corruptions the scrubber found, by surface.";
+      line "# TYPE bxwiki_scrub_corruptions_total counter";
+      Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.scrub_corruptions []
+      |> List.sort compare
+      |> List.iter (fun (surface, n) ->
+             line "bxwiki_scrub_corruptions_total{surface=%S} %d" surface n);
+      line "# HELP bxwiki_quarantine_size Items currently quarantined, by kind (sampled at scrape).";
+      line "# TYPE bxwiki_quarantine_size gauge";
+      line "bxwiki_quarantine_size{kind=\"entry\"} %d" t.quarantined_entries;
+      line "bxwiki_quarantine_size{kind=\"doc\"} %d" t.quarantined_docs;
+      line "bxwiki_quarantine_size{kind=\"file\"} %d" t.quarantined_files;
       line "# HELP bxwiki_replication_epoch The replication epoch this node believes is current.";
       line "# TYPE bxwiki_replication_epoch gauge";
       line "bxwiki_replication_epoch %d" t.repl_epoch;

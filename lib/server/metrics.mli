@@ -91,6 +91,36 @@ val replication_snapshot_bootstrap : t -> unit
 val replication_epoch_reject : t -> unit
 (** Record a stream batch rejected for carrying a stale epoch. *)
 
+val replication_gap : t -> unit
+(** Record a sequence gap in the applied stream: the follower expected
+    seq [n] and got a batch starting past it.  Feeds
+    [bxwiki_replication_gaps_total]; the follower recovers by snapshot
+    re-bootstrap rather than erroring out. *)
+
+val replication_digest_check : t -> matched:bool -> unit
+(** Record one anti-entropy digest comparison against the upstream;
+    [matched = false] means at least one shard diverged. *)
+
+val replication_shard_resync : t -> unit
+(** Record one targeted per-shard re-bootstrap after a digest
+    mismatch. *)
+
+(** {1 Integrity: scrubber and quarantine} *)
+
+val scrub_pass : t -> unit
+(** Record one complete scrubber walk over the store. *)
+
+val scrub_item : t -> surface:string -> n:int -> unit
+(** Record [n] items examined on one surface ([journal], [snapshot],
+    [entry] or [doc]). *)
+
+val scrub_corruption : t -> surface:string -> unit
+(** Record one corruption found, by surface. *)
+
+val note_quarantine : t -> entries:int -> docs:int -> files:int -> unit
+(** Sample the quarantine population ([bxwiki_quarantine_size{kind}]);
+    the service sets it after boot and after every scrub pass. *)
+
 val note_replication :
   t ->
   epoch:int ->
@@ -137,3 +167,13 @@ val replication_counts : t -> int * int * int * int * int
 val lock_counts : t -> ((string * string) * (int * int)) list
 (** The sampled lock counters: ((lock, mode), (acquisitions, contended)),
     sorted. *)
+
+val scrub_counts : t -> int * int * int
+(** (passes, items examined, corruptions found), summed over surfaces. *)
+
+val scrub_corruptions_by_surface : t -> (string * int) list
+(** Corruption counts per surface, sorted. *)
+
+val integrity_counts : t -> int * int * int * int
+(** (replication gaps, digest checks, digest mismatches, shard
+    resyncs). *)

@@ -171,17 +171,25 @@ let request ~host ~port ?(timeout = 15.0) ~meth ~path ~body () =
 (* ------------------------------------------------------------------ *)
 (* The follower *)
 
+type apply_error = [ `Gap of int * int | `Fail of string ]
+
 type sink = {
   next_seq : unit -> int;
   epoch : unit -> int;
   observe_epoch : int -> unit;
-  apply : Journal.record list -> (unit, string) result;
+  apply : Journal.record list -> (unit, apply_error) result;
   install_snapshot :
     seq:int -> files:(string * string) list -> (unit, string) result;
+  digests : unit -> (int * int) list;
+  install_shard :
+    shard:int -> seq:int -> files:(string * string) list
+    -> (unit, string) result;
   note_progress : behind:int -> unit;
   note_reconnect : unit -> unit;
   note_epoch_reject : unit -> unit;
   note_snapshot_bootstrap : unit -> unit;
+  note_gap : expected:int -> got:int -> unit;
+  note_digest : matched:bool -> unit;
   should_stop : unit -> bool;
 }
 
@@ -204,6 +212,61 @@ let bootstrap ~host ~port sink =
       sink.note_snapshot_bootstrap ();
       Ok ()
     end
+
+(* Anti-entropy: once caught up, compare per-shard content digests with
+   the upstream and re-bootstrap only the diverged shards.  O(shards) on
+   the happy path — one tiny GET against incrementally maintained
+   values — so it can run on every caught-up poll.  An upstream without
+   the endpoint (pre-digest primary) or a transport hiccup skips the
+   check; the next poll retries. *)
+let verify_digests ~host ~port sink =
+  match
+    request ~host ~port ~meth:"GET" ~path:"/replication/digest" ~body:"" ()
+  with
+  | Error _ | Ok (404, _) -> Ok ()
+  | Ok (status, _) when status <> 200 -> Ok ()
+  | Ok (_, body) -> (
+      match Integrity.parse_digests body with
+      | Error e -> Error ("digest: " ^ e)
+      | Ok (_epoch, upstream) ->
+          let local = sink.digests () in
+          if List.length upstream <> List.length local then begin
+            (* Shard-count disagreement: targeted repair has no unit to
+               target; fall back to a full bootstrap. *)
+            sink.note_digest ~matched:false;
+            bootstrap ~host ~port sink
+          end
+          else
+            let diverged =
+              List.filter_map
+                (fun (k, d) ->
+                  match List.assoc_opt k local with
+                  | Some d' when d' = d -> None
+                  | _ -> Some k)
+                upstream
+            in
+            sink.note_digest ~matched:(diverged = []);
+            List.fold_left
+              (fun acc k ->
+                let* () = acc in
+                let* status, body =
+                  request ~host ~port ~meth:"GET"
+                    ~path:(Printf.sprintf "/replication/snapshot?shard=%d" k)
+                    ~body:"" ()
+                in
+                if status <> 200 then
+                  Error (Printf.sprintf "shard %d snapshot: HTTP %d" k status)
+                else
+                  let* epoch, seq, files = parse_snapshot_body body in
+                  if epoch < sink.epoch () then begin
+                    sink.note_epoch_reject ();
+                    Error "shard snapshot from a stale epoch"
+                  end
+                  else begin
+                    if epoch > sink.epoch () then sink.observe_epoch epoch;
+                    sink.install_shard ~shard:k ~seq ~files
+                  end)
+              (Ok ()) diverged)
 
 let poll_once ~host ~port ?(wait = 5.0) sink =
   let from = sink.next_seq () in
@@ -237,9 +300,23 @@ let poll_once ~host ~port ?(wait = 5.0) sink =
           else begin
             if epoch > my_epoch then sink.observe_epoch epoch;
             let* () =
-              match records with [] -> Ok () | rs -> sink.apply rs
+              match records with
+              | [] -> Ok ()
+              | rs -> (
+                  match sink.apply rs with
+                  | Ok () -> Ok ()
+                  | Error (`Fail m) -> Error m
+                  | Error (`Gap (expected, got)) ->
+                      (* The stream and our cursor disagree — count it,
+                         then recover by snapshot bootstrap instead of
+                         erroring forever against the same gap. *)
+                      sink.note_gap ~expected ~got;
+                      bootstrap ~host ~port sink)
             in
             let behind = max 0 (next_seq - sink.next_seq ()) in
+            let* () =
+              if behind = 0 then verify_digests ~host ~port sink else Ok ()
+            in
             sink.note_progress ~behind;
             Ok behind
           end

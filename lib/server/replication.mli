@@ -73,30 +73,61 @@ val request :
     body).  Connection failures and timeouts come back as [Error], never
     as exceptions. *)
 
+type apply_error =
+  [ `Gap of int * int
+    (** (expected, got): the batch starts past our cursor — recoverable
+        by snapshot bootstrap, and counted, not fatal *)
+  | `Fail of string  (** anything else (journal write, injected fault) *)
+  ]
+
 type sink = {
   next_seq : unit -> int;  (** the sequence number we need next *)
   epoch : unit -> int;  (** the highest epoch we have observed *)
   observe_epoch : int -> unit;  (** adopt (and persist) a higher epoch *)
-  apply : Journal.record list -> (unit, string) result;
+  apply : Journal.record list -> (unit, apply_error) result;
       (** journal and apply a batch; must tolerate a retried prefix *)
   install_snapshot :
     seq:int -> files:(string * string) list -> (unit, string) result;
+  digests : unit -> (int * int) list;
+      (** local per-shard content digests, as (shard, digest) rows *)
+  install_shard :
+    shard:int -> seq:int -> files:(string * string) list
+    -> (unit, string) result;
+      (** targeted anti-entropy repair: install one shard's snapshot
+          payload without touching the others *)
   note_progress : behind:int -> unit;
       (** called after every successful poll with the record lag *)
   note_reconnect : unit -> unit;
   note_epoch_reject : unit -> unit;
   note_snapshot_bootstrap : unit -> unit;
+  note_gap : expected:int -> got:int -> unit;
+      (** a sequence gap was detected (and recovery is about to run) *)
+  note_digest : matched:bool -> unit;
+      (** an anti-entropy digest comparison completed *)
   should_stop : unit -> bool;
       (** polled between (and during) sleeps; promotion and shutdown
           both stop the loop *)
 }
+
+val verify_digests :
+  host:string -> port:int -> sink -> (unit, string) result
+(** One anti-entropy round: fetch [GET /replication/digest] from the
+    upstream, compare with [sink.digests ()], and re-bootstrap exactly
+    the diverged shards through [sink.install_shard] (or fully, when the
+    shard counts disagree).  An upstream without the endpoint, or a
+    transport failure, skips the round ([Ok ()]) — the next caught-up
+    poll retries.  {!poll_once} runs this automatically whenever a poll
+    finds the replica caught up; exposed so tests and drills can force a
+    round synchronously. *)
 
 val poll_once :
   host:string -> port:int -> ?wait:float -> sink -> (int, string) result
 (** One poll of the upstream: fetch, epoch-check, apply (or snapshot
     bootstrap).  Returns the records still outstanding after the batch
     was applied — 0 means caught up.  [wait] is the long-poll hold the
-    primary is asked for (default 5 s). *)
+    primary is asked for (default 5 s).  A detected sequence gap is
+    counted through [sink.note_gap] and healed by a snapshot bootstrap;
+    a caught-up poll additionally runs {!verify_digests}. *)
 
 val follow :
   host:string ->

@@ -15,6 +15,8 @@ type config = {
   replica_lag_threshold : float;
   stream_wait : float;
   stream_max_records : int;
+  scrub_rate : int;
+  entry_law : (Bx_repo.Template.t -> (unit, string) result) option;
 }
 
 let default_config =
@@ -35,6 +37,8 @@ let default_config =
     replica_lag_threshold = 5.0;
     stream_wait = 5.0;
     stream_max_records = 512;
+    scrub_rate = 0;
+    entry_law = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -148,6 +152,15 @@ type t = {
       (* per-shard write generations, each guarded by its shard lock's
          write side; the service-wide generation is their sum, so it
          still advances by one on every accepted write *)
+  digests : int array;
+      (* per-shard content digests (XOR over entry hashes; shard 0 also
+         folds the docstore), maintained incrementally under the same
+         write locks as [gens] — the O(shards) anti-entropy currency *)
+  quarantine : Integrity.Quarantine.t;
+  cm : Mutex.t; (* guards [corruption_times] *)
+  mutable corruption_times : float list;
+      (* when each fresh corruption was found, pruned to the last 60 s:
+         a burst flips /readyz *)
   replay_applied : int;
   replay_failed : int;
   stop : bool Atomic.t;
@@ -225,6 +238,72 @@ let lock_stats t =
     ("registry", "write", writes, writes_c);
     ("respcache", "all", cache_acq, cache_cont);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Integrity bookkeeping: per-shard content digests and the quarantine *)
+
+(* The docstore's contribution to shard 0's digest (documents ride
+   shard 0's snapshot and write lock). *)
+let doc_digest t =
+  List.fold_left
+    (fun acc (lens, docid, gen, source) ->
+      acc lxor Integrity.doc_hash ~lens ~docid ~gen ~source)
+    0
+    (Docstore.doc_digest_parts t.docstore)
+
+(* Full recomputation — boot, snapshot install, shard resync.  Steady
+   state maintains the same value incrementally: every accepted write
+   XORs the mutated item's hash out (pre-image) and back in
+   (post-image), O(|item|) per write.  Caller holds the shard's write
+   lock. *)
+let recompute_shard_digest t k =
+  let d = Integrity.shard_digest_of t.registry k in
+  t.digests.(k) <- (if k = 0 then d lxor doc_digest t else d)
+
+let recompute_digests t =
+  Array.iteri (fun k _ -> recompute_shard_digest t k) t.digests
+
+let shard_digests t =
+  read_all t (fun () ->
+      Array.to_list (Array.mapi (fun k d -> (k, d)) t.digests))
+
+let quarantine t = t.quarantine
+
+let note_quarantine_gauges t =
+  let entries, docs, files = Integrity.Quarantine.counts t.quarantine in
+  Metrics.note_quarantine t.metrics ~entries ~docs ~files
+
+let note_corruption t =
+  Mutex.lock t.cm;
+  let now = Unix.gettimeofday () in
+  t.corruption_times <-
+    now :: List.filter (fun ts -> now -. ts < 60.) t.corruption_times;
+  Mutex.unlock t.cm
+
+(* Five fresh corruptions inside a minute is no longer bit rot, it is a
+   failing disk (or an attack): stop advertising readiness so the load
+   balancer drains this node while it still serves what it can. *)
+let corruption_burst t =
+  Mutex.lock t.cm;
+  let now = Unix.gettimeofday () in
+  t.corruption_times <-
+    List.filter (fun ts -> now -. ts < 60.) t.corruption_times;
+  let n = List.length t.corruption_times in
+  Mutex.unlock t.cm;
+  n >= 5
+
+(* Flag a finding: quarantined data keeps serving (entries under a
+   Warning header, documents as 410, files excluded from loads) but is
+   never silently dropped.  Counted once per distinct finding. *)
+let flag_corruption t key ~surface ~why =
+  if Integrity.Quarantine.flag t.quarantine key ~reason:why then begin
+    Metrics.scrub_corruption t.metrics ~surface;
+    note_corruption t;
+    Printf.eprintf "bxwiki: integrity: %s: %s\n%!"
+      (Integrity.Quarantine.key_name key)
+      why;
+    note_quarantine_gauges t
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Boot: snapshot, then log replay *)
@@ -336,7 +415,7 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
            | Ok () -> ()
            | Error e -> Printf.eprintf "bxwiki: epoch persist: %s\n%!" e)
        | None -> ());
-    {
+    let t = {
       config;
       registry;
       locks = Array.init shards (fun _ -> Rwlock.create ());
@@ -350,6 +429,10 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
         Respcache.create ~capacity:config.cache_capacity
           ~shards:config.cache_shards metrics;
       gens = Array.make shards 0;
+      digests = Array.make shards 0;
+      quarantine = Integrity.Quarantine.create ();
+      cm = Mutex.create ();
+      corruption_times = [];
       replay_applied = applied;
       replay_failed = failed;
       stop = Atomic.make false;
@@ -373,6 +456,10 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
       repl_last_sync = 0.;
       repl_allowance = config.stream_wait +. 1.0;
     }
+    in
+    (* Single-threaded here; steady state keeps these incremental. *)
+    recompute_digests t;
+    t
   in
   match config.journal_dir with
   | None -> (
@@ -413,19 +500,39 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
           | Ok registry -> (
               (* Documents persist in shard 0's snapshot; load them
                  before replay so journalled patches find their
-                 documents at the right generation. *)
-              (match
-                 Docstore.load_dir docstore
-                   ~dir:
-                     (Journal.snapshot_dir
-                        (Shardlog.segment_dir ~dir ~shards 0))
-               with
-              | Ok () -> ()
-              | Error e -> Printf.eprintf "bxwiki: %s\n%!" e);
+                 documents at the right generation.  A dump that failed
+                 its checksum is quarantined below, not parsed. *)
+              let docs_corrupt =
+                List.exists
+                  (fun (k, file, _) -> k = 0 && file = Docstore.docs_file)
+                  recovery.corrupt
+              in
+              (if not docs_corrupt then
+                 match
+                   Docstore.load_dir docstore
+                     ~dir:
+                       (Journal.snapshot_dir
+                          (Shardlog.segment_dir ~dir ~shards 0))
+                 with
+                 | Ok () -> ()
+                 | Error e -> Printf.eprintf "bxwiki: %s\n%!" e);
               let applied, failed =
                 replay_edits registry docstore recovery.replay
               in
               let t = fresh ~registry ~log:(Some log) ~applied ~failed in
+              (* Checksum casualties found at boot enter the quarantine
+                 like scrub findings would: flagged, counted, kept on
+                 disk for the operator (or an anti-entropy resync). *)
+              List.iter
+                (fun (k, file, why) ->
+                  let name =
+                    if shards = 1 then file
+                    else Printf.sprintf "shard-%03d/%s" k file
+                  in
+                  flag_corruption t
+                    (Integrity.Quarantine.File name)
+                    ~surface:"snapshot" ~why)
+                recovery.corrupt;
               if not recovery.migrated then Ok t
               else
                 (* A legacy layout was absorbed: capture the rebuilt
@@ -449,8 +556,11 @@ let route_of t path =
   else if path = "/metrics" then "metrics"
   else if path = "/healthz" || path = "/readyz" then "health"
   else if path = "/debug/failpoints" then "debug"
-  else if path = "/replication/stream" || path = "/replication/snapshot" then
-    "replication"
+  else if
+    path = "/replication/stream"
+    || path = "/replication/snapshot"
+    || path = "/replication/digest"
+  then "replication"
   else if path = "/admin/promote" then "admin"
   else if is_slens_path path then "slens"
   else if path = "/search" then "search"
@@ -466,6 +576,7 @@ let respond_html status title body =
     Bx_repo.Webui.status;
     content_type = "text/html; charset=utf-8";
     body = Bx_repo.Webui.html_page ~title body;
+    headers = [];
   }
 
 (* Which registry shard a path's cache validity rides on: an entry route
@@ -556,7 +667,12 @@ let us = '\x1f'
 let rs_str = String.make 1 rs
 
 let respond_text status body =
-  { Bx_repo.Webui.status; content_type = "text/plain; charset=utf-8"; body }
+  {
+    Bx_repo.Webui.status;
+    content_type = "text/plain; charset=utf-8";
+    body;
+    headers = [];
+  }
 
 let split_once sep str =
   match String.index_opt str sep with
@@ -684,10 +800,9 @@ let handle_post t path body =
   (* An entry edit takes only its shard's write lock (and lands in that
      shard's journal segment); edits to entries in other shards proceed
      in parallel.  Anything unroutable serialises against everything. *)
+  let id_opt = Bx_repo.Webui.page_identifier path in
   let shard_opt =
-    Option.map
-      (fun id -> Bx_repo.Registry.shard_of_id t.registry id)
-      (Bx_repo.Webui.page_identifier path)
+    Option.map (fun id -> Bx_repo.Registry.shard_of_id t.registry id) id_opt
   in
   let locked =
     match shard_opt with
@@ -695,14 +810,30 @@ let handle_post t path body =
     | None -> write_all t
   in
   locked (fun () ->
+      (* The entry's pre-image hash, sampled under the same write lock
+         that applies the edit: XORing it out and the post-image in
+         keeps the shard digest exact without rescanning the shard. *)
+      let before =
+        match id_opt with
+        | Some id -> Integrity.entry_hash t.registry id
+        | None -> 0
+      in
       let response =
         Bx_repo.Webui.handle t.registry ~meth:"POST" ~path ~body
       in
       if response.Bx_repo.Webui.status <> 200 then response
-      else
+      else begin
+        (match (id_opt, shard_opt) with
+        | Some id, Some k ->
+            t.digests.(k) <-
+              t.digests.(k) lxor before lxor Integrity.entry_hash t.registry id
+        | _ ->
+            (* Unroutable writes hold every lock already. *)
+            recompute_digests t);
         journal_accepted t
           ~k:(Option.value shard_opt ~default:0)
-          ~path ~body response)
+          ~path ~body response
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Lens-backed documents.  POST /slens/<name>/doc/<docid> stores a
@@ -719,6 +850,22 @@ let handle_post t path body =
    replication stream carry for a patch is the edit, not the
    document. *)
 
+(* The (lens, docid) a docstore mutation touches — the unit of shard 0's
+   digest.  Patch frames carry the docid as their first RS field. *)
+let doc_key_of path body =
+  match String.split_on_char '/' path with
+  | [ ""; "slens"; name; "doc"; docid ] -> Some (name, docid)
+  | [ ""; "slens"; name; ("patch" | "patch_source") ] ->
+      Option.map (fun (docid, _) -> (name, docid)) (split_once rs body)
+  | _ -> None
+
+(* One document's contribution to shard 0's digest; 0 when absent, so
+   before/after XOR covers creation too.  Caller holds shard 0's lock. *)
+let doc_contrib t (lens, docid) =
+  match Docstore.get_doc t.docstore ~lens ~docid ~view:false with
+  | Ok (gen, source) -> Integrity.doc_hash ~lens ~docid ~gen ~source
+  | Error _ -> 0
+
 let docstore_error e =
   let status =
     match e with
@@ -731,7 +878,17 @@ let docstore_error e =
 
 let handle_docstore_get t ~query path =
   match String.split_on_char '/' path with
-  | [ ""; "slens"; name; "doc"; docid ] ->
+  | [ ""; "slens"; name; "doc"; docid ] -> (
+      match
+        Integrity.Quarantine.find t.quarantine
+          (Integrity.Quarantine.Doc (name, docid))
+      with
+      | Some reason ->
+          (* Never serve bytes the scrubber could not vouch for: a
+             quarantined document is Gone until repaired (or resynced),
+             not silently replaced by something plausible. *)
+          respond_text 410 ("quarantined: " ^ reason ^ "\n")
+      | None ->
       let as_view =
         List.assoc_opt "as" (Httpd.query_params query) = Some "view"
       in
@@ -743,7 +900,7 @@ let handle_docstore_get t ~query path =
           with
           | Ok (gen, doc) ->
               respond_text 200 (string_of_int gen ^ rs_str ^ doc)
-          | Error e -> docstore_error e)
+          | Error e -> docstore_error e))
   | _ -> respond_text 404 "document paths are /slens/<name>/doc/<docid>\n"
 
 let handle_docstore_post t path body =
@@ -752,6 +909,10 @@ let handle_docstore_post t path body =
   | None ->
       Bx_fault.Fault.point "service.lock.write";
       write_shard t 0 (fun () ->
+          let key = doc_key_of path body in
+          let before =
+            match key with Some dk -> doc_contrib t dk | None -> 0
+          in
           let result =
             match String.split_on_char '/' path with
             | [ ""; "slens"; name; "doc"; docid ] ->
@@ -780,7 +941,13 @@ let handle_docstore_post t path body =
           match result with
           | Error e -> docstore_error e
           | Ok response when response.Bx_repo.Webui.status <> 200 -> response
-          | Ok response -> journal_accepted t ~k:0 ~path ~body response)
+          | Ok response ->
+              (match key with
+              | Some dk ->
+                  t.digests.(0) <-
+                    t.digests.(0) lxor before lxor doc_contrib t dk
+              | None -> ());
+              journal_accepted t ~k:0 ~path ~body response)
 
 (* ------------------------------------------------------------------ *)
 (* Replication: the primary side (stream + snapshot endpoints), the
@@ -825,7 +992,12 @@ let replication_lag t =
   end
 
 let octet_response body =
-  { Bx_repo.Webui.status = 200; content_type = "application/octet-stream"; body }
+  {
+    Bx_repo.Webui.status = 200;
+    content_type = "application/octet-stream";
+    body;
+    headers = [];
+  }
 
 let rec take n = function
   | [] -> []
@@ -910,33 +1082,58 @@ let handle_stream t query =
                 octet_response body
           end)
 
-let handle_snapshot t =
+let snapshot_response t files =
+  match files with
+  | Error e -> respond_text 404 (e ^ "\n")
+  | Ok (seq, files) ->
+      Bx_fault.Fault.point "repl.stream.write";
+      let body =
+        Replication.snapshot_body ~epoch:(Atomic.get t.epoch) ~seq ~files
+      in
+      Metrics.replication_streamed t.metrics ~records:0
+        ~bytes:(String.length body);
+      octet_response body
+
+let handle_snapshot t query =
   match t.log with
   | None -> respond_text 404 "replication requires a journal\n"
   | Some log -> (
-      let files =
-        if Shardlog.shards log = 1 then
-          (* Single shard: ship whatever snapshot exists (404 until the
-             first checkpoint), exactly the pre-sharding contract. *)
-          read_all t (fun () -> Shardlog.snapshot_files log)
-        else
-          (* Sharded: a consistent ship needs every segment sealed at
-             one global cut, so cut one now under all write locks. *)
-          write_all t (fun () ->
-              match checkpoint_all_locked t with
-              | Error e -> Error e
-              | Ok _ -> Shardlog.snapshot_files log)
-      in
-      match files with
-      | Error e -> respond_text 404 (e ^ "\n")
-      | Ok (seq, files) ->
-          Bx_fault.Fault.point "repl.stream.write";
-          let body =
-            Replication.snapshot_body ~epoch:(Atomic.get t.epoch) ~seq ~files
+      match List.assoc_opt "shard" (Httpd.query_params query) with
+      | Some v -> (
+          (* Targeted anti-entropy: seal and ship exactly one segment —
+             the other shards neither checkpoint nor block. *)
+          match int_of_string_opt v with
+          | Some k when k >= 0 && k < Shardlog.shards log ->
+              snapshot_response t
+                (write_shard t k (fun () ->
+                     match checkpoint_shard_locked t k with
+                     | Error e -> Error e
+                     | Ok _ -> Shardlog.snapshot_files_shard log ~shard:k))
+          | _ -> respond_text 400 (Printf.sprintf "bad shard %S\n" v))
+      | None ->
+          let files =
+            if Shardlog.shards log = 1 then
+              (* Single shard: ship whatever snapshot exists (404 until
+                 the first checkpoint), exactly the pre-sharding
+                 contract. *)
+              read_all t (fun () -> Shardlog.snapshot_files log)
+            else
+              (* Sharded: a consistent ship needs every segment sealed
+                 at one global cut, so cut one now under all write
+                 locks. *)
+              write_all t (fun () ->
+                  match checkpoint_all_locked t with
+                  | Error e -> Error e
+                  | Ok _ -> Shardlog.snapshot_files log)
           in
-          Metrics.replication_streamed t.metrics ~records:0
-            ~bytes:(String.length body);
-          octet_response body)
+          snapshot_response t files)
+
+(* The anti-entropy currency: O(shards) numbers a caught-up follower
+   compares against its own to find silent divergence — and, on a
+   mismatch, knows exactly which shard to re-fetch. *)
+let handle_digest t =
+  respond_text 200
+    (Integrity.render_digests ~epoch:(Atomic.get t.epoch) (shard_digests t))
 
 (* Apply one streamed batch: journal first (a crash between journal and
    registry replays to the same state at next boot), then the registry,
@@ -961,6 +1158,19 @@ let replication_apply t records =
         in
         let apply_one (r : Journal.record) =
           let k = shard_of_path r.path in
+          let id_opt =
+            if is_slens_path r.path then None
+            else Bx_repo.Webui.page_identifier r.path
+          in
+          let doc_key =
+            if is_slens_path r.path then doc_key_of r.path r.body else None
+          in
+          let before =
+            match (id_opt, doc_key) with
+            | Some id, _ -> Integrity.entry_hash t.registry id
+            | None, Some dk -> doc_contrib t dk
+            | None, None -> 0
+          in
           (if is_slens_path r.path then begin
              (* A streamed patch record carries the edit, not the
                 document: the follower propagates it through its own
@@ -987,6 +1197,18 @@ let replication_apply t records =
                Metrics.protocol_error t.metrics ~route:"replication"
                  ~reason:"apply_failed"
              end);
+          (* The replica's digests track the same incremental XOR a
+             primary maintains, so a digest comparison measures real
+             content divergence, not bookkeeping drift. *)
+          (match (id_opt, doc_key) with
+          | Some id, _ ->
+              t.digests.(k) <-
+                t.digests.(k) lxor before
+                lxor Integrity.entry_hash t.registry id
+          | None, Some dk ->
+              t.digests.(0) <- t.digests.(0) lxor before lxor doc_contrib t dk
+          | None, None ->
+              if not (is_slens_path r.path) then recompute_digests t);
           Atomic.set t.applied_next (r.seq + 1);
           t.gens.(k) <- t.gens.(k) + 1;
           Metrics.replication_applied t.metrics ~records:1;
@@ -1004,31 +1226,39 @@ let replication_apply t records =
           | (r : Journal.record) :: rest ->
               let next = Atomic.get t.applied_next in
               if r.seq < next then go rest
-              else if r.seq > next then
-                Error
-                  (Printf.sprintf "stream gap: expected seq %d, got %d" next
-                     r.seq)
+              else if r.seq > next then Error (`Gap (next, r.seq))
               else begin
                 match t.log with
                 | None ->
                     apply_one r;
                     go rest
-                | Some log -> (
-                    match
-                      Shardlog.append_at log ~shard:(shard_of_path r.path)
-                        ~seq:r.seq ~path:r.path ~body:r.body
-                    with
-                    | Error e ->
-                        Atomic.set t.journal_ok false;
-                        Error e
-                    | Ok _ ->
-                        Atomic.set t.journal_ok true;
-                        apply_one r;
-                        go rest)
+                | Some log ->
+                    let k = shard_of_path r.path in
+                    if r.seq <= Shardlog.shard_floor log k then begin
+                      (* A targeted resync sealed this segment past
+                         [r.seq]: the record is already embodied in the
+                         installed shard snapshot.  Skip it (the cursor
+                         still advances — other shards' records in this
+                         range apply normally). *)
+                      Atomic.set t.applied_next (r.seq + 1);
+                      go rest
+                    end
+                    else (
+                      match
+                        Shardlog.append_at log ~shard:k ~seq:r.seq
+                          ~path:r.path ~body:r.body
+                      with
+                      | Error e ->
+                          Atomic.set t.journal_ok false;
+                          Error (`Fail e)
+                      | Ok _ ->
+                          Atomic.set t.journal_ok true;
+                          apply_one r;
+                          go rest)
               end
         in
         go records)
-  with Bx_fault.Fault.Injected m -> Error m
+  with Bx_fault.Fault.Injected m -> Error (`Fail m)
 
 let replication_install_snapshot t ~seq ~files =
   try
@@ -1057,15 +1287,64 @@ let replication_install_snapshot t ~seq ~files =
                         (* The shipped snapshot carries the primary's
                            documents (or none); either way it replaces
                            ours. *)
-                        (match t.config.journal_dir with
-                        | None -> Ok ()
-                        | Some dir ->
-                            Docstore.load_dir t.docstore
-                              ~dir:
-                                (Journal.snapshot_dir
-                                   (Shardlog.segment_dir ~dir
-                                      ~shards:(Shardlog.shards log) 0))))))
+                        let docs =
+                          match t.config.journal_dir with
+                          | None -> Ok ()
+                          | Some dir ->
+                              Docstore.load_dir t.docstore
+                                ~dir:
+                                  (Journal.snapshot_dir
+                                     (Shardlog.segment_dir ~dir
+                                        ~shards:(Shardlog.shards log) 0))
+                        in
+                        recompute_digests t;
+                        docs)))
         | None -> Error "snapshot bootstrap requires a journal")
+  with Bx_fault.Fault.Injected m -> Error m
+
+(* Targeted anti-entropy repair: replace exactly one shard — its segment
+   on disk, its slice of the registry, and (for shard 0) the docstore —
+   leaving every other shard untouched.  [applied_next] deliberately
+   does not move: records below the new segment floor are skipped by the
+   apply loop, records for {e other} shards in the same range still need
+   applying. *)
+let replication_install_shard t ~shard ~seq ~files =
+  try
+    Bx_fault.Fault.point "repl.apply";
+    write_all t (fun () ->
+        match t.log with
+        | None -> Error "shard resync requires a journal"
+        | Some log ->
+            if shard < 0 || shard >= Shardlog.shards log then
+              Error (Printf.sprintf "shard %d out of range" shard)
+            else (
+              match Shardlog.install_shard log ~shard ~seq ~files with
+              | Error e -> Error e
+              | Ok () -> (
+                  match Shardlog.snapshot_pages_shard log ~shard with
+                  | Error e -> Error ("snapshot load: " ^ e)
+                  | Ok pages -> (
+                      match
+                        Bx_repo.Registry.replace_shard t.registry shard pages
+                      with
+                      | Error e -> Error ("shard import: " ^ e)
+                      | Ok () ->
+                          t.gens.(shard) <- t.gens.(shard) + 1;
+                          let docs =
+                            if shard <> 0 then Ok ()
+                            else
+                              match t.config.journal_dir with
+                              | None -> Ok ()
+                              | Some dir ->
+                                  Docstore.load_dir t.docstore
+                                    ~dir:
+                                      (Journal.snapshot_dir
+                                         (Shardlog.segment_dir ~dir
+                                            ~shards:(Shardlog.shards log) 0))
+                          in
+                          recompute_shard_digest t shard;
+                          Metrics.replication_shard_resync t.metrics;
+                          docs))))
   with Bx_fault.Fault.Injected m -> Error m
 
 let observe_epoch t e =
@@ -1086,6 +1365,17 @@ let replication_sink t =
     observe_epoch = observe_epoch t;
     apply = replication_apply t;
     install_snapshot = replication_install_snapshot t;
+    digests = (fun () -> shard_digests t);
+    install_shard =
+      (fun ~shard ~seq ~files -> replication_install_shard t ~shard ~seq ~files);
+    note_gap =
+      (fun ~expected ~got ->
+        Metrics.replication_gap t.metrics;
+        Printf.eprintf
+          "bxwiki: replication gap: expected seq %d, got %d; re-bootstrapping\n%!"
+          expected got);
+    note_digest =
+      (fun ~matched -> Metrics.replication_digest_check t.metrics ~matched);
     note_progress =
       (fun ~behind ->
         Mutex.lock t.rm;
@@ -1179,6 +1469,9 @@ let readiness t =
         || replication_lag t <= t.config.replica_lag_threshold,
         "replication_lag" );
       (not (fenced t), "fenced");
+      (* A burst of fresh corruption findings means the medium under us
+         is failing: drain traffic away while still serving reads. *)
+      (not (corruption_burst t), "corruption_burst");
     ]
 
 let ready t = readiness t = []
@@ -1199,6 +1492,35 @@ let handle_failpoints_admin t ~meth ~body =
         | Ok () -> respond_text 200 (Bx_fault.Fault.describe () ^ "\n")
         | Error e -> respond_text 400 (e ^ "\n"))
     | _ -> respond_text 405 "use GET or PUT\n"
+
+(* Quarantined entries keep serving — but honestly: every 200 for a
+   flagged entry carries a Warning header.  Applied after the cache
+   lookup, so the header is never cached and clears the moment the
+   flag does. *)
+let with_quarantine_warning t path response =
+  if
+    response.Bx_repo.Webui.status <> 200
+    || Integrity.Quarantine.size t.quarantine = 0
+  then response
+  else
+    match Bx_repo.Webui.page_identifier path with
+    | None -> response
+    | Some id -> (
+        match
+          Integrity.Quarantine.find t.quarantine
+            (Integrity.Quarantine.Entry (Bx_repo.Identifier.to_string id))
+        with
+        | None -> response
+        | Some reason ->
+            let reason =
+              String.map (fun c -> if c = '"' then '\'' else c) reason
+            in
+            {
+              response with
+              Bx_repo.Webui.headers =
+                ("Warning", Printf.sprintf "299 bxwiki \"quarantined: %s\"" reason)
+                :: response.Bx_repo.Webui.headers;
+            })
 
 let handle_query t ~query ~meth ~path ~body =
   let started = Unix.gettimeofday () in
@@ -1229,16 +1551,18 @@ let handle_query t ~query ~meth ~path ~body =
             Bx_repo.Webui.status = 200;
             content_type = "text/plain; version=0.0.4; charset=utf-8";
             body = Metrics.render t.metrics;
+            headers = [];
           }
       | "GET" when path = "/healthz" -> respond_text 200 "ok\n"
       | "GET" when path = "/readyz" -> handle_readyz t
       | ("GET" | "PUT") when path = "/debug/failpoints" ->
           handle_failpoints_admin t ~meth ~body
       | "GET" when path = "/replication/stream" -> handle_stream t query
-      | "GET" when path = "/replication/snapshot" -> handle_snapshot t
+      | "GET" when path = "/replication/snapshot" -> handle_snapshot t query
+      | "GET" when path = "/replication/digest" -> handle_digest t
       | "POST" when path = "/admin/promote" -> handle_promote t
       | "GET" when is_slens_path path -> handle_docstore_get t ~query path
-      | "GET" -> handle_get t ~query path
+      | "GET" -> with_quarantine_warning t path (handle_get t ~query path)
       | "POST" when is_slens_path path ->
           if Docstore.is_doc_path path then handle_docstore_post t path body
           else handle_slens t path body
@@ -1260,6 +1584,143 @@ let checkpoint t = write_all t (fun () -> checkpoint_all_locked t)
 let close t = Option.iter Shardlog.close t.log
 
 (* ------------------------------------------------------------------ *)
+(* The background scrubber: one pass re-verifies every storage surface —
+   journal record CRCs, snapshot file checksums against their DIGESTS,
+   entry round-trip laws, document view/source agreement — under a token
+   bucket so foreground latency is untouched.  Findings are quarantined
+   (never dropped); a healthy item clears any stale flag, so repair (a
+   re-checkpoint, a corrective edit, an anti-entropy resync) is
+   self-acquitting.  Each item is checked under its own shard's read
+   lock — the pass never blocks writers for longer than one item. *)
+
+exception Stop_scrub
+
+let scrub_once ?(rate = 0.) ?(stop = fun () -> false) t =
+  let module Q = Integrity.Quarantine in
+  let bucket = Integrity.Bucket.create ~rate in
+  let items = ref 0 in
+  let findings = ref [] in
+  let pace ~surface =
+    if stop () then raise Stop_scrub;
+    Integrity.Bucket.take bucket 1.;
+    incr items;
+    Metrics.scrub_item t.metrics ~surface ~n:1
+  in
+  let found key ~surface why =
+    findings := (Q.key_name key, why) :: !findings;
+    flag_corruption t key ~surface ~why
+  in
+  let shards = Array.length t.locks in
+  let seg_name k file =
+    if shards = 1 then file else Printf.sprintf "shard-%03d/%s" k file
+  in
+  (try
+     (* Journal segments: re-read every record, re-checking framing and
+        CRCs.  A dirty tail at rest is corruption (boot would truncate
+        it); mid-append torn reads are benign and not flagged. *)
+     (match (t.log, t.config.journal_dir) with
+     | Some log, Some dir ->
+         for k = 0 to shards - 1 do
+           pace ~surface:"journal";
+           let seg =
+             Shardlog.segment_dir ~dir ~shards:(Shardlog.shards log) k
+           in
+           let key = Q.File (seg_name k "journal.log") in
+           read_shard t k (fun () ->
+               match Journal.read ~dir:seg with
+               | Error why -> found key ~surface:"journal" why
+               | Ok r ->
+                   if r.Journal.crc_errors > 0 then
+                     found key ~surface:"journal"
+                       (Printf.sprintf "%d record(s) failed CRC"
+                          r.Journal.crc_errors)
+                   else Q.clear t.quarantine key)
+         done
+     | _ -> ());
+     (* Snapshot directories: recompute every cold file's CRC against
+        the DIGESTS manifest. *)
+     (match (t.log, t.config.journal_dir) with
+     | Some log, Some dir ->
+         for k = 0 to shards - 1 do
+           pace ~surface:"snapshot";
+           let seg = Shardlog.segment_dir ~dir ~shards:(Shardlog.shards log) k in
+           let snap = Journal.snapshot_dir seg in
+           read_shard t k (fun () ->
+               (* The MANIFEST carries its own CRC and is not covered by
+                  DIGESTS, so check it separately: a flipped cut point
+                  must stay quarantined until a re-checkpoint rewrites
+                  it. *)
+               let mkey = Q.File (seg_name k "MANIFEST") in
+               (match Journal.read_manifest ~dir:seg with
+               | `Corrupt ->
+                   found mkey ~surface:"snapshot"
+                     "manifest checksum mismatch: cut point untrusted"
+               | `None | `Seq _ -> Q.clear t.quarantine mkey);
+               let report = Integrity.Digests.verify_dir ~dir:snap in
+               if report.Integrity.Digests.corrupt = [] then
+                 (* Clean segment: acquit its previously-flagged
+                    snapshot files (a re-checkpoint rewrote them). *)
+                 List.iter
+                   (fun (key, _) ->
+                     match key with
+                     | Q.File name
+                       when name <> seg_name k "journal.log"
+                            && name <> seg_name k "MANIFEST"
+                            && (shards = 1 || Filename.dirname name
+                                              = Printf.sprintf "shard-%03d" k)
+                            && (shards > 1 || not (String.contains name '/'))
+                       -> Q.clear t.quarantine key
+                     | _ -> ())
+                   (Q.items t.quarantine)
+               else
+                 List.iter
+                   (fun (file, why) ->
+                     found (Q.File (seg_name k file)) ~surface:"snapshot" why)
+                   report.Integrity.Digests.corrupt)
+         done
+     | _ -> ());
+     (* Entries: template validity plus the wiki round-trip laws (and
+        any injected law), every stored version.  An entry that vanishes
+        between the id walk and the check simply passes. *)
+     for k = 0 to shards - 1 do
+       let ids =
+         read_shard t k (fun () -> Bx_repo.Registry.shard_ids t.registry k)
+       in
+       List.iter
+         (fun id ->
+           pace ~surface:"entry";
+           let key = Q.Entry (Bx_repo.Identifier.to_string id) in
+           read_shard t k (fun () ->
+               match
+                 Integrity.check_entry ?law:t.config.entry_law t.registry id
+               with
+               | Ok () -> Q.clear t.quarantine key
+               | Error why ->
+                   if String.length why >= 8 && String.sub why 0 8 = "no entry"
+                   then ()
+                   else found key ~surface:"entry" why))
+         ids
+     done;
+     (* Documents: the stored view must equal what the lens derives from
+        the stored source — GetPut at rest. *)
+     List.iter
+       (fun (lens, docid) ->
+         pace ~surface:"doc";
+         let key = Q.Doc (lens, docid) in
+         read_shard t 0 (fun () ->
+             match Docstore.check_doc t.docstore ~lens ~docid with
+             | Ok () -> Q.clear t.quarantine key
+             | Error why ->
+                 if String.length why >= 7 && String.sub why 0 7 = "unknown"
+                 then ()
+                 else found key ~surface:"doc" why))
+       (Docstore.doc_keys t.docstore)
+   with Stop_scrub -> ());
+  Metrics.scrub_pass t.metrics;
+  note_quarantine_gauges t;
+  (!items, List.rev !findings)
+
+(* ------------------------------------------------------------------ *)
 (* The socket server: accept loop + worker pool *)
 
 let shutdown t =
@@ -1269,13 +1730,29 @@ let shutdown t =
   Condition.broadcast t.qc;
   Mutex.unlock t.qm
 
+(* How long a shed client should stay away: 1s while the queue is under
+   its high-water mark, then 2..8s scaling with how far past it the
+   depth has climbed.  A storm of simultaneous sheds then spreads its
+   retries over several seconds instead of reconverging after exactly
+   one — the server-side half of the decorrelation the client's jittered
+   backoff provides. *)
+let retry_after_for_depth t ~depth =
+  let hw = queue_high_water t in
+  if depth < hw then 1
+  else
+    let span = max 1 (t.config.queue_capacity - hw) in
+    min 8 (2 + (6 * (depth - hw) / span))
+
 (* Shed one connection: a tiny 503 + Retry-After written straight from
    whichever loop is rejecting it (the write goes to a socket buffer
    that is empty, and SO_SNDTIMEO bounds the pathological case), then
    close. *)
 let shed_connection t fd ~reason =
   Metrics.shed t.metrics ~reason;
-  (try Httpd.write_response fd ~keep_alive:false (Httpd.shed_response ~reason)
+  let retry_after = retry_after_for_depth t ~depth:(queue_depth t) in
+  (try
+     Httpd.write_response fd ~keep_alive:false
+       (Httpd.shed_response ~retry_after ~reason ())
    with Unix.Unix_error _ | Bx_fault.Fault.Injected _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -1397,6 +1874,31 @@ let serve t ?(port = 8008) ?(workers = 4) ?port_file ?(quiet = false) () =
         | None -> ", no journal");
     t.accepting <- true;
     let pool = List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t)) in
+    (* The scrubber rides its own domain, paced by the token bucket so
+       the worker pool's latency is unaffected; it re-walks everything
+       continuously until shutdown. *)
+    let scrubber =
+      if t.config.scrub_rate <= 0 then None
+      else
+        Some
+          (Domain.spawn (fun () ->
+               let rate = float_of_int t.config.scrub_rate in
+               let stop () = Atomic.get t.stop in
+               (* Sleep in slices so shutdown is prompt. *)
+               let rec pause n =
+                 if n > 0 && not (stop ()) then begin
+                   Thread.delay 0.1;
+                   pause (n - 1)
+                 end
+               in
+               while not (stop ()) do
+                 (try ignore (scrub_once ~rate ~stop t)
+                  with exn ->
+                    Printf.eprintf "bxwiki: scrubber: %s\n%!"
+                      (Printexc.to_string exn));
+                 pause 10
+               done))
+    in
     let rec accept_loop () =
       if Atomic.get t.stop then ()
       else
@@ -1437,6 +1939,7 @@ let serve t ?(port = 8008) ?(workers = 4) ?port_file ?(quiet = false) () =
     Condition.broadcast t.qc;
     Mutex.unlock t.qm;
     List.iter Domain.join pool;
+    Option.iter Domain.join scrubber;
     t.bound_port <- None;
     let result =
       match checkpoint t with

@@ -70,6 +70,14 @@ type config = {
   stream_max_records : int;
       (** record cap per stream response; a further-behind follower just
           polls again *)
+  scrub_rate : int;
+      (** items/second the background scrubber re-verifies (journal
+          records, snapshot checksums, entry laws, document round
+          trips); [0] (the default) disables the scrubber domain *)
+  entry_law : (Bx_repo.Template.t -> (unit, string) result) option;
+      (** an extra deterministic per-version check the scrubber runs on
+          every entry (the CLI injects the QCheck law harness here, so
+          the server library itself never depends on the test stack) *)
 }
 
 val default_config : config
@@ -77,7 +85,8 @@ val default_config : config
     10 s read timeout, 4 lens workers, 256 queued connections, 5 s queue
     deadline, 10 s write timeout, failpoint admin iff
     [BXWIKI_FAILPOINTS] is set; primary role, 5 s lag threshold, 5 s
-    stream hold, 512 records per stream response. *)
+    stream hold, 512 records per stream response; scrubber off, no
+    injected entry law. *)
 
 type t
 
@@ -111,7 +120,14 @@ val handle :
     Replication routes (see {!Replication} for the protocol):
     [GET /replication/stream?from=N&epoch=E&wait=S] long-polls the
     journal, [GET /replication/snapshot] ships the snapshot for
-    bootstrap, and [POST /admin/promote] promotes a replica.  On a
+    bootstrap ([?shard=K] seals and ships exactly one segment — the
+    targeted anti-entropy payload), [GET /replication/digest] serves
+    the per-shard content digests a caught-up follower compares, and
+    [POST /admin/promote] promotes a replica.
+
+    Quarantine semantics: a 200 for an entry the scrubber has flagged
+    carries a [Warning: 299] header naming the finding; a flagged
+    document answers 410 until repaired or resynced.  On a
     replica, every other POST (except lens execution, which touches no
     registry state) answers 503; on a fenced primary — one that has
     observed a newer epoch — they answer 503 too.  {!handle} itself
@@ -196,13 +212,38 @@ val readiness : t -> string list
     [journal_unwritable], [draining], [queue_high_water],
     [replica_syncing] (a replica that has not yet caught up),
     [replication_lag] (a replica whose lag exceeds
-    [replica_lag_threshold]), [fenced] (a deposed primary). *)
+    [replica_lag_threshold]), [fenced] (a deposed primary),
+    [corruption_burst] (five or more fresh corruption findings inside
+    the last minute — the medium is failing, drain traffic away). *)
 
 val queue_depth : t -> int
 (** Pending connections currently queued for a worker. *)
 
 val with_registry : t -> (Bx_repo.Registry.t -> 'a) -> 'a
 (** Run [f] under the read lock — for invariant checks in tests. *)
+
+(** {1 Integrity} *)
+
+val scrub_once :
+  ?rate:float -> ?stop:(unit -> bool) -> t -> int * (string * string) list
+(** One full scrub pass over every storage surface — journal record
+    CRCs, snapshot checksums against their [DIGESTS], entry round-trip
+    laws (plus [config.entry_law]), document view/source agreement.
+    [rate] paces it through a token bucket (0 = unmetered, the offline
+    [bxwiki scrub] mode); [stop] aborts between items.  Findings are
+    quarantined and counted ([bxwiki_scrub_*]); healthy items clear
+    stale flags.  Returns (items checked, (name, error) findings).
+    Each item checks under its own shard's read lock, so a running
+    server keeps serving. *)
+
+val quarantine : t -> Integrity.Quarantine.t
+(** The live quarantine set — corrupted-but-never-dropped data. *)
+
+val shard_digests : t -> (int * int) list
+(** The per-shard content digests, as served at
+    [GET /replication/digest] — maintained incrementally in O(|item|)
+    per write, recomputed wholesale only at boot and snapshot
+    installs. *)
 
 (** {1 Replication} *)
 

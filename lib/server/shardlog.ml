@@ -17,6 +17,10 @@ type recovery = {
   torn : bool;
   crc_errors : int;
   migrated : bool;
+  corrupt : (int * string * string) list;
+      (* (shard, file, named error): cold files that failed checksum
+         verification at boot and were excluded from the load — the
+         service quarantines them, never serves their bytes *)
 }
 
 let shards t = t.shards
@@ -73,7 +77,27 @@ let manifest_exists seg_dir =
   Sys.file_exists (Filename.concat (Journal.snapshot_dir seg_dir) "MANIFEST")
 
 let write_manifest dir seq =
-  write_small (Filename.concat dir "MANIFEST") (Printf.sprintf "seq %d\n" seq)
+  (* The same sealed form Journal.write_manifest produces: the cut point
+     carries its own crc, so a flipped MANIFEST reads as corrupt, never
+     as a different sequence number. *)
+  let body = Printf.sprintf "seq %d" seq in
+  write_small
+    (Filename.concat dir "MANIFEST")
+    (Printf.sprintf "%s crc %08x\n" body (Integrity.crc32 body))
+
+(* Checksum-verify one sealed snapshot directory.  Returns the corrupt
+   [(file, named error)] rows — a damaged MANIFEST is itself one — plus
+   whether the snapshot is usable at all (a trusted cut point exists). *)
+let verify_snapshot seg_dir =
+  match Journal.read_manifest ~dir:seg_dir with
+  | `None -> (false, 0, [])
+  | `Corrupt ->
+      (false, 0, [ ("MANIFEST", "manifest checksum mismatch: cut point untrusted") ])
+  | `Seq floor ->
+      let report =
+        Integrity.Digests.verify_dir ~dir:(Journal.snapshot_dir seg_dir)
+      in
+      (true, floor, report.Integrity.Digests.corrupt)
 
 (* A legacy (pre-sharding) directory is one that has served as a plain
    single-segment journal: its log or snapshot exists at the top level. *)
@@ -111,12 +135,24 @@ let finish_install ~dir ~shards =
   end
   else remove_tree (staging_dir dir) (* stale staging from a pre-marker crash *)
 
-(* Recover one segment: repair its snapshot, read (and remember) its
-   intact records, and open it for appending just past its own last
-   sequence number. *)
+type segment = {
+  seg_j : Journal.t;
+  seg_pages : (string * string) list;
+  seg_sealed : bool;
+  seg_replay : Journal.record list;
+  seg_torn : bool;
+  seg_crc_errors : int;
+  seg_max : int;
+  seg_corrupt : (string * string) list;
+}
+
+(* Recover one segment: repair its snapshot, checksum-verify the sealed
+   cold files (corrupt ones are excluded from the load and reported, not
+   served), read (and remember) the log's intact records, and open it
+   for appending just past its own last sequence number. *)
 let open_segment seg_dir =
   Journal.recover_snapshot ~dir:seg_dir;
-  let floor = Journal.snapshot_seq ~dir:seg_dir in
+  let sealed, floor, corrupt = verify_snapshot seg_dir in
   match Journal.read ~dir:seg_dir with
   | Error e -> Error (Printf.sprintf "%s: journal read: %s" seg_dir e)
   | Ok { Journal.entries; torn; crc_errors; _ } -> (
@@ -129,8 +165,12 @@ let open_segment seg_dir =
       | Error e -> Error (Printf.sprintf "%s: journal open: %s" seg_dir e)
       | Ok j ->
           let pages =
-            if manifest_exists seg_dir then
-              match Bx_repo.Store.load_pages ~dir:(Journal.snapshot_dir seg_dir) with
+            if sealed then
+              match
+                Bx_repo.Store.load_pages
+                  ~skip:(fun name -> List.mem_assoc name corrupt)
+                  ~dir:(Journal.snapshot_dir seg_dir) ()
+              with
               | Ok pages -> pages
               | Error _ -> []
             else []
@@ -138,7 +178,20 @@ let open_segment seg_dir =
           let replay =
             List.filter (fun (r : Journal.record) -> r.seq > floor) entries
           in
-          Ok (j, pages, manifest_exists seg_dir, replay, torn, crc_errors, seg_max))
+          Ok
+            {
+              seg_j = j;
+              seg_pages = pages;
+              seg_sealed = sealed;
+              (* a corrupt MANIFEST reads as unsealed: the cut point is
+                 untrusted, so boot falls back to seed + overlay + replay
+                 — a clean (if stale) prefix, never the corrupted one *)
+              seg_replay = replay;
+              seg_torn = torn;
+              seg_crc_errors = crc_errors;
+              seg_max;
+              seg_corrupt = corrupt;
+            })
 
 let merge_sorted replays =
   List.sort
@@ -156,22 +209,21 @@ let open_segments ~dir ~shards ~migrated ~legacy =
   match go 0 [] with
   | Error e -> Error e
   | Ok segs ->
-      let js = Array.of_list (List.map (fun (j, _, _, _, _, _, _) -> j) segs) in
-      let pages =
-        List.concat_map (fun (_, pages, _, _, _, _, _) -> pages) segs
-      in
-      let complete =
-        List.for_all (fun (_, _, sealed, _, _, _, _) -> sealed) segs
-      in
-      let replay =
-        merge_sorted (List.map (fun (_, _, _, r, _, _, _) -> r) segs)
-      in
-      let torn = List.exists (fun (_, _, _, _, t, _, _) -> t) segs in
+      let js = Array.of_list (List.map (fun s -> s.seg_j) segs) in
+      let pages = List.concat_map (fun s -> s.seg_pages) segs in
+      let complete = List.for_all (fun s -> s.seg_sealed) segs in
+      let replay = merge_sorted (List.map (fun s -> s.seg_replay) segs) in
+      let torn = List.exists (fun s -> s.seg_torn) segs in
       let crc_errors =
-        List.fold_left (fun acc (_, _, _, _, _, c, _) -> acc + c) 0 segs
+        List.fold_left (fun acc s -> acc + s.seg_crc_errors) 0 segs
       in
-      let max_seq =
-        List.fold_left (fun acc (_, _, _, _, _, _, m) -> max acc m) 0 segs
+      let max_seq = List.fold_left (fun acc s -> max acc s.seg_max) 0 segs in
+      let corrupt =
+        List.concat
+          (List.mapi
+             (fun k s ->
+               List.map (fun (file, why) -> (k, file, why)) s.seg_corrupt)
+             segs)
       in
       let legacy_pages, legacy_replay, legacy_complete, next =
         match legacy with
@@ -197,6 +249,7 @@ let open_segments ~dir ~shards ~migrated ~legacy =
             torn;
             crc_errors;
             migrated;
+            corrupt;
           } )
 
 let open_ ~dir ~shards =
@@ -229,13 +282,17 @@ let open_ ~dir ~shards =
              this from scratch — including wiping any half-built
              segments. *)
           Journal.recover_snapshot ~dir;
-          let floor = Journal.snapshot_seq ~dir in
+          let sealed, floor, lcorrupt = verify_snapshot dir in
           match Journal.read ~dir with
           | Error e -> Error ("journal read: " ^ e)
           | Ok { Journal.entries; torn; crc_errors; _ } ->
               let pages =
-                if manifest_exists dir then
-                  match Bx_repo.Store.load_pages ~dir:(Journal.snapshot_dir dir) with
+                if sealed then
+                  match
+                    Bx_repo.Store.load_pages
+                      ~skip:(fun name -> List.mem_assoc name lcorrupt)
+                      ~dir:(Journal.snapshot_dir dir) ()
+                  with
                   | Ok pages -> pages
                   | Error _ -> []
                 else []
@@ -254,8 +311,7 @@ let open_ ~dir ~shards =
               let lt = (torn, crc_errors) in
               (match
                  open_segments ~dir ~shards ~migrated:true
-                   ~legacy:
-                     (Some (pages, replay, manifest_exists dir, max_seq + 1))
+                   ~legacy:(Some (pages, replay, sealed, max_seq + 1))
                with
               | Error e -> Error e
               | Ok (t, recovery) ->
@@ -266,6 +322,9 @@ let open_ ~dir ~shards =
                         recovery with
                         torn = recovery.torn || torn0;
                         crc_errors = recovery.crc_errors + crc0;
+                        corrupt =
+                          List.map (fun (f, w) -> (0, f, w)) lcorrupt
+                          @ recovery.corrupt;
                       } )))
     with
     | Sys_error e | Failure e -> Error e
@@ -304,6 +363,8 @@ let floor t =
   Array.fold_left
     (fun acc seg_dir -> max acc (Journal.snapshot_seq ~dir:seg_dir))
     0 t.seg_dirs
+
+let shard_floor t k = Journal.snapshot_seq ~dir:t.seg_dirs.(k)
 
 let tail t ~from =
   let rec go k acc =
@@ -377,11 +438,71 @@ let snapshot_pages t =
       let seg_dir = t.seg_dirs.(k) in
       if not (manifest_exists seg_dir) then go (k + 1) acc
       else
-        match Bx_repo.Store.load_pages ~dir:(Journal.snapshot_dir seg_dir) with
+        match Bx_repo.Store.load_pages ~dir:(Journal.snapshot_dir seg_dir) () with
         | Error e -> Error (Printf.sprintf "shard %d: %s" k e)
         | Ok pages -> go (k + 1) (pages :: acc)
   in
   go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Targeted anti-entropy repair: ship and install one shard's snapshot
+   without touching the others.  Names are uniformly prefixed
+   "shard-%03d/" even for a single-segment layout, so the wire format is
+   one shape. *)
+
+let shard_prefix k = Printf.sprintf "shard-%03d/" k
+
+let snapshot_files_shard t ~shard =
+  if shard < 0 || shard >= t.shards then
+    Error (Printf.sprintf "no such shard %d" shard)
+  else
+    match Journal.snapshot_files ~dir:t.seg_dirs.(shard) with
+    | Error e -> Error (Printf.sprintf "shard %d: %s" shard e)
+    | Ok (seq, files) ->
+        Ok
+          ( seq,
+            List.map
+              (fun (name, contents) -> (shard_prefix shard ^ name, contents))
+              files )
+
+let snapshot_pages_shard t ~shard =
+  if shard < 0 || shard >= t.shards then
+    Error (Printf.sprintf "no such shard %d" shard)
+  else
+    let seg_dir = t.seg_dirs.(shard) in
+    if not (manifest_exists seg_dir) then Ok []
+    else
+      match Bx_repo.Store.load_pages ~dir:(Journal.snapshot_dir seg_dir) () with
+      | Error e -> Error (Printf.sprintf "shard %d: %s" shard e)
+      | Ok pages -> Ok pages
+
+(* Install one shard's shipped snapshot: strip the shard prefix, then
+   let the segment's journal do the verified install (payload DIGESTS
+   check, sealed MANIFEST at [seq], atomic swap, log reset to
+   [seq + 1]).  The global sequence counter only ever moves forward. *)
+let install_shard t ~shard ~seq ~files =
+  if shard < 0 || shard >= t.shards then
+    Error (Printf.sprintf "no such shard %d" shard)
+  else
+    let prefix = shard_prefix shard in
+    let plen = String.length prefix in
+    let rec strip acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, contents) :: rest ->
+          if
+            String.length name > plen
+            && String.sub name 0 plen = prefix
+          then strip ((String.sub name plen (String.length name - plen), contents) :: acc) rest
+          else Error (Printf.sprintf "file %S is not in shard %d" name shard)
+    in
+    match strip [] files with
+    | Error e -> Error e
+    | Ok flat -> (
+        match Journal.install_snapshot t.segments.(shard) ~seq ~files:flat with
+        | Error e -> Error e
+        | Ok () ->
+            with_mu t (fun () -> if seq + 1 > t.next then t.next <- seq + 1);
+            Ok ())
 
 (* Sharded snapshot install.  Stage everything under [install.tmp], seal
    each staged segment with a manifest, then write the [INSTALL] marker:
@@ -426,15 +547,49 @@ let install_snapshot t ~seq ~files =
           remove_tree staging;
           ensure_dir staging;
           Bx_fault.Fault.point "shardlog.install.pre_stage";
+          let payload_fault = ref None in
           for k = 0 to t.shards - 1 do
-            let d = Filename.concat staging (Printf.sprintf "shard-%03d" k) in
-            ensure_dir d;
-            List.iter
-              (fun (name, contents) ->
-                write_small (Filename.concat d name) contents)
-              by_shard.(k);
-            write_manifest d seq
+            (* Verify each shard's payload against the DIGESTS it ships
+               before staging a byte: a mangled transfer is refused
+               wholesale, and a pre-digest payload is sealed with a
+               locally computed manifest. *)
+            if !payload_fault = None then begin
+              (match
+                 List.assoc_opt Integrity.Digests.name by_shard.(k)
+                 |> Option.map Integrity.Digests.parse
+               with
+              | Some (Error e) ->
+                  payload_fault :=
+                    Some (Printf.sprintf "shard %d: payload DIGESTS unreadable: %s" k e)
+              | Some (Ok manifest) -> (
+                  match Integrity.Digests.verify_files ~manifest by_shard.(k) with
+                  | [] -> ()
+                  | (name, why) :: _ ->
+                      payload_fault :=
+                        Some
+                          (Printf.sprintf
+                             "shard %d: payload corrupt, refusing %s: %s" k name
+                             why))
+              | None -> ());
+              if !payload_fault = None then begin
+                let d = Filename.concat staging (Printf.sprintf "shard-%03d" k) in
+                ensure_dir d;
+                List.iter
+                  (fun (name, contents) ->
+                    write_small (Filename.concat d name) contents)
+                  by_shard.(k);
+                if not (List.mem_assoc Integrity.Digests.name by_shard.(k)) then
+                  Integrity.Digests.write_dir ~dir:d;
+                write_manifest d seq
+              end
+            end
           done;
+          match !payload_fault with
+          | Some fault ->
+              remove_tree staging;
+              Error fault
+          | None ->
+          (* fall through to the marker + swap *)
           Bx_fault.Fault.point "shardlog.install.pre_marker";
           write_small (marker_file t.dir) "install\n";
           Bx_fault.Fault.point "shardlog.install.mid_swap";

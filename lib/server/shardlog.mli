@@ -53,6 +53,14 @@ type recovery = {
   migrated : bool;
       (** a legacy layout was absorbed: the caller must replay, then
           {!checkpoint_all}, then {!seal_migration} *)
+  corrupt : (int * string * string) list;
+      (** (shard, file, named error): cold files that failed checksum
+          verification against the snapshot's [DIGESTS] (or a damaged
+          [MANIFEST] itself) — excluded from [pages], reported for the
+          caller to quarantine and count.  A snapshot whose MANIFEST is
+          corrupt reads as unsealed ([complete] drops to [false]): its
+          cut point cannot be trusted, so boot falls back to the seed
+          overlay rather than replaying against a guessed cut. *)
 }
 
 val segment_dir : dir:string -> shards:int -> int -> string
@@ -87,6 +95,12 @@ val floor : t -> int
 (** The stream floor: the maximum over segment manifests.  A cursor at
     or below it may point into truncated history and must re-bootstrap
     from a snapshot. *)
+
+val shard_floor : t -> int -> int
+(** Segment [k]'s own manifest sequence number (0 without a snapshot).
+    A streamed record for shard [k] at or below it is already embodied
+    in that segment's installed snapshot — the replica's apply path
+    skips it instead of double-applying after a targeted resync. *)
 
 val tail : t -> from:int -> (Journal.record list, string) result
 (** The merged intact records with sequence number [>= from], ascending.
@@ -128,8 +142,33 @@ val install_snapshot :
   t -> seq:int -> files:(string * string) list -> (unit, string) result
 (** Install a shipped snapshot.  One shard: flat names, delegates to
     {!Journal.install_snapshot}.  Sharded: names must be
-    ["shard-00k/name"]; all segment snapshots are staged, an [INSTALL]
-    marker makes the multi-directory swap roll forward across a crash,
-    and every segment log resets to [seq + 1]. *)
+    ["shard-00k/name"]; each shard's payload is verified against the
+    [DIGESTS] it ships (a mangled transfer is refused before a byte is
+    staged), all segment snapshots are staged, an [INSTALL] marker makes
+    the multi-directory swap roll forward across a crash, and every
+    segment log resets to [seq + 1]. *)
+
+val snapshot_files_shard :
+  t -> shard:int -> (int * (string * string) list, string) result
+(** One shard's snapshot as a shippable payload — targeted anti-entropy
+    repair.  Names are always prefixed ["shard-00k/"], even for a
+    single-segment layout, so the wire format is one shape.  The caller
+    holds that shard's write lock and has checkpointed it. *)
+
+val snapshot_pages_shard :
+  t -> shard:int -> ((string * string) list, string) result
+(** Import-ready pages from one shard's sealed snapshot ([[]] when it
+    has none). *)
+
+val install_shard :
+  t -> shard:int -> seq:int -> files:(string * string) list
+  -> (unit, string) result
+(** Install one shard's shipped snapshot (names as produced by
+    {!snapshot_files_shard}) without touching other shards: the payload
+    is digest-verified, the segment's snapshot swaps atomically under a
+    sealed MANIFEST at [seq], and only that segment's log resets to
+    [seq + 1].  The global sequence counter only moves forward.  The
+    caller holds the shard's write lock and re-imports the shard's pages
+    afterwards. *)
 
 val close : t -> unit

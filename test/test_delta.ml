@@ -826,7 +826,9 @@ let endpoint_tests =
         in
         (match (Service.replication_sink t).Replication.apply records with
         | Ok () -> ()
-        | Error e -> Alcotest.failf "sink apply: %s" e);
+        | Error (`Fail e) -> Alcotest.failf "sink apply: %s" e
+        | Error (`Gap (expected, got)) ->
+            Alcotest.failf "sink apply: gap (expected %d, got %d)" expected got);
         (* Reads are allowed on a replica: the edit-sized record moved
            the document exactly as the full put would have. *)
         let g, d = split_rs (rbody (get t "/slens/composers/doc/d1")) in

@@ -1,0 +1,462 @@
+(* End-to-end integrity: the CRC32 and DIGESTS manifest codecs, the
+   order-insensitive per-shard digest algebra (live incremental
+   maintenance vs. full recomputation, and across close/reopen), the
+   quarantine's flag-once / serve-under-Warning / 410 semantics, a
+   clean-store scrub with zero false positives, and the QCheck
+   single-bit-flip torture: flip one bit anywhere in a segment log, a
+   snapshot page, DOCS.bxdocs or a MANIFEST, then boot and scrub — the
+   store must recover a clean prefix or quarantine the damage, never
+   serve corrupted bytes, and count each distinct finding exactly
+   once. *)
+
+open Bx_server
+module Registry = Bx_repo.Registry
+module Identifier = Bx_repo.Identifier
+module Q = Integrity.Quarantine
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let contains ~needle hay =
+  let hl = String.length hay and nl = String.length needle in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+let fresh_dir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let seed = Bx_catalogue.Catalogue.seed
+
+let service_lenses = [ ("composers", Bx_catalogue.Composers_string.lens) ]
+
+let service ?(config = Service.default_config) () =
+  match Service.create ~config ~lenses:service_lenses ~seed () with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "service create: %s" e
+
+let journal_config ?(shards = 1) dir =
+  {
+    Service.default_config with
+    journal_dir = Some dir;
+    shards;
+    compact_every = 0;
+  }
+
+let get t path = Service.handle t ~meth:"GET" ~path ~body:""
+let post t path body = Service.handle t ~meth:"POST" ~path ~body
+let ok_exn what = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" what e
+
+(* A page edit that survives the wiki round trip: inject a sentence
+   into the Description section of the fetched source. *)
+let inject page sentence =
+  let marker = "== Description ==\n" in
+  match Str.search_forward (Str.regexp_string marker) page 0 with
+  | exception Not_found -> page ^ "\n" ^ sentence ^ "\n"
+  | i ->
+      let at = i + String.length marker in
+      String.sub page 0 at ^ sentence ^ "\n"
+      ^ String.sub page at (String.length page - at)
+
+let wiki_paths t =
+  Service.with_registry t (fun reg ->
+      List.map (fun id -> "/" ^ Identifier.wiki_path id) (Registry.ids reg))
+
+(* ------------------------------------------------------------------ *)
+(* Codecs. *)
+
+let codec_tests =
+  [
+    tc "crc32 matches the IEEE check vector" (fun () ->
+        check Alcotest.int "123456789" 0xCBF43926 (Integrity.crc32 "123456789");
+        check Alcotest.int "empty" 0 (Integrity.crc32 "");
+        let s = "xx123456789yy" in
+        check Alcotest.int "crc32_sub agrees with the copy" 0xCBF43926
+          (Integrity.crc32_sub s 2 9));
+    tc "DIGESTS manifest round trips and names every damage mode" (fun () ->
+        let files =
+          [ ("b.wiki", "bravo"); ("a.wiki", "alpha"); ("DOCS.bxdocs", "d") ]
+        in
+        let text = Integrity.Digests.render files in
+        let manifest = ok_exn "parse" (Integrity.Digests.parse text) in
+        check Alcotest.int "covers the three files" 3 (List.length manifest);
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+          "clean payload verifies" []
+          (Integrity.Digests.verify_files ~manifest files);
+        let flipped = ("a.wiki", "alphA") :: List.remove_assoc "a.wiki" files in
+        (match Integrity.Digests.verify_files ~manifest flipped with
+        | [ (file, why) ] ->
+            check Alcotest.string "mismatch names the file" "a.wiki" file;
+            check Alcotest.bool "mismatch named" true
+              (contains ~needle:"mismatch" why)
+        | rows -> Alcotest.failf "expected one mismatch, got %d" (List.length rows));
+        (match
+           Integrity.Digests.verify_files ~manifest
+             (List.remove_assoc "a.wiki" files)
+         with
+        | [ ("a.wiki", why) ] ->
+            check Alcotest.bool "missing named" true
+              (contains ~needle:"missing" why)
+        | rows -> Alcotest.failf "expected one missing, got %d" (List.length rows));
+        match
+          Integrity.Digests.verify_files ~manifest (("extra.wiki", "?") :: files)
+        with
+        | [ ("extra.wiki", _) ] -> ()
+        | rows -> Alcotest.failf "expected one unlisted, got %d" (List.length rows));
+    tc "MANIFEST and the manifest itself are not covered" (fun () ->
+        check Alcotest.bool "MANIFEST" false (Integrity.Digests.covered "MANIFEST");
+        check Alcotest.bool "DIGESTS" false
+          (Integrity.Digests.covered Integrity.Digests.name);
+        check Alcotest.bool "pages are" true (Integrity.Digests.covered "a.wiki"));
+    tc "wire digests round trip" (fun () ->
+        let rows = [ (0, 0x1a235566); (1, 0); (2, 0xffffffff) ] in
+        let body = Integrity.render_digests ~epoch:7 rows in
+        let epoch, rows' = ok_exn "parse" (Integrity.parse_digests body) in
+        check Alcotest.int "epoch" 7 epoch;
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "rows" rows rows';
+        (match Integrity.parse_digests "bxdigest 2 0 1\n0 00000000\n" with
+        | Error e ->
+            check Alcotest.bool "header named" true (contains ~needle:"header" e)
+        | Ok _ -> Alcotest.fail "future version accepted");
+        match Integrity.parse_digests "not a digest" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "garbage accepted");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Digest algebra: the incrementally-maintained shard digests must
+   always equal what a full walk computes, and what a fresh boot from
+   the same journal recomputes. *)
+
+let digest_tests =
+  [
+    tc "live digests equal a full recomputation" (fun () ->
+        let t = service ~config:{ Service.default_config with shards = 3 } () in
+        let paths = wiki_paths t in
+        List.iteri
+          (fun i path ->
+            if i mod 2 = 0 then begin
+              let page = (get t (path ^ ".wiki")).Bx_repo.Webui.body in
+              check Alcotest.int "edit" 200
+                (post t path (inject page (Printf.sprintf "Digest probe %d." i)))
+                  .Bx_repo.Webui.status
+            end)
+          paths;
+        let live = Service.shard_digests t in
+        check Alcotest.int "one row per shard" 3 (List.length live);
+        Service.with_registry t (fun reg ->
+            List.iter
+              (fun (k, d) ->
+                check Alcotest.int
+                  (Printf.sprintf "shard %d" k)
+                  (Integrity.shard_digest_of reg k)
+                  d)
+              live);
+        Service.close t);
+    tc "digests survive close and reopen, documents included" (fun () ->
+        let dir = fresh_dir "bxdigest" in
+        let t = service ~config:(journal_config ~shards:2 dir) () in
+        let path = List.hd (wiki_paths t) in
+        let page = (get t (path ^ ".wiki")).Bx_repo.Webui.body in
+        check Alcotest.int "edit" 200
+          (post t path (inject page "Reopen digest probe.")).Bx_repo.Webui.status;
+        check Alcotest.int "doc create" 200
+          (post t "/slens/composers/doc/d1"
+             (Bx_catalogue.Composers_string.synthetic_source 3))
+            .Bx_repo.Webui.status;
+        let live = Service.shard_digests t in
+        Service.close t;
+        let t' = service ~config:(journal_config ~shards:2 dir) () in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "recomputed digests match the incrementally-maintained ones" live
+          (Service.shard_digests t');
+        Service.close t');
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine semantics. *)
+
+let quarantine_tests =
+  [
+    tc "flag counts once, clear forgets, counts split by kind" (fun () ->
+        let q = Q.create () in
+        check Alcotest.bool "first flag is fresh" true
+          (Q.flag q (Q.Entry "e") ~reason:"r1");
+        check Alcotest.bool "second flag is not" false
+          (Q.flag q (Q.Entry "e") ~reason:"r2");
+        check (Alcotest.option Alcotest.string) "first reason kept" (Some "r1")
+          (Q.find q (Q.Entry "e"));
+        ignore (Q.flag q (Q.Doc ("composers", "d")) ~reason:"rd");
+        ignore (Q.flag q (Q.File "f.wiki") ~reason:"rf");
+        let e, d, f = Q.counts q in
+        check Alcotest.int "entries" 1 e;
+        check Alcotest.int "docs" 1 d;
+        check Alcotest.int "files" 1 f;
+        Q.clear q (Q.Entry "e");
+        check (Alcotest.option Alcotest.string) "cleared" None
+          (Q.find q (Q.Entry "e"));
+        check Alcotest.int "size" 2 (Q.size q));
+    tc "a quarantined entry serves with a Warning header" (fun () ->
+        let t = service () in
+        let path = List.hd (wiki_paths t) in
+        let id =
+          Service.with_registry t (fun reg ->
+              Identifier.to_string (List.hd (Registry.ids reg)))
+        in
+        let clean = get t path in
+        check Alcotest.int "clean 200" 200 clean.Bx_repo.Webui.status;
+        check Alcotest.bool "no warning when healthy" false
+          (List.mem_assoc "Warning" clean.Bx_repo.Webui.headers);
+        ignore
+          (Q.flag (Service.quarantine t) (Q.Entry id) ~reason:"law violation");
+        let r = get t path in
+        check Alcotest.int "still 200" 200 r.Bx_repo.Webui.status;
+        (match List.assoc_opt "Warning" r.Bx_repo.Webui.headers with
+        | Some w ->
+            check Alcotest.bool "299 quarantined" true
+              (contains ~needle:"299" w && contains ~needle:"quarantined" w)
+        | None -> Alcotest.fail "no Warning header on quarantined entry");
+        Service.close t);
+    tc "a quarantined document answers 410" (fun () ->
+        let t = service () in
+        check Alcotest.int "doc create" 200
+          (post t "/slens/composers/doc/d1"
+             (Bx_catalogue.Composers_string.synthetic_source 2))
+            .Bx_repo.Webui.status;
+        ignore
+          (Q.flag (Service.quarantine t)
+             (Q.Doc ("composers", "d1"))
+             ~reason:"view mismatch");
+        let r = get t "/slens/composers/doc/d1" in
+        check Alcotest.int "410" 410 r.Bx_repo.Webui.status;
+        check Alcotest.bool "reason served" true
+          (contains ~needle:"quarantined" r.Bx_repo.Webui.body);
+        Service.close t);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Scrub: a clean store yields zero findings — the false-positive
+   budget is exactly zero. *)
+
+let scrub_tests =
+  [
+    tc "scrubbing a clean store finds nothing" (fun () ->
+        let dir = fresh_dir "bxscrubclean" in
+        let t = service ~config:(journal_config ~shards:2 dir) () in
+        let path = List.hd (wiki_paths t) in
+        let page = (get t (path ^ ".wiki")).Bx_repo.Webui.body in
+        check Alcotest.int "edit" 200
+          (post t path (inject page "Scrub probe.")).Bx_repo.Webui.status;
+        check Alcotest.int "doc create" 200
+          (post t "/slens/composers/doc/d1"
+             (Bx_catalogue.Composers_string.synthetic_source 2))
+            .Bx_repo.Webui.status;
+        ignore (ok_exn "checkpoint" (Service.checkpoint t));
+        let items, findings = Service.scrub_once t in
+        check Alcotest.bool "walked the store" true (items > 0);
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+          "no findings" [] findings;
+        check Alcotest.int "nothing quarantined" 0 (Q.size (Service.quarantine t));
+        let passes, scrubbed, corruptions =
+          Metrics.scrub_counts (Service.metrics t)
+        in
+        check Alcotest.int "one pass" 1 passes;
+        check Alcotest.int "items counted" items scrubbed;
+        check Alcotest.int "zero false positives" 0 corruptions;
+        Service.close t);
+    tc "an injected entry-law failure is quarantined, then acquitted"
+      (fun () ->
+        (* A law that rejects one title: the scrubber must flag exactly
+           that entry, keep serving it under Warning, and clear the flag
+           on the next pass once the law passes again. *)
+        let poison = ref "" in
+        let law (tpl : Bx_repo.Template.t) =
+          if tpl.Bx_repo.Template.title = !poison then Error "poisoned title"
+          else Ok ()
+        in
+        let config = { Service.default_config with entry_law = Some law } in
+        let t = service ~config () in
+        let id, title =
+          Service.with_registry t (fun reg ->
+              let id = List.hd (Registry.ids reg) in
+              let tpl =
+                match Registry.latest reg id with
+                | Ok tpl -> tpl
+                | Error e ->
+                    Alcotest.failf "latest: %s" (Registry.error_message e)
+              in
+              (Identifier.to_string id, tpl.Bx_repo.Template.title))
+        in
+        poison := title;
+        let _, findings = Service.scrub_once t in
+        check Alcotest.bool "the poisoned entry is found" true
+          (List.exists (fun (k, _) -> contains ~needle:id k) findings);
+        check Alcotest.bool "quarantined" true
+          (Option.is_some (Q.find (Service.quarantine t) (Q.Entry id)));
+        poison := "";
+        let _, findings' = Service.scrub_once t in
+        check Alcotest.int "healthy pass acquits" 0 (List.length findings');
+        check (Alcotest.option Alcotest.string) "flag cleared" None
+          (Q.find (Service.quarantine t) (Q.Entry id));
+        Service.close t);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The single-bit-flip torture.  One trial: build a small sharded
+   store with a checkpointed snapshot, a post-checkpoint edit and a
+   lens document; record every body the server has legitimately held;
+   flip one bit in one storage file; boot and scrub.  The store must
+   either refuse to boot, or serve only bodies it legitimately held
+   (a clean prefix), with the damage detected — and each distinct
+   finding counted exactly once. *)
+
+let flip_bit file bit =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let bytes = really_input_string ic n |> Bytes.of_string in
+  close_in ic;
+  let bit = bit mod (n * 8) in
+  let byte = bit / 8 in
+  Bytes.set bytes byte
+    (Char.chr (Char.code (Bytes.get bytes byte) lxor (1 lsl (bit mod 8))));
+  let oc = open_out_bin file in
+  output_bytes oc bytes;
+  close_out oc;
+  byte
+
+(* The ISSUE's torture targets: segment logs, snapshot pages,
+   DOCS.bxdocs and MANIFEST — not DIGESTS (flipping the manifest of
+   checksums is the snapshot-page case seen from the other side, and
+   quarantines the manifest itself). *)
+let torture_targets dir shards =
+  List.concat_map
+    (fun k ->
+      let seg = Filename.concat dir (Printf.sprintf "shard-%03d" k) in
+      let snap = Filename.concat seg "snapshot" in
+      let cold =
+        Sys.readdir snap |> Array.to_list
+        |> List.filter (fun f ->
+               f = "MANIFEST" || f = "DOCS.bxdocs"
+               || Filename.check_suffix f ".wiki")
+        |> List.map (Filename.concat snap)
+      in
+      let log = Filename.concat seg "journal.log" in
+      if Sys.file_exists log then log :: cold else cold)
+    (List.init shards Fun.id)
+
+let torture_trial (file_choice, bit_choice) =
+  let dir = fresh_dir "bxflip" in
+  let config = journal_config ~shards:2 dir in
+  let t = service ~config () in
+  (* Every body the store has legitimately held, per page. *)
+  let known = Hashtbl.create 32 in
+  let snap_bodies t =
+    List.iter
+      (fun path ->
+        let body = (get t (path ^ ".wiki")).Bx_repo.Webui.body in
+        let prior = Option.value ~default:[] (Hashtbl.find_opt known path) in
+        if not (List.mem body prior) then Hashtbl.replace known path (body :: prior))
+      (wiki_paths t)
+  in
+  snap_bodies t;
+  let path = List.hd (wiki_paths t) in
+  let page = (get t (path ^ ".wiki")).Bx_repo.Webui.body in
+  assert (200 = (post t path (inject page "Torture v1.")).Bx_repo.Webui.status);
+  let doc_source = Bx_catalogue.Composers_string.synthetic_source 3 in
+  assert (200 = (post t "/slens/composers/doc/d1" doc_source).Bx_repo.Webui.status);
+  snap_bodies t;
+  (match Service.checkpoint t with
+  | Ok _ -> ()
+  | Error e -> failwith ("checkpoint: " ^ e));
+  let page' = (get t (path ^ ".wiki")).Bx_repo.Webui.body in
+  assert (200 = (post t path (inject page' "Torture v2.")).Bx_repo.Webui.status);
+  snap_bodies t;
+  Service.close t;
+  let targets = torture_targets dir 2 in
+  assert (targets <> []);
+  let file = List.nth targets (file_choice mod List.length targets) in
+  ignore (flip_bit file bit_choice);
+  match Service.create ~config ~lenses:service_lenses ~seed () with
+  | Error _ -> true (* refusing to boot serves nothing corrupted *)
+  | Ok t -> (
+      Fun.protect
+        ~finally:(fun () -> Service.close t)
+        (fun () ->
+          (* Never serve corrupted bytes: every 200 is a body the store
+             legitimately held; anything else vanished (the clean
+             prefix) — both fine, silently serving mutated bytes is
+             not. *)
+          List.iter
+            (fun p ->
+              let r = get t (p ^ ".wiki") in
+              match r.Bx_repo.Webui.status with
+              | 200 ->
+                  let ok =
+                    match Hashtbl.find_opt known p with
+                    | Some bodies -> List.mem r.Bx_repo.Webui.body bodies
+                    | None -> false
+                  in
+                  if not ok then
+                    QCheck2.Test.fail_reportf
+                      "%s: served a body the store never held (flipped %s)" p
+                      file
+              | 404 -> ()
+              | s -> QCheck2.Test.fail_reportf "%s: unexpected status %d" p s)
+            (wiki_paths t);
+          (let r = get t "/slens/composers/doc/d1" in
+           match r.Bx_repo.Webui.status with
+           | 200 ->
+               if not (contains ~needle:doc_source r.Bx_repo.Webui.body) then
+                 QCheck2.Test.fail_reportf
+                   "doc d1: served mutated source (flipped %s)" file
+           | 404 | 410 -> ()
+           | s -> QCheck2.Test.fail_reportf "doc d1: unexpected status %d" s);
+          let _ = Service.scrub_once t in
+          let _, _, after_one = Metrics.scrub_counts (Service.metrics t) in
+          let _ = Service.scrub_once t in
+          let _, _, after_two = Metrics.scrub_counts (Service.metrics t) in
+          if after_one <> after_two then
+            QCheck2.Test.fail_reportf
+              "re-scrubbing recounted corruption: %d then %d (flipped %s)"
+              after_one after_two file;
+          (* Each distinct finding is counted exactly once, whether boot
+             or the scrubber flagged it. *)
+          if after_two <> Q.size (Service.quarantine t) then
+            QCheck2.Test.fail_reportf
+              "corruption counter %d disagrees with quarantine %d (flipped %s)"
+              after_two
+              (Q.size (Service.quarantine t))
+              file;
+          (* The flip must not go entirely unnoticed: quarantine, a
+             journal checksum reject, or a truncated torn tail. *)
+          let torn, crc = Metrics.journal_recovery_counts (Service.metrics t) in
+          if Q.size (Service.quarantine t) = 0 && torn = 0 && crc = 0 then
+            QCheck2.Test.fail_reportf "flip of %s went undetected" file;
+          true))
+
+let torture_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:20 ~name:"single bit flip: clean prefix or quarantine"
+         ~print:(fun (f, b) -> Printf.sprintf "(file %d, bit %d)" f b)
+         QCheck2.Gen.(
+           pair (0 -- 1_000) (0 -- 10_000_000))
+         torture_trial);
+  ]
+
+let () =
+  Alcotest.run "integrity"
+    [
+      ("codec", codec_tests);
+      ("digest", digest_tests);
+      ("quarantine", quarantine_tests);
+      ("scrub", scrub_tests);
+      ("torture", torture_tests);
+    ]

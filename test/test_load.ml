@@ -245,7 +245,7 @@ let parallel_tests =
 (* Response-cache sharding *)
 
 let response body =
-  { Bx_repo.Webui.status = 200; content_type = "text/html"; body }
+  { Bx_repo.Webui.status = 200; content_type = "text/html"; body; headers = [] }
 
 let respcache_tests =
   [

@@ -91,7 +91,16 @@ let record base ~seq i =
   { Journal.seq; path = page_path; body = edited_body base i }
 
 let sink t = Service.replication_sink t
-let apply t records = (sink t).Replication.apply records
+
+(* Flatten the typed apply error into the string these tests assert
+   against (a gap keeps its historic "stream gap" spelling). *)
+let apply t records =
+  Result.map_error
+    (function
+      | `Fail m -> m
+      | `Gap (expected, got) ->
+          Printf.sprintf "stream gap: expected seq %d, got %d" expected got)
+    ((sink t).Replication.apply records)
 
 (* ------------------------------------------------------------------ *)
 (* Protocol codecs *)

@@ -2232,6 +2232,478 @@ let write_integrity_json path s =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))
 
+(* ------------------------------------------------------------------ *)
+(* P14: chaos and degradation (ISSUE 10).  Three claims on one box:
+   (a) brownout availability — at 4x overload on a hot page whose
+   cache is being invalidated by a background writer (so the fresh
+   lane always pays an injected 5 ms render), the degraded lane keeps
+   answering from the stale cache where the shed-only baseline answers
+   503; (b) deadline promptness — a client that ships a budget in
+   X-Bxwiki-Deadline waits at most ~1.5x that budget for an answer,
+   even behind a queue of slow renders; (c) the chaos proxy's own tax —
+   a toxic-free proxy is measured against the direct socket, and
+   latency(20,10) against both.  --json-chaos dumps the summary
+   (committed as BENCH_chaos.json). *)
+
+type p14_avail = {
+  av_mode : string;  (* "brownout" | "shed-only" *)
+  av_offered : int;
+  av_fresh : int;
+  av_stale : int;
+  av_shed : int;
+  av_failed : int;
+  av_elapsed : float;
+}
+
+type p14_deadline = {
+  dl_budget_ms : float;
+  dl_offered : int;
+  dl_fresh : int;
+  dl_shed : int;  (* 503/504: the budget was honoured by refusing *)
+  dl_failed : int;
+  dl_p50_ms : float;
+  dl_p99_ms : float;
+  dl_max_ms : float;
+  dl_tight_refused : int;
+  dl_tight_served : int;
+  dl_propagated : int;  (* sheds attributed to the shipped header *)
+}
+
+type p14_toxic = { tx_mode : string; tx_p50_ms : float; tx_p95_ms : float }
+
+type p14_summary = {
+  p14_multiple : float;
+  p14_avail : p14_avail list;
+  p14_deadline : p14_deadline;
+  p14_toxics : p14_toxic list;
+}
+
+let p14_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let p14_contains ~needle hay =
+  let hl = String.length hay and nl = String.length needle in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+(* One whole HTTP conversation, Connection: close; returns the raw
+   response bytes ("" on transport failure). *)
+let p14_fetch ?(meth = "GET") ?(body = "") port ~headers path =
+  let buf = Buffer.create 1024 in
+  (try
+     let c = connect port in
+     (try
+        let oc = Unix.out_channel_of_descr c in
+        Printf.fprintf oc
+          "%s %s HTTP/1.1\r\n%sContent-Length: %d\r\nConnection: \
+           close\r\n\r\n%s"
+          meth path headers (String.length body) body;
+        flush oc;
+        let chunk = Bytes.create 4096 in
+        let rec go () =
+          let n = Unix.read c chunk 0 4096 in
+          if n > 0 then begin
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          end
+        in
+        (try go () with Unix.Unix_error _ | End_of_file -> ());
+        Unix.close c
+      with e ->
+        (try Unix.close c with Unix.Unix_error _ -> ());
+        raise e)
+   with _ -> ());
+  Buffer.contents buf
+
+let p14_status raw =
+  match String.index_opt raw ' ' with
+  | Some i -> ( try int_of_string (String.sub raw (i + 1) 3) with _ -> 0)
+  | None -> 0
+
+(* Replace the first "temperature<k>" marker so each POST is a genuine
+   edit: the write bumps the registry generation, which is what keeps
+   the hot page's fresh render a cache miss. *)
+let p14_bump_rev body i =
+  let needle = "temperature" in
+  let bl = String.length body and nl = String.length needle in
+  let rec find k =
+    if k + nl > bl then None
+    else if String.sub body k nl = needle then Some k
+    else find (k + 1)
+  in
+  match find 0 with
+  | None -> body
+  | Some k ->
+      let d = ref (k + nl) in
+      while !d < bl && body.[!d] >= '0' && body.[!d] <= '9' do
+        incr d
+      done;
+      String.sub body 0 (k + nl)
+      ^ string_of_int i
+      ^ String.sub body !d (bl - !d)
+
+let p14_wait_port service =
+  let rec go n =
+    match Bx_server.Service.port service with
+    | Some p -> p
+    | None ->
+        if n > 500 then failwith "chaos service never bound"
+        else begin
+          Thread.delay 0.01;
+          go (n + 1)
+        end
+  in
+  go 0
+
+(* The 4x-overload storm, once with brownout and once shed-only. *)
+let p14_storm ~brownout ~offered ~queue_capacity =
+  let workers = 2 in
+  let config =
+    {
+      Bx_server.Service.default_config with
+      queue_capacity;
+      brownout;
+      min_concurrency = 4;
+    }
+  in
+  let service =
+    match
+      Bx_server.Service.create ~config ~seed:Bx_catalogue.Catalogue.seed ()
+    with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        match
+          Bx_server.Service.serve service ~port:0 ~workers ~quiet:true ()
+        with
+        | Ok () -> ()
+        | Error e -> Fmt.epr "chaos service: %s@." e)
+      ()
+  in
+  let port = p14_wait_port service in
+  (* Warm the hot page so the degraded lane has a render to serve. *)
+  ignore
+    (Bx_server.Service.handle service ~meth:"GET" ~path:bench_path ~body:"");
+  Bx_fault.Fault.set "service.lock.read" (Bx_fault.Fault.Delay 0.005);
+  let stop_editor = Atomic.make false in
+  let editor =
+    Thread.create
+      (fun () ->
+        let base =
+          (Bx_server.Service.handle service ~meth:"GET"
+             ~path:"/examples:celsius.wiki" ~body:"")
+            .Bx_repo.Webui.body
+        in
+        let i = ref 0 in
+        while not (Atomic.get stop_editor) do
+          incr i;
+          ignore
+            (Bx_server.Service.handle service ~meth:"POST"
+               ~path:"/examples:celsius" ~body:(p14_bump_rev base !i));
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  let fresh = Atomic.make 0
+  and stale = Atomic.make 0
+  and shed = Atomic.make 0
+  and failed = Atomic.make 0 in
+  let per_client _ =
+    let raw = p14_fetch port ~headers:"" bench_path in
+    match p14_status raw with
+    | 200 ->
+        if p14_contains ~needle:"X-Bxwiki-Stale:" raw then Atomic.incr stale
+        else Atomic.incr fresh
+    | 503 -> Atomic.incr shed
+    | _ -> Atomic.incr failed
+  in
+  let elapsed = run_clients offered per_client in
+  Atomic.set stop_editor true;
+  Thread.join editor;
+  Bx_fault.Fault.clear ();
+  Bx_server.Service.shutdown service;
+  Thread.join server;
+  {
+    av_mode = (if brownout then "brownout" else "shed-only");
+    av_offered = offered;
+    av_fresh = Atomic.get fresh;
+    av_stale = Atomic.get stale;
+    av_shed = Atomic.get shed;
+    av_failed = Atomic.get failed;
+    av_elapsed = elapsed;
+  }
+
+(* Deadline promptness: a burst of cache-missing renders behind two
+   workers, every request carrying a budget; nobody waits much past it
+   — served or refused.  The service's queue deadline is aligned with
+   the budget the clients ship (the deployment story: both come from
+   the same SLO), so a connection that queues past its budget is shed
+   before a worker wastes a render on it, and a request whose shipped
+   budget is exhausted by the time it is read sheds as 504 via the
+   propagated header.  A second batch of clients ships an almost-spent
+   budget (a retry that burned its allowance elsewhere): those must be
+   refused via the header, not rendered. *)
+let p14_deadline_storm ~budget_ms ~offered =
+  let config =
+    {
+      Bx_server.Service.default_config with
+      queue_capacity = 4 * offered;
+      queue_deadline = budget_ms /. 1000.;
+      brownout = false;
+    }
+  in
+  let service =
+    match
+      Bx_server.Service.create ~config ~seed:Bx_catalogue.Catalogue.seed ()
+    with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        match
+          Bx_server.Service.serve service ~port:0 ~workers:2 ~quiet:true ()
+        with
+        | Ok () -> ()
+        | Error e -> Fmt.epr "deadline service: %s@." e)
+      ()
+  in
+  let port = p14_wait_port service in
+  Bx_fault.Fault.set "service.lock.read" (Bx_fault.Fault.Delay 0.05);
+  let fresh = Atomic.make 0
+  and shed = Atomic.make 0
+  and failed = Atomic.make 0
+  and tight_refused = Atomic.make 0
+  and tight_served = Atomic.make 0 in
+  let waits = Array.make offered 0. in
+  let per_client i =
+    let headers = Printf.sprintf "X-Bxwiki-Deadline: %.0f\r\n" budget_ms in
+    let started = Unix.gettimeofday () in
+    let raw =
+      p14_fetch port ~headers (Printf.sprintf "%s?i=%d" bench_path i)
+    in
+    waits.(i) <- (Unix.gettimeofday () -. started) *. 1000.;
+    match p14_status raw with
+    | 200 -> Atomic.incr fresh
+    | 503 | 504 -> Atomic.incr shed
+    | _ -> Atomic.incr failed
+  in
+  ignore (run_clients offered per_client);
+  (* Phase two, on the now-idle service: writes whose shipped budget is
+     gone by the time the slow write path reaches its post-lock
+     re-check — these must be refused by the propagated header, never
+     applied. *)
+  Bx_fault.Fault.set "service.lock.write" (Bx_fault.Fault.Delay 0.03);
+  let page_body =
+    (Bx_server.Service.handle service ~meth:"GET"
+       ~path:"/examples:celsius.wiki" ~body:"")
+      .Bx_repo.Webui.body
+  in
+  let tight = offered / 3 in
+  let tight_client i =
+    let raw =
+      p14_fetch ~meth:"POST"
+        ~body:(p14_bump_rev page_body (1000 + i))
+        port ~headers:"X-Bxwiki-Deadline: 5\r\n" "/examples:celsius"
+    in
+    match p14_status raw with
+    | 503 | 504 -> Atomic.incr tight_refused
+    | 200 -> Atomic.incr tight_served
+    | _ -> Atomic.incr failed
+  in
+  ignore (run_clients tight tight_client);
+  let propagated =
+    Bx_server.Metrics.shed_by_reason
+      (Bx_server.Service.metrics service)
+      "deadline_propagated"
+  in
+  Bx_fault.Fault.clear ();
+  Bx_server.Service.shutdown service;
+  Thread.join server;
+  let sorted = Array.copy waits in
+  Array.sort compare sorted;
+  {
+    dl_budget_ms = budget_ms;
+    dl_offered = offered;
+    dl_fresh = Atomic.get fresh;
+    dl_shed = Atomic.get shed;
+    dl_failed = Atomic.get failed;
+    dl_p50_ms = p14_percentile sorted 50.;
+    dl_p99_ms = p14_percentile sorted 99.;
+    dl_max_ms = sorted.(Array.length sorted - 1);
+    dl_tight_refused = Atomic.get tight_refused;
+    dl_tight_served = Atomic.get tight_served;
+    dl_propagated = propagated;
+  }
+
+(* The proxy's own price: request latency direct, through a toxic-free
+   proxy, and through latency(20,10). *)
+let p14_toxic_tax () =
+  let service =
+    match
+      Bx_server.Service.create ~seed:Bx_catalogue.Catalogue.seed ()
+    with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        match
+          Bx_server.Service.serve service ~port:0 ~workers:2 ~quiet:true ()
+        with
+        | Ok () -> ()
+        | Error e -> Fmt.epr "tax service: %s@." e)
+      ()
+  in
+  let port = p14_wait_port service in
+  ignore
+    (Bx_server.Service.handle service ~meth:"GET" ~path:bench_path ~body:"");
+  let proxy =
+    Bx_fault.Netchaos.create ~name:"bench-tax" ~seed:7 ~upstream_port:port ()
+  in
+  let measure label target =
+    let n = 40 in
+    let samples =
+      Array.init n (fun _ ->
+          let started = Unix.gettimeofday () in
+          let raw = p14_fetch target ~headers:"" bench_path in
+          if p14_status raw <> 200 then failwith (label ^ ": request failed");
+          (Unix.gettimeofday () -. started) *. 1000.)
+    in
+    Array.sort compare samples;
+    {
+      tx_mode = label;
+      tx_p50_ms = p14_percentile samples 50.;
+      tx_p95_ms = p14_percentile samples 95.;
+    }
+  in
+  let direct = measure "direct" port in
+  let clean = measure "proxy" (Bx_fault.Netchaos.port proxy) in
+  Bx_fault.Netchaos.set_toxics proxy
+    [ (Bx_fault.Netchaos.Both, Bx_fault.Netchaos.Latency (20., 10.)) ];
+  let stormy = measure "proxy+latency(20,10)" (Bx_fault.Netchaos.port proxy) in
+  Bx_fault.Netchaos.close proxy;
+  Bx_server.Service.shutdown service;
+  Thread.join server;
+  [ direct; clean; stormy ]
+
+let p14_chaos () =
+  rule "P14: chaos & degradation — brownout, deadlines, proxy tax";
+  let queue_capacity = 16 in
+  let multiple = 4.0 in
+  let offered = int_of_float (multiple *. float_of_int queue_capacity) in
+  let storms =
+    [
+      p14_storm ~brownout:true ~offered ~queue_capacity;
+      p14_storm ~brownout:false ~offered ~queue_capacity;
+    ]
+  in
+  Fmt.pr
+    "availability at %.0fx overload (hot page, cache busted by a writer, 5 \
+     ms render)@."
+    multiple;
+  Fmt.pr "  mode       offered  fresh  stale   shed  failed  elapsed@.";
+  List.iter
+    (fun r ->
+      Fmt.pr "  %-9s  %7d  %5d  %5d  %5d  %6d  %6.2fs@." r.av_mode
+        r.av_offered r.av_fresh r.av_stale r.av_shed r.av_failed r.av_elapsed)
+    storms;
+  let answered_pct r =
+    100. *. float_of_int (r.av_fresh + r.av_stale) /. float_of_int r.av_offered
+  in
+  (match storms with
+  | [ b; s ] ->
+      Fmt.pr "brownout answered  %.1f%% (baseline shed %.1f%%)@."
+        (answered_pct b)
+        (100. *. float_of_int s.av_shed /. float_of_int s.av_offered);
+      if answered_pct b < 99. then
+        Fmt.pr "*** BROWNOUT ANSWERED < 99%% AT %.0fx OVERLOAD ***@." multiple
+  | _ -> ());
+  let deadline = p14_deadline_storm ~budget_ms:300. ~offered:48 in
+  Fmt.pr
+    "@.deadline propagation (budget %.0f ms, 48 cache-missing renders, 2 \
+     workers)@."
+    deadline.dl_budget_ms;
+  Fmt.pr "  served %d, refused-in-time %d, failed %d@." deadline.dl_fresh
+    deadline.dl_shed deadline.dl_failed;
+  Fmt.pr "  client wait p50 %.0f ms, p99 %.0f ms, max %.0f ms@."
+    deadline.dl_p50_ms deadline.dl_p99_ms deadline.dl_max_ms;
+  Fmt.pr
+    "  almost-spent budgets: %d refused, %d rendered anyway (%d via the \
+     propagated header)@."
+    deadline.dl_tight_refused deadline.dl_tight_served deadline.dl_propagated;
+  if deadline.dl_p99_ms > 1.5 *. deadline.dl_budget_ms then
+    Fmt.pr "*** P99 WAIT EXCEEDS 1.5x THE SHIPPED BUDGET ***@."
+  else
+    Fmt.pr "p99 wait <= 1.5x budget  yes@.";
+  let toxics = p14_toxic_tax () in
+  Fmt.pr "@.proxy tax (hot cached page, sequential)@.";
+  List.iter
+    (fun t ->
+      Fmt.pr "  %-22s p50 %6.2f ms  p95 %6.2f ms@." t.tx_mode t.tx_p50_ms
+        t.tx_p95_ms)
+    toxics;
+  { p14_multiple = multiple; p14_avail = storms; p14_deadline = deadline;
+    p14_toxics = toxics }
+
+let write_chaos_json path s =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"benchmark\": \"P14 chaos and degradation\",\n";
+  add "%s" (host_meta ~domains_used:2);
+  add "  \"overload_multiple\": %g,\n" s.p14_multiple;
+  add "  \"availability\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"mode\": \"%s\", \"offered\": %d, \"fresh\": %d, \"stale\": \
+         %d, \"shed\": %d, \"failed\": %d, \"elapsed_s\": %.4f, \
+         \"answered_pct\": %.1f}%s\n"
+        r.av_mode r.av_offered r.av_fresh r.av_stale r.av_shed r.av_failed
+        r.av_elapsed
+        (100.
+        *. float_of_int (r.av_fresh + r.av_stale)
+        /. float_of_int r.av_offered)
+        (if i = List.length s.p14_avail - 1 then "" else ","))
+    s.p14_avail;
+  add "  ],\n";
+  let d = s.p14_deadline in
+  add "  \"deadline\": {\n";
+  add "    \"budget_ms\": %g,\n" d.dl_budget_ms;
+  add "    \"offered\": %d,\n" d.dl_offered;
+  add "    \"served\": %d,\n" d.dl_fresh;
+  add "    \"refused_in_time\": %d,\n" d.dl_shed;
+  add "    \"failed\": %d,\n" d.dl_failed;
+  add "    \"wait_p50_ms\": %.1f,\n" d.dl_p50_ms;
+  add "    \"wait_p99_ms\": %.1f,\n" d.dl_p99_ms;
+  add "    \"wait_max_ms\": %.1f,\n" d.dl_max_ms;
+  add "    \"p99_budget_ratio\": %.2f,\n" (d.dl_p99_ms /. d.dl_budget_ms);
+  add "    \"tight_budget_refused\": %d,\n" d.dl_tight_refused;
+  add "    \"tight_budget_served\": %d,\n" d.dl_tight_served;
+  add "    \"propagated_sheds\": %d\n" d.dl_propagated;
+  add "  },\n";
+  add "  \"proxy_tax\": [\n";
+  List.iteri
+    (fun i t ->
+      add "    {\"mode\": \"%s\", \"p50_ms\": %.2f, \"p95_ms\": %.2f}%s\n"
+        t.tx_mode t.tx_p50_ms t.tx_p95_ms
+        (if i = List.length s.p14_toxics - 1 then "" else ","))
+    s.p14_toxics;
+  add "  ]\n";
+  add "}\n";
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf))
+
 let e6 () =
   rule "E6: BenchmarX-style scenarios stay consistent at every step";
   List.iter
@@ -2259,6 +2731,8 @@ let () =
   let p12_sizes = ref [ 100; 1000; 5000 ] in
   let delta_json_path = ref None in
   let p13_only = ref false in
+  let chaos_json_path = ref None in
+  let p14_only = ref false in
   let p13_entries = ref 100_000 in
   let integrity_json_path = ref None in
   let guard_only = ref false in
@@ -2336,6 +2810,13 @@ let () =
             | Some n when n > 0 -> p13_entries := n
             | _ -> raise (Arg.Bad ("bad --p13-entries: " ^ v))),
         "<n>  P13 corpus size (default 100000)" );
+      ( "--json-chaos",
+        Arg.String (fun p -> chaos_json_path := Some p),
+        "<path>  dump the P14 chaos/degradation summary as JSON" );
+      ( "--p14-only",
+        Arg.Set p14_only,
+        " run only the P14 chaos benchmark (brownout / deadlines / proxy \
+         tax)" );
       ( "--fault-guard",
         Arg.Set guard_only,
         " run only the zero-cost check on disabled failpoints (exits 1 on \
@@ -2349,11 +2830,20 @@ let () =
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
     "bench/main.exe [--e-only] [--p7-only] [--p8-only] [--p9-only] \
      [--p11-only] [--p11-sizes n,m] [--p12-only] [--p12-sizes n,m] \
-     [--p13-only] [--p13-entries n] [--fault-guard] [--skip-server] \
+     [--p13-only] [--p13-entries n] [--p14-only] [--fault-guard] \
+     [--skip-server] \
      [--json <path>] [--json-strlens <path>] [--json-shed <path>] \
      [--json-repl <path>] [--json-shard <path>] [--json-delta <path>] \
-     [--json-integrity <path>]";
+     [--json-integrity <path>] [--json-chaos <path>]";
   if !guard_only then fault_guard ()
+  else if !p14_only then begin
+    let summary = p14_chaos () in
+    match !chaos_json_path with
+    | Some path ->
+        write_chaos_json path summary;
+        Fmt.pr "@.wrote %s@." path
+    | None -> ()
+  end
   else if !p13_only then begin
     let summary = p13_integrity ~entries:!p13_entries () in
     match !integrity_json_path with
@@ -2425,10 +2915,16 @@ let () =
              write_repl_json path summary;
              Fmt.pr "@.wrote %s@." path
          | None -> ());
-        let summary = p13_integrity ~entries:!p13_entries () in
-        match !integrity_json_path with
+        (let summary = p13_integrity ~entries:!p13_entries () in
+         match !integrity_json_path with
+         | Some path ->
+             write_integrity_json path summary;
+             Fmt.pr "@.wrote %s@." path
+         | None -> ());
+        let summary = p14_chaos () in
+        match !chaos_json_path with
         | Some path ->
-            write_integrity_json path summary;
+            write_chaos_json path summary;
             Fmt.pr "@.wrote %s@." path
         | None -> ()
       end;

@@ -9,15 +9,16 @@ let usage () =
   prerr_endline
     "usage: bxwiki [PORT] [--port PORT] [--journal DIR] [--shards N]\n\
     \              [--workers N] [--port-file FILE] [--compact-every N]\n\
-    \              [--failpoints SPEC] [--gen-entries N] [--gen-seed S]\n\
-    \              [--scrub-rate N] [--quiet]\n\
+    \              [--failpoints SPEC] [--chaos SPEC] [--gen-entries N]\n\
+    \              [--gen-seed S] [--scrub-rate N] [--quiet]\n\
     \       bxwiki replica --replicate-from [HOST:]PORT [--port PORT]\n\
     \              [--journal DIR] [--shards N] [--workers N]\n\
     \              [--port-file FILE] [--lag-threshold S] [--poll-wait S]\n\
-    \              [--compact-every N] [--failpoints SPEC] [--quiet]\n\
+    \              [--compact-every N] [--failpoints SPEC] [--chaos SPEC]\n\
+    \              [--quiet]\n\
     \       bxwiki client [--port PORT] [--port-file FILE] [--retries N]\n\
-    \              [--max-sleep S] [--fallback [HOST:]PORT] [--data BODY]\n\
-    \              [--body-file FILE] METH PATH\n\
+    \              [--max-sleep S] [--deadline MS] [--fallback [HOST:]PORT]\n\
+    \              [--data BODY] [--body-file FILE] METH PATH\n\
     \       bxwiki scrub --journal DIR [--shards N] [--gen-entries N]\n\
     \              [--gen-seed S] [--quiet]\n\
     \       bxwiki gen --entries N [--seed S] [--format titles|paths|wiki]\n\
@@ -39,7 +40,12 @@ let usage () =
      place), and give replicas the same --shards as their primary.\n\
      --failpoints arms the fault-injection subsystem (site=ACTION;...)\n\
      and mounts the PUT /debug/failpoints admin route, as does setting\n\
-     BXWIKI_FAILPOINTS in the environment.\n\n\
+     BXWIKI_FAILPOINTS in the environment.\n\
+     --chaos arms the network-chaos layer (proxy=TOXIC+...;...) and\n\
+     mounts PUT /debug/chaos, as does setting BXWIKI_CHAOS; with chaos\n\
+     armed a replica dials its primary through an in-process toxic\n\
+     proxy named 'upstream', so partitions and latency storms can be\n\
+     aimed at the replication link alone.\n\n\
      'bxwiki replica' runs a hot-standby read replica: it follows the\n\
      primary's journal stream (--replicate-from), serves reads, answers\n\
      503 to writes, reports replication lag on /readyz and /metrics, and\n\
@@ -47,9 +53,15 @@ let usage () =
      'bxwiki client' issues one request and retries on 503 and on\n\
      connect/read timeouts with capped exponential backoff and\n\
      decorrelated jitter, honouring Retry-After; the response body goes\n\
-     to stdout, and the exit status is 0 only for a 2xx.  With\n\
-     --fallback, a GET that exhausts its retries against the primary is\n\
-     retried against the fallback (reads fail over, writes never do).\n\n\
+     to stdout, and the exit status is 0 only for a 2xx.  A per-target\n\
+     circuit breaker (closed/open/half-open with probes) is consulted\n\
+     before every attempt, so a dead server fails fast instead of\n\
+     eating the retry budget.  With --fallback, a GET that exhausts its\n\
+     retries against the primary is retried against the fallback (reads\n\
+     fail over, writes never do).  --deadline MS stamps each attempt\n\
+     with the remaining budget (X-Bxwiki-Deadline); the server sheds\n\
+     work whose budget has lapsed with a 504.  A response served stale\n\
+     under brownout (X-Bxwiki-Stale) is noted on stderr.\n\n\
      --gen-entries seeds the server with N generated corpus entries on\n\
      top of the catalogue (deterministic in --gen-seed); 'bxwiki gen'\n\
      prints the same corpus.\n\n\
@@ -119,6 +131,49 @@ let resolve_port ~port ~port_file ~fail =
    curl: a 503 or a timeout is not an error, it is a reason to back off
    and try again. *)
 
+(* A per-target circuit breaker: closed (attempts flow), open (fail fast
+   until a cooldown lapses, entered after [threshold] consecutive
+   failures), half-open (exactly one probe; success closes, failure
+   re-opens).  Consulted before every attempt — fallback attempts
+   included — so a dead server is discovered once per cooldown, not once
+   per retry, and the remaining budget goes to targets that might
+   answer. *)
+module Breaker = struct
+  type state = Closed | Open of float (* retry-at *) | Half_open
+
+  type t = {
+    mutable state : state;
+    mutable failures : int;
+    threshold : int;
+    cooldown : float;
+  }
+
+  let create ?(threshold = 3) ?(cooldown = 1.0) () =
+    { state = Closed; failures = 0; threshold; cooldown }
+
+  let admit t =
+    match t.state with
+    | Closed | Half_open -> true
+    | Open retry_at ->
+        if Unix.gettimeofday () >= retry_at then begin
+          t.state <- Half_open;
+          true
+        end
+        else false
+
+  let success t =
+    t.state <- Closed;
+    t.failures <- 0
+
+  let failure t =
+    t.failures <- t.failures + 1;
+    match t.state with
+    | Half_open -> t.state <- Open (Unix.gettimeofday () +. t.cooldown)
+    | _ when t.failures >= t.threshold ->
+        t.state <- Open (Unix.gettimeofday () +. t.cooldown)
+    | _ -> ()
+end
+
 let client_main args =
   let port = ref None in
   let port_file = ref None in
@@ -128,6 +183,7 @@ let client_main args =
   let meth = ref None in
   let path = ref None in
   let fallback = ref None in
+  let deadline_ms = ref None in
   let fail msg =
     Printf.eprintf "bxwiki client: %s\n" msg;
     exit 2
@@ -151,6 +207,11 @@ let client_main args =
     | "--fallback" :: v :: rest ->
         fallback := Some (parse_hostport ~flag:"--fallback" v fail);
         parse rest
+    | "--deadline" :: v :: rest ->
+        deadline_ms := (match float_of_string_opt v with
+          | Some ms when ms > 0. -> Some ms
+          | _ -> fail "--deadline wants a positive millisecond budget");
+        parse rest
     | v :: rest when !meth = None -> meth := Some v; parse rest
     | v :: rest when !path = None -> path := Some v; parse rest
     | v :: _ -> fail ("unexpected argument " ^ v)
@@ -160,7 +221,19 @@ let client_main args =
   let path = match !path with Some p -> p | None -> usage () in
   let port = resolve_port ~port:!port ~port_file:!port_file ~fail in
   let body = Option.value ~default:"" !data in
-  (* One attempt: Ok (status, retry_after, body) or a retryable error. *)
+  (* The whole run's absolute deadline; each attempt ships the budget
+     still remaining, so the server stops working on a request the
+     moment this client would no longer read the answer. *)
+  let overall_deadline =
+    Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) !deadline_ms
+  in
+  let remaining_ms () =
+    Option.map
+      (fun d -> (d -. Unix.gettimeofday ()) *. 1000.)
+      overall_deadline
+  in
+  (* One attempt: Ok (status, retry_after, stale, body) or a retryable
+     error. *)
   let attempt port =
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Fun.protect
@@ -168,9 +241,17 @@ let client_main args =
       (fun () ->
         Unix.setsockopt_float sock Unix.SO_RCVTIMEO 10.0;
         Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let deadline_header =
+          match remaining_ms () with
+          | Some ms ->
+              Printf.sprintf "X-Bxwiki-Deadline: %d\r\n"
+                (int_of_float (Float.max 1. ms))
+          | None -> ""
+        in
         let request =
-          Printf.sprintf "%s %s HTTP/1.1\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-            meth path (String.length body) body
+          Printf.sprintf
+            "%s %s HTTP/1.1\r\nContent-Length: %d\r\n%sConnection: close\r\n\r\n%s"
+            meth path (String.length body) deadline_header body
         in
         let rec send off =
           if off < String.length request then
@@ -190,6 +271,7 @@ let client_main args =
         | Some status ->
             let content_length = ref None in
             let retry_after = ref None in
+            let stale = ref None in
             (try
                let rec headers () =
                  let line = String.trim (input_line ic) in
@@ -207,6 +289,8 @@ let client_main args =
                          content_length := int_of_string_opt value
                        else if name = "retry-after" then
                          retry_after := float_of_string_opt value
+                       else if name = "x-bxwiki-stale" then
+                         stale := int_of_string_opt value
                    | None -> ());
                    headers ()
                  end
@@ -225,7 +309,7 @@ let client_main args =
                    with End_of_file -> ());
                   Buffer.contents b
             in
-            Ok (status, !retry_after, resp_body))
+            Ok (status, !retry_after, !stale, resp_body))
   in
   (* Capped exponential backoff with decorrelated jitter: each sleep is
      drawn from [base, 3 * previous sleep], capped — retries spread out
@@ -241,34 +325,78 @@ let client_main args =
   in
   (* The retry loop against one server; [`Gave_up reason] when every
      attempt was retryable (503 or connection failure) — the condition
-     under which a GET may fail over to --fallback. *)
+     under which a GET may fail over to --fallback.  Each target gets
+     its own breaker, consulted before every attempt. *)
+  let breakers = Hashtbl.create 4 in
+  let breaker_for port =
+    match Hashtbl.find_opt breakers port with
+    | Some b -> b
+    | None ->
+        let b = Breaker.create ~cooldown:(Float.min 1.0 !max_sleep) () in
+        Hashtbl.add breakers port b;
+        b
+  in
   let run port =
+    let breaker = breaker_for port in
     let rec go attempt_no sleep =
+      match remaining_ms () with
+      | Some r when r <= 0. -> `Gave_up (attempt_no - 1, "deadline exhausted")
+      | _ ->
       let outcome =
-        match attempt port with
-        | Ok (503, retry_after, _) -> Error ("HTTP 503", retry_after)
-        | Ok (status, _, resp_body) -> Ok (status, resp_body)
-        | Error e -> Error (e, None)
-        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET
-                                     | Unix.ETIMEDOUT | Unix.EPIPE
-                                     | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-            Error ("connection failed or timed out", None)
-        | exception End_of_file -> Error ("server closed mid-response", None)
-        | exception Sys_error e -> Error (e, None)
+        if not (Breaker.admit breaker) then
+          (* Open breaker: fail fast without touching the socket — the
+             sleep below doubles as the cooldown wait. *)
+          Error ("circuit open", None)
+        else
+          match attempt port with
+          | Ok (503, retry_after, _, _) ->
+              Breaker.failure breaker;
+              Error ("HTTP 503", retry_after)
+          | Ok (status, _, stale, resp_body) ->
+              Breaker.success breaker;
+              Ok (status, stale, resp_body)
+          | Error e ->
+              Breaker.failure breaker;
+              Error (e, None)
+          | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET
+                                       | Unix.ETIMEDOUT | Unix.EPIPE
+                                       | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              Breaker.failure breaker;
+              Error ("connection failed or timed out", None)
+          | exception End_of_file ->
+              Breaker.failure breaker;
+              Error ("server closed mid-response", None)
+          | exception Sys_error e ->
+              Breaker.failure breaker;
+              Error (e, None)
       in
       match outcome with
-      | Ok (status, resp_body) -> `Done (status, resp_body)
+      | Ok (status, stale, resp_body) -> `Done (status, stale, resp_body)
       | Error (reason, retry_after) ->
           if attempt_no >= !retries then `Gave_up (attempt_no, reason)
           else begin
             let sleep = next_sleep sleep retry_after in
+            (* Never sleep past the deadline: better to wake with a
+               sliver of budget than to oversleep the whole thing. *)
+            let sleep =
+              match remaining_ms () with
+              | Some r -> Float.min sleep (Float.max 0. (r /. 1000.))
+              | None -> sleep
+            in
             Unix.sleepf sleep;
             go (attempt_no + 1) sleep
           end
     in
     go 1 base
   in
-  let finish (status, resp_body) =
+  let finish (status, stale, resp_body) =
+    (match stale with
+    | Some lag when status = 200 ->
+        Printf.eprintf
+          "bxwiki client: response served stale (%d generation(s) behind)\n"
+          lag
+    | _ -> ());
     print_string resp_body;
     if status >= 200 && status < 300 then exit 0
     else begin
@@ -365,6 +493,7 @@ let server_main ~replica args =
   let journal_dir = ref None in
   let port_file = ref None in
   let failpoints = ref None in
+  let chaos = ref None in
   let quiet = ref false in
   let compact_every = ref Bx_server.Service.default_config.compact_every in
   let shards = ref Bx_server.Service.default_config.shards in
@@ -402,6 +531,7 @@ let server_main ~replica args =
         parse rest
     | "--port-file" :: v :: rest -> port_file := Some v; parse rest
     | "--failpoints" :: v :: rest -> failpoints := Some v; parse rest
+    | "--chaos" :: v :: rest -> chaos := Some v; parse rest
     | "--compact-every" :: v :: rest ->
         compact_every := int_arg "--compact-every" v;
         parse rest
@@ -442,6 +572,15 @@ let server_main ~replica args =
       | Error e ->
           Printf.eprintf "bxwiki: --failpoints: %s\n" e;
           exit 2));
+  (match !chaos with
+  | None -> ()
+  | Some spec -> (
+      match Bx_fault.Netchaos.configure spec with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "bxwiki: --chaos: %s\n" e;
+          exit 2));
+  let chaos_armed = !chaos <> None || Bx_fault.Netchaos.env_configured in
   let config =
     {
       Bx_server.Service.default_config with
@@ -453,6 +592,8 @@ let server_main ~replica args =
       failpoints_admin =
         !failpoints <> None
         || Bx_server.Service.default_config.failpoints_admin;
+      chaos_admin =
+        chaos_armed || Bx_server.Service.default_config.chaos_admin;
       replica;
       replica_lag_threshold = !lag_threshold;
       stream_wait = !poll_wait;
@@ -486,12 +627,27 @@ let server_main ~replica args =
       let follower =
         Option.map
           (fun up_port ->
+            (* With chaos armed the follower dials the primary through
+               an in-process toxic proxy named "upstream": partitions,
+               latency storms and resets configured for that name hit
+               the replication link and nothing else. *)
+            let dial_port =
+              if not chaos_armed then up_port
+              else
+                Bx_fault.Netchaos.port
+                  (Bx_fault.Netchaos.create ~name:"upstream"
+                     ~upstream_port:up_port ())
+            in
             if not !quiet then
-              Printf.printf "bxwiki: replicating from 127.0.0.1:%d\n%!" up_port;
+              Printf.printf "bxwiki: replicating from 127.0.0.1:%d%s\n%!"
+                up_port
+                (if chaos_armed then
+                   Printf.sprintf " (via chaos proxy :%d)" dial_port
+                 else "");
             Thread.create
               (fun () ->
                 Bx_server.Service.follow service ~host:"127.0.0.1"
-                  ~port:up_port ~wait:!poll_wait ())
+                  ~port:dial_port ~wait:!poll_wait ())
               ())
           upstream
       in

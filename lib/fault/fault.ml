@@ -5,6 +5,7 @@ type action =
   | Error of string
   | Delay of float
   | Crash
+  | Errno of Unix.error
   | One_in of int * action
   | Times of int * action
 
@@ -25,7 +26,24 @@ let enabled () = Atomic.get armed
 
 (* ------------------------------------------------------------------ *)
 (* Action syntax: off | error | error(msg) | delay(ms) | crash
-   | one_in(n,ACTION) | times(n,ACTION) *)
+   | errno(name) | one_in(n,ACTION) | times(n,ACTION) *)
+
+(* The errnos worth faking at an I/O seam.  A symbolic subset keeps the
+   grammar round-trippable; anything else would render as an integer and
+   not survive a parse. *)
+let errno_names =
+  [
+    ("enospc", Unix.ENOSPC);
+    ("eio", Unix.EIO);
+    ("eacces", Unix.EACCES);
+    ("emfile", Unix.EMFILE);
+    ("enxio", Unix.ENXIO);
+  ]
+
+let errno_name err =
+  match List.find_opt (fun (_, e) -> e = err) errno_names with
+  | Some (name, _) -> name
+  | None -> "eio"
 
 let rec render_action = function
   | Off -> "off"
@@ -33,6 +51,7 @@ let rec render_action = function
   | Error msg -> Printf.sprintf "error(%s)" msg
   | Delay s -> Printf.sprintf "delay(%g)" (s *. 1000.)
   | Crash -> "crash"
+  | Errno err -> Printf.sprintf "errno(%s)" (errno_name err)
   | One_in (n, a) -> Printf.sprintf "one_in(%d,%s)" n (render_action a)
   | Times (n, a) -> Printf.sprintf "times(%d,%s)" n (render_action a)
 
@@ -54,6 +73,17 @@ let rec parse_action s =
   | _ -> (
       match call_of s with
       | Some ("error", msg) -> Ok (Error msg)
+      | Some ("errno", name) -> (
+          match
+            List.assoc_opt (String.lowercase_ascii (String.trim name))
+              errno_names
+          with
+          | Some err -> Ok (Errno err)
+          | None ->
+              Error
+                (Printf.sprintf "errno wants one of %s: %S"
+                   (String.concat "/" (List.map fst errno_names))
+                   s))
       | Some ("delay", ms) -> (
           match float_of_string_opt ms with
           | Some ms when ms >= 0. -> Ok (Delay (ms /. 1000.))
@@ -165,7 +195,7 @@ let rec decide hit = function
   | Off -> Off
   | One_in (n, a) -> if hit mod n = 0 then decide hit a else Off
   | Times (n, a) -> if hit <= n then decide hit a else Off
-  | (Error _ | Delay _ | Crash) as a -> a
+  | (Error _ | Delay _ | Crash | Errno _) as a -> a
 
 let eval name =
   let verdict =
@@ -181,6 +211,10 @@ let eval name =
   match verdict with
   | Off -> ()
   | Error msg -> raise (Injected (name ^ ": " ^ msg))
+  | Errno err ->
+      (* A real Unix_error, so the seam's existing errno handling — not a
+         special fault-injection path — decides what the failure means. *)
+      raise (Unix.Unix_error (err, "failpoint", name))
   | Delay s -> Unix.sleepf s
   | Crash ->
       (* No at_exit, no flushing: the process vanishes as under kill -9.

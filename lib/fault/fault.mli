@@ -14,6 +14,10 @@
     - [crash] — die immediately via [Unix._exit 137], with no [at_exit]
       handlers and no buffer flushing: the closest in-process stand-in
       for [kill -9] or a power cut;
+    - [errno(name)] — raise a genuine [Unix.Unix_error] ([enospc],
+      [eio], [eacces], [emfile], [enxio]), so the seam's existing errno
+      handling — not a fault-injection special case — classifies the
+      failure (a full disk at the journal fsync, say);
     - [one_in(n,ACTION)] — perform ACTION on every [n]th evaluation
       (deterministic, counter-based: hits [n], [2n], ...);
     - [times(n,ACTION)] — perform ACTION on the first [n] evaluations
@@ -43,6 +47,8 @@ type action =
   | Error of string  (** raise [Injected msg] *)
   | Delay of float  (** sleep this many seconds *)
   | Crash  (** [Unix._exit 137] — simulated [kill -9] *)
+  | Errno of Unix.error
+      (** raise [Unix.Unix_error (err, "failpoint", site)] *)
   | One_in of int * action  (** fire on every nth hit *)
   | Times of int * action  (** fire on the first n hits only *)
 

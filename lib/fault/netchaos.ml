@@ -1,0 +1,486 @@
+(* Netchaos: a toxiproxy-style in-process TCP proxy.
+
+   A proxy listens on an ephemeral loopback port and forwards every
+   accepted connection to a fixed upstream port, one thread per
+   direction.  "Toxics" — latency, bandwidth caps, resets, blackholes,
+   slow closes, truncation — are applied per chunk as bytes are pumped,
+   so the failure modes the network really produces (half-open
+   connections, partitions that heal, bytes cut mid-frame) can be
+   scripted deterministically inside one test process.
+
+   Like failpoints, toxics are configured through a textual spec so the
+   same grammar works from BXWIKI_CHAOS, --chaos and PUT /debug/chaos:
+
+     proxy=TOXIC[+TOXIC...][;proxy=...]
+     TOXIC := [up:|down:] latency(ms[,jitter_ms]) | bandwidth(kib_s)
+              | reset(bytes) | blackhole | slow_close(ms)
+              | truncate(bytes)
+
+   [up] is client->upstream, [down] upstream->client; no prefix applies
+   the toxic in both directions.  Rules are kept by proxy *name* in a
+   global table: configuring a name before its proxy exists is fine —
+   the proxy picks the rules up when it is created. *)
+
+type direction = Up | Down | Both
+
+type toxic =
+  | Latency of float * float  (* added delay ms, +/- jitter ms *)
+  | Bandwidth of int  (* cap, KiB/s *)
+  | Reset of int  (* abrupt teardown after this many bytes *)
+  | Blackhole  (* swallow bytes; the connection hangs *)
+  | Slow_close of float  (* hold EOF propagation for ms *)
+  | Truncate of int  (* forward this many bytes, drop the rest *)
+
+type rule = direction * toxic
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar *)
+
+let render_toxic = function
+  | Latency (ms, 0.) -> Printf.sprintf "latency(%g)" ms
+  | Latency (ms, j) -> Printf.sprintf "latency(%g,%g)" ms j
+  | Bandwidth k -> Printf.sprintf "bandwidth(%d)" k
+  | Reset n -> Printf.sprintf "reset(%d)" n
+  | Blackhole -> "blackhole"
+  | Slow_close ms -> Printf.sprintf "slow_close(%g)" ms
+  | Truncate n -> Printf.sprintf "truncate(%d)" n
+
+let render_rule (dir, toxic) =
+  let prefix = match dir with Up -> "up:" | Down -> "down:" | Both -> "" in
+  prefix ^ render_toxic toxic
+
+let render_rules rules = String.concat "+" (List.map render_rule rules)
+
+let call_of s =
+  match String.index_opt s '(' with
+  | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 2))
+  | _ -> None
+
+let parse_toxic s =
+  let num name v k =
+    match float_of_string_opt (String.trim v) with
+    | Some f when f >= 0. -> k f
+    | _ -> Error (Printf.sprintf "%s wants a non-negative number: %S" name s)
+  in
+  let int_arg name v k =
+    match int_of_string_opt (String.trim v) with
+    | Some n when n >= 0 -> k n
+    | _ -> Error (Printf.sprintf "%s wants a non-negative integer: %S" name s)
+  in
+  match s with
+  | "blackhole" -> Ok Blackhole
+  | _ -> (
+      match call_of s with
+      | Some ("latency", arg) -> (
+          match String.index_opt arg ',' with
+          | None -> num "latency" arg (fun ms -> Ok (Latency (ms, 0.)))
+          | Some i ->
+              let ms = String.sub arg 0 i in
+              let j = String.sub arg (i + 1) (String.length arg - i - 1) in
+              num "latency" ms (fun ms ->
+                  num "latency" j (fun j -> Ok (Latency (ms, j)))))
+      | Some ("bandwidth", arg) ->
+          int_arg "bandwidth" arg (fun k ->
+              if k >= 1 then Ok (Bandwidth k)
+              else Error (Printf.sprintf "bandwidth wants kib/s >= 1: %S" s))
+      | Some ("reset", arg) -> int_arg "reset" arg (fun n -> Ok (Reset n))
+      | Some ("slow_close", arg) ->
+          num "slow_close" arg (fun ms -> Ok (Slow_close ms))
+      | Some ("truncate", arg) -> int_arg "truncate" arg (fun n -> Ok (Truncate n))
+      | _ -> Error (Printf.sprintf "unknown toxic %S" s))
+
+let parse_rule s =
+  let s = String.trim s in
+  let dir, rest =
+    if String.length s > 3 && String.sub s 0 3 = "up:" then
+      (Up, String.sub s 3 (String.length s - 3))
+    else if String.length s > 5 && String.sub s 0 5 = "down:" then
+      (Down, String.sub s 5 (String.length s - 5))
+    else (Both, s)
+  in
+  match parse_toxic (String.trim rest) with
+  | Ok t -> Ok (dir, t)
+  | Error _ as e -> e
+
+let parse_rules s : (rule list, string) result =
+  let s = String.trim s in
+  if s = "" then Ok []
+  else
+    String.split_on_char '+' s
+    |> List.fold_left
+         (fun acc tok ->
+           match acc with
+           | Error _ as e -> e
+           | Ok rules -> (
+               match parse_rule tok with
+               | Ok r -> Ok (r :: rules)
+               | Error _ as e -> e))
+         (Ok [])
+    |> Result.map List.rev
+
+let parse_spec spec : ((string * rule list) list, string) result =
+  String.split_on_char ';' spec
+  |> List.filter_map (fun entry ->
+         let entry = String.trim entry in
+         if entry = "" then None
+         else
+           Some
+             (match String.index_opt entry '=' with
+             | None ->
+                 Stdlib.Error
+                   (Printf.sprintf "rule %S is not proxy=TOXICS" entry)
+             | Some i -> (
+                 let name = String.trim (String.sub entry 0 i) in
+                 let toxics =
+                   String.sub entry (i + 1) (String.length entry - i - 1)
+                 in
+                 if name = "" then
+                   Stdlib.Error (Printf.sprintf "rule %S has no proxy name" entry)
+                 else
+                   match parse_rules toxics with
+                   | Ok rules -> Stdlib.Ok (name, rules)
+                   | Error e -> Stdlib.Error e)))
+  |> List.fold_left
+       (fun acc r ->
+         match (acc, r) with
+         | (Stdlib.Error _ as e), _ -> e
+         | _, (Stdlib.Error _ as e) -> e
+         | Stdlib.Ok rules, Stdlib.Ok r -> Stdlib.Ok (r :: rules))
+       (Stdlib.Ok [])
+  |> Result.map List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Proxy *)
+
+type conn = {
+  client : Unix.file_descr;
+  upstream : Unix.file_descr;
+  closed : bool Atomic.t;
+  pumps_left : int Atomic.t;
+}
+
+type t = {
+  name : string;
+  upstream_port : int;
+  lsock : Unix.file_descr;
+  lport : int;
+  m : Mutex.t;
+  mutable rules : rule list;
+  mutable conns : conn list;
+  rng : Random.State.t;  (* jitter draws; guarded by [m] *)
+  stop : bool Atomic.t;
+  connections : int Atomic.t;
+  bytes_up : int Atomic.t;
+  bytes_down : int Atomic.t;
+  mutable accept_thread : Thread.t option;
+}
+
+let ignore_unix f = try f () with Unix.Unix_error _ | Sys_error _ -> ()
+
+(* Tear a connection down abruptly.  SO_LINGER 0 makes the close emit an
+   RST when data is in flight, which is as close to a mid-frame network
+   reset as loopback allows; shutdown first wakes any thread blocked in
+   read so nobody sits on a dead fd. *)
+let kill_conn conn =
+  if Atomic.compare_and_set conn.closed false true then begin
+    List.iter
+      (fun fd ->
+        ignore_unix (fun () -> Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0));
+        ignore_unix (fun () -> Unix.shutdown fd Unix.SHUTDOWN_ALL))
+      [ conn.client; conn.upstream ]
+  end
+
+let finish_pump conn =
+  if Atomic.fetch_and_add conn.pumps_left (-1) = 1 then begin
+    Atomic.set conn.closed true;
+    ignore_unix (fun () -> Unix.close conn.client);
+    ignore_unix (fun () -> Unix.close conn.upstream)
+  end
+
+let current_rules t dir =
+  Mutex.lock t.m;
+  let rules =
+    List.filter (fun (d, _) -> d = Both || d = dir) t.rules
+  in
+  Mutex.unlock t.m;
+  List.map snd rules
+
+let jitter_draw t ms j =
+  if j <= 0. then ms
+  else begin
+    Mutex.lock t.m;
+    let d = Random.State.float t.rng (2. *. j) -. j in
+    Mutex.unlock t.m;
+    Float.max 0. (ms +. d)
+  end
+
+let write_chunk fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd buf off len in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+(* Forward one direction of one connection, chunk by chunk, applying the
+   matching toxics in rule order.  Exits on EOF, error, or teardown. *)
+let pump t conn dir src dst count_total =
+  let buf = Bytes.create 4096 in
+  let sent = ref 0 in  (* bytes offered in this direction, this conn *)
+  let forwarded = ref 0 in  (* bytes actually written downstream *)
+  let eof_delay = ref 0. in
+  let rec loop () =
+    match Unix.read src buf 0 (Bytes.length buf) with
+    | exception (Unix.Unix_error _ | Sys_error _) -> ()
+    | 0 -> at_eof ()
+    | n ->
+        ignore (Atomic.fetch_and_add count_total n);
+        let toxics = current_rules t dir in
+        (* Decide this chunk's fate across the whole chain first: how
+           many bytes to deliver, whether to hang up afterwards. *)
+        let deliver = ref n and drop = ref false and rst = ref false in
+        eof_delay := 0.;
+        List.iter
+          (fun toxic ->
+            match toxic with
+            | Latency (ms, j) -> Unix.sleepf (jitter_draw t ms j /. 1000.)
+            | Blackhole -> drop := true
+            | Reset limit ->
+                let allowed = max 0 (limit - !sent) in
+                if allowed < !deliver then deliver := allowed;
+                if !sent + n >= limit then rst := true
+            | Truncate limit ->
+                let allowed = max 0 (limit - !sent) in
+                if allowed < !deliver then deliver := allowed
+            | Slow_close ms -> eof_delay := Float.max !eof_delay ms
+            | Bandwidth _ -> ())
+          toxics;
+        sent := !sent + n;
+        let ok =
+          !drop
+          ||
+          try
+            if !deliver > 0 then begin
+              write_chunk dst buf 0 !deliver;
+              forwarded := !forwarded + !deliver
+            end;
+            true
+          with Unix.Unix_error _ | Sys_error _ -> false
+        in
+        List.iter
+          (fun toxic ->
+            match toxic with
+            | Bandwidth kib_s when not !drop && !deliver > 0 ->
+                Unix.sleepf (float_of_int !deliver /. (float_of_int kib_s *. 1024.))
+            | _ -> ())
+          toxics;
+        if !rst then kill_conn conn
+        else if ok && not (Atomic.get t.stop) then loop ()
+  and at_eof () =
+    (* Propagate the half-close, optionally holding it open first. *)
+    List.iter
+      (fun toxic -> match toxic with
+        | Slow_close ms -> eof_delay := Float.max !eof_delay ms
+        | _ -> ())
+      (current_rules t dir);
+    if !eof_delay > 0. then Unix.sleepf (!eof_delay /. 1000.);
+    ignore_unix (fun () -> Unix.shutdown dst Unix.SHUTDOWN_SEND)
+  in
+  loop ();
+  finish_pump conn
+
+let dial_upstream port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    Some fd
+  with Unix.Unix_error _ ->
+    ignore_unix (fun () -> Unix.close fd);
+    None
+
+let accept_loop t =
+  while not (Atomic.get t.stop) do
+    match Unix.select [ t.lsock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.lsock with
+        | exception Unix.Unix_error _ -> ()
+        | client, _ -> (
+            Unix.setsockopt client Unix.TCP_NODELAY true;
+            match dial_upstream t.upstream_port with
+            | None -> ignore_unix (fun () -> Unix.close client)
+            | Some upstream ->
+                Atomic.incr t.connections;
+                let conn =
+                  {
+                    client;
+                    upstream;
+                    closed = Atomic.make false;
+                    pumps_left = Atomic.make 2;
+                  }
+                in
+                Mutex.lock t.m;
+                t.conns <-
+                  conn
+                  :: List.filter
+                       (fun c -> Atomic.get c.pumps_left > 0)
+                       t.conns;
+                Mutex.unlock t.m;
+                ignore
+                  (Thread.create
+                     (fun () -> pump t conn Up client upstream t.bytes_up)
+                     ());
+                ignore
+                  (Thread.create
+                     (fun () -> pump t conn Down upstream client t.bytes_down)
+                     ())))
+  done;
+  ignore_unix (fun () -> Unix.close t.lsock)
+
+(* ------------------------------------------------------------------ *)
+(* Registry: rules are configured by name and survive proxy churn. *)
+
+let registry_mutex = Mutex.create ()
+let rules_table : (string, rule list) Hashtbl.t = Hashtbl.create 4
+let proxies : (string, t) Hashtbl.t = Hashtbl.create 4
+
+let reg_locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let set_toxics t rules =
+  Mutex.lock t.m;
+  t.rules <- rules;
+  Mutex.unlock t.m
+
+let toxics t =
+  Mutex.lock t.m;
+  let r = t.rules in
+  Mutex.unlock t.m;
+  r
+
+let sever t =
+  Mutex.lock t.m;
+  let conns = t.conns in
+  t.conns <- List.filter (fun c -> Atomic.get c.pumps_left > 0) conns;
+  Mutex.unlock t.m;
+  List.iter kill_conn conns
+
+let partition t =
+  set_toxics t [ (Both, Blackhole) ];
+  sever t
+
+let heal t = set_toxics t []
+
+let anon = Atomic.make 0
+
+let create ?name ?seed ~upstream_port () =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "proxy%d" (Atomic.fetch_and_add anon 1)
+  in
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lsock 64;
+  let lport =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let seed = match seed with Some s -> s | None -> Hashtbl.hash name in
+  let t =
+    {
+      name;
+      upstream_port;
+      lsock;
+      lport;
+      m = Mutex.create ();
+      rules = [];
+      conns = [];
+      rng = Random.State.make [| seed |];
+      stop = Atomic.make false;
+      connections = Atomic.make 0;
+      bytes_up = Atomic.make 0;
+      bytes_down = Atomic.make 0;
+      accept_thread = None;
+    }
+  in
+  reg_locked (fun () ->
+      Hashtbl.replace proxies name t;
+      match Hashtbl.find_opt rules_table name with
+      | Some rules -> t.rules <- rules
+      | None -> ());
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let port t = t.lport
+let name t = t.name
+
+let stats t =
+  (Atomic.get t.connections, Atomic.get t.bytes_up, Atomic.get t.bytes_down)
+
+let close t =
+  Atomic.set t.stop true;
+  sever t;
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  reg_locked (fun () ->
+      match Hashtbl.find_opt proxies t.name with
+      | Some p when p == t -> Hashtbl.remove proxies t.name
+      | _ -> ())
+
+let configure spec =
+  match parse_spec spec with
+  | Error _ as e -> e
+  | Ok entries ->
+      reg_locked (fun () ->
+          Hashtbl.reset rules_table;
+          List.iter
+            (fun (name, rules) ->
+              if rules <> [] then Hashtbl.replace rules_table name rules)
+            entries;
+          Hashtbl.iter
+            (fun name proxy ->
+              set_toxics proxy
+                (Option.value ~default:[] (Hashtbl.find_opt rules_table name)))
+            proxies);
+      Ok ()
+
+let clear_rules () =
+  reg_locked (fun () ->
+      Hashtbl.reset rules_table;
+      Hashtbl.iter (fun _ proxy -> set_toxics proxy []) proxies)
+
+let describe () =
+  reg_locked (fun () ->
+      Hashtbl.fold (fun name rules acc -> (name, rules) :: acc) rules_table []
+      |> List.sort compare
+      |> List.map (fun (name, rules) -> name ^ "=" ^ render_rules rules)
+      |> String.concat "\n")
+
+let stats_text () =
+  reg_locked (fun () ->
+      Hashtbl.fold (fun name p acc -> (name, p) :: acc) proxies []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.map (fun (name, p) ->
+             Printf.sprintf "%s: port=%d upstream=%d conns=%d up=%dB down=%dB"
+               name p.lport p.upstream_port
+               (Atomic.get p.connections)
+               (Atomic.get p.bytes_up) (Atomic.get p.bytes_down))
+      |> String.concat "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Environment arming, mirroring BXWIKI_FAILPOINTS. *)
+
+let env_configured, () =
+  match Sys.getenv_opt "BXWIKI_CHAOS" with
+  | None -> (false, ())
+  | Some spec ->
+      ( true,
+        match configure spec with
+        | Ok () -> ()
+        | Error e -> Printf.eprintf "bxwiki: BXWIKI_CHAOS ignored: %s\n%!" e )

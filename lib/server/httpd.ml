@@ -4,6 +4,7 @@ type request = {
   query : string;
   body : string;
   keep_alive : bool;
+  deadline : float option;
 }
 
 type error = { status : int; reason : string }
@@ -20,14 +21,32 @@ type reader = {
   buf : Bytes.t;
   mutable pos : int;
   mutable len : int;
+  (* Wall-clock bound on reading one whole request, armed when its first
+     byte arrives.  SO_RCVTIMEO only bounds a single read(2): a slowloris
+     peer trickling one header byte per second resets that clock forever,
+     while this one runs out. *)
+  mutable read_budget : float;  (* seconds; 0. = unbounded *)
+  mutable started : float;  (* when the current request's first byte came *)
 }
+
+exception Read_deadline
+
+let make_reader refill =
+  {
+    refill;
+    buf = Bytes.create 8192;
+    pos = 0;
+    len = 0;
+    read_budget = 0.;
+    started = 0.;
+  }
 
 let reader_of_fd fd =
   let refill buf off want =
     Bx_fault.Fault.point "httpd.read";
     Unix.read fd buf off want
   in
-  { refill; buf = Bytes.create 8192; pos = 0; len = 0 }
+  make_reader refill
 
 let reader_of_string s =
   let consumed = ref 0 in
@@ -37,14 +56,19 @@ let reader_of_string s =
     consumed := !consumed + n;
     n
   in
-  { refill; buf = Bytes.create 8192; pos = 0; len = 0 }
+  make_reader refill
 
 (* Returns false at end of stream. *)
 let ensure r =
   if r.pos < r.len then true
   else begin
+    if
+      r.read_budget > 0. && r.started > 0.
+      && Unix.gettimeofday () -. r.started > r.read_budget
+    then raise Read_deadline;
     r.pos <- 0;
     r.len <- r.refill r.buf 0 (Bytes.length r.buf);
+    if r.len > 0 && r.started = 0. then r.started <- Unix.gettimeofday ();
     r.len > 0
   end
 
@@ -98,7 +122,19 @@ let parse_request_line line =
       Ok (meth, path, query, version)
   | _ -> Error { status = 400; reason = "malformed_request_line" }
 
-let read_request ?(max_body = default_max_body) r =
+(* The deadline header carries the client's remaining budget in
+   milliseconds; bound it so a typo cannot pin a connection for a year.
+   Malformed or non-positive values are ignored rather than rejected —
+   a deadline is advisory, not an input the request depends on. *)
+let max_deadline_ms = 3_600_000.
+
+let parse_deadline value =
+  match float_of_string_opt (String.trim value) with
+  | Some ms when ms > 0. ->
+      Some (Unix.gettimeofday () +. Float.min ms max_deadline_ms /. 1000.)
+  | _ -> None
+
+let read_request_inner ~max_body r =
   match read_line r with
   | None -> Error `Eof
   | Some "" -> bad 400 "empty_request_line"
@@ -108,6 +144,7 @@ let read_request ?(max_body = default_max_body) r =
       | Ok (meth, path, query, version) -> (
           let content_length = ref None in
           let connection = ref None in
+          let deadline_ms = ref None in
           let rec headers n =
             if n > max_header_count then bad 431 "too_many_headers"
             else
@@ -127,7 +164,9 @@ let read_request ?(max_body = default_max_body) r =
                       in
                       if name = "content-length" then content_length := Some value
                       else if name = "connection" then
-                        connection := Some (String.lowercase_ascii value);
+                        connection := Some (String.lowercase_ascii value)
+                      else if name = "x-bxwiki-deadline" then
+                        deadline_ms := Some value;
                       headers (n + 1))
           in
           match headers 0 with
@@ -140,7 +179,14 @@ let read_request ?(max_body = default_max_body) r =
                 | None, "HTTP/1.0" -> false
                 | _ -> true
               in
-              let finish body = Ok { meth; path; query; body; keep_alive } in
+              let finish body =
+                let deadline =
+                  match !deadline_ms with
+                  | None -> None
+                  | Some v -> parse_deadline v
+                in
+                Ok { meth; path; query; body; keep_alive; deadline }
+              in
               match !content_length with
               | None -> finish ""
               | Some v -> (
@@ -154,6 +200,17 @@ let read_request ?(max_body = default_max_body) r =
                       | None -> bad 400 "truncated_body"
                       | Some body -> finish body)))))
   | exception Line_too_long -> bad 431 "line_too_long"
+  | exception Read_deadline -> Error `Deadline
+
+let read_request ?(max_body = default_max_body) ?(read_budget = 0.) r =
+  r.read_budget <- read_budget;
+  r.started <- 0.;
+  (* The per-match [exception] clauses above only cover the request
+     line; the header loop and body read raise through to here. *)
+  try read_request_inner ~max_body r
+  with
+  | Line_too_long -> bad 431 "line_too_long"
+  | Read_deadline -> Error `Deadline
 
 (* Split "a=1&b=2" into pairs; a bare key maps to "".  No percent
    decoding — the replication endpoints only pass integers. *)
@@ -183,6 +240,7 @@ let status_text = function
   | 413 -> "Content Too Large"
   | 431 -> "Request Header Fields Too Large"
   | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
   | _ -> "Internal Server Error"
 
 let write_all fd s =

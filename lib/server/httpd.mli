@@ -13,7 +13,16 @@
     - reads run against a socket with a receive timeout ({!Service}
       sets [SO_RCVTIMEO]); a timeout surfaces as
       [Unix.EAGAIN]/[EWOULDBLOCK] from {!read_request}, which the
-      caller maps to 408.
+      caller maps to 408;
+    - a wall-clock [read_budget] bounds reading one {e whole} request
+      from its first byte: [SO_RCVTIMEO] only limits a single [read(2)],
+      so a slowloris peer trickling one header byte at a time would
+      otherwise hold a worker forever.  Exhaustion surfaces as
+      [`Deadline];
+    - an [X-Bxwiki-Deadline: <ms>] request header (the client's
+      remaining budget in milliseconds) is parsed into an absolute
+      {!field:request.deadline} so the service can shed work whose
+      requester has already given up.
 
     The reader abstraction exists so the parser is testable from plain
     strings — the Content-Length regression tests drive it without a
@@ -25,6 +34,9 @@ type request = {
   query : string;  (** the raw query string, without the [?]; [""] if none *)
   body : string;
   keep_alive : bool;
+  deadline : float option;
+      (** absolute [Unix.gettimeofday] deadline derived from
+          [X-Bxwiki-Deadline]; [None] when absent or malformed *)
 }
 
 type error = {
@@ -41,11 +53,18 @@ val default_max_body : int
 (** 1 MiB — generous for wiki pages. *)
 
 val read_request :
-  ?max_body:int -> reader -> (request, [ `Eof | `Bad of error ]) result
+  ?max_body:int ->
+  ?read_budget:float ->
+  reader ->
+  (request, [ `Eof | `Bad of error | `Deadline ]) result
 (** Parse one request.  [`Eof] means the peer closed (or never wrote)
     before a request line — the normal end of a keep-alive connection.
-    Propagates [Unix.Unix_error] from the underlying reads (timeouts,
-    resets); the caller owns the socket and the 408/close decision. *)
+    [read_budget] (seconds; [0.] = unbounded, the default) bounds the
+    wall-clock time from the request's first byte to its last;
+    exhaustion is [`Deadline], which the service sheds and counts as
+    [bxwiki_shed_total{reason="deadline"}].  Propagates
+    [Unix.Unix_error] from the underlying reads (timeouts, resets); the
+    caller owns the socket and the 408/close decision. *)
 
 val write_response :
   Unix.file_descr -> keep_alive:bool -> Bx_repo.Webui.response -> unit

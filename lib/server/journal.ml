@@ -335,6 +335,25 @@ let open_ ~dir ~next_seq =
   | Sys_error e | Failure e -> Error e
   | Unix.Unix_error (e, _, arg) -> Error (arg ^ ": " ^ Unix.error_message e)
 
+(* Append errors travel as strings (they are operator-facing), so a
+   caller that must distinguish "the disk is full" from "the write
+   failed" classifies by the strerror text the append embedded.  ENOSPC
+   is worth distinguishing: it is persistent — retrying cannot succeed
+   until an operator frees space — so the service degrades to read-only
+   instead of flapping. *)
+let enospc_text = Unix.error_message Unix.ENOSPC
+
+let contains_substring ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  nl = 0
+  ||
+  let rec go i =
+    i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+  in
+  go 0
+
+let is_disk_full_error msg = contains_substring ~needle:enospc_text msg
+
 let append_at t ~seq ~path ~body =
   try
     Bx_fault.Fault.point "journal.append.pre_write";

@@ -119,6 +119,12 @@ val append : t -> path:string -> body:string -> (int, string) result
 (** Append one record and [fsync]; returns the record's sequence
     number.  On [Error] nothing may be assumed durable. *)
 
+val is_disk_full_error : string -> bool
+(** True when an append/checkpoint error string carries ENOSPC's
+    strerror text.  ENOSPC is persistent — no retry succeeds until an
+    operator frees space — so the service maps it to a sticky read-only
+    degradation rather than flapping [journal_ok]. *)
+
 val append_seq :
   t -> seq:int -> path:string -> body:string -> (int, string) result
 (** Like {!append} with an explicit, caller-allocated sequence number.

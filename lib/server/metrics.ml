@@ -29,6 +29,14 @@ type t = {
   mutable compact_fail : int;
   mutable last_compaction_ok : bool;
   mutable queue_depth : int; (* gauge, sampled at scrape time *)
+  (* Brownout/degradation state: the AIMD admission limit and the sticky
+     disk-full flag are gauges sampled at scrape; stale responses served
+     by the degraded lane are a counter with the cumulative generation
+     lag alongside, so staleness is bounded *and measured*. *)
+  mutable concurrency_limit : int;
+  mutable journal_disk_full : bool;
+  mutable stale_served : int;
+  mutable stale_gen_lag : int;
   (* Replication counters (either side of the stream) and gauges
      (sampled at scrape time, like queue_depth). *)
   mutable streamed_records : int;
@@ -81,6 +89,10 @@ let create () =
     compact_fail = 0;
     last_compaction_ok = true;
     queue_depth = 0;
+    concurrency_limit = 0;
+    journal_disk_full = false;
+    stale_served = 0;
+    stale_gen_lag = 0;
     streamed_records = 0;
     streamed_bytes = 0;
     applied_records = 0;
@@ -181,6 +193,16 @@ let compaction t ~ok =
 let shed t ~reason = locked t (fun () -> bump t.shed reason)
 
 let note_queue_depth t depth = locked t (fun () -> t.queue_depth <- depth)
+
+let note_concurrency_limit t limit =
+  locked t (fun () -> t.concurrency_limit <- limit)
+
+let note_disk_full t full = locked t (fun () -> t.journal_disk_full <- full)
+
+let stale_response t ~gen_lag =
+  locked t (fun () ->
+      t.stale_served <- t.stale_served + 1;
+      t.stale_gen_lag <- t.stale_gen_lag + max 0 gen_lag)
 
 let replication_streamed t ~records ~bytes =
   locked t (fun () ->
@@ -283,6 +305,12 @@ let replication_counts t =
 
 let shed_total t =
   locked t (fun () -> Hashtbl.fold (fun _ r acc -> acc + !r) t.shed 0)
+
+let shed_by_reason t reason =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.shed reason with Some r -> !r | None -> 0)
+
+let stale_counts t = locked t (fun () -> (t.stale_served, t.stale_gen_lag))
 
 let compaction_counts t = locked t (fun () -> (t.compact_ok, t.compact_fail))
 
@@ -430,6 +458,18 @@ let render t =
       line "# HELP bxwiki_queue_depth Pending connections queued for a worker (sampled at scrape).";
       line "# TYPE bxwiki_queue_depth gauge";
       line "bxwiki_queue_depth %d" t.queue_depth;
+      line "# HELP bxwiki_concurrency_limit AIMD adaptive admission limit (sampled at scrape).";
+      line "# TYPE bxwiki_concurrency_limit gauge";
+      line "bxwiki_concurrency_limit %d" t.concurrency_limit;
+      line "# HELP bxwiki_journal_disk_full 1 while the journal has hit ENOSPC and writes are refused.";
+      line "# TYPE bxwiki_journal_disk_full gauge";
+      line "bxwiki_journal_disk_full %d" (if t.journal_disk_full then 1 else 0);
+      line "# HELP bxwiki_stale_served_total Responses served from the respcache past their generation (brownout).";
+      line "# TYPE bxwiki_stale_served_total counter";
+      line "bxwiki_stale_served_total %d" t.stale_served;
+      line "# HELP bxwiki_stale_generation_lag_total Cumulative generation lag across stale responses.";
+      line "# TYPE bxwiki_stale_generation_lag_total counter";
+      line "bxwiki_stale_generation_lag_total %d" t.stale_gen_lag;
       line "# HELP bxwiki_lock_acquisitions_total Lock acquisitions by lock and mode (sampled at scrape).";
       line "# TYPE bxwiki_lock_acquisitions_total counter";
       let lock_rows =

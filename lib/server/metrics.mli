@@ -58,6 +58,20 @@ val note_queue_depth : t -> int -> unit
 (** Sample the pending-connection queue depth (a gauge; the service sets
     it when [/metrics] is scraped). *)
 
+val note_concurrency_limit : t -> int -> unit
+(** Sample the AIMD adaptive admission limit
+    ([bxwiki_concurrency_limit]). *)
+
+val note_disk_full : t -> bool -> unit
+(** Sample the sticky journal-ENOSPC flag
+    ([bxwiki_journal_disk_full]). *)
+
+val stale_response : t -> gen_lag:int -> unit
+(** Record one response served stale from the respcache by the brownout
+    lane, [gen_lag] generations behind the live registry.  Feeds
+    [bxwiki_stale_served_total] and
+    [bxwiki_stale_generation_lag_total]. *)
+
 val note_lock :
   t -> lock:string -> mode:string -> acquisitions:int -> contended:int -> unit
 (** Sample one lock's contention counters (the service sets them when
@@ -153,6 +167,12 @@ val cache_counts : t -> int * int
 
 val shed_total : t -> int
 (** Sum over all shed reasons. *)
+
+val shed_by_reason : t -> string -> int
+(** One shed reason's count ([0] if never bumped). *)
+
+val stale_counts : t -> int * int
+(** (stale responses served, cumulative generation lag). *)
 
 val compaction_counts : t -> int * int
 (** (succeeded, failed). *)

@@ -56,6 +56,26 @@ let find t ~path ~generation =
   | None -> Metrics.cache_miss t.metrics);
   found
 
+(* The brownout lane: any cached render for [path], however old, beats a
+   503 when the fresh path is unaffordable.  The caller reports the
+   generation lag to the client (X-Bxwiki-Stale), so correctness-by-
+   freshness is traded away *visibly*.  Searches every shard — the
+   degraded worker runs on its own domain, whose home shard has never
+   rendered anything. *)
+let find_stale t ~path =
+  let best = ref None in
+  Array.iter
+    (fun shard ->
+      locked t shard (fun () ->
+          match Hashtbl.find_opt shard.table path with
+          | Some e -> (
+              match !best with
+              | Some (g, _) when g >= e.generation -> ()
+              | _ -> best := Some (e.generation, e.response))
+          | None -> ()))
+    t.shards;
+  !best
+
 let store ?current t ~path ~generation response =
   (* Under per-shard generations different paths are valid at different
      generations; [current] tells the eviction sweep what "fresh" means

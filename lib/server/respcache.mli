@@ -26,6 +26,13 @@ val find : t -> path:string -> generation:int -> Bx_repo.Webui.response option
 (** A hit requires both the path and the generation to match, in the
     calling domain's shard. *)
 
+val find_stale : t -> path:string -> (int * Bx_repo.Webui.response) option
+(** The freshest cached render of [path] at {e any} generation, searched
+    across {e all} shards: the brownout lane serves this (tagged
+    [X-Bxwiki-Stale: <gen-lag>]) instead of 503 when the service is
+    overloaded.  Does not count a cache hit or miss — it is not the
+    normal read path. *)
+
 val store :
   ?current:(string -> int) ->
   t -> path:string -> generation:int -> Bx_repo.Webui.response -> unit

@@ -17,6 +17,9 @@ type config = {
   stream_max_records : int;
   scrub_rate : int;
   entry_law : (Bx_repo.Template.t -> (unit, string) result) option;
+  brownout : bool;
+  min_concurrency : int;
+  chaos_admin : bool;
 }
 
 let default_config =
@@ -39,6 +42,9 @@ let default_config =
     stream_max_records = 512;
     scrub_rate = 0;
     entry_law = None;
+    brownout = true;
+    min_concurrency = 8;
+    chaos_admin = Bx_fault.Netchaos.env_configured || Bx_fault.Fault.env_configured;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -167,6 +173,10 @@ type t = {
   journal_ok : bool Atomic.t;
       (* false after a failed append, true again after a successful one;
          feeds /readyz *)
+  disk_full : bool Atomic.t;
+      (* sticky: ENOSPC at the journal means no retry can succeed until
+         an operator frees space, so writes stay refused (503) and
+         /readyz stays down while reads keep serving *)
   mutable bound_port : int option;
   (* connection queue between the accept loop and the workers; each
      entry remembers when it was enqueued so workers can shed
@@ -175,6 +185,19 @@ type t = {
   qc : Condition.t;
   queue : (Unix.file_descr * float) Queue.t;
   mutable accepting : bool;
+  (* AIMD adaptive admission: [limit] replaces the static queue capacity
+     as the admission bound — halved (at most once per window) when
+     admission overflows, grown by one per timely completion, kept in
+     [min_concurrency, queue_capacity].  [last_md] is guarded by qm. *)
+  limit : int Atomic.t;
+  mutable last_md : float;
+  (* the brownout lane: connections the admission controller refused are
+     parked here and answered from the respcache (stale, labelled) by a
+     dedicated degraded worker instead of being shed outright *)
+  dqm : Mutex.t;
+  dqc : Condition.t;
+  dqueue : (Unix.file_descr * float) Queue.t;
+  mutable daccepting : bool;
   (* Replication.  [replica] flips to false on promotion; [epoch] is the
      highest epoch this node has observed (persisted when journaled);
      [fenced_by] is the epoch that deposed this primary (0 = none);
@@ -437,11 +460,18 @@ let create ?(config = default_config) ?(pages = []) ?(lenses = []) ~seed () =
       replay_failed = failed;
       stop = Atomic.make false;
       journal_ok = Atomic.make true;
+      disk_full = Atomic.make false;
       bound_port = None;
       qm = Mutex.create ();
       qc = Condition.create ();
       queue = Queue.create ();
       accepting = false;
+      limit = Atomic.make config.queue_capacity;
+      last_md = 0.;
+      dqm = Mutex.create ();
+      dqc = Condition.create ();
+      dqueue = Queue.create ();
+      daccepting = false;
       replica = Atomic.make config.replica;
       epoch = Atomic.make epoch0;
       fenced_by = Atomic.make 0;
@@ -555,7 +585,7 @@ let route_of t path =
   if path = "/" || path = "" then "index"
   else if path = "/metrics" then "metrics"
   else if path = "/healthz" || path = "/readyz" then "health"
-  else if path = "/debug/failpoints" then "debug"
+  else if path = "/debug/failpoints" || path = "/debug/chaos" then "debug"
   else if
     path = "/replication/stream"
     || path = "/replication/snapshot"
@@ -608,7 +638,49 @@ let gen_for_key t key =
   | Some k -> t.gens.(k)
   | None -> total_gen t
 
-let handle_get t ~query path =
+let respond_text status body =
+  {
+    Bx_repo.Webui.status;
+    content_type = "text/plain; charset=utf-8";
+    body;
+    headers = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Deadline propagation.  A request carries the client's remaining
+   budget (X-Bxwiki-Deadline, parsed by Httpd into an absolute time);
+   once it is exhausted nobody is waiting for the answer, so work is
+   shed *before* the expensive steps — lock acquisition, rendering, the
+   journal fsync — with a 504 and its own shed reason. *)
+
+let deadline_expired = function
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+let shed_deadline t =
+  Metrics.shed t.metrics ~reason:"deadline_propagated";
+  respond_text 504 "deadline exceeded: request budget exhausted\n"
+
+(* Serve [path] from whatever render the cache still holds, at any
+   generation, labelled with how far behind the live registry it is.
+   The brownout bargain: freshness is traded for availability, visibly —
+   the client can always tell a stale answer from a fresh one. *)
+let try_stale t ~query path =
+  let key = cache_key ~path ~query in
+  match Respcache.find_stale t.cache ~path:key with
+  | Some (gen, response) when response.Bx_repo.Webui.status = 200 ->
+      let lag = max 0 (gen_for_key t key - gen) in
+      Metrics.stale_response t.metrics ~gen_lag:lag;
+      Some
+        {
+          response with
+          Bx_repo.Webui.headers =
+            ("X-Bxwiki-Stale", string_of_int lag)
+            :: response.Bx_repo.Webui.headers;
+        }
+  | _ -> None
+
+let handle_get ?deadline t ~query path =
   let key = cache_key ~path ~query in
   let render () =
     Bx_fault.Fault.point "service.lock.read";
@@ -646,6 +718,13 @@ let handle_get t ~query path =
      under. *)
   match Respcache.find t.cache ~path:key ~generation:(gen_for_key t key) with
   | Some response -> response
+  | None when deadline_expired deadline -> (
+      (* The budget ran out before the expensive part (lock + render).  A
+         stale copy is still worth shipping — it costs nothing — but a
+         fresh render would finish after the client has given up. *)
+      match try_stale t ~query path with
+      | Some response -> response
+      | None -> shed_deadline t)
   | None ->
       let generation, response = render () in
       if response.Bx_repo.Webui.status = 200 then
@@ -665,14 +744,6 @@ let handle_get t ~query path =
 let rs = '\x1e'
 let us = '\x1f'
 let rs_str = String.make 1 rs
-
-let respond_text status body =
-  {
-    Bx_repo.Webui.status;
-    content_type = "text/plain; charset=utf-8";
-    body;
-    headers = [];
-  }
 
 let split_once sep str =
   match String.index_opt str sep with
@@ -750,6 +821,11 @@ let write_barrier t =
       (respond_text 503
          (Printf.sprintf "fenced: deposed by epoch %d, writes rejected\n"
             (Atomic.get t.fenced_by)))
+  else if Atomic.get t.disk_full then
+    Some
+      (respond_text 503
+         "read-only: journal disk full, writes refused until space is \
+          freed\n")
   else None
 
 (* The durability half of an accepted write: bump shard [k]'s
@@ -767,8 +843,15 @@ let journal_accepted t ~k ~path ~body response =
       | Error e ->
           (* The in-memory edit stands, but durability was promised and
              could not be delivered: tell the client the truth, flip
-             /readyz, and let the operator look at the disk. *)
+             /readyz, and let the operator look at the disk.  ENOSPC is
+             special — no retry can succeed until an operator frees
+             space, so it latches [disk_full] and the write barrier turns
+             the node read-only instead of flapping per request. *)
           Atomic.set t.journal_ok false;
+          if Journal.is_disk_full_error e then begin
+            Atomic.set t.disk_full true;
+            Metrics.note_disk_full t.metrics true
+          end;
           Metrics.protocol_error t.metrics ~route:"journal"
             ~reason:"append_failed";
           respond_html 500 "Journal write failed"
@@ -792,9 +875,10 @@ let journal_accepted t ~k ~path ~body response =
           end;
           response)
 
-let handle_post t path body =
+let handle_post ?deadline t path body =
   match write_barrier t with
   | Some refusal -> refusal
+  | None when deadline_expired deadline -> shed_deadline t
   | None ->
   Bx_fault.Fault.point "service.lock.write";
   (* An entry edit takes only its shard's write lock (and lands in that
@@ -810,6 +894,12 @@ let handle_post t path body =
     | None -> write_all t
   in
   locked (fun () ->
+      (* Re-checked after the (possibly contended) lock wait, and before
+         the edit is applied: this is the last point an exhausted budget
+         can abort cleanly — once the in-memory apply happens, skipping
+         the journal fsync would diverge memory from disk. *)
+      if deadline_expired deadline then shed_deadline t
+      else
       (* The entry's pre-image hash, sampled under the same write lock
          that applies the edit: XORing it out and the post-image in
          keeps the shard digest exact without rescanning the shard. *)
@@ -903,12 +993,17 @@ let handle_docstore_get t ~query path =
           | Error e -> docstore_error e))
   | _ -> respond_text 404 "document paths are /slens/<name>/doc/<docid>\n"
 
-let handle_docstore_post t path body =
+let handle_docstore_post ?deadline t path body =
   match write_barrier t with
   | Some refusal -> refusal
+  | None when deadline_expired deadline -> shed_deadline t
   | None ->
       Bx_fault.Fault.point "service.lock.write";
       write_shard t 0 (fun () ->
+          (* Same pre-apply re-check as {!handle_post}: abort while
+             aborting is still free. *)
+          if deadline_expired deadline then shed_deadline t
+          else
           let key = doc_key_of path body in
           let before =
             match key with Some dk -> doc_contrib t dk | None -> 0
@@ -1004,7 +1099,7 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: rest -> x :: take (n - 1) rest
 
-let handle_stream t query =
+let handle_stream ?deadline:client_deadline t query =
   match t.log with
   | None -> respond_text 404 "replication requires a journal\n"
   | Some log ->
@@ -1039,6 +1134,15 @@ let handle_stream t query =
             if from > Atomic.get t.last_stream_from then
               Atomic.set t.last_stream_from from;
             let wait = Float.min wait t.config.stream_wait in
+            (* A long poll held past the client's budget answers nobody:
+               clamp the hold so the poll returns (possibly empty) while
+               the follower is still listening. *)
+            let wait =
+              match client_deadline with
+              | None -> wait
+              | Some d ->
+                  Float.max 0. (Float.min wait (d -. Unix.gettimeofday ()))
+            in
             let deadline = Unix.gettimeofday () +. wait in
             (* The long poll: re-read under the read lock (compaction
                swaps the snapshot and truncates the log under the write
@@ -1250,6 +1354,10 @@ let replication_apply t records =
                       with
                       | Error e ->
                           Atomic.set t.journal_ok false;
+                          if Journal.is_disk_full_error e then begin
+                            Atomic.set t.disk_full true;
+                            Metrics.note_disk_full t.metrics true
+                          end;
                           Error (`Fail e)
                       | Ok _ ->
                           Atomic.set t.journal_ok true;
@@ -1448,6 +1556,7 @@ let queue_depth t =
   n
 
 let queue_high_water t = max 1 (t.config.queue_capacity * 3 / 4)
+let concurrency_limit t = Atomic.get t.limit
 
 (* Readiness = this process can usefully take traffic right now: the
    journal accepted its last write (replay completed inside [create], so
@@ -1460,6 +1569,10 @@ let readiness t =
     (fun (ok, reason) -> if ok then None else Some reason)
     [
       (Atomic.get t.journal_ok, "journal_unwritable");
+      (* Sticky: once the disk filled, only an operator restart after
+         freeing space clears it (a transient later success proves
+         nothing about the next write). *)
+      (not (Atomic.get t.disk_full), "journal_disk_full");
       (not (Atomic.get t.stop), "draining");
       (queue_depth t < queue_high_water t, "queue_high_water");
       (* A replica is ready only once it has caught up and is staying
@@ -1493,6 +1606,24 @@ let handle_failpoints_admin t ~meth ~body =
         | Error e -> respond_text 400 (e ^ "\n"))
     | _ -> respond_text 405 "use GET or PUT\n"
 
+(* The network-chaos twin of the failpoint admin route: GET shows the
+   armed toxic rules plus live proxy counters, PUT replaces the rule set
+   (pushed to every live proxy).  Gated exactly like failpoints — the
+   route exists only when chaos was armed at startup. *)
+let handle_chaos_admin t ~meth ~body =
+  if not t.config.chaos_admin then
+    respond_text 404 "chaos admin is not enabled (set BXWIKI_CHAOS)\n"
+  else
+    match meth with
+    | "GET" ->
+        respond_text 200
+          (Bx_fault.Netchaos.describe () ^ "\n" ^ Bx_fault.Netchaos.stats_text ())
+    | "PUT" -> (
+        match Bx_fault.Netchaos.configure body with
+        | Ok () -> respond_text 200 (Bx_fault.Netchaos.describe () ^ "\n")
+        | Error e -> respond_text 400 (e ^ "\n"))
+    | _ -> respond_text 405 "use GET or PUT\n"
+
 (* Quarantined entries keep serving — but honestly: every 200 for a
    flagged entry carries a Warning header.  Applied after the cache
    lookup, so the header is never cached and clears the moment the
@@ -1522,17 +1653,39 @@ let with_quarantine_warning t path response =
                 :: response.Bx_repo.Webui.headers;
             })
 
-let handle_query t ~query ~meth ~path ~body =
+let handle_query ?deadline t ~query ~meth ~path ~body =
   let started = Unix.gettimeofday () in
   let meth = String.uppercase_ascii meth in
+  (* Operational routes never shed on a client deadline: health checks,
+     metrics scrapes, debug admin and the replication plane must answer
+     even (especially) when the node is struggling.  The stream route
+     honours the deadline its own way — by clamping its long-poll hold. *)
+  let ops_route =
+    path = "/metrics" || path = "/healthz" || path = "/readyz"
+    || path = "/debug/failpoints" || path = "/debug/chaos"
+    || path = "/replication/stream" || path = "/replication/snapshot"
+    || path = "/replication/digest" || path = "/admin/promote"
+  in
   let response =
     (* An injected fault at a lock or lens seam is answered like any
        other transient overload: a 503 the retrying client backs off
        from, never a hung connection or a dead worker. *)
     try
+      if (not ops_route) && deadline_expired deadline then
+        (* The budget was gone before dispatch.  A stale cached render is
+           free and still useful to a client that races the answer
+           against its timeout; anything else is wasted work. *)
+        if meth = "GET" && t.config.brownout then
+          match try_stale t ~query path with
+          | Some r -> r
+          | None -> shed_deadline t
+        else shed_deadline t
+      else
       match meth with
       | "GET" when path = "/metrics" ->
           Metrics.note_queue_depth t.metrics (queue_depth t);
+          Metrics.note_concurrency_limit t.metrics (Atomic.get t.limit);
+          Metrics.note_disk_full t.metrics (Atomic.get t.disk_full);
           List.iter
             (fun (lock, mode, acquisitions, contended) ->
               Metrics.note_lock t.metrics ~lock ~mode ~acquisitions ~contended)
@@ -1557,16 +1710,21 @@ let handle_query t ~query ~meth ~path ~body =
       | "GET" when path = "/readyz" -> handle_readyz t
       | ("GET" | "PUT") when path = "/debug/failpoints" ->
           handle_failpoints_admin t ~meth ~body
-      | "GET" when path = "/replication/stream" -> handle_stream t query
+      | ("GET" | "PUT") when path = "/debug/chaos" ->
+          handle_chaos_admin t ~meth ~body
+      | "GET" when path = "/replication/stream" ->
+          handle_stream ?deadline t query
       | "GET" when path = "/replication/snapshot" -> handle_snapshot t query
       | "GET" when path = "/replication/digest" -> handle_digest t
       | "POST" when path = "/admin/promote" -> handle_promote t
       | "GET" when is_slens_path path -> handle_docstore_get t ~query path
-      | "GET" -> with_quarantine_warning t path (handle_get t ~query path)
+      | "GET" ->
+          with_quarantine_warning t path (handle_get ?deadline t ~query path)
       | "POST" when is_slens_path path ->
-          if Docstore.is_doc_path path then handle_docstore_post t path body
+          if Docstore.is_doc_path path then
+            handle_docstore_post ?deadline t path body
           else handle_slens t path body
-      | "POST" -> handle_post t path body
+      | "POST" -> handle_post ?deadline t path body
       | _ ->
           respond_html 405 "Method not allowed" "<p>Use GET or POST.</p>"
     with Bx_fault.Fault.Injected m ->
@@ -1728,7 +1886,10 @@ let shutdown t =
   (* Wake idle workers so they can notice. *)
   Mutex.lock t.qm;
   Condition.broadcast t.qc;
-  Mutex.unlock t.qm
+  Mutex.unlock t.qm;
+  Mutex.lock t.dqm;
+  Condition.broadcast t.dqc;
+  Mutex.unlock t.dqm
 
 (* How long a shed client should stay away: 1s while the queue is under
    its high-water mark, then 2..8s scaling with how far past it the
@@ -1756,14 +1917,126 @@ let shed_connection t fd ~reason =
    with Unix.Unix_error _ | Bx_fault.Fault.Injected _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-(* Bounded admission: beyond [queue_capacity] pending connections the
-   accept loop sheds instead of queueing — the server degrades to fast
-   503s rather than stalling every client behind an unbounded backlog. *)
+(* ------------------------------------------------------------------ *)
+(* Brownout: the degraded read lane.  When admission overflows, GETs are
+   not shed outright — they land in a small second queue served by one
+   dedicated domain that answers from the response cache at whatever
+   generation it still holds, marked [X-Bxwiki-Stale].  Anything the
+   cache cannot answer (a miss, a write) is shed exactly as the full
+   queue used to shed everything, so the worst case is unchanged and the
+   common case (a hot read during an overload spike) degrades instead of
+   erroring. *)
+
+let degraded_enqueue t fd =
+  Mutex.lock t.dqm;
+  (* The lane's queue is several times the front queue: a stale cache
+     hit costs microseconds, and this queue exists precisely to absorb
+     the burst spike the admission limit just refused. *)
+  if (not t.daccepting) || Queue.length t.dqueue >= 4 * t.config.queue_capacity
+  then begin
+    Mutex.unlock t.dqm;
+    shed_connection t fd ~reason:"queue_full"
+  end
+  else begin
+    Queue.push (fd, Unix.gettimeofday ()) t.dqueue;
+    Condition.signal t.dqc;
+    Mutex.unlock t.dqm
+  end
+
+let ddequeue t =
+  Mutex.lock t.dqm;
+  let rec wait () =
+    match Queue.take_opt t.dqueue with
+    | Some entry -> Some entry
+    | None ->
+        if not t.daccepting then None
+        else begin
+          Condition.wait t.dqc t.dqm;
+          wait ()
+        end
+  in
+  let r = wait () in
+  Mutex.unlock t.dqm;
+  r
+
+(* Serve one overflow connection from cache only — no locks, no
+   rendering, no keep-alive.  The read budget is short: this lane exists
+   because the node is overloaded, and a slow client does not get to pin
+   its one domain. *)
+let serve_degraded t fd =
+  let reader = Httpd.reader_of_fd fd in
+  match
+    Httpd.read_request ~max_body:t.config.max_body
+      ~read_budget:(Float.min 1.0 t.config.read_timeout)
+      reader
+  with
+  | Error _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception (Unix.Unix_error _ | Bx_fault.Fault.Injected _) -> (
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  | Ok req -> (
+      let started = Unix.gettimeofday () in
+      let answer =
+        if String.uppercase_ascii req.Httpd.meth = "GET" then
+          try_stale t ~query:req.Httpd.query req.Httpd.path
+        else None
+      in
+      match answer with
+      | Some response ->
+          Metrics.observe_request t.metrics
+            ~route:(route_of t req.Httpd.path)
+            ~meth:"GET" ~status:response.Bx_repo.Webui.status
+            ~seconds:(Unix.gettimeofday () -. started);
+          (try Httpd.write_response fd ~keep_alive:false response
+           with Unix.Unix_error _ | Bx_fault.Fault.Injected _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> shed_connection t fd ~reason:"queue_full")
+
+let degraded_loop t =
+  let rec go () =
+    match ddequeue t with
+    | None -> ()
+    | Some (fd, enqueued_at) ->
+        if Unix.gettimeofday () -. enqueued_at > t.config.queue_deadline then
+          shed_connection t fd ~reason:"deadline"
+        else (
+          try serve_degraded t fd
+          with exn ->
+            Metrics.protocol_error t.metrics ~route:"wire"
+              ~reason:"worker_exn";
+            Printf.eprintf "bxwiki: degraded lane: %s\n%!"
+              (Printexc.to_string exn);
+            (try Unix.close fd with Unix.Unix_error _ -> ()));
+        go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Bounded, adaptive admission.  The static [queue_capacity] is now a
+   ceiling; the operative limit is AIMD: each overflow halves it (at
+   most once per 100ms window — a burst that overflows fifty times is
+   one congestion signal, not fifty), each promptly-served connection
+   adds one back.  Under sustained overload the backlog a client waits
+   behind shrinks toward [min_concurrency], keeping queueing delay — and
+   with it the deadline-miss rate — bounded. *)
+
+let aimd_increase t =
+  let cur = Atomic.get t.limit in
+  if cur < t.config.queue_capacity then
+    ignore (Atomic.compare_and_set t.limit cur (cur + 1))
+
 let enqueue t fd =
   Mutex.lock t.qm;
-  if Queue.length t.queue >= t.config.queue_capacity then begin
+  let cap = min t.config.queue_capacity (Atomic.get t.limit) in
+  if Queue.length t.queue >= cap then begin
+    let now = Unix.gettimeofday () in
+    if now -. t.last_md >= 0.1 then begin
+      t.last_md <- now;
+      Atomic.set t.limit
+        (max t.config.min_concurrency (Atomic.get t.limit / 2))
+    end;
     Mutex.unlock t.qm;
-    shed_connection t fd ~reason:"queue_full"
+    if t.config.brownout then degraded_enqueue t fd
+    else shed_connection t fd ~reason:"queue_full"
   end
   else begin
     Queue.push (fd, Unix.gettimeofday ()) t.queue;
@@ -1796,9 +2069,22 @@ let handle_connection t fd =
     with Unix.Unix_error _ -> ()
   in
   let rec loop () =
-    match Httpd.read_request ~max_body:t.config.max_body reader with
+    match
+      Httpd.read_request ~max_body:t.config.max_body
+        ~read_budget:t.config.read_timeout reader
+    with
     | Error `Eof -> ()
     | Error (`Bad e) -> bad "wire" e.Httpd.reason e
+    | Error `Deadline ->
+        (* Slowloris: every byte arrived inside SO_RCVTIMEO, but the
+           request as a whole overstayed its wall-clock budget.  Reap
+           the socket and count the shed — a trickling client must not
+           hold a worker for longer than a queued one may wait. *)
+        Metrics.shed t.metrics ~reason:"deadline";
+        (try
+           Httpd.write_response fd ~keep_alive:false
+             (Httpd.shed_response ~retry_after:1 ~reason:"deadline" ())
+         with Unix.Unix_error _ | Bx_fault.Fault.Injected _ -> ())
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         bad "wire" "read_timeout" { Httpd.status = 408; reason = "read timeout" }
     | exception Unix.Unix_error (_, _, _) -> ()
@@ -1807,8 +2093,8 @@ let handle_connection t fd =
         Metrics.protocol_error t.metrics ~route:"wire" ~reason:"fault_injected"
     | Ok req -> (
         let response =
-          handle_query t ~query:req.query ~meth:req.meth ~path:req.path
-            ~body:req.body
+          handle_query ?deadline:req.Httpd.deadline t ~query:req.query
+            ~meth:req.meth ~path:req.path ~body:req.body
         in
         (* Drop keep-alive while draining so shutdown terminates. *)
         let keep_alive = req.keep_alive && not (Atomic.get t.stop) in
@@ -1833,13 +2119,19 @@ let worker_loop t =
            on stale work only deepens the overload. *)
         if Unix.gettimeofday () -. enqueued_at > t.config.queue_deadline then
           shed_connection t fd ~reason:"deadline"
-        else
+        else begin
+          let began = Unix.gettimeofday () in
           (try handle_connection t fd
            with exn ->
              (* A worker must survive anything one connection throws. *)
              Metrics.protocol_error t.metrics ~route:"wire" ~reason:"worker_exn";
              Printf.eprintf "bxwiki: worker: %s\n%!" (Printexc.to_string exn);
              (try Unix.close fd with Unix.Unix_error (_, _, _) -> ()));
+          (* Additive increase: a connection served promptly earns one
+             admission slot back. *)
+          if Unix.gettimeofday () -. began <= t.config.queue_deadline then
+            aimd_increase t
+        end;
         go ()
   in
   go ()
@@ -1873,7 +2165,18 @@ let serve t ?(port = 8008) ?(workers = 4) ?port_file ?(quiet = false) () =
         | Some dir -> ", journal " ^ dir
         | None -> ", no journal");
     t.accepting <- true;
+    if t.config.brownout then begin
+      Mutex.lock t.dqm;
+      t.daccepting <- true;
+      Mutex.unlock t.dqm
+    end;
     let pool = List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t)) in
+    (* The degraded lane rides one extra domain so brownout answers keep
+       flowing even when every pool worker is wedged on slow requests. *)
+    let degraded =
+      if not t.config.brownout then None
+      else Some (Domain.spawn (fun () -> degraded_loop t))
+    in
     (* The scrubber rides its own domain, paced by the token bucket so
        the worker pool's latency is unaffected; it re-walks everything
        continuously until shutdown. *)
@@ -1939,6 +2242,13 @@ let serve t ?(port = 8008) ?(workers = 4) ?port_file ?(quiet = false) () =
     Condition.broadcast t.qc;
     Mutex.unlock t.qm;
     List.iter Domain.join pool;
+    (* Only after the pool has drained: workers may still be routing
+       overflow into the degraded queue. *)
+    Mutex.lock t.dqm;
+    t.daccepting <- false;
+    Condition.broadcast t.dqc;
+    Mutex.unlock t.dqm;
+    Option.iter Domain.join degraded;
     Option.iter Domain.join scrubber;
     t.bound_port <- None;
     let result =

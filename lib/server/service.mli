@@ -78,6 +78,18 @@ type config = {
       (** an extra deterministic per-version check the scrubber runs on
           every entry (the CLI injects the QCheck law harness here, so
           the server library itself never depends on the test stack) *)
+  brownout : bool;
+      (** degrade reads instead of shedding them: admission overflow
+          routes GETs to a dedicated lane that answers from the response
+          cache at whatever generation it holds, marked with an
+          [X-Bxwiki-Stale: <generation lag>] header (default true) *)
+  min_concurrency : int;
+      (** the floor the AIMD admission limit may decrease to (default
+          8); the ceiling is [queue_capacity] *)
+  chaos_admin : bool;
+      (** mount [GET/PUT /debug/chaos] (see {!Bx_fault.Netchaos});
+          defaults to whether [BXWIKI_CHAOS] or [BXWIKI_FAILPOINTS] was
+          present in the environment *)
 }
 
 val default_config : config
@@ -86,7 +98,8 @@ val default_config : config
     deadline, 10 s write timeout, failpoint admin iff
     [BXWIKI_FAILPOINTS] is set; primary role, 5 s lag threshold, 5 s
     stream hold, 512 records per stream response; scrubber off, no
-    injected entry law. *)
+    injected entry law; brownout on with an AIMD floor of 8, chaos admin
+    iff [BXWIKI_CHAOS] or [BXWIKI_FAILPOINTS] is set. *)
 
 type t
 
@@ -149,6 +162,7 @@ val handle :
     422 with the engine's message; unknown lenses a 404. *)
 
 val handle_query :
+  ?deadline:float ->
   t ->
   query:string ->
   meth:string ->
@@ -156,7 +170,18 @@ val handle_query :
   body:string ->
   Bx_repo.Webui.response
 (** {!handle} with the request's raw query string ([""] for none) —
-    the replication stream endpoint reads its parameters from it. *)
+    the replication stream endpoint reads its parameters from it.
+
+    [deadline] is the request's absolute deadline ([Unix.gettimeofday]
+    clock), parsed by the socket workers from the [X-Bxwiki-Deadline]
+    header (a millisecond budget).  An exhausted deadline sheds with 504
+    and [bxwiki_shed_total{reason="deadline_propagated"}] — checked
+    before dispatch, re-checked after lock acquisition and before the
+    in-memory apply + journal fsync on the write paths, and used to
+    clamp the replication long-poll hold.  Expired GETs are answered
+    stale from the cache when [brownout] allows.  Operational routes
+    ([/metrics], health probes, [/debug/*], the replication plane,
+    [/admin/promote]) never shed on a deadline. *)
 
 val serve :
   t
@@ -214,10 +239,19 @@ val readiness : t -> string list
     [replication_lag] (a replica whose lag exceeds
     [replica_lag_threshold]), [fenced] (a deposed primary),
     [corruption_burst] (five or more fresh corruption findings inside
-    the last minute — the medium is failing, drain traffic away). *)
+    the last minute — the medium is failing, drain traffic away),
+    [journal_disk_full] (a sticky ENOSPC latched by a journal append:
+    the node is read-only until an operator frees space and
+    restarts). *)
 
 val queue_depth : t -> int
 (** Pending connections currently queued for a worker. *)
+
+val concurrency_limit : t -> int
+(** The AIMD adaptive admission limit right now: halved (at most once
+    per 100ms) whenever admission overflows, bumped by one per promptly
+    served connection, kept within
+    [[min_concurrency, queue_capacity]]. *)
 
 val with_registry : t -> (Bx_repo.Registry.t -> 'a) -> 'a
 (** Run [f] under the read lock — for invariant checks in tests. *)
